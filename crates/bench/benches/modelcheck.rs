@@ -1,0 +1,91 @@
+//! Criterion benches for type-level model checking (Fig. 9).
+//!
+//! Measures (a) the time to build + verify each property on representative
+//! protocol scenarios and (b) how verification time grows with the scenario
+//! size. Run with:
+//!
+//! ```text
+//! cargo bench -p bench --bench modelcheck
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use effpi::protocols::{dining, payment, pingpong, ring};
+use effpi::protocols::Scenario;
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        payment::payment_with_clients(2),
+        payment::payment_with_clients(3),
+        dining::dining_philosophers(3, true),
+        dining::dining_philosophers(3, false),
+        pingpong::ping_pong_pairs(3, false),
+        pingpong::ping_pong_pairs(3, true),
+        ring::token_ring(5, 1),
+        ring::token_ring(5, 2),
+    ]
+}
+
+/// One bench per scenario: verify the whole Fig. 9 row (all six properties).
+fn bench_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9-row");
+    group.sample_size(10);
+    for scenario in scenarios() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&scenario.name),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| scenario.run(200_000).expect("verification"));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// One bench per property on a fixed mid-sized scenario, exposing which
+/// properties are the expensive ones (forwarding/responsive in the paper).
+fn bench_properties(c: &mut Criterion) {
+    let scenario = payment::payment_with_clients(3);
+    let mut group = c.benchmark_group("fig9-properties(pay+3clients)");
+    group.sample_size(10);
+    for property in scenario.properties.clone() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(property.name()),
+            &property,
+            |b, property| {
+                b.iter(|| scenario.run_property(property, 200_000).expect("verification"));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Scaling: the same protocol at growing sizes (state-space growth).
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9-scaling");
+    group.sample_size(10);
+    for clients in [1usize, 2, 3, 4] {
+        let scenario = payment::payment_with_clients(clients);
+        group.bench_with_input(
+            BenchmarkId::new("payment-clients", clients),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| scenario.run(400_000).expect("verification"));
+            },
+        );
+    }
+    for members in [3usize, 4, 5] {
+        let scenario = ring::token_ring(members, 1);
+        group.bench_with_input(
+            BenchmarkId::new("ring-members", members),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| scenario.run(400_000).expect("verification"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rows, bench_properties, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benches for the Savina runtime workloads (Fig. 8).
+//!
+//! Each benchmark family is measured at a modest size on the three schedulers;
+//! the `fig8` binary performs the full size sweep. Run with:
+//!
+//! ```text
+//! cargo bench -p bench --bench savina
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::fig8::{Benchmark, Runner};
+
+fn bench_savina(c: &mut Criterion) {
+    // Modest sizes so a full `cargo bench` stays in the minutes range.
+    let cases: &[(Benchmark, usize)] = &[
+        (Benchmark::Chameneos, 64),
+        (Benchmark::Counting, 20_000),
+        (Benchmark::ForkJoinCreate, 20_000),
+        (Benchmark::ForkJoinThroughput, 256),
+        (Benchmark::PingPong, 512),
+        (Benchmark::Ring, 256),
+        (Benchmark::StreamingRing, 256),
+    ];
+    for (bench, size) in cases {
+        let mut group = c.benchmark_group(bench.name());
+        group.sample_size(10);
+        for runner in [Runner::EffpiDefault, Runner::EffpiChannelFsm] {
+            group.bench_with_input(
+                BenchmarkId::new(runner.name(), size),
+                size,
+                |b, &size| {
+                    let scheduler = runner.scheduler();
+                    b.iter(|| {
+                        bench
+                            .workload(size)
+                            .run_on(scheduler.as_ref())
+                            .expect("workload validation")
+                    });
+                },
+            );
+        }
+        // The thread-per-process baseline is measured at a reduced size: it is
+        // the point of Fig. 8 that it cannot keep up at the larger ones.
+        let baseline_size = (*size).min(256);
+        group.bench_with_input(
+            BenchmarkId::new(Runner::BaselineThreads.name(), baseline_size),
+            &baseline_size,
+            |b, &size| {
+                let scheduler = Runner::BaselineThreads.scheduler();
+                b.iter(|| {
+                    bench
+                        .workload(size)
+                        .run_on(scheduler.as_ref())
+                        .expect("workload validation")
+                });
+            },
+        );
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_savina);
+criterion_main!(benches);

@@ -1,0 +1,272 @@
+//! Figure 8 table generator: the Savina-derived runtime benchmarks.
+//!
+//! For every benchmark of §5.2 (chameneos, counting, fork-join creation,
+//! fork-join throughput, ping-pong, ring, streaming ring), the generator runs
+//! the workload at a series of sizes on three schedulers — Effpi default,
+//! Effpi channel-FSM, and the thread-per-process baseline standing in for Akka
+//! Typed — and records the two quantities plotted in the paper's figure:
+//! execution time vs. size, and memory pressure vs. size.
+
+use std::time::Duration;
+
+use runtime::savina::{
+    chameneos, counting, fork_join_create, fork_join_throughput, ping_pong, ring, streaming_ring,
+    Workload,
+};
+use runtime::{EffpiRuntime, Policy, RunStats, Scheduler, ThreadRuntime};
+
+/// The benchmark families of Fig. 8.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Benchmark {
+    /// n chameneos meeting through a broker.
+    Chameneos,
+    /// One actor streaming n numbers to an adder.
+    Counting,
+    /// Creation of n processes (fork-join, creation).
+    ForkJoinCreate,
+    /// n processes each receiving a stream of messages (fork-join, throughput).
+    ForkJoinThroughput,
+    /// n request/response pairs.
+    PingPong,
+    /// n processes passing one token around a ring.
+    Ring,
+    /// n processes passing several tokens around a ring.
+    StreamingRing,
+}
+
+impl Benchmark {
+    /// All seven benchmarks, in the order of the paper's figure.
+    pub const ALL: [Benchmark; 7] = [
+        Benchmark::Chameneos,
+        Benchmark::Counting,
+        Benchmark::ForkJoinCreate,
+        Benchmark::ForkJoinThroughput,
+        Benchmark::PingPong,
+        Benchmark::Ring,
+        Benchmark::StreamingRing,
+    ];
+
+    /// The panel name used in the figure.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Chameneos => "chameneos",
+            Benchmark::Counting => "counting",
+            Benchmark::ForkJoinCreate => "fork-join (creation)",
+            Benchmark::ForkJoinThroughput => "fork-join (throughput)",
+            Benchmark::PingPong => "ping-pong",
+            Benchmark::Ring => "ring",
+            Benchmark::StreamingRing => "streaming ring",
+        }
+    }
+
+    /// Builds the workload at the given size parameter (the x-axis of Fig. 8).
+    pub fn workload(&self, size: usize) -> Workload {
+        match self {
+            Benchmark::Chameneos => chameneos(size.max(2), size.max(2) * 4),
+            Benchmark::Counting => counting(size),
+            Benchmark::ForkJoinCreate => fork_join_create(size),
+            Benchmark::ForkJoinThroughput => fork_join_throughput(size.max(1), 32),
+            Benchmark::PingPong => ping_pong(size.max(1), 16),
+            Benchmark::Ring => ring(size.max(2), size.max(2) * 4),
+            Benchmark::StreamingRing => streaming_ring(size.max(2), 4, size.max(2) * 2),
+        }
+    }
+
+    /// The sizes measured for this benchmark, scaled down from the paper's
+    /// ranges by `scale` (0 = smoke test, 1 = small, 2 = full-ish).
+    pub fn sizes(&self, scale: usize) -> Vec<usize> {
+        let caps: &[usize] = match scale {
+            0 => &[16, 64],
+            1 => &[100, 1_000, 10_000],
+            _ => &[100, 1_000, 10_000, 100_000, 1_000_000],
+        };
+        let per_bench_cap = match self {
+            // Rings and chameneos are quadratic-ish in messages; keep them smaller.
+            Benchmark::Ring | Benchmark::StreamingRing | Benchmark::Chameneos => 100_000,
+            _ => usize::MAX,
+        };
+        caps.iter().copied().filter(|&s| s <= per_bench_cap).collect()
+    }
+}
+
+/// Which scheduler a measurement used.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Runner {
+    /// Effpi-style scheduler, default delivery policy.
+    EffpiDefault,
+    /// Effpi-style scheduler, channel-FSM delivery policy.
+    EffpiChannelFsm,
+    /// Thread-per-process baseline (the Akka Typed stand-in).
+    BaselineThreads,
+}
+
+impl Runner {
+    /// The three runners, in the legend order of Fig. 8.
+    pub const ALL: [Runner; 3] =
+        [Runner::BaselineThreads, Runner::EffpiChannelFsm, Runner::EffpiDefault];
+
+    /// Legend name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Runner::EffpiDefault => "effpi-default",
+            Runner::EffpiChannelFsm => "effpi-channel-fsm",
+            Runner::BaselineThreads => "baseline-threads",
+        }
+    }
+
+    /// Instantiates the scheduler.
+    pub fn scheduler(&self) -> Box<dyn Scheduler> {
+        match self {
+            Runner::EffpiDefault => Box::new(EffpiRuntime::new(Policy::Default)),
+            Runner::EffpiChannelFsm => Box::new(EffpiRuntime::new(Policy::ChannelFsm)),
+            Runner::BaselineThreads => Box::new(ThreadRuntime::with_small_stacks()),
+        }
+    }
+
+    /// The largest workload size this runner is asked to attempt. The
+    /// thread-per-process baseline stops early — exactly the "plots end early"
+    /// behaviour of the heavyweight runtime in the paper's figure.
+    pub fn max_size(&self) -> usize {
+        match self {
+            Runner::BaselineThreads => 4_000,
+            _ => usize::MAX,
+        }
+    }
+}
+
+/// One measured point of Fig. 8.
+#[derive(Clone, Debug)]
+pub struct Fig8Point {
+    /// The benchmark family.
+    pub benchmark: &'static str,
+    /// The scheduler used.
+    pub runner: &'static str,
+    /// The size parameter (x-axis).
+    pub size: usize,
+    /// The measured statistics (time and memory proxies).
+    pub stats: Option<RunStats>,
+}
+
+impl Fig8Point {
+    /// Formats the point as a table row.
+    pub fn row(&self) -> String {
+        match &self.stats {
+            Some(s) => format!(
+                "{:<22} {:<18} {:>9} {:>12.3?} {:>12} {:>10} {:>14}",
+                self.benchmark,
+                self.runner,
+                self.size,
+                s.duration,
+                s.messages_sent,
+                s.peak_live_processes,
+                s.peak_bookkeeping_bytes,
+            ),
+            None => format!(
+                "{:<22} {:<18} {:>9} {:>12} {:>12} {:>10} {:>14}",
+                self.benchmark, self.runner, self.size, "skipped", "-", "-", "-"
+            ),
+        }
+    }
+}
+
+/// The table header matching [`Fig8Point::row`].
+pub fn header() -> String {
+    format!(
+        "{:<22} {:<18} {:>9} {:>12} {:>12} {:>10} {:>14}",
+        "benchmark", "runtime", "size", "time", "messages", "peak-procs", "peak-bytes"
+    )
+}
+
+/// Runs the whole Fig. 8 sweep at the given scale and returns every point.
+pub fn run_sweep(scale: usize) -> Vec<Fig8Point> {
+    let mut points = Vec::new();
+    for bench in Benchmark::ALL {
+        for size in bench.sizes(scale) {
+            for runner in Runner::ALL {
+                points.push(run_point(bench, runner, size));
+            }
+        }
+    }
+    points
+}
+
+/// Runs a single (benchmark, runner, size) measurement; sizes beyond the
+/// runner's limit are skipped (reported as `None`).
+pub fn run_point(bench: Benchmark, runner: Runner, size: usize) -> Fig8Point {
+    if size > runner.max_size() {
+        return Fig8Point { benchmark: bench.name(), runner: runner.name(), size, stats: None };
+    }
+    let workload = bench.workload(size);
+    let scheduler = runner.scheduler();
+    let stats = workload.run_on(scheduler.as_ref()).expect("workload validation");
+    Fig8Point { benchmark: bench.name(), runner: runner.name(), size, stats: Some(stats) }
+}
+
+/// A convenience summary: for each benchmark, the ratio of baseline time to
+/// Effpi (channel-FSM) time at the largest size both completed — the "who
+/// wins, by what factor" shape of Fig. 8.
+pub fn speedup_summary(points: &[Fig8Point]) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for bench in Benchmark::ALL {
+        let mut best: Option<(usize, Duration, Duration)> = None;
+        for p in points.iter().filter(|p| p.benchmark == bench.name()) {
+            if let Some(stats) = &p.stats {
+                let entry = points.iter().find(|q| {
+                    q.benchmark == p.benchmark
+                        && q.size == p.size
+                        && q.runner == Runner::EffpiChannelFsm.name()
+                        && q.stats.is_some()
+                });
+                if p.runner == Runner::BaselineThreads.name() {
+                    if let Some(q) = entry {
+                        let effpi = q.stats.as_ref().unwrap().duration;
+                        if best.map(|(s, _, _)| p.size > s).unwrap_or(true) {
+                            best = Some((p.size, stats.duration, effpi));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((size, baseline, effpi)) = best {
+            let ratio = baseline.as_secs_f64() / effpi.as_secs_f64().max(1e-9);
+            out.push((format!("{} (size {})", bench.name(), size), ratio));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_has_sizes_and_a_workload() {
+        for b in Benchmark::ALL {
+            assert!(!b.sizes(0).is_empty());
+            assert!(!b.name().is_empty());
+            let w = b.workload(8);
+            assert!(!w.procs.is_empty());
+        }
+    }
+
+    #[test]
+    fn smoke_sweep_at_scale_zero_validates_all_points() {
+        let points = run_sweep(0);
+        assert!(!points.is_empty());
+        // Every attempted point validated (run_point panics otherwise) and has
+        // a well-formed table row.
+        for p in &points {
+            assert!(!p.row().is_empty());
+        }
+        assert!(!header().is_empty());
+        // The summary can be computed.
+        let _ = speedup_summary(&points);
+    }
+
+    #[test]
+    fn baseline_skips_oversized_workloads() {
+        let p = run_point(Benchmark::ForkJoinCreate, Runner::BaselineThreads, 1_000_000);
+        assert!(p.stats.is_none());
+        assert!(p.row().contains("skipped"));
+    }
+}

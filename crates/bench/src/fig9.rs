@@ -1,0 +1,184 @@
+//! Figure 9 table generator: type-level model-checking benchmarks.
+//!
+//! Every row is one protocol scenario from `effpi::protocols` (payment with
+//! clients, dining philosophers, ping-pong pairs, token rings); every column
+//! is one of the six Fig. 7 properties. Each cell reports the verdict and the
+//! verification time, and the row also reports the number of explored states —
+//! the same data as the paper's Fig. 9. Where the paper reports a verdict for
+//! the corresponding row, the generator also prints the agreement so the
+//! *shape* comparison is explicit.
+
+use std::time::Duration;
+
+use effpi::protocols::{fig9_scenarios, Scenario};
+use effpi::VerificationOutcome;
+
+/// The Fig. 9 column names, in order.
+pub const COLUMNS: [&str; 6] =
+    ["deadlock-free", "ev-usage", "forwarding", "non-usage", "reactive", "responsive"];
+
+/// One row of the reproduced Fig. 9.
+#[derive(Clone, Debug)]
+pub struct Fig9Row {
+    /// The scenario (protocol + size) of this row.
+    pub name: String,
+    /// Number of states of the explored type LTS.
+    pub states: usize,
+    /// The state count reported in the paper, when this row appears there.
+    pub paper_states: Option<usize>,
+    /// Outcome of each of the six properties (verdict + time), column order.
+    pub outcomes: Vec<VerificationOutcome>,
+    /// The paper's verdicts for this row, when available.
+    pub paper_verdicts: Option<[bool; 6]>,
+    /// Total time spent verifying the row.
+    pub total_time: Duration,
+    /// Error message if verification did not complete (state bound exceeded).
+    pub error: Option<String>,
+}
+
+impl Fig9Row {
+    /// How many of the six verdicts agree with the paper (if known).
+    pub fn agreement(&self) -> Option<usize> {
+        let paper = self.paper_verdicts?;
+        if self.outcomes.len() != 6 {
+            return None;
+        }
+        Some(
+            self.outcomes
+                .iter()
+                .zip(paper.iter())
+                .filter(|(o, p)| o.holds == **p)
+                .count(),
+        )
+    }
+
+    /// Renders the row in a compact, Fig. 9-like format.
+    pub fn render(&self) -> String {
+        if let Some(err) = &self.error {
+            return format!("{:<34} {:>9}  {err}", self.name, "-");
+        }
+        let cells: Vec<String> = self
+            .outcomes
+            .iter()
+            .map(|o| format!("{} ({:.3}s)", o.holds, o.duration.as_secs_f64()))
+            .collect();
+        let paper_states = self
+            .paper_states
+            .map(|s| format!("{s}"))
+            .unwrap_or_else(|| "-".to_string());
+        let agreement = self
+            .agreement()
+            .map(|a| format!("{a}/6"))
+            .unwrap_or_else(|| "-".to_string());
+        format!(
+            "{:<34} {:>9} {:>9}  {:<18} {:<18} {:<18} {:<18} {:<18} {:<18}  agree={}",
+            self.name,
+            self.states,
+            paper_states,
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+            cells[4],
+            cells[5],
+            agreement
+        )
+    }
+}
+
+/// The table header matching [`Fig9Row::render`].
+pub fn header() -> String {
+    format!(
+        "{:<34} {:>9} {:>9}  {:<18} {:<18} {:<18} {:<18} {:<18} {:<18}  {}",
+        "scenario",
+        "states",
+        "paper",
+        COLUMNS[0],
+        COLUMNS[1],
+        COLUMNS[2],
+        COLUMNS[3],
+        COLUMNS[4],
+        COLUMNS[5],
+        "agreement"
+    )
+}
+
+/// Verifies one scenario into a [`Fig9Row`].
+pub fn run_scenario(scenario: &Scenario, max_states: usize) -> Fig9Row {
+    let start = std::time::Instant::now();
+    match scenario.run(max_states) {
+        Ok(outcomes) => Fig9Row {
+            name: scenario.name.clone(),
+            states: outcomes.first().map(|o| o.states).unwrap_or(0),
+            paper_states: scenario.paper_states,
+            outcomes,
+            paper_verdicts: scenario.paper_verdicts,
+            total_time: start.elapsed(),
+            error: None,
+        },
+        Err(e) => Fig9Row {
+            name: scenario.name.clone(),
+            states: 0,
+            paper_states: scenario.paper_states,
+            outcomes: Vec::new(),
+            paper_verdicts: scenario.paper_verdicts,
+            total_time: start.elapsed(),
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+/// Runs the whole Fig. 9 table at the given scale (see
+/// [`effpi::protocols::fig9_scenarios`]).
+pub fn run_table(scale: usize, max_states: usize) -> Vec<Fig9Row> {
+    fig9_scenarios(scale).iter().map(|s| run_scenario(s, max_states)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_small_table_completes_and_renders() {
+        let rows = run_table(0, 60_000);
+        assert!(rows.len() >= 8);
+        for row in &rows {
+            assert!(row.error.is_none(), "{}: {:?}", row.name, row.error);
+            assert_eq!(row.outcomes.len(), 6);
+            assert!(row.states > 1);
+            let rendered = row.render();
+            assert!(rendered.contains(&row.name));
+        }
+        assert!(header().contains("responsive"));
+    }
+
+    #[test]
+    fn key_shape_verdicts_match_the_paper() {
+        let rows = run_table(0, 60_000);
+        // Dining philosophers: the deadlock variant is flagged, the fixed one
+        // is not — in every generated size.
+        for row in rows.iter().filter(|r| r.name.contains("philos")) {
+            let expected_deadlock_free = !row.name.contains(", deadlock");
+            assert_eq!(row.outcomes[0].holds, expected_deadlock_free, "{}", row.name);
+        }
+        // Ping-pong: responsiveness separates the two variants.
+        for row in rows.iter().filter(|r| r.name.contains("Ping-pong")) {
+            let expected_responsive = row.name.contains("responsive");
+            assert_eq!(row.outcomes[5].holds, expected_responsive, "{}", row.name);
+        }
+        // Payment: responsive and deadlock-free, but not unconditionally
+        // forwarding to the auditor.
+        for row in rows.iter().filter(|r| r.name.contains("Pay")) {
+            assert!(row.outcomes[0].holds && row.outcomes[5].holds, "{}", row.name);
+            assert!(!row.outcomes[2].holds, "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn state_bound_violations_are_reported_not_panicked() {
+        let scenarios = fig9_scenarios(0);
+        let row = run_scenario(&scenarios[0], 3);
+        assert!(row.error.is_some());
+        assert!(row.render().contains("state"));
+    }
+}

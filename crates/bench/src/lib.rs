@@ -1,0 +1,17 @@
+//! Shared infrastructure for the benchmark harness: the table generators
+//! behind the `fig8` and `fig9` binaries and the Criterion benches.
+//!
+//! * [`fig8`] — the runtime benchmarks of the paper's Figure 8: the seven
+//!   Savina-derived workloads, measured on the two Effpi-style schedulers and
+//!   on the thread-per-process baseline, at growing sizes, reporting both
+//!   wall-clock time and the memory-pressure proxy.
+//! * [`fig9`] — the model-checking benchmarks of Figure 9: the protocol
+//!   scenarios of `effpi::protocols`, with state counts, per-property verdicts
+//!   and verification times, and a comparison against the verdicts reported in
+//!   the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig8;
+pub mod fig9;

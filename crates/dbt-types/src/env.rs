@@ -1,0 +1,144 @@
+//! Typing environments Γ (Def. 3.2).
+//!
+//! A typing environment maps term variables to types. Per rule [Γ-x] an
+//! environment may only map variables to *types* (not π-types); the order of
+//! entries is immaterial, but entries may refer to variables bound earlier
+//! (e.g. `y: cio[str], z: cio[co[str]]` or `x: cio[int], k: x`).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use lambdapi::{Name, Type};
+
+/// A typing environment Γ: a finite map from term variables to types.
+///
+/// # Examples
+///
+/// ```
+/// use dbt_types::TypeEnv;
+/// use lambdapi::Type;
+///
+/// let env = TypeEnv::new()
+///     .bind("y", Type::chan_io(Type::Str))
+///     .bind("z", Type::chan_io(Type::chan_out(Type::Str)));
+/// assert_eq!(env.lookup(&"y".into()), Some(&Type::chan_io(Type::Str)));
+/// assert_eq!(env.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TypeEnv {
+    entries: Vec<(Name, Type)>,
+}
+
+impl TypeEnv {
+    /// The empty environment ∅.
+    pub fn new() -> Self {
+        TypeEnv { entries: Vec::new() }
+    }
+
+    /// Builds an environment from an iterator of bindings; later bindings for
+    /// the same variable shadow earlier ones.
+    pub fn from_bindings<I, N>(bindings: I) -> Self
+    where
+        I: IntoIterator<Item = (N, Type)>,
+        N: Into<Name>,
+    {
+        let mut env = TypeEnv::new();
+        for (x, t) in bindings {
+            env = env.bind(x, t);
+        }
+        env
+    }
+
+    /// Returns a new environment extended with `x : ty` (rule [Γ-x]); an
+    /// existing binding for `x` is replaced.
+    pub fn bind(&self, x: impl Into<Name>, ty: Type) -> TypeEnv {
+        let x = x.into();
+        let mut entries: Vec<(Name, Type)> = self
+            .entries
+            .iter()
+            .filter(|(y, _)| *y != x)
+            .cloned()
+            .collect();
+        entries.push((x, ty));
+        TypeEnv { entries }
+    }
+
+    /// Looks up the type of a variable.
+    pub fn lookup(&self, x: &Name) -> Option<&Type> {
+        self.entries.iter().rev().find(|(y, _)| y == x).map(|(_, t)| t)
+    }
+
+    /// Returns `true` when `x ∈ dom(Γ)`.
+    pub fn contains(&self, x: &Name) -> bool {
+        self.lookup(x).is_some()
+    }
+
+    /// The domain of the environment.
+    pub fn dom(&self) -> BTreeSet<Name> {
+        self.entries.iter().map(|(x, _)| x.clone()).collect()
+    }
+
+    /// Iterates over the bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&Name, &Type)> {
+        self.entries.iter().map(|(x, t)| (x, t))
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` for the empty environment.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for TypeEnv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.entries.is_empty() {
+            return write!(f, "∅");
+        }
+        let parts: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(x, t)| format!("{x}:{t}"))
+            .collect();
+        write!(f, "{}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_lookup() {
+        let env = TypeEnv::new().bind("x", Type::Bool).bind("y", Type::Int);
+        assert_eq!(env.lookup(&"x".into()), Some(&Type::Bool));
+        assert_eq!(env.lookup(&"y".into()), Some(&Type::Int));
+        assert_eq!(env.lookup(&"z".into()), None);
+        assert!(env.contains(&"x".into()));
+    }
+
+    #[test]
+    fn rebinding_shadows() {
+        let env = TypeEnv::new().bind("x", Type::Bool).bind("x", Type::Int);
+        assert_eq!(env.lookup(&"x".into()), Some(&Type::Int));
+        assert_eq!(env.len(), 1);
+    }
+
+    #[test]
+    fn display_and_dom() {
+        let env = TypeEnv::new().bind("x", Type::Bool);
+        assert!(env.to_string().contains("x:bool"));
+        assert!(env.dom().contains(&Name::new("x")));
+        assert_eq!(TypeEnv::new().to_string(), "∅");
+    }
+
+    #[test]
+    fn from_bindings_builds_in_order() {
+        let env = TypeEnv::from_bindings([("a", Type::Int), ("b", Type::var("a"))]);
+        assert_eq!(env.lookup(&"b".into()), Some(&Type::var("a")));
+    }
+}

@@ -1,0 +1,77 @@
+//! Errors produced by the validity and typing judgements.
+
+use std::error::Error;
+use std::fmt;
+
+use lambdapi::{Name, Term, Type};
+
+/// A typing (or well-formedness) error, reported by the [`crate::Checker`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TypeError {
+    /// A variable was used but is not bound in the environment.
+    UnboundVariable(Name),
+    /// A type mentions a variable that is not in the environment ([T-x] fails).
+    InvalidType(Type, String),
+    /// A type was expected to be a π-type (process type) but is not.
+    NotAProcessType(Type),
+    /// A type was expected to be an ordinary (non-π) type but is not.
+    NotAValueType(Type),
+    /// Subtyping failed: the first type is not a subtype of the second.
+    NotASubtype(Type, Type),
+    /// A term was expected to have a channel type but does not.
+    NotAChannel(Term, Type),
+    /// A term was expected to be a function (dependent function type).
+    NotAFunction(Term, Type),
+    /// A recursive type is not contractive ([T-µ]/[π-µ] side conditions).
+    NotContractive(Type),
+    /// The `err` value is not typable.
+    ErrValueNotTypable,
+    /// A branch of an `if` produced types of different kinds (one π-type, one
+    /// ordinary type), so their union is not a `*-type`.
+    MixedUnionKinds(Type, Type),
+    /// Any other rule violation, with a human-readable explanation.
+    Other(String),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnboundVariable(x) => write!(f, "unbound variable {x}"),
+            TypeError::InvalidType(t, why) => write!(f, "invalid type {t}: {why}"),
+            TypeError::NotAProcessType(t) => write!(f, "{t} is not a process type"),
+            TypeError::NotAValueType(t) => write!(f, "{t} is not a value type"),
+            TypeError::NotASubtype(a, b) => write!(f, "{a} is not a subtype of {b}"),
+            TypeError::NotAChannel(t, ty) => {
+                write!(f, "term {t} has type {ty}, which is not a channel type")
+            }
+            TypeError::NotAFunction(t, ty) => {
+                write!(f, "term {t} has type {ty}, which is not a function type")
+            }
+            TypeError::NotContractive(t) => write!(f, "recursive type {t} is not contractive"),
+            TypeError::ErrValueNotTypable => write!(f, "the err value is not typable"),
+            TypeError::MixedUnionKinds(a, b) => {
+                write!(f, "cannot form the union of {a} and {b}: different kinds")
+            }
+            TypeError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for TypeError {}
+
+/// Convenient result alias for the judgements.
+pub type TypeResult<T> = Result<T, TypeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_payloads() {
+        let e = TypeError::NotASubtype(Type::Bool, Type::Int);
+        assert!(e.to_string().contains("bool"));
+        assert!(e.to_string().contains("int"));
+        let e2 = TypeError::UnboundVariable(Name::new("zz"));
+        assert!(e2.to_string().contains("zz"));
+    }
+}

@@ -1,0 +1,82 @@
+//! # dbt-types — the dependent behavioural type system of λπ⩽
+//!
+//! This crate implements the *static semantics* of the λπ⩽ calculus (§3 of
+//! *"Verifying Message-Passing Programs with Dependent Behavioural Types"*,
+//! PLDI 2019): the judgements of Fig. 4.
+//!
+//! * [`TypeEnv`] — typing environments Γ;
+//! * [`Checker::check_env`], [`Checker::check_type`], [`Checker::check_pi_type`]
+//!   — the validity judgements `⊢ Γ env`, `Γ ⊢ T type`, `Γ ⊢ T π-type`;
+//! * [`Checker::is_subtype`] — coinductive subtyping `Γ ⊢ T ⩽ U`;
+//! * [`Checker::might_interact`] — the `Γ ⊢ S ▷◁ T` relation of Def. 4.2,
+//!   used by the type-level semantics;
+//! * [`Checker::type_of`] / [`Checker::check_term`] — the typing judgement
+//!   `Γ ⊢ t : T`.
+//!
+//! The crate is deliberately independent from the verification machinery: it
+//! only answers "does this program implement this protocol?", which is Step 1
+//! of the paper's method. Step 2 (model checking safety/liveness of the
+//! protocol itself) lives in the `lts` and `mucalc` crates.
+//!
+//! ## Example: type-checking the audited payment service
+//!
+//! ```
+//! use dbt_types::{Checker, TypeEnv};
+//! use lambdapi::examples;
+//!
+//! let checker = Checker::new();
+//! let env = TypeEnv::new();
+//! checker
+//!     .check_term(&env, &examples::payment_term(), &examples::tpayment_type())
+//!     .expect("the payment service implements its specification");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod env;
+mod error;
+mod subtype;
+mod typing;
+mod validity;
+
+pub use env::TypeEnv;
+pub use error::{TypeError, TypeResult};
+pub use subtype::ChanCap;
+pub use validity::TypeKind;
+
+/// The checker for all judgements of the λπ⩽ type system.
+///
+/// A `Checker` is cheap to construct and stateless; the two knobs bound the
+/// work done on (possibly ill-formed or adversarial) inputs:
+///
+/// * `max_depth` — maximum derivation depth explored before giving up
+///   (conservatively answering "no" for subtyping, or reporting an error for
+///   validity/typing);
+/// * `max_unfold` — how many consecutive `µ` unfoldings are performed when
+///   normalising the head of a type.
+#[derive(Clone, Debug)]
+pub struct Checker {
+    /// Maximum derivation depth.
+    pub max_depth: usize,
+    /// Maximum consecutive head unfoldings of recursive types.
+    pub max_unfold: usize,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker { max_depth: 256, max_unfold: 16 }
+    }
+}
+
+impl Checker {
+    /// Creates a checker with default limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a checker with custom limits.
+    pub fn with_limits(max_depth: usize, max_unfold: usize) -> Self {
+        Checker { max_depth, max_unfold }
+    }
+}

@@ -1,0 +1,429 @@
+//! Coinductive subtyping `Γ ⊢ T ⩽ U` (Fig. 4) and the "might interact"
+//! relation `Γ ⊢ S ▷◁ T` (Def. 4.2).
+//!
+//! The algorithm follows the standard approach for equi-recursive subtyping
+//! (Pierce, TAPL ch. 21; Jeffrey 2001 for Fµ<): recursive types are unfolded on
+//! demand and a set of already-visited goals plays the role of the coinductive
+//! hypothesis. Dependent function types use the *kernel* rule [⩽-Π] (equal
+//! domains), which the paper adopts from Cardelli–Wegner to keep subtyping
+//! decidable.
+
+use std::collections::HashSet;
+
+use lambdapi::Type;
+
+use crate::env::TypeEnv;
+use crate::Checker;
+
+/// The capability of a channel type: input, output, or both.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChanCap {
+    /// `ci[T]`: input only.
+    In,
+    /// `co[T]`: output only.
+    Out,
+    /// `cio[T]`: both input and output.
+    InOut,
+}
+
+impl ChanCap {
+    /// Whether the capability allows receiving.
+    pub fn can_input(self) -> bool {
+        matches!(self, ChanCap::In | ChanCap::InOut)
+    }
+
+    /// Whether the capability allows sending.
+    pub fn can_output(self) -> bool {
+        matches!(self, ChanCap::Out | ChanCap::InOut)
+    }
+}
+
+impl Checker {
+    /// Decides `Γ ⊢ T ⩽ U` (coinductive subtyping, Fig. 4).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dbt_types::{Checker, TypeEnv};
+    /// use lambdapi::Type;
+    ///
+    /// let checker = Checker::new();
+    /// let env = TypeEnv::new().bind("x", Type::chan_io(Type::Int));
+    /// // [⩽-x]: x ⩽ cio[int]  because Γ(x) = cio[int]
+    /// assert!(checker.is_subtype(&env, &Type::var("x"), &Type::chan_io(Type::Int)));
+    /// // [⩽-c]: cio[int] ⩽ co[int]  (output-capability narrowing)
+    /// assert!(checker.is_subtype(&env, &Type::chan_io(Type::Int), &Type::chan_out(Type::Int)));
+    /// assert!(!checker.is_subtype(&env, &Type::chan_out(Type::Int), &Type::chan_io(Type::Int)));
+    /// ```
+    pub fn is_subtype(&self, env: &TypeEnv, t: &Type, u: &Type) -> bool {
+        let mut seen = HashSet::new();
+        self.sub(env, t, u, &mut seen, 0)
+    }
+
+    /// Decides mutual subtyping (type equivalence up to ≡ and unfolding).
+    pub fn is_equivalent(&self, env: &TypeEnv, t: &Type, u: &Type) -> bool {
+        self.is_subtype(env, t, u) && self.is_subtype(env, u, t)
+    }
+
+    fn sub(
+        &self,
+        env: &TypeEnv,
+        t: &Type,
+        u: &Type,
+        seen: &mut HashSet<(Type, Type)>,
+        depth: usize,
+    ) -> bool {
+        if depth > self.max_depth {
+            return false;
+        }
+        let t = t.normalize().unfold_head(self.max_unfold);
+        let u = u.normalize().unfold_head(self.max_unfold);
+        if t == u {
+            return true;
+        }
+        let key = (t.clone(), u.clone());
+        if seen.contains(&key) {
+            // Coinductive hypothesis.
+            return true;
+        }
+        seen.insert(key);
+
+        match (&t, &u) {
+            // [⩽-⊤] / [⩽-⊥]
+            (_, Type::Top) => true,
+            (Type::Bottom, _) => true,
+
+            // [⩽-∨L]: a union on the left must have both branches below u.
+            (Type::Union(a, b), _) => {
+                self.sub(env, a, &u, seen, depth + 1) && self.sub(env, b, &u, seen, depth + 1)
+            }
+
+            // [⩽-∨R] (plus the [⩽-x] fallback for variables): a union on the
+            // right is satisfied by either branch, or — when the left side is a
+            // variable — by promoting it to its declared type.
+            (_, Type::Union(a, b)) => {
+                self.sub(env, &t, a, seen, depth + 1)
+                    || self.sub(env, &t, b, seen, depth + 1)
+                    || match &t {
+                        Type::Var(x) => match env.lookup(x) {
+                            Some(tx) => self.sub(env, &tx.clone(), &u, seen, depth + 1),
+                            None => false,
+                        },
+                        _ => false,
+                    }
+            }
+
+            // [⩽-x]: x ⩽ U when Γ(x) ⩽ U.
+            (Type::Var(x), _) => match env.lookup(x) {
+                Some(tx) => self.sub(env, &tx.clone(), &u, seen, depth + 1),
+                None => false,
+            },
+
+            // [⩽-Π] (kernel rule): equal domains, covariant bodies.
+            (Type::Pi(x, d1, b1), Type::Pi(y, d2, b2)) => {
+                let domains_equal = self.sub(env, d1, d2, seen, depth + 1)
+                    && self.sub(env, d2, d1, seen, depth + 1);
+                if !domains_equal {
+                    return false;
+                }
+                let b2 = if x == y {
+                    (**b2).clone()
+                } else {
+                    b2.subst_var(y, &Type::Var(x.clone()))
+                };
+                let env2 = env.bind(x.clone(), (**d1).clone());
+                self.sub(&env2, b1, &b2, seen, depth + 1)
+            }
+
+            // [⩽-c]: covariant input, contravariant output.
+            (Type::ChanIO(a), Type::ChanIn(b)) | (Type::ChanIn(a), Type::ChanIn(b)) => {
+                self.sub(env, a, b, seen, depth + 1)
+            }
+            (Type::ChanIO(a), Type::ChanOut(b)) | (Type::ChanOut(a), Type::ChanOut(b)) => {
+                self.sub(env, b, a, seen, depth + 1)
+            }
+            (Type::ChanIO(a), Type::ChanIO(b)) => {
+                self.sub(env, a, b, seen, depth + 1) && self.sub(env, b, a, seen, depth + 1)
+            }
+
+            // [⩽-proc]: proc is the top π-type.
+            (_, Type::Proc) => t.is_process_shaped(),
+
+            // [⩽-o] / [⩽-i] / [⩽-p]: covariant in all parameters; for p[..] we
+            // additionally try the components swapped, reflecting p's
+            // commutativity in ≡ (normalisation already sorts flattened
+            // components, so this only matters for nested shapes).
+            (Type::Out(s1, t1, u1), Type::Out(s2, t2, u2)) => {
+                self.sub(env, s1, s2, seen, depth + 1)
+                    && self.sub(env, t1, t2, seen, depth + 1)
+                    && self.sub(env, u1, u2, seen, depth + 1)
+            }
+            (Type::In(s1, t1), Type::In(s2, t2)) => {
+                self.sub(env, s1, s2, seen, depth + 1) && self.sub(env, t1, t2, seen, depth + 1)
+            }
+            (Type::Par(a1, b1), Type::Par(a2, b2)) => {
+                (self.sub(env, a1, a2, seen, depth + 1) && self.sub(env, b1, b2, seen, depth + 1))
+                    || (self.sub(env, a1, b2, seen, depth + 1)
+                        && self.sub(env, b1, a2, seen, depth + 1))
+            }
+
+            _ => false,
+        }
+    }
+
+    /// Resolves a type to a channel shape `(capability, payload)`, following
+    /// variables through the environment and unfolding recursive types.
+    /// Returns `None` if the type is not (an alias of) a channel type.
+    pub fn resolve_channel(&self, env: &TypeEnv, ty: &Type) -> Option<(ChanCap, Type)> {
+        let mut cur = ty.clone();
+        for _ in 0..self.max_depth {
+            cur = cur.unfold_head(self.max_unfold);
+            match cur {
+                Type::ChanIO(p) => return Some((ChanCap::InOut, (*p).clone())),
+                Type::ChanIn(p) => return Some((ChanCap::In, (*p).clone())),
+                Type::ChanOut(p) => return Some((ChanCap::Out, (*p).clone())),
+                Type::Var(ref x) => match env.lookup(x) {
+                    Some(next) => cur = next.clone(),
+                    None => return None,
+                },
+                _ => return None,
+            }
+        }
+        None
+    }
+
+    /// Resolves a type to a dependent function shape `(binder, domain, body)`,
+    /// following variables and unfolding recursion.
+    pub fn resolve_pi(&self, env: &TypeEnv, ty: &Type) -> Option<(lambdapi::Name, Type, Type)> {
+        let mut cur = ty.clone();
+        for _ in 0..self.max_depth {
+            cur = cur.unfold_head(self.max_unfold);
+            match cur {
+                Type::Pi(x, d, b) => return Some((x, (*d).clone(), (*b).clone())),
+                Type::Var(ref x) => match env.lookup(x) {
+                    Some(next) => cur = next.clone(),
+                    None => return None,
+                },
+                _ => return None,
+            }
+        }
+        None
+    }
+
+    /// Decides `Γ ⊢ S ▷◁ T` — "S and T might interact" (Def. 4.2): they have a
+    /// common subtype other than ⊥, i.e. they might type the same channel.
+    ///
+    /// The implementation checks mutual subtyping first (which covers the
+    /// variable cases `x ▷◁ x` and `x ▷◁ cio[...]` of Ex. 3.5), and falls back
+    /// to payload-compatibility when both sides are literal channel types.
+    /// Distinct variables never interact (their only common subtype is ⊥),
+    /// which is what makes type-level communication track channel identity.
+    pub fn might_interact(&self, env: &TypeEnv, s: &Type, t: &Type) -> bool {
+        let s = s.normalize().unfold_head(self.max_unfold);
+        let t = t.normalize().unfold_head(self.max_unfold);
+        if matches!(s, Type::Bottom) || matches!(t, Type::Bottom) {
+            return false;
+        }
+        if self.is_subtype(env, &s, &t) || self.is_subtype(env, &t, &s) {
+            return true;
+        }
+        // Fall back to channel-payload compatibility, but only when both sides
+        // are *literal* channel types (resolving variables here would wrongly
+        // make distinct channels interact).
+        let sp = match &s {
+            Type::ChanIO(p) | Type::ChanIn(p) | Type::ChanOut(p) => Some((*p).clone()),
+            _ => None,
+        };
+        let tp = match &t {
+            Type::ChanIO(p) | Type::ChanIn(p) | Type::ChanOut(p) => Some((*p).clone()),
+            _ => None,
+        };
+        match (sp, tp) {
+            (Some(a), Some(b)) => {
+                self.is_subtype(env, &a, &b) || self.is_subtype(env, &b, &a)
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker() -> Checker {
+        Checker::new()
+    }
+
+    #[test]
+    fn base_reflexivity_top_bottom() {
+        let c = checker();
+        let env = TypeEnv::new();
+        assert!(c.is_subtype(&env, &Type::Bool, &Type::Bool));
+        assert!(c.is_subtype(&env, &Type::Bool, &Type::Top));
+        assert!(c.is_subtype(&env, &Type::Bottom, &Type::Int));
+        assert!(!c.is_subtype(&env, &Type::Bool, &Type::Int));
+    }
+
+    #[test]
+    fn union_left_and_right() {
+        let c = checker();
+        let env = TypeEnv::new();
+        let bi = Type::union(Type::Bool, Type::Int);
+        assert!(c.is_subtype(&env, &Type::Bool, &bi));
+        assert!(c.is_subtype(&env, &bi, &Type::union(Type::Int, Type::union(Type::Bool, Type::Str))));
+        assert!(!c.is_subtype(&env, &bi, &Type::Bool));
+    }
+
+    #[test]
+    fn variable_subtyping_uses_the_environment() {
+        let c = checker();
+        let env = TypeEnv::new().bind("x", Type::chan_io(Type::Int));
+        assert!(c.is_subtype(&env, &Type::var("x"), &Type::var("x")));
+        assert!(c.is_subtype(&env, &Type::var("x"), &Type::chan_in(Type::Int)));
+        // The converse does not hold: the variable is the *smallest* type.
+        assert!(!c.is_subtype(&env, &Type::chan_io(Type::Int), &Type::var("x")));
+        // Distinct variables are unrelated even with identical declared types.
+        let env2 = env.bind("y", Type::chan_io(Type::Int));
+        assert!(!c.is_subtype(&env2, &Type::var("x"), &Type::var("y")));
+    }
+
+    #[test]
+    fn variable_below_union_through_declared_type() {
+        let c = checker();
+        let env = TypeEnv::new().bind("x", Type::union(Type::Bool, Type::Int));
+        // Γ(x) = bool ∨ int, so x ⩽ bool ∨ int even though x ⩽ bool fails.
+        assert!(c.is_subtype(&env, &Type::var("x"), &Type::union(Type::Bool, Type::Int)));
+        assert!(!c.is_subtype(&env, &Type::var("x"), &Type::Bool));
+    }
+
+    #[test]
+    fn channel_variance_matches_rule_sub_c() {
+        let c = checker();
+        let env = TypeEnv::new();
+        // Covariant input.
+        assert!(c.is_subtype(
+            &env,
+            &Type::chan_in(Type::Bottom),
+            &Type::chan_in(Type::Int)
+        ));
+        // Contravariant output.
+        assert!(c.is_subtype(
+            &env,
+            &Type::chan_out(Type::Top),
+            &Type::chan_out(Type::Int)
+        ));
+        assert!(!c.is_subtype(
+            &env,
+            &Type::chan_out(Type::Int),
+            &Type::chan_out(Type::Top)
+        ));
+        // cio can be used as either endpoint.
+        assert!(c.is_subtype(&env, &Type::chan_io(Type::Str), &Type::chan_out(Type::Str)));
+        assert!(c.is_subtype(&env, &Type::chan_io(Type::Str), &Type::chan_in(Type::Str)));
+    }
+
+    #[test]
+    fn process_types_are_below_proc() {
+        let c = checker();
+        let env = TypeEnv::new();
+        let t = Type::par(
+            Type::out(Type::var("x"), Type::Int, Type::thunk(Type::Nil)),
+            Type::Nil,
+        );
+        assert!(c.is_subtype(&env, &t, &Type::Proc));
+        assert!(c.is_subtype(&env, &Type::Nil, &Type::Proc));
+        assert!(!c.is_subtype(&env, &Type::Bool, &Type::Proc));
+    }
+
+    #[test]
+    fn output_types_are_covariant_in_all_positions() {
+        let c = checker();
+        let env = TypeEnv::new().bind("x", Type::chan_io(Type::Int));
+        // Example 3.5: T1 ⩽ T2.
+        let t1 = Type::par(
+            Type::out(Type::var("x"), Type::Int, Type::thunk(Type::Nil)),
+            Type::inp(Type::var("x"), Type::pi("y", Type::Int, Type::Nil)),
+        );
+        let t2 = Type::par(
+            Type::out(Type::chan_io(Type::Int), Type::Int, Type::thunk(Type::Nil)),
+            Type::inp(Type::var("x"), Type::pi("y", Type::Int, Type::Nil)),
+        );
+        assert!(c.is_subtype(&env, &t1, &t2));
+        assert!(!c.is_subtype(&env, &t2, &t1));
+    }
+
+    #[test]
+    fn kernel_pi_rule_requires_equal_domains() {
+        let c = checker();
+        let env = TypeEnv::new();
+        let f1 = Type::pi("x", Type::Int, Type::union(Type::Int, Type::Bool));
+        let f2 = Type::pi("x", Type::Int, Type::Top);
+        assert!(c.is_subtype(&env, &f1, &f2));
+        // Different domains are rejected by the kernel rule even when a full
+        // contravariant rule would accept them.
+        let f3 = Type::pi("x", Type::Bottom, Type::Top);
+        assert!(!c.is_subtype(&env, &f1, &f3));
+    }
+
+    #[test]
+    fn alpha_renaming_of_pi_binders() {
+        let c = checker();
+        let env = TypeEnv::new();
+        let f1 = Type::pi("x", Type::Int, Type::var("x"));
+        let f2 = Type::pi("y", Type::Int, Type::var("y"));
+        assert!(c.is_subtype(&env, &f1, &f2));
+        assert!(c.is_subtype(&env, &f2, &f1));
+    }
+
+    #[test]
+    fn recursive_types_are_compared_coinductively() {
+        let c = checker();
+        let env = TypeEnv::new().bind("x", Type::chan_io(Type::Int));
+        let stream = |payload: Type| {
+            Type::rec(
+                "t",
+                Type::out(Type::var("x"), payload, Type::thunk(Type::rec_var("t"))),
+            )
+        };
+        assert!(c.is_subtype(&env, &stream(Type::Int), &stream(Type::union(Type::Int, Type::Bool))));
+        assert!(!c.is_subtype(&env, &stream(Type::Top), &stream(Type::Int)));
+        // A recursive type is equivalent to its unfolding.
+        let t = stream(Type::Int);
+        assert!(c.is_equivalent(&env, &t, &t.unfold()));
+    }
+
+    #[test]
+    fn might_interact_tracks_channel_identity() {
+        let c = checker();
+        let env = TypeEnv::new()
+            .bind("x", Type::chan_io(Type::Int))
+            .bind("y", Type::chan_io(Type::Int));
+        // Same variable: interacts.
+        assert!(c.might_interact(&env, &Type::var("x"), &Type::var("x")));
+        // A variable and a plain channel type of its class: interacts
+        // (the "imprecise typing" case of Ex. 3.5 / rule [T→io]).
+        assert!(c.might_interact(&env, &Type::var("x"), &Type::chan_io(Type::Int)));
+        // Two distinct variables: do not interact.
+        assert!(!c.might_interact(&env, &Type::var("x"), &Type::var("y")));
+        // Bottom never interacts.
+        assert!(!c.might_interact(&env, &Type::Bottom, &Type::var("x")));
+        // Two literal channel types with compatible payloads interact.
+        assert!(c.might_interact(
+            &env,
+            &Type::chan_out(Type::Int),
+            &Type::chan_in(Type::Int)
+        ));
+    }
+
+    #[test]
+    fn resolve_channel_follows_variables() {
+        let c = checker();
+        let env = TypeEnv::new().bind("x", Type::chan_out(Type::Str));
+        let (cap, payload) = c.resolve_channel(&env, &Type::var("x")).unwrap();
+        assert_eq!(cap, ChanCap::Out);
+        assert_eq!(payload, Type::Str);
+        assert!(c.resolve_channel(&env, &Type::Bool).is_none());
+        assert!(cap.can_output() && !cap.can_input());
+    }
+}

@@ -1,0 +1,526 @@
+//! The typing judgement `Γ ⊢ t : T` (Fig. 4, bottom block).
+//!
+//! The checker *synthesises* the most precise type it can (following the
+//! syntax-directed rules), and uses subsumption ([t-⩽]) where the rules demand
+//! a subtype check (applications, let bindings, payload checks). Variables
+//! synthesise their own name as a type (rule [t-x]): this is what enables the
+//! dependent tracking of channels that §4 exploits.
+
+use lambdapi::{BinOp, Term, Type, Value};
+
+use crate::env::TypeEnv;
+use crate::error::{TypeError, TypeResult};
+use crate::validity::TypeKind;
+use crate::Checker;
+
+impl Checker {
+    /// Synthesises a type for `t` in the environment `env` (`Γ ⊢ t : T`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] if the term violates any typing rule of Fig. 4
+    /// (including the well-formedness side conditions of the process types it
+    /// constructs).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dbt_types::{Checker, TypeEnv};
+    /// use lambdapi::{Term, Type};
+    ///
+    /// let checker = Checker::new();
+    /// let env = TypeEnv::new().bind("c", Type::chan_io(Type::Int));
+    /// // Γ ⊢ send(c, 42, λ_.end) : o[c, int, Π(_:())nil]
+    /// let t = Term::send(Term::var("c"), Term::int(42), Term::thunk(Term::End));
+    /// let ty = checker.type_of(&env, &t).unwrap();
+    /// assert_eq!(
+    ///     ty,
+    ///     Type::out(Type::var("c"), Type::Int, Type::thunk(Type::Nil))
+    /// );
+    /// ```
+    pub fn type_of(&self, env: &TypeEnv, t: &Term) -> TypeResult<Type> {
+        match t {
+            // [t-x]: the most precise type of a variable is the variable itself.
+            Term::Var(x) => {
+                if env.contains(x) {
+                    Ok(Type::Var(x.clone()))
+                } else {
+                    Err(TypeError::UnboundVariable(x.clone()))
+                }
+            }
+
+            Term::Val(v) => self.type_of_value(env, v),
+
+            // [t-¬]
+            Term::Not(inner) => {
+                let ti = self.type_of(env, inner)?;
+                self.require_subtype(env, &ti, &Type::Bool)?;
+                Ok(Type::Bool)
+            }
+
+            // [t-if]: the result is the union of the branch types, which must
+            // be of the same kind (both value types or both π-types).
+            Term::If(cond, then_branch, else_branch) => {
+                let tc = self.type_of(env, cond)?;
+                self.require_subtype(env, &tc, &Type::Bool)?;
+                let tt = self.type_of(env, then_branch)?;
+                let te = self.type_of(env, else_branch)?;
+                let kt = self.classify(env, &tt)?;
+                let ke = self.classify(env, &te)?;
+                if kt != ke {
+                    return Err(TypeError::MixedUnionKinds(tt, te));
+                }
+                if tt == te {
+                    Ok(tt)
+                } else {
+                    Ok(Type::union(tt, te))
+                }
+            }
+
+            // Routine extension: primitive operators.
+            Term::BinOp(op, a, b) => {
+                let ta = self.type_of(env, a)?;
+                let tb = self.type_of(env, b)?;
+                match op {
+                    BinOp::Add | BinOp::Sub => {
+                        self.require_subtype(env, &ta, &Type::Int)?;
+                        self.require_subtype(env, &tb, &Type::Int)?;
+                        Ok(Type::Int)
+                    }
+                    BinOp::Gt => {
+                        self.require_subtype(env, &ta, &Type::Int)?;
+                        self.require_subtype(env, &tb, &Type::Int)?;
+                        Ok(Type::Bool)
+                    }
+                    BinOp::Eq => {
+                        let base = Type::union_all([Type::Int, Type::Bool, Type::Str, Type::Unit]);
+                        self.require_subtype(env, &ta, &base)?;
+                        self.require_subtype(env, &tb, &base)?;
+                        Ok(Type::Bool)
+                    }
+                }
+            }
+
+            // [t-let]: Γ,x:U ⊢ t : U'   Γ,x:U ⊢ t' : T   Γ ⊢ U' ⩽ U
+            //          ⇒ let x:U = t in t' : T{U'/x}
+            Term::Let(x, annot, bound, body) => {
+                self.check_type(env, annot)?;
+                let env2 = env.bind(x.clone(), annot.clone());
+                let bound_ty = self.type_of(&env2, bound)?;
+                self.require_subtype(&env2, &bound_ty, annot)?;
+                let body_ty = self.type_of(&env2, body)?;
+                Ok(body_ty.subst_var(x, &bound_ty))
+            }
+
+            // [t-app]: Γ ⊢ t1 : Π(x:U)T   Γ ⊢ t2 : U'   Γ ⊢ U' ⩽ U
+            //          ⇒ t1 t2 : T{U'/x}
+            Term::App(f, a) => {
+                let tf = self.type_of(env, f)?;
+                let (x, dom, body) = self
+                    .resolve_pi(env, &tf)
+                    .ok_or_else(|| TypeError::NotAFunction((**f).clone(), tf.clone()))?;
+                let ta = self.type_of(env, a)?;
+                self.require_subtype(env, &ta, &dom)?;
+                Ok(body.subst_var(&x, &ta))
+            }
+
+            // [t-chan]
+            Term::Chan(payload) => {
+                self.check_type(env, payload)?;
+                Ok(Type::chan_io(payload.clone()))
+            }
+
+            // [t-end]
+            Term::End => Ok(Type::Nil),
+
+            // [t-send]: the resulting o[S,T,U] must be a well-formed π-type.
+            Term::Send(chan, payload, cont) => {
+                let s = self.type_of(env, chan)?;
+                let p = self.type_of(env, payload)?;
+                let k = self.type_of(env, cont)?;
+                let out = Type::out(s, p, k);
+                self.check_pi_type(env, &out)
+                    .map_err(|e| self.explain_send(t, e))?;
+                Ok(out)
+            }
+
+            // [t-recv]: the resulting i[S,T] must be a well-formed π-type.
+            Term::Recv(chan, cont) => {
+                let s = self.type_of(env, chan)?;
+                let k = self.type_of(env, cont)?;
+                let inp = Type::inp(s, k);
+                self.check_pi_type(env, &inp)
+                    .map_err(|e| self.explain_recv(t, e))?;
+                Ok(inp)
+            }
+
+            // [t-||]
+            Term::Par(a, b) => {
+                let ta = self.type_of(env, a)?;
+                let tb = self.type_of(env, b)?;
+                let par = Type::par(ta, tb);
+                self.check_pi_type(env, &par)?;
+                Ok(par)
+            }
+        }
+    }
+
+    fn type_of_value(&self, env: &TypeEnv, v: &Value) -> TypeResult<Type> {
+        match v {
+            // [t-B]
+            Value::Bool(_) => Ok(Type::Bool),
+            Value::Int(_) => Ok(Type::Int),
+            Value::Str(_) => Ok(Type::Str),
+            // [t-()]
+            Value::Unit => Ok(Type::Unit),
+            // [t-C]
+            Value::Chan(_, payload) => {
+                self.check_type(env, payload)?;
+                Ok(Type::chan_io(payload.clone()))
+            }
+            // [t-λ]
+            Value::Lambda(x, dom, body) => {
+                let kind = self.classify(env, dom)?;
+                if kind == TypeKind::Process {
+                    return Err(TypeError::Other(format!(
+                        "function argument {x} is annotated with the π-type {dom}"
+                    )));
+                }
+                let env2 = env.bind(x.clone(), dom.clone());
+                let body_ty = self.type_of(&env2, body)?;
+                Ok(Type::pi(x.clone(), dom.clone(), body_ty))
+            }
+            Value::Err => Err(TypeError::ErrValueNotTypable),
+        }
+    }
+
+    /// Checks `Γ ⊢ t : T` by synthesising a type and applying subsumption
+    /// ([t-⩽]): the synthesised type must be a subtype of `T`.
+    pub fn check_term(&self, env: &TypeEnv, t: &Term, expected: &Type) -> TypeResult<()> {
+        let actual = self.type_of(env, t)?;
+        self.require_subtype(env, &actual, expected)
+    }
+
+    /// Convenience: type a closed term in the empty environment.
+    pub fn type_of_closed(&self, t: &Term) -> TypeResult<Type> {
+        self.type_of(&TypeEnv::new(), t)
+    }
+
+    fn require_subtype(&self, env: &TypeEnv, sub: &Type, sup: &Type) -> TypeResult<()> {
+        if self.is_subtype(env, sub, sup) {
+            Ok(())
+        } else {
+            Err(TypeError::NotASubtype(sub.clone(), sup.clone()))
+        }
+    }
+
+    fn explain_send(&self, t: &Term, inner: TypeError) -> TypeError {
+        TypeError::Other(format!("ill-typed output {t}: {inner}"))
+    }
+
+    fn explain_recv(&self, t: &Term, inner: TypeError) -> TypeError {
+        TypeError::Other(format!("ill-typed input {t}: {inner}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambdapi::examples;
+    use lambdapi::Reducer;
+
+    fn checker() -> Checker {
+        Checker::new()
+    }
+
+    #[test]
+    fn literals_and_variables() {
+        let c = checker();
+        let env = TypeEnv::new().bind("x", Type::Int);
+        assert_eq!(c.type_of(&env, &Term::bool(true)).unwrap(), Type::Bool);
+        assert_eq!(c.type_of(&env, &Term::int(3)).unwrap(), Type::Int);
+        assert_eq!(c.type_of(&env, &Term::str("hi")).unwrap(), Type::Str);
+        assert_eq!(c.type_of(&env, &Term::unit()).unwrap(), Type::Unit);
+        // [t-x]: the type of x is x itself.
+        assert_eq!(c.type_of(&env, &Term::var("x")).unwrap(), Type::var("x"));
+        assert!(c.type_of(&env, &Term::var("nope")).is_err());
+        assert!(c.type_of(&env, &Term::err()).is_err());
+    }
+
+    #[test]
+    fn subsumption_promotes_variables_to_their_declared_type() {
+        let c = checker();
+        let env = TypeEnv::new().bind("x", Type::Int);
+        // Γ ⊢ x : int holds via [t-x] + [⩽-x] + [t-⩽].
+        assert!(c.check_term(&env, &Term::var("x"), &Type::Int).is_ok());
+        assert!(c.check_term(&env, &Term::var("x"), &Type::Bool).is_err());
+    }
+
+    #[test]
+    fn conditional_types_are_unions() {
+        let c = checker();
+        let env = TypeEnv::new();
+        let t = Term::ite(Term::bool(true), Term::int(1), Term::str("x"));
+        assert_eq!(
+            c.type_of(&env, &t).unwrap(),
+            Type::union(Type::Int, Type::Str)
+        );
+        // Branches of different kinds (value vs process) are rejected.
+        let bad = Term::ite(Term::bool(true), Term::int(1), Term::End);
+        assert!(c.type_of(&env, &bad).is_err());
+        // Non-boolean condition is rejected.
+        let bad2 = Term::ite(Term::int(1), Term::End, Term::End);
+        assert!(c.type_of(&env, &bad2).is_err());
+    }
+
+    #[test]
+    fn dependent_application_substitutes_the_argument_variable() {
+        let c = checker();
+        let env = TypeEnv::new()
+            .bind("y", Type::chan_io(Type::Str))
+            .bind("z", Type::chan_io(Type::chan_out(Type::Str)));
+        // pinger y z : o[z, y, Π()i[y, Π(reply:str)nil]]  — note the variables!
+        let t = Term::app_all(examples::pinger_term(), [Term::var("y"), Term::var("z")]);
+        let ty = c.type_of(&env, &t).unwrap();
+        let expected = examples::tping_type()
+            .apply_all(&[Type::var("y"), Type::var("z")])
+            .unwrap();
+        assert_eq!(ty, expected);
+    }
+
+    #[test]
+    fn pinger_and_ponger_have_their_example_3_3_types() {
+        let c = checker();
+        let env = TypeEnv::new();
+        assert!(c
+            .check_term(&env, &examples::pinger_term(), &examples::tping_type())
+            .is_ok());
+        assert!(c
+            .check_term(&env, &examples::ponger_term(), &examples::tpong_type())
+            .is_ok());
+    }
+
+    #[test]
+    fn open_ping_pong_composition_is_typable_as_in_example_4_3() {
+        let c = checker();
+        let env = TypeEnv::new()
+            .bind("y", Type::chan_io(Type::Str))
+            .bind("z", Type::chan_io(Type::chan_out(Type::Str)));
+        let (term, ty) = examples::ping_pong_open();
+        assert!(c.check_term(&env, &term, &ty).is_ok());
+    }
+
+    #[test]
+    fn closed_ping_pong_main_is_typable() {
+        let c = checker();
+        let ty = c.type_of_closed(&examples::ping_pong_main()).unwrap();
+        // The result is a parallel process type (its components have lost the
+        // precision of y/z, per Ex. 3.5's discussion of bound channels).
+        assert!(c.check_pi_type(&TypeEnv::new(), &ty).is_ok());
+    }
+
+    #[test]
+    fn payment_service_checks_against_its_specification() {
+        let c = checker();
+        let env = TypeEnv::new();
+        assert!(c
+            .check_term(&env, &examples::payment_term(), &examples::tpayment_type())
+            .is_ok());
+    }
+
+    #[test]
+    fn forgetting_the_audit_step_is_a_type_error() {
+        let c = checker();
+        let env = TypeEnv::new();
+        // A payment loop that answers "Accepted" (the unit reply) without
+        // auditing first: the §1 "line 7 forgotten" bug.
+        let buggy = {
+            let loop_body = Term::lam(
+                "self",
+                Type::chan_io(Type::Int),
+                Term::lam(
+                    "aud",
+                    Type::chan_out(Type::Int),
+                    Term::lam(
+                        "client",
+                        examples::reply_channel_type(),
+                        Term::recv(
+                            Term::var("self"),
+                            Term::lam(
+                                "pay",
+                                Type::Int,
+                                Term::send(
+                                    Term::var("client"),
+                                    Term::unit(),
+                                    Term::thunk(Term::app_all(
+                                        Term::var("payment"),
+                                        [
+                                            Term::var("self"),
+                                            Term::var("aud"),
+                                            Term::var("client"),
+                                        ],
+                                    )),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            );
+            Term::let_(
+                "payment",
+                examples::tpayment_unaudited_type(),
+                loop_body,
+                Term::var("payment"),
+            )
+        };
+        // It does not implement the audited specification...
+        assert!(c
+            .check_term(&env, &buggy, &examples::tpayment_type())
+            .is_err());
+        // ...but it does implement the weaker, unaudited one.
+        assert!(c
+            .check_term(&env, &buggy, &examples::tpayment_unaudited_type())
+            .is_ok());
+    }
+
+    #[test]
+    fn mobile_code_m2_implements_tm() {
+        let c = checker();
+        let env = TypeEnv::new();
+        assert!(c
+            .check_term(&env, &examples::m2_term(), &examples::tm_type())
+            .is_ok());
+    }
+
+    #[test]
+    fn mobile_code_cannot_send_constants_not_received_from_inputs() {
+        let c = checker();
+        let env = TypeEnv::new();
+        // A "forged" filter that always outputs 42: its payload type int is not
+        // a subtype of x ∨ y, so it does not implement Tm (Ex. 4.11).
+        let forged_body = Term::lam(
+            "i1",
+            Type::chan_in(Type::Int),
+            Term::lam(
+                "i2",
+                Type::chan_in(Type::Int),
+                Term::lam(
+                    "o",
+                    Type::chan_out(Type::Int),
+                    Term::recv(
+                        Term::var("i1"),
+                        Term::lam(
+                            "x",
+                            Type::Int,
+                            Term::recv(
+                                Term::var("i2"),
+                                Term::lam(
+                                    "y",
+                                    Type::Int,
+                                    Term::send(
+                                        Term::var("o"),
+                                        Term::int(42),
+                                        Term::thunk(Term::app_all(
+                                            Term::var("forged"),
+                                            [Term::var("i1"), Term::var("i2"), Term::var("o")],
+                                        )),
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        );
+        let forged = Term::let_(
+            "forged",
+            examples::tm_type(),
+            forged_body,
+            Term::var("forged"),
+        );
+        assert!(c.check_term(&env, &forged, &examples::tm_type()).is_err());
+    }
+
+    #[test]
+    fn sending_on_the_wrong_channel_or_payload_is_rejected() {
+        let c = checker();
+        let env = TypeEnv::new()
+            .bind("c", Type::chan_io(Type::Int))
+            .bind("d", Type::chan_in(Type::Int));
+        // Wrong payload type.
+        let bad_payload = Term::send(Term::var("c"), Term::str("oops"), Term::thunk(Term::End));
+        assert!(c.type_of(&env, &bad_payload).is_err());
+        // Output on an input-only channel.
+        let bad_cap = Term::send(Term::var("d"), Term::int(1), Term::thunk(Term::End));
+        assert!(c.type_of(&env, &bad_cap).is_err());
+        // Receiving with a continuation whose domain does not cover the payload.
+        let bad_recv = Term::recv(Term::var("c"), Term::lam("v", Type::Bool, Term::End));
+        assert!(c.type_of(&env, &bad_recv).is_err());
+        // Well-typed versions for contrast.
+        let ok = Term::send(Term::var("c"), Term::int(1), Term::thunk(Term::End));
+        assert!(c.type_of(&env, &ok).is_ok());
+    }
+
+    #[test]
+    fn parallel_composition_requires_process_components() {
+        let c = checker();
+        let env = TypeEnv::new().bind("c", Type::chan_io(Type::Int));
+        let ok = Term::par(
+            Term::send(Term::var("c"), Term::int(1), Term::thunk(Term::End)),
+            Term::recv(Term::var("c"), Term::lam("v", Type::Int, Term::End)),
+        );
+        let ty = c.type_of(&env, &ok).unwrap();
+        assert!(matches!(ty, Type::Par(..)));
+        // Example 3.5's T1: the precise type mentioning x twice.
+        let bad = Term::par(Term::int(3), Term::End);
+        assert!(c.type_of(&env, &bad).is_err());
+    }
+
+    #[test]
+    fn example_3_5_precision_loss_for_bound_channels() {
+        let c = checker();
+        let env = TypeEnv::new().bind("x", Type::chan_io(Type::Int));
+        // t2 = (let z = chan() in send(z, 42, λ_.end)) || recv(x, λ_.end)
+        let t2 = Term::par(
+            Term::let_(
+                "z",
+                Type::chan_io(Type::Int),
+                Term::chan(Type::Int),
+                Term::send(Term::var("z"), Term::int(42), Term::thunk(Term::End)),
+            ),
+            Term::recv(Term::var("x"), Term::lam("y", Type::Int, Term::End)),
+        );
+        let ty = c.type_of(&env, &t2).unwrap();
+        // The left component's subject can only be typed as cio[int] — the
+        // bound z cannot escape into the type.
+        let t2_expected = Type::par(
+            Type::out(Type::chan_io(Type::Int), Type::Int, Type::thunk(Type::Nil)),
+            Type::inp(Type::var("x"), Type::pi("y", Type::Int, Type::Nil)),
+        );
+        assert!(c.is_subtype(&env, &ty, &t2_expected));
+        assert!(!ty.free_vars().contains(&lambdapi::Name::new("z")));
+    }
+
+    #[test]
+    fn subject_reduction_smoke_test_on_ping_pong() {
+        // Theorem 3.6 / 4.4: every reduct of a well-typed closed term is
+        // well-typed (for some type). We check the first steps of the closed
+        // ping-pong system.
+        let c = checker();
+        let r = Reducer::new();
+        let mut t = examples::ping_pong_main();
+        assert!(c.type_of_closed(&t).is_ok());
+        for _ in 0..40 {
+            match r.step(&t) {
+                Some((next, _)) => {
+                    assert!(
+                        c.type_of_closed(&next).is_ok(),
+                        "reduct became untypable: {next}"
+                    );
+                    t = next;
+                }
+                None => break,
+            }
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! The validity judgements of Fig. 4: `⊢ Γ env`, `Γ ⊢ T type`,
+//! `Γ ⊢ T π-type` and the combined `Γ ⊢ T *-type`.
+
+use lambdapi::Type;
+
+use crate::env::TypeEnv;
+use crate::error::{TypeError, TypeResult};
+use crate::Checker;
+
+/// The "kind" of a valid type: an ordinary value type or a process (π) type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TypeKind {
+    /// `Γ ⊢ T type`
+    Value,
+    /// `Γ ⊢ T π-type`
+    Process,
+}
+
+impl Checker {
+    /// Checks `⊢ Γ env`: every type in the environment must be a valid
+    /// (non-π) type — rule [Γ-x] forbids binding variables to π-types.
+    pub fn check_env(&self, env: &TypeEnv) -> TypeResult<()> {
+        for (x, t) in env.iter() {
+            match self.classify(env, t)? {
+                TypeKind::Value => {}
+                TypeKind::Process => {
+                    return Err(TypeError::Other(format!(
+                        "environment binds {x} to the π-type {t}, which rule [Γ-x] forbids"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks `Γ ⊢ T type` (valid ordinary type).
+    pub fn check_type(&self, env: &TypeEnv, t: &Type) -> TypeResult<()> {
+        match self.classify(env, t)? {
+            TypeKind::Value => Ok(()),
+            TypeKind::Process => Err(TypeError::NotAValueType(t.clone())),
+        }
+    }
+
+    /// Checks `Γ ⊢ T π-type` (valid process type).
+    pub fn check_pi_type(&self, env: &TypeEnv, t: &Type) -> TypeResult<()> {
+        match self.classify(env, t)? {
+            TypeKind::Process => Ok(()),
+            TypeKind::Value => Err(TypeError::NotAProcessType(t.clone())),
+        }
+    }
+
+    /// Checks `Γ ⊢ T *-type` (valid type of either kind) and returns its kind.
+    pub fn classify(&self, env: &TypeEnv, t: &Type) -> TypeResult<TypeKind> {
+        self.classify_inner(env, t, 0)
+    }
+
+    fn classify_inner(&self, env: &TypeEnv, t: &Type, depth: usize) -> TypeResult<TypeKind> {
+        if depth > self.max_depth {
+            return Err(TypeError::InvalidType(
+                t.clone(),
+                "type exceeds the checker's nesting limit".into(),
+            ));
+        }
+        match t {
+            // [T-base]
+            Type::Bool | Type::Unit | Type::Int | Type::Str | Type::Top | Type::Bottom => {
+                Ok(TypeKind::Value)
+            }
+            // [T-x]
+            Type::Var(x) => {
+                if env.contains(x) {
+                    Ok(TypeKind::Value)
+                } else {
+                    Err(TypeError::InvalidType(
+                        t.clone(),
+                        format!("variable {x} is not bound in the environment"),
+                    ))
+                }
+            }
+            // Recursion variables stand for the enclosing µ-type; we treat them
+            // as valid placeholders of either kind (their kind is fixed by the
+            // µ rule that checks the whole body).
+            Type::RecVar(_) => Ok(TypeKind::Process),
+            // [T-Π] / [Tπ-Π]: a dependent function type is always an ordinary
+            // type; its body may be of either kind.
+            Type::Pi(x, dom, body) => {
+                let dom_kind = self.classify_inner(env, dom, depth + 1)?;
+                if dom_kind == TypeKind::Process {
+                    return Err(TypeError::Other(format!(
+                        "the domain of {t} is a π-type; function arguments cannot be π-typed"
+                    )));
+                }
+                let env2 = env.bind(x.clone(), (**dom).clone());
+                self.classify_inner(&env2, body, depth + 1)?;
+                Ok(TypeKind::Value)
+            }
+            // [T-µ] / [π-µ]
+            Type::Rec(x, body) => {
+                if !t.is_contractive() || !t.rec_body_is_not_union_with_var() {
+                    return Err(TypeError::NotContractive(t.clone()));
+                }
+                // The paper also requires x ∉ fv⁻(T); recursion variables in
+                // our representation never occur in Π-domains of well-formed
+                // protocol types, but we check the analogous condition for the
+                // bound name used as a term variable, if any.
+                if !body.not_in_negative_position(x) {
+                    return Err(TypeError::InvalidType(
+                        t.clone(),
+                        format!("recursion variable {x} occurs in negative position"),
+                    ));
+                }
+                self.classify_inner(env, body, depth + 1)
+            }
+            // [T-∨] / [π-∨]: both branches must have the same kind.
+            Type::Union(a, b) => {
+                let ka = self.classify_inner(env, a, depth + 1)?;
+                let kb = self.classify_inner(env, b, depth + 1)?;
+                if ka == kb {
+                    Ok(ka)
+                } else {
+                    Err(TypeError::MixedUnionKinds((**a).clone(), (**b).clone()))
+                }
+            }
+            // [T-c]
+            Type::ChanIO(p) | Type::ChanIn(p) | Type::ChanOut(p) => {
+                let k = self.classify_inner(env, p, depth + 1)?;
+                if k == TypeKind::Process {
+                    return Err(TypeError::Other(format!(
+                        "channel payload {p} is a π-type; channels carry values, not processes"
+                    )));
+                }
+                Ok(TypeKind::Value)
+            }
+            // [π-base]
+            Type::Proc | Type::Nil => Ok(TypeKind::Process),
+            // [π-o]: o[S,T,U] with S ⩽ co[To], T ⩽ To, U a process thunk.
+            Type::Out(s, payload, cont) => {
+                let (cap, to) = self.resolve_channel(env, s).ok_or_else(|| {
+                    TypeError::InvalidType(
+                        t.clone(),
+                        format!("output subject {s} is not a channel type"),
+                    )
+                })?;
+                if !cap.can_output() {
+                    return Err(TypeError::InvalidType(
+                        t.clone(),
+                        format!("output subject {s} has no output capability"),
+                    ));
+                }
+                if !self.is_subtype(env, payload, &to) {
+                    return Err(TypeError::NotASubtype((**payload).clone(), to));
+                }
+                self.check_out_continuation(env, cont, depth)?;
+                Ok(TypeKind::Process)
+            }
+            // [π-i]: i[S, Π(x:T)U] with S ⩽ ci[Ti], Ti ⩽ T, U a π-type.
+            Type::In(s, cont) => {
+                let (cap, ti) = self.resolve_channel(env, s).ok_or_else(|| {
+                    TypeError::InvalidType(
+                        t.clone(),
+                        format!("input subject {s} is not a channel type"),
+                    )
+                })?;
+                if !cap.can_input() {
+                    return Err(TypeError::InvalidType(
+                        t.clone(),
+                        format!("input subject {s} has no input capability"),
+                    ));
+                }
+                match self.resolve_pi(env, cont) {
+                    Some((x, dom, body)) => {
+                        if !self.is_subtype(env, &ti, &dom) {
+                            return Err(TypeError::NotASubtype(ti, dom));
+                        }
+                        let env2 = env.bind(x, dom);
+                        let k = self.classify_inner(&env2, &body, depth + 1)?;
+                        if k != TypeKind::Process {
+                            return Err(TypeError::NotAProcessType(body));
+                        }
+                        Ok(TypeKind::Process)
+                    }
+                    None => Err(TypeError::InvalidType(
+                        t.clone(),
+                        format!("input continuation {cont} is not a dependent function type"),
+                    )),
+                }
+            }
+            // [π-p]
+            Type::Par(a, b) => {
+                let ka = self.classify_inner(env, a, depth + 1)?;
+                let kb = self.classify_inner(env, b, depth + 1)?;
+                if ka == TypeKind::Process && kb == TypeKind::Process {
+                    Ok(TypeKind::Process)
+                } else {
+                    Err(TypeError::NotAProcessType(t.clone()))
+                }
+            }
+        }
+    }
+
+    /// Checks the continuation `U` of an output type `o[S,T,U]`: per [π-o] it
+    /// must be a process thunk `Π()U'` with `U'` a π-type. We also accept a
+    /// bare π-type, matching the notational shortcut used in the paper's
+    /// examples (Ex. 3.3 writes `o[pongc, self, i[...]]`).
+    fn check_out_continuation(&self, env: &TypeEnv, cont: &Type, depth: usize) -> TypeResult<()> {
+        match self.resolve_pi(env, cont) {
+            Some((x, dom, body)) => {
+                let env2 = env.bind(x, dom);
+                let k = self.classify_inner(&env2, &body, depth + 1)?;
+                if k == TypeKind::Process {
+                    Ok(())
+                } else {
+                    Err(TypeError::NotAProcessType(body))
+                }
+            }
+            None => {
+                let k = self.classify_inner(env, cont, depth + 1)?;
+                if k == TypeKind::Process {
+                    Ok(())
+                } else {
+                    Err(TypeError::NotAProcessType(cont.clone()))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambdapi::examples;
+
+    fn checker() -> Checker {
+        Checker::new()
+    }
+
+    #[test]
+    fn base_types_are_valid_value_types() {
+        let c = checker();
+        let env = TypeEnv::new();
+        for t in [Type::Bool, Type::Unit, Type::Int, Type::Str, Type::Top, Type::Bottom] {
+            assert_eq!(c.classify(&env, &t).unwrap(), TypeKind::Value);
+        }
+    }
+
+    #[test]
+    fn variables_must_be_bound() {
+        let c = checker();
+        assert!(c.check_type(&TypeEnv::new(), &Type::var("x")).is_err());
+        let env = TypeEnv::new().bind("x", Type::Int);
+        assert!(c.check_type(&env, &Type::var("x")).is_ok());
+    }
+
+    #[test]
+    fn environments_may_not_bind_pi_types() {
+        let c = checker();
+        let ok = TypeEnv::new().bind("x", Type::chan_io(Type::Int));
+        assert!(c.check_env(&ok).is_ok());
+        let bad = TypeEnv::new().bind("p", Type::Nil);
+        assert!(c.check_env(&bad).is_err());
+    }
+
+    #[test]
+    fn output_types_check_subject_capability_and_payload() {
+        let c = checker();
+        let env = TypeEnv::new()
+            .bind("x", Type::chan_io(Type::Int))
+            .bind("r", Type::chan_in(Type::Int));
+        let good = Type::out(Type::var("x"), Type::Int, Type::thunk(Type::Nil));
+        assert_eq!(c.classify(&env, &good).unwrap(), TypeKind::Process);
+        // Payload not a subtype of the channel's payload type.
+        let bad_payload = Type::out(Type::var("x"), Type::Str, Type::thunk(Type::Nil));
+        assert!(c.check_pi_type(&env, &bad_payload).is_err());
+        // Input-only channel used for output.
+        let bad_cap = Type::out(Type::var("r"), Type::Int, Type::thunk(Type::Nil));
+        assert!(c.check_pi_type(&env, &bad_cap).is_err());
+        // Non-channel subject.
+        let bad_subject = Type::out(Type::Bool, Type::Int, Type::thunk(Type::Nil));
+        assert!(c.check_pi_type(&env, &bad_subject).is_err());
+    }
+
+    #[test]
+    fn input_types_check_continuation_domain() {
+        let c = checker();
+        let env = TypeEnv::new().bind("x", Type::chan_io(Type::Int));
+        let good = Type::inp(Type::var("x"), Type::pi("v", Type::Int, Type::Nil));
+        assert_eq!(c.classify(&env, &good).unwrap(), TypeKind::Process);
+        // The channel's payload (int) must be a subtype of the binder domain.
+        let bad = Type::inp(Type::var("x"), Type::pi("v", Type::Bool, Type::Nil));
+        assert!(c.check_pi_type(&env, &bad).is_err());
+        // Continuation must be a function type.
+        let bad2 = Type::inp(Type::var("x"), Type::Nil);
+        assert!(c.check_pi_type(&env, &bad2).is_err());
+    }
+
+    #[test]
+    fn union_kinds_may_not_be_mixed() {
+        let c = checker();
+        let env = TypeEnv::new();
+        assert!(c.classify(&env, &Type::union(Type::Bool, Type::Int)).is_ok());
+        assert!(c.classify(&env, &Type::union(Type::Nil, Type::Nil)).is_ok());
+        assert!(c.classify(&env, &Type::union(Type::Bool, Type::Nil)).is_err());
+    }
+
+    #[test]
+    fn non_contractive_recursion_is_rejected() {
+        let c = checker();
+        let env = TypeEnv::new();
+        assert!(c.classify(&env, &Type::rec("t", Type::rec_var("t"))).is_err());
+    }
+
+    #[test]
+    fn paper_example_types_are_valid() {
+        let c = checker();
+        let env = TypeEnv::new();
+        assert!(c.check_type(&env, &examples::tping_type()).is_ok());
+        assert!(c.check_type(&env, &examples::tpong_type()).is_ok());
+        assert!(c.check_type(&env, &examples::tpp_type()).is_ok());
+        assert!(c.check_type(&env, &examples::tm_type()).is_ok());
+        assert!(c.check_type(&env, &examples::tpayment_type()).is_ok());
+        // The open composition Tpp y z is a valid π-type in y, z's environment.
+        let open_env = TypeEnv::new()
+            .bind("y", Type::chan_io(Type::Str))
+            .bind("z", Type::chan_io(Type::chan_out(Type::Str)));
+        let applied = examples::tpp_type()
+            .apply_all(&[Type::var("y"), Type::var("z")])
+            .unwrap();
+        assert!(c.check_pi_type(&open_env, &applied).is_ok());
+    }
+
+    #[test]
+    fn channel_payloads_may_not_be_processes() {
+        let c = checker();
+        let env = TypeEnv::new();
+        assert!(c.check_type(&env, &Type::chan_io(Type::Nil)).is_err());
+        // ... but may be (dependent function) abstractions of processes, as in
+        // the mobile-code channel ci[Tm].
+        assert!(c
+            .check_type(&env, &Type::chan_in(examples::tm_type()))
+            .is_ok());
+    }
+}

@@ -1,0 +1,125 @@
+//! `effpi-cli` — type-check and verify λπ⩽ protocol specifications from the
+//! command line (the stand-alone counterpart of the Dotty compiler plugin of
+//! §5.1).
+//!
+//! ```text
+//! effpi-cli verify    <spec.effpi> [--max-states N]   # run every `check` in the spec
+//! effpi-cli typecheck <spec.effpi>                    # only check `term` against `type`
+//! effpi-cli lts       <spec.effpi> [--max-states N]   # report the type LTS size
+//! effpi-cli parse     <spec.effpi>                    # echo the parsed type back
+//! ```
+//!
+//! Sample specifications live in `examples/specs/`.
+
+use std::process::ExitCode;
+
+use effpi::spec::{parse_spec, run_spec};
+use effpi::Verifier;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let Some(path) = args.get(1) else {
+        eprintln!("missing specification file\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let max_states = flag_value(&args, "--max-states").unwrap_or(500_000);
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let spec = match parse_spec(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match command.as_str() {
+        "verify" => {
+            let report = run_spec(&spec, max_states);
+            print!("{report}");
+            if report.all_ok() {
+                println!("result: all checks passed");
+                ExitCode::SUCCESS
+            } else {
+                println!("result: some checks failed");
+                ExitCode::FAILURE
+            }
+        }
+        "typecheck" => {
+            let mut typing_only = spec.clone();
+            typing_only.checks.clear();
+            let report = run_spec(&typing_only, 1);
+            match report.typecheck {
+                Some(Ok(())) => {
+                    println!("typecheck: ok");
+                    ExitCode::SUCCESS
+                }
+                Some(Err(e)) => {
+                    println!("typecheck: FAILED — {e}");
+                    ExitCode::FAILURE
+                }
+                None => {
+                    println!("nothing to typecheck (no `term` statement)");
+                    ExitCode::SUCCESS
+                }
+            }
+        }
+        "lts" => {
+            let Some(ty) = &spec.ty else {
+                eprintln!("the specification has no `type` statement");
+                return ExitCode::from(2);
+            };
+            // Build the LTS the same way the verifier would (probes included).
+            let mut verifier = Verifier::with_max_states(max_states);
+            verifier.visible = Some(spec.visible.clone());
+            match verifier.build_lts(&spec.env, ty) {
+                Ok((_, lts)) => {
+                    println!(
+                        "states: {}  transitions: {}  truncated: {}",
+                        lts.num_states(),
+                        lts.num_transitions(),
+                        lts.is_truncated()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("could not build the LTS: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "parse" => {
+            match &spec.ty {
+                Some(ty) => println!("type: {ty}"),
+                None => println!("type: (none)"),
+            }
+            if let Some(term) = &spec.term {
+                println!("term: {term}");
+            }
+            println!("environment: {}", spec.env);
+            println!("checks: {}", spec.checks.len());
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<usize> {
+    let idx = args.iter().position(|a| a == flag)?;
+    args.get(idx + 1)?.parse().ok()
+}
+
+const USAGE: &str = "usage: effpi-cli <verify|typecheck|lts|parse> <spec.effpi> [--max-states N]";

@@ -1,0 +1,137 @@
+//! # effpi — dependent behavioural types for message-passing programs
+//!
+//! This crate is the front door of the repository: a Rust reproduction of
+//! **Effpi**, the toolkit of *"Verifying Message-Passing Programs with
+//! Dependent Behavioural Types"* (Scalas, Yoshida, Benussi — PLDI 2019).
+//! It ties together the four layers built in the sibling crates and adds the
+//! protocol library used by the paper's examples and evaluation:
+//!
+//! | layer | crate | paper section |
+//! |---|---|---|
+//! | λπ⩽ calculus (terms, reduction) | [`lambdapi`] | §2 |
+//! | dependent behavioural type system | [`dbt_types`] | §3 |
+//! | term/type transition semantics | [`lts`] | §4 (Defs. 4.1, 4.2) |
+//! | type-level model checking | [`mucalc`] | §4 (Fig. 7, Thm. 4.10) |
+//! | Effpi-style runtime + Savina workloads | [`runtime`] | §5 |
+//! | protocol library & Fig. 9 scenarios | [`protocols`] | §1, §5.2 |
+//!
+//! ## The two-step method, in code
+//!
+//! **Step 1 — enforce the protocol at compile time.** A program (a λπ⩽ term)
+//! is checked against a behavioural type with [`implements`]:
+//!
+//! ```
+//! use effpi::implements;
+//! use lambdapi::examples;
+//!
+//! // The Fig. 1 payment service implements its audited specification...
+//! implements(&examples::payment_term(), &examples::tpayment_type()).unwrap();
+//! // ...but not vice versa: the unaudited spec is not enough to conclude the
+//! // audited behaviour.
+//! assert!(implements(&examples::payment_term(), &examples::tm_type()).is_err());
+//! ```
+//!
+//! **Step 2 — verify safety/liveness of the protocol itself** (and hence, by
+//! Thm. 4.10, of every program implementing it) with [`verify`]:
+//!
+//! ```
+//! use effpi::{verify, Property};
+//! use effpi::protocols::payment;
+//!
+//! let scenario = payment::payment_with_clients(2);
+//! let outcome = scenario
+//!     .run_property(&Property::responsive("self"), 50_000)
+//!     .unwrap();
+//! assert!(outcome.holds); // every payment request gets an answer
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocols;
+pub mod spec;
+
+pub use dbt_types::{Checker, TypeEnv, TypeError, TypeResult};
+pub use lambdapi::{BaseRule, EvalResult, Name, Reducer, Term, Type, Value};
+pub use lts::{TermLts, TypeLabel, TypeLts};
+pub use mucalc::{Formula, LabelSet, Property, VerificationOutcome, Verifier, VerifyError};
+pub use runtime::{
+    forever, new_actor, ActorRef, ChanRef, EffpiRuntime, Mailbox, Msg, Policy, Proc, RunStats,
+    Scheduler, ThreadRuntime,
+};
+
+pub use protocols::Scenario;
+
+/// Checks that a closed λπ⩽ term implements the given behavioural type
+/// (`∅ ⊢ t : T`, Fig. 4) — the paper's Step 1.
+///
+/// # Errors
+///
+/// Returns the typing error if the term does not implement the type.
+pub fn implements(term: &Term, ty: &Type) -> TypeResult<()> {
+    let checker = Checker::new();
+    checker.check_term(&TypeEnv::new(), term, ty)
+}
+
+/// Checks that an *open* λπ⩽ term implements the given behavioural type in the
+/// given environment (`Γ ⊢ t : T`).
+///
+/// # Errors
+///
+/// Returns the typing error if the term does not implement the type.
+pub fn implements_in(env: &TypeEnv, term: &Term, ty: &Type) -> TypeResult<()> {
+    Checker::new().check_term(env, term, ty)
+}
+
+/// Verifies a behavioural property of a type (the paper's Step 2: type-level
+/// model checking, transferring to programs by Thm. 4.10).
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] if the type is outside the decidable fragment of
+/// Lemma 4.7 or its state space exceeds the default bound.
+pub fn verify(
+    env: &TypeEnv,
+    ty: &Type,
+    property: &Property,
+) -> Result<VerificationOutcome, VerifyError> {
+    Verifier::new().verify(env, ty, property)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambdapi::examples;
+
+    #[test]
+    fn implements_accepts_the_papers_examples() {
+        implements(&examples::pinger_term(), &examples::tping_type()).unwrap();
+        implements(&examples::ponger_term(), &examples::tpong_type()).unwrap();
+        implements(&examples::m2_term(), &examples::tm_type()).unwrap();
+    }
+
+    #[test]
+    fn implements_rejects_protocol_violations() {
+        // A pinger that forgets to wait for the reply does not implement Tping.
+        let lazy_pinger = Term::lam(
+            "self",
+            Type::chan_io(Type::Str),
+            Term::lam(
+                "pongc",
+                Type::chan_out(Type::chan_out(Type::Str)),
+                Term::send(Term::var("pongc"), Term::var("self"), Term::thunk(Term::End)),
+            ),
+        );
+        assert!(implements(&lazy_pinger, &examples::tping_type()).is_err());
+    }
+
+    #[test]
+    fn verify_decides_properties_of_open_protocol_types() {
+        let env = TypeEnv::new().bind("z", Type::chan_io(Type::chan_out(Type::Str)));
+        let ty = examples::tpong_type().apply(&Type::var("z")).unwrap();
+        let outcome = verify(&env, &ty, &Property::responsive("z")).unwrap();
+        assert!(outcome.holds);
+        let non_usage = verify(&env, &ty, &Property::non_usage(["z"])).unwrap();
+        assert!(non_usage.holds, "the ponger never writes on its own mailbox");
+    }
+}

@@ -1,0 +1,158 @@
+//! Dijkstra's dining philosophers as behavioural types — the locking/mutex
+//! protocol family mentioned in §6 and measured in Fig. 9.
+//!
+//! Each fork is a process that offers its token on a fork channel and then
+//! waits to get it back; each philosopher picks up two forks (by receiving
+//! their tokens), then puts them back (by sending), forever. When every
+//! philosopher grabs their left fork first, the classic circular wait can
+//! occur and the composition can deadlock; having one philosopher grab the
+//! right fork first breaks the cycle.
+
+use dbt_types::TypeEnv;
+use lambdapi::{Name, Type};
+
+use super::{standard_properties, Scenario};
+
+fn fork_chan(i: usize) -> String {
+    format!("fork{i}")
+}
+
+/// A fork on channel `chan`: offer the token, wait to get it back, repeat.
+pub fn fork_type(chan: &str) -> Type {
+    Type::rec(
+        "f",
+        Type::out(
+            Type::var(chan),
+            Type::Unit,
+            Type::thunk(Type::inp(
+                Type::var(chan),
+                Type::pi("back", Type::Unit, Type::rec_var("f")),
+            )),
+        ),
+    )
+}
+
+/// A philosopher picking up `first` then `second`, then releasing them in the
+/// same order, forever.
+pub fn philosopher_type(first: &str, second: &str) -> Type {
+    Type::rec(
+        "p",
+        Type::inp(
+            Type::var(first),
+            Type::pi(
+                "l",
+                Type::Unit,
+                Type::inp(
+                    Type::var(second),
+                    Type::pi(
+                        "r",
+                        Type::Unit,
+                        Type::out(
+                            Type::var(first),
+                            Type::Unit,
+                            Type::thunk(Type::out(
+                                Type::var(second),
+                                Type::Unit,
+                                Type::thunk(Type::rec_var("p")),
+                            )),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+/// Builds the dining-philosophers scenario with `n` philosophers and forks.
+///
+/// With `allow_deadlock = true` every philosopher grabs the left fork first
+/// (the composition can deadlock); with `false`, the last philosopher grabs
+/// the right fork first and the composition is deadlock-free.
+pub fn dining_philosophers(n: usize, allow_deadlock: bool) -> Scenario {
+    assert!(n >= 2, "dining philosophers needs at least two seats");
+    let mut env = TypeEnv::new();
+    for i in 0..n {
+        env = env.bind(fork_chan(i).as_str(), Type::chan_io(Type::Unit));
+    }
+
+    let mut components = Vec::new();
+    for i in 0..n {
+        components.push(fork_type(&fork_chan(i)));
+    }
+    for i in 0..n {
+        let left = fork_chan(i);
+        let right = fork_chan((i + 1) % n);
+        let (first, second) = if allow_deadlock || i + 1 < n {
+            (left, right)
+        } else {
+            // The last philosopher is left-handed: this breaks the cycle.
+            (right, left)
+        };
+        components.push(philosopher_type(&first, &second));
+    }
+
+    let variant = if allow_deadlock { "deadlock" } else { "no deadlock" };
+    Scenario {
+        name: format!("Dining philos. ({n}, {variant})"),
+        env,
+        ty: Type::par_all(components),
+        visible: vec![Name::new(fork_chan(0)), Name::new(fork_chan(1))],
+        properties: standard_properties(
+            vec![],
+            Name::new(fork_chan(0)),
+            Name::new(fork_chan(0)),
+            Name::new(fork_chan(1)),
+            Name::new(fork_chan(0)),
+        ),
+        paper_verdicts: Some(if allow_deadlock {
+            [false, true, false, false, false, false]
+        } else {
+            [true, true, false, false, false, false]
+        }),
+        paper_states: match n {
+            4 => Some(4_096),
+            5 => Some(32_768),
+            6 => Some(262_144),
+            _ => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbt_types::Checker;
+
+    #[test]
+    fn both_variants_are_valid_process_types() {
+        let checker = Checker::new();
+        for deadlock in [true, false] {
+            let s = dining_philosophers(3, deadlock);
+            checker.check_pi_type(&s.env, &s.ty).expect("valid π-type");
+            assert!(s.ty.is_guarded());
+        }
+    }
+
+    #[test]
+    fn the_left_handed_philosopher_makes_the_difference() {
+        // The headline distinction of the Fig. 9 dining rows: the grab-left
+        // variant can deadlock, the variant with one left-handed philosopher
+        // cannot.
+        let deadlocking = dining_philosophers(3, true);
+        let safe = dining_philosophers(3, false);
+        let d = deadlocking.run(60_000).expect("verification");
+        let s = safe.run(60_000).expect("verification");
+        assert!(!d[0].holds, "grab-left variant must be able to deadlock");
+        assert!(s[0].holds, "left-handed variant must be deadlock-free");
+        // Forks are used for output in both variants.
+        assert!(!d[3].holds);
+        assert!(!s[3].holds);
+    }
+
+    #[test]
+    fn state_space_grows_with_the_table_size() {
+        let small = dining_philosophers(2, true).run(60_000).unwrap()[0].states;
+        let large = dining_philosophers(3, true).run(60_000).unwrap()[0].states;
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,147 @@
+//! The payment-with-audit protocol of §1 / Fig. 1, composed with an auditor
+//! and a configurable number of clients — the "Pay & audit + N clients" rows
+//! of Fig. 9.
+//!
+//! Unlike the standalone service of [`lambdapi::examples`], this composition
+//! uses the *channel-passing* formulation closest to the Akka Typed use case:
+//! each payment message carries the payer's reply channel (`pay.replyTo` in
+//! Fig. 1), so the service answers a different client each time — which is
+//! exactly what the dependent function type in the service's input tracks.
+
+use dbt_types::TypeEnv;
+use lambdapi::{Name, Type};
+
+use super::{standard_properties, Scenario};
+
+/// The payload type of a reply channel: a `Rejected` reply carries a string
+/// (the reason), an `Accepted` reply carries unit.
+pub fn reply_payload() -> Type {
+    Type::union(Type::Str, Type::Unit)
+}
+
+/// The behavioural type of the payment service: forever receive a reply
+/// channel on `self`, then either reject (answer with a string) or audit and
+/// accept (notify `aud`, then answer with unit).
+pub fn service_type() -> Type {
+    Type::rec(
+        "t",
+        Type::inp(
+            Type::var("self"),
+            Type::pi(
+                "rc",
+                Type::chan_out(reply_payload()),
+                Type::union(
+                    Type::out(Type::var("rc"), Type::Str, Type::thunk(Type::rec_var("t"))),
+                    Type::out(
+                        Type::var("aud"),
+                        Type::Unit,
+                        Type::thunk(Type::out(
+                            Type::var("rc"),
+                            Type::Unit,
+                            Type::thunk(Type::rec_var("t")),
+                        )),
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+/// The auditor: forever receive audit notifications on `aud`.
+pub fn auditor_type() -> Type {
+    Type::rec(
+        "a",
+        Type::inp(Type::var("aud"), Type::pi("u", Type::Unit, Type::rec_var("a"))),
+    )
+}
+
+/// One client: forever send its reply channel to the service, then await the
+/// reply on that channel.
+pub fn client_type(reply_chan: &str) -> Type {
+    Type::rec(
+        "c",
+        Type::out(
+            Type::var("self"),
+            Type::var(reply_chan),
+            Type::thunk(Type::inp(
+                Type::var(reply_chan),
+                Type::pi("r", reply_payload(), Type::rec_var("c")),
+            )),
+        ),
+    )
+}
+
+/// Builds the "Pay & audit + `clients` clients" scenario.
+pub fn payment_with_clients(clients: usize) -> Scenario {
+    let mut env = TypeEnv::new()
+        .bind("self", Type::chan_io(Type::chan_out(reply_payload())))
+        .bind("aud", Type::chan_io(Type::Unit));
+
+    let mut components = vec![service_type(), auditor_type()];
+    for i in 0..clients {
+        let rc = format!("rc{i}");
+        env = env.bind(rc.as_str(), Type::chan_io(reply_payload()));
+        components.push(client_type(&rc));
+    }
+
+    Scenario {
+        name: format!("Pay & audit + {clients} clients"),
+        env,
+        ty: Type::par_all(components),
+        visible: vec![Name::new("self"), Name::new("aud")],
+        properties: standard_properties(
+            vec![],
+            Name::new("aud"),
+            Name::new("self"),
+            Name::new("aud"),
+            Name::new("self"),
+        ),
+        paper_verdicts: Some([true, true, false, false, true, true]),
+        paper_states: match clients {
+            8 => Some(3_328),
+            10 => Some(13_312),
+            12 => Some(53_248),
+            _ => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbt_types::Checker;
+
+    #[test]
+    fn the_composition_is_a_valid_process_type() {
+        let s = payment_with_clients(2);
+        let checker = Checker::new();
+        checker.check_pi_type(&s.env, &s.ty).expect("valid π-type");
+        assert!(s.ty.is_guarded());
+        assert!(!s.ty.has_par_under_rec());
+    }
+
+    #[test]
+    fn key_verdicts_of_the_fig9_row() {
+        let s = payment_with_clients(2);
+        let outcomes = s.run(40_000).expect("verification");
+        // Column order: deadlock-free, ev-usage, forwarding, non-usage,
+        // reactive, responsive.
+        assert!(outcomes[0].holds, "the composition never deadlocks");
+        assert!(
+            !outcomes[2].holds,
+            "forwarding self→aud fails: rejected payments are not audited"
+        );
+        assert!(!outcomes[3].holds, "aud is used for output");
+        assert!(
+            outcomes[5].holds,
+            "the service is responsive: every received reply channel is answered"
+        );
+    }
+
+    #[test]
+    fn state_space_grows_with_the_number_of_clients() {
+        let small = payment_with_clients(1).run(40_000).unwrap()[0].states;
+        let large = payment_with_clients(3).run(40_000).unwrap()[0].states;
+        assert!(large > small, "expected growth: {small} -> {large}");
+    }
+}

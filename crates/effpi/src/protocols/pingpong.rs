@@ -1,0 +1,151 @@
+//! Parallel ping-pong pairs (Ex. 2.2 / Ex. 4.3), as measured in the
+//! "Ping-pong (k pairs)" rows of Fig. 9.
+//!
+//! The *plain* variant is fire-and-forget: each pinger sends its reply channel
+//! once and each ponger consumes the request without answering. In the
+//! *responsive* variant the first pair runs the full Ex. 2.2 protocol forever
+//! (the ponger answers on the received reply channel), which is what makes
+//! the responsiveness property of its mailbox hold.
+
+use dbt_types::TypeEnv;
+use lambdapi::{Name, Type};
+
+use super::{standard_properties, Scenario};
+
+fn ping_chan(i: usize) -> String {
+    format!("y{i}")
+}
+
+fn pong_chan(i: usize) -> String {
+    format!("z{i}")
+}
+
+/// A one-shot pinger: send the reply channel `y` on `z`, then stop.
+pub fn plain_pinger(y: &str, z: &str) -> Type {
+    Type::out(Type::var(z), Type::var(y), Type::thunk(Type::Nil))
+}
+
+/// A one-shot, non-responsive ponger: consume the request and stop without
+/// answering.
+pub fn plain_ponger(z: &str) -> Type {
+    Type::inp(
+        Type::var(z),
+        Type::pi("replyTo", Type::chan_out(Type::Str), Type::Nil),
+    )
+}
+
+/// A looping pinger: send the reply channel, await the answer, repeat.
+pub fn responsive_pinger(y: &str, z: &str) -> Type {
+    Type::rec(
+        "p",
+        Type::out(
+            Type::var(z),
+            Type::var(y),
+            Type::thunk(Type::inp(
+                Type::var(y),
+                Type::pi("reply", Type::Str, Type::rec_var("p")),
+            )),
+        ),
+    )
+}
+
+/// A looping, responsive ponger: forever receive a reply channel and answer
+/// on it (the Ex. 2.2 ponger made recursive).
+pub fn responsive_ponger(z: &str) -> Type {
+    Type::rec(
+        "q",
+        Type::inp(
+            Type::var(z),
+            Type::pi(
+                "replyTo",
+                Type::chan_out(Type::Str),
+                Type::out(Type::var("replyTo"), Type::Str, Type::thunk(Type::rec_var("q"))),
+            ),
+        ),
+    )
+}
+
+/// Builds the "Ping-pong (`pairs` pairs)" scenario; when `responsive` is true,
+/// the first pair runs the responsive protocol.
+pub fn ping_pong_pairs(pairs: usize, responsive: bool) -> Scenario {
+    assert!(pairs >= 1);
+    let mut env = TypeEnv::new();
+    let mut components = Vec::new();
+    for i in 0..pairs {
+        let y = ping_chan(i);
+        let z = pong_chan(i);
+        env = env
+            .bind(y.as_str(), Type::chan_io(Type::Str))
+            .bind(z.as_str(), Type::chan_io(Type::chan_out(Type::Str)));
+        if responsive && i == 0 {
+            components.push(responsive_pinger(&y, &z));
+            components.push(responsive_ponger(&z));
+        } else {
+            components.push(plain_pinger(&y, &z));
+            components.push(plain_ponger(&z));
+        }
+    }
+
+    let variant = if responsive { ", responsive" } else { "" };
+    Scenario {
+        name: format!("Ping-pong ({pairs} pairs{variant})"),
+        env,
+        ty: Type::par_all(components),
+        visible: vec![Name::new(pong_chan(0)), Name::new(ping_chan(0))],
+        properties: standard_properties(
+            vec![],
+            Name::new(ping_chan(0)),
+            Name::new(pong_chan(0)),
+            Name::new(ping_chan(0)),
+            Name::new(pong_chan(0)),
+        ),
+        paper_verdicts: Some(if responsive {
+            [true, true, false, false, false, true]
+        } else {
+            [true, true, false, false, false, false]
+        }),
+        paper_states: match (pairs, responsive) {
+            (6, false) => Some(4_096),
+            (6, true) => Some(46_656),
+            (8, false) => Some(65_536),
+            (8, true) => Some(1_679_616),
+            (10, false) => Some(1_048_576),
+            (10, true) => Some(2_000_000),
+            _ => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbt_types::Checker;
+
+    #[test]
+    fn both_variants_are_valid_process_types() {
+        let checker = Checker::new();
+        for responsive in [false, true] {
+            let s = ping_pong_pairs(2, responsive);
+            checker.check_pi_type(&s.env, &s.ty).expect("valid π-type");
+        }
+    }
+
+    #[test]
+    fn responsiveness_distinguishes_the_two_variants() {
+        // The headline distinction of the ping-pong rows of Fig. 9: the
+        // responsive variant satisfies responsiveness on the probed mailbox,
+        // the plain variant does not. Both are deadlock-free.
+        let plain = ping_pong_pairs(2, false).run(60_000).expect("plain");
+        let resp = ping_pong_pairs(2, true).run(60_000).expect("responsive");
+        assert!(plain[0].holds && resp[0].holds, "both variants are deadlock-free");
+        assert!(!plain[5].holds, "the plain ponger never answers");
+        assert!(resp[5].holds, "the responsive ponger answers every request");
+    }
+
+    #[test]
+    fn adding_pairs_multiplies_the_state_space() {
+        let two = ping_pong_pairs(2, false).run(60_000).unwrap()[0].states;
+        let three = ping_pong_pairs(3, false).run(60_000).unwrap()[0].states;
+        assert!(three > two);
+    }
+}

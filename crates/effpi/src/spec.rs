@@ -1,0 +1,357 @@
+//! Protocol specification files.
+//!
+//! A `.effpi` specification is a small, line-oriented text format that lets
+//! protocols be written, type-checked and verified without writing Rust —
+//! playing the role of the `@effpi.verifier.verify` annotations of the Dotty
+//! plugin (§5.1). A specification consists of statements:
+//!
+//! ```text
+//! // Payment service (Fig. 1), standalone.
+//! def Reply   = str | ()
+//! env self    : cio[int]
+//! env aud     : co[int]
+//! env client  : co[str | ()]
+//!
+//! type rec t . i[self, Pi(pay: int) ( o[client, str, Pi() t]
+//!                                   | o[aud, pay, Pi() o[client, (), Pi() t]] )]
+//!
+//! check non_usage [self]
+//! check deadlock_free [self, aud, client]
+//! check forwarding self -> aud
+//! ```
+//!
+//! Statements:
+//!
+//! * `def NAME = TYPE` — a named type alias, usable in later statements;
+//! * `env X : TYPE` — a channel (or value) variable of the environment Γ;
+//! * `visible X, Y, ...` — the channels exposed to the environment (defaults
+//!   to every `env` variable);
+//! * `type TYPE` — the behavioural type to verify;
+//! * `term TERM` — an optional λπ⩽ term to type-check against the `type`;
+//! * `check PROPERTY` — a property to verify, one of:
+//!   `non_usage [x, ...]`, `deadlock_free [x, ...]`, `eventual_output [x, ...]`,
+//!   `forwarding x -> y`, `reactive x`, `responsive x`.
+//!
+//! Statements may span several lines; a new statement starts whenever a line
+//! begins with one of the keywords above. Lines starting with `//` or `#` are
+//! comments.
+
+use std::fmt;
+
+use dbt_types::{Checker, TypeEnv};
+use lambdapi::parser::{parse_term_with, parse_type_with, Definitions};
+use lambdapi::{Name, Term, Type};
+use mucalc::{Property, VerificationOutcome, Verifier};
+
+/// A parsed protocol specification.
+#[derive(Clone, Debug)]
+pub struct Spec {
+    /// Named type definitions.
+    pub definitions: Definitions,
+    /// The typing environment Γ.
+    pub env: TypeEnv,
+    /// The channels exposed to the environment.
+    pub visible: Vec<Name>,
+    /// The behavioural type to verify.
+    pub ty: Option<Type>,
+    /// An optional term to check against `ty`.
+    pub term: Option<Term>,
+    /// The properties to verify.
+    pub checks: Vec<Property>,
+}
+
+/// The result of running a specification.
+#[derive(Clone, Debug)]
+pub struct SpecReport {
+    /// Whether the term (if any) implements the type.
+    pub typecheck: Option<Result<(), String>>,
+    /// One verification outcome per `check` statement.
+    pub outcomes: Vec<Result<VerificationOutcome, String>>,
+}
+
+impl SpecReport {
+    /// `true` when the term type-checks (or there is no term) and every
+    /// property holds.
+    pub fn all_ok(&self) -> bool {
+        let typing_ok = matches!(&self.typecheck, None | Some(Ok(())));
+        typing_ok
+            && self
+                .outcomes
+                .iter()
+                .all(|o| matches!(o, Ok(outcome) if outcome.holds))
+    }
+}
+
+impl fmt::Display for SpecReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.typecheck {
+            Some(Ok(())) => writeln!(f, "typecheck: ok")?,
+            Some(Err(e)) => writeln!(f, "typecheck: FAILED — {e}")?,
+            None => {}
+        }
+        for o in &self.outcomes {
+            match o {
+                Ok(outcome) => writeln!(f, "{outcome}")?,
+                Err(e) => writeln!(f, "verification error: {e}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An error while parsing a specification file.
+#[derive(Clone, Debug)]
+pub struct SpecError {
+    /// 1-based line where the offending statement started.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "specification error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+const KEYWORDS: [&str; 6] = ["def", "env", "visible", "type", "term", "check"];
+
+/// Parses a specification from its textual form.
+pub fn parse_spec(input: &str) -> Result<Spec, SpecError> {
+    // Group the input into statements: a statement starts at a line whose
+    // first word is a keyword and extends until the next such line.
+    let mut statements: Vec<(usize, String)> = Vec::new();
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with("//") || line.starts_with('#') {
+            continue;
+        }
+        let first_word = line.split_whitespace().next().unwrap_or("");
+        if KEYWORDS.contains(&first_word) {
+            statements.push((idx + 1, line.to_string()));
+        } else if let Some((_, last)) = statements.last_mut() {
+            last.push(' ');
+            last.push_str(line);
+        } else {
+            return Err(SpecError {
+                line: idx + 1,
+                message: format!("expected a statement keyword, found {first_word:?}"),
+            });
+        }
+    }
+
+    let mut spec = Spec {
+        definitions: Definitions::new(),
+        env: TypeEnv::new(),
+        visible: Vec::new(),
+        ty: None,
+        term: None,
+        checks: Vec::new(),
+    };
+    let mut explicit_visible = false;
+
+    for (line, stmt) in statements {
+        let (keyword, rest) = stmt.split_once(char::is_whitespace).unwrap_or((stmt.as_str(), ""));
+        let rest = rest.trim();
+        let err = |message: String| SpecError { line, message };
+        match keyword {
+            "def" => {
+                let (name, body) = rest
+                    .split_once('=')
+                    .ok_or_else(|| err("expected `def NAME = TYPE`".to_string()))?;
+                let ty = parse_type_with(body.trim(), &spec.definitions)
+                    .map_err(|e| err(e.to_string()))?;
+                spec.definitions.insert(name.trim().to_string(), ty);
+            }
+            "env" => {
+                let (name, ty_text) = rest
+                    .split_once(':')
+                    .ok_or_else(|| err("expected `env NAME : TYPE`".to_string()))?;
+                let ty = parse_type_with(ty_text.trim(), &spec.definitions)
+                    .map_err(|e| err(e.to_string()))?;
+                let name = name.trim().to_string();
+                spec.env = spec.env.bind(name.as_str(), ty);
+                if !explicit_visible {
+                    spec.visible.push(Name::new(name));
+                }
+            }
+            "visible" => {
+                if !explicit_visible {
+                    spec.visible.clear();
+                    explicit_visible = true;
+                }
+                for v in rest.split(',') {
+                    let v = v.trim();
+                    if !v.is_empty() {
+                        spec.visible.push(Name::new(v));
+                    }
+                }
+            }
+            "type" => {
+                let ty = parse_type_with(rest, &spec.definitions)
+                    .map_err(|e| err(e.to_string()))?;
+                spec.ty = Some(ty);
+            }
+            "term" => {
+                let term = parse_term_with(rest, &spec.definitions)
+                    .map_err(|e| err(e.to_string()))?;
+                spec.term = Some(term);
+            }
+            "check" => {
+                spec.checks.push(parse_property(rest).map_err(|m| err(m))?);
+            }
+            other => {
+                return Err(err(format!("unknown statement keyword {other:?}")));
+            }
+        }
+    }
+    Ok(spec)
+}
+
+fn parse_property(text: &str) -> Result<Property, String> {
+    let (name, rest) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
+    let rest = rest.trim();
+    let list = |s: &str| -> Result<Vec<String>, String> {
+        let inner = s
+            .trim()
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .ok_or_else(|| format!("expected a channel list like [x, y], found {s:?}"))?;
+        Ok(inner
+            .split(',')
+            .map(|v| v.trim().to_string())
+            .filter(|v| !v.is_empty())
+            .collect())
+    };
+    match name {
+        "non_usage" => Ok(Property::non_usage(list(rest)?)),
+        "deadlock_free" => Ok(Property::deadlock_free(list(rest)?)),
+        "eventual_output" => Ok(Property::eventual_output(list(rest)?)),
+        "forwarding" => {
+            let (from, to) = rest
+                .split_once("->")
+                .ok_or_else(|| "expected `forwarding x -> y`".to_string())?;
+            Ok(Property::forwarding(from.trim(), to.trim()))
+        }
+        "reactive" => Ok(Property::reactive(rest)),
+        "responsive" => Ok(Property::responsive(rest)),
+        other => Err(format!("unknown property {other:?}")),
+    }
+}
+
+/// Runs a parsed specification: type-checks the optional term and verifies
+/// every `check` statement.
+pub fn run_spec(spec: &Spec, max_states: usize) -> SpecReport {
+    let typecheck = match (&spec.term, &spec.ty) {
+        (Some(term), Some(ty)) => Some(
+            Checker::new()
+                .check_term(&spec.env, term, ty)
+                .map_err(|e| e.to_string()),
+        ),
+        (Some(_), None) => Some(Err("a `term` statement requires a `type` statement".into())),
+        _ => None,
+    };
+
+    let mut outcomes = Vec::new();
+    if let Some(ty) = &spec.ty {
+        let mut verifier = Verifier::with_max_states(max_states);
+        verifier.visible = Some(spec.visible.clone());
+        for property in &spec.checks {
+            outcomes.push(
+                verifier
+                    .verify(&spec.env, ty, property)
+                    .map_err(|e| e.to_string()),
+            );
+        }
+    } else if !spec.checks.is_empty() {
+        outcomes.push(Err("`check` statements require a `type` statement".into()));
+    }
+    SpecReport { typecheck, outcomes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAYMENT_SPEC: &str = r#"
+        // The Fig. 1 payment service, standalone.
+        env self   : cio[int]
+        env aud    : co[int]
+        env client : co[str | ()]
+
+        type rec t . i[self, Pi(pay: int) ( o[client, str, Pi() t]
+                                          | o[aud, pay, Pi() o[client, (), Pi() t]] )]
+
+        check non_usage [self]
+        check deadlock_free [self, aud, client]
+        check forwarding self -> aud
+    "#;
+
+    #[test]
+    fn parses_and_runs_the_payment_spec() {
+        let spec = parse_spec(PAYMENT_SPEC).expect("spec parses");
+        assert_eq!(spec.checks.len(), 3);
+        assert_eq!(spec.env.len(), 3);
+        assert!(spec.ty.is_some());
+        let report = run_spec(&spec, 50_000);
+        assert_eq!(report.outcomes.len(), 3);
+        // non-usage of self and deadlock-freedom hold; unconditional
+        // forwarding to the auditor does not (rejections are not audited).
+        assert!(report.outcomes[0].as_ref().unwrap().holds);
+        assert!(report.outcomes[1].as_ref().unwrap().holds);
+        assert!(!report.outcomes[2].as_ref().unwrap().holds);
+        assert!(!report.all_ok());
+        assert!(report.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn specs_can_typecheck_terms_against_types() {
+        let spec_text = r#"
+            env unused : cio[int]
+            type Pi(c: cio[int]) o[c, int, Pi() nil]
+            term fun c: cio[int]. send(c, 42, fun _: (). end)
+        "#;
+        let spec = parse_spec(spec_text).unwrap();
+        let report = run_spec(&spec, 10_000);
+        assert!(matches!(report.typecheck, Some(Ok(()))));
+        assert!(report.all_ok());
+
+        // A term that violates the protocol is rejected.
+        let bad = spec_text.replace("send(c, 42, fun _: (). end)", "end");
+        let spec = parse_spec(&bad).unwrap();
+        let report = run_spec(&spec, 10_000);
+        assert!(matches!(report.typecheck, Some(Err(_))));
+        assert!(!report.all_ok());
+    }
+
+    #[test]
+    fn definitions_and_visible_lists_are_honoured() {
+        let spec_text = r#"
+            def Token = ()
+            env a : cio[Token]
+            env b : cio[Token]
+            visible a
+            type p[ rec r . i[a, Pi(t: Token) o[b, Token, Pi() r]],
+                    rec s . i[b, Pi(t: Token) o[a, Token, Pi() s]] ]
+            check deadlock_free []
+        "#;
+        let spec = parse_spec(spec_text).unwrap();
+        assert_eq!(spec.visible, vec![Name::new("a")]);
+        assert_eq!(spec.definitions.len(), 1);
+        let report = run_spec(&spec, 20_000);
+        // Two processes both waiting to receive first: they deadlock.
+        assert!(!report.outcomes[0].as_ref().unwrap().holds);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_spec("bogus statement").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err2 = parse_spec("env x cio[int]").unwrap_err();
+        assert!(err2.to_string().contains("env NAME : TYPE"));
+        let err3 = parse_spec("check explode [x]").unwrap_err();
+        assert!(err3.message.contains("unknown property"));
+    }
+}

@@ -1,0 +1,584 @@
+//! The paper's running examples as reusable λπ⩽ terms and types:
+//!
+//! * the ping-pong system of Ex. 2.2 with its types from Ex. 3.3;
+//! * the mobile-code data-analysis server of Ex. 3.4;
+//! * the payment-with-audit service of §1 / Fig. 1 (encoded without records:
+//!   the payment is its integer amount, and the payer's reply channel is an
+//!   explicit parameter).
+//!
+//! These are used by the unit tests of this crate, by the type checker tests in
+//! `dbt-types`, by the conformance tests in `lts`, and re-exported by the
+//! `effpi` crate's protocol library.
+
+use crate::term::{BinOp, Term};
+use crate::ty::Type;
+
+// ---------------------------------------------------------------------------
+// Ping-pong (Ex. 2.2 / 3.3 / 4.3)
+// ---------------------------------------------------------------------------
+
+/// `Tping = Π(self:cio[str]) Π(pongc:co[co[str]]) o[pongc, self, i[self, Π(reply:str)nil]]`
+pub fn tping_type() -> Type {
+    Type::pi(
+        "self",
+        Type::chan_io(Type::Str),
+        Type::pi(
+            "pongc",
+            Type::chan_out(Type::chan_out(Type::Str)),
+            Type::out(
+                Type::var("pongc"),
+                Type::var("self"),
+                Type::thunk(Type::inp(
+                    Type::var("self"),
+                    Type::pi("reply", Type::Str, Type::Nil),
+                )),
+            ),
+        ),
+    )
+}
+
+/// `Tpong = Π(self:cio[co[str]]) i[self, Π(replyTo:co[str]) o[replyTo, str, Π()nil]]`
+pub fn tpong_type() -> Type {
+    Type::pi(
+        "self",
+        Type::chan_io(Type::chan_out(Type::Str)),
+        Type::inp(
+            Type::var("self"),
+            Type::pi(
+                "replyTo",
+                Type::chan_out(Type::Str),
+                Type::out(Type::var("replyTo"), Type::Str, Type::thunk(Type::Nil)),
+            ),
+        ),
+    )
+}
+
+/// `Tpp = Π(y:cio[str]) Π(z:cio[co[str]]) p[Tping y z, Tpong z]` (Ex. 3.3).
+pub fn tpp_type() -> Type {
+    let tping_app = tping_type()
+        .apply_all(&[Type::var("y"), Type::var("z")])
+        .expect("Tping is a binary dependent function type");
+    let tpong_app = tpong_type()
+        .apply(&Type::var("z"))
+        .expect("Tpong is a unary dependent function type");
+    Type::pi(
+        "y",
+        Type::chan_io(Type::Str),
+        Type::pi("z", Type::chan_io(Type::chan_out(Type::Str)), Type::par(tping_app, tpong_app)),
+    )
+}
+
+/// The `pinger` abstract process of Ex. 2.2:
+/// `λself.λpongc. send(pongc, self, λ_. recv(self, λreply. end))`.
+pub fn pinger_term() -> Term {
+    Term::lam(
+        "self",
+        Type::chan_io(Type::Str),
+        Term::lam(
+            "pongc",
+            Type::chan_out(Type::chan_out(Type::Str)),
+            Term::send(
+                Term::var("pongc"),
+                Term::var("self"),
+                Term::thunk(Term::recv(
+                    Term::var("self"),
+                    Term::lam("reply", Type::Str, Term::End),
+                )),
+            ),
+        ),
+    )
+}
+
+/// The `ponger` abstract process of Ex. 2.2:
+/// `λself. recv(self, λreplyTo. send(replyTo, "Hi!", λ_. end))`.
+pub fn ponger_term() -> Term {
+    Term::lam(
+        "self",
+        Type::chan_io(Type::chan_out(Type::Str)),
+        Term::recv(
+            Term::var("self"),
+            Term::lam(
+                "replyTo",
+                Type::chan_out(Type::Str),
+                Term::send(Term::var("replyTo"), Term::str("Hi!"), Term::thunk(Term::End)),
+            ),
+        ),
+    )
+}
+
+/// The `sys` composition of Ex. 2.2: `λy'.λz'. (pinger y' z' || ponger z')`.
+///
+/// The bodies of `pinger` / `ponger` are referenced through the free variables
+/// `pinger` / `ponger`, to be bound by [`ping_pong_main`] (mirroring the
+/// paper's sequence of `let`s).
+pub fn sys_term() -> Term {
+    Term::lam(
+        "y2",
+        Type::chan_io(Type::Str),
+        Term::lam(
+            "z2",
+            Type::chan_io(Type::chan_out(Type::Str)),
+            Term::par(
+                Term::app_all(Term::var("pinger"), [Term::var("y2"), Term::var("z2")]),
+                Term::app(Term::var("ponger"), Term::var("z2")),
+            ),
+        ),
+    )
+}
+
+/// The closed ping-pong system: the body of `main ()` in Ex. 2.2.
+///
+/// ```text
+/// let pinger = ... in let ponger = ... in let sys = ... in
+/// let y = chan() in let z = chan() in sys y z
+/// ```
+pub fn ping_pong_main() -> Term {
+    Term::let_(
+        "pinger",
+        tping_type(),
+        pinger_term(),
+        Term::let_(
+            "ponger",
+            tpong_type(),
+            ponger_term(),
+            Term::let_(
+                "sys",
+                tpp_type(),
+                sys_term(),
+                Term::let_(
+                    "y",
+                    Type::chan_io(Type::Str),
+                    Term::chan(Type::Str),
+                    Term::let_(
+                        "z",
+                        Type::chan_io(Type::chan_out(Type::Str)),
+                        Term::chan(Type::chan_out(Type::Str)),
+                        Term::app_all(Term::var("sys"), [Term::var("y"), Term::var("z")]),
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+/// The open ping-pong system `sys y z` together with the environment
+/// `y:cio[str], z:cio[co[str]]` (Ex. 4.3). Returns `(term, type)` where the
+/// type is `Tpp y z` — the π-type obtained by dependent application.
+pub fn ping_pong_open() -> (Term, Type) {
+    let term = Term::par(
+        Term::app_all(pinger_term(), [Term::var("y"), Term::var("z")]),
+        Term::app(ponger_term(), Term::var("z")),
+    );
+    let ty = tpp_type()
+        .apply_all(&[Type::var("y"), Type::var("z")])
+        .expect("Tpp application");
+    (term, ty)
+}
+
+// ---------------------------------------------------------------------------
+// Mobile code (Ex. 3.4 / 4.11)
+// ---------------------------------------------------------------------------
+
+/// `Tm = Π(i1:ci[int]) Π(i2:ci[int]) Π(o:co[int]) µt. i[i1, Π(x:int) i[i2, Π(y:int) o[o, x∨y, Π()t]]]`
+pub fn tm_type() -> Type {
+    Type::pi(
+        "i1",
+        Type::chan_in(Type::Int),
+        Type::pi(
+            "i2",
+            Type::chan_in(Type::Int),
+            Type::pi(
+                "o",
+                Type::chan_out(Type::Int),
+                Type::rec(
+                    "t",
+                    Type::inp(
+                        Type::var("i1"),
+                        Type::pi(
+                            "x",
+                            Type::Int,
+                            Type::inp(
+                                Type::var("i2"),
+                                Type::pi(
+                                    "y",
+                                    Type::Int,
+                                    Type::out(
+                                        Type::var("o"),
+                                        Type::union(Type::var("x"), Type::var("y")),
+                                        Type::thunk(Type::rec_var("t")),
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+/// `m1`: always forwards the value received from `i1`, then recurses swapping
+/// the two input channels (Ex. 3.4).
+pub fn m1_term() -> Term {
+    let body = Term::lam(
+        "i1",
+        Type::chan_in(Type::Int),
+        Term::lam(
+            "i2",
+            Type::chan_in(Type::Int),
+            Term::lam(
+                "o",
+                Type::chan_out(Type::Int),
+                Term::recv(
+                    Term::var("i1"),
+                    Term::lam(
+                        "x",
+                        Type::Int,
+                        Term::recv(
+                            Term::var("i2"),
+                            Term::lam(
+                                "ignored",
+                                Type::Int,
+                                Term::send(
+                                    Term::var("o"),
+                                    Term::var("x"),
+                                    Term::thunk(Term::app_all(
+                                        Term::var("m1"),
+                                        [Term::var("i2"), Term::var("i1"), Term::var("o")],
+                                    )),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    );
+    Term::let_("m1", tm_type(), body, Term::var("m1"))
+}
+
+/// `m2`: forwards the maximum of the two received values (Ex. 3.4).
+pub fn m2_term() -> Term {
+    let body = Term::lam(
+        "i1",
+        Type::chan_in(Type::Int),
+        Term::lam(
+            "i2",
+            Type::chan_in(Type::Int),
+            Term::lam(
+                "o",
+                Type::chan_out(Type::Int),
+                Term::recv(
+                    Term::var("i1"),
+                    Term::lam(
+                        "x",
+                        Type::Int,
+                        Term::recv(
+                            Term::var("i2"),
+                            Term::lam(
+                                "y",
+                                Type::Int,
+                                Term::send(
+                                    Term::var("o"),
+                                    Term::ite(
+                                        Term::binop(BinOp::Gt, Term::var("x"), Term::var("y")),
+                                        Term::var("x"),
+                                        Term::var("y"),
+                                    ),
+                                    Term::thunk(Term::app_all(
+                                        Term::var("m2"),
+                                        [Term::var("i1"), Term::var("i2"), Term::var("o")],
+                                    )),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    );
+    Term::let_("m2", tm_type(), body, Term::var("m2"))
+}
+
+/// The type `Tsrv = Π(cm:ci[Tm]) Π(out:co[int]) proc` of the data-analysis
+/// server (Ex. 3.4).
+pub fn tsrv_type() -> Type {
+    Type::pi(
+        "cm",
+        Type::chan_in(tm_type()),
+        Type::pi("out", Type::chan_out(Type::Int), Type::Proc),
+    )
+}
+
+/// A closed system where a client sends the mobile code `m` to a simple server
+/// that runs it against two single-shot producers. Used to exercise
+/// higher-order communication (sending/receiving code) in the dynamics.
+pub fn mobile_code_system(m: Term) -> Term {
+    // Producers: send one integer on their channel and stop.
+    let prod = |chan: &str, value: i64| {
+        Term::send(Term::var(chan), Term::int(value), Term::thunk(Term::End))
+    };
+    // Server: receive code p on cm, run `p z1 z2 out` in parallel with the producers.
+    let server = Term::recv(
+        Term::var("cm"),
+        Term::lam(
+            "p",
+            tm_type(),
+            Term::par_all([
+                Term::app_all(
+                    Term::var("p"),
+                    [Term::var("z1"), Term::var("z2"), Term::var("out")],
+                ),
+                prod("z1", 10),
+                prod("z2", 20),
+            ]),
+        ),
+    );
+    // Client: send the mobile code on cm. Collector: receive the result on out.
+    let client = Term::send(Term::var("cm"), m, Term::thunk(Term::End));
+    let collector = Term::recv(Term::var("out"), Term::lam("result", Type::Int, Term::End));
+    Term::let_(
+        "cm",
+        Type::chan_io(tm_type()),
+        Term::chan(tm_type()),
+        Term::let_(
+            "out",
+            Type::chan_io(Type::Int),
+            Term::chan(Type::Int),
+            Term::let_(
+                "z1",
+                Type::chan_io(Type::Int),
+                Term::chan(Type::Int),
+                Term::let_(
+                    "z2",
+                    Type::chan_io(Type::Int),
+                    Term::chan(Type::Int),
+                    Term::par_all([server, client, collector]),
+                ),
+            ),
+        ),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Payment with audit (§1, Fig. 1)
+// ---------------------------------------------------------------------------
+
+/// The type of the payer's reply channel: a `Rejected` reply is a string (the
+/// rejection reason), an `Accepted` reply is the unit value. Distinguishing the
+/// two replies *by type* is what makes "accept without auditing" a type error,
+/// mirroring the distinct `Accepted` / `Rejected` message classes of Fig. 1.
+pub fn reply_channel_type() -> Type {
+    Type::chan_out(Type::union(Type::Str, Type::Unit))
+}
+
+/// The behavioural type of the payment service of Fig. 1, encoded without
+/// records: the mailbox `self` carries integer amounts, `aud` is the auditor's
+/// reference and `client` the payer's reply channel (see
+/// [`reply_channel_type`]).
+///
+/// ```text
+/// Tpay = Π(self:cio[int]) Π(aud:co[int]) Π(client:co[str ∨ ()])
+///        µt. i[self, Π(pay:int) ( o[client, str, Π()'t]                        // Rejected
+///                                ∨ o[aud, pay, Π() o[client, (), Π()'t]] )]    // Audit; Accepted
+/// ```
+///
+/// The `pay` variable flowing into the `aud` output is exactly the dependent
+/// tracking that lets the verifier prove "accepted payments are audited".
+pub fn tpayment_type() -> Type {
+    Type::pi(
+        "self",
+        Type::chan_io(Type::Int),
+        Type::pi(
+            "aud",
+            Type::chan_out(Type::Int),
+            Type::pi(
+                "client",
+                reply_channel_type(),
+                Type::rec(
+                    "t",
+                    Type::inp(
+                        Type::var("self"),
+                        Type::pi(
+                            "pay",
+                            Type::Int,
+                            Type::union(
+                                Type::out(
+                                    Type::var("client"),
+                                    Type::Str,
+                                    Type::thunk(Type::rec_var("t")),
+                                ),
+                                Type::out(
+                                    Type::var("aud"),
+                                    Type::var("pay"),
+                                    Type::thunk(Type::out(
+                                        Type::var("client"),
+                                        Type::Unit,
+                                        Type::thunk(Type::rec_var("t")),
+                                    )),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+/// The payment-service implementation of Fig. 1, as a λπ⩽ term:
+/// forever receive an amount; reject it (notify the client) when above 42000,
+/// otherwise audit it and then accept it.
+pub fn payment_term() -> Term {
+    let loop_body = Term::lam(
+        "self",
+        Type::chan_io(Type::Int),
+        Term::lam(
+            "aud",
+            Type::chan_out(Type::Int),
+            Term::lam(
+                "client",
+                reply_channel_type(),
+                Term::recv(
+                    Term::var("self"),
+                    Term::lam(
+                        "pay",
+                        Type::Int,
+                        Term::ite(
+                            Term::binop(BinOp::Gt, Term::var("pay"), Term::int(42000)),
+                            Term::send(
+                                Term::var("client"),
+                                Term::str("Rejected: too high!"),
+                                Term::thunk(Term::app_all(
+                                    Term::var("payment"),
+                                    [Term::var("self"), Term::var("aud"), Term::var("client")],
+                                )),
+                            ),
+                            Term::send(
+                                Term::var("aud"),
+                                Term::var("pay"),
+                                Term::thunk(Term::send(
+                                    Term::var("client"),
+                                    Term::unit(),
+                                    Term::thunk(Term::app_all(
+                                        Term::var("payment"),
+                                        [
+                                            Term::var("self"),
+                                            Term::var("aud"),
+                                            Term::var("client"),
+                                        ],
+                                    )),
+                                )),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    );
+    Term::let_("payment", tpayment_type(), loop_body, Term::var("payment"))
+}
+
+/// A *buggy* payment type that forgets the audit step (the "line 7 forgotten"
+/// scenario of §1): accepted payments answer the client without notifying the
+/// auditor. Used to show that verification of the forwarding property fails.
+pub fn tpayment_unaudited_type() -> Type {
+    Type::pi(
+        "self",
+        Type::chan_io(Type::Int),
+        Type::pi(
+            "aud",
+            Type::chan_out(Type::Int),
+            Type::pi(
+                "client",
+                reply_channel_type(),
+                Type::rec(
+                    "t",
+                    Type::inp(
+                        Type::var("self"),
+                        Type::pi(
+                            "pay",
+                            Type::Int,
+                            Type::union(
+                                Type::out(
+                                    Type::var("client"),
+                                    Type::Str,
+                                    Type::thunk(Type::rec_var("t")),
+                                ),
+                                Type::out(
+                                    Type::var("client"),
+                                    Type::Unit,
+                                    Type::thunk(Type::rec_var("t")),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::{par_components, Reducer};
+
+    #[test]
+    fn ping_pong_types_are_well_shaped() {
+        assert!(tping_type().is_closed());
+        assert!(tpong_type().is_closed());
+        assert!(tpp_type().is_closed());
+        // Tpp y z is a p[...] type whose components mention y and z.
+        let applied = tpp_type()
+            .apply_all(&[Type::var("y"), Type::var("z")])
+            .unwrap();
+        let fv = applied.free_vars();
+        assert!(fv.contains(&crate::Name::new("y")));
+        assert!(fv.contains(&crate::Name::new("z")));
+    }
+
+    #[test]
+    fn mobile_code_type_is_guarded_and_recursive() {
+        let tm = tm_type();
+        assert!(tm.is_closed());
+        assert!(tm.is_guarded());
+        assert!(!tm.has_par_under_rec());
+    }
+
+    #[test]
+    fn payment_type_tracks_the_received_amount() {
+        let t = tpayment_type();
+        assert!(t.is_closed());
+        assert!(t.is_guarded());
+        // The audit output carries the received `pay` variable.
+        assert!(t.to_string().contains("o[aud, pay"));
+    }
+
+    #[test]
+    fn mobile_code_system_with_m1_runs_safely() {
+        let r = Reducer::new();
+        let sys = mobile_code_system(m1_term());
+        let out = r.eval(&sys, 2000);
+        assert!(out.is_safe(), "mobile code run must be safe: {}", out.term);
+        // m1 recurses forever waiting for more input, so the system does not
+        // reduce to end; it must however consume the two produced values and
+        // deliver one result to the collector (i.e. at least one component is
+        // the recursive receive).
+        let comps = par_components(&out.term);
+        assert!(!comps.iter().any(|c| c.is_value()));
+    }
+
+    #[test]
+    fn mobile_code_system_with_m2_picks_the_maximum() {
+        let r = Reducer::new();
+        let sys = mobile_code_system(m2_term());
+        let out = r.eval(&sys, 2000);
+        assert!(out.is_safe());
+    }
+
+    #[test]
+    fn payment_term_is_closed() {
+        assert!(payment_term().is_closed());
+    }
+}

@@ -1,0 +1,362 @@
+//! Lexer for the λπ⩽ surface syntax.
+//!
+//! The surface syntax accepts both the paper's unicode notation (`Π`, `µ`,
+//! `∨`, `⊤`, `⊥`, `λ`, `¬`) and plain-ASCII spellings (`Pi`, `rec`, `|`,
+//! `Top`, `Bot`, `fun`, `not`), so protocol files are easy to type while the
+//! pretty-printer's output parses back.
+
+use std::fmt;
+
+/// A lexical token of the λπ⩽ surface syntax.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// An identifier (variable, type name, keyword candidate).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A string literal (without the quotes).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `=`
+    Equals,
+    /// `∨` or `\/` or `|` (union)
+    Or,
+    /// `||` (parallel composition of terms)
+    ParBar,
+    /// `Π` / `Pi` handled as identifiers; `->` arrow used in sugar
+    Arrow,
+    /// `>` (greater-than)
+    Gt,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `==`
+    EqEq,
+    /// `⊤`
+    Top,
+    /// `⊥`
+    Bottom,
+    /// `λ`
+    Lambda,
+    /// `µ`
+    Mu,
+    /// `¬`
+    Not,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Comma => write!(f, ","),
+            Token::Colon => write!(f, ":"),
+            Token::Dot => write!(f, "."),
+            Token::Equals => write!(f, "="),
+            Token::Or => write!(f, "∨"),
+            Token::ParBar => write!(f, "||"),
+            Token::Arrow => write!(f, "->"),
+            Token::Gt => write!(f, ">"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::EqEq => write!(f, "=="),
+            Token::Top => write!(f, "⊤"),
+            Token::Bottom => write!(f, "⊥"),
+            Token::Lambda => write!(f, "λ"),
+            Token::Mu => write!(f, "µ"),
+            Token::Not => write!(f, "¬"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A lexing error: an unexpected character or an unterminated string literal.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises the input. Comments run from `//` or `#` to the end of the line.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token::RBrace);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token::Colon);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '∨' => {
+                tokens.push(Token::Or);
+                i += 1;
+            }
+            '⊤' => {
+                tokens.push(Token::Top);
+                i += 1;
+            }
+            '⊥' => {
+                tokens.push(Token::Bottom);
+                i += 1;
+            }
+            'λ' => {
+                tokens.push(Token::Lambda);
+                i += 1;
+            }
+            'µ' | 'μ' => {
+                tokens.push(Token::Mu);
+                i += 1;
+            }
+            '¬' => {
+                tokens.push(Token::Not);
+                i += 1;
+            }
+            'Π' => {
+                tokens.push(Token::Ident("Pi".to_string()));
+                i += 1;
+            }
+            '|' => {
+                if chars.get(i + 1) == Some(&'|') {
+                    tokens.push(Token::ParBar);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Or);
+                    i += 1;
+                }
+            }
+            '\\' if chars.get(i + 1) == Some(&'/') => {
+                tokens.push(Token::Or);
+                i += 2;
+            }
+            '-' => {
+                if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::Arrow);
+                    i += 2;
+                } else if chars.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                    // negative integer literal
+                    let start = i;
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text: String = chars[start..i].iter().collect();
+                    tokens.push(Token::Int(text.parse().map_err(|_| LexError {
+                        offset: start,
+                        message: format!("invalid integer literal {text}"),
+                    })?));
+                } else {
+                    tokens.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '>' => {
+                tokens.push(Token::Gt);
+                i += 1;
+            }
+            '=' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::EqEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Equals);
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') if chars.get(i + 1) == Some(&'"') => {
+                            s.push('"');
+                            i += 2;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(LexError {
+                                offset: start,
+                                message: "unterminated string literal".to_string(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                tokens.push(Token::Int(text.parse().map_err(|_| LexError {
+                    offset: start,
+                    message: format!("invalid integer literal {text}"),
+                })?));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '\'')
+                {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                tokens.push(Token::Ident(text));
+            }
+            other => {
+                return Err(LexError {
+                    offset: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_type_syntax_in_both_notations() {
+        let unicode = tokenize("Π(x:cio[int]) o[x, int, Π()nil] ∨ ⊥").unwrap();
+        let ascii = tokenize("Pi(x:cio[int]) o[x, int, Pi()nil] \\/ Bot").unwrap();
+        assert!(unicode.contains(&Token::Ident("Pi".into())));
+        assert!(unicode.contains(&Token::Or));
+        assert!(ascii.contains(&Token::Or));
+        assert_eq!(unicode.last(), Some(&Token::Eof));
+    }
+
+    #[test]
+    fn lexes_terms_with_literals_and_operators() {
+        let toks = tokenize(r#"send(c, "Hi!", λ_.end) || recv(c, λx:str. end)"#).unwrap();
+        assert!(toks.contains(&Token::Str("Hi!".into())));
+        assert!(toks.contains(&Token::ParBar));
+        assert!(toks.contains(&Token::Lambda));
+        let nums = tokenize("if x > 42000 then 1 else -3").unwrap();
+        assert!(nums.contains(&Token::Int(42000)));
+        assert!(nums.contains(&Token::Int(-3)));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("int // trailing comment\n# full line\nbool").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Ident("int".into()), Token::Ident("bool".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn errors_report_the_offset() {
+        let err = tokenize("int $ bool").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("unexpected"));
+        assert!(tokenize("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn recursion_variables_with_primes_are_identifiers() {
+        let toks = tokenize("µt.i[x, Pi(v:int) t']").unwrap();
+        assert!(toks.contains(&Token::Ident("t'".into())));
+        assert!(toks.contains(&Token::Mu));
+    }
+}

@@ -1,0 +1,64 @@
+//! # lambdapi — the λπ⩽ calculus
+//!
+//! This crate implements the syntax and the call-by-value operational
+//! semantics of **λπ⩽**, the concurrent functional calculus at the basis of
+//! *"Verifying Message-Passing Programs with Dependent Behavioural Types"*
+//! (Scalas, Yoshida, Benussi — PLDI 2019):
+//!
+//! * [`Term`] / [`Value`] — the term syntax of Fig. 2, with processes
+//!   (`end`, `send`, `recv`, `||`) folded in, plus the routine extensions
+//!   (integers, strings, a few primitive operators) used by the paper's
+//!   examples;
+//! * [`Type`] — the type syntax of Def. 3.1 (union types, dependent function
+//!   types, equi-recursive types, channel types, process types) together with
+//!   purely syntactic operations: substitution `T{S/x}`, unfolding, the
+//!   structural congruence ≡, guardedness and contractivity checks;
+//! * [`Reducer`] — the reduction semantics of Fig. 3, including the
+//!   concurrency rules ([R-chan()], [R-Comm]) and the error rules;
+//! * [`examples`] — the paper's running examples (ping-pong, mobile code,
+//!   payment-with-audit) as reusable terms and types.
+//!
+//! The static semantics (type validity, subtyping, the typing judgement) lives
+//! in the companion `dbt-types` crate; the labelled semantics used for
+//! verification lives in `lts`; the µ-calculus checker in `mucalc`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lambdapi::{Reducer, Term, Type};
+//!
+//! // let c = chan() in send(c, 42, λ_.end) || recv(c, λv.end)
+//! let system = Term::let_(
+//!     "c",
+//!     Type::chan_io(Type::Int),
+//!     Term::chan(Type::Int),
+//!     Term::par(
+//!         Term::send(Term::var("c"), Term::int(42), Term::thunk(Term::End)),
+//!         Term::recv(Term::var("c"), Term::lam("v", Type::Int, Term::End)),
+//!     ),
+//! );
+//! let result = Reducer::new().eval(&system, 100);
+//! assert!(result.is_safe());
+//! assert_eq!(result.term, Term::End);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod name;
+mod reduce;
+mod subst;
+mod term;
+mod ty;
+
+pub mod examples;
+pub mod lexer;
+pub mod parser;
+
+pub use name::{ChanId, Name, NameGen};
+pub use reduce::{
+    par_components, rebuild_par, replace_var_in_eval_position, BaseRule, EvalResult, Reducer,
+};
+pub use parser::{parse_term, parse_term_with, parse_type, parse_type_with, Definitions, ParseError};
+pub use term::{BinOp, Term, Value};
+pub use ty::Type;

@@ -1,0 +1,156 @@
+//! Names (term/type variables) and run-time channel identifiers.
+//!
+//! λπ⩽ uses a single set of variables `X = {x, y, z, ...}` shared by terms and
+//! types (Def. 2.1 / 3.1 of the paper): a variable `x` can appear both in a term
+//! (as a λ-bound or `let`-bound variable) and inside a type (underlined `x` in
+//! the paper). [`Name`] represents such variables. Channel *instances* (the set
+//! `C`, run-time syntax only) are represented by [`ChanId`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A variable name, shared between the term and type syntax.
+///
+/// Names are cheap to clone (reference-counted string) and compare by their
+/// textual content, which matches the paper's convention that the *same*
+/// variable `x` may occur in a term and in its type.
+///
+/// # Examples
+///
+/// ```
+/// use lambdapi::Name;
+/// let x = Name::new("x");
+/// assert_eq!(x.as_str(), "x");
+/// assert_eq!(x, Name::new("x"));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    /// Creates a name from a string.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Name(Arc::from(s.as_ref()))
+    }
+
+    /// Returns the textual content of the name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({})", self.0)
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Self {
+        Name::new(s)
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Self {
+        Name::new(s)
+    }
+}
+
+/// A run-time channel instance (an element of the set `C` in Fig. 2).
+///
+/// Channel instances are created by evaluating `chan()` ([R-chan()] in Fig. 3)
+/// and cannot be written directly by programmers; they only appear during
+/// reduction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ChanId(pub u64);
+
+impl fmt::Display for ChanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#c{}", self.0)
+    }
+}
+
+/// A generator of fresh names and fresh channel instances.
+///
+/// Fresh names are needed for α-conversion (the Barendregt convention of
+/// Def. 2.1) and fresh channel instances for rule [R-chan()].
+///
+/// # Examples
+///
+/// ```
+/// use lambdapi::NameGen;
+/// let gen = NameGen::new();
+/// let a = gen.fresh("x");
+/// let b = gen.fresh("x");
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Default)]
+pub struct NameGen {
+    counter: AtomicU64,
+}
+
+impl NameGen {
+    /// Creates a generator starting from zero.
+    pub fn new() -> Self {
+        NameGen { counter: AtomicU64::new(0) }
+    }
+
+    /// Returns a fresh name based on `hint`; distinct from every name previously
+    /// returned by this generator.
+    pub fn fresh(&self, hint: &str) -> Name {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        // Strip a previous freshness suffix so repeated refreshing stays short.
+        let base = hint.split('%').next().unwrap_or(hint);
+        Name::new(format!("{base}%{n}"))
+    }
+
+    /// Returns a fresh channel instance identifier.
+    pub fn fresh_chan(&self) -> ChanId {
+        ChanId(self.counter.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_compare_textually() {
+        assert_eq!(Name::new("x"), Name::from("x"));
+        assert_ne!(Name::new("x"), Name::new("y"));
+        assert_eq!(Name::new("hello").to_string(), "hello");
+    }
+
+    #[test]
+    fn fresh_names_are_distinct() {
+        let gen = NameGen::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            assert!(seen.insert(gen.fresh("v")));
+        }
+    }
+
+    #[test]
+    fn fresh_names_do_not_accumulate_suffixes() {
+        let gen = NameGen::new();
+        let a = gen.fresh("x");
+        let b = gen.fresh(a.as_str());
+        assert!(b.as_str().matches('%').count() == 1);
+    }
+
+    #[test]
+    fn channel_ids_are_distinct_and_display() {
+        let gen = NameGen::new();
+        let a = gen.fresh_chan();
+        let b = gen.fresh_chan();
+        assert_ne!(a, b);
+        assert!(a.to_string().starts_with("#c"));
+    }
+}

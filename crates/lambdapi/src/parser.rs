@@ -1,0 +1,564 @@
+//! Parser for the λπ⩽ surface syntax: types (Def. 3.1) and terms (Fig. 2).
+//!
+//! The concrete syntax follows the paper's notation, with ASCII alternatives
+//! (see [`crate::lexer`]). Examples:
+//!
+//! ```text
+//! // Types
+//! Pi(self: cio[str]) Pi(pongc: co[co[str]])
+//!   o[pongc, self, Pi() i[self, Pi(reply: str) nil]]
+//!
+//! rec t . i[self, Pi(pay: int) ( o[client, str, Pi() t]
+//!                              | o[aud, pay, Pi() o[client, unit, Pi() t]] )]
+//!
+//! // Terms
+//! let c : cio[int] = chan[int]() in
+//!   send(c, 42, fun _ : unit . end) || recv(c, fun v : int . end)
+//! ```
+//!
+//! The parser supports *named type definitions* through a
+//! [`Definitions`] table: an identifier that is neither a bound recursion
+//! variable nor a definition parses as a term variable used as a type
+//! (`Type::Var`). Type application by juxtaposition (`Tping y z`, Ex. 3.3) is
+//! resolved eagerly via [`Type::apply`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::lexer::{tokenize, LexError, Token};
+use crate::name::Name;
+use crate::term::{BinOp, Term};
+use crate::ty::Type;
+
+/// Named type definitions available while parsing (type aliases, e.g.
+/// `Tping`, `Tpong` from Ex. 3.3).
+pub type Definitions = BTreeMap<String, Type>;
+
+/// A parse error with a rough token position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Index of the offending token.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { position: 0, message: e.to_string() }
+    }
+}
+
+/// Parses a λπ⩽ type from its surface syntax (no named definitions in scope).
+pub fn parse_type(input: &str) -> Result<Type, ParseError> {
+    parse_type_with(input, &Definitions::new())
+}
+
+/// Parses a λπ⩽ type with the given named definitions in scope.
+pub fn parse_type_with(input: &str, defs: &Definitions) -> Result<Type, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0, defs, rec_vars: Vec::new() };
+    let ty = p.ty()?;
+    p.expect(Token::Eof)?;
+    Ok(ty)
+}
+
+/// Parses a λπ⩽ term from its surface syntax.
+pub fn parse_term(input: &str) -> Result<Term, ParseError> {
+    parse_term_with(input, &Definitions::new())
+}
+
+/// Parses a λπ⩽ term with the given named type definitions in scope (used for
+/// the type annotations on `λ`, `let` and `chan`).
+pub fn parse_term_with(input: &str, defs: &Definitions) -> Result<Term, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0, defs, rec_vars: Vec::new() };
+    let t = p.term()?;
+    p.expect(Token::Eof)?;
+    Ok(t)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    defs: &'a Definitions,
+    rec_vars: Vec<Name>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        self.tokens.get(self.pos).unwrap_or(&Token::Eof)
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.peek().clone();
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, tok: Token) -> Result<(), ParseError> {
+        if *self.peek() == tok {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {tok}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.advance() {
+            Token::Ident(s) => Ok(s),
+            other => Err(self.error(format!("expected an identifier, found {other}"))),
+        }
+    }
+
+    fn error(&self, message: String) -> ParseError {
+        ParseError { position: self.pos, message }
+    }
+
+    // ------------------------------------------------------------------
+    // Types
+    // ------------------------------------------------------------------
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        // Union type: T (| T)*
+        let first = self.ty_app()?;
+        let mut members = vec![first];
+        while *self.peek() == Token::Or {
+            self.advance();
+            members.push(self.ty_app()?);
+        }
+        Ok(Type::union_all(members))
+    }
+
+    /// Type application by juxtaposition: `T S1 S2 ...` (Ex. 3.3's `Tping y z`).
+    fn ty_app(&mut self) -> Result<Type, ParseError> {
+        let mut head = self.ty_atom()?;
+        while self.type_atom_starts_here() {
+            let arg = self.ty_atom()?;
+            head = head.apply(&arg).ok_or_else(|| {
+                self.error(format!(
+                    "cannot apply the non-function type {head} to {arg}"
+                ))
+            })?;
+        }
+        Ok(head)
+    }
+
+    fn type_atom_starts_here(&self) -> bool {
+        match self.peek() {
+            Token::Ident(s) => {
+                // Keywords that may follow a type in a larger context must not
+                // be mistaken for application arguments.
+                !matches!(
+                    s.as_str(),
+                    "in" | "then" | "else" | "rec" // handled explicitly
+                )
+            }
+            Token::LParen | Token::Top | Token::Bottom | Token::Mu => true,
+            _ => false,
+        }
+    }
+
+    fn ty_atom(&mut self) -> Result<Type, ParseError> {
+        match self.advance() {
+            Token::Top => Ok(Type::Top),
+            Token::Bottom => Ok(Type::Bottom),
+            Token::Mu => self.ty_rec(),
+            Token::LParen => {
+                if *self.peek() == Token::RParen {
+                    self.advance();
+                    return Ok(Type::Unit);
+                }
+                let t = self.ty()?;
+                self.expect(Token::RParen)?;
+                Ok(t)
+            }
+            Token::Ident(name) => match name.as_str() {
+                "bool" => Ok(Type::Bool),
+                "int" => Ok(Type::Int),
+                "str" => Ok(Type::Str),
+                "unit" => Ok(Type::Unit),
+                "Top" => Ok(Type::Top),
+                "Bot" | "Bottom" => Ok(Type::Bottom),
+                "proc" => Ok(Type::Proc),
+                "nil" => Ok(Type::Nil),
+                "cio" => Ok(Type::chan_io(self.bracketed_ty()?)),
+                "ci" => Ok(Type::chan_in(self.bracketed_ty()?)),
+                "co" => Ok(Type::chan_out(self.bracketed_ty()?)),
+                "o" if *self.peek() == Token::LBracket => {
+                    let (s, t, u) = self.bracketed_ty3()?;
+                    Ok(Type::out(s, t, u))
+                }
+                "i" if *self.peek() == Token::LBracket => {
+                    let (s, t) = self.bracketed_ty2()?;
+                    Ok(Type::inp(s, t))
+                }
+                "p" if *self.peek() == Token::LBracket => {
+                    let (s, t) = self.bracketed_ty2()?;
+                    Ok(Type::par(s, t))
+                }
+                "Pi" => self.ty_pi(),
+                "rec" => self.ty_rec(),
+                other => {
+                    let n = Name::new(other);
+                    if self.rec_vars.contains(&n) {
+                        Ok(Type::RecVar(n))
+                    } else if let Some(def) = self.defs.get(other) {
+                        Ok(def.clone())
+                    } else {
+                        Ok(Type::Var(n))
+                    }
+                }
+            },
+            other => Err(self.error(format!("expected a type, found {other}"))),
+        }
+    }
+
+    fn ty_pi(&mut self) -> Result<Type, ParseError> {
+        self.expect(Token::LParen)?;
+        if *self.peek() == Token::RParen {
+            // Π()T — a process thunk.
+            self.advance();
+            let body = self.ty_app()?;
+            return Ok(Type::thunk(body));
+        }
+        let binder = self.expect_ident()?;
+        self.expect(Token::Colon)?;
+        let dom = self.ty()?;
+        self.expect(Token::RParen)?;
+        let body = self.ty()?;
+        Ok(Type::pi(binder, dom, body))
+    }
+
+    fn ty_rec(&mut self) -> Result<Type, ParseError> {
+        let var = self.expect_ident()?;
+        self.expect(Token::Dot)?;
+        self.rec_vars.push(Name::new(&var));
+        let body = self.ty()?;
+        self.rec_vars.pop();
+        Ok(Type::rec(var, body))
+    }
+
+    fn bracketed_ty(&mut self) -> Result<Type, ParseError> {
+        self.expect(Token::LBracket)?;
+        let t = self.ty()?;
+        self.expect(Token::RBracket)?;
+        Ok(t)
+    }
+
+    fn bracketed_ty2(&mut self) -> Result<(Type, Type), ParseError> {
+        self.expect(Token::LBracket)?;
+        let a = self.ty()?;
+        self.expect(Token::Comma)?;
+        let b = self.ty()?;
+        self.expect(Token::RBracket)?;
+        Ok((a, b))
+    }
+
+    fn bracketed_ty3(&mut self) -> Result<(Type, Type, Type), ParseError> {
+        self.expect(Token::LBracket)?;
+        let a = self.ty()?;
+        self.expect(Token::Comma)?;
+        let b = self.ty()?;
+        self.expect(Token::Comma)?;
+        let c = self.ty()?;
+        self.expect(Token::RBracket)?;
+        Ok((a, b, c))
+    }
+
+    // ------------------------------------------------------------------
+    // Terms
+    // ------------------------------------------------------------------
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        // Parallel composition binds weakest.
+        let first = self.term_cmp()?;
+        let mut members = vec![first];
+        while *self.peek() == Token::ParBar {
+            self.advance();
+            members.push(self.term_cmp()?);
+        }
+        if members.len() == 1 {
+            Ok(members.pop().expect("one member"))
+        } else {
+            Ok(Term::par_all(members))
+        }
+    }
+
+    fn term_cmp(&mut self) -> Result<Term, ParseError> {
+        let left = self.term_add()?;
+        match self.peek() {
+            Token::Gt => {
+                self.advance();
+                let right = self.term_add()?;
+                Ok(Term::binop(BinOp::Gt, left, right))
+            }
+            Token::EqEq => {
+                self.advance();
+                let right = self.term_add()?;
+                Ok(Term::binop(BinOp::Eq, left, right))
+            }
+            _ => Ok(left),
+        }
+    }
+
+    fn term_add(&mut self) -> Result<Term, ParseError> {
+        let mut left = self.term_app()?;
+        loop {
+            match self.peek() {
+                Token::Plus => {
+                    self.advance();
+                    let right = self.term_app()?;
+                    left = Term::binop(BinOp::Add, left, right);
+                }
+                Token::Minus => {
+                    self.advance();
+                    let right = self.term_app()?;
+                    left = Term::binop(BinOp::Sub, left, right);
+                }
+                _ => return Ok(left),
+            }
+        }
+    }
+
+    fn term_app(&mut self) -> Result<Term, ParseError> {
+        let mut head = self.term_atom()?;
+        while self.term_atom_starts_here() {
+            let arg = self.term_atom()?;
+            head = Term::app(head, arg);
+        }
+        Ok(head)
+    }
+
+    fn term_atom_starts_here(&self) -> bool {
+        match self.peek() {
+            Token::Ident(s) => !matches!(s.as_str(), "in" | "then" | "else"),
+            Token::Int(_) | Token::Str(_) | Token::LParen | Token::Lambda | Token::Not => true,
+            _ => false,
+        }
+    }
+
+    fn term_atom(&mut self) -> Result<Term, ParseError> {
+        match self.advance() {
+            Token::Int(i) => Ok(Term::int(i)),
+            Token::Str(s) => Ok(Term::str(s)),
+            Token::Not => Ok(Term::not(self.term_atom()?)),
+            Token::Lambda => self.term_lambda(),
+            Token::LParen => {
+                if *self.peek() == Token::RParen {
+                    self.advance();
+                    return Ok(Term::unit());
+                }
+                let t = self.term()?;
+                self.expect(Token::RParen)?;
+                Ok(t)
+            }
+            Token::Ident(name) => match name.as_str() {
+                "true" => Ok(Term::bool(true)),
+                "false" => Ok(Term::bool(false)),
+                "end" => Ok(Term::End),
+                "err" => Ok(Term::err()),
+                "not" => Ok(Term::not(self.term_atom()?)),
+                "fun" => self.term_lambda(),
+                "send" => {
+                    self.expect(Token::LParen)?;
+                    let chan = self.term()?;
+                    self.expect(Token::Comma)?;
+                    let payload = self.term()?;
+                    self.expect(Token::Comma)?;
+                    let cont = self.term()?;
+                    self.expect(Token::RParen)?;
+                    Ok(Term::send(chan, payload, cont))
+                }
+                "recv" => {
+                    self.expect(Token::LParen)?;
+                    let chan = self.term()?;
+                    self.expect(Token::Comma)?;
+                    let cont = self.term()?;
+                    self.expect(Token::RParen)?;
+                    Ok(Term::recv(chan, cont))
+                }
+                "chan" => {
+                    let ty = self.bracketed_ty()?;
+                    self.expect(Token::LParen)?;
+                    self.expect(Token::RParen)?;
+                    Ok(Term::chan(ty))
+                }
+                "let" => {
+                    let binder = self.expect_ident()?;
+                    self.expect(Token::Colon)?;
+                    let annot = self.ty()?;
+                    self.expect(Token::Equals)?;
+                    let bound = self.term()?;
+                    match self.advance() {
+                        Token::Ident(kw) if kw == "in" => {}
+                        other => {
+                            return Err(self.error(format!("expected 'in', found {other}")))
+                        }
+                    }
+                    let body = self.term()?;
+                    Ok(Term::let_(binder, annot, bound, body))
+                }
+                "if" => {
+                    let cond = self.term()?;
+                    match self.advance() {
+                        Token::Ident(kw) if kw == "then" => {}
+                        other => {
+                            return Err(self.error(format!("expected 'then', found {other}")))
+                        }
+                    }
+                    let then_branch = self.term()?;
+                    match self.advance() {
+                        Token::Ident(kw) if kw == "else" => {}
+                        other => {
+                            return Err(self.error(format!("expected 'else', found {other}")))
+                        }
+                    }
+                    let else_branch = self.term()?;
+                    Ok(Term::ite(cond, then_branch, else_branch))
+                }
+                other => Ok(Term::var(other)),
+            },
+            other => Err(self.error(format!("expected a term, found {other}"))),
+        }
+    }
+
+    fn term_lambda(&mut self) -> Result<Term, ParseError> {
+        let binder = self.expect_ident()?;
+        self.expect(Token::Colon)?;
+        let dom = self.ty()?;
+        self.expect(Token::Dot)?;
+        let body = self.term_cmp()?;
+        Ok(Term::lam(binder, dom, body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+
+    #[test]
+    fn parses_base_and_channel_types() {
+        assert_eq!(parse_type("bool").unwrap(), Type::Bool);
+        assert_eq!(parse_type("cio[int]").unwrap(), Type::chan_io(Type::Int));
+        assert_eq!(
+            parse_type("co[co[str]]").unwrap(),
+            Type::chan_out(Type::chan_out(Type::Str))
+        );
+        assert_eq!(parse_type("()").unwrap(), Type::Unit);
+        assert_eq!(parse_type("int | bool").unwrap(), Type::union(Type::Int, Type::Bool));
+    }
+
+    #[test]
+    fn parses_process_types_with_dependencies() {
+        let t = parse_type("Pi(x: cio[int]) o[x, int, Pi() nil]").unwrap();
+        assert_eq!(
+            t,
+            Type::pi(
+                "x",
+                Type::chan_io(Type::Int),
+                Type::out(Type::var("x"), Type::Int, Type::thunk(Type::Nil))
+            )
+        );
+        let i = parse_type("i[self, Pi(reply: str) nil]").unwrap();
+        assert_eq!(
+            i,
+            Type::inp(Type::var("self"), Type::pi("reply", Type::Str, Type::Nil))
+        );
+    }
+
+    #[test]
+    fn parses_recursive_types_with_rec_variables() {
+        let t = parse_type("rec t . i[x, Pi(v: int) t]").unwrap();
+        assert_eq!(
+            t,
+            Type::rec(
+                "t",
+                Type::inp(Type::var("x"), Type::pi("v", Type::Int, Type::rec_var("t")))
+            )
+        );
+        // Outside the µ, the same identifier is a term variable.
+        assert_eq!(parse_type("t").unwrap(), Type::var("t"));
+    }
+
+    #[test]
+    fn the_pretty_printer_output_parses_back_for_the_paper_types() {
+        for ty in [
+            examples::tping_type(),
+            examples::tpong_type(),
+            examples::tpp_type(),
+            examples::tm_type(),
+            examples::tpayment_type(),
+        ] {
+            let printed = ty.to_string();
+            let reparsed = parse_type(&printed)
+                .unwrap_or_else(|e| panic!("could not reparse {printed}: {e}"));
+            assert_eq!(reparsed, ty, "round-trip failed for {printed}");
+        }
+    }
+
+    #[test]
+    fn named_definitions_and_application_express_example_3_3() {
+        let mut defs = Definitions::new();
+        defs.insert("Tping".to_string(), examples::tping_type());
+        defs.insert("Tpong".to_string(), examples::tpong_type());
+        let t = parse_type_with("p[Tping y z, Tpong z]", &defs).unwrap();
+        let expected = Type::par(
+            examples::tping_type().apply_all(&[Type::var("y"), Type::var("z")]).unwrap(),
+            examples::tpong_type().apply(&Type::var("z")).unwrap(),
+        );
+        assert_eq!(t, expected);
+        // Applying a non-function type is an error.
+        assert!(parse_type("int bool").is_err());
+    }
+
+    #[test]
+    fn parses_the_ping_pong_terms() {
+        let pinger = parse_term(
+            "fun self: cio[str]. fun pongc: co[co[str]]. \
+             send(pongc, self, fun _: (). recv(self, fun reply: str. end))",
+        )
+        .unwrap();
+        assert_eq!(pinger, examples::pinger_term());
+
+        let system = parse_term(
+            "let c : cio[int] = chan[int]() in \
+             send(c, 42, fun _: (). end) || recv(c, fun v: int. end)",
+        )
+        .unwrap();
+        let result = crate::Reducer::new().eval(&system, 100);
+        assert!(result.is_safe());
+        assert_eq!(result.term, Term::End);
+    }
+
+    #[test]
+    fn parses_conditionals_and_arithmetic() {
+        let t = parse_term("if x > 42000 then send(c, 1 + 2, fun _: (). end) else end").unwrap();
+        match t {
+            Term::If(cond, then_b, else_b) => {
+                assert!(matches!(*cond, Term::BinOp(BinOp::Gt, _, _)));
+                assert!(then_b.is_process());
+                assert_eq!(*else_b, Term::End);
+            }
+            other => panic!("unexpected parse {other}"),
+        }
+    }
+
+    #[test]
+    fn reports_helpful_errors() {
+        assert!(parse_type("o[x, int").unwrap_err().to_string().contains("expected"));
+        assert!(parse_term("let x = 3 in x").is_err()); // missing type annotation
+        assert!(parse_term("send(c, 1)").is_err()); // missing continuation
+        assert!(parse_type("cio[").is_err());
+    }
+}

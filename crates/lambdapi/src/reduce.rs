@@ -1,0 +1,630 @@
+//! Call-by-value operational semantics of λπ⩽ (Def. 2.4, Fig. 3).
+//!
+//! The semantics is a small-step reduction relation driven by evaluation
+//! contexts, with two concurrency rules ([R-chan()] and [R-Comm]) and a set of
+//! "go wrong" rules producing the `err` value. The structural congruence ≡ of
+//! Def. 2.4 (commutativity of `||`, `end || end ≡ end`, α-conversion) is baked
+//! into the way [`Reducer::step`] searches for redexes; in addition we treat
+//! `||` as associative when matching communication partners, mirroring the
+//! associativity that the *type* congruence (Def. 3.1) grants to `p[...]`.
+
+use crate::name::{ChanId, Name, NameGen};
+use crate::term::{BinOp, Term, Value};
+
+/// The base reduction rule that justified a step — used to label the τ-moves
+/// of the over-approximating semantics (Fig. 5, label `τ[r]`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BaseRule {
+    /// [R-¬tt] / [R-¬ff]: boolean negation.
+    Neg,
+    /// [R-if-tt] / [R-if-ff]: conditional selection.
+    If,
+    /// [R-λ]: β-reduction.
+    Beta,
+    /// [R-let]: unfolding of one occurrence of a let-bound variable.
+    Let,
+    /// [R-letgc]: garbage collection of an unused let binding.
+    LetGc,
+    /// [R-chan()]: creation of a fresh channel instance.
+    Chan,
+    /// [R-Comm]: synchronisation of a send and a receive on the same channel.
+    Comm(ChanId),
+    /// Evaluation of a primitive binary operator (routine extension).
+    Prim,
+    /// One of the error rules of Fig. 3 (the resulting term contains `err`).
+    Error,
+}
+
+impl BaseRule {
+    /// Returns `true` for the communication rule.
+    pub fn is_comm(&self) -> bool {
+        matches!(self, BaseRule::Comm(_))
+    }
+}
+
+/// The outcome of running a term to completion (or until fuel runs out).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EvalResult {
+    /// The final term reached.
+    pub term: Term,
+    /// Number of reduction steps taken.
+    pub steps: usize,
+    /// Whether the final term is a normal form (no further step applies).
+    pub normal_form: bool,
+    /// Whether an error rule fired (or the final term contains `err`).
+    pub reached_error: bool,
+}
+
+impl EvalResult {
+    /// `true` when no error was reached — the run witnessed safety (Def. 2.4).
+    pub fn is_safe(&self) -> bool {
+        !self.reached_error
+    }
+}
+
+/// The λπ⩽ reducer: owns the fresh-channel generator used by [R-chan()].
+///
+/// # Examples
+///
+/// ```
+/// use lambdapi::{Reducer, Term, Type};
+/// // (λx:bool. ¬x) tt  →*  ff
+/// let t = Term::app(
+///     Term::lam("x", Type::Bool, Term::not(Term::var("x"))),
+///     Term::bool(true),
+/// );
+/// let r = Reducer::new();
+/// let out = r.eval(&t, 100);
+/// assert_eq!(out.term, Term::bool(false));
+/// assert!(out.is_safe());
+/// ```
+#[derive(Debug, Default)]
+pub struct Reducer {
+    gen: NameGen,
+}
+
+impl Reducer {
+    /// Creates a reducer with a fresh channel-instance generator.
+    pub fn new() -> Self {
+        Reducer { gen: NameGen::new() }
+    }
+
+    /// Performs a single reduction step, returning the reduct and the base rule
+    /// used, or `None` if the term is a normal form (a value, a stuck open
+    /// term, or a terminated/blocked process).
+    pub fn step(&self, t: &Term) -> Option<(Term, BaseRule)> {
+        match t {
+            Term::Var(_) | Term::Val(_) | Term::End => None,
+
+            Term::Chan(ty) => {
+                let id = self.gen.fresh_chan();
+                Some((Term::Val(Value::Chan(id, ty.clone())), BaseRule::Chan))
+            }
+
+            Term::Not(inner) => {
+                if let Some(v) = inner.as_value() {
+                    match v {
+                        Value::Bool(b) => Some((Term::bool(!b), BaseRule::Neg)),
+                        _ => Some((Term::err(), BaseRule::Error)),
+                    }
+                } else {
+                    self.step(inner).map(|(i2, r)| (Term::not(i2), r))
+                }
+            }
+
+            Term::If(c, a, b) => {
+                if let Some(v) = c.as_value() {
+                    match v {
+                        Value::Bool(true) => Some(((**a).clone(), BaseRule::If)),
+                        Value::Bool(false) => Some(((**b).clone(), BaseRule::If)),
+                        _ => Some((Term::err(), BaseRule::Error)),
+                    }
+                } else {
+                    self.step(c)
+                        .map(|(c2, r)| (Term::If(Box::new(c2), a.clone(), b.clone()), r))
+                }
+            }
+
+            Term::BinOp(op, a, b) => {
+                if !a.is_value() {
+                    return self
+                        .step(a)
+                        .map(|(a2, r)| (Term::BinOp(*op, Box::new(a2), b.clone()), r));
+                }
+                if !b.is_value() {
+                    return self
+                        .step(b)
+                        .map(|(b2, r)| (Term::BinOp(*op, a.clone(), Box::new(b2)), r));
+                }
+                Some((apply_binop(*op, a, b), BaseRule::Prim))
+            }
+
+            Term::Let(x, ty, bound, body) => {
+                if !bound.is_value_or_var() {
+                    return self.step(bound).map(|(b2, r)| {
+                        (
+                            Term::Let(x.clone(), ty.clone(), Box::new(b2), body.clone()),
+                            r,
+                        )
+                    });
+                }
+                // [R-letgc]
+                if !body.free_vars().contains(x) {
+                    return Some(((**body).clone(), BaseRule::LetGc));
+                }
+                // [R-let]: unfold one occurrence of x in evaluation position.
+                if let Some(body2) = replace_var_in_eval_position(body, x, bound) {
+                    return Some((
+                        Term::Let(x.clone(), ty.clone(), bound.clone(), Box::new(body2)),
+                        BaseRule::Let,
+                    ));
+                }
+                // Otherwise reduce inside the body (context `let x = w in E`).
+                self.step(body).map(|(b2, r)| {
+                    (
+                        Term::Let(x.clone(), ty.clone(), bound.clone(), Box::new(b2)),
+                        r,
+                    )
+                })
+            }
+
+            Term::App(f, a) => {
+                if !f.is_value_or_var() {
+                    return self
+                        .step(f)
+                        .map(|(f2, r)| (Term::App(Box::new(f2), a.clone()), r));
+                }
+                if !a.is_value_or_var() {
+                    return self
+                        .step(a)
+                        .map(|(a2, r)| (Term::App(f.clone(), Box::new(a2)), r));
+                }
+                match f.as_value() {
+                    Some(Value::Lambda(x, _, body)) => {
+                        Some((body.subst(x, a), BaseRule::Beta))
+                    }
+                    Some(_) => Some((Term::err(), BaseRule::Error)),
+                    // Open application `x v` is stuck for the closed semantics
+                    // (the over-approximating semantics of Fig. 5 handles it).
+                    None => None,
+                }
+            }
+
+            Term::Send(c, v, k) => {
+                if !c.is_value_or_var() {
+                    return self
+                        .step(c)
+                        .map(|(c2, r)| (Term::Send(Box::new(c2), v.clone(), k.clone()), r));
+                }
+                if !v.is_value_or_var() {
+                    return self
+                        .step(v)
+                        .map(|(v2, r)| (Term::Send(c.clone(), Box::new(v2), k.clone()), r));
+                }
+                if !k.is_value_or_var() {
+                    return self
+                        .step(k)
+                        .map(|(k2, r)| (Term::Send(c.clone(), v.clone(), Box::new(k2)), r));
+                }
+                // Error rule: sending on a non-channel value.
+                match c.as_value() {
+                    Some(Value::Chan(..)) | None => None, // ready to communicate, or open
+                    Some(_) => Some((Term::err(), BaseRule::Error)),
+                }
+            }
+
+            Term::Recv(c, k) => {
+                if !c.is_value_or_var() {
+                    return self
+                        .step(c)
+                        .map(|(c2, r)| (Term::Recv(Box::new(c2), k.clone()), r));
+                }
+                if !k.is_value_or_var() {
+                    return self
+                        .step(k)
+                        .map(|(k2, r)| (Term::Recv(c.clone(), Box::new(k2)), r));
+                }
+                match c.as_value() {
+                    Some(Value::Chan(..)) | None => None,
+                    Some(_) => Some((Term::err(), BaseRule::Error)),
+                }
+            }
+
+            Term::Par(..) => self.step_par(t),
+        }
+    }
+
+    /// Steps a parallel composition: first tries [R-Comm] between any two
+    /// components (using commutativity/associativity of `||`), then the error
+    /// rule for values in parallel position, then an internal step of any
+    /// component.
+    fn step_par(&self, t: &Term) -> Option<(Term, BaseRule)> {
+        let components = par_components(t);
+
+        // Error rule: a value may not appear in a parallel composition.
+        if components.iter().any(|c| c.is_value()) {
+            return Some((Term::err(), BaseRule::Error));
+        }
+
+        // [R-Comm]: find a ready send and a ready recv on the same channel.
+        let mut send_idx: Vec<(usize, ChanId, Term, Term)> = Vec::new();
+        let mut recv_idx: Vec<(usize, ChanId, Term)> = Vec::new();
+        for (i, c) in components.iter().enumerate() {
+            match c {
+                Term::Send(ch, v, k)
+                    if ch.is_value() && v.is_value() && k.is_value() =>
+                {
+                    if let Some(Value::Chan(id, _)) = ch.as_value() {
+                        send_idx.push((i, *id, (**v).clone(), (**k).clone()));
+                    }
+                }
+                Term::Recv(ch, k) if ch.is_value() && k.is_value() => {
+                    if let Some(Value::Chan(id, _)) = ch.as_value() {
+                        recv_idx.push((i, *id, (**k).clone()));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (si, scid, payload, scont) in &send_idx {
+            for (ri, rcid, rcont) in &recv_idx {
+                if scid == rcid {
+                    let mut new_components = components.clone();
+                    // send(a,u,v1) || recv(a,v2)  →  v1 () || v2 u
+                    new_components[*si] = Term::app(scont.clone(), Term::unit());
+                    new_components[*ri] = Term::app(rcont.clone(), payload.clone());
+                    return Some((rebuild_par(new_components), BaseRule::Comm(*scid)));
+                }
+            }
+        }
+
+        // Otherwise, reduce inside some component (contexts E || t plus ≡).
+        for (i, c) in components.iter().enumerate() {
+            if let Some((c2, rule)) = self.step(c) {
+                let mut new_components = components.clone();
+                new_components[i] = c2;
+                return Some((rebuild_par(new_components), rule));
+            }
+        }
+        None
+    }
+
+    /// Runs the term for at most `fuel` steps.
+    pub fn eval(&self, t: &Term, fuel: usize) -> EvalResult {
+        let mut cur = t.clone();
+        let mut steps = 0;
+        let mut reached_error = false;
+        while steps < fuel {
+            match self.step(&cur) {
+                Some((next, rule)) => {
+                    if matches!(rule, BaseRule::Error) {
+                        reached_error = true;
+                    }
+                    cur = next;
+                    steps += 1;
+                }
+                None => {
+                    return EvalResult {
+                        reached_error: reached_error || cur.contains_err(),
+                        normal_form: true,
+                        term: cur,
+                        steps,
+                    }
+                }
+            }
+        }
+        EvalResult {
+            reached_error: reached_error || cur.contains_err(),
+            normal_form: false,
+            term: cur,
+            steps,
+        }
+    }
+
+    /// Runs the term and returns the trace of base rules fired (useful in tests
+    /// and in the conformance checks against the type LTS).
+    pub fn trace(&self, t: &Term, fuel: usize) -> (Term, Vec<BaseRule>) {
+        let mut cur = t.clone();
+        let mut rules = Vec::new();
+        for _ in 0..fuel {
+            match self.step(&cur) {
+                Some((next, rule)) => {
+                    rules.push(rule);
+                    cur = next;
+                }
+                None => break,
+            }
+        }
+        (cur, rules)
+    }
+}
+
+/// Flattens the parallel structure of a term into its components, applying the
+/// congruence `end || end ≡ end` by dropping `end` components when at least
+/// one non-`end` component remains.
+pub fn par_components(t: &Term) -> Vec<Term> {
+    let mut out = Vec::new();
+    fn go(t: &Term, out: &mut Vec<Term>) {
+        match t {
+            Term::Par(a, b) => {
+                go(a, out);
+                go(b, out);
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    go(t, &mut out);
+    let non_end: Vec<Term> = out.iter().filter(|c| !matches!(c, Term::End)).cloned().collect();
+    if non_end.is_empty() {
+        vec![Term::End]
+    } else {
+        non_end
+    }
+}
+
+/// Rebuilds a parallel composition from components (inverse of
+/// [`par_components`], up to ≡).
+pub fn rebuild_par(components: Vec<Term>) -> Term {
+    let non_end: Vec<Term> = components
+        .into_iter()
+        .filter(|c| !matches!(c, Term::End))
+        .collect();
+    Term::par_all(non_end)
+}
+
+/// Implements the [R-let] search: finds the (unique, leftmost) occurrence of
+/// the variable `x` in evaluation position within `t` and replaces it by `w`.
+pub fn replace_var_in_eval_position(t: &Term, x: &Name, w: &Term) -> Option<Term> {
+    match t {
+        Term::Var(y) if y == x => Some(w.clone()),
+        Term::Var(_) | Term::Val(_) | Term::End | Term::Chan(_) => None,
+        Term::Not(e) => replace_var_in_eval_position(e, x, w).map(Term::not),
+        Term::If(c, a, b) => replace_var_in_eval_position(c, x, w)
+            .map(|c2| Term::If(Box::new(c2), a.clone(), b.clone())),
+        Term::BinOp(op, a, b) => {
+            if !a.is_value() {
+                replace_var_in_eval_position(a, x, w)
+                    .map(|a2| Term::BinOp(*op, Box::new(a2), b.clone()))
+            } else {
+                replace_var_in_eval_position(b, x, w)
+                    .map(|b2| Term::BinOp(*op, a.clone(), Box::new(b2)))
+            }
+        }
+        Term::Let(y, ty, bound, body) => {
+            if !bound.is_value_or_var() {
+                return replace_var_in_eval_position(bound, x, w).map(|b2| {
+                    Term::Let(y.clone(), ty.clone(), Box::new(b2), body.clone())
+                });
+            }
+            if y == x {
+                return None; // shadowed
+            }
+            replace_var_in_eval_position(body, x, w)
+                .map(|b2| Term::Let(y.clone(), ty.clone(), bound.clone(), Box::new(b2)))
+        }
+        Term::App(f, a) => {
+            if !f.is_value() {
+                // The hole can be the function position itself (`E t`).
+                if let Some(f2) = replace_var_in_eval_position(f, x, w) {
+                    return Some(Term::App(Box::new(f2), a.clone()));
+                }
+            }
+            if f.is_value_or_var() {
+                // `w E` context.
+                return replace_var_in_eval_position(a, x, w)
+                    .map(|a2| Term::App(f.clone(), Box::new(a2)));
+            }
+            None
+        }
+        Term::Send(c, v, k) => {
+            if !c.is_value_or_var() || matches!(&**c, Term::Var(y) if y == x) {
+                if let Some(c2) = replace_var_in_eval_position(c, x, w) {
+                    return Some(Term::Send(Box::new(c2), v.clone(), k.clone()));
+                }
+            }
+            if !v.is_value_or_var() || matches!(&**v, Term::Var(y) if y == x) {
+                if let Some(v2) = replace_var_in_eval_position(v, x, w) {
+                    return Some(Term::Send(c.clone(), Box::new(v2), k.clone()));
+                }
+            }
+            replace_var_in_eval_position(k, x, w)
+                .map(|k2| Term::Send(c.clone(), v.clone(), Box::new(k2)))
+        }
+        Term::Recv(c, k) => {
+            if !c.is_value_or_var() || matches!(&**c, Term::Var(y) if y == x) {
+                if let Some(c2) = replace_var_in_eval_position(c, x, w) {
+                    return Some(Term::Recv(Box::new(c2), k.clone()));
+                }
+            }
+            replace_var_in_eval_position(k, x, w)
+                .map(|k2| Term::Recv(c.clone(), Box::new(k2)))
+        }
+        Term::Par(a, b) => {
+            if let Some(a2) = replace_var_in_eval_position(a, x, w) {
+                return Some(Term::Par(Box::new(a2), b.clone()));
+            }
+            replace_var_in_eval_position(b, x, w).map(|b2| Term::Par(a.clone(), Box::new(b2)))
+        }
+    }
+}
+
+fn apply_binop(op: BinOp, a: &Term, b: &Term) -> Term {
+    match (op, a.as_value(), b.as_value()) {
+        (BinOp::Add, Some(Value::Int(x)), Some(Value::Int(y))) => Term::int(x + y),
+        (BinOp::Sub, Some(Value::Int(x)), Some(Value::Int(y))) => Term::int(x - y),
+        (BinOp::Gt, Some(Value::Int(x)), Some(Value::Int(y))) => Term::bool(x > y),
+        (BinOp::Eq, Some(va), Some(vb)) if !va.is_err() && !vb.is_err() => {
+            Term::bool(va == vb)
+        }
+        _ => Term::err(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::Type;
+
+    fn reducer() -> Reducer {
+        Reducer::new()
+    }
+
+    #[test]
+    fn negation_and_if_reduce() {
+        let r = reducer();
+        assert_eq!(r.eval(&Term::not(Term::bool(true)), 10).term, Term::bool(false));
+        let t = Term::ite(Term::bool(false), Term::int(1), Term::int(2));
+        assert_eq!(r.eval(&t, 10).term, Term::int(2));
+    }
+
+    #[test]
+    fn beta_reduction_is_call_by_value() {
+        let r = reducer();
+        // (λx:int. x + x) (1 + 2)  →*  6
+        let t = Term::app(
+            Term::lam("x", Type::Int, Term::binop(BinOp::Add, Term::var("x"), Term::var("x"))),
+            Term::binop(BinOp::Add, Term::int(1), Term::int(2)),
+        );
+        assert_eq!(r.eval(&t, 20).term, Term::int(6));
+    }
+
+    #[test]
+    fn chan_creates_distinct_instances() {
+        let r = reducer();
+        let t = Term::chan(Type::Int);
+        let a = r.eval(&t, 5).term;
+        let b = r.eval(&t, 5).term;
+        match (a.as_value(), b.as_value()) {
+            (Some(Value::Chan(ia, _)), Some(Value::Chan(ib, _))) => assert_ne!(ia, ib),
+            _ => panic!("expected channel instances"),
+        }
+    }
+
+    #[test]
+    fn communication_transfers_the_payload() {
+        let r = reducer();
+        // let c = chan() in send(c, 42, λ_.end) || recv(c, λv. if v > 0 then end else end)
+        let body = Term::par(
+            Term::send(Term::var("c"), Term::int(42), Term::thunk(Term::End)),
+            Term::recv(
+                Term::var("c"),
+                Term::lam(
+                    "v",
+                    Type::Int,
+                    Term::ite(
+                        Term::binop(BinOp::Gt, Term::var("v"), Term::int(0)),
+                        Term::End,
+                        Term::End,
+                    ),
+                ),
+            ),
+        );
+        let t = Term::let_("c", Type::chan_io(Type::Int), Term::chan(Type::Int), body);
+        let out = r.eval(&t, 100);
+        assert!(out.is_safe());
+        assert!(out.normal_form);
+        assert_eq!(par_components(&out.term), vec![Term::End]);
+    }
+
+    #[test]
+    fn pingpong_example_2_2_runs_to_end() {
+        let r = reducer();
+        let t = crate::examples::ping_pong_main();
+        let out = r.eval(&t, 500);
+        assert!(out.is_safe(), "ping-pong must be safe, got {}", out.term);
+        assert!(out.normal_form);
+        assert_eq!(par_components(&out.term), vec![Term::End]);
+    }
+
+    #[test]
+    fn applying_a_non_function_errors() {
+        let r = reducer();
+        let t = Term::app(Term::int(3), Term::unit());
+        let out = r.eval(&t, 10);
+        assert!(out.reached_error);
+    }
+
+    #[test]
+    fn sending_on_a_non_channel_errors() {
+        let r = reducer();
+        let t = Term::send(Term::int(1), Term::int(2), Term::thunk(Term::End));
+        assert!(r.eval(&t, 10).reached_error);
+        let t2 = Term::recv(Term::bool(true), Term::lam("x", Type::Int, Term::End));
+        assert!(r.eval(&t2, 10).reached_error);
+    }
+
+    #[test]
+    fn value_in_parallel_composition_errors() {
+        let r = reducer();
+        let t = Term::par(Term::int(1), Term::End);
+        assert!(r.eval(&t, 10).reached_error);
+    }
+
+    #[test]
+    fn negating_a_non_boolean_errors() {
+        let r = reducer();
+        assert!(r.eval(&Term::not(Term::int(1)), 10).reached_error);
+        assert!(r
+            .eval(&Term::ite(Term::int(1), Term::End, Term::End), 10)
+            .reached_error);
+    }
+
+    #[test]
+    fn let_unfolds_recursively_without_diverging_eagerly() {
+        let r = reducer();
+        // let f = λx:int. if x > 0 then f (x - 1) else x in f 3  →*  0
+        let f_body = Term::lam(
+            "x",
+            Type::Int,
+            Term::ite(
+                Term::binop(BinOp::Gt, Term::var("x"), Term::int(0)),
+                Term::app(Term::var("f"), Term::binop(BinOp::Sub, Term::var("x"), Term::int(1))),
+                Term::var("x"),
+            ),
+        );
+        let t = Term::let_(
+            "f",
+            Type::Top,
+            f_body,
+            Term::app(Term::var("f"), Term::int(3)),
+        );
+        let out = r.eval(&t, 200);
+        assert!(out.is_safe());
+        assert_eq!(out.term, Term::int(0));
+    }
+
+    #[test]
+    fn let_gc_removes_unused_bindings() {
+        let r = reducer();
+        let t = Term::let_("x", Type::Int, Term::int(1), Term::int(2));
+        let (next, rule) = r.step(&t).unwrap();
+        assert_eq!(rule, BaseRule::LetGc);
+        assert_eq!(next, Term::int(2));
+    }
+
+    #[test]
+    fn trace_records_communication() {
+        let r = reducer();
+        let t = Term::let_(
+            "c",
+            Type::chan_io(Type::Int),
+            Term::chan(Type::Int),
+            Term::par(
+                Term::send(Term::var("c"), Term::int(1), Term::thunk(Term::End)),
+                Term::recv(Term::var("c"), Term::lam("v", Type::Int, Term::End)),
+            ),
+        );
+        let (_, rules) = r.trace(&t, 100);
+        assert!(rules.iter().any(|r| r.is_comm()));
+    }
+
+    #[test]
+    fn stuck_open_terms_are_normal_forms_without_error() {
+        let r = reducer();
+        // send(x, 1, λ_.end) is stuck (x is free) but not an error.
+        let t = Term::send(Term::var("x"), Term::int(1), Term::thunk(Term::End));
+        let out = r.eval(&t, 10);
+        assert!(out.normal_form);
+        assert!(out.is_safe());
+    }
+}

@@ -1,0 +1,204 @@
+//! Capture-avoiding substitution on λπ⩽ terms.
+//!
+//! Substitution `t{v/x}` is used by the β-rule ([R-λ] in Fig. 3), by the
+//! communication rule ([R-Comm], which substitutes the transmitted value into
+//! the receiver's continuation), and by the open-term semantics of Fig. 5.
+
+use std::collections::BTreeSet;
+
+use crate::name::{Name, NameGen};
+use crate::term::{Term, Value};
+
+impl Term {
+    /// Capture-avoiding substitution `t{v/x}`: replaces every free occurrence
+    /// of the variable `x` in `self` by the term `v` (usually a value or a
+    /// variable), renaming bound variables as necessary.
+    pub fn subst(&self, x: &Name, v: &Term) -> Term {
+        let fv_v: BTreeSet<Name> = v.free_vars();
+        let gen = NameGen::new();
+        self.subst_inner(x, v, &fv_v, &gen)
+    }
+
+    fn subst_inner(&self, x: &Name, v: &Term, fv_v: &BTreeSet<Name>, gen: &NameGen) -> Term {
+        match self {
+            Term::Var(y) => {
+                if y == x {
+                    v.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            Term::Val(Value::Lambda(y, ty, body)) => {
+                if y == x {
+                    // x is shadowed by the binder: no substitution in the body.
+                    self.clone()
+                } else if fv_v.contains(y) {
+                    // α-rename the binder to avoid capturing the free y of v.
+                    let fresh = fresh_avoiding(gen, y, fv_v, &body.free_vars());
+                    let renamed = body.subst_inner(y, &Term::Var(fresh.clone()), &BTreeSet::new(), gen);
+                    Term::Val(Value::Lambda(
+                        fresh,
+                        ty.clone(),
+                        Box::new(renamed.subst_inner(x, v, fv_v, gen)),
+                    ))
+                } else {
+                    Term::Val(Value::Lambda(
+                        y.clone(),
+                        ty.clone(),
+                        Box::new(body.subst_inner(x, v, fv_v, gen)),
+                    ))
+                }
+            }
+            Term::Val(_) | Term::End | Term::Chan(_) => self.clone(),
+            Term::Not(t) => Term::Not(Box::new(t.subst_inner(x, v, fv_v, gen))),
+            Term::If(c, a, b) => Term::If(
+                Box::new(c.subst_inner(x, v, fv_v, gen)),
+                Box::new(a.subst_inner(x, v, fv_v, gen)),
+                Box::new(b.subst_inner(x, v, fv_v, gen)),
+            ),
+            Term::Let(y, ty, bound, body) => {
+                if y == x {
+                    // In `let`, the binder scopes over both the bound term and
+                    // the body (recursion), so x is fully shadowed.
+                    self.clone()
+                } else if fv_v.contains(y) {
+                    let mut avoid = bound.free_vars();
+                    avoid.extend(body.free_vars());
+                    let fresh = fresh_avoiding(gen, y, fv_v, &avoid);
+                    let bound2 =
+                        bound.subst_inner(y, &Term::Var(fresh.clone()), &BTreeSet::new(), gen);
+                    let body2 =
+                        body.subst_inner(y, &Term::Var(fresh.clone()), &BTreeSet::new(), gen);
+                    Term::Let(
+                        fresh,
+                        ty.clone(),
+                        Box::new(bound2.subst_inner(x, v, fv_v, gen)),
+                        Box::new(body2.subst_inner(x, v, fv_v, gen)),
+                    )
+                } else {
+                    Term::Let(
+                        y.clone(),
+                        ty.clone(),
+                        Box::new(bound.subst_inner(x, v, fv_v, gen)),
+                        Box::new(body.subst_inner(x, v, fv_v, gen)),
+                    )
+                }
+            }
+            Term::App(a, b) => Term::App(
+                Box::new(a.subst_inner(x, v, fv_v, gen)),
+                Box::new(b.subst_inner(x, v, fv_v, gen)),
+            ),
+            Term::BinOp(op, a, b) => Term::BinOp(
+                *op,
+                Box::new(a.subst_inner(x, v, fv_v, gen)),
+                Box::new(b.subst_inner(x, v, fv_v, gen)),
+            ),
+            Term::Send(a, b, c) => Term::Send(
+                Box::new(a.subst_inner(x, v, fv_v, gen)),
+                Box::new(b.subst_inner(x, v, fv_v, gen)),
+                Box::new(c.subst_inner(x, v, fv_v, gen)),
+            ),
+            Term::Recv(a, b) => Term::Recv(
+                Box::new(a.subst_inner(x, v, fv_v, gen)),
+                Box::new(b.subst_inner(x, v, fv_v, gen)),
+            ),
+            Term::Par(a, b) => Term::Par(
+                Box::new(a.subst_inner(x, v, fv_v, gen)),
+                Box::new(b.subst_inner(x, v, fv_v, gen)),
+            ),
+        }
+    }
+}
+
+fn fresh_avoiding(
+    gen: &NameGen,
+    hint: &Name,
+    avoid1: &BTreeSet<Name>,
+    avoid2: &BTreeSet<Name>,
+) -> Name {
+    let mut fresh = gen.fresh(hint.as_str());
+    while avoid1.contains(&fresh) || avoid2.contains(&fresh) {
+        fresh = gen.fresh(hint.as_str());
+    }
+    fresh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::Type;
+
+    #[test]
+    fn substitutes_free_occurrences() {
+        let t = Term::send(Term::var("c"), Term::var("x"), Term::thunk(Term::End));
+        let s = t.subst(&Name::new("x"), &Term::int(7));
+        assert_eq!(
+            s,
+            Term::send(Term::var("c"), Term::int(7), Term::thunk(Term::End))
+        );
+    }
+
+    #[test]
+    fn shadowed_occurrences_are_untouched() {
+        let t = Term::lam("x", Type::Int, Term::var("x"));
+        assert_eq!(t.subst(&Name::new("x"), &Term::int(1)), t);
+        let l = Term::let_("x", Type::Int, Term::int(2), Term::var("x"));
+        assert_eq!(l.subst(&Name::new("x"), &Term::int(9)), l);
+    }
+
+    #[test]
+    fn capture_is_avoided_in_lambda() {
+        // (λy. x y){y/x}  must not become λy. y y
+        let t = Term::lam("y", Type::Int, Term::app(Term::var("x"), Term::var("y")));
+        let s = t.subst(&Name::new("x"), &Term::var("y"));
+        match s {
+            Term::Val(Value::Lambda(binder, _, body)) => {
+                assert_ne!(binder, Name::new("y"));
+                // Body applies the free y to the renamed binder.
+                match *body {
+                    Term::App(f, a) => {
+                        assert_eq!(*f, Term::var("y"));
+                        assert_eq!(*a, Term::Var(binder));
+                    }
+                    other => panic!("unexpected body {other}"),
+                }
+            }
+            other => panic!("expected lambda, got {other}"),
+        }
+    }
+
+    #[test]
+    fn capture_is_avoided_in_let() {
+        let t = Term::let_(
+            "y",
+            Type::Int,
+            Term::int(1),
+            Term::app(Term::var("x"), Term::var("y")),
+        );
+        let s = t.subst(&Name::new("x"), &Term::var("y"));
+        match s {
+            Term::Let(binder, _, _, body) => {
+                assert_ne!(binder, Name::new("y"));
+                match *body {
+                    Term::App(f, a) => {
+                        assert_eq!(*f, Term::var("y"));
+                        assert_eq!(*a, Term::Var(binder));
+                    }
+                    other => panic!("unexpected body {other}"),
+                }
+            }
+            other => panic!("expected let, got {other}"),
+        }
+    }
+
+    #[test]
+    fn substitution_into_processes() {
+        let t = Term::par(
+            Term::recv(Term::var("c"), Term::var("k")),
+            Term::send(Term::var("c"), Term::unit(), Term::thunk(Term::End)),
+        );
+        let s = t.subst(&Name::new("k"), &Term::lam("v", Type::Unit, Term::End));
+        assert!(s.to_string().contains("λv"));
+        assert!(!s.free_vars().contains(&Name::new("k")));
+    }
+}

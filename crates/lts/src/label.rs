@@ -1,0 +1,200 @@
+//! Transition labels for the type-level LTS (Def. 4.2 / Fig. 6) and the
+//! open-term LTS (Def. 4.1 / Fig. 5).
+
+use std::fmt;
+
+use lambdapi::{BaseRule, Name, Term, Type};
+
+/// A label of the type-level transition system (Fig. 6).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TypeLabel {
+    /// `τ[∨]` — resolution of an internal choice (union type).
+    Choice,
+    /// `S⟨T⟩` — output of a `T`-typed payload on an `S`-typed channel
+    /// (rule [T→o]).
+    Out {
+        /// The channel (subject) type.
+        subject: Type,
+        /// The payload type.
+        payload: Type,
+    },
+    /// `S(T)` — input of a `T`-typed payload from an `S`-typed channel
+    /// (rule [T→i]).
+    In {
+        /// The channel (subject) type.
+        subject: Type,
+        /// The payload type chosen by the early-style input rule.
+        payload: Type,
+    },
+    /// `τ[S,S']` — synchronisation between an output on `S` and an input on
+    /// `S'` (rules [T→iox] / [T→io]).
+    Comm {
+        /// The sender's channel type.
+        left: Type,
+        /// The receiver's channel type.
+        right: Type,
+    },
+}
+
+impl TypeLabel {
+    /// `true` for the internal labels `τ[∨]` and `τ[S,S']`.
+    pub fn is_tau(&self) -> bool {
+        matches!(self, TypeLabel::Choice | TypeLabel::Comm { .. })
+    }
+
+    /// `true` for input/output (visible) labels.
+    pub fn is_io(&self) -> bool {
+        matches!(self, TypeLabel::Out { .. } | TypeLabel::In { .. })
+    }
+
+    /// The subject (channel) type of an input/output label.
+    pub fn subject(&self) -> Option<&Type> {
+        match self {
+            TypeLabel::Out { subject, .. } | TypeLabel::In { subject, .. } => Some(subject),
+            _ => None,
+        }
+    }
+
+    /// The payload type of an input/output label.
+    pub fn payload(&self) -> Option<&Type> {
+        match self {
+            TypeLabel::Out { payload, .. } | TypeLabel::In { payload, .. } => Some(payload),
+            _ => None,
+        }
+    }
+
+    /// `true` if this is an output whose subject is exactly the variable `x`.
+    pub fn is_output_on(&self, x: &Name) -> bool {
+        matches!(self, TypeLabel::Out { subject: Type::Var(y), .. } if y == x)
+    }
+
+    /// `true` if this is an input whose subject is exactly the variable `x`.
+    pub fn is_input_on(&self, x: &Name) -> bool {
+        matches!(self, TypeLabel::In { subject: Type::Var(y), .. } if y == x)
+    }
+}
+
+impl fmt::Display for TypeLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeLabel::Choice => write!(f, "τ[∨]"),
+            TypeLabel::Out { subject, payload } => write!(f, "{subject}⟨{payload}⟩"),
+            TypeLabel::In { subject, payload } => write!(f, "{subject}({payload})"),
+            TypeLabel::Comm { left, right } => write!(f, "τ[{left},{right}]"),
+        }
+    }
+}
+
+/// A label of the over-approximating open-term transition system (Fig. 5).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TermLabel {
+    /// `τ[r]` — a concrete reduction justified by base rule `r` ([SR-→]).
+    TauRule(BaseRule),
+    /// `τ[¬x]` — non-deterministic resolution of an open negation.
+    TauNeg(Name),
+    /// `τ[if x]` — non-deterministic resolution of an open conditional.
+    TauIf(Name),
+    /// `τ[λ()]` — application of a function to a variable ([SR-λ()]).
+    TauLambdaApp,
+    /// `w⟨w'⟩` — output of `w'` on channel/variable `w` ([SR-send]).
+    Out {
+        /// The channel (a value or variable).
+        subject: Term,
+        /// The payload (a value or variable).
+        payload: Term,
+    },
+    /// `w(w')` — input of `w'` from channel/variable `w` ([SR-recv]).
+    In {
+        /// The channel (a value or variable).
+        subject: Term,
+        /// The payload chosen by the early-style semantics.
+        payload: Term,
+    },
+    /// `τ[w]` — synchronisation on channel/variable `w` ([SR-Comm]).
+    TauComm(Term),
+}
+
+impl TermLabel {
+    /// `true` for the τ-labels that the relation `τ•⇁*` may fire (Fig. 5):
+    /// everything except visible I/O, communication on a *variable*, and
+    /// concrete [R-Comm] steps.
+    pub fn is_tau_bullet(&self) -> bool {
+        match self {
+            TermLabel::TauRule(rule) => !rule.is_comm(),
+            TermLabel::TauNeg(_) | TermLabel::TauIf(_) | TermLabel::TauLambdaApp => true,
+            TermLabel::Out { .. } | TermLabel::In { .. } | TermLabel::TauComm(_) => false,
+        }
+    }
+
+    /// `true` for input/output (visible) labels.
+    pub fn is_io(&self) -> bool {
+        matches!(self, TermLabel::Out { .. } | TermLabel::In { .. })
+    }
+
+    /// `true` if this is an output on the given variable.
+    pub fn is_output_on(&self, x: &Name) -> bool {
+        matches!(self, TermLabel::Out { subject: Term::Var(y), .. } if y == x)
+    }
+
+    /// `true` if this is an input on the given variable.
+    pub fn is_input_on(&self, x: &Name) -> bool {
+        matches!(self, TermLabel::In { subject: Term::Var(y), .. } if y == x)
+    }
+
+    /// `true` if this is a synchronisation on the given variable.
+    pub fn is_comm_on(&self, x: &Name) -> bool {
+        matches!(self, TermLabel::TauComm(Term::Var(y)) if y == x)
+    }
+}
+
+impl fmt::Display for TermLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TermLabel::TauRule(rule) => write!(f, "τ[{rule:?}]"),
+            TermLabel::TauNeg(x) => write!(f, "τ[¬{x}]"),
+            TermLabel::TauIf(x) => write!(f, "τ[if {x}]"),
+            TermLabel::TauLambdaApp => write!(f, "τ[λ()]"),
+            TermLabel::Out { subject, payload } => write!(f, "{subject}⟨{payload}⟩"),
+            TermLabel::In { subject, payload } => write!(f, "{subject}({payload})"),
+            TermLabel::TauComm(w) => write!(f, "τ[{w}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_label_classification() {
+        let out = TypeLabel::Out { subject: Type::var("x"), payload: Type::Int };
+        let inp = TypeLabel::In { subject: Type::var("x"), payload: Type::Int };
+        let comm = TypeLabel::Comm { left: Type::var("x"), right: Type::var("x") };
+        assert!(out.is_io() && !out.is_tau());
+        assert!(inp.is_io());
+        assert!(comm.is_tau());
+        assert!(TypeLabel::Choice.is_tau());
+        assert!(out.is_output_on(&Name::new("x")));
+        assert!(!out.is_output_on(&Name::new("y")));
+        assert!(inp.is_input_on(&Name::new("x")));
+        assert_eq!(out.subject(), Some(&Type::var("x")));
+        assert_eq!(out.payload(), Some(&Type::Int));
+    }
+
+    #[test]
+    fn term_label_tau_bullet_excludes_communication() {
+        assert!(TermLabel::TauRule(BaseRule::Beta).is_tau_bullet());
+        assert!(TermLabel::TauNeg(Name::new("x")).is_tau_bullet());
+        assert!(!TermLabel::TauComm(Term::var("x")).is_tau_bullet());
+        assert!(!TermLabel::TauRule(BaseRule::Comm(lambdapi::ChanId(0))).is_tau_bullet());
+        assert!(!TermLabel::Out { subject: Term::var("x"), payload: Term::int(1) }.is_tau_bullet());
+    }
+
+    #[test]
+    fn labels_display_compactly() {
+        let l = TypeLabel::Out { subject: Type::var("z"), payload: Type::var("y") };
+        assert_eq!(l.to_string(), "z⟨y⟩");
+        let l2 = TermLabel::TauComm(Term::var("z"));
+        assert_eq!(l2.to_string(), "τ[z]");
+    }
+}

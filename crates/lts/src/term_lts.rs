@@ -1,0 +1,317 @@
+//! The over-approximating labelled semantics of *open typed terms*
+//! (Def. 4.1, Fig. 5).
+//!
+//! This LTS lets open terms move: a free variable `x` of boolean type can be
+//! non-deterministically instantiated, `send`/`recv` on free channel variables
+//! fire visible input/output labels, and two parallel components synchronise
+//! on a common channel variable (rule [SR-Comm]), which is what makes the
+//! conformance statements of Thm. 4.4/4.5 observable.
+//!
+//! Implementation notes (documented deviations):
+//!
+//! * Rule [SR-recv] is *early*: the received payload ranges over an infinite
+//!   set of values. We enumerate a finite set of candidates — the environment
+//!   variables whose type fits the channel payload, plus one canonical literal
+//!   per base type — which is sufficient for the conformance checks and for
+//!   the Fig. 7 (left column) examples.
+//! * Rule [SR-x()] (instantiating an applied *variable* with an arbitrary
+//!   function) is not enumerated, for the same reason; applied variables are
+//!   treated as stuck.
+//! * Context propagation ([SR-E]) is implemented for `let`-bindings of
+//!   values/variables and for parallel compositions, which covers the shapes
+//!   produced by the paper's examples.
+
+use dbt_types::{Checker, TypeEnv};
+use lambdapi::{par_components, rebuild_par, Reducer, Term, Type, Value};
+
+use crate::generic::Lts;
+use crate::label::TermLabel;
+
+/// Builder for the open-term LTS of Def. 4.1.
+#[derive(Debug)]
+pub struct TermLts {
+    env: TypeEnv,
+    checker: Checker,
+    reducer: Reducer,
+}
+
+impl TermLts {
+    /// Creates a builder for the given typing environment.
+    pub fn new(env: TypeEnv) -> Self {
+        TermLts { env, checker: Checker::new(), reducer: Reducer::new() }
+    }
+
+    /// The typing environment.
+    pub fn env(&self) -> &TypeEnv {
+        &self.env
+    }
+
+    /// Computes the successors `Γ ⊢ t --α--⇁ t'`.
+    pub fn successors(&self, t: &Term) -> Vec<(TermLabel, Term)> {
+        let mut out = Vec::new();
+
+        // [SR-→]: concrete reductions, labelled with their base rule.
+        if let Some((next, rule)) = self.reducer.step(t) {
+            out.push((TermLabel::TauRule(rule), next));
+        }
+
+        // Open-term rules.
+        self.open_successors(t, &mut out);
+
+        out.sort_by(|a, b| format!("{:?}", a).cmp(&format!("{:?}", b)));
+        out.dedup();
+        out
+    }
+
+    fn open_successors(&self, t: &Term, out: &mut Vec<(TermLabel, Term)>) {
+        match t {
+            // [SR-¬x]
+            Term::Not(inner) => {
+                if let Term::Var(x) = &**inner {
+                    out.push((TermLabel::TauNeg(x.clone()), Term::bool(true)));
+                    out.push((TermLabel::TauNeg(x.clone()), Term::bool(false)));
+                }
+            }
+            // [SR-if x]
+            Term::If(cond, a, b) => {
+                if let Term::Var(x) = &**cond {
+                    out.push((TermLabel::TauIf(x.clone()), (**a).clone()));
+                    out.push((TermLabel::TauIf(x.clone()), (**b).clone()));
+                }
+            }
+            // [SR-λ()]
+            Term::App(f, a) => {
+                if let (Term::Val(Value::Lambda(x, _, body)), Term::Var(_)) = (&**f, &**a) {
+                    out.push((TermLabel::TauLambdaApp, body.subst(x, a)));
+                }
+            }
+            // [SR-send]
+            Term::Send(chan, payload, cont)
+                if chan.is_value_or_var() && payload.is_value_or_var() && cont.is_value_or_var() =>
+            {
+                out.push((
+                    TermLabel::Out { subject: (**chan).clone(), payload: (**payload).clone() },
+                    Term::app((**cont).clone(), Term::unit()),
+                ));
+            }
+            // [SR-recv]
+            Term::Recv(chan, cont) if chan.is_value_or_var() && cont.is_value_or_var() => {
+                for candidate in self.receive_candidates(chan) {
+                    out.push((
+                        TermLabel::In { subject: (**chan).clone(), payload: candidate.clone() },
+                        Term::app((**cont).clone(), candidate),
+                    ));
+                }
+            }
+            // [SR-Comm] + interleaving of components ([SR-E] with E || t and ≡).
+            Term::Par(..) => {
+                let components = par_components(t);
+                let succs: Vec<Vec<(TermLabel, Term)>> = components
+                    .iter()
+                    .map(|c| {
+                        let mut v = Vec::new();
+                        self.open_successors(c, &mut v);
+                        v
+                    })
+                    .collect();
+                for (i, cs) in succs.iter().enumerate() {
+                    for (label, next) in cs {
+                        let mut parts = components.clone();
+                        parts[i] = next.clone();
+                        out.push((label.clone(), rebuild_par(parts)));
+                    }
+                }
+                // [SR-Comm]: a ready send and a ready receive on the same
+                // subject synchronise; the receive fires with exactly the
+                // transmitted payload (which need not be among the finitely
+                // enumerated early-input candidates).
+                for i in 0..components.len() {
+                    for j in 0..components.len() {
+                        if i == j {
+                            continue;
+                        }
+                        for (li, ni) in &succs[i] {
+                            let (subj_o, pay_o) = match li {
+                                TermLabel::Out { subject, payload } => (subject, payload),
+                                _ => continue,
+                            };
+                            if let Term::Recv(chan, cont) = &components[j] {
+                                if chan.is_value_or_var()
+                                    && cont.is_value_or_var()
+                                    && **chan == *subj_o
+                                {
+                                    let mut parts = components.clone();
+                                    parts[i] = ni.clone();
+                                    parts[j] = Term::app((**cont).clone(), pay_o.clone());
+                                    out.push((
+                                        TermLabel::TauComm(subj_o.clone()),
+                                        rebuild_par(parts),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // [SR-E] for `let x = w in E`, excluding labels that mention the
+            // bound variable.
+            Term::Let(x, ty, bound, body) if bound.is_value_or_var() => {
+                let mut inner = Vec::new();
+                self.open_successors(body, &mut inner);
+                for (label, next) in inner {
+                    if label_mentions(&label, x) {
+                        continue;
+                    }
+                    out.push((
+                        label,
+                        Term::Let(x.clone(), ty.clone(), bound.clone(), Box::new(next)),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Candidate payloads for an early receive on `chan`: environment
+    /// variables whose type fits the channel's payload type, plus a canonical
+    /// literal for base payload types.
+    fn receive_candidates(&self, chan: &Term) -> Vec<Term> {
+        let payload_ty = match chan {
+            Term::Var(x) => self
+                .env
+                .lookup(x)
+                .and_then(|t| self.checker.resolve_channel(&self.env, t))
+                .map(|(_, p)| p),
+            Term::Val(Value::Chan(_, p)) => Some(p.clone()),
+            _ => None,
+        };
+        let Some(payload_ty) = payload_ty else { return Vec::new() };
+        let mut candidates = Vec::new();
+        for (x, _) in self.env.iter() {
+            if self
+                .checker
+                .is_subtype(&self.env, &Type::Var(x.clone()), &payload_ty)
+            {
+                candidates.push(Term::Var(x.clone()));
+            }
+        }
+        match payload_ty.normalize() {
+            Type::Int => candidates.push(Term::int(0)),
+            Type::Bool => candidates.push(Term::bool(true)),
+            Type::Str => candidates.push(Term::str("")),
+            Type::Unit => candidates.push(Term::unit()),
+            _ => {}
+        }
+        candidates
+    }
+
+    /// Builds the explicit LTS reachable from `t`, bounded by `max_states`.
+    pub fn build(&self, t: &Term, max_states: usize) -> Lts<Term, TermLabel> {
+        Lts::build(t.clone(), |s| self.successors(s), max_states)
+    }
+}
+
+fn label_mentions(label: &TermLabel, x: &lambdapi::Name) -> bool {
+    let term_is_x = |t: &Term| matches!(t, Term::Var(y) if y == x);
+    match label {
+        TermLabel::Out { subject, payload } | TermLabel::In { subject, payload } => {
+            term_is_x(subject) || term_is_x(payload)
+        }
+        TermLabel::TauComm(w) => term_is_x(w),
+        TermLabel::TauNeg(y) | TermLabel::TauIf(y) => y == x,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambdapi::examples;
+    use lambdapi::Name;
+
+    #[test]
+    fn open_negation_branches_nondeterministically() {
+        let env = TypeEnv::new().bind("x", Type::Bool);
+        let lts = TermLts::new(env);
+        let succ = lts.successors(&Term::not(Term::var("x")));
+        assert_eq!(succ.len(), 2);
+        assert!(succ.iter().all(|(l, _)| matches!(l, TermLabel::TauNeg(_))));
+    }
+
+    #[test]
+    fn example_3_5_t1_synchronises_on_x() {
+        // t1 = send(x, 42, λ_.end) || recv(x, λ_.end) fires τ[x].
+        let env = TypeEnv::new().bind("x", Type::chan_io(Type::Int));
+        let lts = TermLts::new(env);
+        let t1 = Term::par(
+            Term::send(Term::var("x"), Term::int(42), Term::thunk(Term::End)),
+            Term::recv(Term::var("x"), Term::lam("v", Type::Int, Term::End)),
+        );
+        let succ = lts.successors(&t1);
+        assert!(
+            succ.iter()
+                .any(|(l, _)| l.is_comm_on(&Name::new("x"))),
+            "expected τ[x], got {succ:?}"
+        );
+        // The communication leads (after τ• steps) to end || end ≡ end.
+        let (_, next) = succ
+            .iter()
+            .find(|(l, _)| l.is_comm_on(&Name::new("x")))
+            .unwrap();
+        let built = lts.build(next, 100);
+        assert!(built.states().iter().any(|s| *s == Term::End));
+    }
+
+    #[test]
+    fn sends_and_receives_on_distinct_variables_do_not_synchronise() {
+        let env = TypeEnv::new()
+            .bind("x", Type::chan_io(Type::Int))
+            .bind("y", Type::chan_io(Type::Int));
+        let lts = TermLts::new(env);
+        let t = Term::par(
+            Term::send(Term::var("x"), Term::int(1), Term::thunk(Term::End)),
+            Term::recv(Term::var("y"), Term::lam("v", Type::Int, Term::End)),
+        );
+        let succ = lts.successors(&t);
+        assert!(!succ.iter().any(|(l, _)| matches!(l, TermLabel::TauComm(_))));
+        // Both visible actions are still offered.
+        assert!(succ.iter().any(|(l, _)| l.is_output_on(&Name::new("x"))));
+        assert!(succ.iter().any(|(l, _)| l.is_input_on(&Name::new("y"))));
+    }
+
+    #[test]
+    fn example_4_3_term_trace_mirrors_the_type_trace() {
+        // Γ ⊢ sys y z  τ[z]⇁ τ•⇁* τ[y]⇁ τ•⇁* end || end
+        let env = TypeEnv::new()
+            .bind("y", Type::chan_io(Type::Str))
+            .bind("z", Type::chan_io(Type::chan_out(Type::Str)));
+        let lts = TermLts::new(env);
+        let (term, _) = examples::ping_pong_open();
+        let built = lts.build(&term, 2000);
+        assert!(!built.is_truncated());
+        // A communication on z and a communication on y both occur in the LTS.
+        assert!(built.labels().any(|l| l.is_comm_on(&Name::new("z"))));
+        assert!(built.labels().any(|l| l.is_comm_on(&Name::new("y"))));
+        // The terminated process is reachable.
+        assert!(built.states().iter().any(|s| *s == Term::End));
+    }
+
+    #[test]
+    fn receive_candidates_use_environment_variables_of_fitting_type() {
+        let env = TypeEnv::new()
+            .bind("c", Type::chan_io(Type::Int))
+            .bind("n", Type::Int)
+            .bind("s", Type::Str);
+        let lts = TermLts::new(env);
+        let t = Term::recv(Term::var("c"), Term::lam("v", Type::Int, Term::End));
+        let succ = lts.successors(&t);
+        // Candidates: the int-typed variable n and the canonical literal 0 —
+        // but not the string variable s.
+        assert!(succ
+            .iter()
+            .any(|(l, _)| matches!(l, TermLabel::In { payload, .. } if *payload == Term::var("n"))));
+        assert!(!succ
+            .iter()
+            .any(|(l, _)| matches!(l, TermLabel::In { payload, .. } if *payload == Term::var("s"))));
+    }
+}

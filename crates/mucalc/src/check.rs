@@ -1,0 +1,341 @@
+//! Decision procedures over finite type-level LTSs.
+//!
+//! These graph algorithms decide the right-hand-side (type-level) judgements of
+//! Fig. 7 on the explicit LTS built by [`lts::TypeLts`] — the role played by
+//! the external mCRL2 model checker in the paper's toolchain. All procedures
+//! are linear (or near-linear) in the size of the LTS.
+//!
+//! Terminology:
+//!
+//! * a state is *successfully terminated* when it is (structurally congruent
+//!   to) `nil`; following Fig. 9's reported outcomes, successful termination is
+//!   not a deadlock and trivially satisfies □-formulas (a terminated protocol
+//!   has no further run to constrain);
+//! * an edge predicate plays the role of a label set `A` from Def. 4.6.
+
+use lambdapi::Type;
+use lts::{Lts, TypeLabel};
+
+/// `true` when a state represents the successfully terminated protocol.
+pub fn is_terminated(state: &Type) -> bool {
+    matches!(state.normalize(), Type::Nil)
+}
+
+/// □¬(A)⊤ — no reachable transition carries a label satisfying `in_set`.
+pub fn never_fires<F>(lts: &Lts<Type, TypeLabel>, mut in_set: F) -> bool
+where
+    F: FnMut(&TypeLabel) -> bool,
+{
+    let reachable = lts.reachable();
+    for &s in &reachable {
+        for (label, _) in lts.transitions_from(s) {
+            if in_set(label) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// □((allowed)⊤ ∨ termination) — every reachable transition carries a label
+/// satisfying `allowed`, i.e. nothing else is ever fired.
+pub fn only_fires<F>(lts: &Lts<Type, TypeLabel>, mut allowed: F) -> bool
+where
+    F: FnMut(&TypeLabel) -> bool,
+{
+    never_fires(lts, |l| !allowed(l))
+}
+
+/// Every reachable state either is successfully terminated or has at least one
+/// outgoing transition (no deadlocks).
+pub fn no_stuck_states(lts: &Lts<Type, TypeLabel>) -> bool {
+    for &s in &lts.reachable() {
+        if lts.transitions_from(s).is_empty() && !is_terminated(lts.state(s)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Every reachable state has at least one outgoing transition — the protocol
+/// runs forever (used by the reactiveness template, which requires an infinite
+/// run).
+pub fn runs_forever(lts: &Lts<Type, TypeLabel>) -> bool {
+    for &s in &lts.reachable() {
+        if lts.transitions_from(s).is_empty() {
+            return false;
+        }
+    }
+    true
+}
+
+/// Strong until from a given state: on **every** run starting at `start`, a
+/// transition satisfying `is_target` is eventually taken, and every transition
+/// taken before it satisfies neither `is_forbidden` nor leads to a dead end or
+/// an infinite target-free loop.
+///
+/// This decides `(−A)⊤ U (target)⊤` where `is_forbidden` is membership in `A`
+/// (assumed disjoint from the target set, as in all Fig. 7 instances).
+pub fn until_on_all_runs<FT, FF>(
+    lts: &Lts<Type, TypeLabel>,
+    start: usize,
+    mut is_target: FT,
+    mut is_forbidden: FF,
+) -> bool
+where
+    FT: FnMut(&TypeLabel) -> bool,
+    FF: FnMut(&TypeLabel) -> bool,
+{
+    // Region B: states reachable from `start` without taking a target edge.
+    let mut in_region = vec![false; lts.num_states()];
+    let mut stack = vec![start];
+    in_region[start] = true;
+    let mut region = Vec::new();
+    while let Some(s) = stack.pop() {
+        region.push(s);
+        for (label, next) in lts.transitions_from(s) {
+            if is_target(label) {
+                continue;
+            }
+            if is_forbidden(label) {
+                // A forbidden label can be fired before the target.
+                return false;
+            }
+            if !in_region[*next] {
+                in_region[*next] = true;
+                stack.push(*next);
+            }
+        }
+    }
+
+    // Every state of the region must offer at least one transition (otherwise
+    // a run ends before reaching the target).
+    for &s in &region {
+        if lts.transitions_from(s).is_empty() {
+            return false;
+        }
+    }
+
+    // The target-free sub-graph restricted to the region must be acyclic,
+    // otherwise a run can postpone the target forever.
+    // Kahn-style topological check on the region.
+    let mut indeg = vec![0usize; lts.num_states()];
+    for &s in &region {
+        for (label, next) in lts.transitions_from(s) {
+            if !is_target(label) && in_region[*next] {
+                indeg[*next] += 1;
+            }
+        }
+    }
+    let mut queue: Vec<usize> = region.iter().copied().filter(|&s| indeg[s] == 0).collect();
+    let mut removed = 0usize;
+    while let Some(s) = queue.pop() {
+        removed += 1;
+        for (label, next) in lts.transitions_from(s) {
+            if !is_target(label) && in_region[*next] {
+                indeg[*next] -= 1;
+                if indeg[*next] == 0 {
+                    queue.push(*next);
+                }
+            }
+        }
+    }
+    removed == region.len()
+}
+
+/// □((trigger)⊤ ⇒ ((−forbidden)⊤ U (target-for-trigger)⊤)) — for every
+/// reachable transition whose label satisfies `is_trigger`, the until property
+/// holds from its target state, where the target label set may depend on the
+/// trigger label (e.g. "an output of exactly the payload that was received").
+pub fn whenever_then_until<FTrig, FTgt, FForb>(
+    lts: &Lts<Type, TypeLabel>,
+    mut is_trigger: FTrig,
+    mut target_for: FTgt,
+    mut is_forbidden: FForb,
+) -> bool
+where
+    FTrig: FnMut(&TypeLabel) -> bool,
+    FTgt: FnMut(&TypeLabel) -> Box<dyn Fn(&TypeLabel) -> bool>,
+    FForb: FnMut(&TypeLabel) -> bool,
+{
+    for &s in &lts.reachable() {
+        for (label, next) in lts.transitions_from(s) {
+            if is_trigger(label) {
+                let is_target = target_for(label);
+                if !until_on_all_runs(lts, *next, |l| is_target(l), &mut is_forbidden) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// ♢-style reachability: some transition satisfying `is_target` is reachable
+/// from the initial state (used for diagnostics and in tests; the Fig. 7
+/// "eventual usage" template is the stronger [`until_on_all_runs`]).
+pub fn some_run_fires<F>(lts: &Lts<Type, TypeLabel>, mut is_target: F) -> bool
+where
+    F: FnMut(&TypeLabel) -> bool,
+{
+    lts.transitions().any(|(_, l, _)| is_target(l))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbt_types::TypeEnv;
+    use lts::TypeLts;
+
+    fn simple_env() -> TypeEnv {
+        TypeEnv::new()
+            .bind("x", Type::chan_io(Type::Int))
+            .bind("y", Type::chan_io(Type::Int))
+    }
+
+    /// o[x, int, Π() o[y, int, Π()nil]] — output on x, then on y, then stop.
+    fn two_outputs() -> Type {
+        Type::out(
+            Type::var("x"),
+            Type::Int,
+            Type::thunk(Type::out(Type::var("y"), Type::Int, Type::thunk(Type::Nil))),
+        )
+    }
+
+    #[test]
+    fn never_and_only_fires() {
+        let builder = TypeLts::new(simple_env());
+        let lts = builder.build(&two_outputs(), 100);
+        assert!(never_fires(&lts, |l| l.is_input_on(&"x".into())));
+        assert!(!never_fires(&lts, |l| l.is_output_on(&"x".into())));
+        assert!(only_fires(&lts, |l| matches!(l, TypeLabel::Out { .. })));
+    }
+
+    #[test]
+    fn termination_is_not_a_deadlock() {
+        let builder = TypeLts::new(simple_env());
+        let lts = builder.build(&two_outputs(), 100);
+        assert!(no_stuck_states(&lts));
+        // ... but it is not "running forever" either.
+        assert!(!runs_forever(&lts));
+    }
+
+    #[test]
+    fn until_holds_when_target_is_unavoidable() {
+        let builder = TypeLts::new(simple_env());
+        let lts = builder.build(&two_outputs(), 100);
+        // Eventually an output on y occurs, with only non-forbidden labels before.
+        assert!(until_on_all_runs(
+            &lts,
+            lts.initial(),
+            |l| l.is_output_on(&"y".into()),
+            |_| false,
+        ));
+        // Eventually an output on x occurs (immediately).
+        assert!(until_on_all_runs(
+            &lts,
+            lts.initial(),
+            |l| l.is_output_on(&"x".into()),
+            |_| false,
+        ));
+    }
+
+    #[test]
+    fn until_fails_when_a_run_terminates_first() {
+        // x-output then stop: an output on y never happens.
+        let builder = TypeLts::new(simple_env());
+        let ty = Type::out(Type::var("x"), Type::Int, Type::thunk(Type::Nil));
+        let lts = builder.build(&ty, 100);
+        assert!(!until_on_all_runs(
+            &lts,
+            lts.initial(),
+            |l| l.is_output_on(&"y".into()),
+            |_| false,
+        ));
+    }
+
+    #[test]
+    fn until_fails_when_a_loop_can_postpone_the_target_forever() {
+        // µt.(o[x,int,Π()t] ∨ o[y,int,Π()nil]): the x-loop can be taken forever,
+        // so "eventually output on y" does not hold on all runs.
+        let builder = TypeLts::new(simple_env());
+        let ty = Type::rec(
+            "t",
+            Type::union(
+                Type::out(Type::var("x"), Type::Int, Type::thunk(Type::rec_var("t"))),
+                Type::out(Type::var("y"), Type::Int, Type::thunk(Type::Nil)),
+            ),
+        );
+        let lts = builder.build(&ty, 100);
+        assert!(!until_on_all_runs(
+            &lts,
+            lts.initial(),
+            |l| l.is_output_on(&"y".into()),
+            |_| false,
+        ));
+        // But the weaker "some run fires y" does hold.
+        assert!(some_run_fires(&lts, |l| l.is_output_on(&"y".into())));
+    }
+
+    #[test]
+    fn until_fails_when_a_forbidden_label_precedes_the_target() {
+        let builder = TypeLts::new(simple_env());
+        let lts = builder.build(&two_outputs(), 100);
+        // Forbid outputs on x before the y-output: violated by the first step.
+        assert!(!until_on_all_runs(
+            &lts,
+            lts.initial(),
+            |l| l.is_output_on(&"y".into()),
+            |l| l.is_output_on(&"x".into()),
+        ));
+    }
+
+    #[test]
+    fn whenever_then_until_checks_every_trigger_occurrence() {
+        // i[x, Π(v:int) o[y, v, Π()nil]]: whenever x receives v, y⟨v⟩ follows.
+        let builder = TypeLts::new(simple_env());
+        let ty = Type::inp(
+            Type::var("x"),
+            Type::pi(
+                "v",
+                Type::Int,
+                Type::out(Type::var("y"), Type::var("v"), Type::thunk(Type::Nil)),
+            ),
+        );
+        let lts = builder.build(&ty, 100);
+        let ok = whenever_then_until(
+            &lts,
+            |l| l.is_input_on(&"x".into()),
+            |trigger| {
+                let payload = trigger.payload().cloned();
+                Box::new(move |l: &TypeLabel| {
+                    l.is_output_on(&"y".into()) && l.payload().cloned() == payload
+                })
+            },
+            |_| false,
+        );
+        assert!(ok);
+        // A variant that forwards on x instead of y fails the same check.
+        let bad = Type::inp(
+            Type::var("x"),
+            Type::pi(
+                "v",
+                Type::Int,
+                Type::out(Type::var("x"), Type::var("v"), Type::thunk(Type::Nil)),
+            ),
+        );
+        let lts_bad = builder.build(&bad, 100);
+        let ok_bad = whenever_then_until(
+            &lts_bad,
+            |l| l.is_input_on(&"x".into()),
+            |trigger| {
+                let payload = trigger.payload().cloned();
+                Box::new(move |l: &TypeLabel| {
+                    l.is_output_on(&"y".into()) && l.payload().cloned() == payload
+                })
+            },
+            |_| false,
+        );
+        assert!(!ok_bad);
+    }
+}

@@ -1,0 +1,209 @@
+//! The linear-time µ-calculus of Def. 4.6.
+//!
+//! The [`Formula`] AST covers the basic connectives (variables, negation,
+//! conjunction, prefixing, greatest fixed points) plus the derived forms the
+//! paper uses (⊤, ⊥, disjunction, implication, least fixed points, label-set
+//! prefixing, until, always, eventually).
+//!
+//! The Fig. 7 property templates are *decided* by dedicated procedures in
+//! [`crate::check`] (the role mCRL2 plays in the paper); the `Formula` value
+//! attached to each [`crate::Property`] documents which judgement those
+//! procedures decide, and is what gets displayed in verification reports.
+
+use std::fmt;
+
+/// A predicate over transition labels, used in prefix formulas `(A)ϕ`.
+///
+/// Rather than enumerating (possibly infinite) label sets syntactically, a
+/// `LabelSet` is a named, symbolic description; the checkers interpret the
+/// corresponding semantic predicate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LabelSet {
+    /// Any label.
+    Any,
+    /// Any τ-label (τ[∨] or τ[S,S']).
+    Tau,
+    /// The "imprecise synchronisations" Aτ of Thm. 4.10.
+    ImpreciseTau,
+    /// Any output whose subject is a potential use of the named variable
+    /// (`Uo_Γ,T(x)`, Def. 4.8).
+    OutputUseOf(String),
+    /// Any input whose subject is a potential use of the named variable
+    /// (`Ui_Γ,T(x)`, Def. 4.8).
+    InputUseOf(String),
+    /// Any output on exactly the named variable.
+    OutputOn(String),
+    /// Any input on exactly the named variable.
+    InputOn(String),
+    /// Union of two label sets.
+    Union(Box<LabelSet>, Box<LabelSet>),
+    /// Complement of a label set (the `(−A)` construction).
+    Complement(Box<LabelSet>),
+}
+
+impl LabelSet {
+    /// Union of two label sets.
+    pub fn or(self, other: LabelSet) -> LabelSet {
+        LabelSet::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Complement of this label set.
+    pub fn complement(self) -> LabelSet {
+        LabelSet::Complement(Box::new(self))
+    }
+}
+
+impl fmt::Display for LabelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelSet::Any => write!(f, "Act"),
+            LabelSet::Tau => write!(f, "τ"),
+            LabelSet::ImpreciseTau => write!(f, "Aτ"),
+            LabelSet::OutputUseOf(x) => write!(f, "Uo({x})"),
+            LabelSet::InputUseOf(x) => write!(f, "Ui({x})"),
+            LabelSet::OutputOn(x) => write!(f, "{x}⟨·⟩"),
+            LabelSet::InputOn(x) => write!(f, "{x}(·)"),
+            LabelSet::Union(a, b) => write!(f, "{a} ∪ {b}"),
+            LabelSet::Complement(a) => write!(f, "−({a})"),
+        }
+    }
+}
+
+/// A linear-time µ-calculus formula (Def. 4.6).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Formula {
+    /// The constant ⊤ (accepts every run).
+    True,
+    /// The constant ⊥ (accepts no run).
+    False,
+    /// A fixed-point variable.
+    Var(String),
+    /// Negation ¬ϕ.
+    Not(Box<Formula>),
+    /// Conjunction ϕ₁ ∧ ϕ₂.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction ϕ₁ ∨ ϕ₂ (derived).
+    Or(Box<Formula>, Box<Formula>),
+    /// Implication ϕ₁ ⇒ ϕ₂ (derived).
+    Implies(Box<Formula>, Box<Formula>),
+    /// Prefixing `(A)ϕ`: the run continues with a label in `A`, then ϕ holds.
+    Prefix(LabelSet, Box<Formula>),
+    /// Greatest fixed point νZ.ϕ.
+    Nu(String, Box<Formula>),
+    /// Least fixed point µZ.ϕ (derived).
+    Mu(String, Box<Formula>),
+    /// `ϕ₁ U ϕ₂` — until (derived).
+    Until(Box<Formula>, Box<Formula>),
+    /// `□ϕ` — always (derived).
+    Always(Box<Formula>),
+    /// `♢ϕ` — eventually (derived).
+    Eventually(Box<Formula>),
+}
+
+impl Formula {
+    /// `(A)⊤` — "the run continues with a label in A".
+    pub fn can(set: LabelSet) -> Formula {
+        Formula::Prefix(set, Box::new(Formula::True))
+    }
+
+    /// `□ϕ`.
+    pub fn always(phi: Formula) -> Formula {
+        Formula::Always(Box::new(phi))
+    }
+
+    /// `♢ϕ`.
+    pub fn eventually(phi: Formula) -> Formula {
+        Formula::Eventually(Box::new(phi))
+    }
+
+    /// `¬ϕ`.
+    pub fn not(phi: Formula) -> Formula {
+        Formula::Not(Box::new(phi))
+    }
+
+    /// `ϕ ∧ ψ`.
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(Box::new(self), Box::new(other))
+    }
+
+    /// `ϕ ∨ ψ`.
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `ϕ ⇒ ψ`.
+    pub fn implies(self, other: Formula) -> Formula {
+        Formula::Implies(Box::new(self), Box::new(other))
+    }
+
+    /// `ϕ U ψ`.
+    pub fn until(self, other: Formula) -> Formula {
+        Formula::Until(Box::new(self), Box::new(other))
+    }
+
+    /// Number of connectives (a rough complexity measure).
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Var(_) => 1,
+            Formula::Not(a) | Formula::Nu(_, a) | Formula::Mu(_, a) | Formula::Always(a)
+            | Formula::Eventually(a) | Formula::Prefix(_, a) => 1 + a.size(),
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Until(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "⊤"),
+            Formula::False => write!(f, "⊥"),
+            Formula::Var(z) => write!(f, "{z}"),
+            Formula::Not(a) => write!(f, "¬({a})"),
+            Formula::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Formula::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Formula::Implies(a, b) => write!(f, "({a} ⇒ {b})"),
+            Formula::Prefix(set, a) => write!(f, "({set}){a}"),
+            Formula::Nu(z, a) => write!(f, "ν{z}.{a}"),
+            Formula::Mu(z, a) => write!(f, "µ{z}.{a}"),
+            Formula::Until(a, b) => write!(f, "({a} U {b})"),
+            Formula::Always(a) => write!(f, "□{a}"),
+            Formula::Eventually(a) => write!(f, "♢{a}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_display_like_the_paper() {
+        // □(¬(Uo(x))⊤) — the non-usage template.
+        let phi = Formula::always(Formula::not(Formula::can(LabelSet::OutputUseOf(
+            "x".into(),
+        ))));
+        let s = phi.to_string();
+        assert!(s.contains("□"));
+        assert!(s.contains("Uo(x)"));
+        assert!(phi.size() >= 3);
+    }
+
+    #[test]
+    fn derived_operators_compose() {
+        let until = Formula::can(LabelSet::ImpreciseTau.complement())
+            .until(Formula::can(LabelSet::OutputOn("y".into())));
+        assert!(until.to_string().contains(" U "));
+        let imp = Formula::can(LabelSet::InputOn("x".into())).implies(until);
+        assert!(matches!(imp, Formula::Implies(..)));
+    }
+
+    #[test]
+    fn label_sets_build_unions_and_complements() {
+        let a = LabelSet::ImpreciseTau.or(LabelSet::InputUseOf("x".into()));
+        let c = a.complement();
+        assert!(c.to_string().starts_with("−("));
+    }
+}

@@ -1,0 +1,60 @@
+//! # mucalc — type-level model checking for λπ⩽
+//!
+//! This crate is the stand-in for the mCRL2 model checker in the paper's
+//! toolchain (*"Verifying Message-Passing Programs with Dependent Behavioural
+//! Types"*, PLDI 2019, §4–§5): it decides the linear-time µ-calculus
+//! judgements of Fig. 7 on the finite labelled transition system of a
+//! behavioural type.
+//!
+//! * [`Formula`] / [`LabelSet`] — the linear-time µ-calculus of Def. 4.6,
+//!   used to *describe* properties;
+//! * [`Property`] — the six Fig. 7 templates (non-usage, deadlock-freedom,
+//!   eventual usage, forwarding, reactiveness, responsiveness), each of which
+//!   knows how to decide itself on an explicit type LTS;
+//! * [`check`] — the underlying graph decision procedures (□, strong until,
+//!   …) shared by the templates;
+//! * [`Verifier`] — the façade mirroring the Effpi compiler plugin: checks
+//!   the decidability conditions (Lemma 4.7), adds payload probes
+//!   (Thm. 4.10's precondition), builds the LTS, decides the property and
+//!   reports model size and timing (the contents of Fig. 9).
+//!
+//! ## Example
+//!
+//! ```
+//! use dbt_types::TypeEnv;
+//! use lambdapi::{examples, Type};
+//! use mucalc::{Property, Verifier};
+//!
+//! // The payment service of Fig. 1, applied to its channels.
+//! let env = TypeEnv::new()
+//!     .bind("self", Type::chan_io(Type::Int))
+//!     .bind("aud", Type::chan_out(Type::Int))
+//!     .bind("client", examples::reply_channel_type());
+//! let ty = examples::tpayment_type()
+//!     .apply_all(&[Type::var("self"), Type::var("aud"), Type::var("client")])
+//!     .unwrap();
+//!
+//! let verifier = Verifier::new();
+//! // The service never gets stuck when probed on all three of its channels...
+//! let deadlock_free = verifier
+//!     .verify(&env, &ty, &Property::deadlock_free(["self", "aud", "client"]))
+//!     .unwrap();
+//! assert!(deadlock_free.holds);
+//! // ...and it never uses its mailbox for output.
+//! let no_output_on_mailbox = verifier
+//!     .verify(&env, &ty, &Property::non_usage(["self"]))
+//!     .unwrap();
+//! assert!(no_output_on_mailbox.holds);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+mod formula;
+mod properties;
+mod verifier;
+
+pub use formula::{Formula, LabelSet};
+pub use properties::Property;
+pub use verifier::{VerificationOutcome, Verifier, VerifyError};

@@ -1,0 +1,501 @@
+//! The six property templates of Fig. 7, as checkable [`Property`] values.
+//!
+//! Each property knows:
+//!
+//! * its *interfaces* — the probed variables `x1..xn` of the `↑Γ Y` operator;
+//! * its type-level companion formula (Fig. 7, right column), for reporting;
+//! * how to decide itself on an explicit type LTS (the role of mCRL2).
+//!
+//! Restriction policy (Def. 4.9), as implemented here:
+//!
+//! * *non-usage* is decided on the unrestricted LTS (strictly stronger than
+//!   the restricted judgement, hence still sound for Thm. 4.10(1));
+//! * *deadlock-freedom*, *eventual output* and *reactiveness* are decided on
+//!   the LTS restricted to the probed variables;
+//! * *forwarding* and *responsiveness* are decided on the LTS restricted to
+//!   transitions whose subjects are environment variables (the received
+//!   payload variable must remain observable for the `z⟨U'⟩` target to be
+//!   meaningful).
+
+use dbt_types::{Checker, TypeEnv};
+use lambdapi::{Name, Type};
+use lts::{is_imprecise_comm, is_input_use, is_output_use, Lts, TypeLabel};
+
+use crate::check;
+use crate::formula::{Formula, LabelSet};
+
+/// One of the six behavioural property templates of Fig. 7.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Property {
+    /// (1) Non-usage of the given variables for output: none of them is ever
+    /// used to send a message.
+    NonUsage {
+        /// The probed channel variables.
+        vars: Vec<Name>,
+    },
+    /// (2) Deadlock-freedom modulo the given variables: the process only uses
+    /// these channels to interact with its environment, and never gets stuck.
+    DeadlockFree {
+        /// The probed channel variables.
+        vars: Vec<Name>,
+    },
+    /// (3) Eventual usage (for output) of some of the given variables.
+    EventualOutput {
+        /// The probed channel variables.
+        vars: Vec<Name>,
+    },
+    /// (4) Forwarding from `from` to `to`: whenever a value is received from
+    /// `from`, it is eventually forwarded on `to`, before `from` is read again.
+    Forwarding {
+        /// The channel being read.
+        from: Name,
+        /// The channel the received value must be forwarded on.
+        to: Name,
+    },
+    /// (5) Reactiveness on the given variable: the process runs forever and is
+    /// always (eventually) able to receive from it.
+    Reactive {
+        /// The probed channel variable.
+        var: Name,
+    },
+    /// (6) Responsiveness on the given variable: whenever a value (a channel)
+    /// is received from it, that value is eventually used to send a response,
+    /// before the variable is read again.
+    Responsive {
+        /// The probed channel variable.
+        var: Name,
+    },
+}
+
+impl Property {
+    /// Convenience constructor for [`Property::NonUsage`].
+    pub fn non_usage<I: IntoIterator<Item = N>, N: Into<Name>>(vars: I) -> Self {
+        Property::NonUsage { vars: vars.into_iter().map(Into::into).collect() }
+    }
+
+    /// Convenience constructor for [`Property::DeadlockFree`].
+    pub fn deadlock_free<I: IntoIterator<Item = N>, N: Into<Name>>(vars: I) -> Self {
+        Property::DeadlockFree { vars: vars.into_iter().map(Into::into).collect() }
+    }
+
+    /// Convenience constructor for [`Property::EventualOutput`].
+    pub fn eventual_output<I: IntoIterator<Item = N>, N: Into<Name>>(vars: I) -> Self {
+        Property::EventualOutput { vars: vars.into_iter().map(Into::into).collect() }
+    }
+
+    /// Convenience constructor for [`Property::Forwarding`].
+    pub fn forwarding(from: impl Into<Name>, to: impl Into<Name>) -> Self {
+        Property::Forwarding { from: from.into(), to: to.into() }
+    }
+
+    /// Convenience constructor for [`Property::Reactive`].
+    pub fn reactive(var: impl Into<Name>) -> Self {
+        Property::Reactive { var: var.into() }
+    }
+
+    /// Convenience constructor for [`Property::Responsive`].
+    pub fn responsive(var: impl Into<Name>) -> Self {
+        Property::Responsive { var: var.into() }
+    }
+
+    /// A short name matching the column headers of Fig. 9.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Property::NonUsage { .. } => "non-usage",
+            Property::DeadlockFree { .. } => "deadlock-free",
+            Property::EventualOutput { .. } => "ev-usage",
+            Property::Forwarding { .. } => "forwarding",
+            Property::Reactive { .. } => "reactive",
+            Property::Responsive { .. } => "responsive",
+        }
+    }
+
+    /// The probed interface variables (`Y` in Def. 4.9).
+    pub fn interfaces(&self) -> Vec<Name> {
+        match self {
+            Property::NonUsage { vars }
+            | Property::DeadlockFree { vars }
+            | Property::EventualOutput { vars } => vars.clone(),
+            Property::Forwarding { from, to } => vec![from.clone(), to.clone()],
+            Property::Reactive { var } | Property::Responsive { var } => vec![var.clone()],
+        }
+    }
+
+    /// The type-level companion formula (Fig. 7, right column), for reporting.
+    pub fn type_formula(&self) -> Formula {
+        let out_uses = |vars: &[Name]| {
+            vars.iter()
+                .map(|x| LabelSet::OutputUseOf(x.to_string()))
+                .reduce(LabelSet::or)
+                .unwrap_or(LabelSet::Any)
+        };
+        match self {
+            Property::NonUsage { vars } => {
+                Formula::always(Formula::not(Formula::can(out_uses(vars))))
+            }
+            Property::DeadlockFree { vars } => {
+                let io = vars
+                    .iter()
+                    .map(|x| {
+                        LabelSet::InputOn(x.to_string()).or(LabelSet::OutputOn(x.to_string()))
+                    })
+                    .reduce(LabelSet::or)
+                    .unwrap_or(LabelSet::Any);
+                Formula::always(Formula::can(LabelSet::ImpreciseTau.complement())).and(
+                    Formula::always(Formula::can(LabelSet::Tau).or(Formula::can(io))),
+                )
+            }
+            Property::EventualOutput { vars } => {
+                let outs = vars
+                    .iter()
+                    .map(|x| LabelSet::OutputOn(x.to_string()))
+                    .reduce(LabelSet::or)
+                    .unwrap_or(LabelSet::Any);
+                Formula::can(LabelSet::ImpreciseTau.complement()).until(Formula::can(outs))
+            }
+            Property::Forwarding { from, to } => {
+                let trigger = LabelSet::InputUseOf(from.to_string());
+                let forbidden =
+                    LabelSet::ImpreciseTau.or(LabelSet::InputUseOf(from.to_string()));
+                Formula::always(Formula::can(trigger).implies(
+                    Formula::can(forbidden.complement())
+                        .until(Formula::can(LabelSet::OutputOn(to.to_string()))),
+                ))
+            }
+            Property::Reactive { var } => {
+                Formula::always(Formula::can(LabelSet::ImpreciseTau.complement())).and(
+                    Formula::always(
+                        Formula::can(LabelSet::Tau)
+                            .or(Formula::can(LabelSet::InputOn(var.to_string()))),
+                    ),
+                )
+            }
+            Property::Responsive { var } => {
+                let trigger = LabelSet::InputUseOf(var.to_string());
+                let forbidden =
+                    LabelSet::ImpreciseTau.or(LabelSet::InputUseOf(var.to_string()));
+                Formula::always(Formula::can(trigger).implies(
+                    Formula::can(forbidden.complement())
+                        .until(Formula::can(LabelSet::OutputOn("z".to_string()))),
+                ))
+            }
+        }
+    }
+
+    /// Decides the property on a type LTS built for environment `env`.
+    ///
+    /// `lts` must be the *unrestricted* LTS of the type; the property applies
+    /// its own `↑Γ Y` restriction as described in the module documentation.
+    pub fn holds(&self, checker: &Checker, env: &TypeEnv, lts: &Lts<Type, TypeLabel>) -> bool {
+        match self {
+            Property::NonUsage { vars } => check::never_fires(lts, |l| {
+                vars.iter().any(|x| is_output_use(checker, env, l, x))
+            }),
+
+            Property::DeadlockFree { vars } => {
+                let restricted = lts::restrict_to_interfaces(lts, vars);
+                check::never_fires(&restricted, |l| is_imprecise_comm(env, l))
+                    && check::no_stuck_states(&restricted)
+            }
+
+            Property::EventualOutput { vars } => {
+                let restricted = lts::restrict_to_interfaces(lts, vars);
+                check::until_on_all_runs(
+                    &restricted,
+                    restricted.initial(),
+                    |l| vars.iter().any(|x| l.is_output_on(x)),
+                    |l| is_imprecise_comm(env, l),
+                )
+            }
+
+            Property::Forwarding { from, to } => {
+                let restricted = restrict_for_payload_tracking(lts, checker, env, from, &[
+                    from.clone(),
+                    to.clone(),
+                ]);
+                let env2 = env.clone();
+                let checker2 = checker.clone();
+                check::whenever_then_until(
+                    &restricted,
+                    |l| is_input_use(checker, env, l, from),
+                    move |trigger| {
+                        let payload = trigger.payload().cloned();
+                        let to = to.clone();
+                        let env2 = env2.clone();
+                        let checker2 = checker2.clone();
+                        Box::new(move |l: &TypeLabel| {
+                            if !l.is_output_on(&to) {
+                                return false;
+                            }
+                            match (&payload, l.payload()) {
+                                (Some(p), Some(q)) => {
+                                    // The forwarded payload must be the very
+                                    // value that was received: either the same
+                                    // type-level payload, or (when the output
+                                    // payload is not a variable) a supertype of
+                                    // it — so a unit token received as a probe
+                                    // variable still matches the unit token
+                                    // sent on.
+                                    p == q
+                                        || (!matches!(q, Type::Var(_))
+                                            && checker2.is_subtype(&env2, p, q))
+                                }
+                                _ => false,
+                            }
+                        })
+                    },
+                    |l| is_imprecise_comm(env, l) || is_input_use(checker, env, l, from),
+                )
+            }
+
+            Property::Reactive { var } => {
+                let restricted = lts::restrict_to_interfaces(lts, std::slice::from_ref(var));
+                check::never_fires(&restricted, |l| is_imprecise_comm(env, l))
+                    && check::runs_forever(&restricted)
+                    && check::only_fires(&restricted, |l| l.is_tau() || l.is_input_on(var))
+            }
+
+            Property::Responsive { var } => {
+                let restricted =
+                    restrict_for_payload_tracking(lts, checker, env, var, &[var.clone()]);
+                check::whenever_then_until(
+                    &restricted,
+                    |l| {
+                        is_input_use(checker, env, l, var)
+                            && matches!(l.payload(), Some(Type::Var(_)))
+                    },
+                    |trigger| {
+                        let payload_var = match trigger.payload() {
+                            Some(Type::Var(z)) => Some(z.clone()),
+                            _ => None,
+                        };
+                        Box::new(move |l: &TypeLabel| match (&payload_var, l) {
+                            (Some(z), TypeLabel::Out { subject: Type::Var(s), .. }) => s == z,
+                            _ => false,
+                        })
+                    },
+                    |l| is_imprecise_comm(env, l) || is_input_use(checker, env, l, var),
+                )
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Property {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Property::NonUsage { vars } => write!(f, "non-usage of {}", join(vars)),
+            Property::DeadlockFree { vars } => {
+                write!(f, "deadlock-freedom modulo {}", join(vars))
+            }
+            Property::EventualOutput { vars } => write!(f, "eventual output on {}", join(vars)),
+            Property::Forwarding { from, to } => write!(f, "forwarding from {from} to {to}"),
+            Property::Reactive { var } => write!(f, "reactiveness on {var}"),
+            Property::Responsive { var } => write!(f, "responsiveness on {var}"),
+        }
+    }
+}
+
+fn join(vars: &[Name]) -> String {
+    vars.iter().map(Name::to_string).collect::<Vec<_>>().join(", ")
+}
+
+/// The `↑Γ Y` restriction used by the forwarding/responsiveness templates:
+/// `Y` contains the probed interface variables *plus* every variable that can
+/// appear as the payload of an input-use of `trigger_var` — those payload
+/// variables must stay observable, since they are the subjects (responsive)
+/// or payloads (forwarding) of the target labels. τ-transitions are kept.
+fn restrict_for_payload_tracking(
+    lts: &Lts<Type, TypeLabel>,
+    checker: &Checker,
+    env: &TypeEnv,
+    trigger_var: &Name,
+    interfaces: &[Name],
+) -> Lts<Type, TypeLabel> {
+    let mut keep: Vec<Name> = interfaces.to_vec();
+    for label in lts.labels() {
+        if is_input_use(checker, env, label, trigger_var) {
+            if let Some(Type::Var(z)) = label.payload() {
+                if !keep.contains(z) {
+                    keep.push(z.clone());
+                }
+            }
+        }
+    }
+    lts.filter_edges(|_, label, _| match label.subject() {
+        Some(Type::Var(x)) => keep.contains(x),
+        Some(_) => false,
+        None => true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lts::TypeLts;
+
+    fn env() -> TypeEnv {
+        TypeEnv::new()
+            .bind("x", Type::chan_io(Type::Int))
+            .bind("y", Type::chan_io(Type::Int))
+            .bind("v", Type::Int)
+    }
+
+    fn build(ty: &Type) -> Lts<Type, TypeLabel> {
+        TypeLts::new(env()).build(ty, 10_000)
+    }
+
+    /// A forwarder: forever receive on x, forward the received value on y.
+    fn forwarder() -> Type {
+        Type::rec(
+            "t",
+            Type::inp(
+                Type::var("x"),
+                Type::pi(
+                    "p",
+                    Type::Int,
+                    Type::out(Type::var("y"), Type::var("p"), Type::thunk(Type::rec_var("t"))),
+                ),
+            ),
+        )
+    }
+
+    #[test]
+    fn non_usage_detects_outputs_including_imprecise_ones() {
+        let checker = Checker::new();
+        let lts = build(&forwarder());
+        // y is used for output; x is not.
+        assert!(!Property::non_usage(["y"]).holds(&checker, &env(), &lts));
+        assert!(Property::non_usage(["x"]).holds(&checker, &env(), &lts));
+        // An output on the imprecise subject cio[int] counts as a potential
+        // use of both x and y.
+        let imprecise = Type::out(Type::chan_io(Type::Int), Type::Int, Type::thunk(Type::Nil));
+        let lts2 = build(&imprecise);
+        assert!(!Property::non_usage(["x"]).holds(&checker, &env(), &lts2));
+    }
+
+    #[test]
+    fn forwarding_holds_for_the_forwarder_and_fails_for_a_dropper() {
+        let checker = Checker::new();
+        let lts = build(&forwarder());
+        assert!(Property::forwarding("x", "y").holds(&checker, &env(), &lts));
+        // The forwarder does not forward back onto x itself: after receiving
+        // from x it outputs on y and then reads x again, so "forward on x
+        // before reading x again" fails.
+        assert!(!Property::forwarding("x", "x").holds(&checker, &env(), &lts));
+        // Forwarding from y is vacuously true: the forwarder never reads y.
+        assert!(Property::forwarding("y", "x").holds(&checker, &env(), &lts));
+
+        // A process that reads x and ignores the value.
+        let dropper = Type::rec(
+            "t",
+            Type::inp(Type::var("x"), Type::pi("p", Type::Int, Type::rec_var("t"))),
+        );
+        let lts2 = build(&dropper);
+        assert!(!Property::forwarding("x", "y").holds(&checker, &env(), &lts2));
+    }
+
+    #[test]
+    fn reactive_requires_an_everlasting_input_loop() {
+        let checker = Checker::new();
+        // Forever receive on x and discard: reactive on x.
+        let sink = Type::rec(
+            "t",
+            Type::inp(Type::var("x"), Type::pi("p", Type::Int, Type::rec_var("t"))),
+        );
+        let lts = build(&sink);
+        assert!(Property::reactive("x").holds(&checker, &env(), &lts));
+        // A single input then nil terminates: not reactive.
+        let one_shot = Type::inp(Type::var("x"), Type::pi("p", Type::Int, Type::Nil));
+        let lts2 = build(&one_shot);
+        assert!(!Property::reactive("x").holds(&checker, &env(), &lts2));
+        // The forwarder is NOT reactive *on x alone*, because restricted to x
+        // it gets stuck waiting to output on y.
+        let lts3 = build(&forwarder());
+        assert!(!Property::reactive("x").holds(&checker, &env(), &lts3));
+    }
+
+    #[test]
+    fn eventual_output_and_deadlock_freedom() {
+        let checker = Checker::new();
+        let two = Type::out(
+            Type::var("x"),
+            Type::Int,
+            Type::thunk(Type::out(Type::var("y"), Type::Int, Type::thunk(Type::Nil))),
+        );
+        let lts = build(&two);
+        // The first action is the x-output, so "eventually output on x" holds.
+        assert!(Property::eventual_output(["x"]).holds(&checker, &env(), &lts));
+        // Probing both channels, nothing is hidden and the protocol never
+        // deadlocks before completing both outputs.
+        assert!(Property::eventual_output(["x", "y"]).holds(&checker, &env(), &lts));
+        assert!(Property::deadlock_free(["x", "y"]).holds(&checker, &env(), &lts));
+        // Probing y alone hides the leading x-output (Def. 4.9): the limited
+        // type is stuck before ever reaching its y-output, so both the
+        // eventual-output and the deadlock-freedom judgements fail — exactly
+        // the "modulo x1..xn" reading of Fig. 7(2)/(3).
+        assert!(!Property::eventual_output(["y"]).holds(&checker, &env(), &lts));
+        assert!(!Property::deadlock_free(["y"]).holds(&checker, &env(), &lts));
+        // A type that never outputs on y: "eventually x or y" holds (x fires
+        // immediately) but "eventually y" does not.
+        let only_x = Type::out(Type::var("x"), Type::Int, Type::thunk(Type::Nil));
+        let lts2 = build(&only_x);
+        assert!(Property::eventual_output(["x", "y"]).holds(&checker, &env(), &lts2));
+        assert!(!Property::eventual_output(["y"]).holds(&checker, &env(), &lts2));
+    }
+
+    #[test]
+    fn responsiveness_on_a_channel_passing_protocol() {
+        let checker = Checker::new();
+        // Γ with a probe variable r of the transmitted-channel type, as
+        // required by Thm. 4.10's precondition.
+        let env = TypeEnv::new()
+            .bind("self", Type::chan_io(Type::chan_out(Type::Str)))
+            .bind("r", Type::chan_out(Type::Str));
+        // ponger-style: receive a reply channel from self, answer on it.
+        let responsive = Type::rec(
+            "t",
+            Type::inp(
+                Type::var("self"),
+                Type::pi(
+                    "replyTo",
+                    Type::chan_out(Type::Str),
+                    Type::out(Type::var("replyTo"), Type::Str, Type::thunk(Type::rec_var("t"))),
+                ),
+            ),
+        );
+        let lts = TypeLts::new(env.clone()).build(&responsive, 10_000);
+        assert!(Property::responsive("self").holds(&checker, &env, &lts));
+
+        // A variant that ignores the received reply channel is not responsive.
+        let silent = Type::rec(
+            "t",
+            Type::inp(
+                Type::var("self"),
+                Type::pi("replyTo", Type::chan_out(Type::Str), Type::rec_var("t")),
+            ),
+        );
+        let lts2 = TypeLts::new(env.clone()).build(&silent, 10_000);
+        assert!(!Property::responsive("self").holds(&checker, &env, &lts2));
+    }
+
+    #[test]
+    fn properties_report_names_interfaces_and_formulas() {
+        let p = Property::forwarding("x", "y");
+        assert_eq!(p.name(), "forwarding");
+        assert_eq!(p.interfaces(), vec![Name::new("x"), Name::new("y")]);
+        assert!(p.type_formula().to_string().contains("Ui(x)"));
+        assert!(p.to_string().contains("forwarding from x to y"));
+        assert_eq!(Property::reactive("m").interfaces(), vec![Name::new("m")]);
+        for p in [
+            Property::non_usage(["a"]),
+            Property::deadlock_free(["a"]),
+            Property::eventual_output(["a"]),
+            Property::reactive("a"),
+            Property::responsive("a"),
+        ] {
+            assert!(!p.name().is_empty());
+            assert!(p.type_formula().size() > 1);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Messages exchanged by runtime processes.
+//!
+//! Effpi channels are typed at the λπ⩽ level; at the runtime level (this
+//! crate) a single message representation keeps channels monomorphic and the
+//! scheduler simple, while still covering everything the Savina workloads and
+//! the paper's examples need — in particular messages may carry *channel
+//! references*, which is how actor references travel (chameneos, ping-pong).
+
+use std::fmt;
+
+use crate::channel::ChanRef;
+
+/// A runtime message.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// The unit message (a pure signal).
+    Unit,
+    /// An integer payload.
+    Int(i64),
+    /// A static string payload.
+    Str(&'static str),
+    /// A channel (actor) reference — the runtime counterpart of sending
+    /// `self` in Ex. 2.2.
+    Chan(ChanRef),
+    /// A pair of messages (used by workloads that need a payload plus a
+    /// reply-to reference, like the payment service).
+    Pair(Box<Msg>, Box<Msg>),
+}
+
+impl Msg {
+    /// Builds a pair message.
+    pub fn pair(a: Msg, b: Msg) -> Msg {
+        Msg::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// Extracts an integer payload, if this is an [`Msg::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Msg::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extracts a channel reference, if this is a [`Msg::Chan`].
+    pub fn as_chan(&self) -> Option<ChanRef> {
+        match self {
+            Msg::Chan(c) => Some(c.clone()),
+            _ => None,
+        }
+    }
+
+    /// Extracts the components of a pair.
+    pub fn as_pair(&self) -> Option<(&Msg, &Msg)> {
+        match self {
+            Msg::Pair(a, b) => Some((a, b)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Msg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Msg::Unit => write!(f, "()"),
+            Msg::Int(i) => write!(f, "{i}"),
+            Msg::Str(s) => write!(f, "{s:?}"),
+            Msg::Chan(c) => write!(f, "chan#{}", c.id()),
+            Msg::Pair(a, b) => write!(f, "({a}, {b})"),
+        }
+    }
+}
+
+impl From<i64> for Msg {
+    fn from(i: i64) -> Self {
+        Msg::Int(i)
+    }
+}
+
+impl From<ChanRef> for Msg {
+    fn from(c: ChanRef) -> Self {
+        Msg::Chan(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChanRef;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Msg::Int(7).as_int(), Some(7));
+        assert_eq!(Msg::Unit.as_int(), None);
+        let c = ChanRef::new();
+        assert!(Msg::Chan(c.clone()).as_chan().is_some());
+        let p = Msg::pair(Msg::Int(1), Msg::Chan(c));
+        let (a, b) = p.as_pair().unwrap();
+        assert_eq!(a.as_int(), Some(1));
+        assert!(b.as_chan().is_some());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Msg::Int(3).to_string(), "3");
+        assert_eq!(Msg::Unit.to_string(), "()");
+        assert!(Msg::pair(Msg::Int(1), Msg::Int(2)).to_string().contains(","));
+    }
+}

@@ -1,0 +1,106 @@
+//! Runtime processes: the executable counterpart of λπ⩽ process terms.
+//!
+//! A [`Proc`] is a resumable description of behaviour, mirroring the λπ⩽
+//! process constructors (§2) and the Effpi DSL (§5.1): it either terminates,
+//! sends a message and continues, waits for a message and continues with it,
+//! or forks several processes. Continuations are plain Rust closures, which is
+//! exactly the property the paper exploits for its runtime ("input/output
+//! actions and their continuations are represented by λ-terms (closures), that
+//! can be easily stored away ... and executed later").
+
+use crate::channel::ChanRef;
+use crate::msg::Msg;
+
+/// A resumable process.
+pub enum Proc {
+    /// The terminated process (λπ⩽ `end`).
+    End,
+    /// `send(chan, msg, k)`: deliver `msg` on `chan`, then behave as `k()`.
+    Send(ChanRef, Msg, Box<dyn FnOnce() -> Proc + Send + 'static>),
+    /// `recv(chan, k)`: wait for a message on `chan`, then behave as `k(msg)`.
+    Recv(ChanRef, Box<dyn FnOnce(Msg) -> Proc + Send + 'static>),
+    /// Parallel composition: all components run concurrently.
+    Par(Vec<Proc>),
+}
+
+impl Proc {
+    /// Builds a send step.
+    pub fn send(
+        chan: &ChanRef,
+        msg: Msg,
+        then: impl FnOnce() -> Proc + Send + 'static,
+    ) -> Proc {
+        Proc::Send(chan.clone(), msg, Box::new(then))
+    }
+
+    /// Builds a send step that terminates afterwards.
+    pub fn send_end(chan: &ChanRef, msg: Msg) -> Proc {
+        Proc::send(chan, msg, || Proc::End)
+    }
+
+    /// Builds a receive step.
+    pub fn recv(chan: &ChanRef, then: impl FnOnce(Msg) -> Proc + Send + 'static) -> Proc {
+        Proc::Recv(chan.clone(), Box::new(then))
+    }
+
+    /// Builds a parallel composition.
+    pub fn par(procs: Vec<Proc>) -> Proc {
+        Proc::Par(procs)
+    }
+
+    /// Receives `n` messages from `chan` (ignoring their contents), then
+    /// continues with `then`. A small combinator used by several Savina
+    /// workloads (fork-join, chameneos).
+    pub fn recv_n(chan: &ChanRef, n: usize, then: impl FnOnce() -> Proc + Send + 'static) -> Proc {
+        if n == 0 {
+            return then();
+        }
+        let chan2 = chan.clone();
+        Proc::recv(chan, move |_| Proc::recv_n(&chan2, n - 1, then))
+    }
+
+    /// A short human-readable description of the head constructor.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Proc::End => "end",
+            Proc::Send(..) => "send",
+            Proc::Recv(..) => "recv",
+            Proc::Par(_) => "par",
+        }
+    }
+}
+
+impl std::fmt::Debug for Proc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Proc::End => write!(f, "End"),
+            Proc::Send(c, m, _) => write!(f, "Send({c:?}, {m}, <k>)"),
+            Proc::Recv(c, _) => write!(f, "Recv({c:?}, <k>)"),
+            Proc::Par(ps) => write!(f, "Par[{}]", ps.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_build_the_expected_shapes() {
+        let c = ChanRef::new();
+        assert_eq!(Proc::End.kind(), "end");
+        assert_eq!(Proc::send_end(&c, Msg::Unit).kind(), "send");
+        assert_eq!(Proc::recv(&c, |_| Proc::End).kind(), "recv");
+        assert_eq!(Proc::par(vec![Proc::End, Proc::End]).kind(), "par");
+        assert!(format!("{:?}", Proc::par(vec![Proc::End])).contains("Par[1]"));
+    }
+
+    #[test]
+    fn recv_n_zero_is_the_continuation() {
+        let c = ChanRef::new();
+        let p = Proc::recv_n(&c, 0, || Proc::End);
+        assert_eq!(p.kind(), "end");
+        let p2 = Proc::recv_n(&c, 3, || Proc::End);
+        assert_eq!(p2.kind(), "recv");
+    }
+}

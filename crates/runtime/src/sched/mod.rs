@@ -1,0 +1,87 @@
+//! Schedulers: how [`Proc`](crate::process::Proc) values get executed.
+//!
+//! Three implementations are provided, matching the three curves of the
+//! paper's Fig. 8:
+//!
+//! * [`EffpiRuntime`] with [`Policy::Default`] — a pool of worker threads
+//!   sharing a global run queue; when a send finds a parked receiver, the
+//!   receiver's continuation is pushed back onto the run queue;
+//! * [`EffpiRuntime`] with [`Policy::ChannelFsm`] — same pool, but a send
+//!   that finds a parked receiver *fuses* with it: the delivering worker keeps
+//!   executing the receiver's continuation directly (the channel acts as a
+//!   small state machine), trading fairness for lower scheduling overhead;
+//! * [`ThreadRuntime`] — one OS thread per logical process, blocking
+//!   channels. This is the heavyweight baseline standing in for Akka Typed
+//!   (see DESIGN.md): it behaves fine at small scales and degrades or fails
+//!   outright once the process count approaches the hundreds of thousands,
+//!   which is the comparison Fig. 8 communicates.
+
+mod effpi;
+mod threads;
+
+pub use effpi::{EffpiRuntime, Policy};
+pub use threads::ThreadRuntime;
+
+use std::time::Duration;
+
+use crate::process::Proc;
+
+/// Execution statistics reported by a scheduler run — the raw data behind the
+/// two columns of Fig. 8 (time vs. size, memory vs. size).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Wall-clock duration of the run.
+    pub duration: Duration,
+    /// Total number of processes that existed during the run (roots + forks).
+    pub processes_spawned: u64,
+    /// Total number of messages sent.
+    pub messages_sent: u64,
+    /// Maximum number of simultaneously live (not yet terminated) processes —
+    /// the memory-pressure proxy used in place of JVM GC statistics.
+    pub peak_live_processes: u64,
+    /// Estimated bytes of bookkeeping held at the peak (process control blocks
+    /// plus buffered messages); a coarse analogue of "max GC memory".
+    pub peak_bookkeeping_bytes: u64,
+}
+
+impl RunStats {
+    /// Messages per second achieved by the run (0 if the run was instantaneous).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.messages_sent as f64 / secs
+        }
+    }
+}
+
+/// A scheduler capable of running a set of initial processes to completion.
+pub trait Scheduler {
+    /// A short name identifying the scheduler (used in benchmark reports).
+    fn name(&self) -> &'static str;
+
+    /// Runs the processes to completion and reports statistics.
+    ///
+    /// All processes must eventually terminate (possibly after receiving
+    /// shutdown messages from their peers); a workload that leaves a process
+    /// waiting forever will hang the run, exactly as it would hang an Akka or
+    /// Effpi application.
+    fn run(&self, initial: Vec<Proc>) -> RunStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_messages_over_time() {
+        let stats = RunStats {
+            duration: Duration::from_secs(2),
+            messages_sent: 10,
+            ..Default::default()
+        };
+        assert!((stats.throughput() - 5.0).abs() < 1e-9);
+        assert_eq!(RunStats::default().throughput(), 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! The thread-per-process baseline runtime.
+//!
+//! Every logical process gets its own OS thread and blocks on channel
+//! operations. This plays the role of the heavyweight comparator in Fig. 8
+//! (Akka Typed on the JVM in the paper): it is perfectly serviceable at small
+//! scales, but creating hundreds of thousands of processes exhausts system
+//! resources long before the continuation-based Effpi runtime breaks a sweat —
+//! the crossover the figure is about.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::process::Proc;
+use crate::sched::{RunStats, Scheduler};
+
+/// Rough per-thread footprint (default stack reservation is much larger; this
+/// counts only committed bookkeeping so the comparison stays conservative).
+const THREAD_FOOTPRINT_BYTES: u64 = 16 * 1024;
+
+/// The thread-per-process baseline scheduler.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadRuntime {
+    /// Optional explicit stack size for spawned threads (bytes).
+    pub stack_size: Option<usize>,
+}
+
+impl ThreadRuntime {
+    /// Creates a baseline runtime with default thread stacks.
+    pub fn new() -> Self {
+        ThreadRuntime { stack_size: None }
+    }
+
+    /// Creates a baseline runtime with small thread stacks (useful to push the
+    /// process count a bit further before the OS gives up).
+    pub fn with_small_stacks() -> Self {
+        ThreadRuntime { stack_size: Some(64 * 1024) }
+    }
+
+    fn spawn_proc(&self, p: Proc, stats: &Arc<Counters>) -> std::thread::JoinHandle<()> {
+        stats.spawned.fetch_add(1, Ordering::Relaxed);
+        let live = stats.live.fetch_add(1, Ordering::Relaxed) + 1;
+        stats.peak_live.fetch_max(live, Ordering::Relaxed);
+        let stats = Arc::clone(stats);
+        let this = self.clone();
+        let mut builder = std::thread::Builder::new().name("proc".into());
+        if let Some(sz) = self.stack_size {
+            builder = builder.stack_size(sz);
+        }
+        builder
+            .spawn(move || {
+                this.run_proc(p, &stats);
+                stats.live.fetch_sub(1, Ordering::Relaxed);
+            })
+            .expect("failed to spawn baseline process thread")
+    }
+
+    fn run_proc(&self, mut p: Proc, stats: &Arc<Counters>) {
+        loop {
+            match p {
+                Proc::End => return,
+                Proc::Par(children) => {
+                    let handles: Vec<_> =
+                        children.into_iter().map(|c| self.spawn_proc(c, stats)).collect();
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                    return;
+                }
+                Proc::Send(chan, msg, k) => {
+                    stats.messages.fetch_add(1, Ordering::Relaxed);
+                    chan.blocking_send(msg);
+                    p = k();
+                }
+                Proc::Recv(chan, k) => {
+                    let msg = chan.blocking_recv();
+                    p = k(msg);
+                }
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    spawned: AtomicU64,
+    messages: AtomicU64,
+    live: AtomicU64,
+    peak_live: AtomicU64,
+}
+
+impl Scheduler for ThreadRuntime {
+    fn name(&self) -> &'static str {
+        "baseline-threads"
+    }
+
+    fn run(&self, initial: Vec<Proc>) -> RunStats {
+        let stats = Arc::new(Counters::default());
+        let start = Instant::now();
+        let handles: Vec<_> = initial.into_iter().map(|p| self.spawn_proc(p, &stats)).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        let peak_live = stats.peak_live.load(Ordering::Relaxed);
+        RunStats {
+            duration: start.elapsed(),
+            processes_spawned: stats.spawned.load(Ordering::Relaxed),
+            messages_sent: stats.messages.load(Ordering::Relaxed),
+            peak_live_processes: peak_live,
+            peak_bookkeeping_bytes: peak_live * THREAD_FOOTPRINT_BYTES,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChanRef;
+    use crate::msg::Msg;
+    use std::sync::atomic::AtomicI64;
+
+    #[test]
+    fn delivers_messages_across_threads() {
+        let rt = ThreadRuntime::new();
+        let c = ChanRef::new();
+        let got = Arc::new(AtomicI64::new(0));
+        let got2 = Arc::clone(&got);
+        let stats = rt.run(vec![
+            Proc::recv(&c, move |m| {
+                got2.store(m.as_int().unwrap_or(-1), Ordering::SeqCst);
+                Proc::End
+            }),
+            Proc::send_end(&c, Msg::Int(123)),
+        ]);
+        assert_eq!(got.load(Ordering::SeqCst), 123);
+        assert_eq!(stats.messages_sent, 1);
+        assert_eq!(stats.processes_spawned, 2);
+    }
+
+    #[test]
+    fn nested_par_joins_all_children() {
+        let rt = ThreadRuntime::with_small_stacks();
+        let counter = Arc::new(AtomicI64::new(0));
+        let children: Vec<Proc> = (0..20)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                let c = ChanRef::new();
+                Proc::par(vec![
+                    Proc::send_end(&c, Msg::Unit),
+                    Proc::recv(&c, move |_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        Proc::End
+                    }),
+                ])
+            })
+            .collect();
+        let stats = rt.run(vec![Proc::par(children)]);
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+        assert!(stats.peak_live_processes >= 2);
+        assert_eq!(rt.name(), "baseline-threads");
+    }
+}

@@ -1,0 +1,59 @@
+//! Scale test for the runtime (§5.2): hundreds of thousands of lightweight
+//! processes, in the spirit of the paper's claim that Effpi supports "highly
+//! concurrent programs with millions of processes/actors".
+//!
+//! The example runs the fork-join (creation) and ping-pong Savina workloads at
+//! increasing sizes on both Effpi-style schedulers, and — at a small size
+//! only — on the thread-per-process baseline, to show the crossover that
+//! Fig. 8 is about.
+//!
+//! Run with: `cargo run --release --example pingpong_million [max_processes]`
+
+use effpi::{EffpiRuntime, Policy, ThreadRuntime};
+use runtime::savina;
+
+fn main() {
+    let max: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500_000);
+
+    let default = EffpiRuntime::new(Policy::Default);
+    let fsm = EffpiRuntime::new(Policy::ChannelFsm);
+    let baseline = ThreadRuntime::with_small_stacks();
+
+    println!("== fork-join (creation): spawn N processes, collect N signals ==");
+    println!("{:>10}  {:>22}  {:>22}", "N", "effpi-default", "effpi-channel-fsm");
+    let mut n = 1_000usize;
+    while n <= max {
+        let a = savina::fork_join_create(n).run_on(&default).expect("validated");
+        let b = savina::fork_join_create(n).run_on(&fsm).expect("validated");
+        println!(
+            "{:>10}  {:>15.3?} ({:>4} peak)  {:>15.3?} ({:>4} peak)",
+            n, a.duration, a.peak_live_processes, b.duration, b.peak_live_processes
+        );
+        n *= 10;
+    }
+
+    println!("\n== the same workload on the thread-per-process baseline ==");
+    for n in [1_000usize, 4_000] {
+        let stats = savina::fork_join_create(n).run_on(&baseline).expect("validated");
+        println!(
+            "{:>10}  {:?} ({} OS threads spawned)",
+            n, stats.duration, stats.processes_spawned
+        );
+    }
+    println!("(larger sizes are not attempted: one OS thread per process does not scale)");
+
+    println!("\n== ping-pong pairs ==");
+    for pairs in [1_000usize, 10_000, (max / 10).max(10_000)] {
+        let stats = savina::ping_pong(pairs, 10).run_on(&fsm).expect("validated");
+        println!(
+            "{:>10} pairs  {:>10} messages  {:?}  ({:.0} msg/s)",
+            pairs,
+            stats.messages_sent,
+            stats.duration,
+            stats.throughput()
+        );
+    }
+}

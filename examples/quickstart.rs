@@ -1,0 +1,88 @@
+//! Quickstart: the three things this library does, in twenty lines each.
+//!
+//! 1. **Type-check a message-passing program** against a behavioural type
+//!    (the paper's Step 1).
+//! 2. **Model-check the behavioural type** for safety/liveness properties
+//!    (Step 2), which transfer to every program implementing it.
+//! 3. **Run** message-passing processes on the Effpi-style runtime.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use effpi::{implements, new_actor, verify, EffpiRuntime, Msg, Policy, Proc, Property, Scheduler,
+    Term, Type, TypeEnv};
+
+fn main() {
+    // -----------------------------------------------------------------
+    // 1. Protocols as types, programs as terms.
+    // -----------------------------------------------------------------
+    // A protocol: on channel c, send an integer, then stop.
+    //   T = o[c, int, Π()nil]
+    let protocol = Type::out(Type::var("c"), Type::Int, Type::thunk(Type::Nil));
+    // A program implementing it: send(c, 42, λ_.end), with c bound by a λ.
+    let program = Term::lam(
+        "c",
+        Type::chan_io(Type::Int),
+        Term::send(Term::var("c"), Term::int(42), Term::thunk(Term::End)),
+    );
+    let abstract_protocol = Type::pi("c", Type::chan_io(Type::Int), protocol);
+    implements(&program, &abstract_protocol).expect("the program follows the protocol");
+    println!("[1] program implements  Π(c:cio[int]) o[c, int, Π()nil]");
+
+    // A program that forgets the send does NOT implement it.
+    let lazy = Term::lam("c", Type::chan_io(Type::Int), Term::End);
+    assert!(implements(&lazy, &abstract_protocol).is_err());
+    println!("[1] forgetting the send is a type error — caught statically");
+
+    // -----------------------------------------------------------------
+    // 2. Type-level model checking.
+    // -----------------------------------------------------------------
+    // A forwarder protocol: forever receive on x, pass the value on to y.
+    let env = TypeEnv::new()
+        .bind("x", Type::chan_io(Type::Int))
+        .bind("y", Type::chan_io(Type::Int));
+    let forwarder = Type::rec(
+        "t",
+        Type::inp(
+            Type::var("x"),
+            Type::pi(
+                "v",
+                Type::Int,
+                Type::out(Type::var("y"), Type::var("v"), Type::thunk(Type::rec_var("t"))),
+            ),
+        ),
+    );
+    let fwd = verify(&env, &forwarder, &Property::forwarding("x", "y")).unwrap();
+    let non_usage = verify(&env, &forwarder, &Property::non_usage(["x"])).unwrap();
+    println!(
+        "[2] forwarding x→y: {} ({} states, {:?})",
+        fwd.holds, fwd.states, fwd.duration
+    );
+    println!("[2] never outputs on x: {}", non_usage.holds);
+
+    // -----------------------------------------------------------------
+    // 3. Running processes on the Effpi-style runtime.
+    // -----------------------------------------------------------------
+    let (echo_ref, echo_mb) = new_actor();
+    let (client_ref, client_mb) = new_actor();
+    let echo = echo_mb.read(|msg| match msg {
+        Msg::Pair(n, reply) => match (n.as_int(), reply.as_chan()) {
+            (Some(n), Some(reply)) => Proc::send_end(&reply, Msg::Int(n + 1)),
+            _ => Proc::End,
+        },
+        _ => Proc::End,
+    });
+    let client = echo_ref.tell(
+        Msg::pair(Msg::Int(41), Msg::Chan(client_ref.channel())),
+        move || {
+            client_mb.read(|reply| {
+                println!("[3] echo replied: {reply}");
+                Proc::End
+            })
+        },
+    );
+    let stats = EffpiRuntime::new(Policy::ChannelFsm).run(vec![echo, client]);
+    println!(
+        "[3] runtime: {} processes, {} messages, {:?}",
+        stats.processes_spawned, stats.messages_sent, stats.duration
+    );
+}

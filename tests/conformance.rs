@@ -1,0 +1,138 @@
+//! Cross-crate integration tests for the correspondence between term
+//! transitions and type transitions — the executable counterpart of
+//! Theorem 4.4 (subject transition) and Theorem 4.5 (type fidelity).
+//!
+//! These tests exercise the whole pipeline: typing (`dbt-types`), the
+//! open-term LTS and the type LTS (`lts`), on the paper's running examples.
+
+use dbt_types::{Checker, TypeEnv};
+use lambdapi::{examples, Name, Reducer, Term, Type};
+use lts::{TermLts, TypeLts};
+
+fn pingpong_env() -> TypeEnv {
+    TypeEnv::new()
+        .bind("y", Type::chan_io(Type::Str))
+        .bind("z", Type::chan_io(Type::chan_out(Type::Str)))
+}
+
+/// Subject reduction (the workhorse behind Thm. 3.6 and Thm. 4.4 case 1):
+/// every reduct of the closed ping-pong system stays typable.
+#[test]
+fn closed_pingpong_reducts_stay_typable() {
+    let checker = Checker::new();
+    let reducer = Reducer::new();
+    let mut term = examples::ping_pong_main();
+    checker.type_of_closed(&term).expect("initial term typable");
+    let mut steps = 0;
+    while let Some((next, _rule)) = reducer.step(&term) {
+        checker
+            .type_of_closed(&next)
+            .unwrap_or_else(|e| panic!("untypable reduct after {steps} steps: {e}\n{next}"));
+        term = next;
+        steps += 1;
+        assert!(steps < 500, "ping-pong should terminate quickly");
+    }
+    assert_eq!(term, Term::End);
+}
+
+/// The mobile-code system (higher-order communication) also enjoys subject
+/// reduction along its whole execution prefix.
+#[test]
+fn mobile_code_reducts_stay_typable() {
+    let checker = Checker::new();
+    let reducer = Reducer::new();
+    let mut term = examples::mobile_code_system(examples::m2_term());
+    checker.type_of_closed(&term).expect("initial term typable");
+    for _ in 0..120 {
+        match reducer.step(&term) {
+            Some((next, _)) => {
+                checker
+                    .type_of_closed(&next)
+                    .unwrap_or_else(|e| panic!("untypable reduct: {e}"));
+                term = next;
+            }
+            None => break,
+        }
+    }
+}
+
+/// Theorem 4.4, case 2 (shape check): when the open ping-pong term fires a
+/// communication on a channel variable, the type fires a corresponding
+/// τ[S,S'] synchronisation — first on z, then on the transmitted y.
+#[test]
+fn term_communications_have_matching_type_synchronisations() {
+    let env = pingpong_env();
+    let (term, ty) = examples::ping_pong_open();
+
+    // Γ ⊢ t : T (Ex. 4.3).
+    Checker::new().check_term(&env, &term, &ty).expect("Γ ⊢ sys y z : Tpp y z");
+
+    let term_lts = TermLts::new(env.clone()).build(&term, 5_000);
+    let type_lts = TypeLts::new(env).build(&ty, 5_000);
+
+    for chan in ["z", "y"] {
+        let name = Name::new(chan);
+        let term_comm = term_lts.labels().any(|l| l.is_comm_on(&name));
+        let type_comm = type_lts.labels().any(|l| {
+            matches!(
+                l,
+                lts::TypeLabel::Comm { left, right }
+                    if *left == Type::var(chan) && *right == Type::var(chan)
+            )
+        });
+        assert!(term_comm, "term LTS must communicate on {chan}");
+        assert!(type_comm, "type LTS must synchronise on {chan} (Thm. 4.4.2d)");
+    }
+}
+
+/// Theorem 4.5 (type fidelity), items 1–3, on the ponger: every output the
+/// type can fire is matched by an output of the (productive) term, after
+/// τ•-steps.
+#[test]
+fn type_outputs_are_realised_by_the_ponger_term() {
+    let env = pingpong_env();
+    let ty = examples::tpong_type().apply(&Type::var("z")).unwrap();
+    let term = Term::app(examples::ponger_term(), Term::var("z"));
+    Checker::new().check_term(&env, &term, &ty).expect("typing");
+
+    let type_lts = TypeLts::new(env.clone()).build(&ty, 5_000);
+    let term_lts = TermLts::new(env).build(&term, 5_000);
+
+    // The type can input on z (with the environment variable y as payload) and
+    // then output on y; the term can do the same.
+    let type_inputs_on_z = type_lts.labels().any(|l| l.is_input_on(&Name::new("z")));
+    let term_inputs_on_z = term_lts.labels().any(|l| l.is_input_on(&Name::new("z")));
+    assert!(type_inputs_on_z && term_inputs_on_z);
+
+    let type_outputs_on_y = type_lts.labels().any(|l| l.is_output_on(&Name::new("y")));
+    let term_outputs_on_y = term_lts.labels().any(|l| l.is_output_on(&Name::new("y")));
+    assert!(type_outputs_on_y, "Tpong z must offer an output on the received y");
+    assert!(term_outputs_on_y, "ponger z must realise that output (Thm. 4.5.1)");
+}
+
+/// The over-approximation direction: the type LTS of Ex. 3.5's imprecise T2
+/// has synchronisations that the precise T1 also has — subtyping only *adds*
+/// behaviours, it never removes them.
+#[test]
+fn supertypes_over_approximate_behaviour() {
+    let env = TypeEnv::new().bind("x", Type::chan_io(Type::Int));
+    let t1 = Type::par(
+        Type::out(Type::var("x"), Type::Int, Type::thunk(Type::Nil)),
+        Type::inp(Type::var("x"), Type::pi("y", Type::Int, Type::Nil)),
+    );
+    let t2 = Type::par(
+        Type::out(Type::chan_io(Type::Int), Type::Int, Type::thunk(Type::Nil)),
+        Type::inp(Type::var("x"), Type::pi("y", Type::Int, Type::Nil)),
+    );
+    let checker = Checker::new();
+    assert!(checker.is_subtype(&env, &t1, &t2));
+
+    let builder = TypeLts::new(env);
+    let lts1 = builder.build(&t1, 1_000);
+    let lts2 = builder.build(&t2, 1_000);
+    let comms = |lts: &lts::Lts<Type, lts::TypeLabel>| {
+        lts.labels().filter(|l| matches!(l, lts::TypeLabel::Comm { .. })).count()
+    };
+    assert!(comms(&lts1) > 0);
+    assert!(comms(&lts2) > 0, "the imprecise supertype still synchronises");
+}

@@ -1,0 +1,224 @@
+//! Property-based tests (proptest) for the core invariants of the calculus,
+//! the type system and the type LTS:
+//!
+//! * **type safety** (Thm. 3.6): randomly generated terms that type-check
+//!   never reduce to `err`;
+//! * **subtyping is a preorder** on randomly generated types, and the
+//!   syntactic congruence ≡ implies subtyping in both directions;
+//! * **normalisation is idempotent** and preserves free variables and
+//!   behaviour-relevant structure;
+//! * **substitution** removes the substituted variable;
+//! * **the type LTS is deterministic as a function** (same input, same graph).
+
+use dbt_types::{Checker, TypeEnv};
+use lambdapi::{BinOp, Name, Reducer, Term, Type};
+use lts::TypeLts;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// Simple data expressions of type int or bool (possibly ill-typed on purpose:
+/// the mix lets the type checker reject some and accept others).
+fn arb_data_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Term::bool),
+        (-100i64..100).prop_map(Term::int),
+        Just(Term::unit()),
+        Just(Term::str("hello")),
+    ];
+    leaf.prop_recursive(4, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Term::binop(BinOp::Add, a, b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Term::binop(BinOp::Gt, a, b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Term::binop(BinOp::Eq, a, b)),
+            inner.clone().prop_map(Term::not),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| Term::ite(c, t, e)),
+            // A β-redex binding an int variable.
+            (inner.clone(), inner)
+                .prop_map(|(body_seed, arg)| {
+                    let body = Term::ite(
+                        Term::binop(BinOp::Gt, Term::var("x"), Term::int(0)),
+                        body_seed.clone(),
+                        body_seed,
+                    );
+                    Term::app(Term::lam("x", Type::Int, body), arg)
+                }),
+        ]
+    })
+}
+
+/// Value-level types of the functional + channel fragment.
+fn arb_value_type() -> impl Strategy<Value = Type> {
+    let leaf = prop_oneof![
+        Just(Type::Bool),
+        Just(Type::Int),
+        Just(Type::Str),
+        Just(Type::Unit),
+        Just(Type::Top),
+        Just(Type::Bottom),
+    ];
+    leaf.prop_recursive(3, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Type::union(a, b)),
+            inner.clone().prop_map(Type::chan_io),
+            inner.clone().prop_map(Type::chan_in),
+            inner.clone().prop_map(Type::chan_out),
+            (inner.clone(), inner).prop_map(|(a, b)| Type::pi("x", a, b)),
+        ]
+    })
+}
+
+/// Process types over two channel variables `x` (int) and `y` (int), in the
+/// guarded fragment accepted by the verifier.
+fn arb_process_type() -> impl Strategy<Value = Type> {
+    let base = prop_oneof![Just(Type::Nil)];
+    base.prop_recursive(4, 48, 2, |inner| {
+        prop_oneof![
+            (prop_oneof![Just("x"), Just("y")], inner.clone()).prop_map(|(c, k)| {
+                Type::out(Type::var(c), Type::Int, Type::thunk(k))
+            }),
+            (prop_oneof![Just("x"), Just("y")], inner.clone()).prop_map(|(c, k)| {
+                Type::inp(Type::var(c), Type::pi("v", Type::Int, k))
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Type::union(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Type::par(a, b)),
+        ]
+    })
+}
+
+fn two_channel_env() -> TypeEnv {
+    TypeEnv::new()
+        .bind("x", Type::chan_io(Type::Int))
+        .bind("y", Type::chan_io(Type::Int))
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Theorem 3.6 on the data fragment: if a random term type-checks, running
+    /// it never reaches `err` (and it terminates, since the fragment has no
+    /// recursion).
+    #[test]
+    fn well_typed_data_terms_are_safe(t in arb_data_term()) {
+        let checker = Checker::new();
+        if checker.type_of(&TypeEnv::new(), &t).is_ok() {
+            let result = Reducer::new().eval(&t, 10_000);
+            prop_assert!(result.is_safe(), "well-typed term reached err: {t}");
+            prop_assert!(result.normal_form, "well-typed data term failed to terminate");
+        }
+    }
+
+    /// Evaluation is deterministic on the data fragment: two runs agree.
+    #[test]
+    fn evaluation_is_deterministic(t in arb_data_term()) {
+        let r = Reducer::new();
+        let a = r.eval(&t, 10_000);
+        let b = r.eval(&t, 10_000);
+        prop_assert_eq!(a.term, b.term);
+        prop_assert_eq!(a.steps, b.steps);
+    }
+
+    /// Subtyping is reflexive on arbitrary value types.
+    #[test]
+    fn subtyping_is_reflexive(t in arb_value_type()) {
+        let checker = Checker::new();
+        let env = TypeEnv::new();
+        prop_assert!(checker.is_subtype(&env, &t, &t));
+    }
+
+    /// Subtyping is transitive on the generated value types (checked on
+    /// related triples built from unions, which are plentiful enough to be
+    /// meaningful: T ⩽ T∨U ⩽ (T∨U)∨S).
+    #[test]
+    fn subtyping_chains_through_unions(t in arb_value_type(), u in arb_value_type(), s in arb_value_type()) {
+        let checker = Checker::new();
+        let env = TypeEnv::new();
+        let tu = Type::union(t.clone(), u);
+        let tus = Type::union(tu.clone(), s);
+        prop_assert!(checker.is_subtype(&env, &t, &tu));
+        prop_assert!(checker.is_subtype(&env, &tu, &tus));
+        prop_assert!(checker.is_subtype(&env, &t, &tus));
+    }
+
+    /// Every generated type is below ⊤, and ⊥ is below every generated type.
+    #[test]
+    fn top_and_bottom_bound_everything(t in arb_value_type()) {
+        let checker = Checker::new();
+        let env = TypeEnv::new();
+        prop_assert!(checker.is_subtype(&env, &t, &Type::Top));
+        prop_assert!(checker.is_subtype(&env, &Type::Bottom, &t));
+    }
+
+    /// Normalisation is idempotent and preserves the free variables.
+    #[test]
+    fn normalisation_is_idempotent(t in arb_process_type()) {
+        let n1 = t.normalize();
+        let n2 = n1.normalize();
+        prop_assert_eq!(&n1, &n2);
+        prop_assert_eq!(t.free_vars(), n1.free_vars());
+    }
+
+    /// The structural congruence ≡ implies mutual subtyping (both are
+    /// implementations of "the same protocol").
+    #[test]
+    fn congruent_process_types_are_equivalent(t in arb_process_type(), u in arb_process_type()) {
+        let checker = Checker::new();
+        let env = two_channel_env();
+        let left = Type::par(t.clone(), u.clone());
+        let right = Type::par(u, t);
+        prop_assert!(left.cong_eq(&right));
+        prop_assert!(checker.is_subtype(&env, &left, &right));
+        prop_assert!(checker.is_subtype(&env, &right, &left));
+    }
+
+    /// Substitution eliminates the substituted variable (when the replacement
+    /// does not itself mention it).
+    #[test]
+    fn substitution_removes_the_variable(t in arb_process_type()) {
+        let subst = t.subst_var(&Name::new("x"), &Type::chan_io(Type::Int));
+        prop_assert!(!subst.free_vars().contains(&Name::new("x")));
+        // And it leaves other variables alone.
+        let fv_before = t.free_vars().contains(&Name::new("y"));
+        let fv_after = subst.free_vars().contains(&Name::new("y"));
+        prop_assert_eq!(fv_before, fv_after);
+    }
+
+    /// Building the type LTS twice yields the same graph (the semantics of
+    /// Def. 4.2 is a function of the type and environment).
+    #[test]
+    fn type_lts_construction_is_deterministic(t in arb_process_type()) {
+        let env = two_channel_env();
+        let builder = TypeLts::new(env);
+        let a = builder.build(&t, 2_000);
+        let b = builder.build(&t, 2_000);
+        prop_assert_eq!(a.num_states(), b.num_states());
+        prop_assert_eq!(a.num_transitions(), b.num_transitions());
+    }
+
+    /// Every generated guarded process type is accepted by the validity
+    /// judgement as a π-type, and every state reachable in its LTS is again a
+    /// π-type (a semantic counterpart of subject transition at type level).
+    #[test]
+    fn process_types_stay_process_types_along_transitions(t in arb_process_type()) {
+        let checker = Checker::new();
+        let env = two_channel_env();
+        prop_assert!(checker.check_pi_type(&env, &t).is_ok());
+        let lts = TypeLts::new(env.clone()).build(&t, 500);
+        for state in lts.states().iter().take(50) {
+            prop_assert!(
+                checker.check_pi_type(&env, state).is_ok(),
+                "reachable state is not a π-type: {state}"
+            );
+        }
+    }
+}
