@@ -1,4 +1,5 @@
-//! Criterion benches for type-level model checking (Fig. 9).
+//! Benches for type-level model checking (Fig. 9), on the in-repo timing
+//! harness (`bench::harness`; the offline build carries no criterion).
 //!
 //! Measures (a) the time to build + verify each property on representative
 //! protocol scenarios and (b) how verification time grows with the scenario
@@ -8,10 +9,12 @@
 //! cargo bench -p bench --bench modelcheck
 //! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use effpi::protocols::{dining, payment, pingpong, ring};
+use bench::harness;
 use effpi::protocols::Scenario;
+use effpi::protocols::{dining, payment, pingpong, ring};
+use effpi::Session;
+
+const ITERS: usize = 10;
 
 fn scenarios() -> Vec<Scenario> {
     vec![
@@ -26,66 +29,61 @@ fn scenarios() -> Vec<Scenario> {
     ]
 }
 
-/// One bench per scenario: verify the whole Fig. 9 row (all six properties).
-fn bench_rows(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9-row");
-    group.sample_size(10);
+fn main() {
+    println!("{}", harness::header());
+
+    // One bench per scenario: verify the whole Fig. 9 row (all six
+    // properties) through one shared session.
+    let session = Session::builder().max_states(200_000).build();
     for scenario in scenarios() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(&scenario.name),
-            &scenario,
-            |b, scenario| {
-                b.iter(|| scenario.run(200_000).expect("verification"));
-            },
-        );
+        harness::time(format!("fig9-row/{}", scenario.name), ITERS, || {
+            let report = session.run_scenario(&scenario);
+            assert!(report.first_error().is_none(), "verification completes");
+            report
+        });
     }
-    group.finish();
-}
+    println!();
 
-/// One bench per property on a fixed mid-sized scenario, exposing which
-/// properties are the expensive ones (forwarding/responsive in the paper).
-fn bench_properties(c: &mut Criterion) {
+    // One bench per property on a fixed mid-sized scenario, exposing which
+    // properties are the expensive ones (forwarding/responsive in the paper).
     let scenario = payment::payment_with_clients(3);
-    let mut group = c.benchmark_group("fig9-properties(pay+3clients)");
-    group.sample_size(10);
     for property in scenario.properties.clone() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(property.name()),
-            &property,
-            |b, property| {
-                b.iter(|| scenario.run_property(property, 200_000).expect("verification"));
+        harness::time(
+            format!("fig9-properties(pay+3clients)/{}", property.name()),
+            ITERS,
+            || {
+                session
+                    .run_scenario_property(&scenario, &property)
+                    .expect("verification")
             },
         );
     }
-    group.finish();
-}
+    println!();
 
-/// Scaling: the same protocol at growing sizes (state-space growth).
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9-scaling");
-    group.sample_size(10);
+    // Scaling: the same protocol at growing sizes (state-space growth).
+    let scaling = Session::builder().max_states(400_000).build();
     for clients in [1usize, 2, 3, 4] {
         let scenario = payment::payment_with_clients(clients);
-        group.bench_with_input(
-            BenchmarkId::new("payment-clients", clients),
-            &scenario,
-            |b, scenario| {
-                b.iter(|| scenario.run(400_000).expect("verification"));
+        harness::time(
+            format!("fig9-scaling/payment-clients/{clients}"),
+            ITERS,
+            || {
+                let report = scaling.run_scenario(&scenario);
+                assert!(report.first_error().is_none(), "verification completes");
+                report
             },
         );
     }
     for members in [3usize, 4, 5] {
         let scenario = ring::token_ring(members, 1);
-        group.bench_with_input(
-            BenchmarkId::new("ring-members", members),
-            &scenario,
-            |b, scenario| {
-                b.iter(|| scenario.run(400_000).expect("verification"));
+        harness::time(
+            format!("fig9-scaling/ring-members/{members}"),
+            ITERS,
+            || {
+                let report = scaling.run_scenario(&scenario);
+                assert!(report.first_error().is_none(), "verification completes");
+                report
             },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_rows, bench_properties, bench_scaling);
-criterion_main!(benches);

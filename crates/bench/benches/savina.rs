@@ -1,17 +1,19 @@
-//! Criterion benches for the Savina runtime workloads (Fig. 8).
+//! Benches for the Savina runtime workloads (Fig. 8), on the in-repo timing
+//! harness (`bench::harness`; the offline build carries no criterion).
 //!
-//! Each benchmark family is measured at a modest size on the three schedulers;
-//! the `fig8` binary performs the full size sweep. Run with:
+//! Each benchmark family is measured at a modest size on the three
+//! schedulers; the `fig8` binary performs the full size sweep. Run with:
 //!
 //! ```text
 //! cargo bench -p bench --bench savina
 //! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use bench::fig8::{Benchmark, Runner};
+use bench::harness;
 
-fn bench_savina(c: &mut Criterion) {
+const ITERS: usize = 10;
+
+fn main() {
     // Modest sizes so a full `cargo bench` stays in the minutes range.
     let cases: &[(Benchmark, usize)] = &[
         (Benchmark::Chameneos, 64),
@@ -22,43 +24,40 @@ fn bench_savina(c: &mut Criterion) {
         (Benchmark::Ring, 256),
         (Benchmark::StreamingRing, 256),
     ];
+    println!("{}", harness::header());
     for (bench, size) in cases {
-        let mut group = c.benchmark_group(bench.name());
-        group.sample_size(10);
         for runner in [Runner::EffpiDefault, Runner::EffpiChannelFsm] {
-            group.bench_with_input(
-                BenchmarkId::new(runner.name(), size),
-                size,
-                |b, &size| {
-                    let scheduler = runner.scheduler();
-                    b.iter(|| {
-                        bench
-                            .workload(size)
-                            .run_on(scheduler.as_ref())
-                            .expect("workload validation")
-                    });
+            let scheduler = runner.scheduler();
+            harness::time(
+                format!("{}/{}/{}", bench.name(), runner.name(), size),
+                ITERS,
+                || {
+                    bench
+                        .workload(*size)
+                        .run_on(scheduler.as_ref())
+                        .expect("workload validation")
                 },
             );
         }
         // The thread-per-process baseline is measured at a reduced size: it is
         // the point of Fig. 8 that it cannot keep up at the larger ones.
         let baseline_size = (*size).min(256);
-        group.bench_with_input(
-            BenchmarkId::new(Runner::BaselineThreads.name(), baseline_size),
-            &baseline_size,
-            |b, &size| {
-                let scheduler = Runner::BaselineThreads.scheduler();
-                b.iter(|| {
-                    bench
-                        .workload(size)
-                        .run_on(scheduler.as_ref())
-                        .expect("workload validation")
-                });
+        let scheduler = Runner::BaselineThreads.scheduler();
+        harness::time(
+            format!(
+                "{}/{}/{}",
+                bench.name(),
+                Runner::BaselineThreads.name(),
+                baseline_size
+            ),
+            ITERS,
+            || {
+                bench
+                    .workload(baseline_size)
+                    .run_on(scheduler.as_ref())
+                    .expect("workload validation")
             },
         );
-        group.finish();
+        println!();
     }
 }
-
-criterion_group!(benches, bench_savina);
-criterion_main!(benches);

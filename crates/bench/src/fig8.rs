@@ -85,7 +85,10 @@ impl Benchmark {
             Benchmark::Ring | Benchmark::StreamingRing | Benchmark::Chameneos => 100_000,
             _ => usize::MAX,
         };
-        caps.iter().copied().filter(|&s| s <= per_bench_cap).collect()
+        caps.iter()
+            .copied()
+            .filter(|&s| s <= per_bench_cap)
+            .collect()
     }
 }
 
@@ -102,8 +105,11 @@ pub enum Runner {
 
 impl Runner {
     /// The three runners, in the legend order of Fig. 8.
-    pub const ALL: [Runner; 3] =
-        [Runner::BaselineThreads, Runner::EffpiChannelFsm, Runner::EffpiDefault];
+    pub const ALL: [Runner; 3] = [
+        Runner::BaselineThreads,
+        Runner::EffpiChannelFsm,
+        Runner::EffpiDefault,
+    ];
 
     /// Legend name.
     pub fn name(&self) -> &'static str {
@@ -194,12 +200,24 @@ pub fn run_sweep(scale: usize) -> Vec<Fig8Point> {
 /// runner's limit are skipped (reported as `None`).
 pub fn run_point(bench: Benchmark, runner: Runner, size: usize) -> Fig8Point {
     if size > runner.max_size() {
-        return Fig8Point { benchmark: bench.name(), runner: runner.name(), size, stats: None };
+        return Fig8Point {
+            benchmark: bench.name(),
+            runner: runner.name(),
+            size,
+            stats: None,
+        };
     }
     let workload = bench.workload(size);
     let scheduler = runner.scheduler();
-    let stats = workload.run_on(scheduler.as_ref()).expect("workload validation");
-    Fig8Point { benchmark: bench.name(), runner: runner.name(), size, stats: Some(stats) }
+    let stats = workload
+        .run_on(scheduler.as_ref())
+        .expect("workload validation");
+    Fig8Point {
+        benchmark: bench.name(),
+        runner: runner.name(),
+        size,
+        stats: Some(stats),
+    }
 }
 
 /// A convenience summary: for each benchmark, the ratio of baseline time to
@@ -265,7 +283,11 @@ mod tests {
 
     #[test]
     fn baseline_skips_oversized_workloads() {
-        let p = run_point(Benchmark::ForkJoinCreate, Runner::BaselineThreads, 1_000_000);
+        let p = run_point(
+            Benchmark::ForkJoinCreate,
+            Runner::BaselineThreads,
+            1_000_000,
+        );
         assert!(p.stats.is_none());
         assert!(p.row().contains("skipped"));
     }

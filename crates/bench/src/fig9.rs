@@ -11,11 +11,17 @@
 use std::time::Duration;
 
 use effpi::protocols::{fig9_scenarios, Scenario};
-use effpi::VerificationOutcome;
+use effpi::{Session, VerificationOutcome};
 
 /// The Fig. 9 column names, in order.
-pub const COLUMNS: [&str; 6] =
-    ["deadlock-free", "ev-usage", "forwarding", "non-usage", "reactive", "responsive"];
+pub const COLUMNS: [&str; 6] = [
+    "deadlock-free",
+    "ev-usage",
+    "forwarding",
+    "non-usage",
+    "reactive",
+    "responsive",
+];
 
 /// One row of the reproduced Fig. 9.
 #[derive(Clone, Debug)]
@@ -103,35 +109,45 @@ pub fn header() -> String {
     )
 }
 
-/// Verifies one scenario into a [`Fig9Row`].
-pub fn run_scenario(scenario: &Scenario, max_states: usize) -> Fig9Row {
+/// Verifies one scenario into a [`Fig9Row`] on the given session.
+pub fn run_scenario_on(session: &Session, scenario: &Scenario) -> Fig9Row {
     let start = std::time::Instant::now();
-    match scenario.run(max_states) {
-        Ok(outcomes) => Fig9Row {
-            name: scenario.name.clone(),
-            states: outcomes.first().map(|o| o.states).unwrap_or(0),
-            paper_states: scenario.paper_states,
-            outcomes,
-            paper_verdicts: scenario.paper_verdicts,
-            total_time: start.elapsed(),
-            error: None,
-        },
-        Err(e) => Fig9Row {
-            name: scenario.name.clone(),
-            states: 0,
-            paper_states: scenario.paper_states,
-            outcomes: Vec::new(),
-            paper_verdicts: scenario.paper_verdicts,
-            total_time: start.elapsed(),
-            error: Some(e.to_string()),
-        },
+    let report = session.run_scenario(scenario);
+    let summary = report.summary();
+    Fig9Row {
+        name: scenario.name.clone(),
+        states: summary.states,
+        paper_states: scenario.paper_states,
+        outcomes: report
+            .properties
+            .into_iter()
+            // Scenario properties verify wholesale (one shared LTS): either
+            // all six outcomes exist, or the failure is in summary.error and
+            // this list is empty. Keep the positional six-column contract
+            // loud rather than silently dropping a column.
+            .map(|p| p.result.expect("scenario properties verify wholesale"))
+            .collect(),
+        paper_verdicts: scenario.paper_verdicts,
+        total_time: start.elapsed(),
+        error: summary.error,
     }
 }
 
+/// Verifies one scenario into a [`Fig9Row`] with a one-off session bounded by
+/// `max_states`.
+pub fn run_scenario(scenario: &Scenario, max_states: usize) -> Fig9Row {
+    run_scenario_on(&Session::builder().max_states(max_states).build(), scenario)
+}
+
 /// Runs the whole Fig. 9 table at the given scale (see
-/// [`effpi::protocols::fig9_scenarios`]).
+/// [`effpi::protocols::fig9_scenarios`]), sharing one [`Session`] across all
+/// rows — exactly how a production verification service would batch requests.
 pub fn run_table(scale: usize, max_states: usize) -> Vec<Fig9Row> {
-    fig9_scenarios(scale).iter().map(|s| run_scenario(s, max_states)).collect()
+    let session = Session::builder().max_states(max_states).build();
+    fig9_scenarios(scale)
+        .iter()
+        .map(|s| run_scenario_on(&session, s))
+        .collect()
 }
 
 #[cfg(test)]
@@ -159,7 +175,11 @@ mod tests {
         // is not — in every generated size.
         for row in rows.iter().filter(|r| r.name.contains("philos")) {
             let expected_deadlock_free = !row.name.contains(", deadlock");
-            assert_eq!(row.outcomes[0].holds, expected_deadlock_free, "{}", row.name);
+            assert_eq!(
+                row.outcomes[0].holds, expected_deadlock_free,
+                "{}",
+                row.name
+            );
         }
         // Ping-pong: responsiveness separates the two variants.
         for row in rows.iter().filter(|r| r.name.contains("Ping-pong")) {
@@ -169,7 +189,11 @@ mod tests {
         // Payment: responsive and deadlock-free, but not unconditionally
         // forwarding to the auditor.
         for row in rows.iter().filter(|r| r.name.contains("Pay")) {
-            assert!(row.outcomes[0].holds && row.outcomes[5].holds, "{}", row.name);
+            assert!(
+                row.outcomes[0].holds && row.outcomes[5].holds,
+                "{}",
+                row.name
+            );
             assert!(!row.outcomes[2].holds, "{}", row.name);
         }
     }

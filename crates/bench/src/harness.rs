@@ -1,0 +1,74 @@
+//! A tiny timing harness for the `cargo bench` targets.
+//!
+//! The build environment is offline, so the workspace carries no external
+//! dependencies; the bench targets (`harness = false`) use this module
+//! instead of criterion. It is deliberately simple — a warmup pass, a fixed
+//! number of timed iterations, and a min/mean/max report — which is enough
+//! to compare scheduler policies and to watch scaling trends.
+
+use std::time::{Duration, Instant};
+
+/// The timing of one benchmark case.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Case label, e.g. `"fig9-row/Payment (2 clients)"`.
+    pub label: String,
+    /// Number of timed iterations.
+    pub iterations: usize,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Mean iteration time.
+    pub mean: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+}
+
+impl Measurement {
+    /// Renders the measurement as one aligned report line.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<54} {:>10.3?} {:>10.3?} {:>10.3?}  ({} iters)",
+            self.label, self.min, self.mean, self.max, self.iterations
+        )
+    }
+}
+
+/// The header matching [`Measurement::row`].
+pub fn header() -> String {
+    format!(
+        "{:<54} {:>10} {:>10} {:>10}",
+        "benchmark", "min", "mean", "max"
+    )
+}
+
+/// Times `f` for `iterations` runs (after one untimed warmup), printing the
+/// report line as it goes and returning the measurement.
+pub fn time<T>(
+    label: impl Into<String>,
+    iterations: usize,
+    mut f: impl FnMut() -> T,
+) -> Measurement {
+    let label = label.into();
+    let iterations = iterations.max(1);
+    std::hint::black_box(f()); // warmup, and keep the work observable
+    let mut min = Duration::MAX;
+    let mut max = Duration::ZERO;
+    let mut total = Duration::ZERO;
+    for _ in 0..iterations {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let elapsed = start.elapsed();
+        min = min.min(elapsed);
+        max = max.max(elapsed);
+        total += elapsed;
+    }
+    let m = Measurement {
+        label,
+        iterations,
+        min,
+        mean: total / iterations as u32,
+        max,
+    };
+    println!("{}", m.row());
+    m
+}

@@ -15,3 +15,4 @@
 
 pub mod fig8;
 pub mod fig9;
+pub mod harness;

@@ -32,7 +32,9 @@ pub struct TypeEnv {
 impl TypeEnv {
     /// The empty environment ∅.
     pub fn new() -> Self {
-        TypeEnv { entries: Vec::new() }
+        TypeEnv {
+            entries: Vec::new(),
+        }
     }
 
     /// Builds an environment from an iterator of bindings; later bindings for
@@ -65,7 +67,11 @@ impl TypeEnv {
 
     /// Looks up the type of a variable.
     pub fn lookup(&self, x: &Name) -> Option<&Type> {
-        self.entries.iter().rev().find(|(y, _)| y == x).map(|(_, t)| t)
+        self.entries
+            .iter()
+            .rev()
+            .find(|(y, _)| y == x)
+            .map(|(_, t)| t)
     }
 
     /// Returns `true` when `x ∈ dom(Γ)`.

@@ -65,7 +65,10 @@ pub struct Checker {
 
 impl Default for Checker {
     fn default() -> Self {
-        Checker { max_depth: 256, max_unfold: 16 }
+        Checker {
+            max_depth: 256,
+            max_unfold: 16,
+        }
     }
 }
 
@@ -77,6 +80,9 @@ impl Checker {
 
     /// Creates a checker with custom limits.
     pub fn with_limits(max_depth: usize, max_unfold: usize) -> Self {
-        Checker { max_depth, max_unfold }
+        Checker {
+            max_depth,
+            max_unfold,
+        }
     }
 }

@@ -239,9 +239,7 @@ impl Checker {
             _ => None,
         };
         match (sp, tp) {
-            (Some(a), Some(b)) => {
-                self.is_subtype(env, &a, &b) || self.is_subtype(env, &b, &a)
-            }
+            (Some(a), Some(b)) => self.is_subtype(env, &a, &b) || self.is_subtype(env, &b, &a),
             _ => false,
         }
     }
@@ -271,7 +269,11 @@ mod tests {
         let env = TypeEnv::new();
         let bi = Type::union(Type::Bool, Type::Int);
         assert!(c.is_subtype(&env, &Type::Bool, &bi));
-        assert!(c.is_subtype(&env, &bi, &Type::union(Type::Int, Type::union(Type::Bool, Type::Str))));
+        assert!(c.is_subtype(
+            &env,
+            &bi,
+            &Type::union(Type::Int, Type::union(Type::Bool, Type::Str))
+        ));
         assert!(!c.is_subtype(&env, &bi, &Type::Bool));
     }
 
@@ -308,16 +310,8 @@ mod tests {
             &Type::chan_in(Type::Int)
         ));
         // Contravariant output.
-        assert!(c.is_subtype(
-            &env,
-            &Type::chan_out(Type::Top),
-            &Type::chan_out(Type::Int)
-        ));
-        assert!(!c.is_subtype(
-            &env,
-            &Type::chan_out(Type::Int),
-            &Type::chan_out(Type::Top)
-        ));
+        assert!(c.is_subtype(&env, &Type::chan_out(Type::Top), &Type::chan_out(Type::Int)));
+        assert!(!c.is_subtype(&env, &Type::chan_out(Type::Int), &Type::chan_out(Type::Top)));
         // cio can be used as either endpoint.
         assert!(c.is_subtype(&env, &Type::chan_io(Type::Str), &Type::chan_out(Type::Str)));
         assert!(c.is_subtype(&env, &Type::chan_io(Type::Str), &Type::chan_in(Type::Str)));
@@ -386,7 +380,11 @@ mod tests {
                 Type::out(Type::var("x"), payload, Type::thunk(Type::rec_var("t"))),
             )
         };
-        assert!(c.is_subtype(&env, &stream(Type::Int), &stream(Type::union(Type::Int, Type::Bool))));
+        assert!(c.is_subtype(
+            &env,
+            &stream(Type::Int),
+            &stream(Type::union(Type::Int, Type::Bool))
+        ));
         assert!(!c.is_subtype(&env, &stream(Type::Top), &stream(Type::Int)));
         // A recursive type is equivalent to its unfolding.
         let t = stream(Type::Int);
@@ -409,11 +407,7 @@ mod tests {
         // Bottom never interacts.
         assert!(!c.might_interact(&env, &Type::Bottom, &Type::var("x")));
         // Two literal channel types with compatible payloads interact.
-        assert!(c.might_interact(
-            &env,
-            &Type::chan_out(Type::Int),
-            &Type::chan_in(Type::Int)
-        ));
+        assert!(c.might_interact(&env, &Type::chan_out(Type::Int), &Type::chan_in(Type::Int)));
     }
 
     #[test]

@@ -354,11 +354,7 @@ mod tests {
                                     Term::unit(),
                                     Term::thunk(Term::app_all(
                                         Term::var("payment"),
-                                        [
-                                            Term::var("self"),
-                                            Term::var("aud"),
-                                            Term::var("client"),
-                                        ],
+                                        [Term::var("self"), Term::var("aud"), Term::var("client")],
                                     )),
                                 ),
                             ),

@@ -238,7 +238,14 @@ mod tests {
     fn base_types_are_valid_value_types() {
         let c = checker();
         let env = TypeEnv::new();
-        for t in [Type::Bool, Type::Unit, Type::Int, Type::Str, Type::Top, Type::Bottom] {
+        for t in [
+            Type::Bool,
+            Type::Unit,
+            Type::Int,
+            Type::Str,
+            Type::Top,
+            Type::Bottom,
+        ] {
             assert_eq!(c.classify(&env, &t).unwrap(), TypeKind::Value);
         }
     }
@@ -297,16 +304,22 @@ mod tests {
     fn union_kinds_may_not_be_mixed() {
         let c = checker();
         let env = TypeEnv::new();
-        assert!(c.classify(&env, &Type::union(Type::Bool, Type::Int)).is_ok());
+        assert!(c
+            .classify(&env, &Type::union(Type::Bool, Type::Int))
+            .is_ok());
         assert!(c.classify(&env, &Type::union(Type::Nil, Type::Nil)).is_ok());
-        assert!(c.classify(&env, &Type::union(Type::Bool, Type::Nil)).is_err());
+        assert!(c
+            .classify(&env, &Type::union(Type::Bool, Type::Nil))
+            .is_err());
     }
 
     #[test]
     fn non_contractive_recursion_is_rejected() {
         let c = checker();
         let env = TypeEnv::new();
-        assert!(c.classify(&env, &Type::rec("t", Type::rec_var("t"))).is_err());
+        assert!(c
+            .classify(&env, &Type::rec("t", Type::rec_var("t")))
+            .is_err());
     }
 
     #[test]

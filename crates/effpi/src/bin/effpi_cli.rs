@@ -1,6 +1,8 @@
 //! `effpi-cli` — type-check and verify λπ⩽ protocol specifications from the
 //! command line (the stand-alone counterpart of the Dotty compiler plugin of
-//! §5.1).
+//! §5.1). The CLI is a thin shell around [`effpi::Session`]: every command
+//! parses the specification, configures a session, and routes through the
+//! unified pipeline.
 //!
 //! ```text
 //! effpi-cli verify    <spec.effpi> [--max-states N]   # run every `check` in the spec
@@ -13,8 +15,8 @@
 
 use std::process::ExitCode;
 
-use effpi::spec::{parse_spec, run_spec};
-use effpi::Verifier;
+use effpi::spec::parse_spec;
+use effpi::Session;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,12 +44,19 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // One session for every command. The spec's visible list is set as the
+    // session default so direct `build_lts` calls see it; `run_spec` applies
+    // the same list itself.
+    let session = Session::builder()
+        .max_states(max_states)
+        .visible(spec.visible.clone())
+        .build();
 
     match command.as_str() {
         "verify" => {
-            let report = run_spec(&spec, max_states);
+            let report = session.run_spec(&spec);
             print!("{report}");
-            if report.all_ok() {
+            if report.passed() {
                 println!("result: all checks passed");
                 ExitCode::SUCCESS
             } else {
@@ -56,10 +65,10 @@ fn main() -> ExitCode {
             }
         }
         "typecheck" => {
+            // Step 1 only: run the spec with its `check` statements dropped.
             let mut typing_only = spec.clone();
             typing_only.checks.clear();
-            let report = run_spec(&typing_only, 1);
-            match report.typecheck {
+            match session.run_spec(&typing_only).typecheck {
                 Some(Ok(())) => {
                     println!("typecheck: ok");
                     ExitCode::SUCCESS
@@ -79,16 +88,16 @@ fn main() -> ExitCode {
                 eprintln!("the specification has no `type` statement");
                 return ExitCode::from(2);
             };
-            // Build the LTS the same way the verifier would (probes included).
-            let mut verifier = Verifier::with_max_states(max_states);
-            verifier.visible = Some(spec.visible.clone());
-            match verifier.build_lts(&spec.env, ty) {
+            // Build the LTS the same way verification would (probes and the
+            // spec's visible list included).
+            match session.build_lts(&spec.env, ty) {
                 Ok((_, lts)) => {
+                    // A truncated LTS never reaches this arm: build_lts
+                    // reports it as a StateSpaceTooLarge error instead.
                     println!(
-                        "states: {}  transitions: {}  truncated: {}",
+                        "states: {}  transitions: {}",
                         lts.num_states(),
-                        lts.num_transitions(),
-                        lts.is_truncated()
+                        lts.num_transitions()
                     );
                     ExitCode::SUCCESS
                 }

@@ -17,38 +17,56 @@
 //!
 //! ## The two-step method, in code
 //!
+//! Everything routes through a [`Session`] — the counterpart of the paper's
+//! `@effpi.verifier.verify` compiler plugin. Configure it once with
+//! [`Session::builder`], then feed it programs, types, scenarios or `.effpi`
+//! specification files.
+//!
 //! **Step 1 — enforce the protocol at compile time.** A program (a λπ⩽ term)
-//! is checked against a behavioural type with [`implements`]:
+//! is checked against a behavioural type with [`Session::type_check_closed`]:
 //!
 //! ```
-//! use effpi::implements;
+//! use effpi::Session;
 //! use lambdapi::examples;
 //!
+//! let session = Session::new();
 //! // The Fig. 1 payment service implements its audited specification...
-//! implements(&examples::payment_term(), &examples::tpayment_type()).unwrap();
+//! session
+//!     .type_check_closed(&examples::payment_term(), &examples::tpayment_type())
+//!     .unwrap();
 //! // ...but not vice versa: the unaudited spec is not enough to conclude the
 //! // audited behaviour.
-//! assert!(implements(&examples::payment_term(), &examples::tm_type()).is_err());
+//! assert!(session
+//!     .type_check_closed(&examples::payment_term(), &examples::tm_type())
+//!     .is_err());
 //! ```
 //!
 //! **Step 2 — verify safety/liveness of the protocol itself** (and hence, by
-//! Thm. 4.10, of every program implementing it) with [`verify`]:
+//! Thm. 4.10, of every program implementing it) with [`Session::verify`] on a
+//! type, or [`Session::run_scenario`] on a whole composed scenario:
 //!
 //! ```
-//! use effpi::{verify, Property};
+//! use effpi::{Property, Session};
 //! use effpi::protocols::payment;
 //!
+//! let session = Session::builder().max_states(50_000).build();
 //! let scenario = payment::payment_with_clients(2);
-//! let outcome = scenario
-//!     .run_property(&Property::responsive("self"), 50_000)
+//! let outcome = session
+//!     .run_scenario_property(&scenario, &Property::responsive("self"))
 //!     .unwrap();
 //! assert!(outcome.holds); // every payment request gets an answer
+//!
+//! // ...or all six Fig. 9 properties at once, as a structured report:
+//! let report = session.run_scenario(&scenario);
+//! assert!(report.first_error().is_none());
+//! assert!(report.verdicts()[0], "deadlock-free");
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod protocols;
+pub mod session;
 pub mod spec;
 
 pub use dbt_types::{Checker, TypeEnv, TypeError, TypeResult};
@@ -61,41 +79,78 @@ pub use runtime::{
 };
 
 pub use protocols::Scenario;
+pub use session::{
+    Error, PropertyReport, Report, ReportSummary, Session, SessionBuilder, SessionConfig,
+};
 
 /// Checks that a closed λπ⩽ term implements the given behavioural type
 /// (`∅ ⊢ t : T`, Fig. 4) — the paper's Step 1.
 ///
+/// Migration: this is a thin shim over the [`Session`] pipeline —
+///
+/// ```
+/// use effpi::Session;
+/// use lambdapi::examples;
+///
+/// // was: effpi::implements(&term, &ty)?
+/// Session::new()
+///     .type_check_closed(&examples::payment_term(), &examples::tpayment_type())
+///     .unwrap();
+/// ```
+///
 /// # Errors
 ///
 /// Returns the typing error if the term does not implement the type.
+#[deprecated(since = "0.2.0", note = "use `Session::type_check_closed` instead")]
 pub fn implements(term: &Term, ty: &Type) -> TypeResult<()> {
-    let checker = Checker::new();
-    checker.check_term(&TypeEnv::new(), term, ty)
+    Session::new()
+        .type_check_closed(term, ty)
+        .map_err(Error::expect_type)
 }
 
 /// Checks that an *open* λπ⩽ term implements the given behavioural type in the
 /// given environment (`Γ ⊢ t : T`).
 ///
+/// Migration: `Session::new().type_check(&env, &term, &ty)`.
+///
 /// # Errors
 ///
 /// Returns the typing error if the term does not implement the type.
+#[deprecated(since = "0.2.0", note = "use `Session::type_check` instead")]
 pub fn implements_in(env: &TypeEnv, term: &Term, ty: &Type) -> TypeResult<()> {
-    Checker::new().check_term(env, term, ty)
+    Session::new()
+        .type_check(env, term, ty)
+        .map_err(Error::expect_type)
 }
 
 /// Verifies a behavioural property of a type (the paper's Step 2: type-level
 /// model checking, transferring to programs by Thm. 4.10).
 ///
+/// Migration: this is a thin shim over the [`Session`] pipeline —
+///
+/// ```
+/// use effpi::{Property, Session, Type, TypeEnv};
+///
+/// let env = TypeEnv::new().bind("x", Type::chan_io(Type::Int));
+/// let ty = Type::out(Type::var("x"), Type::Int, Type::thunk(Type::Nil));
+/// // was: effpi::verify(&env, &ty, &Property::eventual_output(["x"]))?
+/// let outcome = Session::new().verify(&env, &ty, &Property::eventual_output(["x"])).unwrap();
+/// assert!(outcome.holds);
+/// ```
+///
 /// # Errors
 ///
 /// Returns a [`VerifyError`] if the type is outside the decidable fragment of
 /// Lemma 4.7 or its state space exceeds the default bound.
+#[deprecated(since = "0.2.0", note = "use `Session::verify` instead")]
 pub fn verify(
     env: &TypeEnv,
     ty: &Type,
     property: &Property,
 ) -> Result<VerificationOutcome, VerifyError> {
-    Verifier::new().verify(env, ty, property)
+    Session::new()
+        .verify(env, ty, property)
+        .map_err(Error::expect_verify)
 }
 
 #[cfg(test)]
@@ -104,14 +159,21 @@ mod tests {
     use lambdapi::examples;
 
     #[test]
-    fn implements_accepts_the_papers_examples() {
-        implements(&examples::pinger_term(), &examples::tping_type()).unwrap();
-        implements(&examples::ponger_term(), &examples::tpong_type()).unwrap();
-        implements(&examples::m2_term(), &examples::tm_type()).unwrap();
+    fn session_accepts_the_papers_examples() {
+        let session = Session::new();
+        session
+            .type_check_closed(&examples::pinger_term(), &examples::tping_type())
+            .unwrap();
+        session
+            .type_check_closed(&examples::ponger_term(), &examples::tpong_type())
+            .unwrap();
+        session
+            .type_check_closed(&examples::m2_term(), &examples::tm_type())
+            .unwrap();
     }
 
     #[test]
-    fn implements_rejects_protocol_violations() {
+    fn session_rejects_protocol_violations() {
         // A pinger that forgets to wait for the reply does not implement Tping.
         let lazy_pinger = Term::lam(
             "self",
@@ -119,19 +181,34 @@ mod tests {
             Term::lam(
                 "pongc",
                 Type::chan_out(Type::chan_out(Type::Str)),
-                Term::send(Term::var("pongc"), Term::var("self"), Term::thunk(Term::End)),
+                Term::send(
+                    Term::var("pongc"),
+                    Term::var("self"),
+                    Term::thunk(Term::End),
+                ),
             ),
         );
-        assert!(implements(&lazy_pinger, &examples::tping_type()).is_err());
+        let err = Session::new()
+            .type_check_closed(&lazy_pinger, &examples::tping_type())
+            .unwrap_err();
+        assert!(matches!(err, Error::Type(_)), "{err}");
     }
 
     #[test]
-    fn verify_decides_properties_of_open_protocol_types() {
+    fn session_decides_properties_of_open_protocol_types() {
+        let session = Session::new();
         let env = TypeEnv::new().bind("z", Type::chan_io(Type::chan_out(Type::Str)));
         let ty = examples::tpong_type().apply(&Type::var("z")).unwrap();
-        let outcome = verify(&env, &ty, &Property::responsive("z")).unwrap();
+        let outcome = session
+            .verify(&env, &ty, &Property::responsive("z"))
+            .unwrap();
         assert!(outcome.holds);
-        let non_usage = verify(&env, &ty, &Property::non_usage(["z"])).unwrap();
-        assert!(non_usage.holds, "the ponger never writes on its own mailbox");
+        let non_usage = session
+            .verify(&env, &ty, &Property::non_usage(["z"]))
+            .unwrap();
+        assert!(
+            non_usage.holds,
+            "the ponger never writes on its own mailbox"
+        );
     }
 }

@@ -91,7 +91,11 @@ pub fn dining_philosophers(n: usize, allow_deadlock: bool) -> Scenario {
         components.push(philosopher_type(&first, &second));
     }
 
-    let variant = if allow_deadlock { "deadlock" } else { "no deadlock" };
+    let variant = if allow_deadlock {
+        "deadlock"
+    } else {
+        "no deadlock"
+    };
     Scenario {
         name: format!("Dining philos. ({n}, {variant})"),
         env,

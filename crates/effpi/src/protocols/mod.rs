@@ -23,7 +23,9 @@ pub mod ring;
 
 use dbt_types::TypeEnv;
 use lambdapi::{Name, Type};
-use mucalc::{Property, VerificationOutcome, Verifier, VerifyError};
+use mucalc::{Property, VerificationOutcome, VerifyError};
+
+use crate::session::{Error, Session};
 
 /// A verification scenario: one row of the paper's Fig. 9.
 #[derive(Clone, Debug)]
@@ -48,23 +50,40 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// Runs all of the scenario's properties with the given state bound,
-    /// returning one outcome per property (a full Fig. 9 row).
-    pub fn run(&self, max_states: usize) -> Result<Vec<VerificationOutcome>, VerifyError> {
-        let mut verifier = Verifier::with_max_states(max_states);
-        verifier.visible = Some(self.visible.clone());
-        verifier.verify_all(&self.env, &self.ty, &self.properties)
+    /// A default [`Session`] with the given state bound — the scenarios'
+    /// convenience entry into the unified pipeline.
+    fn session(max_states: usize) -> Session {
+        Session::builder().max_states(max_states).build()
     }
 
-    /// Runs a single property of the scenario.
+    /// Runs all of the scenario's properties with the given state bound,
+    /// returning one outcome per property (a full Fig. 9 row).
+    ///
+    /// This is a convenience wrapper over [`Session::run_scenario`]; to reuse
+    /// a configured session across scenarios (the benchmark harness does),
+    /// call that method directly.
+    pub fn run(&self, max_states: usize) -> Result<Vec<VerificationOutcome>, VerifyError> {
+        let report = Self::session(max_states).run_scenario(self);
+        match report.error {
+            Some(e) => Err(e.expect_verify()),
+            None => report
+                .properties
+                .into_iter()
+                .map(|p| p.result.map_err(Error::expect_verify))
+                .collect(),
+        }
+    }
+
+    /// Runs a single property of the scenario (a convenience wrapper over
+    /// [`Session::run_scenario_property`]).
     pub fn run_property(
         &self,
         property: &Property,
         max_states: usize,
     ) -> Result<VerificationOutcome, VerifyError> {
-        let mut verifier = Verifier::with_max_states(max_states);
-        verifier.visible = Some(self.visible.clone());
-        verifier.verify(&self.env, &self.ty, property)
+        Self::session(max_states)
+            .run_scenario_property(self, property)
+            .map_err(Error::expect_verify)
     }
 
     /// The verdicts as a boolean vector (same order as `properties`).
@@ -128,11 +147,22 @@ pub(crate) fn standard_properties(
     mailbox: Name,
 ) -> Vec<Property> {
     vec![
-        Property::DeadlockFree { vars: deadlock_probe },
-        Property::EventualOutput { vars: vec![usage_probe.clone()] },
-        Property::Forwarding { from: forward_from, to: forward_to },
-        Property::NonUsage { vars: vec![usage_probe] },
-        Property::Reactive { var: mailbox.clone() },
+        Property::DeadlockFree {
+            vars: deadlock_probe,
+        },
+        Property::EventualOutput {
+            vars: vec![usage_probe.clone()],
+        },
+        Property::Forwarding {
+            from: forward_from,
+            to: forward_to,
+        },
+        Property::NonUsage {
+            vars: vec![usage_probe],
+        },
+        Property::Reactive {
+            var: mailbox.clone(),
+        },
         Property::Responsive { var: mailbox },
     ]
 }

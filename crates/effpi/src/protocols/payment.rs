@@ -51,7 +51,10 @@ pub fn service_type() -> Type {
 pub fn auditor_type() -> Type {
     Type::rec(
         "a",
-        Type::inp(Type::var("aud"), Type::pi("u", Type::Unit, Type::rec_var("a"))),
+        Type::inp(
+            Type::var("aud"),
+            Type::pi("u", Type::Unit, Type::rec_var("a")),
+        ),
     )
 }
 

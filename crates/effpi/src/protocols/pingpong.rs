@@ -59,7 +59,11 @@ pub fn responsive_ponger(z: &str) -> Type {
             Type::pi(
                 "replyTo",
                 Type::chan_out(Type::Str),
-                Type::out(Type::var("replyTo"), Type::Str, Type::thunk(Type::rec_var("q"))),
+                Type::out(
+                    Type::var("replyTo"),
+                    Type::Str,
+                    Type::thunk(Type::rec_var("q")),
+                ),
             ),
         ),
     )
@@ -137,7 +141,10 @@ mod tests {
         // the plain variant does not. Both are deadlock-free.
         let plain = ping_pong_pairs(2, false).run(60_000).expect("plain");
         let resp = ping_pong_pairs(2, true).run(60_000).expect("responsive");
-        assert!(plain[0].holds && resp[0].holds, "both variants are deadlock-free");
+        assert!(
+            plain[0].holds && resp[0].holds,
+            "both variants are deadlock-free"
+        );
         assert!(!plain[5].holds, "the plain ponger never answers");
         assert!(resp[5].holds, "the responsive ponger answers every request");
     }

@@ -38,14 +38,20 @@ pub fn injector_type(chan: &str) -> Type {
 /// Builds the "Ring (`members` elements, `tokens` tokens)" scenario.
 pub fn token_ring(members: usize, tokens: usize) -> Scenario {
     assert!(members >= 2, "a ring needs at least two members");
-    assert!(tokens >= 1 && tokens <= members, "tokens must fit in the ring");
+    assert!(
+        tokens >= 1 && tokens <= members,
+        "tokens must fit in the ring"
+    );
     let mut env = TypeEnv::new();
     for i in 0..members {
         env = env.bind(member_chan(i).as_str(), Type::chan_io(Type::Unit));
     }
     let mut components = Vec::new();
     for i in 0..members {
-        components.push(member_type(&member_chan(i), &member_chan((i + 1) % members)));
+        components.push(member_type(
+            &member_chan(i),
+            &member_chan((i + 1) % members),
+        ));
     }
     for t in 0..tokens {
         components.push(injector_type(&member_chan(t * members / tokens)));
@@ -88,7 +94,9 @@ mod tests {
     #[test]
     fn the_ring_is_a_valid_guarded_process_type() {
         let s = token_ring(4, 1);
-        Checker::new().check_pi_type(&s.env, &s.ty).expect("valid π-type");
+        Checker::new()
+            .check_pi_type(&s.env, &s.ty)
+            .expect("valid π-type");
         assert!(s.ty.is_guarded());
     }
 
@@ -97,8 +105,14 @@ mod tests {
         let s = token_ring(4, 1);
         let outcomes = s.run(60_000).expect("verification");
         assert!(outcomes[0].holds, "deadlock-free");
-        assert!(!outcomes[3].holds, "c1 is used for output (non-usage fails)");
-        assert!(!outcomes[5].holds, "members never answer on the received token");
+        assert!(
+            !outcomes[3].holds,
+            "c1 is used for output (non-usage fails)"
+        );
+        assert!(
+            !outcomes[5].holds,
+            "members never answer on the received token"
+        );
         // Non-usage of a channel outside the ring trivially holds.
         let outside = s
             .run_property(&Property::non_usage(["c_does_not_exist"]), 60_000)

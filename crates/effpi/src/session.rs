@@ -1,0 +1,661 @@
+//! The unified verification surface: [`Session`].
+//!
+//! The paper's toolkit exposes one coherent entry point — the
+//! `@effpi.verifier.verify` compiler plugin — for its two-step method:
+//! type-check the program (Step 1, §3), then model-check the type (Step 2,
+//! §4). A [`Session`] is this reproduction's counterpart: a builder-configured
+//! façade that owns the typing [`Checker`] and the model-checking
+//! [`Verifier`], caches them across calls, and is the single place where
+//! programs, types, [`Scenario`]s and `.effpi` [`Spec`]s enter the pipeline.
+//!
+//! ```
+//! use effpi::{Property, Session};
+//! use effpi::protocols::payment;
+//!
+//! let session = Session::builder().max_states(50_000).build();
+//!
+//! // Step 1 — the Fig. 1 payment service implements its audited spec.
+//! let term = lambdapi::examples::payment_term();
+//! let ty = lambdapi::examples::tpayment_type();
+//! session.type_check_closed(&term, &ty).unwrap();
+//!
+//! // Step 2 — the composed scenario's Fig. 9 row: deadlock-free (col 1) and
+//! // responsive (col 6), though not unconditionally forwarding (col 3).
+//! let report = session.run_scenario(&payment::payment_with_clients(2));
+//! assert!(report.first_error().is_none());
+//! let verdicts = report.verdicts();
+//! assert!(verdicts[0] && verdicts[5] && !verdicts[2]);
+//! println!("{}", report.summary());
+//! ```
+//!
+//! Diagnostics from every stage are unified under [`Error`], and every
+//! multi-property run produces a structured [`Report`] with per-property
+//! outcomes, model sizes, timings, an overall [`Report::passed`] verdict, and
+//! a machine-readable [`Report::summary`] for the benchmark harness.
+
+use std::fmt;
+use std::time::Duration;
+
+use dbt_types::{Checker, TypeEnv, TypeError};
+use lambdapi::{Name, Term, Type};
+use lts::{Lts, TypeLabel};
+use mucalc::{Property, VerificationOutcome, Verifier, VerifyError};
+
+use crate::protocols::Scenario;
+use crate::spec::{parse_spec, Spec, SpecError};
+
+// ---------------------------------------------------------------------------
+// Unified diagnostics
+// ---------------------------------------------------------------------------
+
+/// Any error the verification pipeline can produce, from any stage: typing
+/// (Step 1), model checking (Step 2), or `.effpi` specification handling.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Error {
+    /// The program does not implement the protocol (Step 1, Fig. 4).
+    Type(TypeError),
+    /// The protocol type could not be model-checked (Step 2, Lemma 4.7 /
+    /// Thm. 4.10 applicability, or the state bound tripped).
+    Verify(VerifyError),
+    /// A `.effpi` specification is malformed or incomplete.
+    Spec(SpecError),
+}
+
+impl Error {
+    /// Unwraps the Step 1 (typing) variant, for legacy shims whose code paths
+    /// can only produce typing errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other variant.
+    pub(crate) fn expect_type(self) -> TypeError {
+        match self {
+            Error::Type(e) => e,
+            other => unreachable!("type checking produced {other}"),
+        }
+    }
+
+    /// Unwraps the Step 2 (verification) variant, for legacy shims whose code
+    /// paths can only produce verification errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other variant.
+    pub(crate) fn expect_verify(self) -> VerifyError {
+        match self {
+            Error::Verify(e) => e,
+            other => unreachable!("verification produced {other}"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Type(e) => write!(f, "type error: {e}"),
+            Error::Verify(e) => write!(f, "verification error: {e}"),
+            Error::Spec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Type(e) => Some(e),
+            Error::Verify(e) => Some(e),
+            Error::Spec(e) => Some(e),
+        }
+    }
+}
+
+impl From<TypeError> for Error {
+    fn from(e: TypeError) -> Self {
+        Error::Type(e)
+    }
+}
+
+impl From<VerifyError> for Error {
+    fn from(e: VerifyError) -> Self {
+        Error::Verify(e)
+    }
+}
+
+impl From<SpecError> for Error {
+    fn from(e: SpecError) -> Self {
+        Error::Spec(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration and builder
+// ---------------------------------------------------------------------------
+
+/// The resolved configuration of a [`Session`] (inspectable via
+/// [`Session::config`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SessionConfig {
+    /// Maximum number of LTS states explored before giving up (Step 2).
+    pub max_states: usize,
+    /// Maximum subtyping/typing derivation depth (Step 1).
+    pub max_depth: usize,
+    /// Maximum consecutive µ-unfoldings during subtyping (Step 1).
+    pub max_unfold: usize,
+    /// Whether payload-probe variables are added automatically (Thm. 4.10's
+    /// precondition).
+    pub auto_probe: bool,
+    /// Channels visible to the environment in direct [`Session::verify`] /
+    /// [`Session::verify_all`] / [`Session::build_lts`] calls; `None` keeps
+    /// the full Def. 4.2 transition relation. Scenario and spec runs use the
+    /// artifact's own `visible` list instead.
+    pub visible: Option<Vec<Name>>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        let checker = Checker::default();
+        SessionConfig {
+            max_states: lts::DEFAULT_MAX_STATES,
+            max_depth: checker.max_depth,
+            max_unfold: checker.max_unfold,
+            auto_probe: true,
+            visible: None,
+        }
+    }
+}
+
+/// Builder for [`Session`]; obtained from [`Session::builder`].
+///
+/// Every knob defaults to the corresponding [`Checker::default`] /
+/// [`Verifier::default`] setting, so `Session::builder().build()` behaves
+/// exactly like the pre-`Session` free functions did.
+#[derive(Clone, Debug, Default)]
+#[must_use = "call .build() to obtain a Session"]
+pub struct SessionBuilder {
+    config: SessionConfig,
+}
+
+impl SessionBuilder {
+    /// Sets the maximum number of LTS states explored before
+    /// [`VerifyError::StateSpaceTooLarge`] is reported.
+    pub fn max_states(mut self, max_states: usize) -> Self {
+        self.config.max_states = max_states;
+        self
+    }
+
+    /// Sets the maximum typing/subtyping derivation depth.
+    pub fn max_depth(mut self, max_depth: usize) -> Self {
+        self.config.max_depth = max_depth;
+        self
+    }
+
+    /// Sets how many consecutive µ-unfoldings subtyping performs.
+    pub fn max_unfold(mut self, max_unfold: usize) -> Self {
+        self.config.max_unfold = max_unfold;
+        self
+    }
+
+    /// Enables or disables automatic payload probing (on by default).
+    pub fn auto_probe(mut self, auto_probe: bool) -> Self {
+        self.config.auto_probe = auto_probe;
+        self
+    }
+
+    /// Restricts direct verification calls to the given visible channels
+    /// (internal channels then only contribute τ-synchronisations, Def. 4.9).
+    pub fn visible<I, N>(mut self, visible: I) -> Self
+    where
+        I: IntoIterator<Item = N>,
+        N: Into<Name>,
+    {
+        self.config.visible = Some(visible.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Builds the session, constructing and caching its checker and verifier.
+    pub fn build(self) -> Session {
+        let checker = Checker::with_limits(self.config.max_depth, self.config.max_unfold);
+        let mut verifier = Verifier::with_checker(checker);
+        verifier.max_states = self.config.max_states;
+        verifier.auto_probe = self.config.auto_probe;
+        verifier.visible = self.config.visible.clone();
+        Session {
+            config: self.config,
+            verifier,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The session itself
+// ---------------------------------------------------------------------------
+
+/// The single entry point of the verification pipeline.
+///
+/// A session owns one typing [`Checker`] and one model-checking [`Verifier`],
+/// configured once through [`Session::builder`] and reused across calls —
+/// every consumer (protocol scenarios, `.effpi` specs, the CLI, the benchmark
+/// harness) routes through it, which is also where future cross-call work
+/// (LTS caching, parallel property checking, alternative backends) plugs in.
+#[derive(Clone, Debug)]
+pub struct Session {
+    config: SessionConfig,
+    // The Step 1 checker lives inside the verifier (`Verifier::checker`), so
+    // both steps always share one identically-configured instance.
+    verifier: Verifier,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::builder().build()
+    }
+}
+
+impl Session {
+    /// Starts configuring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// A session with all-default settings (equivalent to
+    /// `Session::builder().build()`).
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// The resolved configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The cached typing/subtyping checker (Step 1) — the same instance the
+    /// verifier uses for Step 2's applicability checks and probing.
+    pub fn checker(&self) -> &Checker {
+        self.verifier.checker()
+    }
+
+    /// The cached model-checking verifier (Step 2).
+    pub fn verifier(&self) -> &Verifier {
+        &self.verifier
+    }
+
+    // ----- Step 1: typing ---------------------------------------------------
+
+    /// Checks that an open λπ⩽ term implements the given behavioural type in
+    /// the given environment (`Γ ⊢ t : T`, Fig. 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Type`] if the term does not implement the type.
+    pub fn type_check(&self, env: &TypeEnv, term: &Term, ty: &Type) -> Result<(), Error> {
+        self.checker()
+            .check_term(env, term, ty)
+            .map_err(Error::from)
+    }
+
+    /// Checks that a closed λπ⩽ term implements the given behavioural type
+    /// (`∅ ⊢ t : T`) — the paper's Step 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Type`] if the term does not implement the type.
+    pub fn type_check_closed(&self, term: &Term, ty: &Type) -> Result<(), Error> {
+        self.type_check(&TypeEnv::new(), term, ty)
+    }
+
+    // ----- Step 2: type-level model checking --------------------------------
+
+    /// Verifies one behavioural property of a type (Step 2; the result
+    /// transfers to every program implementing the type by Thm. 4.10).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Verify`] when the type is outside the decidable
+    /// fragment of Lemma 4.7 or its state space exceeds the configured bound.
+    pub fn verify(
+        &self,
+        env: &TypeEnv,
+        ty: &Type,
+        property: &Property,
+    ) -> Result<VerificationOutcome, Error> {
+        self.verifier.verify(env, ty, property).map_err(Error::from)
+    }
+
+    /// Verifies several properties of the same type, re-using a single LTS
+    /// construction (the dominant cost).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Verify`] when the type is outside the decidable
+    /// fragment or the state space exceeds the configured bound.
+    pub fn verify_all(
+        &self,
+        env: &TypeEnv,
+        ty: &Type,
+        properties: &[Property],
+    ) -> Result<Vec<VerificationOutcome>, Error> {
+        self.verifier
+            .verify_all(env, ty, properties)
+            .map_err(Error::from)
+    }
+
+    /// Builds the type LTS exactly as verification would (probes and
+    /// visibility restriction included) and returns it together with the
+    /// probed environment — the data behind the CLI's `lts` command.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Verify`] when the LTS cannot be built within the
+    /// configured bound.
+    pub fn build_lts(
+        &self,
+        env: &TypeEnv,
+        ty: &Type,
+    ) -> Result<(TypeEnv, Lts<Type, TypeLabel>), Error> {
+        self.verifier.build_lts(env, ty).map_err(Error::from)
+    }
+
+    // ----- whole scenarios and .effpi specs ---------------------------------
+
+    /// A copy of the cached verifier scoped to an artifact's own `visible`
+    /// channel list (scenarios and specs carry theirs; it overrides the
+    /// session default for their runs).
+    fn scoped_verifier(&self, visible: &[Name]) -> Verifier {
+        let mut verifier = self.verifier.clone();
+        verifier.visible = Some(visible.to_vec());
+        verifier
+    }
+
+    /// The shared Step 2 core of scenario and spec runs: verifies all
+    /// properties on one shared LTS, built with the artifact's own `visible`
+    /// channel list.
+    fn run_properties(
+        &self,
+        env: &TypeEnv,
+        ty: &Type,
+        visible: &[Name],
+        properties: &[Property],
+    ) -> Result<Vec<PropertyReport>, Error> {
+        let outcomes = self
+            .scoped_verifier(visible)
+            .verify_all(env, ty, properties)?;
+        Ok(properties
+            .iter()
+            .cloned()
+            .zip(outcomes)
+            .map(|(property, outcome)| PropertyReport {
+                property,
+                result: Ok(outcome),
+            })
+            .collect())
+    }
+
+    /// Runs every property of a protocol [`Scenario`] (one full Fig. 9 row),
+    /// using the scenario's own `visible` channel list.
+    ///
+    /// Scenario-level failures (undecidable fragment, state bound) are
+    /// captured in the returned report's [`Report::error`] rather than raised,
+    /// so table generators can render partial results.
+    pub fn run_scenario(&self, scenario: &Scenario) -> Report {
+        let mut report = Report::named(&scenario.name);
+        match self.run_properties(
+            &scenario.env,
+            &scenario.ty,
+            &scenario.visible,
+            &scenario.properties,
+        ) {
+            Ok(properties) => report.properties = properties,
+            Err(e) => report.error = Some(e),
+        }
+        report
+    }
+
+    /// Runs one property of a protocol [`Scenario`], using the scenario's own
+    /// `visible` channel list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Verify`] when the scenario's type cannot be
+    /// model-checked.
+    pub fn run_scenario_property(
+        &self,
+        scenario: &Scenario,
+        property: &Property,
+    ) -> Result<VerificationOutcome, Error> {
+        self.scoped_verifier(&scenario.visible)
+            .verify(&scenario.env, &scenario.ty, property)
+            .map_err(Error::from)
+    }
+
+    /// Runs a parsed `.effpi` [`Spec`]: type-checks the optional `term`
+    /// statement against the `type` (Step 1) and verifies every `check`
+    /// statement (Step 2), using the spec's `visible` channel list.
+    ///
+    /// All failures are captured inside the returned [`Report`].
+    pub fn run_spec(&self, spec: &Spec) -> Report {
+        let typecheck = match (&spec.term, &spec.ty) {
+            (Some(term), Some(ty)) => Some(self.type_check(&spec.env, term, ty)),
+            (Some(_), None) => Some(Err(Error::Spec(SpecError {
+                line: 0,
+                message: "a `term` statement requires a `type` statement".into(),
+            }))),
+            _ => None,
+        };
+        let mut properties = Vec::new();
+        let mut error = None;
+        if let Some(ty) = &spec.ty {
+            if !spec.checks.is_empty() {
+                match self.run_properties(&spec.env, ty, &spec.visible, &spec.checks) {
+                    Ok(checked) => properties = checked,
+                    Err(e) => error = Some(e),
+                }
+            }
+        } else if !spec.checks.is_empty() {
+            error = Some(Error::Spec(SpecError {
+                line: 0,
+                message: "`check` statements require a `type` statement".into(),
+            }));
+        }
+        Report {
+            name: None,
+            typecheck,
+            properties,
+            error,
+        }
+    }
+
+    /// Parses and runs a `.effpi` specification in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Spec`] when the text is not a valid specification;
+    /// verification failures are captured inside the returned [`Report`].
+    pub fn run_spec_text(&self, text: &str) -> Result<Report, Error> {
+        Ok(self.run_spec(&parse_spec(text)?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structured reports
+// ---------------------------------------------------------------------------
+
+/// The outcome of one `check`/property within a [`Report`].
+#[derive(Clone, Debug)]
+pub struct PropertyReport {
+    /// The property that was checked.
+    pub property: Property,
+    /// The verification outcome, or the error that prevented it.
+    pub result: Result<VerificationOutcome, Error>,
+}
+
+impl PropertyReport {
+    /// `true` when the property was decided and holds.
+    pub fn holds(&self) -> bool {
+        matches!(&self.result, Ok(outcome) if outcome.holds)
+    }
+}
+
+/// A structured report of one pipeline run (a scenario or a specification):
+/// the Step 1 typing outcome, one entry per property, and any run-level
+/// failure.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// The scenario name, when the run came from a [`Scenario`].
+    pub name: Option<String>,
+    /// The Step 1 outcome, when the run included a term to type-check.
+    pub typecheck: Option<Result<(), Error>>,
+    /// One entry per property checked (Step 2).
+    pub properties: Vec<PropertyReport>,
+    /// A failure that aborted the run before per-property outcomes existed.
+    pub error: Option<Error>,
+}
+
+impl Report {
+    fn named(name: &str) -> Report {
+        Report {
+            name: Some(name.to_string()),
+            ..Report::default()
+        }
+    }
+
+    /// `true` when nothing failed: no run-level error, the term (if any)
+    /// type-checks, and every checked property was decided and holds.
+    pub fn passed(&self) -> bool {
+        self.error.is_none()
+            && matches!(&self.typecheck, None | Some(Ok(())))
+            && self.properties.iter().all(PropertyReport::holds)
+    }
+
+    /// The verdict of each property, in order (`false` for undecided ones).
+    pub fn verdicts(&self) -> Vec<bool> {
+        self.properties.iter().map(PropertyReport::holds).collect()
+    }
+
+    /// Number of states of the explored type LTS (the largest across
+    /// properties, which for a scenario is the one shared LTS).
+    pub fn states(&self) -> usize {
+        self.properties
+            .iter()
+            .filter_map(|p| p.result.as_ref().ok().map(|o| o.states))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of transitions of the explored type LTS (largest across
+    /// properties).
+    pub fn transitions(&self) -> usize {
+        self.properties
+            .iter()
+            .filter_map(|p| p.result.as_ref().ok().map(|o| o.transitions))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total wall-clock time across all property checks.
+    pub fn total_duration(&self) -> Duration {
+        self.properties
+            .iter()
+            .filter_map(|p| p.result.as_ref().ok().map(|o| o.duration))
+            .sum()
+    }
+
+    /// The first error anywhere in the report (run-level, typing, or
+    /// per-property), if any — handy for turning a report back into a
+    /// `Result` at API boundaries.
+    pub fn first_error(&self) -> Option<&Error> {
+        if let Some(e) = &self.error {
+            return Some(e);
+        }
+        if let Some(Err(e)) = &self.typecheck {
+            return Some(e);
+        }
+        self.properties.iter().find_map(|p| p.result.as_ref().err())
+    }
+
+    /// A compact, machine-readable one-record summary (stable `key=value`
+    /// fields), consumed by the benchmark harness and easy to grep/parse.
+    pub fn summary(&self) -> ReportSummary {
+        ReportSummary {
+            name: self.name.clone().unwrap_or_default(),
+            passed: self.passed(),
+            states: self.states(),
+            transitions: self.transitions(),
+            duration: self.total_duration(),
+            verdicts: self
+                .properties
+                .iter()
+                .map(|p| (p.property.name().to_string(), p.holds()))
+                .collect(),
+            error: self.first_error().map(|e| e.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(name) = &self.name {
+            writeln!(f, "scenario: {name}")?;
+        }
+        match &self.typecheck {
+            Some(Ok(())) => writeln!(f, "typecheck: ok")?,
+            Some(Err(e)) => writeln!(f, "typecheck: FAILED — {e}")?,
+            None => {}
+        }
+        for p in &self.properties {
+            match &p.result {
+                Ok(outcome) => writeln!(f, "{outcome}")?,
+                Err(e) => writeln!(f, "{}: {e}", p.property)?,
+            }
+        }
+        if let Some(e) = &self.error {
+            writeln!(f, "error: {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Machine-readable summary of a [`Report`]; its [`fmt::Display`] renders one
+/// line of stable `key=value` pairs.
+#[derive(Clone, Debug)]
+pub struct ReportSummary {
+    /// Scenario name (empty for anonymous spec runs).
+    pub name: String,
+    /// Overall verdict, as in [`Report::passed`].
+    pub passed: bool,
+    /// States of the explored LTS.
+    pub states: usize,
+    /// Transitions of the explored LTS.
+    pub transitions: usize,
+    /// Total verification time.
+    pub duration: Duration,
+    /// `(property name, holds)` per property, in order.
+    pub verdicts: Vec<(String, bool)>,
+    /// First error message, if anything failed to run.
+    pub error: Option<String>,
+}
+
+impl fmt::Display for ReportSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "name={:?} passed={} states={} transitions={} duration_ms={}",
+            self.name,
+            self.passed,
+            self.states,
+            self.transitions,
+            self.duration.as_millis()
+        )?;
+        if !self.verdicts.is_empty() {
+            let cells: Vec<String> = self
+                .verdicts
+                .iter()
+                .map(|(n, h)| format!("{n}:{h}"))
+                .collect();
+            write!(f, " verdicts={}", cells.join(","))?;
+        }
+        if let Some(e) = &self.error {
+            write!(f, " error={e:?}")?;
+        }
+        Ok(())
+    }
+}

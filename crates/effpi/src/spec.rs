@@ -35,13 +35,17 @@
 //! Statements may span several lines; a new statement starts whenever a line
 //! begins with one of the keywords above. Lines starting with `//` or `#` are
 //! comments.
+//!
+//! Parse a specification with [`parse_spec`] and execute it with
+//! [`crate::Session::run_spec`] (or [`crate::Session::run_spec_text`] to do
+//! both in one call).
 
 use std::fmt;
 
-use dbt_types::{Checker, TypeEnv};
+use dbt_types::TypeEnv;
 use lambdapi::parser::{parse_term_with, parse_type_with, Definitions};
 use lambdapi::{Name, Term, Type};
-use mucalc::{Property, VerificationOutcome, Verifier};
+use mucalc::{Property, VerificationOutcome};
 
 /// A parsed protocol specification.
 #[derive(Clone, Debug)]
@@ -60,7 +64,11 @@ pub struct Spec {
     pub checks: Vec<Property>,
 }
 
-/// The result of running a specification.
+/// The result of running a specification (legacy shape).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `effpi::Session::run_spec`, which returns the unified `effpi::Report`"
+)]
 #[derive(Clone, Debug)]
 pub struct SpecReport {
     /// Whether the term (if any) implements the type.
@@ -69,6 +77,7 @@ pub struct SpecReport {
     pub outcomes: Vec<Result<VerificationOutcome, String>>,
 }
 
+#[allow(deprecated)]
 impl SpecReport {
     /// `true` when the term type-checks (or there is no term) and every
     /// property holds.
@@ -82,6 +91,7 @@ impl SpecReport {
     }
 }
 
+#[allow(deprecated)]
 impl fmt::Display for SpecReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.typecheck {
@@ -100,7 +110,7 @@ impl fmt::Display for SpecReport {
 }
 
 /// An error while parsing a specification file.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SpecError {
     /// 1-based line where the offending statement started.
     pub line: usize,
@@ -110,7 +120,17 @@ pub struct SpecError {
 
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "specification error at line {}: {}", self.line, self.message)
+        if self.line == 0 {
+            // Line 0 marks errors about the specification as a whole (e.g. a
+            // `term` statement without a `type`), not about one statement.
+            write!(f, "specification error: {}", self.message)
+        } else {
+            write!(
+                f,
+                "specification error at line {}: {}",
+                self.line, self.message
+            )
+        }
     }
 }
 
@@ -153,7 +173,9 @@ pub fn parse_spec(input: &str) -> Result<Spec, SpecError> {
     let mut explicit_visible = false;
 
     for (line, stmt) in statements {
-        let (keyword, rest) = stmt.split_once(char::is_whitespace).unwrap_or((stmt.as_str(), ""));
+        let (keyword, rest) = stmt
+            .split_once(char::is_whitespace)
+            .unwrap_or((stmt.as_str(), ""));
         let rest = rest.trim();
         let err = |message: String| SpecError { line, message };
         match keyword {
@@ -190,17 +212,17 @@ pub fn parse_spec(input: &str) -> Result<Spec, SpecError> {
                 }
             }
             "type" => {
-                let ty = parse_type_with(rest, &spec.definitions)
-                    .map_err(|e| err(e.to_string()))?;
+                let ty =
+                    parse_type_with(rest, &spec.definitions).map_err(|e| err(e.to_string()))?;
                 spec.ty = Some(ty);
             }
             "term" => {
-                let term = parse_term_with(rest, &spec.definitions)
-                    .map_err(|e| err(e.to_string()))?;
+                let term =
+                    parse_term_with(rest, &spec.definitions).map_err(|e| err(e.to_string()))?;
                 spec.term = Some(term);
             }
             "check" => {
-                spec.checks.push(parse_property(rest).map_err(|m| err(m))?);
+                spec.checks.push(parse_property(rest).map_err(&err)?);
             }
             other => {
                 return Err(err(format!("unknown statement keyword {other:?}")));
@@ -243,37 +265,63 @@ fn parse_property(text: &str) -> Result<Property, String> {
 
 /// Runs a parsed specification: type-checks the optional term and verifies
 /// every `check` statement.
+///
+/// Migration: this delegates to [`crate::Session::run_spec`] —
+///
+/// ```
+/// # let spec = effpi::spec::parse_spec("env x : cio[int]\ntype o[x, int, Pi() nil]\ncheck deadlock_free [x]").unwrap();
+/// let report = effpi::Session::builder().max_states(10_000).build().run_spec(&spec);
+/// assert!(report.passed());
+/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `effpi::Session::run_spec`, which returns the unified `effpi::Report`"
+)]
+#[allow(deprecated)]
 pub fn run_spec(spec: &Spec, max_states: usize) -> SpecReport {
-    let typecheck = match (&spec.term, &spec.ty) {
-        (Some(term), Some(ty)) => Some(
-            Checker::new()
-                .check_term(&spec.env, term, ty)
-                .map_err(|e| e.to_string()),
-        ),
-        (Some(_), None) => Some(Err("a `term` statement requires a `type` statement".into())),
-        _ => None,
-    };
-
-    let mut outcomes = Vec::new();
-    if let Some(ty) = &spec.ty {
-        let mut verifier = Verifier::with_max_states(max_states);
-        verifier.visible = Some(spec.visible.clone());
-        for property in &spec.checks {
-            outcomes.push(
-                verifier
-                    .verify(&spec.env, ty, property)
-                    .map_err(|e| e.to_string()),
-            );
+    // The legacy API reported errors without the unified `Error` prefixes.
+    fn legacy_message(e: crate::Error) -> String {
+        match e {
+            crate::Error::Type(t) => t.to_string(),
+            crate::Error::Verify(v) => v.to_string(),
+            crate::Error::Spec(s) => s.message,
         }
-    } else if !spec.checks.is_empty() {
-        outcomes.push(Err("`check` statements require a `type` statement".into()));
     }
-    SpecReport { typecheck, outcomes }
+
+    let report = crate::Session::builder()
+        .max_states(max_states)
+        .build()
+        .run_spec(spec);
+    let mut outcomes: Vec<Result<VerificationOutcome, String>> = report
+        .properties
+        .into_iter()
+        .map(|p| p.result.map_err(legacy_message))
+        .collect();
+    if let Some(e) = report.error {
+        // The legacy API reported a verification failure once per `check`
+        // statement (it verified them one by one), but a missing `type`
+        // statement as a single entry.
+        let copies = match &e {
+            crate::Error::Verify(_) => spec.checks.len().max(1),
+            _ => 1,
+        };
+        let msg = legacy_message(e);
+        outcomes.extend(std::iter::repeat_with(|| Err(msg.clone())).take(copies));
+    }
+    SpecReport {
+        typecheck: report.typecheck.map(|r| r.map_err(legacy_message)),
+        outcomes,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Session;
+
+    fn session(max_states: usize) -> Session {
+        Session::builder().max_states(max_states).build()
+    }
 
     const PAYMENT_SPEC: &str = r#"
         // The Fig. 1 payment service, standalone.
@@ -295,14 +343,12 @@ mod tests {
         assert_eq!(spec.checks.len(), 3);
         assert_eq!(spec.env.len(), 3);
         assert!(spec.ty.is_some());
-        let report = run_spec(&spec, 50_000);
-        assert_eq!(report.outcomes.len(), 3);
+        let report = session(50_000).run_spec(&spec);
+        assert_eq!(report.properties.len(), 3);
         // non-usage of self and deadlock-freedom hold; unconditional
         // forwarding to the auditor does not (rejections are not audited).
-        assert!(report.outcomes[0].as_ref().unwrap().holds);
-        assert!(report.outcomes[1].as_ref().unwrap().holds);
-        assert!(!report.outcomes[2].as_ref().unwrap().holds);
-        assert!(!report.all_ok());
+        assert_eq!(report.verdicts(), vec![true, true, false]);
+        assert!(!report.passed());
         assert!(report.to_string().contains("deadlock"));
     }
 
@@ -313,17 +359,15 @@ mod tests {
             type Pi(c: cio[int]) o[c, int, Pi() nil]
             term fun c: cio[int]. send(c, 42, fun _: (). end)
         "#;
-        let spec = parse_spec(spec_text).unwrap();
-        let report = run_spec(&spec, 10_000);
+        let report = session(10_000).run_spec_text(spec_text).unwrap();
         assert!(matches!(report.typecheck, Some(Ok(()))));
-        assert!(report.all_ok());
+        assert!(report.passed());
 
         // A term that violates the protocol is rejected.
         let bad = spec_text.replace("send(c, 42, fun _: (). end)", "end");
-        let spec = parse_spec(&bad).unwrap();
-        let report = run_spec(&spec, 10_000);
-        assert!(matches!(report.typecheck, Some(Err(_))));
-        assert!(!report.all_ok());
+        let report = session(10_000).run_spec_text(&bad).unwrap();
+        assert!(matches!(report.typecheck, Some(Err(crate::Error::Type(_)))));
+        assert!(!report.passed());
     }
 
     #[test]
@@ -340,9 +384,10 @@ mod tests {
         let spec = parse_spec(spec_text).unwrap();
         assert_eq!(spec.visible, vec![Name::new("a")]);
         assert_eq!(spec.definitions.len(), 1);
-        let report = run_spec(&spec, 20_000);
+        let report = session(20_000).run_spec(&spec);
         // Two processes both waiting to receive first: they deadlock.
-        assert!(!report.outcomes[0].as_ref().unwrap().holds);
+        assert!(!report.properties[0].holds());
+        assert!(report.properties[0].result.is_ok());
     }
 
     #[test]

@@ -64,7 +64,11 @@ pub fn tpp_type() -> Type {
     Type::pi(
         "y",
         Type::chan_io(Type::Str),
-        Type::pi("z", Type::chan_io(Type::chan_out(Type::Str)), Type::par(tping_app, tpong_app)),
+        Type::pi(
+            "z",
+            Type::chan_io(Type::chan_out(Type::Str)),
+            Type::par(tping_app, tpong_app),
+        ),
     )
 }
 
@@ -100,7 +104,11 @@ pub fn ponger_term() -> Term {
             Term::lam(
                 "replyTo",
                 Type::chan_out(Type::Str),
-                Term::send(Term::var("replyTo"), Term::str("Hi!"), Term::thunk(Term::End)),
+                Term::send(
+                    Term::var("replyTo"),
+                    Term::str("Hi!"),
+                    Term::thunk(Term::End),
+                ),
             ),
         ),
     )
@@ -462,11 +470,7 @@ pub fn payment_term() -> Term {
                                     Term::unit(),
                                     Term::thunk(Term::app_all(
                                         Term::var("payment"),
-                                        [
-                                            Term::var("self"),
-                                            Term::var("aud"),
-                                            Term::var("client"),
-                                        ],
+                                        [Term::var("self"), Term::var("aud"), Term::var("client")],
                                     )),
                                 )),
                             ),

@@ -216,7 +216,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 if chars.get(i + 1) == Some(&'>') {
                     tokens.push(Token::Arrow);
                     i += 2;
-                } else if chars.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                } else if chars
+                    .get(i + 1)
+                    .map(|c| c.is_ascii_digit())
+                    .unwrap_or(false)
+                {
                     // negative integer literal
                     let start = i;
                     i += 1;
@@ -341,7 +345,11 @@ mod tests {
         let toks = tokenize("int // trailing comment\n# full line\nbool").unwrap();
         assert_eq!(
             toks,
-            vec![Token::Ident("int".into()), Token::Ident("bool".into()), Token::Eof]
+            vec![
+                Token::Ident("int".into()),
+                Token::Ident("bool".into()),
+                Token::Eof
+            ]
         );
     }
 

@@ -56,9 +56,11 @@ pub mod lexer;
 pub mod parser;
 
 pub use name::{ChanId, Name, NameGen};
+pub use parser::{
+    parse_term, parse_term_with, parse_type, parse_type_with, Definitions, ParseError,
+};
 pub use reduce::{
     par_components, rebuild_par, replace_var_in_eval_position, BaseRule, EvalResult, Reducer,
 };
-pub use parser::{parse_term, parse_term_with, parse_type, parse_type_with, Definitions, ParseError};
 pub use term::{BinOp, Term, Value};
 pub use ty::Type;

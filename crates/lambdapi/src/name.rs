@@ -99,7 +99,9 @@ pub struct NameGen {
 impl NameGen {
     /// Creates a generator starting from zero.
     pub fn new() -> Self {
-        NameGen { counter: AtomicU64::new(0) }
+        NameGen {
+            counter: AtomicU64::new(0),
+        }
     }
 
     /// Returns a fresh name based on `hint`; distinct from every name previously

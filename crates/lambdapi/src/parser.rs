@@ -45,7 +45,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at token {}: {}", self.position, self.message)
+        write!(
+            f,
+            "parse error at token {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -53,7 +57,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { position: 0, message: e.to_string() }
+        ParseError {
+            position: 0,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -65,7 +72,12 @@ pub fn parse_type(input: &str) -> Result<Type, ParseError> {
 /// Parses a λπ⩽ type with the given named definitions in scope.
 pub fn parse_type_with(input: &str, defs: &Definitions) -> Result<Type, ParseError> {
     let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0, defs, rec_vars: Vec::new() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        defs,
+        rec_vars: Vec::new(),
+    };
     let ty = p.ty()?;
     p.expect(Token::Eof)?;
     Ok(ty)
@@ -80,7 +92,12 @@ pub fn parse_term(input: &str) -> Result<Term, ParseError> {
 /// the type annotations on `λ`, `let` and `chan`).
 pub fn parse_term_with(input: &str, defs: &Definitions) -> Result<Term, ParseError> {
     let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0, defs, rec_vars: Vec::new() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        defs,
+        rec_vars: Vec::new(),
+    };
     let t = p.term()?;
     p.expect(Token::Eof)?;
     Ok(t)
@@ -121,7 +138,10 @@ impl<'a> Parser<'a> {
     }
 
     fn error(&self, message: String) -> ParseError {
-        ParseError { position: self.pos, message }
+        ParseError {
+            position: self.pos,
+            message,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -401,9 +421,7 @@ impl<'a> Parser<'a> {
                     let bound = self.term()?;
                     match self.advance() {
                         Token::Ident(kw) if kw == "in" => {}
-                        other => {
-                            return Err(self.error(format!("expected 'in', found {other}")))
-                        }
+                        other => return Err(self.error(format!("expected 'in', found {other}"))),
                     }
                     let body = self.term()?;
                     Ok(Term::let_(binder, annot, bound, body))
@@ -412,16 +430,12 @@ impl<'a> Parser<'a> {
                     let cond = self.term()?;
                     match self.advance() {
                         Token::Ident(kw) if kw == "then" => {}
-                        other => {
-                            return Err(self.error(format!("expected 'then', found {other}")))
-                        }
+                        other => return Err(self.error(format!("expected 'then', found {other}"))),
                     }
                     let then_branch = self.term()?;
                     match self.advance() {
                         Token::Ident(kw) if kw == "else" => {}
-                        other => {
-                            return Err(self.error(format!("expected 'else', found {other}")))
-                        }
+                        other => return Err(self.error(format!("expected 'else', found {other}"))),
                     }
                     let else_branch = self.term()?;
                     Ok(Term::ite(cond, then_branch, else_branch))
@@ -456,7 +470,10 @@ mod tests {
             Type::chan_out(Type::chan_out(Type::Str))
         );
         assert_eq!(parse_type("()").unwrap(), Type::Unit);
-        assert_eq!(parse_type("int | bool").unwrap(), Type::union(Type::Int, Type::Bool));
+        assert_eq!(
+            parse_type("int | bool").unwrap(),
+            Type::union(Type::Int, Type::Bool)
+        );
     }
 
     #[test]
@@ -501,8 +518,8 @@ mod tests {
             examples::tpayment_type(),
         ] {
             let printed = ty.to_string();
-            let reparsed = parse_type(&printed)
-                .unwrap_or_else(|e| panic!("could not reparse {printed}: {e}"));
+            let reparsed =
+                parse_type(&printed).unwrap_or_else(|e| panic!("could not reparse {printed}: {e}"));
             assert_eq!(reparsed, ty, "round-trip failed for {printed}");
         }
     }
@@ -514,7 +531,9 @@ mod tests {
         defs.insert("Tpong".to_string(), examples::tpong_type());
         let t = parse_type_with("p[Tping y z, Tpong z]", &defs).unwrap();
         let expected = Type::par(
-            examples::tping_type().apply_all(&[Type::var("y"), Type::var("z")]).unwrap(),
+            examples::tping_type()
+                .apply_all(&[Type::var("y"), Type::var("z")])
+                .unwrap(),
             examples::tpong_type().apply(&Type::var("z")).unwrap(),
         );
         assert_eq!(t, expected);
@@ -556,7 +575,10 @@ mod tests {
 
     #[test]
     fn reports_helpful_errors() {
-        assert!(parse_type("o[x, int").unwrap_err().to_string().contains("expected"));
+        assert!(parse_type("o[x, int")
+            .unwrap_err()
+            .to_string()
+            .contains("expected"));
         assert!(parse_term("let x = 3 in x").is_err()); // missing type annotation
         assert!(parse_term("send(c, 1)").is_err()); // missing continuation
         assert!(parse_type("cio[").is_err());

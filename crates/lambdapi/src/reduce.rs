@@ -86,7 +86,9 @@ pub struct Reducer {
 impl Reducer {
     /// Creates a reducer with a fresh channel-instance generator.
     pub fn new() -> Self {
-        Reducer { gen: NameGen::new() }
+        Reducer {
+            gen: NameGen::new(),
+        }
     }
 
     /// Performs a single reduction step, returning the reduct and the base rule
@@ -180,9 +182,7 @@ impl Reducer {
                         .map(|(a2, r)| (Term::App(f.clone(), Box::new(a2)), r));
                 }
                 match f.as_value() {
-                    Some(Value::Lambda(x, _, body)) => {
-                        Some((body.subst(x, a), BaseRule::Beta))
-                    }
+                    Some(Value::Lambda(x, _, body)) => Some((body.subst(x, a), BaseRule::Beta)),
                     Some(_) => Some((Term::err(), BaseRule::Error)),
                     // Open application `x v` is stuck for the closed semantics
                     // (the over-approximating semantics of Fig. 5 handles it).
@@ -251,9 +251,7 @@ impl Reducer {
         let mut recv_idx: Vec<(usize, ChanId, Term)> = Vec::new();
         for (i, c) in components.iter().enumerate() {
             match c {
-                Term::Send(ch, v, k)
-                    if ch.is_value() && v.is_value() && k.is_value() =>
-                {
+                Term::Send(ch, v, k) if ch.is_value() && v.is_value() && k.is_value() => {
                     if let Some(Value::Chan(id, _)) = ch.as_value() {
                         send_idx.push((i, *id, (**v).clone(), (**k).clone()));
                     }
@@ -354,7 +352,11 @@ pub fn par_components(t: &Term) -> Vec<Term> {
         }
     }
     go(t, &mut out);
-    let non_end: Vec<Term> = out.iter().filter(|c| !matches!(c, Term::End)).cloned().collect();
+    let non_end: Vec<Term> = out
+        .iter()
+        .filter(|c| !matches!(c, Term::End))
+        .cloned()
+        .collect();
     if non_end.is_empty() {
         vec![Term::End]
     } else {
@@ -392,9 +394,8 @@ pub fn replace_var_in_eval_position(t: &Term, x: &Name, w: &Term) -> Option<Term
         }
         Term::Let(y, ty, bound, body) => {
             if !bound.is_value_or_var() {
-                return replace_var_in_eval_position(bound, x, w).map(|b2| {
-                    Term::Let(y.clone(), ty.clone(), Box::new(b2), body.clone())
-                });
+                return replace_var_in_eval_position(bound, x, w)
+                    .map(|b2| Term::Let(y.clone(), ty.clone(), Box::new(b2), body.clone()));
             }
             if y == x {
                 return None; // shadowed
@@ -436,8 +437,7 @@ pub fn replace_var_in_eval_position(t: &Term, x: &Name, w: &Term) -> Option<Term
                     return Some(Term::Recv(Box::new(c2), k.clone()));
                 }
             }
-            replace_var_in_eval_position(k, x, w)
-                .map(|k2| Term::Recv(c.clone(), Box::new(k2)))
+            replace_var_in_eval_position(k, x, w).map(|k2| Term::Recv(c.clone(), Box::new(k2)))
         }
         Term::Par(a, b) => {
             if let Some(a2) = replace_var_in_eval_position(a, x, w) {
@@ -453,9 +453,7 @@ fn apply_binop(op: BinOp, a: &Term, b: &Term) -> Term {
         (BinOp::Add, Some(Value::Int(x)), Some(Value::Int(y))) => Term::int(x + y),
         (BinOp::Sub, Some(Value::Int(x)), Some(Value::Int(y))) => Term::int(x - y),
         (BinOp::Gt, Some(Value::Int(x)), Some(Value::Int(y))) => Term::bool(x > y),
-        (BinOp::Eq, Some(va), Some(vb)) if !va.is_err() && !vb.is_err() => {
-            Term::bool(va == vb)
-        }
+        (BinOp::Eq, Some(va), Some(vb)) if !va.is_err() && !vb.is_err() => Term::bool(va == vb),
         _ => Term::err(),
     }
 }
@@ -472,7 +470,10 @@ mod tests {
     #[test]
     fn negation_and_if_reduce() {
         let r = reducer();
-        assert_eq!(r.eval(&Term::not(Term::bool(true)), 10).term, Term::bool(false));
+        assert_eq!(
+            r.eval(&Term::not(Term::bool(true)), 10).term,
+            Term::bool(false)
+        );
         let t = Term::ite(Term::bool(false), Term::int(1), Term::int(2));
         assert_eq!(r.eval(&t, 10).term, Term::int(2));
     }
@@ -482,7 +483,11 @@ mod tests {
         let r = reducer();
         // (λx:int. x + x) (1 + 2)  →*  6
         let t = Term::app(
-            Term::lam("x", Type::Int, Term::binop(BinOp::Add, Term::var("x"), Term::var("x"))),
+            Term::lam(
+                "x",
+                Type::Int,
+                Term::binop(BinOp::Add, Term::var("x"), Term::var("x")),
+            ),
             Term::binop(BinOp::Add, Term::int(1), Term::int(2)),
         );
         assert_eq!(r.eval(&t, 20).term, Term::int(6));
@@ -564,9 +569,10 @@ mod tests {
     fn negating_a_non_boolean_errors() {
         let r = reducer();
         assert!(r.eval(&Term::not(Term::int(1)), 10).reached_error);
-        assert!(r
-            .eval(&Term::ite(Term::int(1), Term::End, Term::End), 10)
-            .reached_error);
+        assert!(
+            r.eval(&Term::ite(Term::int(1), Term::End, Term::End), 10)
+                .reached_error
+        );
     }
 
     #[test]
@@ -578,7 +584,10 @@ mod tests {
             Type::Int,
             Term::ite(
                 Term::binop(BinOp::Gt, Term::var("x"), Term::int(0)),
-                Term::app(Term::var("f"), Term::binop(BinOp::Sub, Term::var("x"), Term::int(1))),
+                Term::app(
+                    Term::var("f"),
+                    Term::binop(BinOp::Sub, Term::var("x"), Term::int(1)),
+                ),
                 Term::var("x"),
             ),
         );

@@ -35,7 +35,8 @@ impl Term {
                 } else if fv_v.contains(y) {
                     // α-rename the binder to avoid capturing the free y of v.
                     let fresh = fresh_avoiding(gen, y, fv_v, &body.free_vars());
-                    let renamed = body.subst_inner(y, &Term::Var(fresh.clone()), &BTreeSet::new(), gen);
+                    let renamed =
+                        body.subst_inner(y, &Term::Var(fresh.clone()), &BTreeSet::new(), gen);
                     Term::Val(Value::Lambda(
                         fresh,
                         ty.clone(),

@@ -172,6 +172,7 @@ impl Term {
     }
 
     /// Boolean negation.
+    #[allow(clippy::should_implement_trait)] // constructor convention, like `Formula::not`
     pub fn not(t: Term) -> Term {
         Term::Not(Box::new(t))
     }
@@ -238,7 +239,10 @@ impl Term {
     /// Returns `true` if the term is a process term (element of `P` in Fig. 2):
     /// `end`, `send(...)`, `recv(...)` or a parallel composition.
     pub fn is_process(&self) -> bool {
-        matches!(self, Term::End | Term::Send(..) | Term::Recv(..) | Term::Par(..))
+        matches!(
+            self,
+            Term::End | Term::Send(..) | Term::Recv(..) | Term::Par(..)
+        )
     }
 
     /// Returns `true` if the term is a value or a variable (the class `w` used
@@ -414,7 +418,11 @@ mod tests {
 
     #[test]
     fn display_round_trips_key_syntax() {
-        let t = Term::send(Term::var("pongc"), Term::var("self"), Term::thunk(Term::End));
+        let t = Term::send(
+            Term::var("pongc"),
+            Term::var("self"),
+            Term::thunk(Term::End),
+        );
         let s = t.to_string();
         assert!(s.contains("send(pongc, self"));
         assert!(Term::par(Term::End, Term::End).to_string().contains("||"));

@@ -217,9 +217,7 @@ impl Type {
                 bound.pop();
             }
             Type::Rec(_, body) => body.collect_free_vars(bound, acc),
-            Type::ChanIO(t) | Type::ChanIn(t) | Type::ChanOut(t) => {
-                t.collect_free_vars(bound, acc)
-            }
+            Type::ChanIO(t) | Type::ChanIn(t) | Type::ChanOut(t) => t.collect_free_vars(bound, acc),
             Type::Out(s, t, u) => {
                 s.collect_free_vars(bound, acc);
                 t.collect_free_vars(bound, acc);
@@ -241,10 +239,8 @@ impl Type {
 
     fn collect_free_rec_vars(&self, bound: &mut Vec<Name>, acc: &mut BTreeSet<Name>) {
         match self {
-            Type::RecVar(t) => {
-                if !bound.contains(t) {
-                    acc.insert(t.clone());
-                }
+            Type::RecVar(t) if !bound.contains(t) => {
+                acc.insert(t.clone());
             }
             Type::Rec(t, body) => {
                 bound.push(t.clone());
@@ -309,11 +305,8 @@ impl Type {
                     // Avoid capture: α-rename the binder.
                     let gen = NameGen::new();
                     let mut fresh = gen.fresh(y.as_str());
-                    let avoid: BTreeSet<Name> = s
-                        .free_vars()
-                        .into_iter()
-                        .chain(body.free_vars())
-                        .collect();
+                    let avoid: BTreeSet<Name> =
+                        s.free_vars().into_iter().chain(body.free_vars()).collect();
                     while avoid.contains(&fresh) {
                         fresh = gen.fresh(y.as_str());
                     }
@@ -431,7 +424,7 @@ impl Type {
         }
         match self {
             Type::Rec(t, body) => {
-                body_ok(body, &[t.clone()])
+                body_ok(body, std::slice::from_ref(t))
                     && !matches!(
                         Self::strip_unions_for_varcheck(body, t),
                         StripResult::BareVar
@@ -573,9 +566,7 @@ impl Type {
             Type::Pi(_, dom, body) => dom.mentions_proc() || body.mentions_proc(),
             Type::Rec(_, body) => body.mentions_proc(),
             Type::ChanIO(t) | Type::ChanIn(t) | Type::ChanOut(t) => t.mentions_proc(),
-            Type::Out(a, b, c) => {
-                a.mentions_proc() || b.mentions_proc() || c.mentions_proc()
-            }
+            Type::Out(a, b, c) => a.mentions_proc() || b.mentions_proc() || c.mentions_proc(),
             Type::In(a, b) => a.mentions_proc() || b.mentions_proc(),
             _ => false,
         }
@@ -616,16 +607,26 @@ impl Type {
     /// the rest sorted.
     pub fn normalize(&self) -> Type {
         match self {
+            // Normalising a member can itself surface a union/par at the top
+            // (e.g. `p[T∨U, nil] ≡ T∨U`), so the members are re-flattened
+            // after normalisation — otherwise normalisation would not be
+            // idempotent.
             Type::Union(..) => {
-                let mut members: Vec<Type> =
-                    self.union_members().iter().map(|m| m.normalize()).collect();
+                let mut members: Vec<Type> = self
+                    .union_members()
+                    .iter()
+                    .flat_map(|m| m.normalize().union_members())
+                    .collect();
                 members.sort();
                 members.dedup();
                 Type::union_all(members)
             }
             Type::Par(..) => {
-                let mut members: Vec<Type> =
-                    self.par_members().iter().map(|m| m.normalize()).collect();
+                let mut members: Vec<Type> = self
+                    .par_members()
+                    .iter()
+                    .flat_map(|m| m.normalize().par_members())
+                    .collect();
                 members.retain(|m| !matches!(m, Type::Nil));
                 members.sort();
                 Type::par_all(members)
@@ -653,9 +654,7 @@ impl Type {
         match self {
             Type::Union(a, b) | Type::Par(a, b) | Type::In(a, b) => 1 + a.size() + b.size(),
             Type::Pi(_, a, b) => 1 + a.size() + b.size(),
-            Type::Rec(_, a) | Type::ChanIO(a) | Type::ChanIn(a) | Type::ChanOut(a) => {
-                1 + a.size()
-            }
+            Type::Rec(_, a) | Type::ChanIO(a) | Type::ChanIn(a) | Type::ChanOut(a) => 1 + a.size(),
             Type::Out(a, b, c) => 1 + a.size() + b.size() + c.size(),
             _ => 1,
         }
@@ -803,7 +802,10 @@ mod tests {
     fn contractivity_rejects_unguarded_recursion() {
         let bad = Type::rec("t", Type::rec_var("t"));
         assert!(!bad.is_contractive());
-        let bad2 = Type::rec("t1", Type::rec("t2", Type::union(Type::rec_var("t1"), Type::Bool)));
+        let bad2 = Type::rec(
+            "t1",
+            Type::rec("t2", Type::union(Type::rec_var("t1"), Type::Bool)),
+        );
         assert!(!bad2.is_contractive());
         let good = Type::rec(
             "t",

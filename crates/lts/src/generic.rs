@@ -79,7 +79,12 @@ where
             transitions[i] = out;
         }
 
-        Lts { states, transitions, initial: 0, truncated }
+        Lts {
+            states,
+            transitions,
+            initial: 0,
+            truncated,
+        }
     }
 
     /// The number of discovered states.
@@ -126,7 +131,9 @@ where
 
     /// All labels appearing on some transition (with duplicates).
     pub fn labels(&self) -> impl Iterator<Item = &L> + '_ {
-        self.transitions.iter().flat_map(|outs| outs.iter().map(|(l, _)| l))
+        self.transitions
+            .iter()
+            .flat_map(|outs| outs.iter().map(|(l, _)| l))
     }
 
     /// `true` if exploration hit the state bound (the LTS is a prefix of the

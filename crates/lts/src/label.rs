@@ -167,9 +167,18 @@ mod tests {
 
     #[test]
     fn type_label_classification() {
-        let out = TypeLabel::Out { subject: Type::var("x"), payload: Type::Int };
-        let inp = TypeLabel::In { subject: Type::var("x"), payload: Type::Int };
-        let comm = TypeLabel::Comm { left: Type::var("x"), right: Type::var("x") };
+        let out = TypeLabel::Out {
+            subject: Type::var("x"),
+            payload: Type::Int,
+        };
+        let inp = TypeLabel::In {
+            subject: Type::var("x"),
+            payload: Type::Int,
+        };
+        let comm = TypeLabel::Comm {
+            left: Type::var("x"),
+            right: Type::var("x"),
+        };
         assert!(out.is_io() && !out.is_tau());
         assert!(inp.is_io());
         assert!(comm.is_tau());
@@ -187,12 +196,19 @@ mod tests {
         assert!(TermLabel::TauNeg(Name::new("x")).is_tau_bullet());
         assert!(!TermLabel::TauComm(Term::var("x")).is_tau_bullet());
         assert!(!TermLabel::TauRule(BaseRule::Comm(lambdapi::ChanId(0))).is_tau_bullet());
-        assert!(!TermLabel::Out { subject: Term::var("x"), payload: Term::int(1) }.is_tau_bullet());
+        assert!(!TermLabel::Out {
+            subject: Term::var("x"),
+            payload: Term::int(1)
+        }
+        .is_tau_bullet());
     }
 
     #[test]
     fn labels_display_compactly() {
-        let l = TypeLabel::Out { subject: Type::var("z"), payload: Type::var("y") };
+        let l = TypeLabel::Out {
+            subject: Type::var("z"),
+            payload: Type::var("y"),
+        };
         assert_eq!(l.to_string(), "z⟨y⟩");
         let l2 = TermLabel::TauComm(Term::var("z"));
         assert_eq!(l2.to_string(), "τ[z]");

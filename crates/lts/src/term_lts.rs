@@ -38,7 +38,11 @@ pub struct TermLts {
 impl TermLts {
     /// Creates a builder for the given typing environment.
     pub fn new(env: TypeEnv) -> Self {
-        TermLts { env, checker: Checker::new(), reducer: Reducer::new() }
+        TermLts {
+            env,
+            checker: Checker::new(),
+            reducer: Reducer::new(),
+        }
     }
 
     /// The typing environment.
@@ -87,10 +91,15 @@ impl TermLts {
             }
             // [SR-send]
             Term::Send(chan, payload, cont)
-                if chan.is_value_or_var() && payload.is_value_or_var() && cont.is_value_or_var() =>
+                if chan.is_value_or_var()
+                    && payload.is_value_or_var()
+                    && cont.is_value_or_var() =>
             {
                 out.push((
-                    TermLabel::Out { subject: (**chan).clone(), payload: (**payload).clone() },
+                    TermLabel::Out {
+                        subject: (**chan).clone(),
+                        payload: (**payload).clone(),
+                    },
                     Term::app((**cont).clone(), Term::unit()),
                 ));
             }
@@ -98,7 +107,10 @@ impl TermLts {
             Term::Recv(chan, cont) if chan.is_value_or_var() && cont.is_value_or_var() => {
                 for candidate in self.receive_candidates(chan) {
                     out.push((
-                        TermLabel::In { subject: (**chan).clone(), payload: candidate.clone() },
+                        TermLabel::In {
+                            subject: (**chan).clone(),
+                            payload: candidate.clone(),
+                        },
                         Term::app((**cont).clone(), candidate),
                     ));
                 }
@@ -185,7 +197,9 @@ impl TermLts {
             Term::Val(Value::Chan(_, p)) => Some(p.clone()),
             _ => None,
         };
-        let Some(payload_ty) = payload_ty else { return Vec::new() };
+        let Some(payload_ty) = payload_ty else {
+            return Vec::new();
+        };
         let mut candidates = Vec::new();
         for (x, _) in self.env.iter() {
             if self
@@ -249,8 +263,7 @@ mod tests {
         );
         let succ = lts.successors(&t1);
         assert!(
-            succ.iter()
-                .any(|(l, _)| l.is_comm_on(&Name::new("x"))),
+            succ.iter().any(|(l, _)| l.is_comm_on(&Name::new("x"))),
             "expected τ[x], got {succ:?}"
         );
         // The communication leads (after τ• steps) to end || end ≡ end.
@@ -259,7 +272,7 @@ mod tests {
             .find(|(l, _)| l.is_comm_on(&Name::new("x")))
             .unwrap();
         let built = lts.build(next, 100);
-        assert!(built.states().iter().any(|s| *s == Term::End));
+        assert!(built.states().contains(&Term::End));
     }
 
     #[test]
@@ -293,7 +306,7 @@ mod tests {
         assert!(built.labels().any(|l| l.is_comm_on(&Name::new("z"))));
         assert!(built.labels().any(|l| l.is_comm_on(&Name::new("y"))));
         // The terminated process is reachable.
-        assert!(built.states().iter().any(|s| *s == Term::End));
+        assert!(built.states().contains(&Term::End));
     }
 
     #[test]
@@ -307,11 +320,11 @@ mod tests {
         let succ = lts.successors(&t);
         // Candidates: the int-typed variable n and the canonical literal 0 —
         // but not the string variable s.
-        assert!(succ
-            .iter()
-            .any(|(l, _)| matches!(l, TermLabel::In { payload, .. } if *payload == Term::var("n"))));
-        assert!(!succ
-            .iter()
-            .any(|(l, _)| matches!(l, TermLabel::In { payload, .. } if *payload == Term::var("s"))));
+        assert!(succ.iter().any(
+            |(l, _)| matches!(l, TermLabel::In { payload, .. } if *payload == Term::var("n"))
+        ));
+        assert!(!succ.iter().any(
+            |(l, _)| matches!(l, TermLabel::In { payload, .. } if *payload == Term::var("s"))
+        ));
     }
 }

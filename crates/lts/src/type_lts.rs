@@ -66,7 +66,12 @@ impl TypeLts {
 
     /// Creates a builder with a custom checker configuration.
     pub fn with_checker(env: TypeEnv, checker: Checker) -> Self {
-        TypeLts { env, checker, candidates: CandidatePolicy::default(), visible: None }
+        TypeLts {
+            env,
+            checker,
+            candidates: CandidatePolicy::default(),
+            visible: None,
+        }
     }
 
     /// Sets the early-input candidate policy (see [`CandidatePolicy`]).
@@ -168,7 +173,9 @@ impl TypeLts {
                             if i == j {
                                 continue;
                             }
-                            let Type::In(s_in, cont) = &heads[j] else { continue };
+                            let Type::In(s_in, cont) = &heads[j] else {
+                                continue;
+                            };
                             if !self.checker.might_interact(&self.env, s_out, s_in) {
                                 continue;
                             }
@@ -273,9 +280,7 @@ fn continuation_body(cont: &Type) -> Type {
 /// (Def. 4.8): an output label `S'⟨U'⟩` with `Γ ⊢ x ⩽ S'`.
 pub fn is_output_use(checker: &Checker, env: &TypeEnv, label: &TypeLabel, x: &Name) -> bool {
     match label {
-        TypeLabel::Out { subject, .. } => {
-            checker.is_subtype(env, &Type::Var(x.clone()), subject)
-        }
+        TypeLabel::Out { subject, .. } => checker.is_subtype(env, &Type::Var(x.clone()), subject),
         _ => false,
     }
 }
@@ -284,9 +289,7 @@ pub fn is_output_use(checker: &Checker, env: &TypeEnv, label: &TypeLabel, x: &Na
 /// (Def. 4.8): an input label `S'(U')` with `Γ ⊢ x ⩽ S'`.
 pub fn is_input_use(checker: &Checker, env: &TypeEnv, label: &TypeLabel, x: &Name) -> bool {
     match label {
-        TypeLabel::In { subject, .. } => {
-            checker.is_subtype(env, &Type::Var(x.clone()), subject)
-        }
+        TypeLabel::In { subject, .. } => checker.is_subtype(env, &Type::Var(x.clone()), subject),
         _ => false,
     }
 }
@@ -367,7 +370,7 @@ mod tests {
         );
 
         // The terminated state nil is reachable.
-        assert!(lts.states().iter().any(|s| *s == Type::Nil));
+        assert!(lts.states().contains(&Type::Nil));
     }
 
     #[test]
@@ -395,7 +398,11 @@ mod tests {
         let builder = TypeLts::new(env);
         let ty = Type::inp(
             Type::var("x"),
-            Type::pi("p", Type::Int, Type::out(Type::var("x"), Type::var("p"), Type::thunk(Type::Nil))),
+            Type::pi(
+                "p",
+                Type::Int,
+                Type::out(Type::var("x"), Type::var("p"), Type::thunk(Type::Nil)),
+            ),
         );
         let succ = builder.successors(&ty);
         // One candidate for the domain type int, one for the int-typed variable v.
@@ -432,7 +439,9 @@ mod tests {
         );
         let succ = builder.successors(&ty);
         assert!(
-            !succ.iter().any(|(l, _)| matches!(l, TypeLabel::Comm { .. })),
+            !succ
+                .iter()
+                .any(|(l, _)| matches!(l, TypeLabel::Comm { .. })),
             "outputs on x must not synchronise with inputs on y"
         );
     }
@@ -457,7 +466,10 @@ mod tests {
         assert!(!comm.is_empty());
         assert!(is_imprecise_comm(&env, &comm[0].0));
         // By contrast τ[x,x] would be precise.
-        let precise = TypeLabel::Comm { left: Type::var("x"), right: Type::var("x") };
+        let precise = TypeLabel::Comm {
+            left: Type::var("x"),
+            right: Type::var("x"),
+        };
         assert!(!is_imprecise_comm(&env, &precise));
     }
 
@@ -502,12 +514,21 @@ mod tests {
     fn output_and_input_uses_account_for_subtyping() {
         let env = TypeEnv::new().bind("x", Type::chan_io(Type::Int));
         let checker = Checker::new();
-        let imprecise = TypeLabel::Out { subject: Type::chan_out(Type::Int), payload: Type::Int };
+        let imprecise = TypeLabel::Out {
+            subject: Type::chan_out(Type::Int),
+            payload: Type::Int,
+        };
         // x ⩽ co[int], so an output on co[int] is a potential output use of x.
         assert!(is_output_use(&checker, &env, &imprecise, &Name::new("x")));
-        let other = TypeLabel::Out { subject: Type::var("other"), payload: Type::Int };
+        let other = TypeLabel::Out {
+            subject: Type::var("other"),
+            payload: Type::Int,
+        };
         assert!(!is_output_use(&checker, &env, &other, &Name::new("x")));
-        let inp = TypeLabel::In { subject: Type::var("x"), payload: Type::Int };
+        let inp = TypeLabel::In {
+            subject: Type::var("x"),
+            payload: Type::Int,
+        };
         assert!(is_input_use(&checker, &env, &inp, &Name::new("x")));
         assert!(!is_input_use(&checker, &env, &imprecise, &Name::new("x")));
     }

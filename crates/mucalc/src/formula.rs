@@ -35,6 +35,10 @@ pub enum LabelSet {
     OutputOn(String),
     /// Any input on exactly the named variable.
     InputOn(String),
+    /// Any output on the value last received from the named variable (the
+    /// `z⟨U'⟩` target of Fig. 7's responsiveness template, where `z` is bound
+    /// by the triggering input).
+    OutputOnPayloadOf(String),
     /// Union of two label sets.
     Union(Box<LabelSet>, Box<LabelSet>),
     /// Complement of a label set (the `(−A)` construction).
@@ -63,6 +67,7 @@ impl fmt::Display for LabelSet {
             LabelSet::InputUseOf(x) => write!(f, "Ui({x})"),
             LabelSet::OutputOn(x) => write!(f, "{x}⟨·⟩"),
             LabelSet::InputOn(x) => write!(f, "{x}(·)"),
+            LabelSet::OutputOnPayloadOf(x) => write!(f, "payload({x})⟨·⟩"),
             LabelSet::Union(a, b) => write!(f, "{a} ∪ {b}"),
             LabelSet::Complement(a) => write!(f, "−({a})"),
         }
@@ -117,6 +122,7 @@ impl Formula {
     }
 
     /// `¬ϕ`.
+    #[allow(clippy::should_implement_trait)] // constructor convention, like `Term::not`
     pub fn not(phi: Formula) -> Formula {
         Formula::Not(Box::new(phi))
     }
@@ -145,8 +151,12 @@ impl Formula {
     pub fn size(&self) -> usize {
         match self {
             Formula::True | Formula::False | Formula::Var(_) => 1,
-            Formula::Not(a) | Formula::Nu(_, a) | Formula::Mu(_, a) | Formula::Always(a)
-            | Formula::Eventually(a) | Formula::Prefix(_, a) => 1 + a.size(),
+            Formula::Not(a)
+            | Formula::Nu(_, a)
+            | Formula::Mu(_, a)
+            | Formula::Always(a)
+            | Formula::Eventually(a)
+            | Formula::Prefix(_, a) => 1 + a.size(),
             Formula::And(a, b)
             | Formula::Or(a, b)
             | Formula::Implies(a, b)

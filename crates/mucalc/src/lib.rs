@@ -18,6 +18,10 @@
 //!   (Thm. 4.10's precondition), builds the LTS, decides the property and
 //!   reports model size and timing (the contents of Fig. 9).
 //!
+//! This crate is the Step 2 *layer*; most callers should go through the
+//! `effpi` crate's `Session` pipeline, which owns a configured `Verifier`
+//! alongside the Step 1 type checker.
+//!
 //! ## Example
 //!
 //! ```

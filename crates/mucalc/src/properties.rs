@@ -70,22 +70,31 @@ pub enum Property {
 impl Property {
     /// Convenience constructor for [`Property::NonUsage`].
     pub fn non_usage<I: IntoIterator<Item = N>, N: Into<Name>>(vars: I) -> Self {
-        Property::NonUsage { vars: vars.into_iter().map(Into::into).collect() }
+        Property::NonUsage {
+            vars: vars.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Convenience constructor for [`Property::DeadlockFree`].
     pub fn deadlock_free<I: IntoIterator<Item = N>, N: Into<Name>>(vars: I) -> Self {
-        Property::DeadlockFree { vars: vars.into_iter().map(Into::into).collect() }
+        Property::DeadlockFree {
+            vars: vars.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Convenience constructor for [`Property::EventualOutput`].
     pub fn eventual_output<I: IntoIterator<Item = N>, N: Into<Name>>(vars: I) -> Self {
-        Property::EventualOutput { vars: vars.into_iter().map(Into::into).collect() }
+        Property::EventualOutput {
+            vars: vars.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Convenience constructor for [`Property::Forwarding`].
     pub fn forwarding(from: impl Into<Name>, to: impl Into<Name>) -> Self {
-        Property::Forwarding { from: from.into(), to: to.into() }
+        Property::Forwarding {
+            from: from.into(),
+            to: to.into(),
+        }
     }
 
     /// Convenience constructor for [`Property::Reactive`].
@@ -136,9 +145,7 @@ impl Property {
             Property::DeadlockFree { vars } => {
                 let io = vars
                     .iter()
-                    .map(|x| {
-                        LabelSet::InputOn(x.to_string()).or(LabelSet::OutputOn(x.to_string()))
-                    })
+                    .map(|x| LabelSet::InputOn(x.to_string()).or(LabelSet::OutputOn(x.to_string())))
                     .reduce(LabelSet::or)
                     .unwrap_or(LabelSet::Any);
                 Formula::always(Formula::can(LabelSet::ImpreciseTau.complement())).and(
@@ -155,29 +162,29 @@ impl Property {
             }
             Property::Forwarding { from, to } => {
                 let trigger = LabelSet::InputUseOf(from.to_string());
-                let forbidden =
-                    LabelSet::ImpreciseTau.or(LabelSet::InputUseOf(from.to_string()));
-                Formula::always(Formula::can(trigger).implies(
-                    Formula::can(forbidden.complement())
-                        .until(Formula::can(LabelSet::OutputOn(to.to_string()))),
-                ))
-            }
-            Property::Reactive { var } => {
-                Formula::always(Formula::can(LabelSet::ImpreciseTau.complement())).and(
-                    Formula::always(
-                        Formula::can(LabelSet::Tau)
-                            .or(Formula::can(LabelSet::InputOn(var.to_string()))),
+                let forbidden = LabelSet::ImpreciseTau.or(LabelSet::InputUseOf(from.to_string()));
+                Formula::always(
+                    Formula::can(trigger).implies(
+                        Formula::can(forbidden.complement())
+                            .until(Formula::can(LabelSet::OutputOn(to.to_string()))),
                     ),
                 )
             }
+            Property::Reactive { var } => Formula::always(Formula::can(
+                LabelSet::ImpreciseTau.complement(),
+            ))
+            .and(Formula::always(
+                Formula::can(LabelSet::Tau).or(Formula::can(LabelSet::InputOn(var.to_string()))),
+            )),
             Property::Responsive { var } => {
                 let trigger = LabelSet::InputUseOf(var.to_string());
-                let forbidden =
-                    LabelSet::ImpreciseTau.or(LabelSet::InputUseOf(var.to_string()));
-                Formula::always(Formula::can(trigger).implies(
-                    Formula::can(forbidden.complement())
-                        .until(Formula::can(LabelSet::OutputOn("z".to_string()))),
-                ))
+                let forbidden = LabelSet::ImpreciseTau.or(LabelSet::InputUseOf(var.to_string()));
+                Formula::always(
+                    Formula::can(trigger).implies(
+                        Formula::can(forbidden.complement())
+                            .until(Formula::can(LabelSet::OutputOnPayloadOf(var.to_string()))),
+                    ),
+                )
             }
         }
     }
@@ -209,10 +216,13 @@ impl Property {
             }
 
             Property::Forwarding { from, to } => {
-                let restricted = restrict_for_payload_tracking(lts, checker, env, from, &[
-                    from.clone(),
-                    to.clone(),
-                ]);
+                let restricted = restrict_for_payload_tracking(
+                    lts,
+                    checker,
+                    env,
+                    from,
+                    &[from.clone(), to.clone()],
+                );
                 let env2 = env.clone();
                 let checker2 = checker.clone();
                 check::whenever_then_until(
@@ -256,8 +266,13 @@ impl Property {
             }
 
             Property::Responsive { var } => {
-                let restricted =
-                    restrict_for_payload_tracking(lts, checker, env, var, &[var.clone()]);
+                let restricted = restrict_for_payload_tracking(
+                    lts,
+                    checker,
+                    env,
+                    var,
+                    std::slice::from_ref(var),
+                );
                 check::whenever_then_until(
                     &restricted,
                     |l| {
@@ -270,7 +285,13 @@ impl Property {
                             _ => None,
                         };
                         Box::new(move |l: &TypeLabel| match (&payload_var, l) {
-                            (Some(z), TypeLabel::Out { subject: Type::Var(s), .. }) => s == z,
+                            (
+                                Some(z),
+                                TypeLabel::Out {
+                                    subject: Type::Var(s),
+                                    ..
+                                },
+                            ) => s == z,
                             _ => false,
                         })
                     },
@@ -297,7 +318,10 @@ impl std::fmt::Display for Property {
 }
 
 fn join(vars: &[Name]) -> String {
-    vars.iter().map(Name::to_string).collect::<Vec<_>>().join(", ")
+    vars.iter()
+        .map(Name::to_string)
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// The `↑Γ Y` restriction used by the forwarding/responsiveness templates:
@@ -354,7 +378,11 @@ mod tests {
                 Type::pi(
                     "p",
                     Type::Int,
-                    Type::out(Type::var("y"), Type::var("p"), Type::thunk(Type::rec_var("t"))),
+                    Type::out(
+                        Type::var("y"),
+                        Type::var("p"),
+                        Type::thunk(Type::rec_var("t")),
+                    ),
                 ),
             ),
         )
@@ -460,7 +488,11 @@ mod tests {
                 Type::pi(
                     "replyTo",
                     Type::chan_out(Type::Str),
-                    Type::out(Type::var("replyTo"), Type::Str, Type::thunk(Type::rec_var("t"))),
+                    Type::out(
+                        Type::var("replyTo"),
+                        Type::Str,
+                        Type::thunk(Type::rec_var("t")),
+                    ),
                 ),
             ),
         );

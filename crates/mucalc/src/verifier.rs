@@ -36,7 +36,14 @@ pub enum VerifyError {
     /// gives no information about its behaviour).
     MentionsProc,
     /// State-space exploration hit the configured bound.
-    StateSpaceTooLarge(usize),
+    StateSpaceTooLarge {
+        /// The configured maximum number of states.
+        bound: usize,
+        /// How many states had been explored when the bound tripped (the
+        /// truncated LTS's state count — at least `bound`, but possibly more
+        /// when the final frontier overshoots).
+        explored: usize,
+    },
 }
 
 impl std::fmt::Display for VerifyError {
@@ -48,8 +55,12 @@ impl std::fmt::Display for VerifyError {
                 write!(f, "parallel composition under recursion is not supported")
             }
             VerifyError::MentionsProc => write!(f, "type mentions proc (excluded by Thm. 4.10)"),
-            VerifyError::StateSpaceTooLarge(n) => {
-                write!(f, "state space exceeds the bound of {n} states")
+            VerifyError::StateSpaceTooLarge { bound, explored } => {
+                write!(
+                    f,
+                    "state space exceeds the bound of {bound} states \
+                     (exploration stopped after {explored})"
+                )
             }
         }
     }
@@ -121,7 +132,20 @@ impl Verifier {
 
     /// Creates a verifier with a custom state bound.
     pub fn with_max_states(max_states: usize) -> Self {
-        Verifier { max_states, ..Self::default() }
+        Verifier {
+            max_states,
+            ..Self::default()
+        }
+    }
+
+    /// Creates a verifier that uses the given (possibly custom-limited)
+    /// subtyping/typing checker for applicability checks, probing and the LTS
+    /// construction.
+    pub fn with_checker(checker: Checker) -> Self {
+        Verifier {
+            checker,
+            ..Self::default()
+        }
     }
 
     /// The underlying subtyping/typing checker.
@@ -211,7 +235,10 @@ impl Verifier {
             .with_visible_subjects(visible);
         let lts = builder.build(ty, self.max_states);
         if lts.is_truncated() {
-            return Err(VerifyError::StateSpaceTooLarge(self.max_states));
+            return Err(VerifyError::StateSpaceTooLarge {
+                bound: self.max_states,
+                explored: lts.num_states(),
+            });
         }
         Ok((env, lts))
     }
@@ -327,17 +354,25 @@ mod tests {
         let ty = payment_applied();
 
         // The payment service never uses its mailbox for output ...
-        let non_usage = verifier.verify(&env, &ty, &Property::non_usage(["self"])).unwrap();
+        let non_usage = verifier
+            .verify(&env, &ty, &Property::non_usage(["self"]))
+            .unwrap();
         assert!(non_usage.holds);
         assert!(non_usage.states > 1);
 
         // ... but it does use the audit and client channels for output.
-        let uses_aud = verifier.verify(&env, &ty, &Property::non_usage(["aud"])).unwrap();
+        let uses_aud = verifier
+            .verify(&env, &ty, &Property::non_usage(["aud"]))
+            .unwrap();
         assert!(!uses_aud.holds);
 
         // Probing all three channels, the service never gets stuck.
         let df = verifier
-            .verify(&env, &ty, &Property::deadlock_free(["self", "aud", "client"]))
+            .verify(
+                &env,
+                &ty,
+                &Property::deadlock_free(["self", "aud", "client"]),
+            )
             .unwrap();
         assert!(df.holds, "{df}");
 
@@ -346,7 +381,9 @@ mod tests {
         // (Def. 4.9). Reactiveness holds for the closed composition with an
         // auditor and clients — the scenario actually measured in Fig. 9 (see
         // the effpi crate's protocol library).
-        let reactive = verifier.verify(&env, &ty, &Property::reactive("self")).unwrap();
+        let reactive = verifier
+            .verify(&env, &ty, &Property::reactive("self"))
+            .unwrap();
         assert!(!reactive.holds, "{reactive}");
     }
 
@@ -373,7 +410,9 @@ mod tests {
         let ty = examples::tpong_type().apply(&Type::var("z")).unwrap();
         // The auto-probing adds a co[str]-typed variable so the received reply
         // channel can be tracked (Thm. 4.10's precondition).
-        let outcome = verifier.verify(&env, &ty, &Property::responsive("z")).unwrap();
+        let outcome = verifier
+            .verify(&env, &ty, &Property::responsive("z"))
+            .unwrap();
         assert!(outcome.holds, "{outcome}");
     }
 
@@ -431,10 +470,21 @@ mod tests {
         let verifier = Verifier::with_max_states(3);
         let env = payment_env();
         let ty = payment_applied();
-        assert!(matches!(
-            verifier.verify(&env, &ty, &Property::reactive("self")),
-            Err(VerifyError::StateSpaceTooLarge(3))
-        ));
+        let err = verifier
+            .verify(&env, &ty, &Property::reactive("self"))
+            .unwrap_err();
+        match err {
+            VerifyError::StateSpaceTooLarge { bound, explored } => {
+                assert_eq!(bound, 3);
+                assert!(explored >= 3, "explored {explored} states before tripping");
+                let msg = err.to_string();
+                assert!(
+                    msg.contains("bound of 3") && msg.contains(&explored.to_string()),
+                    "{msg}"
+                );
+            }
+            other => panic!("expected StateSpaceTooLarge, got {other:?}"),
+        }
     }
 
     #[test]

@@ -62,7 +62,9 @@ impl Mailbox {
 
     /// The actor reference for this mailbox (to hand out to other actors).
     pub fn actor_ref(&self) -> ActorRef {
-        ActorRef { chan: self.chan.clone() }
+        ActorRef {
+            chan: self.chan.clone(),
+        }
     }
 
     /// The underlying channel.

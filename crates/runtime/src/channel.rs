@@ -15,7 +15,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 
 use crate::msg::Msg;
 
@@ -125,7 +125,7 @@ impl ChanRef {
             if let Some(msg) = st.queue.pop_front() {
                 return msg;
             }
-            self.inner.ready.wait(&mut st);
+            st = self.inner.ready.wait(st);
         }
     }
 }

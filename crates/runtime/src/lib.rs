@@ -50,6 +50,7 @@ mod channel;
 mod msg;
 mod process;
 mod sched;
+mod sync;
 
 pub mod savina;
 

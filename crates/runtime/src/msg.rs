@@ -103,6 +103,8 @@ mod tests {
     fn display_is_compact() {
         assert_eq!(Msg::Int(3).to_string(), "3");
         assert_eq!(Msg::Unit.to_string(), "()");
-        assert!(Msg::pair(Msg::Int(1), Msg::Int(2)).to_string().contains(","));
+        assert!(Msg::pair(Msg::Int(1), Msg::Int(2))
+            .to_string()
+            .contains(","));
     }
 }

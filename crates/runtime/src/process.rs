@@ -25,11 +25,7 @@ pub enum Proc {
 
 impl Proc {
     /// Builds a send step.
-    pub fn send(
-        chan: &ChanRef,
-        msg: Msg,
-        then: impl FnOnce() -> Proc + Send + 'static,
-    ) -> Proc {
+    pub fn send(chan: &ChanRef, msg: Msg, then: impl FnOnce() -> Proc + Send + 'static) -> Proc {
         Proc::Send(chan.clone(), msg, Box::new(then))
     }
 

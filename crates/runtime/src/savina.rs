@@ -42,18 +42,32 @@ struct Check {
 
 impl Workload {
     fn new(name: &'static str, size: usize) -> Self {
-        Workload { name, size, procs: Vec::new(), checks: Vec::new() }
+        Workload {
+            name,
+            size,
+            procs: Vec::new(),
+            checks: Vec::new(),
+        }
     }
 
     fn expect(&mut self, what: &'static str, expected: u64) -> Arc<AtomicU64> {
         let counter = Arc::new(AtomicU64::new(0));
-        self.checks.push(Check { what, counter: Arc::clone(&counter), expected });
+        self.checks.push(Check {
+            what,
+            counter: Arc::clone(&counter),
+            expected,
+        });
         counter
     }
 
     /// Runs the workload on the given scheduler and returns its statistics.
     pub fn run_on(self, scheduler: &dyn Scheduler) -> Result<RunStats, String> {
-        let Workload { name, procs, checks, .. } = self;
+        let Workload {
+            name,
+            procs,
+            checks,
+            ..
+        } = self;
         let stats = scheduler.run(procs);
         for check in &checks {
             let got = check.counter.load(Ordering::SeqCst);
@@ -92,7 +106,9 @@ pub fn ping_pong(pairs: usize, rounds: usize) -> Workload {
                 &peer,
                 Msg::pair(Msg::Int(remaining as i64), Msg::Chan(self_ch.clone())),
                 move || {
-                    Proc::recv(&self2.clone(), move |_reply| pinger(self2, peer2, remaining - 1))
+                    Proc::recv(&self2.clone(), move |_reply| {
+                        pinger(self2, peer2, remaining - 1)
+                    })
                 },
             )
         }
@@ -176,8 +192,9 @@ pub fn fork_join_create(n: usize) -> Workload {
         })
     }
 
-    let workers: Vec<Proc> =
-        (0..n).map(|_| Proc::send_end(&collector_ch, Msg::Unit)).collect();
+    let workers: Vec<Proc> = (0..n)
+        .map(|_| Proc::send_end(&collector_ch, Msg::Unit))
+        .collect();
 
     w.procs.push(collector(collector_ch, n, ready));
     w.procs.push(Proc::par(workers));
@@ -216,15 +233,19 @@ pub fn fork_join_throughput(actors: usize, messages: usize) -> Workload {
         if round == rounds {
             return Proc::End;
         }
-        let (next_round, next_idx) =
-            if idx + 1 == channels.len() { (round + 1, 0) } else { (round, idx + 1) };
+        let (next_round, next_idx) = if idx + 1 == channels.len() {
+            (round + 1, 0)
+        } else {
+            (round, idx + 1)
+        };
         let target = channels[idx].clone();
         let channels2 = Arc::clone(&channels);
         Proc::send(&target, Msg::Int(round as i64), move || {
             driver(channels2, next_round, next_idx, rounds)
         })
     }
-    w.procs.push(driver(Arc::new(worker_channels), 0, 0, messages));
+    w.procs
+        .push(driver(Arc::new(worker_channels), 0, 0, messages));
     w
 }
 
@@ -262,17 +283,19 @@ pub fn chameneos(n: usize, meetings: usize) -> Workload {
             let c2 = chan.clone();
             return Proc::recv(&chan, move |first| {
                 let c3 = c2.clone();
-                Proc::recv(&c2.clone(), move |second| match (first.as_chan(), second.as_chan()) {
-                    (Some(a), Some(b)) => {
-                        let a2 = a.clone();
-                        let b2 = b.clone();
-                        Proc::send(&a, Msg::Chan(b.clone()), move || {
-                            Proc::send(&b2, Msg::Chan(a2), move || {
-                                broker(c3, remaining_meetings - 1, remaining_stops)
+                Proc::recv(&c2.clone(), move |second| {
+                    match (first.as_chan(), second.as_chan()) {
+                        (Some(a), Some(b)) => {
+                            let a2 = a.clone();
+                            let b2 = b.clone();
+                            Proc::send(&a, Msg::Chan(b.clone()), move || {
+                                Proc::send(&b2, Msg::Chan(a2), move || {
+                                    broker(c3, remaining_meetings - 1, remaining_stops)
+                                })
                             })
-                        })
+                        }
+                        _ => Proc::End,
                     }
-                    _ => Proc::End,
                 })
             });
         }
@@ -290,7 +313,8 @@ pub fn chameneos(n: usize, meetings: usize) -> Workload {
 
     for _ in 0..n {
         let ch = ChanRef::new();
-        w.procs.push(chameneo(ch, broker_ch.clone(), Arc::clone(&met)));
+        w.procs
+            .push(chameneo(ch, broker_ch.clone(), Arc::clone(&met)));
     }
     w.procs.push(broker(broker_ch, meetings, n));
     w
@@ -323,33 +347,50 @@ fn build_ring(w: &mut Workload, n: usize, tokens: Vec<usize>, forwarded: Arc<Ato
     let channels: Vec<ChanRef> = (0..n).map(|_| ChanRef::new()).collect();
     let num_tokens = tokens.len();
 
+    // Message encoding: a positive integer is a live token carrying its
+    // remaining hop count; a negative integer `-m` is a finished token's stop
+    // marker that must still visit `m` members. The TTL makes every marker
+    // visit each member exactly once — an unbounded marker (the previous
+    // encoding) can lap the ring ahead of still-live tokens under scheduling
+    // contention, making members terminate early and drop token hops.
     fn member(
         self_ch: ChanRef,
         next: ChanRef,
-        zeros_remaining: usize,
+        stops_remaining: usize,
         forwarded: Arc<AtomicU64>,
+        ring_size: usize,
     ) -> Proc {
         let self2 = self_ch.clone();
         let next2 = next.clone();
         Proc::recv(&self_ch, move |msg| {
             let next3 = next2.clone();
             match msg.as_int() {
-                Some(0) => {
-                    // A finished token: forward the stop marker once, and end
-                    // when all tokens have been seen.
-                    if zeros_remaining <= 1 {
-                        Proc::send_end(&next2, Msg::Int(0))
-                    } else {
-                        Proc::send(&next2, Msg::Int(0), move || {
-                            member(self2, next3, zeros_remaining - 1, forwarded)
-                        })
-                    }
-                }
                 Some(k) if k > 0 => {
                     forwarded.fetch_add(1, Ordering::Relaxed);
-                    Proc::send(&next2, Msg::Int(k - 1), move || {
-                        member(self2, next3, zeros_remaining, forwarded)
+                    // On the token's last hop, turn it into a stop marker that
+                    // visits all `ring_size` members (ending back here).
+                    let outgoing = if k == 1 { -(ring_size as i64) } else { k - 1 };
+                    Proc::send(&next2, Msg::Int(outgoing), move || {
+                        member(self2, next3, stops_remaining, forwarded, ring_size)
                     })
+                }
+                Some(m) if m < 0 => {
+                    let keep_forwarding = m < -1; // more members left to visit
+                    if stops_remaining <= 1 {
+                        // Saw every token's marker: this member is done.
+                        if keep_forwarding {
+                            Proc::send_end(&next2, Msg::Int(m + 1))
+                        } else {
+                            Proc::End
+                        }
+                    } else if keep_forwarding {
+                        Proc::send(&next2, Msg::Int(m + 1), move || {
+                            member(self2, next3, stops_remaining - 1, forwarded, ring_size)
+                        })
+                    } else {
+                        // The marker finished its loop here; absorb it.
+                        member(self2, next3, stops_remaining - 1, forwarded, ring_size)
+                    }
                 }
                 _ => Proc::End,
             }
@@ -363,12 +404,20 @@ fn build_ring(w: &mut Workload, n: usize, tokens: Vec<usize>, forwarded: Arc<Ato
             next,
             num_tokens,
             Arc::clone(&forwarded),
+            n,
         ));
     }
-    // Inject the tokens at evenly spaced members.
+    // Inject the tokens at evenly spaced members (a 0-hop token is born as a
+    // full-loop stop marker).
     for (t, hops) in tokens.iter().enumerate() {
         let at = (t * n / num_tokens.max(1)) % n;
-        w.procs.push(Proc::send_end(&channels[at], Msg::Int(*hops as i64)));
+        let initial = if *hops == 0 {
+            -(n as i64)
+        } else {
+            *hops as i64
+        };
+        w.procs
+            .push(Proc::send_end(&channels[at], Msg::Int(initial)));
     }
 }
 
@@ -415,7 +464,9 @@ mod tests {
     #[test]
     fn fork_join_creation_collects_all_signals() {
         for s in schedulers() {
-            let stats = fork_join_create(300).run_on(s.as_ref()).expect("validation");
+            let stats = fork_join_create(300)
+                .run_on(s.as_ref())
+                .expect("validation");
             assert!(stats.processes_spawned >= 300);
             assert!(stats.peak_live_processes >= 2);
         }
@@ -424,7 +475,9 @@ mod tests {
     #[test]
     fn fork_join_throughput_processes_every_message() {
         for s in schedulers() {
-            fork_join_throughput(8, 25).run_on(s.as_ref()).expect("validation");
+            fork_join_throughput(8, 25)
+                .run_on(s.as_ref())
+                .expect("validation");
         }
     }
 
@@ -445,7 +498,9 @@ mod tests {
     #[test]
     fn streaming_ring_keeps_multiple_tokens_in_flight() {
         for s in schedulers() {
-            streaming_ring(10, 3, 40).run_on(s.as_ref()).expect("validation");
+            streaming_ring(10, 3, 40)
+                .run_on(s.as_ref())
+                .expect("validation");
         }
     }
 

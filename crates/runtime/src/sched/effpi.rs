@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 
 use crate::channel::Waiter;
 use crate::msg::Msg;
@@ -92,7 +92,7 @@ impl Shared {
             if self.done.load(Ordering::Acquire) {
                 return None;
             }
-            self.ready.wait(&mut q);
+            q = self.ready.wait(q);
         }
     }
 }
@@ -109,13 +109,18 @@ impl EffpiRuntime {
     /// Creates a scheduler with the given policy and one worker per available
     /// CPU core.
     pub fn new(policy: Policy) -> Self {
-        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         EffpiRuntime { workers, policy }
     }
 
     /// Creates a scheduler with an explicit worker count.
     pub fn with_workers(policy: Policy, workers: usize) -> Self {
-        EffpiRuntime { workers: workers.max(1), policy }
+        EffpiRuntime {
+            workers: workers.max(1),
+            policy,
+        }
     }
 
     /// The delivery policy.

@@ -34,7 +34,9 @@ impl ThreadRuntime {
     /// Creates a baseline runtime with small thread stacks (useful to push the
     /// process count a bit further before the OS gives up).
     pub fn with_small_stacks() -> Self {
-        ThreadRuntime { stack_size: Some(64 * 1024) }
+        ThreadRuntime {
+            stack_size: Some(64 * 1024),
+        }
     }
 
     fn spawn_proc(&self, p: Proc, stats: &Arc<Counters>) -> std::thread::JoinHandle<()> {
@@ -60,8 +62,10 @@ impl ThreadRuntime {
             match p {
                 Proc::End => return,
                 Proc::Par(children) => {
-                    let handles: Vec<_> =
-                        children.into_iter().map(|c| self.spawn_proc(c, stats)).collect();
+                    let handles: Vec<_> = children
+                        .into_iter()
+                        .map(|c| self.spawn_proc(c, stats))
+                        .collect();
                     for h in handles {
                         let _ = h.join();
                     }
@@ -97,7 +101,10 @@ impl Scheduler for ThreadRuntime {
     fn run(&self, initial: Vec<Proc>) -> RunStats {
         let stats = Arc::new(Counters::default());
         let start = Instant::now();
-        let handles: Vec<_> = initial.into_iter().map(|p| self.spawn_proc(p, &stats)).collect();
+        let handles: Vec<_> = initial
+            .into_iter()
+            .map(|p| self.spawn_proc(p, &stats))
+            .collect();
         for h in handles {
             let _ = h.join();
         }

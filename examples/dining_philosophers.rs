@@ -10,6 +10,7 @@
 //! Run with: `cargo run --example dining_philosophers [num_philosophers]`
 
 use effpi::protocols::dining;
+use effpi::Session;
 
 fn main() {
     let n: usize = std::env::args()
@@ -18,15 +19,21 @@ fn main() {
         .unwrap_or(4);
 
     println!("verifying dining-philosophers layouts with {n} seats\n");
+    // One session, reused for both layouts.
+    let session = Session::builder().max_states(200_000).build();
     for allow_deadlock in [true, false] {
         let scenario = dining::dining_philosophers(n, allow_deadlock);
         println!("-- {} --", scenario.name);
-        match scenario.run(200_000) {
-            Ok(outcomes) => {
-                for o in &outcomes {
-                    println!("   {o}");
+        let report = session.run_scenario(&scenario);
+        match &report.error {
+            None => {
+                for p in &report.properties {
+                    match &p.result {
+                        Ok(o) => println!("   {o}"),
+                        Err(e) => println!("   {e}"),
+                    }
                 }
-                let deadlock_free = outcomes[0].holds;
+                let deadlock_free = report.verdicts()[0];
                 if allow_deadlock {
                     assert!(
                         !deadlock_free,
@@ -38,9 +45,11 @@ fn main() {
                     println!("   => no deadlock possible; safe to deploy\n");
                 }
             }
-            Err(e) => {
+            Some(e) => {
                 println!("   verification did not complete: {e}");
-                println!("   (try a smaller table, e.g. `cargo run --example dining_philosophers 4`)\n");
+                println!(
+                    "   (try a smaller table, e.g. `cargo run --example dining_philosophers 4`)\n"
+                );
             }
         }
     }

@@ -15,8 +15,8 @@
 //!
 //! Run with: `cargo run --example mobile_code`
 
-use effpi::{implements, Reducer, Term, Type};
 use effpi::protocols::mobile_code;
+use effpi::{Reducer, Session, Term, Type};
 use lambdapi::examples;
 
 fn main() {
@@ -26,27 +26,31 @@ fn main() {
     // ------------------------------------------------------------------
     // Type checking the mobile code (the server only accepts Tm-typed code).
     // ------------------------------------------------------------------
-    implements(&examples::m1_term(), &examples::tm_type())
+    let session = Session::builder().max_states(20_000).build();
+    session
+        .type_check_closed(&examples::m1_term(), &examples::tm_type())
         .map(|_| println!("\nm1 (forward first input)  : Tm ... ok"))
         .unwrap_or_else(|e| println!("\nm1: rejected ({e})"));
-    implements(&examples::m2_term(), &examples::tm_type())
+    session
+        .type_check_closed(&examples::m2_term(), &examples::tm_type())
         .expect("m2 implements Tm");
     println!("m2 (forward the maximum)  : Tm ... ok");
 
     // A forged filter that ignores its inputs and always sends 42 does not
     // implement Tm: the payload type `int` is not a subtype of `x ∨ y`.
     let forged = forged_filter();
-    assert!(implements(&forged, &examples::tm_type()).is_err());
+    assert!(session
+        .type_check_closed(&forged, &examples::tm_type())
+        .is_err());
     println!("forged (always send 42)   : Tm ... rejected");
 
     // ------------------------------------------------------------------
     // What the type alone guarantees (Ex. 4.11), for any code the server runs.
     // ------------------------------------------------------------------
     println!("\n== Model-checked guarantees for any Tm-typed code ==");
-    let scenario = mobile_code::mobile_code_scenario();
-    for outcome in scenario.run(20_000).expect("verification") {
-        println!("  {outcome}");
-    }
+    let report = session.run_scenario(&mobile_code::mobile_code_scenario());
+    assert!(report.first_error().is_none(), "verification must complete");
+    print!("{report}");
 
     // ------------------------------------------------------------------
     // Running the full system under the λπ⩽ semantics.

@@ -16,21 +16,24 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use effpi::protocols::payment;
-use effpi::{forever, implements, new_actor, ActorRef, EffpiRuntime, Msg, Policy, Proc, Scheduler};
+use effpi::{forever, new_actor, ActorRef, EffpiRuntime, Msg, Policy, Proc, Scheduler, Session};
 use lambdapi::examples;
 
 fn main() {
-    step1_typecheck();
-    step2_model_check();
+    // One configured Session drives both verification steps.
+    let session = Session::builder().max_states(100_000).build();
+    step1_typecheck(&session);
+    step2_model_check(&session);
     step3_run();
 }
 
 /// Step 1: protocol conformance by type checking.
-fn step1_typecheck() {
+fn step1_typecheck(session: &Session) {
     println!("== Step 1: type-checking implementations against the specification ==");
 
     // The audited payment service of Fig. 1 implements its specification.
-    implements(&examples::payment_term(), &examples::tpayment_type())
+    session
+        .type_check_closed(&examples::payment_term(), &examples::tpayment_type())
         .expect("the audited service implements the audited specification");
     println!("payment_term : Tpayment           ... ok");
 
@@ -38,9 +41,8 @@ fn step1_typecheck() {
     // the *unaudited* specification — and that specification does not refine
     // the audited one, so any implementation with the §1 bug is rejected when
     // checked against the audited spec.
-    let checker = effpi::Checker::new();
     let env = effpi::TypeEnv::new();
-    assert!(!checker.is_subtype(
+    assert!(!session.checker().is_subtype(
         &env,
         &examples::tpayment_unaudited_type(),
         &examples::tpayment_type()
@@ -49,18 +51,19 @@ fn step1_typecheck() {
 }
 
 /// Step 2: verify the composed protocol (service + auditor + clients).
-fn step2_model_check() {
+fn step2_model_check(session: &Session) {
     println!("\n== Step 2: type-level model checking of the composed protocol ==");
     let scenario = payment::payment_with_clients(3);
-    let outcomes = scenario.run(100_000).expect("verification");
-    for o in &outcomes {
-        println!("  {o}");
-    }
+    let report = session.run_scenario(&scenario);
+    print!("{report}");
+    assert!(report.first_error().is_none(), "verification must complete");
+    let verdicts = report.verdicts();
     // The service answers every client...
-    assert!(outcomes[5].holds, "responsiveness must hold");
+    assert!(verdicts[5], "responsiveness must hold");
     // ...but rejected payments are (correctly) not forwarded to the auditor,
     // so the unconditional forwarding property fails.
-    assert!(!outcomes[2].holds);
+    assert!(!verdicts[2]);
+    println!("  {}", report.summary());
 }
 
 /// Step 3: run the payment service as actors.
@@ -94,11 +97,11 @@ fn step3_run() {
                 let amount = amount.as_int().unwrap_or(0);
                 let reply = ActorRef::from_channel(reply_to.as_chan().expect("reply channel"));
                 if amount > 42_000 {
-                    reply.tell(Msg::Str("Rejected: too high!"), move || again())
+                    reply.tell(Msg::Str("Rejected: too high!"), again)
                 } else {
                     let auditor_ref = auditor_ref.clone();
                     auditor_ref.tell(Msg::Int(amount), move || {
-                        reply.tell(Msg::Str("Accepted"), move || again())
+                        reply.tell(Msg::Str("Accepted"), again)
                     })
                 }
             }
@@ -108,7 +111,9 @@ fn step3_run() {
 
     // Ten clients, half of them over the limit.
     let mut procs = vec![service, auditor];
-    let amounts: Vec<i64> = (1..=10).map(|i| if i % 2 == 0 { 100_000 } else { i * 1000 }).collect();
+    let amounts: Vec<i64> = (1..=10)
+        .map(|i| if i % 2 == 0 { 100_000 } else { i * 1000 })
+        .collect();
     let done = Arc::new(AtomicU64::new(0));
     let n_clients = amounts.len() as u64;
     for amount in amounts {

@@ -23,10 +23,15 @@ fn main() {
     let baseline = ThreadRuntime::with_small_stacks();
 
     println!("== fork-join (creation): spawn N processes, collect N signals ==");
-    println!("{:>10}  {:>22}  {:>22}", "N", "effpi-default", "effpi-channel-fsm");
+    println!(
+        "{:>10}  {:>22}  {:>22}",
+        "N", "effpi-default", "effpi-channel-fsm"
+    );
     let mut n = 1_000usize;
     while n <= max {
-        let a = savina::fork_join_create(n).run_on(&default).expect("validated");
+        let a = savina::fork_join_create(n)
+            .run_on(&default)
+            .expect("validated");
         let b = savina::fork_join_create(n).run_on(&fsm).expect("validated");
         println!(
             "{:>10}  {:>15.3?} ({:>4} peak)  {:>15.3?} ({:>4} peak)",
@@ -37,7 +42,9 @@ fn main() {
 
     println!("\n== the same workload on the thread-per-process baseline ==");
     for n in [1_000usize, 4_000] {
-        let stats = savina::fork_join_create(n).run_on(&baseline).expect("validated");
+        let stats = savina::fork_join_create(n)
+            .run_on(&baseline)
+            .expect("validated");
         println!(
             "{:>10}  {:?} ({} OS threads spawned)",
             n, stats.duration, stats.processes_spawned
@@ -47,7 +54,9 @@ fn main() {
 
     println!("\n== ping-pong pairs ==");
     for pairs in [1_000usize, 10_000, (max / 10).max(10_000)] {
-        let stats = savina::ping_pong(pairs, 10).run_on(&fsm).expect("validated");
+        let stats = savina::ping_pong(pairs, 10)
+            .run_on(&fsm)
+            .expect("validated");
         println!(
             "{:>10} pairs  {:>10} messages  {:?}  ({:.0} msg/s)",
             pairs,

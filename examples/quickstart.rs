@@ -8,10 +8,15 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use effpi::{implements, new_actor, verify, EffpiRuntime, Msg, Policy, Proc, Property, Scheduler,
-    Term, Type, TypeEnv};
+use effpi::{
+    new_actor, EffpiRuntime, Msg, Policy, Proc, Property, Scheduler, Session, Term, Type, TypeEnv,
+};
 
 fn main() {
+    // One Session is the entry point for both verification steps; configure
+    // it once, reuse it for every check below.
+    let session = Session::new();
+
     // -----------------------------------------------------------------
     // 1. Protocols as types, programs as terms.
     // -----------------------------------------------------------------
@@ -25,12 +30,16 @@ fn main() {
         Term::send(Term::var("c"), Term::int(42), Term::thunk(Term::End)),
     );
     let abstract_protocol = Type::pi("c", Type::chan_io(Type::Int), protocol);
-    implements(&program, &abstract_protocol).expect("the program follows the protocol");
+    session
+        .type_check_closed(&program, &abstract_protocol)
+        .expect("the program follows the protocol");
     println!("[1] program implements  Π(c:cio[int]) o[c, int, Π()nil]");
 
     // A program that forgets the send does NOT implement it.
     let lazy = Term::lam("c", Type::chan_io(Type::Int), Term::End);
-    assert!(implements(&lazy, &abstract_protocol).is_err());
+    assert!(session
+        .type_check_closed(&lazy, &abstract_protocol)
+        .is_err());
     println!("[1] forgetting the send is a type error — caught statically");
 
     // -----------------------------------------------------------------
@@ -47,12 +56,20 @@ fn main() {
             Type::pi(
                 "v",
                 Type::Int,
-                Type::out(Type::var("y"), Type::var("v"), Type::thunk(Type::rec_var("t"))),
+                Type::out(
+                    Type::var("y"),
+                    Type::var("v"),
+                    Type::thunk(Type::rec_var("t")),
+                ),
             ),
         ),
     );
-    let fwd = verify(&env, &forwarder, &Property::forwarding("x", "y")).unwrap();
-    let non_usage = verify(&env, &forwarder, &Property::non_usage(["x"])).unwrap();
+    let fwd = session
+        .verify(&env, &forwarder, &Property::forwarding("x", "y"))
+        .unwrap();
+    let non_usage = session
+        .verify(&env, &forwarder, &Property::non_usage(["x"]))
+        .unwrap();
     println!(
         "[2] forwarding x→y: {} ({} states, {:?})",
         fwd.holds, fwd.states, fwd.duration

@@ -65,7 +65,9 @@ fn term_communications_have_matching_type_synchronisations() {
     let (term, ty) = examples::ping_pong_open();
 
     // Γ ⊢ t : T (Ex. 4.3).
-    Checker::new().check_term(&env, &term, &ty).expect("Γ ⊢ sys y z : Tpp y z");
+    Checker::new()
+        .check_term(&env, &term, &ty)
+        .expect("Γ ⊢ sys y z : Tpp y z");
 
     let term_lts = TermLts::new(env.clone()).build(&term, 5_000);
     let type_lts = TypeLts::new(env).build(&ty, 5_000);
@@ -81,7 +83,10 @@ fn term_communications_have_matching_type_synchronisations() {
             )
         });
         assert!(term_comm, "term LTS must communicate on {chan}");
-        assert!(type_comm, "type LTS must synchronise on {chan} (Thm. 4.4.2d)");
+        assert!(
+            type_comm,
+            "type LTS must synchronise on {chan} (Thm. 4.4.2d)"
+        );
     }
 }
 
@@ -106,8 +111,14 @@ fn type_outputs_are_realised_by_the_ponger_term() {
 
     let type_outputs_on_y = type_lts.labels().any(|l| l.is_output_on(&Name::new("y")));
     let term_outputs_on_y = term_lts.labels().any(|l| l.is_output_on(&Name::new("y")));
-    assert!(type_outputs_on_y, "Tpong z must offer an output on the received y");
-    assert!(term_outputs_on_y, "ponger z must realise that output (Thm. 4.5.1)");
+    assert!(
+        type_outputs_on_y,
+        "Tpong z must offer an output on the received y"
+    );
+    assert!(
+        term_outputs_on_y,
+        "ponger z must realise that output (Thm. 4.5.1)"
+    );
 }
 
 /// The over-approximation direction: the type LTS of Ex. 3.5's imprecise T2
@@ -131,8 +142,13 @@ fn supertypes_over_approximate_behaviour() {
     let lts1 = builder.build(&t1, 1_000);
     let lts2 = builder.build(&t2, 1_000);
     let comms = |lts: &lts::Lts<Type, lts::TypeLabel>| {
-        lts.labels().filter(|l| matches!(l, lts::TypeLabel::Comm { .. })).count()
+        lts.labels()
+            .filter(|l| matches!(l, lts::TypeLabel::Comm { .. }))
+            .count()
     };
     assert!(comms(&lts1) > 0);
-    assert!(comms(&lts2) > 0, "the imprecise supertype still synchronises");
+    assert!(
+        comms(&lts2) > 0,
+        "the imprecise supertype still synchronises"
+    );
 }

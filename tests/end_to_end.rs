@@ -6,8 +6,8 @@ use std::sync::Arc;
 
 use effpi::protocols::{dining, payment, pingpong, ring};
 use effpi::{
-    forever, implements, new_actor, ActorRef, EffpiRuntime, Msg, Policy, Proc, Property,
-    Reducer, Scheduler, ThreadRuntime,
+    forever, new_actor, ActorRef, EffpiRuntime, Msg, Policy, Proc, Property, Reducer, Scheduler,
+    Session, ThreadRuntime,
 };
 use lambdapi::examples;
 
@@ -16,14 +16,20 @@ use lambdapi::examples;
 /// on the Effpi-style runtime audits exactly the accepted payments.
 #[test]
 fn payment_with_audit_full_pipeline() {
+    let session = Session::builder().max_states(50_000).build();
+
     // Step 1: typing.
-    implements(&examples::payment_term(), &examples::tpayment_type()).expect("typing");
+    session
+        .type_check_closed(&examples::payment_term(), &examples::tpayment_type())
+        .expect("typing");
 
     // Step 2: type-level model checking of the composed scenario.
     let scenario = payment::payment_with_clients(2);
-    let outcomes = scenario.run(50_000).expect("verification");
-    assert!(outcomes[0].holds, "deadlock-free");
-    assert!(outcomes[5].holds, "responsive");
+    let report = session.run_scenario(&scenario);
+    assert!(report.first_error().is_none(), "verification completes");
+    let verdicts = report.verdicts();
+    assert!(verdicts[0], "deadlock-free");
+    assert!(verdicts[5], "responsive");
 
     // Step 3: execution (a miniature version of the payment_audit example).
     let audited = Arc::new(AtomicU64::new(0));
@@ -47,11 +53,11 @@ fn payment_with_audit_full_pipeline() {
                 let amount = amount.as_int().unwrap_or(0);
                 let reply = ActorRef::from_channel(reply_to.as_chan().expect("chan"));
                 if amount > 42_000 {
-                    reply.tell(Msg::Str("Rejected"), move || again())
+                    reply.tell(Msg::Str("Rejected"), again)
                 } else {
                     let auditor_ref = auditor_ref.clone();
                     auditor_ref.tell(Msg::Int(amount), move || {
-                        reply.tell(Msg::Str("Accepted"), move || again())
+                        reply.tell(Msg::Str("Accepted"), again)
                     })
                 }
             }
@@ -84,20 +90,30 @@ fn payment_with_audit_full_pipeline() {
     }
     EffpiRuntime::with_workers(Policy::ChannelFsm, 4).run(procs);
     assert_eq!(accepted.load(Ordering::SeqCst), 3);
-    assert_eq!(audited.load(Ordering::SeqCst), 3, "every accepted payment audited");
+    assert_eq!(
+        audited.load(Ordering::SeqCst),
+        3,
+        "every accepted payment audited"
+    );
 }
 
 /// The Ex. 2.2 ping-pong story across all layers: typing, verification of the
 /// composed protocol, and reduction of the closed term to `end`.
 #[test]
 fn ping_pong_full_pipeline() {
-    implements(&examples::pinger_term(), &examples::tping_type()).expect("pinger typing");
-    implements(&examples::ponger_term(), &examples::tpong_type()).expect("ponger typing");
+    let session = Session::builder().max_states(50_000).build();
+    session
+        .type_check_closed(&examples::pinger_term(), &examples::tping_type())
+        .expect("pinger typing");
+    session
+        .type_check_closed(&examples::ponger_term(), &examples::tpong_type())
+        .expect("ponger typing");
 
-    let plain = pingpong::ping_pong_pairs(2, false);
-    let responsive = pingpong::ping_pong_pairs(2, true);
-    assert!(plain.verdicts(50_000).unwrap()[0], "plain pairs are deadlock-free");
-    let resp_verdicts = responsive.verdicts(50_000).unwrap();
+    let plain = session.run_scenario(&pingpong::ping_pong_pairs(2, false));
+    let responsive = session.run_scenario(&pingpong::ping_pong_pairs(2, true));
+    assert!(plain.first_error().is_none() && responsive.first_error().is_none());
+    assert!(plain.verdicts()[0], "plain pairs are deadlock-free");
+    let resp_verdicts = responsive.verdicts();
     assert!(resp_verdicts[0] && resp_verdicts[5]);
 
     let result = Reducer::new().eval(&examples::ping_pong_main(), 1_000);
@@ -109,11 +125,19 @@ fn ping_pong_full_pipeline() {
 /// accepting the fixed one — at three different table sizes.
 #[test]
 fn dining_philosophers_deadlock_detection_scales() {
+    let session = Session::builder().max_states(150_000).build();
     for n in [2, 3] {
-        let bad = dining::dining_philosophers(n, true).verdicts(150_000).unwrap();
-        let good = dining::dining_philosophers(n, false).verdicts(150_000).unwrap();
-        assert!(!bad[0], "{n} philosophers grabbing left-first can deadlock");
-        assert!(good[0], "{n} philosophers with one left-handed cannot deadlock");
+        let bad = session.run_scenario(&dining::dining_philosophers(n, true));
+        let good = session.run_scenario(&dining::dining_philosophers(n, false));
+        assert!(bad.first_error().is_none() && good.first_error().is_none());
+        assert!(
+            !bad.verdicts()[0],
+            "{n} philosophers grabbing left-first can deadlock"
+        );
+        assert!(
+            good.verdicts()[0],
+            "{n} philosophers with one left-handed cannot deadlock"
+        );
     }
 }
 
@@ -121,13 +145,21 @@ fn dining_philosophers_deadlock_detection_scales() {
 /// space grows monotonically in both ring size and token count.
 #[test]
 fn ring_scenarios_verify_and_scale() {
+    let session = Session::builder().max_states(100_000).build();
     let mut last_states = 0;
     for (members, tokens) in [(3, 1), (4, 1), (4, 2)] {
         let scenario = ring::token_ring(members, tokens);
-        let outcomes = scenario.run(100_000).expect("verification");
-        assert!(outcomes[0].holds, "ring({members},{tokens}) deadlock-free");
-        assert!(outcomes[0].states >= last_states);
-        last_states = outcomes[0].states;
+        let report = session.run_scenario(&scenario);
+        assert!(
+            report.first_error().is_none(),
+            "ring({members},{tokens}) verification"
+        );
+        assert!(
+            report.verdicts()[0],
+            "ring({members},{tokens}) deadlock-free"
+        );
+        assert!(report.states() >= last_states);
+        last_states = report.states();
     }
 }
 
@@ -141,9 +173,15 @@ fn schedulers_agree_on_savina_results() {
         Box::new(ThreadRuntime::with_small_stacks()),
     ];
     for s in &schedulers {
-        runtime::savina::counting(300).run_on(s.as_ref()).expect("counting");
-        runtime::savina::ring(8, 64).run_on(s.as_ref()).expect("ring");
-        runtime::savina::ping_pong(8, 8).run_on(s.as_ref()).expect("ping-pong");
+        runtime::savina::counting(300)
+            .run_on(s.as_ref())
+            .expect("counting");
+        runtime::savina::ring(8, 64)
+            .run_on(s.as_ref())
+            .expect("ring");
+        runtime::savina::ping_pong(8, 8)
+            .run_on(s.as_ref())
+            .expect("ping-pong");
     }
 }
 
@@ -157,9 +195,15 @@ fn typing_alone_does_not_catch_liveness_violations() {
         lambdapi::Type::pi("a", lambdapi::Type::Unit, lambdapi::Type::Nil),
     );
     let env = effpi::TypeEnv::new().bind("aud", lambdapi::Type::chan_io(lambdapi::Type::Unit));
+    let session = Session::new();
     // It is a perfectly valid behavioural type...
-    effpi::Checker::new().check_pi_type(&env, &one_shot_auditor).expect("valid π-type");
+    session
+        .checker()
+        .check_pi_type(&env, &one_shot_auditor)
+        .expect("valid π-type");
     // ...but it is not reactive on its mailbox: after one audit it stops.
-    let outcome = effpi::verify(&env, &one_shot_auditor, &Property::reactive("aud")).unwrap();
+    let outcome = session
+        .verify(&env, &one_shot_auditor, &Property::reactive("aud"))
+        .unwrap();
     assert!(!outcome.holds);
 }

@@ -1,0 +1,247 @@
+//! Tests for the unified `effpi::Session` pipeline API: builder defaults,
+//! visible-channel filtering, structured reports, and the deprecated
+//! free-function shims delegating correctly.
+
+use dbt_types::Checker;
+use effpi::protocols::{payment, pingpong};
+use effpi::spec::parse_spec;
+use effpi::{Error, Property, Session, Type, TypeEnv, Verifier, VerifyError};
+use lambdapi::examples;
+
+fn payment_env() -> TypeEnv {
+    TypeEnv::new()
+        .bind("self", Type::chan_io(Type::Int))
+        .bind("aud", Type::chan_out(Type::Int))
+        .bind("client", examples::reply_channel_type())
+}
+
+fn payment_applied() -> Type {
+    examples::tpayment_type()
+        .apply_all(&[Type::var("self"), Type::var("aud"), Type::var("client")])
+        .unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Builder defaults and knobs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn builder_defaults_match_the_legacy_defaults() {
+    let session = Session::builder().build();
+    let config = session.config();
+    let default_verifier = Verifier::default();
+    let default_checker = Checker::default();
+
+    assert_eq!(config.max_states, default_verifier.max_states);
+    assert_eq!(config.auto_probe, default_verifier.auto_probe);
+    assert_eq!(config.visible, default_verifier.visible);
+    assert_eq!(config.max_depth, default_checker.max_depth);
+    assert_eq!(config.max_unfold, default_checker.max_unfold);
+
+    // The cached verifier/checker really carry those settings.
+    assert_eq!(session.verifier().max_states, default_verifier.max_states);
+    assert_eq!(session.verifier().auto_probe, default_verifier.auto_probe);
+    assert_eq!(session.checker().max_depth, default_checker.max_depth);
+    assert_eq!(session.checker().max_unfold, default_checker.max_unfold);
+
+    // And Session::new() is the same thing.
+    assert_eq!(Session::new().config(), config);
+}
+
+#[test]
+fn builder_knobs_propagate_to_the_cached_components() {
+    let session = Session::builder()
+        .max_states(1234)
+        .max_depth(77)
+        .max_unfold(5)
+        .auto_probe(false)
+        .visible(["a", "b"])
+        .build();
+    assert_eq!(session.verifier().max_states, 1234);
+    assert!(!session.verifier().auto_probe);
+    assert_eq!(
+        session.verifier().visible,
+        Some(vec!["a".into(), "b".into()])
+    );
+    assert_eq!(session.checker().max_depth, 77);
+    assert_eq!(session.checker().max_unfold, 5);
+    // The verifier's own checker shares the session's limits (one coherent
+    // pipeline, not two differently-configured checkers).
+    assert_eq!(session.verifier().checker().max_depth, 77);
+    assert_eq!(session.verifier().checker().max_unfold, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence with the old per-call setup
+// ---------------------------------------------------------------------------
+
+#[test]
+fn session_verify_matches_a_hand_configured_verifier() {
+    let env = payment_env();
+    let ty = payment_applied();
+    let property = Property::non_usage(["self"]);
+
+    let old = Verifier::new().verify(&env, &ty, &property).unwrap();
+    let new = Session::new().verify(&env, &ty, &property).unwrap();
+    assert_eq!(old.holds, new.holds);
+    assert_eq!(old.states, new.states);
+    assert_eq!(old.transitions, new.transitions);
+}
+
+#[test]
+fn scenario_runs_honour_the_scenario_visible_list() {
+    // The old way: a per-call verifier with the scenario's visible channels.
+    let scenario = payment::payment_with_clients(2);
+    let mut verifier = Verifier::with_max_states(50_000);
+    verifier.visible = Some(scenario.visible.clone());
+    let old = verifier
+        .verify_all(&scenario.env, &scenario.ty, &scenario.properties)
+        .unwrap();
+
+    // The new way: the session applies the scenario's visible list itself —
+    // even when the session was built with an unrelated default.
+    let session = Session::builder()
+        .max_states(50_000)
+        .visible(["unrelated"])
+        .build();
+    let report = session.run_scenario(&scenario);
+    assert!(report.first_error().is_none());
+
+    let old_verdicts: Vec<bool> = old.iter().map(|o| o.holds).collect();
+    assert_eq!(old_verdicts, report.verdicts());
+    assert_eq!(old[0].states, report.states());
+}
+
+#[test]
+fn state_bound_errors_carry_bound_and_explored_counts() {
+    let session = Session::builder().max_states(3).build();
+    let report = session.run_scenario(&payment::payment_with_clients(2));
+    match report.error {
+        Some(Error::Verify(VerifyError::StateSpaceTooLarge { bound, explored })) => {
+            assert_eq!(bound, 3);
+            assert!(explored >= 3);
+        }
+        other => panic!("expected a state-space error, got {other:?}"),
+    }
+    assert!(!report.passed());
+    assert_eq!(report.states(), 0, "no completed outcomes");
+    let summary = report.summary();
+    assert!(!summary.passed);
+    assert!(summary.error.unwrap().contains("bound of 3"));
+}
+
+// ---------------------------------------------------------------------------
+// Structured reports
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reports_expose_verdicts_sizes_and_a_machine_readable_summary() {
+    let session = Session::builder().max_states(50_000).build();
+    let scenario = pingpong::ping_pong_pairs(2, true);
+    let report = session.run_scenario(&scenario);
+
+    assert_eq!(report.name.as_deref(), Some(scenario.name.as_str()));
+    assert_eq!(report.properties.len(), 6);
+    assert!(report.states() > 1);
+    assert!(report.transitions() > 0);
+    assert!(report.total_duration() > std::time::Duration::ZERO);
+
+    let summary = report.summary();
+    assert_eq!(summary.name, scenario.name);
+    assert_eq!(summary.states, report.states());
+    assert_eq!(summary.verdicts.len(), 6);
+    assert_eq!(summary.verdicts[0].0, "deadlock-free");
+
+    // The summary line is stable key=value text a harness can grep.
+    let line = summary.to_string();
+    assert!(line.contains("passed="), "{line}");
+    assert!(line.contains("states="), "{line}");
+    assert!(line.contains("verdicts=deadlock-free:"), "{line}");
+
+    // The human rendering mentions the scenario and each property.
+    let shown = report.to_string();
+    assert!(shown.contains(&scenario.name), "{shown}");
+    assert!(shown.contains("responsive"), "{shown}");
+}
+
+#[test]
+fn run_spec_text_covers_both_steps() {
+    let report = Session::builder()
+        .max_states(10_000)
+        .build()
+        .run_spec_text(
+            r#"
+            env unused : cio[int]
+            type Pi(c: cio[int]) o[c, int, Pi() nil]
+            term fun c: cio[int]. send(c, 42, fun _: (). end)
+            "#,
+        )
+        .unwrap();
+    assert!(matches!(report.typecheck, Some(Ok(()))));
+    assert!(report.passed());
+
+    // Malformed specifications surface as Error::Spec.
+    let err = Session::new().run_spec_text("bogus statement").unwrap_err();
+    assert!(matches!(err, Error::Spec(_)), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated shims
+// ---------------------------------------------------------------------------
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_free_functions_delegate_to_the_session_pipeline() {
+    // implements == Session::type_check_closed.
+    effpi::implements(&examples::payment_term(), &examples::tpayment_type()).unwrap();
+    assert!(effpi::implements(&examples::payment_term(), &examples::tm_type()).is_err());
+
+    // implements_in == Session::type_check.
+    let env = TypeEnv::new().bind("z", Type::chan_io(Type::chan_out(Type::Str)));
+    let term = lambdapi::Term::app(examples::ponger_term(), lambdapi::Term::var("z"));
+    let ty = examples::tpong_type().apply(&Type::var("z")).unwrap();
+    effpi::implements_in(&env, &term, &ty).unwrap();
+
+    // verify == Session::verify, including the outcome payload.
+    let old = effpi::verify(&env, &ty, &Property::responsive("z")).unwrap();
+    let new = Session::new()
+        .verify(&env, &ty, &Property::responsive("z"))
+        .unwrap();
+    assert!(old.holds && new.holds);
+    assert_eq!(old.states, new.states);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_run_spec_matches_session_run_spec() {
+    let text = r#"
+        env self   : cio[int]
+        env aud    : co[int]
+        env client : co[str | ()]
+        type rec t . i[self, Pi(pay: int) ( o[client, str, Pi() t]
+                                          | o[aud, pay, Pi() o[client, (), Pi() t]] )]
+        check non_usage [self]
+        check forwarding self -> aud
+    "#;
+    let spec = parse_spec(text).unwrap();
+    let legacy = effpi::spec::run_spec(&spec, 50_000);
+    let unified = Session::builder()
+        .max_states(50_000)
+        .build()
+        .run_spec(&spec);
+
+    assert_eq!(legacy.all_ok(), unified.passed());
+    assert_eq!(legacy.outcomes.len(), unified.properties.len());
+    for (old, new) in legacy.outcomes.iter().zip(&unified.properties) {
+        assert_eq!(old.as_ref().map(|o| o.holds).ok(), Some(new.holds()));
+    }
+
+    // Legacy error shape: one Err per `check` statement (the old API verified
+    // them one by one), with the raw VerifyError message, prefix-free.
+    let failed = effpi::spec::run_spec(&spec, 3);
+    assert_eq!(failed.outcomes.len(), spec.checks.len());
+    for o in &failed.outcomes {
+        let msg = o.as_ref().unwrap_err();
+        assert!(msg.starts_with("state space exceeds"), "{msg}");
+    }
+}
