@@ -4,17 +4,36 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p bench --bin fig8 [--scale N]
+//! cargo run --release -p bench --bin fig8 [--scale N] [--jobs J]
 //! ```
 //!
 //! * `--scale 0` — smoke test (seconds);
 //! * `--scale 1` — small sweep, default (tens of seconds);
-//! * `--scale 2` — sizes up to 10^6 processes (minutes).
+//! * `--scale 2` — sizes up to 10^6 processes (minutes);
+//! * `--jobs J` — pin the Effpi scheduler pools to `J` workers. `0` means
+//!   one per hardware thread (as on the other `--jobs` surfaces); absent
+//!   keeps the scheduler's own default, which is also one per hardware
+//!   thread (unlike fig9/effpi-cli, where absent means serial exploration —
+//!   a scheduler pool has no serial mode worth defaulting to).
+
+use std::process::ExitCode;
 
 use bench::fig8;
+use bench::flags::parse_flag;
 
-fn main() {
-    let scale = parse_scale().unwrap_or(1);
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (scale, jobs) = match (parse_flag(&args, "--scale"), parse_flag(&args, "--jobs")) {
+        (Ok(scale), Ok(jobs)) => (
+            scale.unwrap_or(1),
+            // 0 = one worker per hardware thread (the scheduler's default).
+            jobs.filter(|&j| j > 0),
+        ),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
     println!("Figure 8 reproduction — Savina runtime benchmarks (scale {scale})");
     println!("{}", fig8::header());
     println!("{}", "-".repeat(110));
@@ -23,7 +42,7 @@ fn main() {
     for bench in fig8::Benchmark::ALL {
         for size in bench.sizes(scale) {
             for runner in fig8::Runner::ALL {
-                let point = fig8::run_point(bench, runner, size);
+                let point = fig8::run_point_jobs(bench, runner, size, jobs);
                 println!("{}", point.row());
                 points.push(point);
             }
@@ -41,10 +60,5 @@ fn main() {
          while the thread-per-process baseline stops early, and (b) the memory-pressure\n\
          proxy grows with size far more steeply for the baseline."
     );
-}
-
-fn parse_scale() -> Option<usize> {
-    let args: Vec<String> = std::env::args().collect();
-    let idx = args.iter().position(|a| a == "--scale")?;
-    args.get(idx + 1)?.parse().ok()
+    ExitCode::SUCCESS
 }

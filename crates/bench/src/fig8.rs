@@ -120,12 +120,26 @@ impl Runner {
         }
     }
 
-    /// Instantiates the scheduler.
+    /// Instantiates the scheduler with its default worker count (one per
+    /// hardware thread for the Effpi-style pools).
     pub fn scheduler(&self) -> Box<dyn Scheduler> {
-        match self {
-            Runner::EffpiDefault => Box::new(EffpiRuntime::new(Policy::Default)),
-            Runner::EffpiChannelFsm => Box::new(EffpiRuntime::new(Policy::ChannelFsm)),
-            Runner::BaselineThreads => Box::new(ThreadRuntime::with_small_stacks()),
+        self.scheduler_with_jobs(None)
+    }
+
+    /// Instantiates the scheduler with an explicit worker count for the
+    /// Effpi-style pools (the `--jobs` flag of the `fig8` binary). The
+    /// thread-per-process baseline has no pool, so the knob does not apply.
+    pub fn scheduler_with_jobs(&self, jobs: Option<usize>) -> Box<dyn Scheduler> {
+        match (self, jobs) {
+            (Runner::EffpiDefault, None) => Box::new(EffpiRuntime::new(Policy::Default)),
+            (Runner::EffpiDefault, Some(n)) => {
+                Box::new(EffpiRuntime::with_workers(Policy::Default, n))
+            }
+            (Runner::EffpiChannelFsm, None) => Box::new(EffpiRuntime::new(Policy::ChannelFsm)),
+            (Runner::EffpiChannelFsm, Some(n)) => {
+                Box::new(EffpiRuntime::with_workers(Policy::ChannelFsm, n))
+            }
+            (Runner::BaselineThreads, _) => Box::new(ThreadRuntime::with_small_stacks()),
         }
     }
 
@@ -196,9 +210,20 @@ pub fn run_sweep(scale: usize) -> Vec<Fig8Point> {
     points
 }
 
-/// Runs a single (benchmark, runner, size) measurement; sizes beyond the
-/// runner's limit are skipped (reported as `None`).
+/// Runs a single (benchmark, runner, size) measurement with the default
+/// scheduler worker count; sizes beyond the runner's limit are skipped
+/// (reported as `None`).
 pub fn run_point(bench: Benchmark, runner: Runner, size: usize) -> Fig8Point {
+    run_point_jobs(bench, runner, size, None)
+}
+
+/// Like [`run_point`], pinning the Effpi scheduler pools to `jobs` workers.
+pub fn run_point_jobs(
+    bench: Benchmark,
+    runner: Runner,
+    size: usize,
+    jobs: Option<usize>,
+) -> Fig8Point {
     if size > runner.max_size() {
         return Fig8Point {
             benchmark: bench.name(),
@@ -208,7 +233,7 @@ pub fn run_point(bench: Benchmark, runner: Runner, size: usize) -> Fig8Point {
         };
     }
     let workload = bench.workload(size);
-    let scheduler = runner.scheduler();
+    let scheduler = runner.scheduler_with_jobs(jobs);
     let stats = workload
         .run_on(scheduler.as_ref())
         .expect("workload validation");

@@ -43,6 +43,15 @@ pub struct Fig9Row {
 }
 
 impl Fig9Row {
+    /// States explored per second of wall time — the throughput metric the CI
+    /// benchmark gate tracks (`0.0` when the row errored out).
+    pub fn states_per_sec(&self) -> f64 {
+        if self.error.is_some() {
+            return 0.0;
+        }
+        self.states as f64 / self.total_time.as_secs_f64().max(1e-9)
+    }
+
     /// How many of the six verdicts agree with the paper (if known).
     pub fn agreement(&self) -> Option<usize> {
         let paper = self.paper_verdicts?;
@@ -143,7 +152,17 @@ pub fn run_scenario(scenario: &Scenario, max_states: usize) -> Fig9Row {
 /// [`effpi::protocols::fig9_scenarios`]), sharing one [`Session`] across all
 /// rows — exactly how a production verification service would batch requests.
 pub fn run_table(scale: usize, max_states: usize) -> Vec<Fig9Row> {
-    let session = Session::builder().max_states(max_states).build();
+    run_table_jobs(scale, max_states, 1)
+}
+
+/// Like [`run_table`], with `jobs` exploration workers per verification (the
+/// `--jobs` flag of the `fig9` binary). Every row's verdicts and state counts
+/// are identical to the serial table; only the wall time changes.
+pub fn run_table_jobs(scale: usize, max_states: usize, jobs: usize) -> Vec<Fig9Row> {
+    let session = Session::builder()
+        .max_states(max_states)
+        .parallelism(jobs)
+        .build();
     fig9_scenarios(scale)
         .iter()
         .map(|s| run_scenario_on(&session, s))

@@ -1,0 +1,449 @@
+//! The CI benchmark gate for the Fig. 9 model-checking harness.
+//!
+//! The CI `bench` job runs `fig9 --smoke --json BENCH_fig9.json --baseline
+//! crates/bench/baseline.json --max-regression 25`: the smoke table is
+//! verified, a per-case record (states, wall time, states/sec, verdicts) is
+//! written as a JSON artifact, and the run **fails** when any case regresses
+//! against the checked-in baseline — either in throughput (states/sec down by
+//! more than the tolerance) or, worse, in *answers* (verdicts or state counts
+//! drifting, which the engine's determinism guarantee forbids).
+//!
+//! The motivation is the ScalAna observation: scaling losses are only caught
+//! when they are measured continuously. A PR that accidentally serialises the
+//! exploration engine (or fattens the hot path by 25%) turns the gate red
+//! instead of landing silently.
+
+use std::collections::BTreeMap;
+
+use crate::fig9::Fig9Row;
+use crate::json::Json;
+
+/// The schema tag written into (and required of) every bench record.
+pub const SCHEMA: &str = "bench-fig9/v1";
+
+/// Baseline cases faster than this (milliseconds of wall time) are exempt
+/// from the throughput gate: at sub-10ms scale the measurement is dominated
+/// by scheduling and clock noise, not by the code under test.
+pub const MIN_GATED_WALL_MS: f64 = 10.0;
+
+/// One benchmark case: the measured slice of one [`Fig9Row`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct Case {
+    /// Scenario name (the Fig. 9 row label).
+    pub name: String,
+    /// States of the explored type LTS — deterministic, gate requires an
+    /// exact match with the baseline.
+    pub states: usize,
+    /// Wall-clock time for the whole row, in milliseconds.
+    pub wall_ms: f64,
+    /// Exploration throughput (states per second of row wall time).
+    pub states_per_sec: f64,
+    /// The six verdicts as a compact `t`/`f` string — deterministic, gate
+    /// requires an exact match with the baseline.
+    pub verdicts: String,
+    /// The row's error message, if verification did not complete.
+    pub error: Option<String>,
+}
+
+impl Case {
+    /// Extracts the measured case from a finished row.
+    pub fn from_row(row: &Fig9Row) -> Case {
+        Case {
+            name: row.name.clone(),
+            states: row.states,
+            wall_ms: row.total_time.as_secs_f64() * 1e3,
+            states_per_sec: row.states_per_sec(),
+            verdicts: row
+                .outcomes
+                .iter()
+                .map(|o| if o.holds { 't' } else { 'f' })
+                .collect(),
+            error: row.error.clone(),
+        }
+    }
+}
+
+/// A whole bench record: every case plus the run configuration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BenchRecord {
+    /// Exploration workers used (`--jobs`).
+    pub jobs: usize,
+    /// The scenario scale of the run (`--smoke` pins this).
+    pub scale: usize,
+    /// The state bound of the run.
+    pub max_states: usize,
+    /// One entry per Fig. 9 row.
+    pub cases: Vec<Case>,
+}
+
+impl BenchRecord {
+    /// Builds the record from a finished table.
+    pub fn from_rows(rows: &[Fig9Row], jobs: usize, scale: usize, max_states: usize) -> Self {
+        BenchRecord {
+            jobs,
+            scale,
+            max_states,
+            cases: rows.iter().map(Case::from_row).collect(),
+        }
+    }
+
+    /// Merges repeated runs of the same table into one record, keeping each
+    /// case's **best** timing (min wall, max throughput) — the standard way
+    /// to de-noise a benchmark on a shared machine. The deterministic fields
+    /// must agree across runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runs disagree on case names, states or verdicts: that
+    /// would be a determinism violation, which the engine guarantees away.
+    pub fn merge_best(mut runs: Vec<BenchRecord>) -> BenchRecord {
+        let mut merged = runs.swap_remove(0);
+        for run in runs {
+            assert_eq!(run.cases.len(), merged.cases.len(), "table shape changed");
+            for (best, cur) in merged.cases.iter_mut().zip(run.cases) {
+                assert_eq!(best.name, cur.name, "case order changed between runs");
+                assert_eq!(
+                    best.states, cur.states,
+                    "{}: state count drifted",
+                    best.name
+                );
+                assert_eq!(
+                    best.verdicts, cur.verdicts,
+                    "{}: verdicts drifted",
+                    best.name
+                );
+                if cur.error.is_none() && cur.wall_ms < best.wall_ms {
+                    best.wall_ms = cur.wall_ms;
+                    best.states_per_sec = cur.states_per_sec;
+                }
+            }
+        }
+        merged
+    }
+
+    /// Renders the record as a JSON document (the `BENCH_fig9.json` artifact).
+    pub fn to_json(&self) -> Json {
+        let cases = self
+            .cases
+            .iter()
+            .map(|c| {
+                let mut obj = BTreeMap::new();
+                obj.insert("name".into(), Json::Str(c.name.clone()));
+                obj.insert("states".into(), Json::Num(c.states as f64));
+                obj.insert("wall_ms".into(), Json::Num(round3(c.wall_ms)));
+                obj.insert("states_per_sec".into(), Json::Num(round3(c.states_per_sec)));
+                obj.insert("verdicts".into(), Json::Str(c.verdicts.clone()));
+                obj.insert(
+                    "error".into(),
+                    match &c.error {
+                        Some(e) => Json::Str(e.clone()),
+                        None => Json::Null,
+                    },
+                );
+                Json::Obj(obj)
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert("schema".into(), Json::Str(SCHEMA.into()));
+        root.insert("jobs".into(), Json::Num(self.jobs as f64));
+        root.insert("scale".into(), Json::Num(self.scale as f64));
+        root.insert("max_states".into(), Json::Num(self.max_states as f64));
+        root.insert("cases".into(), Json::Arr(cases));
+        Json::Obj(root)
+    }
+
+    /// Parses a record previously produced by [`BenchRecord::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem (bad JSON, wrong
+    /// schema tag, missing field).
+    pub fn from_json_text(text: &str) -> Result<Self, String> {
+        let root = Json::parse(text)?;
+        match root.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA) => {}
+            Some(other) => return Err(format!("unsupported schema {other:?}")),
+            None => return Err("missing schema tag".into()),
+        }
+        let field_usize = |key: &str| -> Result<usize, String> {
+            root.get(key)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let mut cases = Vec::new();
+        for (i, case) in root
+            .get("cases")
+            .and_then(Json::as_arr)
+            .ok_or("missing cases array")?
+            .iter()
+            .enumerate()
+        {
+            let ctx = |key: &str| format!("case {i}: missing field {key:?}");
+            cases.push(Case {
+                name: case
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ctx("name"))?
+                    .to_string(),
+                states: case
+                    .get("states")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| ctx("states"))?,
+                wall_ms: case
+                    .get("wall_ms")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| ctx("wall_ms"))?,
+                states_per_sec: case
+                    .get("states_per_sec")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| ctx("states_per_sec"))?,
+                verdicts: case
+                    .get("verdicts")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ctx("verdicts"))?
+                    .to_string(),
+                error: match case.get("error") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Str(e)) => Some(e.clone()),
+                    Some(other) => return Err(format!("case {i}: bad error field {other}")),
+                },
+            });
+        }
+        Ok(BenchRecord {
+            jobs: field_usize("jobs")?,
+            scale: field_usize("scale")?,
+            max_states: field_usize("max_states")?,
+            cases,
+        })
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1e3).round() / 1e3
+}
+
+/// Compares a fresh record against the checked-in baseline. Returns one
+/// message per violation; an empty vector means the gate is green.
+///
+/// * **Correctness drift** (always fatal): a baseline case missing from the
+///   run, a verdict string change, a state-count change, or an error where
+///   the baseline had none. These are deterministic quantities — any change
+///   is a behaviours change, not noise.
+/// * **Throughput regression**: `states_per_sec` dropping more than
+///   `max_regression_pct` percent below the baseline. Wall time is recorded
+///   in the artifact for inspection but only the throughput is gated (it is
+///   the quantity that normalises away table composition changes). Cases
+///   whose *baseline* wall time is under [`MIN_GATED_WALL_MS`] are too fast
+///   to time reliably — their throughput is clock-resolution noise — so they
+///   are exempt from the throughput floor (never from the determinism
+///   checks).
+///
+/// Cases present in the run but not in the baseline are reported by
+/// [`new_cases`] and do not fail the gate (they fail it on the *next* PR if
+/// the baseline is not refreshed, since refreshing it is part of adding a
+/// scenario).
+pub fn regressions(
+    current: &BenchRecord,
+    baseline: &BenchRecord,
+    max_regression_pct: f64,
+) -> Vec<String> {
+    // A configuration mismatch would surface downstream as bogus
+    // "determinism drift" (different scale/bound explores different state
+    // spaces) — name the real problem instead.
+    if (current.jobs, current.scale, current.max_states)
+        != (baseline.jobs, baseline.scale, baseline.max_states)
+    {
+        return vec![format!(
+            "configuration mismatch: run has jobs={} scale={} max_states={}, baseline was \
+             recorded with jobs={} scale={} max_states={} — re-run with the baseline's \
+             configuration or refresh the baseline",
+            current.jobs,
+            current.scale,
+            current.max_states,
+            baseline.jobs,
+            baseline.scale,
+            baseline.max_states
+        )];
+    }
+    let mut failures = Vec::new();
+    for base in &baseline.cases {
+        let Some(cur) = current.cases.iter().find(|c| c.name == base.name) else {
+            failures.push(format!("case {:?} disappeared from the table", base.name));
+            continue;
+        };
+        match (&base.error, &cur.error) {
+            (None, Some(e)) => {
+                failures.push(format!("case {:?} now fails to verify: {e}", base.name));
+                continue;
+            }
+            (Some(_), _) => continue, // baseline case was already broken: only track its presence
+            (None, None) => {}
+        }
+        if cur.verdicts != base.verdicts {
+            failures.push(format!(
+                "case {:?}: verdicts changed {} -> {} (determinism/semantics drift)",
+                base.name, base.verdicts, cur.verdicts
+            ));
+        }
+        if cur.states != base.states {
+            failures.push(format!(
+                "case {:?}: state count changed {} -> {} (determinism/semantics drift)",
+                base.name, base.states, cur.states
+            ));
+        }
+        if base.wall_ms < MIN_GATED_WALL_MS {
+            continue;
+        }
+        let floor = base.states_per_sec * (1.0 - max_regression_pct / 100.0);
+        if cur.states_per_sec < floor {
+            failures.push(format!(
+                "case {:?}: throughput regressed {:.0} -> {:.0} states/sec \
+                 (allowed floor {:.0}, -{:.0}%)",
+                base.name,
+                base.states_per_sec,
+                cur.states_per_sec,
+                floor,
+                (1.0 - cur.states_per_sec / base.states_per_sec.max(1e-9)) * 100.0
+            ));
+        }
+    }
+    failures
+}
+
+/// Names of cases present in `current` but absent from `baseline` (informational).
+pub fn new_cases(current: &BenchRecord, baseline: &BenchRecord) -> Vec<String> {
+    current
+        .cases
+        .iter()
+        .filter(|c| !baseline.cases.iter().any(|b| b.name == c.name))
+        .map(|c| c.name.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(name: &str, states: usize, sps: f64) -> Case {
+        Case {
+            name: name.into(),
+            states,
+            // Comfortably above MIN_GATED_WALL_MS so throughput is gated.
+            wall_ms: 50.0,
+            states_per_sec: sps,
+            verdicts: "tftftf".into(),
+            error: None,
+        }
+    }
+
+    fn record(cases: Vec<Case>) -> BenchRecord {
+        BenchRecord {
+            jobs: 4,
+            scale: 0,
+            max_states: 60_000,
+            cases,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let rec = record(vec![case("Payment (2 clients)", 1234, 56789.012)]);
+        let text = rec.to_json().to_string();
+        let back = BenchRecord::from_json_text(&text).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn identical_records_pass_the_gate() {
+        let rec = record(vec![case("a", 10, 1000.0), case("b", 20, 2000.0)]);
+        assert!(regressions(&rec, &rec, 25.0).is_empty());
+        assert!(new_cases(&rec, &rec).is_empty());
+    }
+
+    #[test]
+    fn throughput_regressions_beyond_the_tolerance_fail() {
+        let base = record(vec![case("a", 10, 1000.0)]);
+        // -20%: inside the 25% tolerance.
+        let ok = record(vec![case("a", 10, 800.0)]);
+        assert!(regressions(&ok, &base, 25.0).is_empty());
+        // -30%: outside.
+        let slow = record(vec![case("a", 10, 700.0)]);
+        let failures = regressions(&slow, &base, 25.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("throughput regressed"), "{failures:?}");
+    }
+
+    #[test]
+    fn determinism_drift_fails_regardless_of_speed() {
+        let base = record(vec![case("a", 10, 1000.0)]);
+        let mut drifted = record(vec![case("a", 11, 9999.0)]);
+        drifted.cases[0].verdicts = "tfffff".into();
+        let failures = regressions(&drifted, &base, 25.0);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("verdicts changed")));
+        assert!(failures.iter().any(|f| f.contains("state count changed")));
+    }
+
+    #[test]
+    fn sub_resolution_cases_are_exempt_from_the_throughput_gate_only() {
+        let mut base = record(vec![case("tiny", 8, 20_000.0)]);
+        base.cases[0].wall_ms = 0.4; // untimeable
+                                     // 10x slower: ignored, the case is too fast to time.
+        let mut slow = record(vec![case("tiny", 8, 2_000.0)]);
+        slow.cases[0].wall_ms = 4.0;
+        assert!(regressions(&slow, &base, 25.0).is_empty());
+        // ...but determinism drift on the same case still fails.
+        let mut drift = slow.clone();
+        drift.cases[0].states = 9;
+        assert_eq!(regressions(&drift, &base, 25.0).len(), 1);
+    }
+
+    #[test]
+    fn merge_best_keeps_the_fastest_timing_per_case() {
+        let mut fast = record(vec![case("a", 10, 2_000.0)]);
+        fast.cases[0].wall_ms = 5.0;
+        let slow = record(vec![case("a", 10, 1_000.0)]);
+        let merged = BenchRecord::merge_best(vec![slow.clone(), fast.clone(), slow]);
+        assert_eq!(merged.cases[0].wall_ms, 5.0);
+        assert_eq!(merged.cases[0].states_per_sec, 2_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "state count drifted")]
+    fn merge_best_rejects_determinism_drift_between_runs() {
+        let a = record(vec![case("a", 10, 1_000.0)]);
+        let b = record(vec![case("a", 11, 1_000.0)]);
+        let _ = BenchRecord::merge_best(vec![a, b]);
+    }
+
+    #[test]
+    fn disappeared_and_new_cases_are_distinguished() {
+        let base = record(vec![case("old", 10, 1000.0)]);
+        let cur = record(vec![case("new", 10, 1000.0)]);
+        let failures = regressions(&cur, &base, 25.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("disappeared"));
+        assert_eq!(new_cases(&cur, &base), vec!["new".to_string()]);
+    }
+
+    #[test]
+    fn configuration_mismatches_are_named_not_misreported_as_drift() {
+        let base = record(vec![case("a", 10, 1000.0)]);
+        let mut other_scale = base.clone();
+        other_scale.scale = 1;
+        other_scale.cases[0].states = 999; // would otherwise read as drift
+        let failures = regressions(&other_scale, &base, 25.0);
+        assert_eq!(failures.len(), 1);
+        assert!(
+            failures[0].contains("configuration mismatch"),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_baselines_are_reported() {
+        assert!(BenchRecord::from_json_text("not json").is_err());
+        assert!(BenchRecord::from_json_text("{\"schema\":\"other/v9\"}").is_err());
+        assert!(BenchRecord::from_json_text("{\"schema\":\"bench-fig9/v1\"}").is_err());
+    }
+}

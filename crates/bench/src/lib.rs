@@ -9,10 +9,17 @@
 //!   scenarios of `effpi::protocols`, with state counts, per-property verdicts
 //!   and verification times, and a comparison against the verdicts reported in
 //!   the paper.
+//! * [`gate`] — the CI benchmark gate: per-case JSON records of the fig9
+//!   smoke run and the regression comparison against the checked-in
+//!   `baseline.json` (throughput floors plus determinism drift).
+//! * [`json`] — the dependency-free JSON reader/writer behind the artifacts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fig8;
 pub mod fig9;
+pub mod flags;
+pub mod gate;
 pub mod harness;
+pub mod json;

@@ -5,10 +5,10 @@
 //! unified pipeline.
 //!
 //! ```text
-//! effpi-cli verify    <spec.effpi> [--max-states N]   # run every `check` in the spec
-//! effpi-cli typecheck <spec.effpi>                    # only check `term` against `type`
-//! effpi-cli lts       <spec.effpi> [--max-states N]   # report the type LTS size
-//! effpi-cli parse     <spec.effpi>                    # echo the parsed type back
+//! effpi-cli verify    <spec.effpi> [--max-states N] [--jobs J]   # run every `check` in the spec
+//! effpi-cli typecheck <spec.effpi>                               # only check `term` against `type`
+//! effpi-cli lts       <spec.effpi> [--max-states N] [--jobs J]   # report the type LTS size
+//! effpi-cli parse     <spec.effpi>                               # echo the parsed type back
 //! ```
 //!
 //! Sample specifications live in `examples/specs/`.
@@ -28,7 +28,26 @@ fn main() -> ExitCode {
         eprintln!("missing specification file\n{USAGE}");
         return ExitCode::from(2);
     };
-    let max_states = flag_value(&args, "--max-states").unwrap_or(500_000);
+    // A present flag with a bad value is a usage error, never a silent
+    // fallback to the default.
+    let (max_states, jobs) = match (
+        flag_value(&args, "--max-states"),
+        flag_value(&args, "--jobs"),
+    ) {
+        (Ok(max_states), Ok(jobs)) => (
+            max_states.unwrap_or(500_000),
+            // `--jobs 0` means "one worker per hardware thread".
+            match jobs {
+                Some(0) => std::thread::available_parallelism().map_or(1, usize::from),
+                Some(n) => n,
+                None => 1,
+            },
+        ),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
 
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -50,6 +69,7 @@ fn main() -> ExitCode {
     let session = Session::builder()
         .max_states(max_states)
         .visible(spec.visible.clone())
+        .parallelism(jobs)
         .build();
 
     match command.as_str() {
@@ -126,9 +146,17 @@ fn main() -> ExitCode {
     }
 }
 
-fn flag_value(args: &[String], flag: &str) -> Option<usize> {
-    let idx = args.iter().position(|a| a == flag)?;
-    args.get(idx + 1)?.parse().ok()
+/// `Ok(None)` when the flag is absent; a present flag with a missing or
+/// non-numeric value is an error.
+fn flag_value(args: &[String], flag: &str) -> Result<Option<usize>, String> {
+    let Some(idx) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    args.get(idx + 1)
+        .and_then(|v| v.parse().ok())
+        .map(Some)
+        .ok_or_else(|| format!("{flag} requires a non-negative integer value"))
 }
 
-const USAGE: &str = "usage: effpi-cli <verify|typecheck|lts|parse> <spec.effpi> [--max-states N]";
+const USAGE: &str =
+    "usage: effpi-cli <verify|typecheck|lts|parse> <spec.effpi> [--max-states N] [--jobs J]";

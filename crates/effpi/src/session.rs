@@ -149,6 +149,10 @@ pub struct SessionConfig {
     /// the full Def. 4.2 transition relation. Scenario and spec runs use the
     /// artifact's own `visible` list instead.
     pub visible: Option<Vec<Name>>,
+    /// Worker threads used for state-space exploration (Step 2); `1` explores
+    /// serially. Reports are identical for every value — see the determinism
+    /// guarantee of `lts::explore`.
+    pub parallelism: usize,
 }
 
 impl Default for SessionConfig {
@@ -160,6 +164,7 @@ impl Default for SessionConfig {
             max_unfold: checker.max_unfold,
             auto_probe: true,
             visible: None,
+            parallelism: 1,
         }
     }
 }
@@ -212,6 +217,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets how many worker threads state-space exploration uses (default
+    /// `1`, i.e. serial; the CLI's `--jobs` flag). Reports are identical for
+    /// every value: on success the parallel engine canonically renumbers its
+    /// result to match the serial exploration, and state-bound trips surface
+    /// as the same clamped error.
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        self.config.parallelism = parallelism.max(1);
+        self
+    }
+
     /// Builds the session, constructing and caching its checker and verifier.
     pub fn build(self) -> Session {
         let checker = Checker::with_limits(self.config.max_depth, self.config.max_unfold);
@@ -219,6 +234,7 @@ impl SessionBuilder {
         verifier.max_states = self.config.max_states;
         verifier.auto_probe = self.config.auto_probe;
         verifier.visible = self.config.visible.clone();
+        verifier.parallelism = self.config.parallelism;
         Session {
             config: self.config,
             verifier,
@@ -632,6 +648,33 @@ pub struct ReportSummary {
     pub verdicts: Vec<(String, bool)>,
     /// First error message, if anything failed to run.
     pub error: Option<String>,
+}
+
+impl ReportSummary {
+    /// The summary as one line of stable `key=value` pairs **without** the
+    /// wall-clock duration — every field of this rendering is deterministic,
+    /// so two runs of the same artifact must produce byte-identical stable
+    /// lines regardless of the session's `parallelism` (the determinism suite
+    /// asserts exactly this). [`fmt::Display`] adds the timing back.
+    pub fn stable_line(&self) -> String {
+        use fmt::Write as _;
+        let mut line = format!(
+            "name={:?} passed={} states={} transitions={}",
+            self.name, self.passed, self.states, self.transitions
+        );
+        if !self.verdicts.is_empty() {
+            let cells: Vec<String> = self
+                .verdicts
+                .iter()
+                .map(|(n, h)| format!("{n}:{h}"))
+                .collect();
+            let _ = write!(line, " verdicts={}", cells.join(","));
+        }
+        if let Some(e) = &self.error {
+            let _ = write!(line, " error={e:?}");
+        }
+        line
+    }
 }
 
 impl fmt::Display for ReportSummary {

@@ -1,0 +1,748 @@
+//! Parallel state-space exploration: the engine behind [`TypeLts::build`]
+//! (and any other exhaustive reachability pass over a successor function).
+//!
+//! [`Lts::build`](crate::Lts::build) is a single-threaded BFS — fine for
+//! tests, but the paper's headline claim (§5, Fig. 9) is that type-level
+//! model checking is fast enough to run inside a compiler, and LTS
+//! construction is the dominant cost of every verification. This module
+//! explores the same graph with a pool of worker threads:
+//!
+//! * **Sharded seen-set** — discovered states live in hash-partitioned
+//!   shards, each guarded by its own [`runtime::sync::Mutex`], so workers
+//!   registering distinct states rarely contend on the same lock. A state's
+//!   shard is a pure function of its hash; its *provisional id* is drawn from
+//!   one global atomic counter, which also enforces the state bound.
+//! * **Work-stealing frontier** — each worker owns a deque of unexpanded
+//!   states; it pushes and pops freshly discovered states at the back of its
+//!   own deque (LIFO, for cache warmth) and steals the *oldest* state from
+//!   the front of a sibling's deque when its own runs dry. Only `std`
+//!   threads are used; the workspace stays dependency-free.
+//! * **Cooperative early exit** — a shared stop flag ends the run as soon as
+//!   the state bound trips, or as soon as an optional *monitor* decides the
+//!   question being asked on-the-fly (see [`explore_until`]); workers check
+//!   it between expansions instead of draining their queues.
+//! * **Canonical renumbering** — discovery order under concurrency is
+//!   nondeterministic, so after exploration the states are renumbered by a
+//!   deterministic BFS over the recorded (deterministically ordered)
+//!   transition lists. A complete parallel run therefore yields an [`Lts`]
+//!   **identical** — states, indices, transitions — to the serial
+//!   [`Lts::build`] of the same successor function.
+//!
+//! [`TypeLts::build`]: crate::TypeLts::build
+
+use std::collections::hash_map::RandomState;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasher, Hash};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use runtime::sync::{Condvar, Mutex};
+
+use crate::generic::Lts;
+
+/// How an exploration is run: worker count and state bound.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExploreConfig {
+    /// Number of worker threads. `1` (the default) explores serially on the
+    /// calling thread — no pool, no locks.
+    pub parallelism: usize,
+    /// Maximum number of states registered before the run is truncated.
+    pub max_states: usize,
+}
+
+impl ExploreConfig {
+    /// A serial exploration with the given state bound.
+    pub fn serial(max_states: usize) -> Self {
+        ExploreConfig {
+            parallelism: 1,
+            max_states,
+        }
+    }
+
+    /// An exploration on `parallelism` workers with the given state bound.
+    pub fn new(parallelism: usize, max_states: usize) -> Self {
+        ExploreConfig {
+            parallelism: parallelism.max(1),
+            max_states,
+        }
+    }
+}
+
+/// Why an exploration stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExploreStatus {
+    /// Every reachable state was expanded.
+    Complete,
+    /// The state bound tripped; the LTS is a prefix of the real one.
+    Truncated,
+    /// The monitor of [`explore_until`] decided the question early.
+    Cancelled,
+}
+
+/// The result of an exploration: the (canonically numbered) LTS plus how the
+/// run ended.
+#[derive(Clone, Debug)]
+pub struct Exploration<S, L> {
+    /// The explored transition system. Its `is_truncated` flag is set
+    /// whenever the state bound tripped — including in a run whose `status`
+    /// is [`ExploreStatus::Cancelled`] because a monitor decision arrived
+    /// after the trip.
+    pub lts: Lts<S, L>,
+    /// How the run ended. Cancellation wins over truncation when both
+    /// happened; check [`Lts::is_truncated`] for the bound.
+    pub status: ExploreStatus,
+}
+
+/// Explores the LTS reachable from `initial`, using `config.parallelism`
+/// worker threads and registering at most `config.max_states` states.
+///
+/// The successor function must be deterministic (same state, same transition
+/// list in the same order); under that assumption a **complete** run returns
+/// an [`Lts`] identical to the one [`Lts::build`](crate::Lts::build)
+/// produces, regardless of the worker count. Truncated runs carry no such
+/// guarantee: which prefix got explored depends on worker scheduling (serial
+/// exploration keeps expanding every registered state, parallel workers quit
+/// as soon as the bound trips), so only the bound itself — never more than
+/// `max_states` registered states — is engine-independent.
+pub fn explore<S, L, F>(initial: S, succ: F, config: &ExploreConfig) -> Exploration<S, L>
+where
+    S: Clone + Eq + Hash + Send + Sync,
+    L: Clone + Send,
+    F: Fn(&S) -> Vec<(L, S)> + Sync,
+{
+    explore_until(initial, succ, config, |_: &S, _: &[(L, usize)]| false)
+}
+
+/// Like [`explore`], with an on-the-fly *monitor*: after each state is
+/// expanded, `monitor(state, transitions)` may return `true` to declare the
+/// question decided, which cooperatively stops every worker
+/// ([`ExploreStatus::Cancelled`]).
+///
+/// The monitor sees the expanded state and its outgoing transitions (targets
+/// as provisional ids — useful for counting, not for indexing). Because
+/// workers race, a cancelled run's state *set* is nondeterministic; only
+/// complete runs carry the determinism guarantee.
+///
+/// This is the hook for on-the-fly property checking (e.g. a reachability
+/// violation deciding non-usage the moment it is seen). The `mucalc`
+/// verifier does not use it yet — its µ-calculus properties are evaluated
+/// globally on the finished LTS, and several properties share one build — so
+/// today's only in-tree exercisers are the engine tests.
+pub fn explore_until<S, L, F, M>(
+    initial: S,
+    succ: F,
+    config: &ExploreConfig,
+    monitor: M,
+) -> Exploration<S, L>
+where
+    S: Clone + Eq + Hash + Send + Sync,
+    L: Clone + Send,
+    F: Fn(&S) -> Vec<(L, S)> + Sync,
+    M: Fn(&S, &[(L, usize)]) -> bool + Sync,
+{
+    // The initial state is always admitted, whatever the bound (the serial
+    // engine behaves the same way).
+    let max_states = config.max_states.max(1);
+    if config.parallelism <= 1 {
+        return explore_serial(initial, &succ, max_states, &monitor);
+    }
+    explore_parallel(initial, &succ, config.parallelism, max_states, &monitor)
+}
+
+// ---------------------------------------------------------------------------
+// Serial path (parallelism == 1): plain BFS, ids are already canonical.
+// ---------------------------------------------------------------------------
+
+fn explore_serial<S, L, F, M>(
+    initial: S,
+    succ: &F,
+    max_states: usize,
+    monitor: &M,
+) -> Exploration<S, L>
+where
+    S: Clone + Eq + Hash,
+    L: Clone,
+    F: Fn(&S) -> Vec<(L, S)>,
+    M: Fn(&S, &[(L, usize)]) -> bool,
+{
+    let mut states: Vec<S> = Vec::new();
+    let mut index: HashMap<S, usize> = HashMap::new();
+    let mut transitions: Vec<Vec<(L, usize)>> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut truncated = false;
+    let mut cancelled = false;
+
+    states.push(initial.clone());
+    index.insert(initial, 0);
+    transitions.push(Vec::new());
+    queue.push_back(0);
+
+    while let Some(i) = queue.pop_front() {
+        let state = states[i].clone();
+        let mut out = Vec::new();
+        for (label, next) in succ(&state) {
+            let j = match index.get(&next) {
+                Some(&j) => j,
+                None => {
+                    if states.len() >= max_states {
+                        // Edge to an unregistered state beyond the bound:
+                        // dropped, exactly as in `Lts::build`.
+                        truncated = true;
+                        continue;
+                    }
+                    let j = states.len();
+                    states.push(next.clone());
+                    index.insert(next, j);
+                    transitions.push(Vec::new());
+                    queue.push_back(j);
+                    j
+                }
+            };
+            out.push((label, j));
+        }
+        let decided = monitor(&state, &out);
+        transitions[i] = out;
+        if decided {
+            cancelled = true;
+            break;
+        }
+    }
+
+    // Cancellation wins the status, but a bound trip that already happened
+    // stays visible through the LTS's truncated flag.
+    let status = if cancelled {
+        ExploreStatus::Cancelled
+    } else if truncated {
+        ExploreStatus::Truncated
+    } else {
+        ExploreStatus::Complete
+    };
+    Exploration {
+        lts: Lts::from_parts(states, transitions, truncated),
+        status,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel path
+// ---------------------------------------------------------------------------
+
+/// One expanded state, as recorded by the worker that expanded it: its
+/// provisional id, the state itself, and its transitions (targets as
+/// provisional ids).
+type Record<S, L> = (usize, S, Vec<(L, usize)>);
+
+/// The sharded seen-set plus the run-wide coordination state.
+struct Shared<S> {
+    /// `state -> provisional id`, hash-partitioned. Shard count is a power of
+    /// two several times the worker count, so concurrent registrations of
+    /// distinct states rarely collide on a lock.
+    shards: Vec<Mutex<HashMap<S, usize>>>,
+    /// All shards hash with this one state, so a state's shard and its map
+    /// slot agree across workers.
+    hasher: RandomState,
+    /// Number of registered states; also the source of provisional ids. Never
+    /// exceeds `max_states`.
+    count: AtomicUsize,
+    /// States registered but not yet expanded (or in flight on a worker).
+    /// Zero means the frontier is globally exhausted.
+    pending: AtomicUsize,
+    /// Cooperative early-exit flag: set on bound trip or monitor decision.
+    stop: AtomicBool,
+    /// Whether the bound tripped somewhere.
+    truncated: AtomicBool,
+    /// Whether a monitor decided the run early.
+    cancelled: AtomicBool,
+    /// One work deque per worker; owners push/pop the back, thieves the
+    /// front.
+    queues: Vec<Mutex<VecDeque<(usize, S)>>>,
+    /// Parking lot for workers that found no work after a short spin: the
+    /// mutex only guards the right to wait, and every state change that can
+    /// unblock a waiter (a push, the frontier draining, stop) notifies under
+    /// it, so wakeups cannot be lost.
+    idle: Mutex<()>,
+    idle_cv: Condvar,
+    /// Number of workers currently parked (lets the hot path skip the
+    /// notification lock when nobody is waiting).
+    sleepers: AtomicUsize,
+}
+
+impl<S> Shared<S>
+where
+    S: Clone + Eq + Hash,
+{
+    fn new(workers: usize) -> Self {
+        let shard_count = (workers * 8).next_power_of_two();
+        Shared {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hasher: RandomState::new(),
+            count: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            truncated: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            idle: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard_of(&self, state: &S) -> usize {
+        (self.hasher.hash_one(state) as usize) & (self.shards.len() - 1)
+    }
+
+    /// Registers a state, returning its provisional id and whether this call
+    /// discovered it. `None` means the state bound is exhausted (the caller
+    /// drops the edge, mirroring the serial engine).
+    fn register(&self, state: &S, max_states: usize) -> Option<(usize, bool)> {
+        let mut shard = self.shards[self.shard_of(state)].lock();
+        if let Some(&id) = shard.get(state) {
+            return Some((id, false));
+        }
+        // Draw a dense id; CAS so `count` never exceeds the bound even under
+        // races between shards.
+        loop {
+            let n = self.count.load(Ordering::Relaxed);
+            if n >= max_states {
+                self.truncated.store(true, Ordering::Relaxed);
+                // SeqCst pairs with the SeqCst re-checks in `park`: a parking
+                // worker either sees this store or its sleepers registration
+                // is seen by `wake_sleepers` — never neither.
+                self.stop.store(true, Ordering::SeqCst);
+                self.wake_sleepers();
+                return None;
+            }
+            if self
+                .count
+                .compare_exchange(n, n + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                shard.insert(state.clone(), n);
+                return Some((n, true));
+            }
+        }
+    }
+
+    /// Pops work: the worker's own deque first (LIFO — newest task from the
+    /// back, where `worker` pushes), then a sweep stealing the *oldest* task
+    /// from the front of every sibling — the standard work-stealing
+    /// discipline (owners stay cache-warm, thieves take the work most likely
+    /// to fan out).
+    fn find_work(&self, me: usize) -> Option<(usize, S)> {
+        if let Some(task) = self.queues[me].lock().pop_back() {
+            return Some(task);
+        }
+        for offset in 1..self.queues.len() {
+            let victim = (me + offset) % self.queues.len();
+            if let Some(task) = self.queues[victim].lock().pop_front() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Wakes parked workers after a state change that could unblock them.
+    /// Cheap when nobody sleeps (one atomic read).
+    fn wake_sleepers(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.idle.lock();
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Parks until there is work to return, or until the run is over (stop
+    /// set or frontier drained), which returns `None` and sends the caller
+    /// back to its main loop for the final check.
+    ///
+    /// The re-checks happen under the `idle` lock *after* registering as a
+    /// sleeper, and every producer either notifies under the same lock or
+    /// published its change before reading `sleepers == 0`, so a wakeup
+    /// cannot slip through between the check and the wait.
+    fn park(&self, me: usize) -> Option<(usize, S)> {
+        let mut guard = self.idle.lock();
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let found = loop {
+            if self.stop.load(Ordering::SeqCst) || self.pending.load(Ordering::SeqCst) == 0 {
+                break None;
+            }
+            if let Some(task) = self.find_work(me) {
+                break Some(task);
+            }
+            guard = self.idle_cv.wait(guard);
+        };
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        found
+    }
+}
+
+fn explore_parallel<S, L, F, M>(
+    initial: S,
+    succ: &F,
+    workers: usize,
+    max_states: usize,
+    monitor: &M,
+) -> Exploration<S, L>
+where
+    S: Clone + Eq + Hash + Send + Sync,
+    L: Clone + Send,
+    F: Fn(&S) -> Vec<(L, S)> + Sync,
+    M: Fn(&S, &[(L, usize)]) -> bool + Sync,
+{
+    let shared: Shared<S> = Shared::new(workers);
+
+    let (root, _) = shared
+        .register(&initial, max_states)
+        .expect("max_states >= 1 admits the initial state");
+    shared.pending.store(1, Ordering::Relaxed);
+    shared.queues[0].lock().push_back((root, initial));
+
+    let mut records: Vec<Record<S, L>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for me in 0..workers {
+            let shared = &shared;
+            handles.push(scope.spawn(move || worker(me, shared, succ, monitor, max_states)));
+        }
+        for handle in handles {
+            records.extend(handle.join().expect("exploration worker panicked"));
+        }
+    });
+
+    let status = if shared.cancelled.load(Ordering::Relaxed) {
+        ExploreStatus::Cancelled
+    } else if shared.truncated.load(Ordering::Relaxed) {
+        ExploreStatus::Truncated
+    } else {
+        ExploreStatus::Complete
+    };
+
+    let count = shared.count.load(Ordering::Relaxed);
+    // Reunite each registered state with its expansion record (unexpanded
+    // frontier states keep an empty transition list, as in the serial engine).
+    let mut state_of: Vec<Option<S>> = vec![None; count];
+    let mut trans_of: Vec<Vec<(L, usize)>> = (0..count).map(|_| Vec::new()).collect();
+    for (pid, state, trans) in records {
+        state_of[pid] = Some(state);
+        trans_of[pid] = trans;
+    }
+    for shard in &shared.shards {
+        for (state, &pid) in shard.lock().iter() {
+            if state_of[pid].is_none() {
+                state_of[pid] = Some(state.clone());
+            }
+        }
+    }
+
+    Exploration {
+        // The truncated flag is reported faithfully even when a monitor
+        // cancellation won the status race.
+        lts: renumber(
+            state_of,
+            trans_of,
+            root,
+            shared.truncated.load(Ordering::Relaxed),
+        ),
+        status,
+    }
+}
+
+fn worker<S, L, F, M>(
+    me: usize,
+    shared: &Shared<S>,
+    succ: &F,
+    monitor: &M,
+    max_states: usize,
+) -> Vec<Record<S, L>>
+where
+    S: Clone + Eq + Hash,
+    L: Clone,
+    F: Fn(&S) -> Vec<(L, S)>,
+    M: Fn(&S, &[(L, usize)]) -> bool,
+{
+    // How many empty sweeps a worker makes (yielding between them) before it
+    // parks on the condvar: enough to ride out a momentary dry spell on a
+    // busy graph, small enough that chain-shaped graphs do not burn cores.
+    const IDLE_SPINS: usize = 32;
+
+    let mut records = Vec::new();
+    let mut spins = 0usize;
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let Some((pid, state)) = shared.find_work(me).or_else(|| {
+            if shared.pending.load(Ordering::Relaxed) == 0 {
+                return None;
+            }
+            spins += 1;
+            if spins < IDLE_SPINS {
+                std::thread::yield_now();
+                None
+            } else {
+                shared.park(me)
+            }
+        }) else {
+            if shared.pending.load(Ordering::Relaxed) == 0 {
+                break;
+            }
+            continue;
+        };
+        spins = 0;
+        let mut out = Vec::new();
+        {
+            let mut queue = Vec::new();
+            for (label, next) in succ(&state) {
+                // A `None` register means the bound is exhausted: the edge is
+                // dropped, like the serial engine's edges to never-registered
+                // states.
+                if let Some((target, fresh)) = shared.register(&next, max_states) {
+                    out.push((label, target));
+                    if fresh {
+                        queue.push((target, next));
+                    }
+                }
+            }
+            if !queue.is_empty() {
+                shared.pending.fetch_add(queue.len(), Ordering::SeqCst);
+                shared.queues[me].lock().extend(queue);
+                shared.wake_sleepers();
+            }
+        }
+        if monitor(&state, &out) {
+            shared.cancelled.store(true, Ordering::Relaxed);
+            shared.stop.store(true, Ordering::SeqCst);
+            shared.wake_sleepers();
+        }
+        records.push((pid, state, out));
+        if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Frontier drained: wake everyone for the final exit check.
+            shared.wake_sleepers();
+        }
+    }
+    records
+}
+
+/// Renumbers provisional ids into canonical ids by a deterministic BFS from
+/// the root over the recorded transition lists, then rebuilds the state and
+/// transition tables in canonical order. Since the successor function is
+/// deterministic, this reproduces exactly the numbering the serial BFS of
+/// [`Lts::build`](crate::Lts::build) would have assigned.
+fn renumber<S, L>(
+    state_of: Vec<Option<S>>,
+    trans_of: Vec<Vec<(L, usize)>>,
+    root: usize,
+    truncated: bool,
+) -> Lts<S, L>
+where
+    S: Clone + Eq + Hash,
+    L: Clone,
+{
+    let n = state_of.len();
+    let mut canon = vec![usize::MAX; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = VecDeque::new();
+    canon[root] = 0;
+    order.push(root);
+    queue.push_back(root);
+    while let Some(pid) = queue.pop_front() {
+        for (_, target) in &trans_of[pid] {
+            if canon[*target] == usize::MAX {
+                canon[*target] = order.len();
+                order.push(*target);
+                queue.push_back(*target);
+            }
+        }
+    }
+
+    // Every registered state was discovered through a recorded edge, so the
+    // BFS covers all of them — except when an early exit left a discoverer's
+    // record unwritten. Append such orphans in provisional-id order; they only
+    // occur on truncated/cancelled runs, which carry no determinism guarantee.
+    for (pid, c) in canon.iter_mut().enumerate() {
+        if *c == usize::MAX {
+            *c = order.len();
+            order.push(pid);
+        }
+    }
+
+    let mut states = Vec::with_capacity(n);
+    let mut transitions = Vec::with_capacity(n);
+    for &pid in &order {
+        states.push(
+            state_of[pid]
+                .clone()
+                .expect("every provisional id names a registered state"),
+        );
+        transitions.push(
+            trans_of[pid]
+                .iter()
+                .map(|(label, target)| (label.clone(), canon[*target]))
+                .collect(),
+        );
+    }
+    Lts::from_parts(states, transitions, truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A diamond-heavy graph: from `(a, b)` either coordinate can step down,
+    /// so the same states are reachable along many interleavings — exactly
+    /// the sharing pattern of parallel type compositions.
+    fn grid(s: &(u32, u32)) -> Vec<(&'static str, (u32, u32))> {
+        let mut out = Vec::new();
+        if s.0 > 0 {
+            out.push(("left", (s.0 - 1, s.1)));
+        }
+        if s.1 > 0 {
+            out.push(("right", (s.0, s.1 - 1)));
+        }
+        out
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_lts_exactly() {
+        let serial = Lts::build((12u32, 12u32), grid, 1_000_000);
+        for workers in [2, 3, 4, 8] {
+            let ex = explore(
+                (12u32, 12u32),
+                grid,
+                &ExploreConfig::new(workers, 1_000_000),
+            );
+            assert_eq!(ex.status, ExploreStatus::Complete);
+            assert_eq!(ex.lts.num_states(), serial.num_states());
+            assert_eq!(ex.lts.num_transitions(), serial.num_transitions());
+            assert_eq!(ex.lts.states(), serial.states(), "workers={workers}");
+            for i in 0..serial.num_states() {
+                assert_eq!(
+                    ex.lts.transitions_from(i),
+                    serial.transitions_from(i),
+                    "state {i}, workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serial_config_matches_lts_build() {
+        let direct = Lts::build((5u32, 5u32), grid, 1_000_000);
+        let ex = explore((5u32, 5u32), grid, &ExploreConfig::serial(1_000_000));
+        assert_eq!(ex.status, ExploreStatus::Complete);
+        assert_eq!(ex.lts.states(), direct.states());
+        assert_eq!(ex.lts.num_transitions(), direct.num_transitions());
+    }
+
+    #[test]
+    fn bound_trips_cooperatively_and_never_overshoots() {
+        let chain = |s: &u64| vec![("inc", s + 1)];
+        for workers in [1, 4] {
+            let ex = explore(0u64, chain, &ExploreConfig::new(workers, 100));
+            assert_eq!(ex.status, ExploreStatus::Truncated, "workers={workers}");
+            assert!(ex.lts.is_truncated());
+            assert!(
+                ex.lts.num_states() <= 100,
+                "bound overshot: {} states on {workers} workers",
+                ex.lts.num_states()
+            );
+        }
+        // A wide graph (every state fans out) must respect the bound too.
+        let fan = |s: &u64| (0..16u64).map(|k| ("step", s * 16 + k + 1)).collect();
+        let ex = explore(0u64, fan, &ExploreConfig::new(4, 50));
+        assert_eq!(ex.status, ExploreStatus::Truncated);
+        assert!(ex.lts.num_states() <= 50, "{}", ex.lts.num_states());
+    }
+
+    #[test]
+    fn monitor_cancels_early() {
+        // Search a long chain for a "goal" state; the monitor decides the
+        // question long before the chain's end.
+        let chain = |s: &u64| {
+            if *s < 1_000_000 {
+                vec![("inc", s + 1)]
+            } else {
+                vec![]
+            }
+        };
+        for workers in [1, 4] {
+            let ex = explore_until(
+                0u64,
+                chain,
+                &ExploreConfig::new(workers, usize::MAX),
+                |s: &u64, _: &[(&str, usize)]| *s == 500,
+            );
+            assert_eq!(ex.status, ExploreStatus::Cancelled, "workers={workers}");
+            assert!(!ex.lts.is_truncated());
+            assert!(
+                ex.lts.num_states() < 1_000_000,
+                "early exit explored {} states",
+                ex.lts.num_states()
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_stays_visible_when_a_monitor_cancels_after_the_bound_trips() {
+        // Chain 0 -> 1 -> 2 -> ..., bound 3: registering state 3 trips the
+        // bound while expanding state 2, and the monitor then cancels on that
+        // same state. The status reports the cancellation; the LTS still
+        // reports the truncation.
+        let chain = |s: &u64| vec![("inc", s + 1)];
+        for workers in [1, 4] {
+            let ex = explore_until(
+                0u64,
+                chain,
+                &ExploreConfig::new(workers, 3),
+                |s: &u64, _: &[(&str, usize)]| *s == 2,
+            );
+            assert_eq!(ex.status, ExploreStatus::Cancelled, "workers={workers}");
+            assert!(
+                ex.lts.is_truncated(),
+                "the bound trip must stay visible (workers={workers})"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_graphs_complete_on_many_workers() {
+        // One successor per state: the worst case for parallelism — three of
+        // four workers have nothing to do and must park (not spin) until the
+        // run drains. Completion within the test timeout is the assertion.
+        let chain = |s: &u64| {
+            if *s < 3_000 {
+                vec![("inc", s + 1)]
+            } else {
+                vec![]
+            }
+        };
+        let ex = explore(0u64, chain, &ExploreConfig::new(4, usize::MAX));
+        assert_eq!(ex.status, ExploreStatus::Complete);
+        assert_eq!(ex.lts.num_states(), 3_001);
+    }
+
+    #[test]
+    fn zero_and_one_state_bounds_are_handled() {
+        let chain = |s: &u64| vec![("inc", s + 1)];
+        let ex = explore(0u64, chain, &ExploreConfig::new(4, 1));
+        assert_eq!(ex.status, ExploreStatus::Truncated);
+        assert_eq!(ex.lts.num_states(), 1);
+        // A zero bound still admits the initial state, like the serial engine.
+        let ex = explore(0u64, chain, &ExploreConfig::new(4, 0));
+        assert_eq!(ex.status, ExploreStatus::Truncated);
+        assert_eq!(ex.lts.num_states(), 1);
+    }
+
+    #[test]
+    fn terminal_only_graph_completes_on_many_workers() {
+        let ex = explore(
+            42u8,
+            |_: &u8| Vec::<((), u8)>::new(),
+            &ExploreConfig::new(8, 10),
+        );
+        assert_eq!(ex.status, ExploreStatus::Complete);
+        assert_eq!(ex.lts.num_states(), 1);
+        assert_eq!(ex.lts.num_transitions(), 0);
+    }
+}

@@ -87,6 +87,24 @@ where
         }
     }
 
+    /// Assembles an LTS from pre-built tables (used by the parallel
+    /// exploration engine in [`mod@crate::explore`] after canonical renumbering).
+    /// State `0` is the initial state; `transitions[i]` are the outgoing
+    /// edges of state `i`.
+    pub(crate) fn from_parts(
+        states: Vec<S>,
+        transitions: Vec<Vec<(L, usize)>>,
+        truncated: bool,
+    ) -> Self {
+        debug_assert_eq!(states.len(), transitions.len());
+        Lts {
+            states,
+            transitions,
+            initial: 0,
+            truncated,
+        }
+    }
+
     /// The number of discovered states.
     pub fn num_states(&self) -> usize {
         self.states.len()

@@ -35,11 +35,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod explore;
 mod generic;
 mod label;
 mod term_lts;
 mod type_lts;
 
+pub use explore::{explore, explore_until, Exploration, ExploreConfig, ExploreStatus};
 pub use generic::Lts;
 pub use label::{TermLabel, TypeLabel};
 pub use term_lts::TermLts;

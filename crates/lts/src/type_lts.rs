@@ -23,6 +23,7 @@
 use dbt_types::{Checker, TypeEnv};
 use lambdapi::{Name, Type};
 
+use crate::explore::{explore, Exploration, ExploreConfig};
 use crate::generic::Lts;
 use crate::label::TypeLabel;
 
@@ -48,6 +49,7 @@ pub struct TypeLts {
     checker: Checker,
     candidates: CandidatePolicy,
     visible: Option<Vec<Name>>,
+    parallelism: usize,
 }
 
 /// Default bound on the number of explored type states.
@@ -61,6 +63,7 @@ impl TypeLts {
             checker: Checker::new(),
             candidates: CandidatePolicy::default(),
             visible: None,
+            parallelism: 1,
         }
     }
 
@@ -71,7 +74,20 @@ impl TypeLts {
             checker,
             candidates: CandidatePolicy::default(),
             visible: None,
+            parallelism: 1,
         }
+    }
+
+    /// Sets how many worker threads [`TypeLts::build`] explores with (default
+    /// `1`, i.e. serial). Thanks to the canonical renumbering of
+    /// [`mod@crate::explore`], a *complete* (non-truncated) build produces an
+    /// LTS — states, numbering, transitions — identical for every worker
+    /// count. Truncated builds respect the same state bound everywhere but
+    /// may differ in which prefix was explored (the verifier turns them into
+    /// the same clamped error either way).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
     }
 
     /// Sets the early-input candidate policy (see [`CandidatePolicy`]).
@@ -236,12 +252,19 @@ impl TypeLts {
         candidates
     }
 
-    /// Builds the explicit LTS reachable from `ty`, bounded by `max_states`.
+    /// Builds the explicit LTS reachable from `ty`, bounded by `max_states`,
+    /// on the [`mod@crate::explore`] engine with the configured worker count.
     pub fn build(&self, ty: &Type, max_states: usize) -> Lts<Type, TypeLabel> {
+        self.build_exploration(ty, max_states).lts
+    }
+
+    /// Like [`TypeLts::build`], also reporting how the exploration ended.
+    pub fn build_exploration(&self, ty: &Type, max_states: usize) -> Exploration<Type, TypeLabel> {
         let initial = self.canonical(ty);
-        Lts::build(
+        let config = ExploreConfig::new(self.parallelism, max_states);
+        explore(
             initial,
-            |s| {
+            |s: &Type| {
                 let succ = self.successors(s);
                 match &self.visible {
                     None => succ,
@@ -255,7 +278,7 @@ impl TypeLts {
                         .collect(),
                 }
             },
-            max_states,
+            &config,
         )
     }
 
@@ -471,6 +494,35 @@ mod tests {
             right: Type::var("x"),
         };
         assert!(!is_imprecise_comm(&env, &precise));
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_serial() {
+        // The composed ping-pong type has genuinely interleaved components,
+        // so the parallel engine sees shared states along different paths.
+        let env = pingpong_env();
+        let ty = examples::tpp_type()
+            .apply_all(&[Type::var("y"), Type::var("z")])
+            .unwrap();
+        let serial = TypeLts::new(env.clone()).build(&ty, 10_000);
+        for workers in [2, 4] {
+            let parallel = TypeLts::new(env.clone())
+                .with_parallelism(workers)
+                .build(&ty, 10_000);
+            assert_eq!(parallel.states(), serial.states(), "workers={workers}");
+            assert_eq!(
+                parallel.num_transitions(),
+                serial.num_transitions(),
+                "workers={workers}"
+            );
+            for i in 0..serial.num_states() {
+                assert_eq!(
+                    parallel.transitions_from(i),
+                    serial.transitions_from(i),
+                    "state {i}, workers={workers}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -39,9 +39,14 @@ pub enum VerifyError {
     StateSpaceTooLarge {
         /// The configured maximum number of states.
         bound: usize,
-        /// How many states had been explored when the bound tripped (the
-        /// truncated LTS's state count — at least `bound`, but possibly more
-        /// when the final frontier overshoots).
+        /// How many states had been registered when exploration stopped.
+        ///
+        /// Invariant: `explored <= bound`, always. A frontier — especially a
+        /// parallel one, where a whole batch of workers can be mid-expansion
+        /// when the bound trips — could overshoot the bound internally, but
+        /// the exploration engine never registers more than `bound` states
+        /// and this field is clamped on construction, so consumers can rely
+        /// on the clamp regardless of the engine's worker count.
         explored: usize,
     },
 }
@@ -111,6 +116,12 @@ pub struct Verifier {
     /// composition then contribute only τ-synchronisations). `None` keeps the
     /// full Def. 4.2 transition relation.
     pub visible: Option<Vec<Name>>,
+    /// How many worker threads the LTS construction uses (`1` = serial). On
+    /// every successful verification the LTS — and hence every verdict,
+    /// state count and transition count — is identical for every value, by
+    /// the canonical renumbering of `lts::explore`; bound trips surface as
+    /// the same clamped [`VerifyError::StateSpaceTooLarge`] on every value.
+    pub parallelism: usize,
 }
 
 impl Default for Verifier {
@@ -120,6 +131,7 @@ impl Default for Verifier {
             max_states: lts::DEFAULT_MAX_STATES,
             auto_probe: true,
             visible: None,
+            parallelism: 1,
         }
     }
 }
@@ -232,12 +244,15 @@ impl Verifier {
         });
         let builder = TypeLts::with_checker(env.clone(), self.checker.clone())
             .with_candidate_policy(lts::CandidatePolicy::Only(probes))
-            .with_visible_subjects(visible);
+            .with_visible_subjects(visible)
+            .with_parallelism(self.parallelism);
         let lts = builder.build(ty, self.max_states);
         if lts.is_truncated() {
             return Err(VerifyError::StateSpaceTooLarge {
                 bound: self.max_states,
-                explored: lts.num_states(),
+                // Clamped so the reported count never exceeds the bound, no
+                // matter how far a (parallel) frontier overshot internally.
+                explored: lts.num_states().min(self.max_states),
             });
         }
         Ok((env, lts))
@@ -484,6 +499,50 @@ mod tests {
                 );
             }
             other => panic!("expected StateSpaceTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_verification_matches_serial_verdicts_and_state_counts() {
+        let mut parallel = Verifier::new();
+        parallel.parallelism = 4;
+        let serial = Verifier::new();
+        let env = payment_env();
+        let ty = payment_applied();
+        let props = [
+            Property::non_usage(["self"]),
+            Property::deadlock_free(["self", "aud", "client"]),
+            Property::reactive("self"),
+        ];
+        for p in &props {
+            let s = serial.verify(&env, &ty, p).unwrap();
+            let q = parallel.verify(&env, &ty, p).unwrap();
+            assert_eq!(s.holds, q.holds, "{p}");
+            assert_eq!(s.states, q.states, "{p}");
+            assert_eq!(s.transitions, q.transitions, "{p}");
+        }
+    }
+
+    #[test]
+    fn state_bound_overshoot_is_clamped_for_every_worker_count() {
+        for parallelism in [1, 4] {
+            let mut verifier = Verifier::with_max_states(5);
+            verifier.parallelism = parallelism;
+            let env = payment_env();
+            let ty = payment_applied();
+            let err = verifier
+                .verify(&env, &ty, &Property::reactive("self"))
+                .unwrap_err();
+            match err {
+                VerifyError::StateSpaceTooLarge { bound, explored } => {
+                    assert_eq!(bound, 5);
+                    assert!(
+                        explored <= bound,
+                        "explored {explored} overshoots the bound on {parallelism} workers"
+                    );
+                }
+                other => panic!("expected StateSpaceTooLarge, got {other:?}"),
+            }
         }
     }
 

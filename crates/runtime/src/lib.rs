@@ -10,7 +10,7 @@
 //!   executable counterpart of λπ⩽ process terms);
 //! * [`ChanRef`] / [`Msg`] — buffered channels and the messages they carry
 //!   (including channel references, i.e. actor references);
-//! * [`actor`] — the thin actor façade (mailboxes, `ActorRef`s, `forever`);
+//! * [`ActorRef`] / [`Mailbox`] — the thin actor façade (plus [`forever`]);
 //! * [`EffpiRuntime`] — the non-preemptive scheduler with its two policies
 //!   ([`Policy::Default`] and [`Policy::ChannelFsm`]), plus the
 //!   [`ThreadRuntime`] thread-per-process baseline standing in for Akka;
@@ -50,7 +50,7 @@ mod channel;
 mod msg;
 mod process;
 mod sched;
-mod sync;
+pub mod sync;
 
 pub mod savina;
 

@@ -1,0 +1,102 @@
+//! The determinism suite of the parallel exploration engine.
+//!
+//! `lts::explore` guarantees that a complete parallel exploration is
+//! renumbered into **exactly** the LTS the serial BFS would have produced, so
+//! a `Session` must report byte-identical results whatever its `parallelism`.
+//! This suite pins that guarantee at the outermost surface: for every
+//! protocol scenario in `effpi::protocols` and every `.effpi` specification
+//! shipped in `examples/specs/`, the stable summary line (every reported
+//! field except wall-clock timing) of a serial run and a `parallelism = 4`
+//! run must be byte-identical.
+
+use effpi::protocols::{fig9_scenarios, mobile_code};
+use effpi::spec::parse_spec;
+use effpi::Session;
+
+const MAX_STATES: usize = 60_000;
+const WORKERS: usize = 4;
+
+fn session(parallelism: usize) -> Session {
+    Session::builder()
+        .max_states(MAX_STATES)
+        .parallelism(parallelism)
+        .build()
+}
+
+#[test]
+fn every_protocol_scenario_reports_identically_serial_and_parallel() {
+    let serial = session(1);
+    let parallel = session(WORKERS);
+    let mut scenarios = fig9_scenarios(0);
+    scenarios.push(mobile_code::mobile_code_scenario());
+    assert!(scenarios.len() >= 8);
+    for scenario in &scenarios {
+        let s = serial.run_scenario(scenario).summary().stable_line();
+        let p = parallel.run_scenario(scenario).summary().stable_line();
+        assert_eq!(
+            s, p,
+            "{}: serial and {WORKERS}-worker runs disagree",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn every_shipped_spec_reports_identically_serial_and_parallel() {
+    let specs_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/specs");
+    let serial = session(1);
+    let parallel = session(WORKERS);
+    let mut checked = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(specs_dir)
+        .expect("examples/specs must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "effpi"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("readable spec");
+        let spec = parse_spec(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let s = serial.run_spec(&spec).summary().stable_line();
+        let p = parallel.run_spec(&spec).summary().stable_line();
+        assert_eq!(
+            s,
+            p,
+            "{}: serial and {WORKERS}-worker runs disagree",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 2, "expected the shipped specs, found {checked}");
+}
+
+#[test]
+fn truncated_runs_report_the_same_clamped_error_serial_and_parallel() {
+    // A bound small enough that every payment scenario trips it: the clamped
+    // `StateSpaceTooLarge { bound, explored }` must also be identical (the
+    // overshoot clamp makes `explored == bound` on every engine).
+    let tight_serial = Session::builder().max_states(50).parallelism(1).build();
+    let tight_parallel = Session::builder()
+        .max_states(50)
+        .parallelism(WORKERS)
+        .build();
+    let scenario = &fig9_scenarios(0)[0];
+    let s = tight_serial.run_scenario(scenario).summary().stable_line();
+    let p = tight_parallel
+        .run_scenario(scenario)
+        .summary()
+        .stable_line();
+    assert!(s.contains("error="), "expected a bound trip, got {s}");
+    assert_eq!(s, p);
+}
+
+#[test]
+fn stable_lines_carry_everything_but_the_timing() {
+    let report = session(1).run_scenario(&fig9_scenarios(0)[0]);
+    let summary = report.summary();
+    let stable = summary.stable_line();
+    assert!(stable.contains("states="));
+    assert!(stable.contains("verdicts="));
+    assert!(!stable.contains("duration"), "{stable}");
+    // The full Display adds the duration back.
+    assert!(summary.to_string().contains("duration_ms="));
+}
