@@ -1,0 +1,78 @@
+//! Concurrent-load benchmark of the `effpi-serve` verification service:
+//! N clients × M specs against an in-process server, reporting requests/sec
+//! and the verdict-cache hit rate (the `BENCH_serve.json` CI artifact).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin serve_bench --
+//!     [--clients N] [--rounds R] [--workers W] [--jobs J]
+//!     [--max-states M] [--json PATH]
+//! ```
+//!
+//! The run **fails** (non-zero exit) when any request errors or when a
+//! repeated-spec workload somehow produces no cache hits — either would mean
+//! the service layer, not the engine, regressed.
+
+use std::process::ExitCode;
+
+use bench::flags::{parse_flag, resolve_jobs, string_flag};
+use bench::serve_load::{self, LoadConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let parsed: Result<_, String> = (|| {
+        Ok((
+            parse_flag(&args, "--clients")?,
+            parse_flag(&args, "--rounds")?,
+            parse_flag(&args, "--workers")?,
+            parse_flag(&args, "--jobs")?,
+            parse_flag(&args, "--max-states")?,
+            string_flag(&args, "--json")?,
+        ))
+    })();
+    let (clients, rounds, workers, jobs, max_states, json_path) = match parsed {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let defaults = LoadConfig::default();
+    let config = LoadConfig {
+        clients: clients.unwrap_or(defaults.clients).max(1),
+        rounds: rounds.unwrap_or(defaults.rounds).max(1),
+        workers: workers.unwrap_or(defaults.workers).max(1),
+        jobs: resolve_jobs(jobs.or(Some(defaults.jobs))),
+        max_states: max_states.unwrap_or(defaults.max_states),
+    };
+
+    println!(
+        "effpi-serve load benchmark — {} clients, {} rounds, {} workers, {} jobs",
+        config.clients, config.rounds, config.workers, config.jobs
+    );
+    let record = serve_load::run(config);
+    println!("{}", record.render());
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", record.to_json())) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote load record to {path}");
+    }
+
+    if record.failures > 0 {
+        eprintln!(
+            "serve bench: FAILED — {} request(s) errored",
+            record.failures
+        );
+        return ExitCode::FAILURE;
+    }
+    if record.requests > record.specs && record.hit_rate <= 0.0 {
+        eprintln!("serve bench: FAILED — repeated workload produced no cache hits");
+        return ExitCode::FAILURE;
+    }
+    println!("serve bench: OK");
+    ExitCode::SUCCESS
+}

@@ -12,14 +12,22 @@
 //! * [`gate`] — the CI benchmark gate: per-case JSON records of the fig9
 //!   smoke run and the regression comparison against the checked-in
 //!   `baseline.json` (throughput floors plus determinism drift).
-//! * [`json`] — the dependency-free JSON reader/writer behind the artifacts.
+//! * [`serve_load`] — the concurrent-load scenario for the `effpi-serve`
+//!   verification service: N clients × M specs against an in-process server,
+//!   reporting requests/sec and the verdict-cache hit rate
+//!   (`BENCH_serve.json`).
+//! * [`json`] — the dependency-free JSON reader/writer behind the artifacts
+//!   (now the shared [`wire`] crate, re-exported here under its historic
+//!   name).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fig8;
 pub mod fig9;
-pub mod flags;
 pub mod gate;
 pub mod harness;
-pub mod json;
+pub mod serve_load;
+
+pub use wire as json;
+pub use wire::flags;

@@ -1,0 +1,299 @@
+//! Concurrent-load benchmark for the `effpi-serve` verification service —
+//! the service counterpart of the Fig. 9 table.
+//!
+//! The scenario: an in-process server (fixed worker pool, verdict cache) is
+//! hammered by `clients` concurrent connections, each submitting every spec
+//! of a small mixed workload `rounds` times. The first encounter of each
+//! spec is a cache miss that runs the full pipeline; every re-encounter —
+//! within one client's rounds or across racing clients — should come back
+//! from the content-addressed cache. The record reports the two numbers a
+//! capacity plan needs: sustained **requests/sec** and the **cache hit
+//! rate**, plus cross-client verdict agreement (any drift is a bug, not
+//! noise — the same check the fig9 gate applies).
+//!
+//! `serve_bench` (the binary) writes the record to `BENCH_serve.json`
+//! (schema `bench-serve/v1`), which CI uploads next to `BENCH_fig9.json`.
+
+use std::collections::BTreeMap;
+use std::thread;
+use std::time::Instant;
+
+use serve::{CacheConfig, Client, Endpoints, Server, ServerConfig, VerifyOptions};
+use wire::Json;
+
+/// The schema tag of the `BENCH_serve.json` artifact.
+pub const SCHEMA: &str = "bench-serve/v1";
+
+/// The workload: every shipped `examples/specs/*.effpi`, plus inline
+/// variants that exercise distinct cache keys (different property lists and
+/// a failing check).
+pub fn workload() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "payment.effpi",
+            include_str!("../../../examples/specs/payment.effpi"),
+        ),
+        (
+            "send_once.effpi",
+            include_str!("../../../examples/specs/send_once.effpi"),
+        ),
+        (
+            "ring-pair",
+            "def Token = ()\n\
+             env a : cio[Token]\n\
+             env b : cio[Token]\n\
+             type p[ rec r . i[a, Pi(t: Token) o[b, Token, Pi() r]],\n\
+             rec s . i[b, Pi(t: Token) o[a, Token, Pi() s]] ]\n\
+             check deadlock_free []\n",
+        ),
+        (
+            "forwarding-violation",
+            "env self : cio[int]\n\
+             env aud : co[int]\n\
+             env client : co[str | ()]\n\
+             type rec t . i[self, Pi(pay: int) ( o[client, str, Pi() t]\n\
+             | o[aud, pay, Pi() o[client, (), Pi() t]] )]\n\
+             check forwarding self -> aud\n",
+        ),
+    ]
+}
+
+/// Scenario knobs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LoadConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// How many times each client submits the whole workload.
+    pub rounds: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Server global exploration-job budget.
+    pub jobs: usize,
+    /// State bound per request.
+    pub max_states: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            clients: 4,
+            rounds: 3,
+            workers: 4,
+            jobs: 4,
+            max_states: 60_000,
+        }
+    }
+}
+
+/// The measured record of one load run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LoadRecord {
+    /// The configuration the run used.
+    pub config: LoadConfig,
+    /// Distinct specs in the workload.
+    pub specs: usize,
+    /// Requests sent (= answered: every request must get a verdict).
+    pub requests: usize,
+    /// Requests that failed or whose verdict disagreed across clients.
+    pub failures: usize,
+    /// Wall-clock time for the whole run, milliseconds.
+    pub wall_ms: f64,
+    /// Sustained throughput.
+    pub requests_per_sec: f64,
+    /// Server-side cache hits at the end of the run.
+    pub cache_hits: u64,
+    /// Server-side cache misses at the end of the run.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`.
+    pub hit_rate: f64,
+}
+
+impl LoadRecord {
+    /// Renders the record as the `BENCH_serve.json` document.
+    pub fn to_json(&self) -> Json {
+        let mut root = BTreeMap::new();
+        root.insert("schema".into(), Json::str(SCHEMA));
+        root.insert("clients".into(), Json::Num(self.config.clients as f64));
+        root.insert("rounds".into(), Json::Num(self.config.rounds as f64));
+        root.insert("workers".into(), Json::Num(self.config.workers as f64));
+        root.insert("jobs".into(), Json::Num(self.config.jobs as f64));
+        root.insert(
+            "max_states".into(),
+            Json::Num(self.config.max_states as f64),
+        );
+        root.insert("specs".into(), Json::Num(self.specs as f64));
+        root.insert("requests".into(), Json::Num(self.requests as f64));
+        root.insert("failures".into(), Json::Num(self.failures as f64));
+        root.insert("wall_ms".into(), Json::num_round3(self.wall_ms));
+        root.insert(
+            "requests_per_sec".into(),
+            Json::num_round3(self.requests_per_sec),
+        );
+        root.insert("cache_hits".into(), Json::Num(self.cache_hits as f64));
+        root.insert("cache_misses".into(), Json::Num(self.cache_misses as f64));
+        root.insert("hit_rate".into(), Json::num_round3(self.hit_rate));
+        Json::Obj(root)
+    }
+
+    /// One human-readable summary line.
+    pub fn render(&self) -> String {
+        format!(
+            "{} clients x {} rounds x {} specs = {} requests in {:.1} ms \
+             ({:.0} req/s, cache hit rate {:.1}%, {} failures)",
+            self.config.clients,
+            self.config.rounds,
+            self.specs,
+            self.requests,
+            self.wall_ms,
+            self.requests_per_sec,
+            self.hit_rate * 100.0,
+            self.failures
+        )
+    }
+}
+
+/// Runs the scenario against a fresh in-process server on an ephemeral TCP
+/// port, shutting it down gracefully afterwards.
+///
+/// # Panics
+///
+/// Panics when the server cannot start or a client cannot connect — the
+/// benchmark is meaningless without its server.
+pub fn run(config: LoadConfig) -> LoadRecord {
+    let handle = Server::start(
+        &Endpoints {
+            tcp: Some("127.0.0.1:0".to_string()),
+            unix: None,
+        },
+        ServerConfig {
+            workers: config.workers,
+            jobs: config.jobs,
+            cache: CacheConfig::default(),
+            default_max_states: config.max_states,
+        },
+    )
+    .expect("start in-process effpi-serve");
+    let addr = handle
+        .tcp_addr()
+        .expect("TCP endpoint requested")
+        .to_string();
+    let specs = workload();
+
+    let start = Instant::now();
+    struct ClientOutcome {
+        requests: usize,
+        failures: usize,
+        /// The distinct stable lines this client saw, per spec index —
+        /// more than one entry anywhere is determinism drift.
+        lines: Vec<std::collections::BTreeSet<String>>,
+    }
+    let outcomes: Vec<ClientOutcome> = thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for _ in 0..config.clients.max(1) {
+            let addr = addr.clone();
+            let specs = &specs;
+            joins.push(scope.spawn(move || {
+                let mut client = Client::connect_tcp(&addr).expect("connect load client");
+                let mut outcome = ClientOutcome {
+                    requests: 0,
+                    failures: 0,
+                    lines: vec![std::collections::BTreeSet::new(); specs.len()],
+                };
+                for _ in 0..config.rounds.max(1) {
+                    for (spec_no, (name, text)) in specs.iter().enumerate() {
+                        outcome.requests += 1;
+                        match client.verify(text, VerifyOptions::default()) {
+                            // Spec-level verification failures (a failing
+                            // check) are expected workload behaviour; only
+                            // transport/protocol errors and report-level
+                            // errors count as failures.
+                            Ok(reply) if reply.report.error.is_none() => {
+                                outcome.lines[spec_no].insert(reply.report.stable_line);
+                            }
+                            Ok(_) | Err(_) => {
+                                outcome.failures += 1;
+                                eprintln!("load client: {name} failed");
+                            }
+                        }
+                    }
+                }
+                outcome
+            }));
+        }
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("client thread"))
+            .collect()
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let mut verifier = Client::connect_tcp(&addr).expect("connect stats client");
+    let stats = verifier.stats().expect("stats");
+    let cache = stats.get("cache").expect("stats.cache");
+    let cache_hits = cache.get("hits").and_then(Json::as_usize).unwrap_or(0) as u64;
+    let cache_misses = cache.get("misses").and_then(Json::as_usize).unwrap_or(0) as u64;
+    verifier.shutdown_server().expect("graceful shutdown");
+    handle.join();
+
+    let requests: usize = outcomes.iter().map(|o| o.requests).sum();
+    let mut failures: usize = outcomes.iter().map(|o| o.failures).sum();
+    // Cross-client agreement, the same determinism check the fig9 gate
+    // applies: across every client and round, each spec must have produced
+    // exactly one stable line. A cache that ever returned the wrong stored
+    // report (or an engine that drifted) shows up here as a failure.
+    for (spec_no, (name, _)) in specs.iter().enumerate() {
+        let mut seen = std::collections::BTreeSet::new();
+        for outcome in &outcomes {
+            seen.extend(outcome.lines[spec_no].iter().cloned());
+        }
+        if seen.len() > 1 {
+            failures += 1;
+            eprintln!(
+                "load scenario: {name} produced {} distinct verdict lines",
+                seen.len()
+            );
+        }
+    }
+    let lookups = cache_hits + cache_misses;
+    LoadRecord {
+        config,
+        specs: specs.len(),
+        requests,
+        failures,
+        wall_ms,
+        requests_per_sec: requests as f64 / (wall_ms / 1e3).max(1e-9),
+        cache_hits,
+        cache_misses,
+        hit_rate: if lookups == 0 {
+            0.0
+        } else {
+            cache_hits as f64 / lookups as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_load_scenario_completes_with_a_warm_cache() {
+        let record = run(LoadConfig {
+            clients: 2,
+            rounds: 2,
+            workers: 2,
+            jobs: 2,
+            max_states: 60_000,
+        });
+        assert_eq!(record.requests, 2 * 2 * record.specs);
+        assert_eq!(record.failures, 0, "{}", record.render());
+        assert!(record.requests_per_sec > 0.0);
+        // 2 clients x 2 rounds over the same specs: the cache must get warm.
+        assert!(record.hit_rate > 0.0, "{}", record.render());
+        // The artifact round-trips through the shared JSON.
+        let text = record.to_json().to_string();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert!(parsed.get("hit_rate").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+}

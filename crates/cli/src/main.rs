@@ -1,0 +1,356 @@
+//! `effpi-cli` — type-check and verify λπ⩽ protocol specifications from the
+//! command line (the stand-alone counterpart of the Dotty compiler plugin of
+//! §5.1), and the front end of the `effpi-serve` verification service.
+//!
+//! The one-shot commands are a thin shell around [`effpi::Session`]; the
+//! service commands wrap the `serve` crate's daemon and client library:
+//!
+//! ```text
+//! effpi-cli verify    <spec.effpi> [--max-states N] [--jobs J]   # run every `check` in the spec
+//! effpi-cli typecheck <spec.effpi>                               # only check `term` against `type`
+//! effpi-cli lts       <spec.effpi> [--max-states N] [--jobs J]   # report the type LTS size
+//! effpi-cli parse     <spec.effpi>                               # echo the parsed type back
+//!
+//! effpi-cli serve  [--listen ADDR] [--uds PATH] [--workers W] [--jobs J]
+//!                  [--max-states N] [--cache-entries E] [--cache-states S]
+//! effpi-cli client <ADDR|unix:PATH> verify <spec.effpi> [--max-states N]
+//! effpi-cli client <ADDR|unix:PATH> stats|ping|shutdown
+//! ```
+//!
+//! Sample specifications live in `examples/specs/`; the wire protocol is
+//! documented in `crates/serve/PROTOCOL.md`.
+
+use std::process::ExitCode;
+
+use effpi::spec::parse_spec;
+use effpi::Session;
+use serve::{CacheConfig, Client, Endpoints, Server, ServerConfig, VerifyOptions};
+// Shared flag-parsing policy (one implementation for every binary in the
+// workspace): a present flag must have a well-formed value — malformed
+// input errors, it never silently defaults.
+use wire::flags::{parse_flag as flag_value, resolve_jobs, string_flag};
+
+/// `println!` that survives a closed stdout: piping through `head` must end
+/// the output, not abort the process (`println!` panics on EPIPE).
+macro_rules! say {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    }};
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match command.as_str() {
+        "serve" => cmd_serve(&args),
+        "client" => cmd_client(&args),
+        "verify" | "typecheck" | "lts" | "parse" => cmd_one_shot(command.clone(), &args),
+        other => {
+            eprintln!("unknown command {other:?}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// One-shot commands (verify / typecheck / lts / parse)
+// ---------------------------------------------------------------------------
+
+fn cmd_one_shot(command: String, args: &[String]) -> ExitCode {
+    let Some(path) = args.get(1) else {
+        eprintln!("missing specification file\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    // A present flag with a bad value is a usage error, never a silent
+    // fallback to the default.
+    let (max_states, jobs) = match (flag_value(args, "--max-states"), flag_value(args, "--jobs")) {
+        (Ok(max_states), Ok(jobs)) => (max_states.unwrap_or(500_000), resolve_jobs(jobs)),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let spec = match parse_spec(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // One session for every command. The spec's visible list is set as the
+    // session default so direct `build_lts` calls see it; `run_spec` applies
+    // the same list itself.
+    let session = Session::builder()
+        .max_states(max_states)
+        .visible(spec.visible.clone())
+        .parallelism(jobs)
+        .build();
+
+    match command.as_str() {
+        "verify" => {
+            let report = session.run_spec(&spec);
+            {
+                use std::io::Write as _;
+                let _ = write!(std::io::stdout(), "{report}");
+            }
+            if report.passed() {
+                say!("result: all checks passed");
+                ExitCode::SUCCESS
+            } else {
+                say!("result: some checks failed");
+                ExitCode::FAILURE
+            }
+        }
+        "typecheck" => {
+            // Step 1 only: run the spec with its `check` statements dropped.
+            let mut typing_only = spec.clone();
+            typing_only.checks.clear();
+            match session.run_spec(&typing_only).typecheck {
+                Some(Ok(())) => {
+                    say!("typecheck: ok");
+                    ExitCode::SUCCESS
+                }
+                Some(Err(e)) => {
+                    say!("typecheck: FAILED — {e}");
+                    ExitCode::FAILURE
+                }
+                None => {
+                    say!("nothing to typecheck (no `term` statement)");
+                    ExitCode::SUCCESS
+                }
+            }
+        }
+        "lts" => {
+            let Some(ty) = &spec.ty else {
+                eprintln!("the specification has no `type` statement");
+                return ExitCode::from(2);
+            };
+            // Build the LTS the same way verification would (probes and the
+            // spec's visible list included).
+            match session.build_lts(&spec.env, ty) {
+                Ok((_, lts)) => {
+                    // A truncated LTS never reaches this arm: build_lts
+                    // reports it as a StateSpaceTooLarge error instead.
+                    say!(
+                        "states: {}  transitions: {}",
+                        lts.num_states(),
+                        lts.num_transitions()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("could not build the LTS: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "parse" => {
+            match &spec.ty {
+                Some(ty) => say!("type: {ty}"),
+                None => say!("type: (none)"),
+            }
+            if let Some(term) = &spec.term {
+                say!("term: {term}");
+            }
+            say!("environment: {}", spec.env);
+            say!("checks: {}", spec.checks.len());
+            ExitCode::SUCCESS
+        }
+        _ => unreachable!("dispatched in main"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The daemon (`effpi-cli serve`)
+// ---------------------------------------------------------------------------
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let parsed: Result<_, String> = (|| {
+        Ok((
+            string_flag(args, "--listen")?,
+            string_flag(args, "--uds")?,
+            flag_value(args, "--workers")?,
+            flag_value(args, "--jobs")?,
+            flag_value(args, "--max-states")?,
+            flag_value(args, "--cache-entries")?,
+            flag_value(args, "--cache-states")?,
+        ))
+    })();
+    let (listen, uds, workers, jobs, max_states, cache_entries, cache_states) = match parsed {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let defaults = ServerConfig::default();
+    let workers = workers.unwrap_or(defaults.workers).max(1);
+    let config = ServerConfig {
+        workers,
+        // `--jobs 0` means "one exploration thread per hardware thread",
+        // split across the workers; absent means one per worker.
+        jobs: match jobs {
+            Some(0) => std::thread::available_parallelism().map_or(workers, usize::from),
+            Some(n) => n,
+            None => workers,
+        },
+        cache: CacheConfig {
+            max_entries: cache_entries.unwrap_or(defaults.cache.max_entries),
+            max_states: cache_states.unwrap_or(defaults.cache.max_states),
+        },
+        default_max_states: max_states.unwrap_or(defaults.default_max_states),
+    };
+    let endpoints = Endpoints {
+        // A Unix socket alone is a valid deployment; TCP only defaults on
+        // when no endpoint was named at all.
+        tcp: listen.or_else(|| uds.is_none().then(|| "127.0.0.1:7717".to_string())),
+        unix: uds.map(std::path::PathBuf::from),
+    };
+    let handle = match Server::start(&endpoints, config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("cannot start the server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(addr) = handle.tcp_addr() {
+        say!("effpi-serve listening on tcp://{addr}");
+    }
+    if let Some(path) = &endpoints.unix {
+        say!("effpi-serve listening on unix:{}", path.display());
+    }
+    say!(
+        "workers {}, exploration jobs {}, cache {} entries / {} states; \
+         stop with a `shutdown` request (effpi-cli client <addr> shutdown)",
+        config.workers,
+        config.jobs,
+        config.cache.max_entries,
+        config.cache.max_states
+    );
+    handle.join();
+    say!("effpi-serve: drained and stopped");
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// The client (`effpi-cli client`)
+// ---------------------------------------------------------------------------
+
+fn cmd_client(args: &[String]) -> ExitCode {
+    let (Some(addr), Some(action)) = (args.get(1), args.get(2)) else {
+        eprintln!("usage: effpi-cli client <ADDR|unix:PATH> <verify|stats|ping|shutdown> ...");
+        return ExitCode::from(2);
+    };
+    let mut client = match connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match action.as_str() {
+        "verify" => {
+            let Some(path) = args.get(3) else {
+                eprintln!("missing specification file");
+                return ExitCode::from(2);
+            };
+            let max_states = match flag_value(args, "--max-states") {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            client
+                .verify(
+                    &text,
+                    VerifyOptions {
+                        max_states,
+                        ..VerifyOptions::default()
+                    },
+                )
+                .map(|reply| {
+                    say!(
+                        "cached: {}  key: {}",
+                        if reply.cached { "hit" } else { "miss" },
+                        reply.key
+                    );
+                    for (name, holds) in &reply.report.verdicts {
+                        say!("{name}: {holds}");
+                    }
+                    if let Some(e) = &reply.report.error {
+                        say!("error: {e}");
+                    }
+                    say!("{}", reply.report.stable_line);
+                    reply.report.passed
+                })
+        }
+        "stats" => client.stats().map(|stats| {
+            say!("{stats}");
+            true
+        }),
+        "ping" => client.ping().map(|()| {
+            say!("pong");
+            true
+        }),
+        "shutdown" => client.shutdown_server().map(|()| {
+            say!("server is shutting down");
+            true
+        }),
+        other => {
+            eprintln!("unknown client action {other:?}");
+            return ExitCode::from(2);
+        }
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn connect(addr: &str) -> Result<Client, std::io::Error> {
+    if let Some(path) = addr.strip_prefix("unix:") {
+        #[cfg(unix)]
+        {
+            return Client::connect_unix(std::path::Path::new(path));
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "Unix sockets are not available on this platform",
+            ));
+        }
+    }
+    Client::connect_tcp(addr)
+}
+
+const USAGE: &str = "\
+usage: effpi-cli <verify|typecheck|lts|parse> <spec.effpi> [--max-states N] [--jobs J]
+       effpi-cli serve [--listen ADDR] [--uds PATH] [--workers W] [--jobs J]
+                       [--max-states N] [--cache-entries E] [--cache-states S]
+       effpi-cli client <ADDR|unix:PATH> <verify <spec.effpi> [--max-states N]|stats|ping|shutdown>";

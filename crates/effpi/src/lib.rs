@@ -65,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fingerprint;
 pub mod protocols;
 pub mod session;
 pub mod spec;
@@ -78,80 +79,11 @@ pub use runtime::{
     Scheduler, ThreadRuntime,
 };
 
+pub use fingerprint::CacheKey;
 pub use protocols::Scenario;
 pub use session::{
     Error, PropertyReport, Report, ReportSummary, Session, SessionBuilder, SessionConfig,
 };
-
-/// Checks that a closed λπ⩽ term implements the given behavioural type
-/// (`∅ ⊢ t : T`, Fig. 4) — the paper's Step 1.
-///
-/// Migration: this is a thin shim over the [`Session`] pipeline —
-///
-/// ```
-/// use effpi::Session;
-/// use lambdapi::examples;
-///
-/// // was: effpi::implements(&term, &ty)?
-/// Session::new()
-///     .type_check_closed(&examples::payment_term(), &examples::tpayment_type())
-///     .unwrap();
-/// ```
-///
-/// # Errors
-///
-/// Returns the typing error if the term does not implement the type.
-#[deprecated(since = "0.2.0", note = "use `Session::type_check_closed` instead")]
-pub fn implements(term: &Term, ty: &Type) -> TypeResult<()> {
-    Session::new()
-        .type_check_closed(term, ty)
-        .map_err(Error::expect_type)
-}
-
-/// Checks that an *open* λπ⩽ term implements the given behavioural type in the
-/// given environment (`Γ ⊢ t : T`).
-///
-/// Migration: `Session::new().type_check(&env, &term, &ty)`.
-///
-/// # Errors
-///
-/// Returns the typing error if the term does not implement the type.
-#[deprecated(since = "0.2.0", note = "use `Session::type_check` instead")]
-pub fn implements_in(env: &TypeEnv, term: &Term, ty: &Type) -> TypeResult<()> {
-    Session::new()
-        .type_check(env, term, ty)
-        .map_err(Error::expect_type)
-}
-
-/// Verifies a behavioural property of a type (the paper's Step 2: type-level
-/// model checking, transferring to programs by Thm. 4.10).
-///
-/// Migration: this is a thin shim over the [`Session`] pipeline —
-///
-/// ```
-/// use effpi::{Property, Session, Type, TypeEnv};
-///
-/// let env = TypeEnv::new().bind("x", Type::chan_io(Type::Int));
-/// let ty = Type::out(Type::var("x"), Type::Int, Type::thunk(Type::Nil));
-/// // was: effpi::verify(&env, &ty, &Property::eventual_output(["x"]))?
-/// let outcome = Session::new().verify(&env, &ty, &Property::eventual_output(["x"])).unwrap();
-/// assert!(outcome.holds);
-/// ```
-///
-/// # Errors
-///
-/// Returns a [`VerifyError`] if the type is outside the decidable fragment of
-/// Lemma 4.7 or its state space exceeds the default bound.
-#[deprecated(since = "0.2.0", note = "use `Session::verify` instead")]
-pub fn verify(
-    env: &TypeEnv,
-    ty: &Type,
-    property: &Property,
-) -> Result<VerificationOutcome, VerifyError> {
-    Session::new()
-        .verify(env, ty, property)
-        .map_err(Error::expect_verify)
-}
 
 #[cfg(test)]
 mod tests {

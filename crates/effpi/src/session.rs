@@ -62,21 +62,9 @@ pub enum Error {
 }
 
 impl Error {
-    /// Unwraps the Step 1 (typing) variant, for legacy shims whose code paths
-    /// can only produce typing errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics on any other variant.
-    pub(crate) fn expect_type(self) -> TypeError {
-        match self {
-            Error::Type(e) => e,
-            other => unreachable!("type checking produced {other}"),
-        }
-    }
-
-    /// Unwraps the Step 2 (verification) variant, for legacy shims whose code
-    /// paths can only produce verification errors.
+    /// Unwraps the Step 2 (verification) variant, for wrappers (e.g.
+    /// [`Scenario::run`]) whose code paths can only produce verification
+    /// errors.
     ///
     /// # Panics
     ///
@@ -489,6 +477,19 @@ impl Session {
     pub fn run_spec_text(&self, text: &str) -> Result<Report, Error> {
         Ok(self.run_spec(&parse_spec(text)?))
     }
+
+    /// The content address of running `spec` on this session — the key under
+    /// which a verdict cache (the `effpi-serve` daemon's, or any other) may
+    /// store and replay the report of [`Session::run_spec`].
+    ///
+    /// Normalisation-equivalent specs (alias renaming, re-ordered unions,
+    /// whitespace/comment changes) share one key; anything that can change
+    /// the report — type, environment, visibility, term, check list, engine
+    /// bounds — separates keys. `parallelism` is excluded by the engine's
+    /// determinism guarantee. See [`crate::fingerprint`] for the contract.
+    pub fn cache_key(&self, spec: &Spec) -> crate::fingerprint::CacheKey {
+        crate::fingerprint::spec_cache_key(&self.config, spec)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -604,6 +605,78 @@ impl Report {
                 .collect(),
             error: self.first_error().map(|e| e.to_string()),
         }
+    }
+
+    /// Renders the report as the workspace's wire JSON — the body of an
+    /// `effpi-serve` `verify` response and the shape cached by its verdict
+    /// cache (see `crates/serve/PROTOCOL.md`).
+    ///
+    /// [`wire::Json`] renders deterministically, so structurally equal
+    /// reports produce byte-identical text; the `stable_line` field carries
+    /// [`ReportSummary::stable_line`] verbatim so clients can compare runs
+    /// without re-deriving it. Durations are wall-clock milliseconds rounded
+    /// to 3 decimals — on a cache hit they are the *cold* run's timings,
+    /// replayed with the rest of the stored report.
+    pub fn to_wire_json(&self) -> wire::Json {
+        use wire::Json;
+        let typecheck = match &self.typecheck {
+            None => Json::Null,
+            Some(Ok(())) => Json::obj([("ok", Json::Bool(true))]),
+            Some(Err(e)) => Json::obj([
+                ("ok", Json::Bool(false)),
+                ("error", Json::str(e.to_string())),
+            ]),
+        };
+        let properties: Vec<Json> = self
+            .properties
+            .iter()
+            .map(|p| {
+                let mut fields = vec![
+                    ("property".to_string(), Json::str(p.property.to_string())),
+                    ("name".to_string(), Json::str(p.property.name())),
+                ];
+                match &p.result {
+                    Ok(o) => fields.extend([
+                        ("holds".to_string(), Json::Bool(o.holds)),
+                        ("states".to_string(), Json::Num(o.states as f64)),
+                        ("transitions".to_string(), Json::Num(o.transitions as f64)),
+                        (
+                            "duration_ms".to_string(),
+                            Json::num_round3(o.duration.as_secs_f64() * 1e3),
+                        ),
+                    ]),
+                    Err(e) => fields.push(("error".to_string(), Json::str(e.to_string()))),
+                }
+                Json::obj(fields)
+            })
+            .collect();
+        let summary = self.summary();
+        Json::obj([
+            (
+                "name",
+                match &self.name {
+                    Some(n) => Json::str(n.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("passed", Json::Bool(summary.passed)),
+            ("states", Json::Num(summary.states as f64)),
+            ("transitions", Json::Num(summary.transitions as f64)),
+            (
+                "duration_ms",
+                Json::num_round3(summary.duration.as_secs_f64() * 1e3),
+            ),
+            ("typecheck", typecheck),
+            ("properties", Json::Arr(properties)),
+            (
+                "error",
+                match &summary.error {
+                    Some(e) => Json::str(e.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("stable_line", Json::str(summary.stable_line())),
+        ])
     }
 }
 

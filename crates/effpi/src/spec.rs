@@ -45,7 +45,7 @@ use std::fmt;
 use dbt_types::TypeEnv;
 use lambdapi::parser::{parse_term_with, parse_type_with, Definitions};
 use lambdapi::{Name, Term, Type};
-use mucalc::{Property, VerificationOutcome};
+use mucalc::Property;
 
 /// A parsed protocol specification.
 #[derive(Clone, Debug)]
@@ -62,51 +62,6 @@ pub struct Spec {
     pub term: Option<Term>,
     /// The properties to verify.
     pub checks: Vec<Property>,
-}
-
-/// The result of running a specification (legacy shape).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `effpi::Session::run_spec`, which returns the unified `effpi::Report`"
-)]
-#[derive(Clone, Debug)]
-pub struct SpecReport {
-    /// Whether the term (if any) implements the type.
-    pub typecheck: Option<Result<(), String>>,
-    /// One verification outcome per `check` statement.
-    pub outcomes: Vec<Result<VerificationOutcome, String>>,
-}
-
-#[allow(deprecated)]
-impl SpecReport {
-    /// `true` when the term type-checks (or there is no term) and every
-    /// property holds.
-    pub fn all_ok(&self) -> bool {
-        let typing_ok = matches!(&self.typecheck, None | Some(Ok(())));
-        typing_ok
-            && self
-                .outcomes
-                .iter()
-                .all(|o| matches!(o, Ok(outcome) if outcome.holds))
-    }
-}
-
-#[allow(deprecated)]
-impl fmt::Display for SpecReport {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &self.typecheck {
-            Some(Ok(())) => writeln!(f, "typecheck: ok")?,
-            Some(Err(e)) => writeln!(f, "typecheck: FAILED — {e}")?,
-            None => {}
-        }
-        for o in &self.outcomes {
-            match o {
-                Ok(outcome) => writeln!(f, "{outcome}")?,
-                Err(e) => writeln!(f, "verification error: {e}")?,
-            }
-        }
-        Ok(())
-    }
 }
 
 /// An error while parsing a specification file.
@@ -247,6 +202,16 @@ fn parse_property(text: &str) -> Result<Property, String> {
             .filter(|v| !v.is_empty())
             .collect())
     };
+    // A property over a nameless channel can never hold meaningfully, and
+    // the server feeds this parser untrusted bytes: empty names are a parse
+    // error, not an empty `Name`.
+    fn ident(s: &str) -> Result<&str, String> {
+        if s.is_empty() || s.split_whitespace().nth(1).is_some() {
+            Err(format!("expected one channel name, found {s:?}"))
+        } else {
+            Ok(s)
+        }
+    }
     match name {
         "non_usage" => Ok(Property::non_usage(list(rest)?)),
         "deadlock_free" => Ok(Property::deadlock_free(list(rest)?)),
@@ -255,62 +220,11 @@ fn parse_property(text: &str) -> Result<Property, String> {
             let (from, to) = rest
                 .split_once("->")
                 .ok_or_else(|| "expected `forwarding x -> y`".to_string())?;
-            Ok(Property::forwarding(from.trim(), to.trim()))
+            Ok(Property::forwarding(ident(from.trim())?, ident(to.trim())?))
         }
-        "reactive" => Ok(Property::reactive(rest)),
-        "responsive" => Ok(Property::responsive(rest)),
+        "reactive" => Ok(Property::reactive(ident(rest)?)),
+        "responsive" => Ok(Property::responsive(ident(rest)?)),
         other => Err(format!("unknown property {other:?}")),
-    }
-}
-
-/// Runs a parsed specification: type-checks the optional term and verifies
-/// every `check` statement.
-///
-/// Migration: this delegates to [`crate::Session::run_spec`] —
-///
-/// ```
-/// # let spec = effpi::spec::parse_spec("env x : cio[int]\ntype o[x, int, Pi() nil]\ncheck deadlock_free [x]").unwrap();
-/// let report = effpi::Session::builder().max_states(10_000).build().run_spec(&spec);
-/// assert!(report.passed());
-/// ```
-#[deprecated(
-    since = "0.2.0",
-    note = "use `effpi::Session::run_spec`, which returns the unified `effpi::Report`"
-)]
-#[allow(deprecated)]
-pub fn run_spec(spec: &Spec, max_states: usize) -> SpecReport {
-    // The legacy API reported errors without the unified `Error` prefixes.
-    fn legacy_message(e: crate::Error) -> String {
-        match e {
-            crate::Error::Type(t) => t.to_string(),
-            crate::Error::Verify(v) => v.to_string(),
-            crate::Error::Spec(s) => s.message,
-        }
-    }
-
-    let report = crate::Session::builder()
-        .max_states(max_states)
-        .build()
-        .run_spec(spec);
-    let mut outcomes: Vec<Result<VerificationOutcome, String>> = report
-        .properties
-        .into_iter()
-        .map(|p| p.result.map_err(legacy_message))
-        .collect();
-    if let Some(e) = report.error {
-        // The legacy API reported a verification failure once per `check`
-        // statement (it verified them one by one), but a missing `type`
-        // statement as a single entry.
-        let copies = match &e {
-            crate::Error::Verify(_) => spec.checks.len().max(1),
-            _ => 1,
-        };
-        let msg = legacy_message(e);
-        outcomes.extend(std::iter::repeat_with(|| Err(msg.clone())).take(copies));
-    }
-    SpecReport {
-        typecheck: report.typecheck.map(|r| r.map_err(legacy_message)),
-        outcomes,
     }
 }
 

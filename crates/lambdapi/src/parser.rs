@@ -77,6 +77,7 @@ pub fn parse_type_with(input: &str, defs: &Definitions) -> Result<Type, ParseErr
         pos: 0,
         defs,
         rec_vars: Vec::new(),
+        depth: 0,
     };
     let ty = p.ty()?;
     p.expect(Token::Eof)?;
@@ -97,17 +98,29 @@ pub fn parse_term_with(input: &str, defs: &Definitions) -> Result<Term, ParseErr
         pos: 0,
         defs,
         rec_vars: Vec::new(),
+        depth: 0,
     };
     let t = p.term()?;
     p.expect(Token::Eof)?;
     Ok(t)
 }
 
+/// How deeply types/terms may nest before the parser refuses the input.
+///
+/// Every nesting construct recurses through [`Parser::ty`] or
+/// [`Parser::term`], so this bounds the parser's stack: hostile inputs like
+/// `p[p[p[…` (the spec parser now reads untrusted bytes from `effpi-serve`)
+/// must come back as a [`ParseError`], not as a stack overflow. Real
+/// specifications nest a handful of levels; 256 is far beyond any of them
+/// yet comfortably inside even a 2 MiB test-thread stack.
+const MAX_NESTING: usize = 256;
+
 struct Parser<'a> {
     tokens: Vec<Token>,
     pos: usize,
     defs: &'a Definitions,
     rec_vars: Vec<Name>,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -141,6 +154,20 @@ impl<'a> Parser<'a> {
         ParseError {
             position: self.pos,
             message,
+        }
+    }
+
+    /// Guards one level of recursion (see [`MAX_NESTING`]). Placed on the
+    /// *atom* parsers because every recursion cycle of the grammar passes
+    /// through an atom (bracketed forms, `Pi`/`rec` bodies, `!`-chains,
+    /// lambda bodies alike); callers pair it with a `depth -= 1` on the way
+    /// out.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            Err(self.error(format!("input nests deeper than {MAX_NESTING} levels")))
+        } else {
+            Ok(())
         }
     }
 
@@ -189,6 +216,13 @@ impl<'a> Parser<'a> {
     }
 
     fn ty_atom(&mut self) -> Result<Type, ParseError> {
+        self.enter()?;
+        let ty = self.ty_atom_unguarded();
+        self.depth -= 1;
+        ty
+    }
+
+    fn ty_atom_unguarded(&mut self) -> Result<Type, ParseError> {
         match self.advance() {
             Token::Top => Ok(Type::Top),
             Token::Bottom => Ok(Type::Bottom),
@@ -368,6 +402,13 @@ impl<'a> Parser<'a> {
     }
 
     fn term_atom(&mut self) -> Result<Term, ParseError> {
+        self.enter()?;
+        let term = self.term_atom_unguarded();
+        self.depth -= 1;
+        term
+    }
+
+    fn term_atom_unguarded(&mut self) -> Result<Term, ParseError> {
         match self.advance() {
             Token::Int(i) => Ok(Term::int(i)),
             Token::Str(s) => Ok(Term::str(s)),

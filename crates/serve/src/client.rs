@@ -1,0 +1,317 @@
+//! A blocking client for the `effpi-serve` protocol.
+//!
+//! [`Client`] drives one connection synchronously: each high-level call
+//! sends one frame and waits for the response with the matching `id`. The
+//! lower-level [`Client::submit_verify`] / [`Client::recv`] pair exposes the
+//! pipelined wire directly — that is how a caller keeps several `verify`
+//! requests in flight (and how cancellation is exercised: submit, then
+//! [`Client::cancel`] the returned id).
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::path::Path;
+
+use wire::Json;
+
+use crate::protocol::{Request, VerifyOptions, WireReport};
+
+/// An error talking to the server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or closed mid-exchange.
+    Io(io::Error),
+    /// The server sent a frame this client cannot make sense of.
+    Protocol(String),
+    /// The server answered `ok: false`.
+    Server {
+        /// The machine-readable `error.kind`.
+        kind: String,
+        /// The human-readable message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server { kind, message } => write!(f, "server error [{kind}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A successful `verify` response.
+#[derive(Clone, PartialEq, Debug)]
+pub struct VerifyReply {
+    /// The decoded report.
+    pub report: WireReport,
+    /// Whether the verdict cache answered (`true` ⇒ the report replays a
+    /// cold run byte-identically, timings included).
+    pub cached: bool,
+    /// The content address the verdict is stored under (32 hex digits).
+    pub key: String,
+}
+
+/// One response frame, minimally decoded: the echoed id and the payload.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Response {
+    /// The request id this answers (`None`: a protocol error for an
+    /// unparseable frame).
+    pub id: Option<u64>,
+    /// The whole response object.
+    pub body: Json,
+}
+
+impl Response {
+    /// Re-shapes an `ok: false` body into [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error, or a protocol error for malformed frames.
+    pub fn into_ok(self) -> Result<Json, ClientError> {
+        match self.body.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(self.body),
+            Some(false) => {
+                let error = self.body.get("error");
+                let field = |key: &str| {
+                    error
+                        .and_then(|e| e.get(key))
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown")
+                        .to_string()
+                };
+                Err(ClientError::Server {
+                    kind: field("kind"),
+                    message: field("message"),
+                })
+            }
+            None => Err(ClientError::Protocol(format!(
+                "response without \"ok\": {}",
+                self.body
+            ))),
+        }
+    }
+}
+
+/// A blocking connection to an `effpi-serve` daemon.
+pub struct Client {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+    next_id: u64,
+    /// Responses read while waiting for a different id (the server answers
+    /// pipelined requests in completion order, not send order); [`Client::recv`]
+    /// drains this before touching the wire, so no response is ever lost.
+    buffered: std::collections::VecDeque<Response>,
+}
+
+impl Client {
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connection error.
+    pub fn connect_tcp(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client::from_halves(Box::new(stream), Box::new(writer)))
+    }
+
+    /// Connects over a Unix-domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connection error.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &Path) -> io::Result<Client> {
+        let stream = std::os::unix::net::UnixStream::connect(path)?;
+        let writer = stream.try_clone()?;
+        Ok(Client::from_halves(Box::new(stream), Box::new(writer)))
+    }
+
+    /// Wraps an already-connected stream pair (useful for tests).
+    pub fn from_halves(reader: Box<dyn Read + Send>, writer: Box<dyn Write + Send>) -> Client {
+        Client {
+            reader: BufReader::new(reader),
+            writer,
+            next_id: 0,
+            buffered: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn send(&mut self, request: &Request) -> io::Result<()> {
+        self.writer.write_all(request.to_line().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Reads the next response frame — buffered responses first, then the
+    /// wire — whichever request it answers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error (including EOF) or a malformed frame.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        if let Some(buffered) = self.buffered.pop_front() {
+            return Ok(buffered);
+        }
+        self.recv_from_wire()
+    }
+
+    fn recv_from_wire(&mut self) -> Result<Response, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let body = Json::parse(line.trim())
+            .map_err(|e| ClientError::Protocol(format!("bad response frame: {e}")))?;
+        let id = body.get("id").and_then(Json::as_usize).map(|v| v as u64);
+        Ok(Response { id, body })
+    }
+
+    /// Reads responses until the one answering `id` arrives. The server
+    /// answers pipelined requests in completion order, so responses to
+    /// *other* in-flight requests may arrive first — they are buffered for
+    /// the next [`Client::recv`], never dropped.
+    fn recv_for(&mut self, id: u64) -> Result<Json, ClientError> {
+        if let Some(at) = self.buffered.iter().position(|r| r.id == Some(id)) {
+            let response = self.buffered.remove(at).expect("position just found");
+            return response.into_ok();
+        }
+        loop {
+            let response = self.recv_from_wire()?;
+            if response.id == Some(id) {
+                return response.into_ok();
+            }
+            self.buffered.push_back(response);
+        }
+    }
+
+    /// Sends a `verify` for a spec text without waiting; returns the request
+    /// id to [`Client::recv`] or [`Client::cancel`] against.
+    ///
+    /// # Errors
+    ///
+    /// Returns the send error.
+    pub fn submit_verify(
+        &mut self,
+        spec: &str,
+        options: VerifyOptions,
+    ) -> Result<u64, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::Verify {
+            id,
+            spec: spec.to_string(),
+            options,
+        })?;
+        Ok(id)
+    }
+
+    /// Verifies a spec text and waits for the verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or the server's refusal (spec parse error,
+    /// cancellation, shutdown).
+    pub fn verify(
+        &mut self,
+        spec: &str,
+        options: VerifyOptions,
+    ) -> Result<VerifyReply, ClientError> {
+        let id = self.submit_verify(spec, options)?;
+        let body = self.recv_for(id)?;
+        decode_verify(&body)
+    }
+
+    /// Fetches the server/cache counters as the raw `stats` object.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol errors.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::Stats { id })?;
+        let body = self.recv_for(id)?;
+        body.get("stats")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("stats response without \"stats\"".into()))
+    }
+
+    /// Asks the server to drop a not-yet-started `verify` of this
+    /// connection. `Ok(true)` guarantees the job will not run; `Ok(false)`
+    /// means it already started (or finished, or was never known).
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol errors.
+    pub fn cancel(&mut self, target: u64) -> Result<bool, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::Cancel { id, target })?;
+        let body = self.recv_for(id)?;
+        Ok(body
+            .get("cancelled")
+            .and_then(Json::as_bool)
+            .unwrap_or(false))
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol errors.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::Ping { id })?;
+        self.recv_for(id).map(|_| ())
+    }
+
+    /// Asks the server to shut down gracefully (acknowledged before the
+    /// drain begins).
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol errors.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::Shutdown { id })?;
+        self.recv_for(id).map(|_| ())
+    }
+}
+
+/// Decodes a successful `verify` response body into a [`VerifyReply`].
+///
+/// # Errors
+///
+/// Returns a protocol error for structurally wrong bodies.
+pub fn decode_verify(body: &Json) -> Result<VerifyReply, ClientError> {
+    let report = body
+        .get("report")
+        .ok_or_else(|| ClientError::Protocol("verify response without \"report\"".into()))?;
+    Ok(VerifyReply {
+        report: WireReport::from_json(report).map_err(ClientError::Protocol)?,
+        cached: body.get("cached").and_then(Json::as_bool).unwrap_or(false),
+        key: body
+            .get("key")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string(),
+    })
+}

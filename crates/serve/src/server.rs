@@ -1,0 +1,806 @@
+//! The `effpi-serve` daemon: accept loops, connection readers, and the
+//! verification worker pool.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  TCP / Unix acceptor ──► one reader thread per connection
+//!                               │  (parses frames; answers stats/cancel/
+//!                               │   ping/shutdown inline)
+//!                               ▼
+//!                      shared FIFO job queue  ◄─── cancellation flags
+//!                               │
+//!                    fixed pool of W workers, each running the
+//!                    Session pipeline with ⌊jobs / W⌋ exploration
+//!                    threads (the global --jobs budget, split)
+//!                               │
+//!                     content-addressed VerdictCache
+//!                               │
+//!                     response line ──► connection writer
+//! ```
+//!
+//! Responses are written by whichever thread produced them (reader for
+//! inline ops, worker for verdicts) under the connection's writer lock, so
+//! a client may pipeline requests and receive answers out of order, matched
+//! by `id`.
+//!
+//! ## Shutdown
+//!
+//! Graceful, in three steps: stop accepting (acceptors exit, readers stop
+//! taking frames), **drain** — every already-queued job still runs and its
+//! response is still delivered (the writer half of a connection outlives its
+//! reader) — then join every thread. Requests arriving during the drain are
+//! refused with `error.kind = "shutting-down"`.
+//!
+//! ## Cancellation
+//!
+//! Best-effort and queue-level: `cancel` flips a flag a worker checks when
+//! it dequeues the job. A request that never started is dropped (its
+//! `verify` answers `error.kind = "cancelled"`); one that is already
+//! executing runs to completion — the exploration engine has no safe
+//! mid-flight abort, and the completed verdict then warms the cache anyway.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use effpi::spec::parse_spec;
+use effpi::Session;
+use runtime::sync::{Condvar, Mutex};
+use wire::Json;
+
+use crate::cache::{CacheConfig, VerdictCache};
+use crate::protocol::{
+    err_response, ok_response, verify_response_line, ErrorKind, Request, VerifyOptions,
+};
+
+/// How long a blocked read waits before re-checking the shutdown flag, and
+/// how long an idle acceptor sleeps between polls. Bounds shutdown latency;
+/// never adds latency to actual traffic.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+type BoxedRead = Box<dyn Read + Send>;
+type BoxedWrite = Box<dyn Write + Send>;
+
+/// Tuning of a [`Server`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ServerConfig {
+    /// Concurrent verifications (worker threads).
+    pub workers: usize,
+    /// Global exploration-thread budget, split evenly across the workers:
+    /// each in-flight verification explores with `max(1, jobs / workers)`
+    /// threads. `jobs = workers` (the default) means serial exploration per
+    /// request with `workers`-way request concurrency.
+    pub jobs: usize,
+    /// Bounds of the verdict cache.
+    pub cache: CacheConfig,
+    /// State bound for requests that do not override `max_states`.
+    pub default_max_states: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            jobs: 4,
+            cache: CacheConfig::default(),
+            default_max_states: 500_000,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn per_request_jobs(&self) -> usize {
+        (self.jobs / self.workers.max(1)).max(1)
+    }
+}
+
+/// Where a [`Server`] listens. At least one endpoint must be set.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Endpoints {
+    /// A TCP bind address, e.g. `"127.0.0.1:7717"` (port `0` for ephemeral).
+    pub tcp: Option<String>,
+    /// A Unix-domain socket path (refused with an error off Unix).
+    pub unix: Option<PathBuf>,
+}
+
+/// The verification service. [`Server::start`] spawns the acceptor and
+/// worker threads and returns a [`ServerHandle`] to wait on or shut down.
+pub struct Server;
+
+impl Server {
+    /// Starts the daemon on the given endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error, or `InvalidInput` when no endpoint is given.
+    pub fn start(endpoints: &Endpoints, config: ServerConfig) -> io::Result<ServerHandle> {
+        if endpoints.tcp.is_none() && endpoints.unix.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no endpoint: set a TCP address and/or a Unix socket path",
+            ));
+        }
+        // Every endpoint is bound *before* any thread is spawned: a failed
+        // second bind must not leak a live acceptor (and its port) behind an
+        // `Err` return that carries no handle to stop it.
+        let mut tcp = None;
+        if let Some(addr) = &endpoints.tcp {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            tcp = Some(listener);
+        }
+        let mut unix_path = None;
+        #[cfg(unix)]
+        let mut unix = None;
+        if let Some(path) = &endpoints.unix {
+            #[cfg(unix)]
+            {
+                // A stale socket file from a crashed daemon would fail the
+                // bind — but only a *stale* one may be removed: if a live
+                // daemon still answers on the path, starting a second one
+                // must fail loudly (AddrInUse), not silently unlink the
+                // first daemon's socket and hijack its traffic.
+                if path.exists() {
+                    if std::os::unix::net::UnixStream::connect(path).is_ok() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::AddrInUse,
+                            format!("a daemon is already serving on {path:?}"),
+                        ));
+                    }
+                    let _ = std::fs::remove_file(path);
+                }
+                let listener = std::os::unix::net::UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                unix_path = Some(path.clone());
+                unix = Some(listener);
+            }
+            #[cfg(not(unix))]
+            {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    format!("Unix sockets are not available on this platform: {path:?}"),
+                ));
+            }
+        }
+
+        let shared = Arc::new(Shared::new(config));
+        let mut threads = Vec::new();
+        let mut tcp_addr = None;
+        if let Some(listener) = tcp {
+            tcp_addr = Some(listener.local_addr()?);
+            let shared = Arc::clone(&shared);
+            threads.push(thread::spawn(move || accept_loop(&shared, &listener)));
+        }
+        #[cfg(unix)]
+        if let Some(listener) = unix {
+            let shared = Arc::clone(&shared);
+            threads.push(thread::spawn(move || accept_loop(&shared, &listener)));
+        }
+
+        for worker in 0..config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("effpi-serve-worker-{worker}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread"),
+            );
+        }
+
+        Ok(ServerHandle {
+            shared,
+            threads,
+            tcp_addr,
+            unix_path,
+        })
+    }
+}
+
+/// A running server: the way to learn its ephemeral address, wait for a
+/// client-initiated `shutdown`, or shut it down from the owning thread.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    threads: Vec<thread::JoinHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+}
+
+impl ServerHandle {
+    /// The bound TCP address (useful with port `0`).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// Initiates a graceful shutdown and waits for every thread: in-flight
+    /// and already-queued requests complete and their responses flush first.
+    pub fn shutdown(self) {
+        self.shared.begin_shutdown();
+        self.finish();
+    }
+
+    /// Blocks until some client sends a `shutdown` request (or another
+    /// thread of this process calls [`ServerHandle::shutdown`] — but this
+    /// method consumes the handle, so in-process that means waiting), then
+    /// completes the same graceful drain.
+    pub fn join(self) {
+        {
+            let mut down = self.shared.down.lock();
+            while !*down {
+                down = self.shared.down_cv.wait(down);
+            }
+        }
+        self.finish();
+    }
+
+    fn finish(self) {
+        for thread in self.threads {
+            let _ = thread.join();
+        }
+        loop {
+            let Some(reader) = self.shared.readers.lock().pop() else {
+                break;
+            };
+            let _ = reader.join();
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared state
+// ---------------------------------------------------------------------------
+
+struct JobFlags {
+    cancelled: AtomicBool,
+    started: AtomicBool,
+}
+
+struct Job {
+    conn: Arc<Conn>,
+    id: u64,
+    flags: Arc<JobFlags>,
+    spec: String,
+    options: VerifyOptions,
+}
+
+/// One client connection: the response writer and the cancellation registry
+/// of its not-yet-completed `verify` requests.
+struct Conn {
+    writer: Mutex<BoxedWrite>,
+    pending: Mutex<HashMap<u64, Arc<JobFlags>>>,
+    /// Set on the first write failure (client vanished, or a write timeout
+    /// cut a response mid-frame). A partially written frame desynchronises
+    /// the line protocol, so nothing more may be sent on this connection —
+    /// and the reader drops it, which closes the socket and lets the client
+    /// observe a clean EOF instead of merged half-frames.
+    dead: AtomicBool,
+}
+
+impl Conn {
+    fn send(&self, line: &str) {
+        let mut writer = self.writer.lock();
+        if self.dead.load(Ordering::SeqCst) {
+            return;
+        }
+        let ok = writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        if ok.is_err() {
+            self.dead.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Removes `id` from the pending registry **only** if it still belongs
+    /// to this job: a client that reuses an in-flight id overwrites the
+    /// entry with the newer job's flags, and the older job's completion must
+    /// not delete the newer job's cancellation handle.
+    fn settle(&self, id: u64, flags: &Arc<JobFlags>) {
+        let mut pending = self.pending.lock();
+        if pending.get(&id).is_some_and(|f| Arc::ptr_eq(f, flags)) {
+            pending.remove(&id);
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    in_flight: AtomicUsize,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+    states_explored: AtomicU64,
+}
+
+struct Shared {
+    config: ServerConfig,
+    queue: Mutex<VecDeque<Job>>,
+    work_cv: Condvar,
+    cache: Mutex<VerdictCache>,
+    shutdown: AtomicBool,
+    down: Mutex<bool>,
+    down_cv: Condvar,
+    readers: Mutex<Vec<thread::JoinHandle<()>>>,
+    counters: Counters,
+}
+
+impl Shared {
+    fn new(config: ServerConfig) -> Shared {
+        Shared {
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            cache: Mutex::new(VerdictCache::new(config.cache)),
+            shutdown: AtomicBool::new(false),
+            down: Mutex::new(false),
+            down_cv: Condvar::new(),
+            readers: Mutex::new(Vec::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn begin_shutdown(&self) {
+        // The flag flips *under the queue lock*: workers check it under the
+        // same lock between their empty-pop and their cv wait, so the
+        // notification below can never slip into that window and be missed
+        // (the classic lost-wakeup), and readers enqueueing under the lock
+        // see a consistent accept-or-refuse decision (no job can be pushed
+        // after the workers were told to drain-and-exit).
+        {
+            let _queue = self.queue.lock();
+            self.shutdown.store(true, Ordering::SeqCst);
+        }
+        // Wake every parked worker so the drain can finish...
+        self.work_cv.notify_all();
+        // ...and whoever is blocked in ServerHandle::join.
+        *self.down.lock() = true;
+        self.down_cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accepting connections
+// ---------------------------------------------------------------------------
+
+/// One listener kind: yields ready connections, `None` when none is pending.
+trait Acceptor {
+    fn poll_accept(&self) -> io::Result<Option<(BoxedRead, BoxedWrite)>>;
+}
+
+impl Acceptor for TcpListener {
+    fn poll_accept(&self) -> io::Result<Option<(BoxedRead, BoxedWrite)>> {
+        match self.accept() {
+            Ok((stream, _)) => Ok(Some(split_stream(stream, TcpStream::try_clone)?)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Acceptor for std::os::unix::net::UnixListener {
+    fn poll_accept(&self) -> io::Result<Option<(BoxedRead, BoxedWrite)>> {
+        use std::os::unix::net::UnixStream;
+        match self.accept() {
+            Ok((stream, _)) => Ok(Some(split_stream(stream, UnixStream::try_clone)?)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// How long a blocked response write may stall before it is abandoned. A
+/// client that stops reading (full socket buffer) must not wedge the worker
+/// delivering its verdict — and with it, every worker that later queues on
+/// the same connection's writer lock — indefinitely; after the timeout the
+/// write fails, the response is dropped, and the worker moves on.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Configures a freshly accepted stream (blocking reads with a short timeout
+/// so readers can observe shutdown; bounded writes so a non-reading client
+/// cannot wedge the worker pool) and splits it into its two halves.
+fn split_stream<S, F>(stream: S, try_clone: F) -> io::Result<(BoxedRead, BoxedWrite)>
+where
+    S: Read + Write + Send + SetTimeouts + 'static,
+    F: Fn(&S) -> io::Result<S>,
+{
+    stream.set_blocking_with_timeouts(POLL_INTERVAL, WRITE_TIMEOUT)?;
+    let writer = try_clone(&stream)?;
+    Ok((Box::new(stream), Box::new(writer)))
+}
+
+/// The socket knobs `split_stream` needs, unified across stream kinds.
+trait SetTimeouts {
+    fn set_blocking_with_timeouts(&self, read: Duration, write: Duration) -> io::Result<()>;
+}
+
+impl SetTimeouts for TcpStream {
+    fn set_blocking_with_timeouts(&self, read: Duration, write: Duration) -> io::Result<()> {
+        self.set_nonblocking(false)?;
+        self.set_read_timeout(Some(read))?;
+        self.set_write_timeout(Some(write))
+    }
+}
+
+#[cfg(unix)]
+impl SetTimeouts for std::os::unix::net::UnixStream {
+    fn set_blocking_with_timeouts(&self, read: Duration, write: Duration) -> io::Result<()> {
+        self.set_nonblocking(false)?;
+        self.set_read_timeout(Some(read))?;
+        self.set_write_timeout(Some(write))
+    }
+}
+
+fn accept_loop<L: Acceptor>(shared: &Arc<Shared>, listener: &L) {
+    while !shared.shutting_down() {
+        match listener.poll_accept() {
+            Ok(Some((reader, writer))) => {
+                shared.counters.connections.fetch_add(1, Ordering::SeqCst);
+                let conn = Arc::new(Conn {
+                    writer: Mutex::new(writer),
+                    pending: Mutex::new(HashMap::new()),
+                    dead: AtomicBool::new(false),
+                });
+                let shared_for_reader = Arc::clone(shared);
+                let handle = thread::spawn(move || reader_loop(&shared_for_reader, reader, &conn));
+                // Reap finished readers as new connections arrive: a
+                // long-running daemon must not grow its handle list with its
+                // total (not concurrent) connection count.
+                let mut readers = shared.readers.lock();
+                let mut i = 0;
+                while i < readers.len() {
+                    if readers[i].is_finished() {
+                        let _ = readers.swap_remove(i).join();
+                    } else {
+                        i += 1;
+                    }
+                }
+                readers.push(handle);
+            }
+            Ok(None) | Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reading requests
+// ---------------------------------------------------------------------------
+
+/// The largest request line a connection may send. Far beyond any real spec
+/// (the shipped ones are under a kilobyte), but a hard wall against a client
+/// streaming an endless newline-free "frame" into server memory.
+const MAX_FRAME_BYTES: usize = 4 * 1024 * 1024;
+
+/// Reads frames with `fill_buf`/`consume` rather than `read_line`: the
+/// accumulated frame is checked against [`MAX_FRAME_BYTES`] *between buffer
+/// refills* (growth per iteration is one `BufReader` buffer), so a client
+/// streaming an endless newline-free line is cut off instead of exhausting
+/// server memory — `read_line` would only return (and let us check) at the
+/// newline that never comes. Bytes are accumulated raw and UTF-8-validated
+/// once per complete frame, so multi-byte characters split across refills
+/// (µ, Π in spec texts) survive intact.
+/// How long a reader keeps consuming frames after shutdown began, so that
+/// requests already in flight from the client get their typed
+/// `shutting-down` refusal instead of a silent EOF. Bounded, so a client
+/// that keeps frames flowing cannot postpone the shutdown indefinitely.
+const DRAIN_GRACE: Duration = Duration::from_millis(250);
+
+fn reader_loop(shared: &Arc<Shared>, reader: BoxedRead, conn: &Arc<Conn>) {
+    let mut reader = BufReader::new(reader);
+    let mut frame: Vec<u8> = Vec::new();
+    let mut drain_deadline: Option<std::time::Instant> = None;
+    loop {
+        // A poisoned writer (vanished client, or a timed-out mid-frame
+        // write) means no response can ever be delivered again: drop the
+        // connection so the client sees a clean EOF.
+        if conn.dead.load(Ordering::SeqCst) {
+            break;
+        }
+        // Responses to already accepted work are delivered by the workers
+        // through the writer half, which outlives this reader; the grace
+        // window only governs how long refusals keep flowing.
+        if shared.shutting_down() {
+            let deadline =
+                *drain_deadline.get_or_insert_with(|| std::time::Instant::now() + DRAIN_GRACE);
+            if std::time::Instant::now() >= deadline {
+                break;
+            }
+        }
+        if frame.len() > MAX_FRAME_BYTES {
+            // The rest of the stream could only be more of the same frame:
+            // answer once and drop the connection.
+            conn.send(&err_response(
+                None,
+                ErrorKind::Protocol,
+                &format!("request line exceeds {MAX_FRAME_BYTES} bytes"),
+            ));
+            break;
+        }
+        let buffered = match reader.fill_buf() {
+            Ok(buffered) => buffered,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Read timeout: the partial frame stays accumulated. The
+                // top of the loop owns the shutdown decision (it gives
+                // in-flight requests the DRAIN_GRACE window to arrive and
+                // be refused in a typed way, instead of an abrupt EOF).
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        if buffered.is_empty() {
+            break; // client closed the connection (a trailing half-frame is dropped)
+        }
+        let (consumed, complete) = match buffered.iter().position(|&b| b == b'\n') {
+            Some(at) => (at + 1, true),
+            None => (buffered.len(), false),
+        };
+        frame.extend_from_slice(&buffered[..consumed]);
+        reader.consume(consumed);
+        if complete {
+            match std::str::from_utf8(&frame) {
+                Ok(text) => {
+                    let text = text.trim();
+                    if !text.is_empty() {
+                        handle_frame(shared, conn, text);
+                    }
+                }
+                Err(_) => conn.send(&err_response(
+                    None,
+                    ErrorKind::Protocol,
+                    "request line is not valid UTF-8",
+                )),
+            }
+            frame.clear();
+        }
+    }
+}
+
+fn handle_frame(shared: &Arc<Shared>, conn: &Arc<Conn>, frame: &str) {
+    let request = match Request::parse(frame) {
+        Ok(request) => request,
+        Err((id, message)) => {
+            conn.send(&err_response(id, ErrorKind::Protocol, &message));
+            return;
+        }
+    };
+    match request {
+        Request::Verify { id, spec, options } => {
+            let flags = Arc::new(JobFlags {
+                cancelled: AtomicBool::new(false),
+                started: AtomicBool::new(false),
+            });
+            conn.pending.lock().insert(id, Arc::clone(&flags));
+            let accepted = {
+                // Accept-or-refuse is decided under the queue lock, where
+                // `begin_shutdown` also flips the flag: a job can never be
+                // pushed after the workers were told to drain-and-exit (it
+                // would hang unanswered), and every job pushed before is
+                // covered by the drain guarantee.
+                let mut queue = shared.queue.lock();
+                if shared.shutting_down() {
+                    false
+                } else {
+                    queue.push_back(Job {
+                        conn: Arc::clone(conn),
+                        id,
+                        flags: Arc::clone(&flags),
+                        spec,
+                        options,
+                    });
+                    true
+                }
+            };
+            if accepted {
+                shared.work_cv.notify_one();
+            } else {
+                conn.settle(id, &flags);
+                conn.send(&err_response(
+                    Some(id),
+                    ErrorKind::ShuttingDown,
+                    "server is draining; no new work accepted",
+                ));
+            }
+        }
+        Request::Stats { id } => conn.send(&ok_response(id, [("stats", stats_json(shared))])),
+        Request::Cancel { id, target } => {
+            let flags = conn.pending.lock().get(&target).cloned();
+            let honoured = match flags {
+                Some(flags) => {
+                    flags.cancelled.store(true, Ordering::SeqCst);
+                    // Best-effort answer: `true` guarantees the job will be
+                    // dropped; `false` means it may already be running (or is
+                    // already done). See the module docs.
+                    !flags.started.load(Ordering::SeqCst)
+                }
+                None => false,
+            };
+            conn.send(&ok_response(id, [("cancelled", Json::Bool(honoured))]));
+        }
+        Request::Ping { id } => conn.send(&ok_response(id, [("pong", Json::Bool(true))])),
+        Request::Shutdown { id } => {
+            conn.send(&ok_response(id, [("shutting_down", Json::Bool(true))]));
+            shared.begin_shutdown();
+        }
+    }
+}
+
+fn stats_json(shared: &Shared) -> Json {
+    let cache = shared.cache.lock().stats();
+    let config = shared.config;
+    let num = |v: u64| Json::Num(v as f64);
+    Json::obj([
+        (
+            "cache",
+            Json::obj([
+                ("hits", num(cache.hits)),
+                ("misses", num(cache.misses)),
+                ("insertions", num(cache.insertions)),
+                ("evictions", num(cache.evictions)),
+                ("uncacheable", num(cache.uncacheable)),
+                ("entries", Json::Num(cache.entries as f64)),
+                ("states", Json::Num(cache.states as f64)),
+                (
+                    "capacity_entries",
+                    Json::Num(config.cache.max_entries as f64),
+                ),
+                ("capacity_states", Json::Num(config.cache.max_states as f64)),
+            ]),
+        ),
+        (
+            "requests",
+            Json::obj([
+                ("queued", Json::Num(shared.queue.lock().len() as f64)),
+                (
+                    "in_flight",
+                    Json::Num(shared.counters.in_flight.load(Ordering::SeqCst) as f64),
+                ),
+                (
+                    "completed",
+                    num(shared.counters.completed.load(Ordering::SeqCst)),
+                ),
+                (
+                    "cancelled",
+                    num(shared.counters.cancelled.load(Ordering::SeqCst)),
+                ),
+                ("failed", num(shared.counters.failed.load(Ordering::SeqCst))),
+            ]),
+        ),
+        (
+            "engine",
+            Json::obj([
+                ("workers", Json::Num(config.workers as f64)),
+                ("jobs", Json::Num(config.jobs as f64)),
+                (
+                    "per_request_jobs",
+                    Json::Num(config.per_request_jobs() as f64),
+                ),
+                (
+                    "states_explored",
+                    num(shared.counters.states_explored.load(Ordering::SeqCst)),
+                ),
+                (
+                    "connections",
+                    num(shared.counters.connections.load(Ordering::SeqCst)),
+                ),
+            ]),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// The worker pool
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock();
+            loop {
+                // Popping before the shutdown check is what makes shutdown a
+                // *drain*: queued work always completes.
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutting_down() {
+                    break None;
+                }
+                queue = shared.work_cv.wait(queue);
+            }
+        };
+        let Some(job) = job else { break };
+        process(shared, job);
+    }
+}
+
+fn process(shared: &Shared, job: Job) {
+    job.flags.started.store(true, Ordering::SeqCst);
+    if job.flags.cancelled.load(Ordering::SeqCst) {
+        shared.counters.cancelled.fetch_add(1, Ordering::SeqCst);
+        job.conn.settle(job.id, &job.flags);
+        job.conn.send(&err_response(
+            Some(job.id),
+            ErrorKind::Cancelled,
+            "request cancelled before it started",
+        ));
+        return;
+    }
+    shared.counters.in_flight.fetch_add(1, Ordering::SeqCst);
+    let response = verify_response(shared, &job);
+    shared.counters.in_flight.fetch_sub(1, Ordering::SeqCst);
+    job.conn.settle(job.id, &job.flags);
+    job.conn.send(&response);
+}
+
+fn verify_response(shared: &Shared, job: &Job) -> String {
+    let spec = match parse_spec(&job.spec) {
+        Ok(spec) => spec,
+        Err(e) => {
+            // `failed` and `completed` are disjoint buckets: a refused spec
+            // counts only here, an answered verdict (holding or not) only
+            // below — so completed + failed + cancelled sums to the requests
+            // answered.
+            shared.counters.failed.fetch_add(1, Ordering::SeqCst);
+            return err_response(Some(job.id), ErrorKind::Spec, &e.to_string());
+        }
+    };
+    let config = shared.config;
+    let options = job.options;
+    let mut builder = Session::builder()
+        .max_states(options.max_states.unwrap_or(config.default_max_states))
+        .parallelism(config.per_request_jobs());
+    if let Some(depth) = options.max_depth {
+        builder = builder.max_depth(depth);
+    }
+    if let Some(unfold) = options.max_unfold {
+        builder = builder.max_unfold(unfold);
+    }
+    if let Some(probe) = options.auto_probe {
+        builder = builder.auto_probe(probe);
+    }
+    let session = builder.build();
+    let key = session.cache_key(&spec);
+
+    if let Some(report) = shared.cache.lock().get(key) {
+        shared.counters.completed.fetch_add(1, Ordering::SeqCst);
+        return verify_response_line(job.id, true, &key.to_string(), &report);
+    }
+    // The cache lock is NOT held across the verification: concurrent misses
+    // on one key may verify twice (the later insert refreshes in place) —
+    // a deliberate trade against serialising every distinct request behind
+    // the slowest one.
+    let report = session.run_spec(&spec);
+    let states = report.states();
+    shared
+        .counters
+        .states_explored
+        .fetch_add(states as u64, Ordering::SeqCst);
+    // Rendered once; the cache shares the text by refcount, and the miss
+    // response splices the same bytes a future hit will replay.
+    let rendered: std::sync::Arc<str> =
+        std::sync::Arc::from(report.to_wire_json().to_string().as_str());
+    shared
+        .cache
+        .lock()
+        .insert(key, states, std::sync::Arc::clone(&rendered));
+    shared.counters.completed.fetch_add(1, Ordering::SeqCst);
+    verify_response_line(job.id, false, &key.to_string(), &rendered)
+}

@@ -1,0 +1,416 @@
+//! End-to-end tests of the `effpi-serve` daemon: the acceptance contract of
+//! the verification service.
+//!
+//! * a warm cache hit returns a report whose `stable_line` (and indeed whole
+//!   wire rendering) is byte-identical to the cold run;
+//! * four concurrent clients over the shipped `examples/specs/*.effpi` all
+//!   get verdicts identical to direct `effpi::Session` runs;
+//! * cancellation, stats, protocol errors and graceful shutdown behave as
+//!   `PROTOCOL.md` documents, over TCP and over a Unix socket.
+
+use std::path::PathBuf;
+use std::thread;
+
+use serve::{
+    CacheConfig, Client, ClientError, Endpoints, Request, Server, ServerConfig, VerifyOptions,
+};
+use wire::Json;
+
+/// The state bound every test (and every direct-run comparison) uses.
+const MAX_STATES: usize = 60_000;
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        workers: 4,
+        jobs: 4,
+        cache: CacheConfig::default(),
+        default_max_states: MAX_STATES,
+    }
+}
+
+fn start_tcp() -> (serve::ServerHandle, String) {
+    let handle = Server::start(
+        &Endpoints {
+            tcp: Some("127.0.0.1:0".to_string()),
+            unix: None,
+        },
+        server_config(),
+    )
+    .expect("start server");
+    let addr = handle.tcp_addr().expect("tcp endpoint").to_string();
+    (handle, addr)
+}
+
+/// Every shipped `.effpi` spec, by name.
+fn shipped_specs() -> Vec<(String, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/specs");
+    let mut specs: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .expect("examples/specs exists")
+        .map(|entry| entry.expect("read entry").path())
+        .filter(|path| path.extension().is_some_and(|e| e == "effpi"))
+        .map(|path| {
+            (
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                std::fs::read_to_string(&path).expect("read spec"),
+            )
+        })
+        .collect();
+    specs.sort();
+    assert!(specs.len() >= 2, "expected the shipped sample specs");
+    specs
+}
+
+/// The stable line a direct (server-less) pipeline run produces for `text`,
+/// configured exactly like the server's workers.
+fn direct_stable_line(text: &str) -> String {
+    effpi::Session::builder()
+        .max_states(MAX_STATES)
+        .build()
+        .run_spec_text(text)
+        .expect("spec parses")
+        .summary()
+        .stable_line()
+}
+
+#[test]
+fn warm_cache_hits_replay_the_cold_run_byte_identically() {
+    let (handle, addr) = start_tcp();
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let spec = &shipped_specs()[0].1;
+
+    let cold = client
+        .verify(spec, VerifyOptions::default())
+        .expect("cold run");
+    assert!(!cold.cached, "first encounter must miss");
+    let warm = client
+        .verify(spec, VerifyOptions::default())
+        .expect("warm run");
+    assert!(warm.cached, "second encounter must hit");
+
+    // Byte-identical: the whole decoded report agrees, stable line included,
+    // and the stable line also matches a direct Session run.
+    assert_eq!(warm.report, cold.report);
+    assert_eq!(warm.report.stable_line, cold.report.stable_line);
+    assert_eq!(warm.key, cold.key);
+    assert_eq!(cold.report.stable_line, direct_stable_line(spec));
+
+    // A normalisation-equivalent respelling (comments added) hits the same
+    // entry: the cache is content-addressed, not text-addressed.
+    let respelled = format!("// a comment the cache key must ignore\n{spec}");
+    let alias = client
+        .verify(&respelled, VerifyOptions::default())
+        .expect("respelled run");
+    assert!(alias.cached, "respelled spec must hit the same entry");
+    assert_eq!(alias.key, cold.key);
+    assert_eq!(alias.report, cold.report);
+
+    handle.shutdown();
+}
+
+#[test]
+fn four_concurrent_clients_match_direct_session_runs() {
+    let (handle, addr) = start_tcp();
+    let specs = shipped_specs();
+    let expected: Vec<String> = specs
+        .iter()
+        .map(|(_, text)| direct_stable_line(text))
+        .collect();
+
+    thread::scope(|scope| {
+        for client_no in 0..4 {
+            let addr = addr.clone();
+            let specs = &specs;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect_tcp(&addr).expect("connect");
+                // Two passes: the second is all warm, and must agree too.
+                for pass in 0..2 {
+                    for ((name, text), want) in specs.iter().zip(expected) {
+                        let reply = client
+                            .verify(text, VerifyOptions::default())
+                            .unwrap_or_else(|e| panic!("client {client_no} {name}: {e}"));
+                        assert_eq!(
+                            &reply.report.stable_line, want,
+                            "client {client_no} pass {pass} {name}: verdict drift"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // After 4 clients x 2 passes of the same specs, the cache must be warm.
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    let hits = stats
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_usize)
+        .expect("cache.hits");
+    assert!(
+        hits > 0,
+        "repeated workload produced no cache hits: {stats}"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_and_stops_via_the_protocol() {
+    let (handle, addr) = start_tcp();
+    let spec = &shipped_specs()[0].1;
+
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let reply = client
+        .verify(spec, VerifyOptions::default())
+        .expect("verify");
+    assert!(reply.report.states > 0);
+
+    // The shutdown op is acknowledged, then the server drains and exits:
+    // join() returns rather than blocking forever.
+    client.shutdown_server().expect("shutdown ack");
+    handle.join();
+
+    // The listener is gone afterwards (give the OS a moment to tear down).
+    let refused = (0..50).any(|_| {
+        thread::sleep(std::time::Duration::from_millis(20));
+        Client::connect_tcp(&addr).is_err()
+    });
+    assert!(refused, "listener still accepting after shutdown");
+}
+
+#[test]
+fn graceful_drain_completes_already_queued_work() {
+    let (handle, addr) = start_tcp();
+    let spec = &shipped_specs()[0].1;
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+
+    // Queue real work, then ask for shutdown on a second connection: the
+    // queued verify must still be answered (the drain guarantee), whether or
+    // not it had started when the drain began. Connections are not ordered
+    // relative to each other, so first make sure the job is server-side —
+    // the drain guarantee covers *accepted* work, not in-flight bytes.
+    let id = client
+        .submit_verify(spec, VerifyOptions::default())
+        .expect("submit");
+    let mut admin = Client::connect_tcp(&addr).expect("connect admin");
+    let accepted = |stats: &Json| {
+        ["queued", "in_flight", "completed"]
+            .iter()
+            .filter_map(|k| stats.get("requests").and_then(|r| r.get(k)))
+            .filter_map(Json::as_usize)
+            .sum::<usize>()
+            >= 1
+    };
+    while !accepted(&admin.stats().expect("stats")) {
+        thread::sleep(std::time::Duration::from_millis(5));
+    }
+    admin.shutdown_server().expect("shutdown ack");
+
+    let response = client.recv().expect("drained response");
+    assert_eq!(response.id, Some(id), "queued verify is answered");
+    let body = response.into_ok().expect("queued verify succeeds");
+    assert!(body.get("report").is_some());
+
+    handle.join();
+}
+
+#[test]
+fn cancellation_stats_and_protocol_errors() {
+    let (handle, addr) = start_tcp();
+    // One worker ⇒ the second request stays queued while the first runs, so
+    // cancelling it is deterministic.
+    let slow_handle_addr = {
+        let handle2 = Server::start(
+            &Endpoints {
+                tcp: Some("127.0.0.1:0".to_string()),
+                unix: None,
+            },
+            ServerConfig {
+                workers: 1,
+                jobs: 1,
+                ..server_config()
+            },
+        )
+        .expect("start 1-worker server");
+        let addr2 = handle2.tcp_addr().unwrap().to_string();
+        (handle2, addr2)
+    };
+    let (handle2, addr2) = slow_handle_addr;
+    let specs = shipped_specs();
+
+    {
+        let mut client = Client::connect_tcp(&addr2).expect("connect");
+        // Occupy the only worker, then queue a second request and cancel it.
+        let running = client
+            .submit_verify(&specs[0].1, VerifyOptions::default())
+            .expect("submit running");
+        let queued = client
+            .submit_verify(&specs[1].1, VerifyOptions::default())
+            .expect("submit queued");
+        let honoured = client.cancel(queued).expect("cancel");
+        // The queued job may have started if the first finished quickly;
+        // both worlds must stay consistent.
+        let mut verdicts = std::collections::HashMap::new();
+        for _ in 0..2 {
+            let response = client.recv().expect("response");
+            let id = response.id.expect("addressed response");
+            verdicts.insert(id, response.into_ok());
+        }
+        assert!(verdicts[&running].is_ok(), "running request completes");
+        let queued_outcome = verdicts.remove(&queued).expect("queued answered");
+        if honoured {
+            let err = queued_outcome.expect_err("honoured cancel drops the job");
+            match err {
+                ClientError::Server { kind, .. } => assert_eq!(kind, "cancelled"),
+                other => panic!("expected a server error, got {other}"),
+            }
+        } else {
+            assert!(queued_outcome.is_ok(), "unhonoured cancel ⇒ normal verdict");
+        }
+        // Cancelling an unknown id is answered, not an error.
+        assert!(!client.cancel(99_999).expect("cancel unknown"));
+        handle2.shutdown();
+    }
+
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    // Stats carry the documented sections.
+    client
+        .verify(&specs[0].1, VerifyOptions::default())
+        .expect("verify");
+    let stats = client.stats().expect("stats");
+    for section in ["cache", "requests", "engine"] {
+        assert!(stats.get(section).is_some(), "stats missing {section}");
+    }
+    assert!(
+        stats
+            .get("engine")
+            .and_then(|e| e.get("states_explored"))
+            .and_then(Json::as_usize)
+            .expect("states_explored")
+            > 0
+    );
+
+    // Spec errors are addressed, typed refusals — not dropped connections.
+    let err = client
+        .verify("bogus statement", VerifyOptions::default())
+        .expect_err("malformed spec");
+    match err {
+        ClientError::Server { kind, message } => {
+            assert_eq!(kind, "spec");
+            assert!(message.contains("line 1"), "{message}");
+        }
+        other => panic!("expected a spec refusal, got {other}"),
+    }
+
+    // Raw protocol garbage gets a protocol error with a null id, and the
+    // connection stays usable.
+    let raw = Request::Ping { id: 77 }.to_line();
+    {
+        // Reach under the typed client: write a garbage line, then a ping.
+        let mut stream = std::net::TcpStream::connect(&addr).expect("raw connect");
+        use std::io::{BufRead, BufReader, Write};
+        stream
+            .write_all(b"this is not json\n")
+            .expect("write garbage");
+        stream.write_all(raw.as_bytes()).expect("write ping");
+        stream.write_all(b"\n").expect("write newline");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("error frame");
+        let frame = Json::parse(line.trim()).expect("error frame is JSON");
+        assert_eq!(frame.get("id"), Some(&Json::Null));
+        assert_eq!(
+            frame
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("protocol")
+        );
+        line.clear();
+        reader.read_line(&mut line).expect("pong frame");
+        let frame = Json::parse(line.trim()).expect("pong is JSON");
+        assert_eq!(frame.get("id").and_then(Json::as_usize), Some(77));
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn hostile_frames_are_refused_without_harming_the_server() {
+    let (handle, addr) = start_tcp();
+
+    // A deeply nested JSON bomb must be refused as a protocol error (the
+    // wire parser bounds nesting), not crash the reader thread.
+    {
+        use std::io::{BufRead, BufReader, Write};
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        let bomb = format!("{}\n", "[".repeat(100_000));
+        stream.write_all(bomb.as_bytes()).expect("write bomb");
+        let mut line = String::new();
+        BufReader::new(&stream).read_line(&mut line).expect("reply");
+        let frame = Json::parse(line.trim()).expect("error frame");
+        assert_eq!(frame.get("ok").and_then(Json::as_bool), Some(false));
+    }
+
+    // An endless newline-free stream is cut off at the frame-size cap with
+    // one protocol error, then the connection is dropped.
+    {
+        use std::io::{BufRead, BufReader, Read, Write};
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        let chunk = vec![b'x'; 1 << 20];
+        let mut reply = BufReader::new(stream.try_clone().expect("clone"));
+        for _ in 0..6 {
+            if stream.write_all(&chunk).is_err() {
+                break; // server already dropped us — also acceptable
+            }
+        }
+        let mut line = String::new();
+        if reply.read_line(&mut line).is_ok() && !line.trim().is_empty() {
+            let frame = Json::parse(line.trim()).expect("error frame");
+            assert_eq!(frame.get("ok").and_then(Json::as_bool), Some(false));
+        }
+        // Either way the stream must be over (no hang, no crash).
+        let mut rest = Vec::new();
+        let _ = reply.read_to_end(&mut rest);
+    }
+
+    // The server is still fully alive for honest clients.
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    client.ping().expect("ping after hostile frames");
+    let reply = client
+        .verify(&shipped_specs()[0].1, VerifyOptions::default())
+        .expect("verify after hostile frames");
+    assert!(reply.report.states > 0);
+
+    handle.shutdown();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_endpoint_serves_and_cleans_up() {
+    let path = std::env::temp_dir().join(format!("effpi-serve-test-{}.sock", std::process::id()));
+    let handle = Server::start(
+        &Endpoints {
+            tcp: None,
+            unix: Some(path.clone()),
+        },
+        server_config(),
+    )
+    .expect("start unix server");
+
+    let spec = &shipped_specs()[0].1;
+    let mut client = Client::connect_unix(&path).expect("connect over unix socket");
+    let cold = client
+        .verify(spec, VerifyOptions::default())
+        .expect("verify");
+    assert_eq!(cold.report.stable_line, direct_stable_line(spec));
+    let warm = client
+        .verify(spec, VerifyOptions::default())
+        .expect("verify again");
+    assert!(warm.cached);
+    assert_eq!(warm.report, cold.report);
+
+    handle.shutdown();
+    assert!(!path.exists(), "socket file removed on shutdown");
+}

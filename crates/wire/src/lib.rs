@@ -1,9 +1,28 @@
-//! A minimal JSON reader/writer for the benchmark artifacts.
+//! The shared dependency-free JSON reader/writer of the workspace.
 //!
-//! The workspace is dependency-free (the build environment is offline), so
-//! the CI benchmark gate cannot use serde; this module implements just enough
-//! of RFC 8259 for `BENCH_fig9.json` and `baseline.json` — objects, arrays,
-//! strings (with `\uXXXX` escapes), numbers, booleans and null.
+//! The build environment is offline, so the workspace carries no external
+//! dependencies and cannot use serde; this crate implements just enough of
+//! RFC 8259 — objects, arrays, strings (with `\uXXXX` escapes), numbers,
+//! booleans and null — for every JSON surface the repository has:
+//!
+//! * the CI benchmark artifacts (`BENCH_fig9.json`, `BENCH_serve.json`,
+//!   `crates/bench/baseline.json`), where it started life as `bench::json`;
+//! * the `effpi-serve` line-delimited request/response protocol and the
+//!   wire rendering of `effpi::Report` (see `crates/serve/PROTOCOL.md`).
+//!
+//! Object keys are kept ordered ([`BTreeMap`]), so rendering is
+//! deterministic: two structurally equal values always produce byte-identical
+//! text. The verdict cache of `effpi-serve` leans on exactly this property —
+//! a cache hit replays the stored [`Json`] value and is therefore
+//! byte-identical to the cold response it was recorded from.
+
+//! The crate also hosts the workspace's other shared, dependency-free
+//! binary-infrastructure piece: command-line [`flags`] parsing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flags;
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -51,11 +70,14 @@ impl Json {
         }
     }
 
-    /// The numeric value rounded to `usize`, when this is a non-negative
-    /// number.
+    /// The numeric value, when this is a non-negative **integer**.
+    /// Fractional numbers return `None` rather than being rounded: the
+    /// protocol promises ids echoed verbatim and engine bounds applied as
+    /// given, so `2.6` in an integer position must be a refusal, not a
+    /// silent `3`.
     pub fn as_usize(&self) -> Option<usize> {
         match self {
-            Json::Num(n) if *n >= 0.0 => Some(n.round() as usize),
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as usize),
             _ => None,
         }
     }
@@ -76,7 +98,32 @@ impl Json {
         }
     }
 
+    /// Builds an object from `(key, value)` pairs — the protocol/artifact
+    /// writers' convenience constructor.
+    pub fn obj<I, K>(pairs: I) -> Json
+    where
+        I: IntoIterator<Item = (K, Json)>,
+        K: Into<String>,
+    {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A number value rounded to three decimals — the stable rendering used
+    /// for every wall-clock figure in the artifacts and on the wire.
+    pub fn num_round3(x: f64) -> Json {
+        Json::Num((x * 1e3).round() / 1e3)
+    }
+
     /// Parses a JSON document (the whole input must be one value).
+    ///
+    /// Nesting is bounded by [`MAX_NESTING`]: `effpi-serve` feeds this
+    /// parser untrusted network bytes, so a hostile `[[[[…` must come back
+    /// as an error, not as a recursion-driven stack overflow.
     ///
     /// # Errors
     ///
@@ -85,7 +132,7 @@ impl Json {
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing data at byte {pos}"));
@@ -93,6 +140,12 @@ impl Json {
         Ok(value)
     }
 }
+
+/// How deeply arrays/objects may nest before [`Json::parse`] refuses the
+/// document. Every artifact and protocol frame in the workspace nests a
+/// handful of levels; 128 is far beyond them all yet keeps the parser's
+/// recursion comfortably inside any thread stack.
+pub const MAX_NESTING: usize = 128;
 
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -167,11 +220,17 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     skip_ws(bytes, pos);
+    if depth > MAX_NESTING {
+        return Err(format!(
+            "nesting deeper than {MAX_NESTING} levels at byte {}",
+            *pos
+        ));
+    }
     match bytes.get(*pos) {
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
         Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
         Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
@@ -255,7 +314,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -264,7 +323,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -277,7 +336,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(bytes, pos, b'{')?;
     let mut map = BTreeMap::new();
     skip_ws(bytes, pos);
@@ -290,7 +349,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
-        map.insert(key, parse_value(bytes, pos)?);
+        map.insert(key, parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -348,5 +407,30 @@ mod tests {
         for bad in ["{", "[1,", "\"open", "{\"k\" 1}", "12 34", "tru"] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    #[test]
+    fn integer_accessors_reject_fractional_numbers() {
+        assert_eq!(Json::Num(3.0).as_usize(), Some(3));
+        assert_eq!(Json::Num(0.0).as_usize(), Some(0));
+        assert_eq!(Json::Num(2.6).as_usize(), None, "no silent rounding");
+        assert_eq!(Json::Num(-1.0).as_usize(), None);
+        assert_eq!(Json::Num(2.6).as_f64(), Some(2.6), "as_f64 is unaffected");
+    }
+
+    #[test]
+    fn hostile_nesting_is_an_error_not_a_stack_overflow() {
+        // Open-ended and well-formed deep nests alike: the parser reads
+        // untrusted network frames, so both must be *decided*.
+        let deep_open = "[".repeat(100_000);
+        assert!(Json::parse(&deep_open).is_err());
+        let deep_objects = "{\"k\":".repeat(100_000);
+        assert!(Json::parse(&deep_objects).is_err());
+        let closed = format!("{}1{}", "[".repeat(5_000), "]".repeat(5_000));
+        let err = Json::parse(&closed).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        // ...while documents at sane depths are untouched.
+        let fine = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(Json::parse(&fine).is_ok());
     }
 }

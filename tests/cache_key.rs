@@ -1,0 +1,206 @@
+//! Cache-key stability: the contract of `effpi::fingerprint`.
+//!
+//! Two halves, both load-bearing for the `effpi-serve` verdict cache:
+//!
+//! * **collapse** — normalisation-equivalent spellings of one request (alias
+//!   renaming, union re-ordering, whitespace/comment/line-break changes,
+//!   environment statement order) must produce *identical* keys, and when
+//!   they do, their reports must actually agree (the soundness side);
+//! * **separate** — anything that can change a report (properties, bounds,
+//!   visibility, terms, engine config) must produce *distinct* keys.
+
+use effpi::spec::parse_spec;
+use effpi::{CacheKey, Session};
+
+fn key_of(spec_text: &str) -> CacheKey {
+    session().cache_key(&parse_spec(spec_text).expect("spec parses"))
+}
+
+fn session() -> Session {
+    Session::builder().max_states(50_000).build()
+}
+
+/// Asserts two spellings collapse to one key AND that the collapse is sound:
+/// running both yields byte-identical stable lines.
+fn assert_same_key_and_report(a: &str, b: &str) {
+    assert_eq!(key_of(a), key_of(b), "expected one key:\n--\n{a}\n--\n{b}");
+    let session = session();
+    let run = |text: &str| {
+        session
+            .run_spec_text(text)
+            .expect("spec runs")
+            .summary()
+            .stable_line()
+    };
+    assert_eq!(run(a), run(b), "equal keys must mean equal reports");
+}
+
+const BASE: &str = "\
+    env self   : cio[int]\n\
+    env aud    : co[int]\n\
+    env client : co[str | ()]\n\
+    type rec t . i[self, Pi(pay: int) ( o[client, str, Pi() t]\n\
+                                      | o[aud, pay, Pi() o[client, (), Pi() t]] )]\n\
+    check non_usage [self]\n\
+    check deadlock_free [self, aud, client]\n";
+
+#[test]
+fn alias_renaming_is_invisible() {
+    let with_reply = "\
+        def Reply = str | ()\n\
+        env self   : cio[int]\n\
+        env aud    : co[int]\n\
+        env client : co[Reply]\n\
+        type rec t . i[self, Pi(pay: int) ( o[client, str, Pi() t]\n\
+                                          | o[aud, pay, Pi() o[client, (), Pi() t]] )]\n\
+        check non_usage [self]\n\
+        check deadlock_free [self, aud, client]\n";
+    // Same alias under another name…
+    let renamed = with_reply.replace("Reply", "R");
+    assert_same_key_and_report(with_reply, &renamed);
+    // …and no alias at all.
+    assert_same_key_and_report(with_reply, BASE);
+}
+
+#[test]
+fn unused_definitions_are_invisible() {
+    let with_unused = format!("def Dead = p[nil, nil]\n{BASE}");
+    assert_same_key_and_report(&with_unused, BASE);
+}
+
+#[test]
+fn union_reordering_is_invisible() {
+    let reordered = BASE.replace("co[str | ()]", "co[() | str]");
+    assert_ne!(BASE, reordered);
+    assert_same_key_and_report(BASE, &reordered);
+}
+
+#[test]
+fn whitespace_comments_and_line_breaking_are_invisible() {
+    let noisy = "\
+        // The Fig. 1 payment service.\n\
+        env self   : cio[int]\n\
+        # another comment style\n\
+        env aud : co[int]\n\
+        env client :\n\
+            co[str | ()]\n\
+        \n\
+        type rec t .\n\
+            i[self, Pi(pay: int) ( o[client, str, Pi() t]\n\
+                                 | o[aud, pay, Pi() o[client, (), Pi() t]] )]\n\
+        check non_usage [self]\n\
+        check deadlock_free [self,aud,  client]\n";
+    assert_same_key_and_report(BASE, noisy);
+}
+
+#[test]
+fn environment_statement_order_is_invisible() {
+    // Γ is a map: declaring aud before self is the same environment. The
+    // default visible list changes order too — visibility is a set, so the
+    // key (and the model) are unchanged.
+    let swapped = "\
+        env aud    : co[int]\n\
+        env self   : cio[int]\n\
+        env client : co[str | ()]\n\
+        type rec t . i[self, Pi(pay: int) ( o[client, str, Pi() t]\n\
+                                          | o[aud, pay, Pi() o[client, (), Pi() t]] )]\n\
+        check non_usage [self]\n\
+        check deadlock_free [self, aud, client]\n";
+    assert_same_key_and_report(BASE, swapped);
+}
+
+#[test]
+fn parallel_nil_units_are_invisible() {
+    let padded = BASE.replace("type rec t . i[self,", "type p[nil, rec t . i[self,");
+    let padded = padded.replace("o[client, (), Pi() t]] )]", "o[client, (), Pi() t]] )]]");
+    assert_same_key_and_report(BASE, &padded);
+}
+
+// ---------------------------------------------------------------------------
+// The separating half: distinct requests must get distinct keys.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn distinct_properties_do_not_collide() {
+    let dropped = BASE.replace("check deadlock_free [self, aud, client]\n", "");
+    assert_ne!(key_of(BASE), key_of(&dropped));
+
+    let different = BASE.replace(
+        "check deadlock_free [self, aud, client]",
+        "check forwarding self -> aud",
+    );
+    assert_ne!(key_of(BASE), key_of(&different));
+
+    // Probing different channels is a different property.
+    let other_probe = BASE.replace("check non_usage [self]", "check non_usage [aud]");
+    assert_ne!(key_of(BASE), key_of(&other_probe));
+
+    // Check order is part of the key: reports list properties in order.
+    let swapped = "\
+        env self   : cio[int]\n\
+        env aud    : co[int]\n\
+        env client : co[str | ()]\n\
+        type rec t . i[self, Pi(pay: int) ( o[client, str, Pi() t]\n\
+                                          | o[aud, pay, Pi() o[client, (), Pi() t]] )]\n\
+        check deadlock_free [self, aud, client]\n\
+        check non_usage [self]\n";
+    assert_ne!(key_of(BASE), key_of(swapped));
+}
+
+#[test]
+fn distinct_types_environments_and_visibility_do_not_collide() {
+    let other_type = BASE.replace("o[client, str, Pi() t]", "o[client, (), Pi() t]");
+    assert_ne!(key_of(BASE), key_of(&other_type));
+
+    let other_env = BASE.replace("env aud    : co[int]", "env aud    : cio[int]");
+    assert_ne!(key_of(BASE), key_of(&other_env));
+
+    let restricted = format!("{BASE}visible self, aud\n");
+    assert_ne!(key_of(BASE), key_of(&restricted));
+}
+
+#[test]
+fn terms_are_part_of_the_key() {
+    let untyped = "\
+        env unused : cio[int]\n\
+        type Pi(c: cio[int]) o[c, int, Pi() nil]\n";
+    let with_term = format!("{untyped}term fun c: cio[int]. send(c, 42, fun _: (). end)\n");
+    let with_other_term = format!("{untyped}term fun c: cio[int]. end\n");
+    assert_ne!(key_of(untyped), key_of(&with_term));
+    assert_ne!(key_of(&with_term), key_of(&with_other_term));
+}
+
+#[test]
+fn engine_configuration_separates_keys_except_parallelism() {
+    let spec = parse_spec(BASE).unwrap();
+    let base = Session::builder().max_states(50_000).build();
+    let key = base.cache_key(&spec);
+
+    let tighter = Session::builder().max_states(49_999).build();
+    assert_ne!(key, tighter.cache_key(&spec));
+
+    let shallower = Session::builder().max_states(50_000).max_depth(7).build();
+    assert_ne!(key, shallower.cache_key(&spec));
+
+    let less_unfold = Session::builder().max_states(50_000).max_unfold(1).build();
+    assert_ne!(key, less_unfold.cache_key(&spec));
+
+    let unprobed = Session::builder()
+        .max_states(50_000)
+        .auto_probe(false)
+        .build();
+    assert_ne!(key, unprobed.cache_key(&spec));
+
+    // Worker count never separates: reports are identical by the engine's
+    // determinism guarantee, so a parallel verdict may serve a serial ask.
+    let parallel = Session::builder().max_states(50_000).parallelism(8).build();
+    assert_eq!(key, parallel.cache_key(&spec));
+
+    // The session's own visible default is irrelevant to spec runs (the
+    // spec's list governs), and must therefore not separate keys.
+    let other_visible = Session::builder()
+        .max_states(50_000)
+        .visible(["unrelated"])
+        .build();
+    assert_eq!(key, other_visible.cache_key(&spec));
+}

@@ -1,12 +1,12 @@
 //! Tests for the unified `effpi::Session` pipeline API: builder defaults,
-//! visible-channel filtering, structured reports, and the deprecated
-//! free-function shims delegating correctly.
+//! visible-channel filtering, and structured reports (wire rendering
+//! included).
 
 use dbt_types::Checker;
 use effpi::protocols::{payment, pingpong};
-use effpi::spec::parse_spec;
 use effpi::{Error, Property, Session, Type, TypeEnv, Verifier, VerifyError};
 use lambdapi::examples;
+use wire::Json;
 
 fn payment_env() -> TypeEnv {
     TypeEnv::new()
@@ -186,62 +186,63 @@ fn run_spec_text_covers_both_steps() {
 }
 
 // ---------------------------------------------------------------------------
-// Deprecated shims
+// Wire rendering (the `effpi-serve` response body)
 // ---------------------------------------------------------------------------
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_free_functions_delegate_to_the_session_pipeline() {
-    // implements == Session::type_check_closed.
-    effpi::implements(&examples::payment_term(), &examples::tpayment_type()).unwrap();
-    assert!(effpi::implements(&examples::payment_term(), &examples::tm_type()).is_err());
+fn wire_json_rendering_is_deterministic_and_carries_the_stable_line() {
+    let session = Session::builder().max_states(50_000).build();
+    let report = session.run_scenario(&payment::payment_with_clients(2));
+    let wire = report.to_wire_json();
 
-    // implements_in == Session::type_check.
-    let env = TypeEnv::new().bind("z", Type::chan_io(Type::chan_out(Type::Str)));
-    let term = lambdapi::Term::app(examples::ponger_term(), lambdapi::Term::var("z"));
-    let ty = examples::tpong_type().apply(&Type::var("z")).unwrap();
-    effpi::implements_in(&env, &term, &ty).unwrap();
+    // Deterministic rendering: rendering twice (and re-parsing) is stable.
+    let text = wire.to_string();
+    assert_eq!(text, report.to_wire_json().to_string());
+    let parsed = Json::parse(&text).unwrap();
+    assert_eq!(parsed, wire);
 
-    // verify == Session::verify, including the outcome payload.
-    let old = effpi::verify(&env, &ty, &Property::responsive("z")).unwrap();
-    let new = Session::new()
-        .verify(&env, &ty, &Property::responsive("z"))
-        .unwrap();
-    assert!(old.holds && new.holds);
-    assert_eq!(old.states, new.states);
-}
+    // The envelope carries the summary verbatim.
+    let summary = report.summary();
+    assert_eq!(
+        parsed.get("stable_line").and_then(Json::as_str),
+        Some(summary.stable_line().as_str())
+    );
+    assert_eq!(
+        parsed.get("passed").and_then(Json::as_bool),
+        Some(summary.passed)
+    );
+    assert_eq!(
+        parsed.get("states").and_then(Json::as_usize),
+        Some(summary.states)
+    );
+    let properties = parsed.get("properties").and_then(Json::as_arr).unwrap();
+    assert_eq!(properties.len(), 6);
+    assert_eq!(
+        properties[0].get("name").and_then(Json::as_str),
+        Some("deadlock-free")
+    );
 
-#[test]
-#[allow(deprecated)]
-fn deprecated_run_spec_matches_session_run_spec() {
-    let text = r#"
-        env self   : cio[int]
-        env aud    : co[int]
-        env client : co[str | ()]
-        type rec t . i[self, Pi(pay: int) ( o[client, str, Pi() t]
-                                          | o[aud, pay, Pi() o[client, (), Pi() t]] )]
-        check non_usage [self]
-        check forwarding self -> aud
-    "#;
-    let spec = parse_spec(text).unwrap();
-    let legacy = effpi::spec::run_spec(&spec, 50_000);
-    let unified = Session::builder()
-        .max_states(50_000)
+    // Failures render structurally too: a state-bound trip carries the
+    // run-level error and an empty property list.
+    let tripped = Session::builder()
+        .max_states(3)
         .build()
-        .run_spec(&spec);
+        .run_scenario(&payment::payment_with_clients(2));
+    let wire = tripped.to_wire_json();
+    assert_eq!(wire.get("passed").and_then(Json::as_bool), Some(false));
+    assert!(wire
+        .get("error")
+        .and_then(Json::as_str)
+        .is_some_and(|e| e.contains("bound of 3")));
 
-    assert_eq!(legacy.all_ok(), unified.passed());
-    assert_eq!(legacy.outcomes.len(), unified.properties.len());
-    for (old, new) in legacy.outcomes.iter().zip(&unified.properties) {
-        assert_eq!(old.as_ref().map(|o| o.holds).ok(), Some(new.holds()));
-    }
-
-    // Legacy error shape: one Err per `check` statement (the old API verified
-    // them one by one), with the raw VerifyError message, prefix-free.
-    let failed = effpi::spec::run_spec(&spec, 3);
-    assert_eq!(failed.outcomes.len(), spec.checks.len());
-    for o in &failed.outcomes {
-        let msg = o.as_ref().unwrap_err();
-        assert!(msg.starts_with("state space exceeds"), "{msg}");
-    }
+    // And a typecheck failure is its own object.
+    let bad_term = session
+        .run_spec_text(
+            "env unused : cio[int]\ntype Pi(c: cio[int]) o[c, int, Pi() nil]\nterm fun c: cio[int]. end",
+        )
+        .unwrap();
+    let wire = bad_term.to_wire_json();
+    let typecheck = wire.get("typecheck").unwrap();
+    assert_eq!(typecheck.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(typecheck.get("error").and_then(Json::as_str).is_some());
 }
