@@ -1,0 +1,104 @@
+//! The interning microbenchmark: canonicalisation and warm-rebuild
+//! throughput over the Fig. 9 corpus (see `bench::intern_bench`).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin intern_bench -- [--scale N] [--max-states M]
+//!     [--repeat R] [--json PATH] [--baseline PATH] [--max-regression PCT]
+//! ```
+//!
+//! * `--json PATH` — write the per-case record (`BENCH_intern.json`);
+//! * `--baseline PATH` — compare against a previous record and **exit
+//!   non-zero** on any regression: either throughput down by more than
+//!   `--max-regression` percent (default 25), or any state-count drift;
+//! * `--repeat R` — best-of-R timing per loop (default 3).
+
+use std::process::ExitCode;
+
+use bench::flags::{parse_flag, string_flag};
+use bench::intern_bench::{self, InternRecord};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let parsed: Result<_, String> = (|| {
+        Ok((
+            parse_flag(&args, "--scale")?,
+            parse_flag(&args, "--max-states")?,
+            parse_flag(&args, "--repeat")?,
+            parse_flag(&args, "--max-regression")?,
+            string_flag(&args, "--json")?,
+            string_flag(&args, "--baseline")?,
+        ))
+    })();
+    let (scale_flag, max_states_flag, repeat_flag, max_regression_flag, json_path, baseline_path) =
+        match parsed {
+            Ok(flags) => flags,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+    let scale = scale_flag.unwrap_or(0);
+    let max_states = max_states_flag.unwrap_or(60_000);
+    let repeat = repeat_flag.unwrap_or(3).max(1);
+    let max_regression = max_regression_flag.unwrap_or(25) as f64;
+
+    println!(
+        "interning microbenchmark — hash-consed canonicalisation and warm rebuild \
+         (scale {scale}, state bound {max_states}, best of {repeat})"
+    );
+    let record = intern_bench::run(scale, max_states, repeat);
+    println!(
+        "{:<34} {:>8} {:>16} {:>16}",
+        "scenario", "states", "canonical op/s", "rebuild st/s"
+    );
+    for case in &record.cases {
+        println!(
+            "{:<34} {:>8} {:>16.0} {:>16.0}",
+            case.name, case.states, case.canonical_per_sec, case.build_per_sec
+        );
+    }
+    let stats = effpi::intern_stats();
+    println!(
+        "\ninterner: {} distinct types, normalize {}/{} hits/misses, canonical {}/{}",
+        stats.types,
+        stats.normalize_hits,
+        stats.normalize_misses,
+        stats.canonical_hits,
+        stats.canonical_misses
+    );
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", record.to_json())) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote intern bench record to {path}");
+    }
+
+    if let Some(path) = baseline_path {
+        let baseline = match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| InternRecord::from_json_text(&text))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot use baseline {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let failures = intern_bench::regressions(&record, &baseline, max_regression);
+        if failures.is_empty() {
+            println!("intern gate: OK — no case regressed more than {max_regression}% vs {path}");
+        } else {
+            eprintln!("intern gate: FAILED vs {path}");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+
+    ExitCode::SUCCESS
+}

@@ -34,6 +34,24 @@
 //! in a green run's `BENCH_fig9.json` artifact as the baseline; until then
 //! the conservative container numbers stand. (A config-mismatched refresh is
 //! rejected up front — see [`regressions`].)
+//!
+//! ## Refreshing the baselines
+//!
+//! Two baselines live next to this file and follow the same lifecycle:
+//!
+//! 1. download `BENCH_fig9.json` and `BENCH_intern.json` from a trusted
+//!    **green** run of the CI `bench` job (the `bench-records` artifact);
+//! 2. overwrite `crates/bench/baseline.json` / `crates/bench/
+//!    intern_baseline.json` with them verbatim (both are written by the
+//!    binaries themselves, so the schema always matches);
+//! 3. commit them together with whatever change motivated the refresh (a new
+//!    scenario, a deliberate perf trade, new runner hardware).
+//!
+//! The determinism fields (state counts, verdicts) must **never** change in
+//! a refresh that isn't an intentional semantics change — a drift there is a
+//! bug, not a baseline problem. The interning microbenchmark's gate
+//! (`crate::intern_bench::regressions`) applies the same policy to its
+//! canonicalisation/rebuild throughputs.
 
 use std::collections::BTreeMap;
 

@@ -12,6 +12,10 @@
 //! * [`gate`] — the CI benchmark gate: per-case JSON records of the fig9
 //!   smoke run and the regression comparison against the checked-in
 //!   `baseline.json` (throughput floors plus determinism drift).
+//! * [`intern_bench`] — the hash-consing microbenchmark: memoized
+//!   canonicalisation and warm LTS-rebuild throughput over the Fig. 9
+//!   corpus (`BENCH_intern.json`), gated against
+//!   `crates/bench/intern_baseline.json`.
 //! * [`serve_load`] — the concurrent-load scenario for the `effpi-serve`
 //!   verification service: N clients × M specs against an in-process server,
 //!   reporting requests/sec and the verdict-cache hit rate
@@ -27,6 +31,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod gate;
 pub mod harness;
+pub mod intern_bench;
 pub mod serve_load;
 
 pub use wire as json;

@@ -35,6 +35,8 @@
 
 use std::fmt;
 
+use lambdapi::{TyRef, Type};
+
 use crate::session::SessionConfig;
 use crate::spec::Spec;
 
@@ -97,11 +99,13 @@ pub fn spec_cache_key(config: &SessionConfig, spec: &Spec) -> CacheKey {
     h.write(if config.auto_probe { "1" } else { "0" });
 
     // Γ is a finite map: canonical order is by name. Bindings are normalised
-    // so congruent environment types key identically.
+    // so congruent environment types key identically — through the interner's
+    // memoized normal forms, so a daemon keying thousands of requests against
+    // the same environment normalises each distinct type once, not per key.
     let mut bindings: Vec<(String, String)> = spec
         .env
         .iter()
-        .map(|(name, ty)| (name.to_string(), ty.normalize().to_string()))
+        .map(|(name, ty)| (name.to_string(), normal_form(ty).to_string()))
         .collect();
     bindings.sort();
     h.write("\nenv=");
@@ -124,7 +128,7 @@ pub fn spec_cache_key(config: &SessionConfig, spec: &Spec) -> CacheKey {
 
     h.write("\ntype=");
     match &spec.ty {
-        Some(ty) => h.write(&ty.normalize().to_string()),
+        Some(ty) => h.write(&normal_form(ty).to_string()),
         None => h.write("-"),
     }
 
@@ -145,6 +149,14 @@ pub fn spec_cache_key(config: &SessionConfig, spec: &Spec) -> CacheKey {
     }
 
     CacheKey(h.finish())
+}
+
+/// The canonical rendering source for key material: the interner's memoized
+/// [`Type::normalize`] form. Structurally identical to `ty.normalize()` (the
+/// intern property suite pins this), so keys are byte-for-byte what they were
+/// before hash consing existed — `tests/cache_key.rs` pins known key values.
+fn normal_form(ty: &Type) -> TyRef {
+    TyRef::intern(ty).normalized()
 }
 
 /// 128-bit FNV-1a: tiny, dependency-free, stable everywhere.

@@ -37,8 +37,8 @@ use std::fmt;
 use std::time::Duration;
 
 use dbt_types::{Checker, TypeEnv, TypeError};
-use lambdapi::{Name, Term, Type};
-use lts::{Lts, TypeLabel};
+use lambdapi::{Name, Term, TyRef, Type};
+use lts::{CancelToken, Lts, TypeLabel};
 use mucalc::{Property, VerificationOutcome, Verifier, VerifyError};
 
 use crate::protocols::Scenario;
@@ -141,6 +141,11 @@ pub struct SessionConfig {
     /// serially. Reports are identical for every value — see the determinism
     /// guarantee of `lts::explore`.
     pub parallelism: usize,
+    /// Cooperative cancellation hook: when set, flipping the token aborts any
+    /// in-flight exploration of this session at its next state expansion
+    /// (the run then reports [`mucalc::VerifyError::Cancelled`]). Excluded
+    /// from [`Session::cache_key`] — it cannot change a *completed* report.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SessionConfig {
@@ -153,6 +158,7 @@ impl Default for SessionConfig {
             auto_probe: true,
             visible: None,
             parallelism: 1,
+            cancel: None,
         }
     }
 }
@@ -215,6 +221,14 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches a cooperative cancellation token (see
+    /// [`SessionConfig::cancel`]): the way a service aborts an in-flight
+    /// verification instead of merely dropping it from its queue.
+    pub fn cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.config.cancel = Some(cancel);
+        self
+    }
+
     /// Builds the session, constructing and caching its checker and verifier.
     pub fn build(self) -> Session {
         let checker = Checker::with_limits(self.config.max_depth, self.config.max_unfold);
@@ -223,6 +237,7 @@ impl SessionBuilder {
         verifier.auto_probe = self.config.auto_probe;
         verifier.visible = self.config.visible.clone();
         verifier.parallelism = self.config.parallelism;
+        verifier.cancel = self.config.cancel.clone();
         Session {
             config: self.config,
             verifier,
@@ -355,7 +370,7 @@ impl Session {
         &self,
         env: &TypeEnv,
         ty: &Type,
-    ) -> Result<(TypeEnv, Lts<Type, TypeLabel>), Error> {
+    ) -> Result<(TypeEnv, Lts<TyRef, TypeLabel>), Error> {
         self.verifier.build_lts(env, ty).map_err(Error::from)
     }
 

@@ -1,0 +1,565 @@
+//! Hash-consed interning of [`Type`]s: the allocation-free backbone of the
+//! verification hot path.
+//!
+//! The exploration engine (`lts::explore`) treats every state as a λπ⩽
+//! [`Type`]; before interning existed, every seen-set lookup re-hashed and
+//! re-compared whole trees, and every successor re-ran a full-tree
+//! [`Type::normalize`]. This module provides:
+//!
+//! * [`TyRef`] — a handle to an interned type: structurally deduplicated on
+//!   construction, so two structurally equal types **always** share one
+//!   [`TypeId`], and `Eq`/`Hash` are O(1) integer operations;
+//! * a process-wide interner with **sharded** tables (one mutex per shard),
+//!   so concurrent exploration workers intern without a global lock;
+//! * memoized [`TyRef::normalized`] and [`TyRef::canonical`], keyed by id:
+//!   each distinct (sub)tree is normalised exactly once per process, after
+//!   which both operations are hash lookups.
+//!
+//! ## Determinism
+//!
+//! [`TypeId`]s are assigned in first-intern order, which is **racy** under
+//! concurrent exploration — two runs of the same workload may assign
+//! different ids to the same type. Nothing user-visible may therefore depend
+//! on id *values* or id *order*:
+//!
+//! * `Eq`/`Hash` are sound (equal structure ⇔ equal id, per process);
+//! * `TyRef` deliberately does **not** implement `Ord`, and its `Debug`
+//!   delegates to the underlying [`Type`], so sorting by either stays
+//!   structural. Consumers that need an order must compare
+//!   [`TyRef::as_type`] (see `TypeLts::successors`).
+//!
+//! The memo tables are keyed by id but their *values* are pure functions of
+//! the type's structure, so memoisation can never leak allocation order into
+//! a result.
+//!
+//! ## Memory
+//!
+//! The interner is append-only and process-wide: it retains every distinct
+//! type ever interned (a long-running `effpi-serve` daemon can watch its
+//! growth through [`stats`], which the daemon's `stats` request exposes).
+//! Per-run arenas that can be dropped with their request are a known
+//! follow-up (see ROADMAP).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{BuildHasher, Hash, Hasher};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use crate::ty::Type;
+
+/// Number of shards in each interner table: comfortably above any plausible
+/// worker count, so concurrent registrations of distinct types rarely collide
+/// on a lock. Must be a power of two.
+const SHARDS: usize = 64;
+
+/// The identity of an interned type: a dense 32-bit index.
+///
+/// Two `TypeId`s are equal **iff** the types they name are structurally equal
+/// (within one process). The numeric value is an allocation-order artifact —
+/// never persist it, never order by it where determinism matters.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TypeId(u32);
+
+impl TypeId {
+    /// The raw index (for diagnostics and for sharding id-keyed side tables).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A handle to an interned [`Type`]: cheap to clone, O(1) `Eq`/`Hash` (by
+/// [`TypeId`]), dereferences to the underlying type.
+///
+/// Obtain one with [`TyRef::intern`] (borrowed input) or [`TyRef::new`]
+/// (owned input, avoids one clone on first intern).
+#[derive(Clone)]
+pub struct TyRef {
+    id: TypeId,
+    ty: Arc<Type>,
+}
+
+impl TyRef {
+    /// Interns a borrowed type, cloning it only if it was never seen before.
+    pub fn intern(ty: &Type) -> TyRef {
+        interner().intern_arc_or(ty, None)
+    }
+
+    /// Interns an owned type (no clone on first intern).
+    pub fn new(ty: Type) -> TyRef {
+        let arc = Arc::new(ty);
+        interner().intern_arc_or(&arc.clone(), Some(arc))
+    }
+
+    /// Interns a type already behind an [`Arc`], sharing the allocation.
+    pub fn from_arc(ty: Arc<Type>) -> TyRef {
+        interner().intern_arc_or(&ty.clone(), Some(ty))
+    }
+
+    /// The interned type's identity.
+    pub fn id(&self) -> TypeId {
+        self.id
+    }
+
+    /// The underlying type.
+    pub fn as_type(&self) -> &Type {
+        &self.ty
+    }
+
+    /// The underlying shared allocation (lets callers build parent nodes
+    /// without re-cloning the subtree).
+    pub fn as_arc(&self) -> &Arc<Type> {
+        &self.ty
+    }
+
+    /// The normalised form of this type (see [`Type::normalize`]), memoized:
+    /// the first call per distinct type computes, every later call — from any
+    /// thread — is a hash lookup. Subtrees are normalised through the same
+    /// memo, so shared components of parallel compositions are normalised
+    /// once, not once per enclosing state.
+    pub fn normalized(&self) -> TyRef {
+        interner().normalized(self)
+    }
+
+    /// `true` when this type is already in normal form (which the interner
+    /// knows after the first normalisation without re-walking the tree).
+    pub fn is_normal(&self) -> bool {
+        self.normalized().id == self.id
+    }
+
+    /// The canonical LTS-state form: [`Type::normalize`] followed by
+    /// [`Type::unfold_head`] with the given unfold budget. Memoized per
+    /// `(type, max_unfold)`; types that are already canonical hit the memo
+    /// without any tree walk.
+    pub fn canonical(&self, max_unfold: usize) -> TyRef {
+        interner().canonical(self, max_unfold)
+    }
+}
+
+impl PartialEq for TyRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for TyRef {}
+
+/// Structural comparison against a plain [`Type`] (used heavily in tests).
+impl PartialEq<Type> for TyRef {
+    fn eq(&self, other: &Type) -> bool {
+        *self.ty == *other
+    }
+}
+
+impl Hash for TyRef {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.id.0.hash(state);
+    }
+}
+
+impl Deref for TyRef {
+    type Target = Type;
+
+    fn deref(&self) -> &Type {
+        &self.ty
+    }
+}
+
+impl fmt::Display for TyRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.ty.fmt(f)
+    }
+}
+
+/// Structural, id-free `Debug`: interned states must print (and sort, when a
+/// caller sorts by debug text) exactly like the plain types they stand for.
+impl fmt::Debug for TyRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.ty.fmt(f)
+    }
+}
+
+/// A point-in-time snapshot of the interner (see [`stats`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct InternStats {
+    /// Distinct types interned since process start.
+    pub types: usize,
+    /// Memoized-normalisation lookups that hit.
+    pub normalize_hits: u64,
+    /// Normalisations actually computed (memo misses).
+    pub normalize_misses: u64,
+    /// Memoized-canonicalisation lookups that hit.
+    pub canonical_hits: u64,
+    /// Canonical forms actually computed (memo misses).
+    pub canonical_misses: u64,
+}
+
+/// A snapshot of the process-wide interner counters — the cost-accounting
+/// hook for long-running services.
+pub fn stats() -> InternStats {
+    let i = interner();
+    InternStats {
+        types: i.count.load(Ordering::Relaxed) as usize,
+        normalize_hits: i.normalize_hits.load(Ordering::Relaxed),
+        normalize_misses: i.normalize_misses.load(Ordering::Relaxed),
+        canonical_hits: i.canonical_hits.load(Ordering::Relaxed),
+        canonical_misses: i.canonical_misses.load(Ordering::Relaxed),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The interner
+// ---------------------------------------------------------------------------
+
+struct Interner {
+    /// Structural table: `type -> id`, hash-partitioned. All shards hash with
+    /// this one state so a type's shard is stable.
+    hasher: std::collections::hash_map::RandomState,
+    shards: Vec<Mutex<HashMap<Arc<Type>, TyRef>>>,
+    /// `id -> normalised form`, partitioned by id.
+    normalized: Vec<Mutex<HashMap<u32, TyRef>>>,
+    /// `(id, max_unfold) -> canonical form`, partitioned by id.
+    canonical: Vec<Mutex<HashMap<(u32, u64), TyRef>>>,
+    count: AtomicU64,
+    normalize_hits: AtomicU64,
+    normalize_misses: AtomicU64,
+    canonical_hits: AtomicU64,
+    canonical_misses: AtomicU64,
+}
+
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| Interner {
+        hasher: std::collections::hash_map::RandomState::new(),
+        shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        normalized: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        canonical: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        count: AtomicU64::new(0),
+        normalize_hits: AtomicU64::new(0),
+        normalize_misses: AtomicU64::new(0),
+        canonical_hits: AtomicU64::new(0),
+        canonical_misses: AtomicU64::new(0),
+    })
+}
+
+/// Panic-free lock: a panicking worker already aborts its run; the interner's
+/// tables are append-only maps that are never left half-updated.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Interner {
+    fn shard_of(&self, ty: &Type) -> usize {
+        (self.hasher.hash_one(ty) as usize) & (SHARDS - 1)
+    }
+
+    /// Looks `ty` up; on a miss, registers either the provided owned `Arc`
+    /// (no tree clone) or a fresh clone of `ty`.
+    fn intern_arc_or(&self, ty: &Type, owned: Option<Arc<Type>>) -> TyRef {
+        let mut shard = lock(&self.shards[self.shard_of(ty)]);
+        if let Some(found) = shard.get(ty) {
+            return found.clone();
+        }
+        let arc = owned.unwrap_or_else(|| Arc::new(ty.clone()));
+        // The counter is 64-bit so it can never wrap in practice; the assert
+        // turns id-space exhaustion into a loud abort instead of silently
+        // reassigning a live 32-bit id (which would alias structurally
+        // distinct types and corrupt every id-keyed table downstream).
+        let raw = self.count.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            raw < u64::from(u32::MAX),
+            "type interner exhausted its 32-bit id space"
+        );
+        let id = TypeId(raw as u32);
+        let tyref = TyRef {
+            id,
+            ty: Arc::clone(&arc),
+        };
+        shard.insert(arc, tyref.clone());
+        tyref
+    }
+
+    fn lookup_normalized(&self, id: TypeId) -> Option<TyRef> {
+        lock(&self.normalized[id.0 as usize & (SHARDS - 1)])
+            .get(&id.0)
+            .cloned()
+    }
+
+    fn store_normalized(&self, id: TypeId, value: &TyRef) {
+        lock(&self.normalized[id.0 as usize & (SHARDS - 1)]).insert(id.0, value.clone());
+    }
+
+    /// Memoized [`Type::normalize`]. Reproduces the plain function exactly —
+    /// member-by-member, so every distinct subtree lands in the memo too.
+    fn normalized(&self, t: &TyRef) -> TyRef {
+        if let Some(hit) = self.lookup_normalized(t.id) {
+            self.normalize_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.normalize_misses.fetch_add(1, Ordering::Relaxed);
+        let normal = self.compute_normalized(t);
+        self.store_normalized(t.id, &normal);
+        // The normal form is its own normal form (normalisation is
+        // idempotent — pinned by `ty.rs` tests): record it so future
+        // normalisations of already-normal states are O(1) without a walk.
+        if normal.id != t.id {
+            self.store_normalized(normal.id, &normal);
+        }
+        normal
+    }
+
+    /// One level of [`Type::normalize`], recursing through the memo. The
+    /// result is structurally identical to `t.as_type().normalize()` (the
+    /// property suite asserts this over generated types).
+    fn compute_normalized(&self, t: &TyRef) -> TyRef {
+        let child = |arc: &Arc<Type>| self.normalized(&TyRef::from_arc(Arc::clone(arc)));
+        match t.as_type() {
+            Type::Union(..) => {
+                let mut members: Vec<Type> = t
+                    .union_members()
+                    .iter()
+                    .flat_map(|m| self.normalized(&TyRef::intern(m)).as_type().union_members())
+                    .collect();
+                members.sort();
+                members.dedup();
+                TyRef::new(Type::union_all(members))
+            }
+            Type::Par(..) => {
+                let mut members: Vec<Type> = t
+                    .par_members()
+                    .iter()
+                    .flat_map(|m| self.normalized(&TyRef::intern(m)).as_type().par_members())
+                    .collect();
+                members.retain(|m| !matches!(m, Type::Nil));
+                members.sort();
+                TyRef::new(Type::par_all(members))
+            }
+            Type::Pi(x, dom, body) => TyRef::new(Type::Pi(
+                x.clone(),
+                Arc::clone(child(dom).as_arc()),
+                Arc::clone(child(body).as_arc()),
+            )),
+            Type::Rec(x, body) => {
+                TyRef::new(Type::Rec(x.clone(), Arc::clone(child(body).as_arc())))
+            }
+            Type::ChanIO(inner) => TyRef::new(Type::ChanIO(Arc::clone(child(inner).as_arc()))),
+            Type::ChanIn(inner) => TyRef::new(Type::ChanIn(Arc::clone(child(inner).as_arc()))),
+            Type::ChanOut(inner) => TyRef::new(Type::ChanOut(Arc::clone(child(inner).as_arc()))),
+            Type::Out(a, b, c) => TyRef::new(Type::Out(
+                Arc::clone(child(a).as_arc()),
+                Arc::clone(child(b).as_arc()),
+                Arc::clone(child(c).as_arc()),
+            )),
+            Type::In(a, b) => TyRef::new(Type::In(
+                Arc::clone(child(a).as_arc()),
+                Arc::clone(child(b).as_arc()),
+            )),
+            _ => t.clone(),
+        }
+    }
+
+    /// Memoized `normalize().unfold_head(max_unfold)` — the canonical
+    /// LTS-state representation.
+    fn canonical(&self, t: &TyRef, max_unfold: usize) -> TyRef {
+        let key = (t.id.0, max_unfold as u64);
+        let shard = &self.canonical[t.id.0 as usize & (SHARDS - 1)];
+        if let Some(hit) = lock(shard).get(&key) {
+            self.canonical_hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.canonical_misses.fetch_add(1, Ordering::Relaxed);
+        let normal = self.normalized(t);
+        let unfolded = matches!(normal.as_type(), Type::Rec(..));
+        let canon = if unfolded {
+            TyRef::new(normal.as_type().unfold_head(max_unfold))
+        } else {
+            normal
+        };
+        lock(shard).insert(key, canon.clone());
+        // When no unfolding happened, the canonical form is a *normal* form
+        // and hence a fixpoint (normalisation is idempotent, nothing to
+        // unfold): record it as its own canonical form so re-canonicalising
+        // already-canonical states is an O(1) fast-path hit. An *unfolded*
+        // result must NOT be recorded this way: `unfold_head` substitutes
+        // into sorted unions/pars and can leave them unsorted, so its output
+        // is not necessarily normal and has to go through a real
+        // normalisation when first canonicalised in its own right.
+        if canon.id != t.id && !unfolded {
+            let back_key = (canon.id.0, max_unfold as u64);
+            lock(&self.canonical[canon.id.0 as usize & (SHARDS - 1)])
+                .entry(back_key)
+                .or_insert_with(|| canon.clone());
+        }
+        canon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::Name;
+
+    fn payment_like() -> Type {
+        Type::rec(
+            "t",
+            Type::inp(
+                Type::var("self"),
+                Type::pi(
+                    "pay",
+                    Type::Int,
+                    Type::union(
+                        Type::out(
+                            Type::var("client"),
+                            Type::Str,
+                            Type::thunk(Type::rec_var("t")),
+                        ),
+                        Type::out(
+                            Type::var("aud"),
+                            Type::var("pay"),
+                            Type::thunk(Type::rec_var("t")),
+                        ),
+                    ),
+                ),
+            ),
+        )
+    }
+
+    #[test]
+    fn structurally_equal_types_share_one_id() {
+        let a = TyRef::intern(&payment_like());
+        let b = TyRef::new(payment_like());
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a, b);
+        let c = TyRef::intern(&Type::par(Type::Nil, payment_like()));
+        assert_ne!(a.id(), c.id());
+    }
+
+    #[test]
+    fn hash_and_eq_are_by_id_but_match_structure() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(TyRef::intern(&Type::Int));
+        set.insert(TyRef::new(Type::Int));
+        set.insert(TyRef::intern(&Type::Bool));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn normalized_matches_plain_normalize() {
+        let samples = [
+            payment_like(),
+            Type::par(Type::Nil, Type::par(Type::var("b"), Type::var("a"))),
+            Type::union(Type::Bool, Type::union(Type::Int, Type::Bool)),
+            Type::par(
+                Type::union(Type::var("y"), Type::var("x")),
+                Type::par(Type::Nil, Type::Nil),
+            ),
+            Type::pi(
+                "x",
+                Type::union(Type::Str, Type::Int),
+                Type::par(Type::Nil, Type::var("x")),
+            ),
+        ];
+        for ty in samples {
+            let plain = ty.normalize();
+            let interned = TyRef::intern(&ty).normalized();
+            assert_eq!(*interned.as_type(), plain, "{ty}");
+            // Idempotence through the memo.
+            assert_eq!(interned.normalized(), interned);
+            assert!(interned.is_normal());
+        }
+    }
+
+    #[test]
+    fn canonical_matches_normalize_then_unfold_head() {
+        let ty = payment_like();
+        let plain = ty.normalize().unfold_head(16);
+        let interned = TyRef::intern(&ty).canonical(16);
+        assert_eq!(*interned.as_type(), plain);
+        // The canonical form of a canonical form is itself.
+        assert_eq!(interned.canonical(16), interned);
+        // Distinct unfold budgets are distinct memo keys, same result here
+        // (one head unfold suffices for this type).
+        assert_eq!(*TyRef::intern(&ty).canonical(8).as_type(), plain);
+    }
+
+    #[test]
+    fn canonical_never_pins_a_non_normal_unfolding_as_its_own_fixpoint() {
+        // µt.p[x, t] unfolds to p[x, µt.p[x, t]], which is NOT sorted
+        // (Rec orders before Var): canonicalising the recursive type first
+        // must not poison the memo entry of its (non-normal) unfolding.
+        let rec = Type::rec("t", Type::par(Type::var("x"), Type::rec_var("t")));
+        for max_unfold in [1, 4, 16] {
+            assert_eq!(
+                *TyRef::intern(&rec).canonical(max_unfold).as_type(),
+                rec.normalize().unfold_head(max_unfold),
+                "max_unfold {max_unfold}"
+            );
+            let unfolded = rec.unfold();
+            assert_eq!(
+                *TyRef::intern(&unfolded).canonical(max_unfold).as_type(),
+                unfolded.normalize().unfold_head(max_unfold),
+                "max_unfold {max_unfold}: the unfolded spelling must go \
+                 through a real normalisation"
+            );
+        }
+    }
+
+    #[test]
+    fn display_and_debug_are_structural() {
+        let ty = Type::out(Type::var("x"), Type::Int, Type::thunk(Type::Nil));
+        let r = TyRef::intern(&ty);
+        assert_eq!(r.to_string(), ty.to_string());
+        assert_eq!(format!("{r:?}"), format!("{ty:?}"));
+    }
+
+    #[test]
+    fn tyref_compares_against_plain_types() {
+        let r = TyRef::intern(&Type::Nil);
+        assert_eq!(r, Type::Nil);
+        assert!(r != Type::Proc);
+    }
+
+    #[test]
+    fn interning_is_thread_safe_and_consistent() {
+        let ids: Vec<TypeId> = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut last = None;
+                        for _ in 0..200 {
+                            let r = TyRef::new(payment_like());
+                            let n = r.normalized();
+                            assert_eq!(*n.as_type(), payment_like().normalize());
+                            last = Some(r.id());
+                        }
+                        last.unwrap()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn stats_move_forward() {
+        let before = stats();
+        let unique = Type::out(Type::var("stats_probe"), Type::Int, Type::thunk(Type::Nil));
+        let r = TyRef::intern(&unique);
+        let _ = r.normalized();
+        let _ = r.normalized();
+        let after = stats();
+        assert!(after.types > 0);
+        assert!(
+            after.normalize_hits + after.normalize_misses
+                > before.normalize_hits + before.normalize_misses
+        );
+        let _ = Name::new("keep-name-import");
+    }
+}

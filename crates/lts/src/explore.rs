@@ -18,9 +18,11 @@
 //!   the front of a sibling's deque when its own runs dry. Only `std`
 //!   threads are used; the workspace stays dependency-free.
 //! * **Cooperative early exit** — a shared stop flag ends the run as soon as
-//!   the state bound trips, or as soon as an optional *monitor* decides the
-//!   question being asked on-the-fly (see [`explore_until`]); workers check
-//!   it between expansions instead of draining their queues.
+//!   the state bound trips, as soon as an optional *monitor* decides the
+//!   question being asked on-the-fly (see [`explore_until`]), or as soon as
+//!   an external [`CancelToken`] is flipped (the abort hook behind
+//!   `effpi-serve`'s `cancel` request); workers check it between expansions
+//!   instead of draining their queues.
 //! * **Canonical renumbering** — discovery order under concurrency is
 //!   nondeterministic, so after exploration the states are renumbered by a
 //!   deterministic BFS over the recorded (deterministically ordered)
@@ -39,7 +41,45 @@ use runtime::sync::{Condvar, Mutex};
 
 use crate::generic::Lts;
 
-/// How an exploration is run: worker count and state bound.
+/// A shareable cooperative-cancellation flag for in-flight explorations.
+///
+/// Clones share one flag: hand one clone to [`ExploreConfig::with_cancel`]
+/// and keep the other; calling [`CancelToken::cancel`] — from any thread —
+/// makes every worker of the running exploration stop at its next state
+/// expansion and the run return [`ExploreStatus::Aborted`]. This is the hook
+/// `effpi-serve` uses to honour `cancel` requests against verifications that
+/// are already executing (not merely queued).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(std::sync::Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Tokens compare by identity: two tokens are equal when they share the flag.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        std::sync::Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for CancelToken {}
+
+/// How an exploration is run: worker count, state bound, and an optional
+/// external cancellation hook.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ExploreConfig {
     /// Number of worker threads. `1` (the default) explores serially on the
@@ -47,6 +87,9 @@ pub struct ExploreConfig {
     pub parallelism: usize,
     /// Maximum number of states registered before the run is truncated.
     pub max_states: usize,
+    /// When set, workers poll this flag between state expansions and abort
+    /// the run ([`ExploreStatus::Aborted`]) as soon as it flips.
+    pub cancel: Option<CancelToken>,
 }
 
 impl ExploreConfig {
@@ -55,6 +98,7 @@ impl ExploreConfig {
         ExploreConfig {
             parallelism: 1,
             max_states,
+            cancel: None,
         }
     }
 
@@ -63,7 +107,14 @@ impl ExploreConfig {
         ExploreConfig {
             parallelism: parallelism.max(1),
             max_states,
+            cancel: None,
         }
+    }
+
+    /// Attaches an external cancellation token (see [`CancelToken`]).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
     }
 }
 
@@ -76,6 +127,9 @@ pub enum ExploreStatus {
     Truncated,
     /// The monitor of [`explore_until`] decided the question early.
     Cancelled,
+    /// An external [`CancelToken`] aborted the run; the LTS is a partial,
+    /// scheduling-dependent prefix and carries no determinism guarantee.
+    Aborted,
 }
 
 /// The result of an exploration: the (canonically numbered) LTS plus how the
@@ -142,10 +196,18 @@ where
     // The initial state is always admitted, whatever the bound (the serial
     // engine behaves the same way).
     let max_states = config.max_states.max(1);
+    let cancel = config.cancel.as_ref();
     if config.parallelism <= 1 {
-        return explore_serial(initial, &succ, max_states, &monitor);
+        return explore_serial(initial, &succ, max_states, &monitor, cancel);
     }
-    explore_parallel(initial, &succ, config.parallelism, max_states, &monitor)
+    explore_parallel(
+        initial,
+        &succ,
+        config.parallelism,
+        max_states,
+        &monitor,
+        cancel,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -157,6 +219,7 @@ fn explore_serial<S, L, F, M>(
     succ: &F,
     max_states: usize,
     monitor: &M,
+    cancel: Option<&CancelToken>,
 ) -> Exploration<S, L>
 where
     S: Clone + Eq + Hash,
@@ -170,6 +233,7 @@ where
     let mut queue: VecDeque<usize> = VecDeque::new();
     let mut truncated = false;
     let mut cancelled = false;
+    let mut aborted = false;
 
     states.push(initial.clone());
     index.insert(initial, 0);
@@ -177,6 +241,10 @@ where
     queue.push_back(0);
 
     while let Some(i) = queue.pop_front() {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            aborted = true;
+            break;
+        }
         let state = states[i].clone();
         let mut out = Vec::new();
         for (label, next) in succ(&state) {
@@ -207,9 +275,11 @@ where
         }
     }
 
-    // Cancellation wins the status, but a bound trip that already happened
-    // stays visible through the LTS's truncated flag.
-    let status = if cancelled {
+    // External abort wins the status, then monitor cancellation; a bound
+    // trip that already happened stays visible through the truncated flag.
+    let status = if aborted {
+        ExploreStatus::Aborted
+    } else if cancelled {
         ExploreStatus::Cancelled
     } else if truncated {
         ExploreStatus::Truncated
@@ -252,6 +322,8 @@ struct Shared<S> {
     truncated: AtomicBool,
     /// Whether a monitor decided the run early.
     cancelled: AtomicBool,
+    /// Whether an external [`CancelToken`] aborted the run.
+    aborted: AtomicBool,
     /// One work deque per worker; owners push/pop the back, thieves the
     /// front.
     queues: Vec<Mutex<VecDeque<(usize, S)>>>,
@@ -282,6 +354,7 @@ where
             stop: AtomicBool::new(false),
             truncated: AtomicBool::new(false),
             cancelled: AtomicBool::new(false),
+            aborted: AtomicBool::new(false),
             queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             idle: Mutex::new(()),
             idle_cv: Condvar::new(),
@@ -383,6 +456,7 @@ fn explore_parallel<S, L, F, M>(
     workers: usize,
     max_states: usize,
     monitor: &M,
+    cancel: Option<&CancelToken>,
 ) -> Exploration<S, L>
 where
     S: Clone + Eq + Hash + Send + Sync,
@@ -403,14 +477,17 @@ where
         let mut handles = Vec::with_capacity(workers);
         for me in 0..workers {
             let shared = &shared;
-            handles.push(scope.spawn(move || worker(me, shared, succ, monitor, max_states)));
+            handles
+                .push(scope.spawn(move || worker(me, shared, succ, monitor, max_states, cancel)));
         }
         for handle in handles {
             records.extend(handle.join().expect("exploration worker panicked"));
         }
     });
 
-    let status = if shared.cancelled.load(Ordering::Relaxed) {
+    let status = if shared.aborted.load(Ordering::Relaxed) {
+        ExploreStatus::Aborted
+    } else if shared.cancelled.load(Ordering::Relaxed) {
         ExploreStatus::Cancelled
     } else if shared.truncated.load(Ordering::Relaxed) {
         ExploreStatus::Truncated
@@ -454,6 +531,7 @@ fn worker<S, L, F, M>(
     succ: &F,
     monitor: &M,
     max_states: usize,
+    cancel: Option<&CancelToken>,
 ) -> Vec<Record<S, L>>
 where
     S: Clone + Eq + Hash,
@@ -470,6 +548,12 @@ where
     let mut spins = 0usize;
     loop {
         if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            shared.aborted.store(true, Ordering::Relaxed);
+            shared.stop.store(true, Ordering::SeqCst);
+            shared.wake_sleepers();
             break;
         }
         let Some((pid, state)) = shared.find_work(me).or_else(|| {
@@ -720,6 +804,62 @@ mod tests {
         let ex = explore(0u64, chain, &ExploreConfig::new(4, usize::MAX));
         assert_eq!(ex.status, ExploreStatus::Complete);
         assert_eq!(ex.lts.num_states(), 3_001);
+    }
+
+    #[test]
+    fn a_pre_cancelled_token_aborts_before_any_expansion() {
+        let chain = |s: &u64| vec![("inc", s + 1)];
+        let token = CancelToken::new();
+        token.cancel();
+        for workers in [1, 4] {
+            let ex = explore(
+                0u64,
+                chain,
+                &ExploreConfig::new(workers, usize::MAX).with_cancel(token.clone()),
+            );
+            assert_eq!(ex.status, ExploreStatus::Aborted, "workers={workers}");
+            // Only the initial state (and at most a worker's in-flight batch)
+            // was registered.
+            assert!(ex.lts.num_states() <= 2, "{}", ex.lts.num_states());
+        }
+    }
+
+    #[test]
+    fn cancelling_mid_run_aborts_an_unbounded_exploration() {
+        // An infinite chain: without the token this run never terminates.
+        let chain = |s: &u64| {
+            std::thread::yield_now();
+            vec![("inc", s + 1)]
+        };
+        for workers in [1, 4] {
+            let token = CancelToken::new();
+            let canceller = {
+                let token = token.clone();
+                std::thread::spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    token.cancel();
+                })
+            };
+            let ex = explore(
+                0u64,
+                chain,
+                &ExploreConfig::new(workers, usize::MAX).with_cancel(token),
+            );
+            canceller.join().unwrap();
+            assert_eq!(ex.status, ExploreStatus::Aborted, "workers={workers}");
+            assert!(!ex.lts.is_truncated());
+            assert!(ex.lts.num_states() >= 1);
+        }
+    }
+
+    #[test]
+    fn cancel_tokens_compare_by_identity() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_ne!(a, CancelToken::new());
+        b.cancel();
+        assert!(a.is_cancelled());
     }
 
     #[test]

@@ -6,7 +6,11 @@ use std::fmt;
 use lambdapi::{BaseRule, Name, Term, Type};
 
 /// A label of the type-level transition system (Fig. 6).
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// The `Ord` is structural (variant order, then the component types'
+/// [`Ord`]) and exists so `TypeLts::successors` can sort transition lists
+/// deterministically without rendering them to text first.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum TypeLabel {
     /// `τ[∨]` — resolution of an internal choice (union type).
     Choice,

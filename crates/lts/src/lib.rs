@@ -41,7 +41,7 @@ mod label;
 mod term_lts;
 mod type_lts;
 
-pub use explore::{explore, explore_until, Exploration, ExploreConfig, ExploreStatus};
+pub use explore::{explore, explore_until, CancelToken, Exploration, ExploreConfig, ExploreStatus};
 pub use generic::Lts;
 pub use label::{TermLabel, TypeLabel};
 pub use term_lts::TermLts;

@@ -1,10 +1,10 @@
 //! The labelled transition semantics of λπ⩽ *types* (Def. 4.2, Fig. 6).
 //!
-//! States are (normalised) types; labels are [`TypeLabel`]s. The semantics is
-//! what the paper model-checks in place of the program: by Thm. 4.4/4.5 the
-//! transitions of a type over-approximate the communications of every
-//! well-typed program, so a temporal property decided here transfers to the
-//! program (Thm. 4.10).
+//! States are hash-consed references ([`TyRef`]) to (normalised) types;
+//! labels are [`TypeLabel`]s. The semantics is what the paper model-checks in
+//! place of the program: by Thm. 4.4/4.5 the transitions of a type
+//! over-approximate the communications of every well-typed program, so a
+//! temporal property decided here transfers to the program (Thm. 4.10).
 //!
 //! Implementation notes (documented deviations):
 //!
@@ -19,11 +19,37 @@
 //! * Input transitions ([T→i]) are *early*: the payload is either the domain
 //!   type itself or any environment variable that is a subtype of the domain —
 //!   exactly the `T' = T or T' ∈ X` side condition.
+//!
+//! ## Hot-path design (hash consing)
+//!
+//! Exploration expands each distinct state once, but the *work per state*
+//! used to be dominated by redundant tree traversals: a full-tree
+//! re-`normalize` per successor, re-hashing whole trees in the seen-set, and
+//! re-deriving the successor lists of parallel components for every
+//! interleaved product state. With states as [`TyRef`]s:
+//!
+//! * seen-set `Eq`/`Hash` are 32-bit id operations;
+//! * [`TypeLts::canonical_ref`] is a memo hit for every state after its
+//!   first canonicalisation (the interner also knows when a type is already
+//!   canonical and skips the walk entirely);
+//! * per-builder caches keyed by [`lambdapi::TypeId`] memoize the successor
+//!   list of every sub-state (so a `p[...]` product state reuses its
+//!   components' transitions) and the early-input candidate vector of every
+//!   input domain (so the subtype probing runs once per domain, not once per
+//!   expansion).
+//!
+//! Successor lists are sorted by the **structural** order of
+//! `(label, target type)` — never by interner ids, whose allocation order is
+//! racy under parallel exploration and must not leak into state numbering.
+
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use dbt_types::{Checker, TypeEnv};
-use lambdapi::{Name, Type};
+use lambdapi::{Name, TyRef, Type};
+use runtime::sync::Mutex;
 
-use crate::explore::{explore, Exploration, ExploreConfig};
+use crate::explore::{explore, CancelToken, Exploration, ExploreConfig};
 use crate::generic::Lts;
 use crate::label::TypeLabel;
 
@@ -42,6 +68,35 @@ pub enum CandidatePolicy {
     Only(Vec<Name>),
 }
 
+/// Number of lock shards in each per-builder cache; a power of two.
+const CACHE_SHARDS: usize = 16;
+
+/// A memoized successor list, shared between the cache and its consumers.
+type SuccessorList = Arc<[(TypeLabel, TyRef)]>;
+
+/// The per-builder memo tables, shared by every worker of a build (and by
+/// clones of the builder, as long as no cache-relevant knob changes).
+#[derive(Debug)]
+struct Caches {
+    /// input-domain [`lambdapi::TypeId`] → early-input payload candidates.
+    candidates: Vec<Mutex<HashMap<u32, Arc<[Type]>>>>,
+    /// canonical-state [`lambdapi::TypeId`] → successor transitions.
+    successors: Vec<Mutex<HashMap<u32, SuccessorList>>>,
+}
+
+impl Caches {
+    fn new() -> Arc<Caches> {
+        Arc::new(Caches {
+            candidates: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            successors: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        })
+    }
+}
+
 /// Builder for the type-level LTS of Def. 4.2.
 #[derive(Clone, Debug)]
 pub struct TypeLts {
@@ -50,6 +105,8 @@ pub struct TypeLts {
     candidates: CandidatePolicy,
     visible: Option<Vec<Name>>,
     parallelism: usize,
+    cancel: Option<CancelToken>,
+    caches: Arc<Caches>,
 }
 
 /// Default bound on the number of explored type states.
@@ -58,13 +115,7 @@ pub const DEFAULT_MAX_STATES: usize = 200_000;
 impl TypeLts {
     /// Creates a builder for the given typing environment.
     pub fn new(env: TypeEnv) -> Self {
-        TypeLts {
-            env,
-            checker: Checker::new(),
-            candidates: CandidatePolicy::default(),
-            visible: None,
-            parallelism: 1,
-        }
+        Self::with_checker(env, Checker::new())
     }
 
     /// Creates a builder with a custom checker configuration.
@@ -75,6 +126,8 @@ impl TypeLts {
             candidates: CandidatePolicy::default(),
             visible: None,
             parallelism: 1,
+            cancel: None,
+            caches: Caches::new(),
         }
     }
 
@@ -90,9 +143,19 @@ impl TypeLts {
         self
     }
 
+    /// Attaches a cooperative cancellation token: flipping it aborts any
+    /// in-flight [`TypeLts::build`] at its next state expansion.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
     /// Sets the early-input candidate policy (see [`CandidatePolicy`]).
     pub fn with_candidate_policy(mut self, candidates: CandidatePolicy) -> Self {
         self.candidates = candidates;
+        // The memoized candidate vectors (and the successor lists derived
+        // from them) depend on the policy: start the caches over.
+        self.caches = Caches::new();
         self
     }
 
@@ -104,7 +167,8 @@ impl TypeLts {
     /// only the probed channels are exposed to the environment (internal
     /// channels only contribute τ-synchronisations), which is how the paper's
     /// Fig. 9 models are set up. `None` (the default) keeps every transition
-    /// that Def. 4.2 generates.
+    /// that Def. 4.2 generates. (The filter is applied per expansion on top
+    /// of the cached full successor lists, so it does not key the caches.)
     pub fn with_visible_subjects(mut self, visible: Option<Vec<Name>>) -> Self {
         self.visible = visible;
         self
@@ -120,19 +184,46 @@ impl TypeLts {
         &self.checker
     }
 
-    /// Canonicalises a type into the representation used for LTS states.
+    /// Canonicalises an interned type into the representation used for LTS
+    /// states — a memo hit for every type seen before (the interner also
+    /// short-circuits types it knows to be canonical already).
+    pub fn canonical_ref(&self, ty: &TyRef) -> TyRef {
+        ty.canonical(self.checker.max_unfold)
+    }
+
+    /// Canonicalises a plain type (interning it on the way); see
+    /// [`TypeLts::canonical_ref`] for the allocation-free variant.
     pub fn canonical(&self, ty: &Type) -> Type {
-        ty.normalize().unfold_head(self.checker.max_unfold)
+        self.canonical_ref(&TyRef::intern(ty)).as_type().clone()
     }
 
     /// Computes the successor transitions `Γ ⊢ T --α--> T'` of a type.
-    pub fn successors(&self, ty: &Type) -> Vec<(TypeLabel, Type)> {
-        let t = self.canonical(ty);
-        let mut out = Vec::new();
-        match &t {
+    ///
+    /// The result is memoized per canonical state: product states of a
+    /// parallel composition reuse their components' lists instead of
+    /// re-deriving them.
+    pub fn successors(&self, ty: &TyRef) -> SuccessorList {
+        let t = self.canonical_ref(ty);
+        let shard = &self.caches.successors[t.id().index() as usize & (CACHE_SHARDS - 1)];
+        if let Some(hit) = shard.lock().get(&t.id().index()) {
+            return Arc::clone(hit);
+        }
+        let computed = self.compute_successors(&t);
+        shard
+            .lock()
+            .entry(t.id().index())
+            .or_insert(computed)
+            .clone()
+    }
+
+    /// The uncached successor derivation; `t` is canonical.
+    fn compute_successors(&self, t: &TyRef) -> SuccessorList {
+        let canonical_owned = |ty: Type| TyRef::new(ty).canonical(self.checker.max_unfold);
+        let mut out: Vec<(TypeLabel, TyRef)> = Vec::new();
+        match t.as_type() {
             Type::Union(..) => {
                 for member in t.union_members() {
-                    out.push((TypeLabel::Choice, self.canonical(&member)));
+                    out.push((TypeLabel::Choice, canonical_owned(member)));
                 }
             }
             Type::Out(subject, payload, cont) => {
@@ -141,34 +232,36 @@ impl TypeLts {
                         subject: (**subject).clone(),
                         payload: (**payload).clone(),
                     },
-                    self.canonical(&continuation_body(cont)),
+                    canonical_owned(continuation_body(cont)),
                 ));
             }
             Type::In(subject, cont) => {
                 if let Some((x, dom, body)) = self.checker.resolve_pi(&self.env, cont) {
-                    for candidate in self.input_candidates(&dom) {
-                        let next = body.subst_var(&x, &candidate);
+                    for candidate in self.input_candidates(&dom).iter() {
+                        let next = body.subst_var(&x, candidate);
                         out.push((
                             TypeLabel::In {
                                 subject: (**subject).clone(),
-                                payload: candidate,
+                                payload: candidate.clone(),
                             },
-                            self.canonical(&next),
+                            canonical_owned(next),
                         ));
                     }
                 }
             }
             Type::Par(..) => {
                 let components = t.par_members();
-                let succs: Vec<Vec<(TypeLabel, Type)>> =
-                    components.iter().map(|c| self.successors(c)).collect();
+                let succs: Vec<Arc<[(TypeLabel, TyRef)]>> = components
+                    .iter()
+                    .map(|c| self.successors(&TyRef::intern(c)))
+                    .collect();
 
                 // Interleaving (context rule p[E,T] plus commutativity of ≡).
                 for (i, cs) in succs.iter().enumerate() {
-                    for (label, next) in cs {
+                    for (label, next) in cs.iter() {
                         let mut parts = components.clone();
-                        parts[i] = next.clone();
-                        out.push((label.clone(), self.canonical(&Type::par_all(parts))));
+                        parts[i] = next.as_type().clone();
+                        out.push((label.clone(), canonical_owned(Type::par_all(parts))));
                     }
                 }
 
@@ -178,9 +271,12 @@ impl TypeLts {
                 // so a synchronisation exists whenever the sender's payload
                 // fits the receiver's domain — independently of which
                 // stand-alone input candidates were enumerated above.
-                let heads: Vec<Type> = components.iter().map(|c| self.canonical(c)).collect();
+                let heads: Vec<TyRef> = components
+                    .iter()
+                    .map(|c| self.canonical_ref(&TyRef::intern(c)))
+                    .collect();
                 for i in 0..components.len() {
-                    for (lab_i, next_i) in &succs[i] {
+                    for (lab_i, next_i) in succs[i].iter() {
                         let (s_out, payload_out) = match lab_i {
                             TypeLabel::Out { subject, payload } => (subject, payload),
                             _ => continue,
@@ -189,7 +285,7 @@ impl TypeLts {
                             if i == j {
                                 continue;
                             }
-                            let Type::In(s_in, cont) = &heads[j] else {
+                            let Type::In(s_in, cont) = heads[j].as_type() else {
                                 continue;
                             };
                             if !self.checker.might_interact(&self.env, s_out, s_in) {
@@ -207,14 +303,14 @@ impl TypeLts {
                             }
                             let next_j = body.subst_var(&x, payload_out);
                             let mut parts = components.clone();
-                            parts[i] = next_i.clone();
-                            parts[j] = self.canonical(&next_j);
+                            parts[i] = next_i.as_type().clone();
+                            parts[j] = canonical_owned(next_j).as_type().clone();
                             out.push((
                                 TypeLabel::Comm {
                                     left: s_out.clone(),
                                     right: (**s_in).clone(),
                                 },
-                                self.canonical(&Type::par_all(parts)),
+                                canonical_owned(Type::par_all(parts)),
                             ));
                         }
                     }
@@ -223,15 +319,25 @@ impl TypeLts {
             // nil, proc, base types, variables, functions: no transitions.
             _ => {}
         }
-        out.sort_by(|a, b| format!("{:?}", a).cmp(&format!("{:?}", b)));
+        // Deterministic order by *structure* (labels first, then target
+        // types) — interner ids are allocation-ordered and must not decide
+        // anything observable.
+        out.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.as_type().cmp(b.1.as_type())));
         out.dedup();
-        out
+        out.into()
     }
 
     /// The candidate payloads for an early input transition on a domain type
     /// `dom`: the domain itself, plus the environment variables selected by
-    /// the [`CandidatePolicy`] that are subtypes of the domain.
-    fn input_candidates(&self, dom: &Type) -> Vec<Type> {
+    /// the [`CandidatePolicy`] that are subtypes of the domain. Memoized per
+    /// domain, so the subtype probing of the environment runs once per
+    /// distinct domain instead of once per input expansion.
+    fn input_candidates(&self, dom: &Type) -> Arc<[Type]> {
+        let key = TyRef::intern(dom).id().index();
+        let shard = &self.caches.candidates[key as usize & (CACHE_SHARDS - 1)];
+        if let Some(hit) = shard.lock().get(&key) {
+            return Arc::clone(hit);
+        }
         let mut candidates = vec![dom.clone()];
         let allowed: Box<dyn Fn(&Name) -> bool> = match &self.candidates {
             CandidatePolicy::AllEnvVariables => Box::new(|_| true),
@@ -249,32 +355,37 @@ impl TypeLts {
                 candidates.push(var);
             }
         }
-        candidates
+        let candidates: Arc<[Type]> = candidates.into();
+        shard.lock().entry(key).or_insert(candidates).clone()
     }
 
     /// Builds the explicit LTS reachable from `ty`, bounded by `max_states`,
     /// on the [`mod@crate::explore`] engine with the configured worker count.
-    pub fn build(&self, ty: &Type, max_states: usize) -> Lts<Type, TypeLabel> {
+    pub fn build(&self, ty: &Type, max_states: usize) -> Lts<TyRef, TypeLabel> {
         self.build_exploration(ty, max_states).lts
     }
 
     /// Like [`TypeLts::build`], also reporting how the exploration ended.
-    pub fn build_exploration(&self, ty: &Type, max_states: usize) -> Exploration<Type, TypeLabel> {
-        let initial = self.canonical(ty);
-        let config = ExploreConfig::new(self.parallelism, max_states);
+    pub fn build_exploration(&self, ty: &Type, max_states: usize) -> Exploration<TyRef, TypeLabel> {
+        let initial = self.canonical_ref(&TyRef::intern(ty));
+        let mut config = ExploreConfig::new(self.parallelism, max_states);
+        if let Some(cancel) = &self.cancel {
+            config = config.with_cancel(cancel.clone());
+        }
         explore(
             initial,
-            |s: &Type| {
+            |s: &TyRef| {
                 let succ = self.successors(s);
                 match &self.visible {
-                    None => succ,
+                    None => succ.to_vec(),
                     Some(visible) => succ
-                        .into_iter()
+                        .iter()
                         .filter(|(label, _)| match label.subject() {
                             Some(Type::Var(x)) => visible.contains(x),
                             Some(_) => false,
                             None => true,
                         })
+                        .cloned()
                         .collect(),
                 }
             },
@@ -283,7 +394,7 @@ impl TypeLts {
     }
 
     /// Builds the LTS with the default state bound.
-    pub fn build_default(&self, ty: &Type) -> Lts<Type, TypeLabel> {
+    pub fn build_default(&self, ty: &Type) -> Lts<TyRef, TypeLabel> {
         self.build(ty, DEFAULT_MAX_STATES)
     }
 }
@@ -334,10 +445,10 @@ pub fn is_imprecise_comm(env: &TypeEnv, label: &TypeLabel) -> bool {
 /// Applies the `↑Γ Y` limiting operator of Def. 4.9 to a built type LTS:
 /// input/output transitions whose subject is not a variable in `interfaces`
 /// are removed; τ-transitions (choice and communication) are kept.
-pub fn restrict_to_interfaces(
-    lts: &Lts<Type, TypeLabel>,
-    interfaces: &[Name],
-) -> Lts<Type, TypeLabel> {
+pub fn restrict_to_interfaces<S>(lts: &Lts<S, TypeLabel>, interfaces: &[Name]) -> Lts<S, TypeLabel>
+where
+    S: Clone + Eq + std::hash::Hash,
+{
     lts.filter_edges(|_, label, _| match label {
         TypeLabel::Out { subject, .. } | TypeLabel::In { subject, .. } => {
             matches!(subject, Type::Var(x) if interfaces.contains(x))
@@ -355,6 +466,10 @@ mod tests {
         TypeEnv::new()
             .bind("y", Type::chan_io(Type::Str))
             .bind("z", Type::chan_io(Type::chan_out(Type::Str)))
+    }
+
+    fn succ_of(builder: &TypeLts, ty: &Type) -> Vec<(TypeLabel, TyRef)> {
+        builder.successors(&TyRef::intern(ty)).to_vec()
     }
 
     /// Example 4.3: the composed ping-pong type performs two communications
@@ -393,7 +508,7 @@ mod tests {
         );
 
         // The terminated state nil is reachable.
-        assert!(lts.states().contains(&Type::Nil));
+        assert!(lts.states().iter().any(|s| *s == Type::Nil));
     }
 
     #[test]
@@ -401,7 +516,7 @@ mod tests {
         let env = TypeEnv::new().bind("x", Type::chan_io(Type::Int));
         let builder = TypeLts::new(env);
         let ty = Type::out(Type::var("x"), Type::Int, Type::thunk(Type::Nil));
-        let succ = builder.successors(&ty);
+        let succ = succ_of(&builder, &ty);
         assert_eq!(succ.len(), 1);
         match &succ[0] {
             (TypeLabel::Out { subject, payload }, next) => {
@@ -427,7 +542,7 @@ mod tests {
                 Type::out(Type::var("x"), Type::var("p"), Type::thunk(Type::Nil)),
             ),
         );
-        let succ = builder.successors(&ty);
+        let succ = succ_of(&builder, &ty);
         // One candidate for the domain type int, one for the int-typed variable v.
         assert_eq!(succ.len(), 2);
         // The candidate payload is substituted into the continuation.
@@ -445,7 +560,7 @@ mod tests {
             Type::out(Type::var("x"), Type::Int, Type::thunk(Type::Nil)),
             Type::Nil,
         );
-        let succ = builder.successors(&ty);
+        let succ = succ_of(&builder, &ty);
         assert_eq!(succ.len(), 2);
         assert!(succ.iter().all(|(l, _)| *l == TypeLabel::Choice));
     }
@@ -460,7 +575,7 @@ mod tests {
             Type::out(Type::var("x"), Type::Int, Type::thunk(Type::Nil)),
             Type::inp(Type::var("y"), Type::pi("v", Type::Int, Type::Nil)),
         );
-        let succ = builder.successors(&ty);
+        let succ = succ_of(&builder, &ty);
         assert!(
             !succ
                 .iter()
@@ -481,7 +596,7 @@ mod tests {
             Type::out(Type::chan_io(Type::Int), Type::Int, Type::thunk(Type::Nil)),
             Type::inp(Type::var("x"), Type::pi("y", Type::Int, Type::Nil)),
         );
-        let succ = builder.successors(&ty);
+        let succ = succ_of(&builder, &ty);
         let comm: Vec<_> = succ
             .iter()
             .filter(|(l, _)| matches!(l, TypeLabel::Comm { .. }))
@@ -583,5 +698,43 @@ mod tests {
         };
         assert!(is_input_use(&checker, &env, &inp, &Name::new("x")));
         assert!(!is_input_use(&checker, &env, &imprecise, &Name::new("x")));
+    }
+
+    #[test]
+    fn candidate_policy_changes_reset_the_memo_caches() {
+        let env = TypeEnv::new()
+            .bind("x", Type::chan_io(Type::Int))
+            .bind("v", Type::Int);
+        let ty = Type::inp(
+            Type::var("x"),
+            Type::pi(
+                "p",
+                Type::Int,
+                Type::out(Type::var("x"), Type::var("p"), Type::thunk(Type::Nil)),
+            ),
+        );
+        let all = TypeLts::new(env.clone());
+        assert_eq!(succ_of(&all, &ty).len(), 2);
+        // Narrowing the policy on a clone of the same builder must not replay
+        // the cached two-candidate list.
+        let only = all
+            .clone()
+            .with_candidate_policy(CandidatePolicy::Only(vec![]));
+        assert_eq!(succ_of(&only, &ty).len(), 1);
+        // And the original builder still sees its own cache.
+        assert_eq!(succ_of(&all, &ty).len(), 2);
+    }
+
+    #[test]
+    fn build_aborts_on_a_cancel_token() {
+        let env = pingpong_env();
+        let token = CancelToken::new();
+        token.cancel();
+        let builder = TypeLts::new(env).with_cancel(token);
+        let ty = examples::tpp_type()
+            .apply_all(&[Type::var("y"), Type::var("z")])
+            .unwrap();
+        let ex = builder.build_exploration(&ty, 10_000);
+        assert_eq!(ex.status, crate::explore::ExploreStatus::Aborted);
     }
 }

@@ -13,16 +13,18 @@
 //!   has no further run to constrain);
 //! * an edge predicate plays the role of a label set `A` from Def. 4.6.
 
-use lambdapi::Type;
+use lambdapi::{TyRef, Type};
 use lts::{Lts, TypeLabel};
 
 /// `true` when a state represents the successfully terminated protocol.
-pub fn is_terminated(state: &Type) -> bool {
-    matches!(state.normalize(), Type::Nil)
+/// The normalisation behind the congruence test is memoized in the interner,
+/// so this is a hash lookup for every state seen before.
+pub fn is_terminated(state: &TyRef) -> bool {
+    matches!(state.normalized().as_type(), Type::Nil)
 }
 
 /// □¬(A)⊤ — no reachable transition carries a label satisfying `in_set`.
-pub fn never_fires<F>(lts: &Lts<Type, TypeLabel>, mut in_set: F) -> bool
+pub fn never_fires<F>(lts: &Lts<TyRef, TypeLabel>, mut in_set: F) -> bool
 where
     F: FnMut(&TypeLabel) -> bool,
 {
@@ -39,7 +41,7 @@ where
 
 /// □((allowed)⊤ ∨ termination) — every reachable transition carries a label
 /// satisfying `allowed`, i.e. nothing else is ever fired.
-pub fn only_fires<F>(lts: &Lts<Type, TypeLabel>, mut allowed: F) -> bool
+pub fn only_fires<F>(lts: &Lts<TyRef, TypeLabel>, mut allowed: F) -> bool
 where
     F: FnMut(&TypeLabel) -> bool,
 {
@@ -48,7 +50,7 @@ where
 
 /// Every reachable state either is successfully terminated or has at least one
 /// outgoing transition (no deadlocks).
-pub fn no_stuck_states(lts: &Lts<Type, TypeLabel>) -> bool {
+pub fn no_stuck_states(lts: &Lts<TyRef, TypeLabel>) -> bool {
     for &s in &lts.reachable() {
         if lts.transitions_from(s).is_empty() && !is_terminated(lts.state(s)) {
             return false;
@@ -60,7 +62,7 @@ pub fn no_stuck_states(lts: &Lts<Type, TypeLabel>) -> bool {
 /// Every reachable state has at least one outgoing transition — the protocol
 /// runs forever (used by the reactiveness template, which requires an infinite
 /// run).
-pub fn runs_forever(lts: &Lts<Type, TypeLabel>) -> bool {
+pub fn runs_forever(lts: &Lts<TyRef, TypeLabel>) -> bool {
     for &s in &lts.reachable() {
         if lts.transitions_from(s).is_empty() {
             return false;
@@ -77,7 +79,7 @@ pub fn runs_forever(lts: &Lts<Type, TypeLabel>) -> bool {
 /// This decides `(−A)⊤ U (target)⊤` where `is_forbidden` is membership in `A`
 /// (assumed disjoint from the target set, as in all Fig. 7 instances).
 pub fn until_on_all_runs<FT, FF>(
-    lts: &Lts<Type, TypeLabel>,
+    lts: &Lts<TyRef, TypeLabel>,
     start: usize,
     mut is_target: FT,
     mut is_forbidden: FF,
@@ -148,7 +150,7 @@ where
 /// holds from its target state, where the target label set may depend on the
 /// trigger label (e.g. "an output of exactly the payload that was received").
 pub fn whenever_then_until<FTrig, FTgt, FForb>(
-    lts: &Lts<Type, TypeLabel>,
+    lts: &Lts<TyRef, TypeLabel>,
     mut is_trigger: FTrig,
     mut target_for: FTgt,
     mut is_forbidden: FForb,
@@ -174,7 +176,7 @@ where
 /// ♢-style reachability: some transition satisfying `is_target` is reachable
 /// from the initial state (used for diagnostics and in tests; the Fig. 7
 /// "eventual usage" template is the stronger [`until_on_all_runs`]).
-pub fn some_run_fires<F>(lts: &Lts<Type, TypeLabel>, mut is_target: F) -> bool
+pub fn some_run_fires<F>(lts: &Lts<TyRef, TypeLabel>, mut is_target: F) -> bool
 where
     F: FnMut(&TypeLabel) -> bool,
 {

@@ -18,7 +18,7 @@
 //!   meaningful).
 
 use dbt_types::{Checker, TypeEnv};
-use lambdapi::{Name, Type};
+use lambdapi::{Name, TyRef, Type};
 use lts::{is_imprecise_comm, is_input_use, is_output_use, Lts, TypeLabel};
 
 use crate::check;
@@ -193,7 +193,7 @@ impl Property {
     ///
     /// `lts` must be the *unrestricted* LTS of the type; the property applies
     /// its own `↑Γ Y` restriction as described in the module documentation.
-    pub fn holds(&self, checker: &Checker, env: &TypeEnv, lts: &Lts<Type, TypeLabel>) -> bool {
+    pub fn holds(&self, checker: &Checker, env: &TypeEnv, lts: &Lts<TyRef, TypeLabel>) -> bool {
         match self {
             Property::NonUsage { vars } => check::never_fires(lts, |l| {
                 vars.iter().any(|x| is_output_use(checker, env, l, x))
@@ -330,12 +330,12 @@ fn join(vars: &[Name]) -> String {
 /// variables must stay observable, since they are the subjects (responsive)
 /// or payloads (forwarding) of the target labels. τ-transitions are kept.
 fn restrict_for_payload_tracking(
-    lts: &Lts<Type, TypeLabel>,
+    lts: &Lts<TyRef, TypeLabel>,
     checker: &Checker,
     env: &TypeEnv,
     trigger_var: &Name,
     interfaces: &[Name],
-) -> Lts<Type, TypeLabel> {
+) -> Lts<TyRef, TypeLabel> {
     let mut keep: Vec<Name> = interfaces.to_vec();
     for label in lts.labels() {
         if is_input_use(checker, env, label, trigger_var) {
@@ -365,7 +365,7 @@ mod tests {
             .bind("v", Type::Int)
     }
 
-    fn build(ty: &Type) -> Lts<Type, TypeLabel> {
+    fn build(ty: &Type) -> Lts<TyRef, TypeLabel> {
         TypeLts::new(env()).build(ty, 10_000)
     }
 

@@ -17,8 +17,8 @@
 use std::time::{Duration, Instant};
 
 use dbt_types::{Checker, TypeEnv, TypeKind};
-use lambdapi::{Name, Type};
-use lts::{Lts, TypeLabel, TypeLts};
+use lambdapi::{Name, TyRef, Type};
+use lts::{CancelToken, ExploreStatus, Lts, TypeLabel, TypeLts};
 
 use crate::properties::Property;
 
@@ -49,6 +49,10 @@ pub enum VerifyError {
         /// on the clamp regardless of the engine's worker count.
         explored: usize,
     },
+    /// The exploration was aborted by an external [`CancelToken`] (the
+    /// `cancel` hook of `effpi-serve`). The partial LTS is discarded: an
+    /// aborted prefix is scheduling-dependent and must never feed a verdict.
+    Cancelled,
 }
 
 impl std::fmt::Display for VerifyError {
@@ -67,6 +71,7 @@ impl std::fmt::Display for VerifyError {
                      (exploration stopped after {explored})"
                 )
             }
+            VerifyError::Cancelled => write!(f, "verification cancelled"),
         }
     }
 }
@@ -122,6 +127,10 @@ pub struct Verifier {
     /// the canonical renumbering of `lts::explore`; bound trips surface as
     /// the same clamped [`VerifyError::StateSpaceTooLarge`] on every value.
     pub parallelism: usize,
+    /// When set, flipping the token aborts any in-flight LTS construction at
+    /// its next state expansion; the run then fails with
+    /// [`VerifyError::Cancelled`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for Verifier {
@@ -132,6 +141,7 @@ impl Default for Verifier {
             auto_probe: true,
             visible: None,
             parallelism: 1,
+            cancel: None,
         }
     }
 }
@@ -225,7 +235,7 @@ impl Verifier {
         &self,
         env: &TypeEnv,
         ty: &Type,
-    ) -> Result<(TypeEnv, Lts<Type, TypeLabel>), VerifyError> {
+    ) -> Result<(TypeEnv, Lts<TyRef, TypeLabel>), VerifyError> {
         let (env, probes) = if self.auto_probe {
             self.probe_env(env, ty)
         } else {
@@ -242,11 +252,18 @@ impl Verifier {
             }
             v
         });
-        let builder = TypeLts::with_checker(env.clone(), self.checker.clone())
+        let mut builder = TypeLts::with_checker(env.clone(), self.checker.clone())
             .with_candidate_policy(lts::CandidatePolicy::Only(probes))
             .with_visible_subjects(visible)
             .with_parallelism(self.parallelism);
-        let lts = builder.build(ty, self.max_states);
+        if let Some(cancel) = &self.cancel {
+            builder = builder.with_cancel(cancel.clone());
+        }
+        let exploration = builder.build_exploration(ty, self.max_states);
+        if exploration.status == ExploreStatus::Aborted {
+            return Err(VerifyError::Cancelled);
+        }
+        let lts = exploration.lts;
         if lts.is_truncated() {
             return Err(VerifyError::StateSpaceTooLarge {
                 bound: self.max_states,
@@ -560,5 +577,28 @@ mod tests {
         let outcomes = verifier.verify_all(&env, &ty, &props).unwrap();
         assert_eq!(outcomes.len(), props.len());
         assert!(outcomes.iter().all(|o| o.states > 0));
+    }
+
+    #[test]
+    fn a_flipped_cancel_token_fails_verification_with_cancelled() {
+        for parallelism in [1, 4] {
+            let mut verifier = Verifier::new();
+            verifier.parallelism = parallelism;
+            let token = CancelToken::new();
+            token.cancel();
+            verifier.cancel = Some(token);
+            let err = verifier
+                .verify(
+                    &payment_env(),
+                    &payment_applied(),
+                    &Property::reactive("self"),
+                )
+                .unwrap_err();
+            assert!(
+                matches!(err, VerifyError::Cancelled),
+                "parallelism={parallelism}: {err:?}"
+            );
+            assert_eq!(err.to_string(), "verification cancelled");
+        }
     }
 }

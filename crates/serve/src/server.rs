@@ -34,11 +34,16 @@
 //!
 //! ## Cancellation
 //!
-//! Best-effort and queue-level: `cancel` flips a flag a worker checks when
-//! it dequeues the job. A request that never started is dropped (its
-//! `verify` answers `error.kind = "cancelled"`); one that is already
-//! executing runs to completion — the exploration engine has no safe
-//! mid-flight abort, and the completed verdict then warms the cache anyway.
+//! `cancel` flips a per-job [`CancelToken`] that reaches all the way into
+//! the exploration engine. A request that never started is dropped when a
+//! worker dequeues it (its `verify` answers `error.kind = "cancelled"`); one
+//! that is already executing is **aborted at its next state expansion** —
+//! the engine's cooperative cancel hook (`lts::explore`) stops every
+//! exploration worker, the run fails with `VerifyError::Cancelled`, and the
+//! `verify` answers `error.kind = "cancelled"` without polluting the verdict
+//! cache (an aborted prefix is scheduling-dependent and never cacheable).
+//! The `cancel` *response* still reports `cancelled: false` for started
+//! jobs — `true` remains the stronger "never ran at all" guarantee.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -50,7 +55,7 @@ use std::thread;
 use std::time::Duration;
 
 use effpi::spec::parse_spec;
-use effpi::Session;
+use effpi::{CancelToken, Session};
 use runtime::sync::{Condvar, Mutex};
 use wire::Json;
 
@@ -259,7 +264,9 @@ impl ServerHandle {
 // ---------------------------------------------------------------------------
 
 struct JobFlags {
-    cancelled: AtomicBool,
+    /// The cooperative cancellation hook, shared with the `Session` that
+    /// runs the job: flipping it aborts an in-flight exploration.
+    cancel: CancelToken,
     started: AtomicBool,
 }
 
@@ -585,7 +592,7 @@ fn handle_frame(shared: &Arc<Shared>, conn: &Arc<Conn>, frame: &str) {
     match request {
         Request::Verify { id, spec, options } => {
             let flags = Arc::new(JobFlags {
-                cancelled: AtomicBool::new(false),
+                cancel: CancelToken::new(),
                 started: AtomicBool::new(false),
             });
             conn.pending.lock().insert(id, Arc::clone(&flags));
@@ -625,10 +632,11 @@ fn handle_frame(shared: &Arc<Shared>, conn: &Arc<Conn>, frame: &str) {
             let flags = conn.pending.lock().get(&target).cloned();
             let honoured = match flags {
                 Some(flags) => {
-                    flags.cancelled.store(true, Ordering::SeqCst);
-                    // Best-effort answer: `true` guarantees the job will be
-                    // dropped; `false` means it may already be running (or is
-                    // already done). See the module docs.
+                    flags.cancel.cancel();
+                    // `true` guarantees the job never runs at all; `false`
+                    // means it already started (or finished) — a started job
+                    // is aborted cooperatively at its next state expansion
+                    // and answers `error.kind = "cancelled"`. Module docs.
                     !flags.started.load(Ordering::SeqCst)
                 }
                 None => false,
@@ -703,6 +711,23 @@ fn stats_json(shared: &Shared) -> Json {
                 ),
             ]),
         ),
+        (
+            // The hash-consing interner is process-wide and append-only, so
+            // a long-running daemon's memory cost and memo efficiency are
+            // part of its operational accounting (alongside the verdict
+            // cache's entry/state budgets above).
+            "interner",
+            {
+                let intern = effpi::intern_stats();
+                Json::obj([
+                    ("types", Json::Num(intern.types as f64)),
+                    ("normalize_hits", num(intern.normalize_hits)),
+                    ("normalize_misses", num(intern.normalize_misses)),
+                    ("canonical_hits", num(intern.canonical_hits)),
+                    ("canonical_misses", num(intern.canonical_misses)),
+                ])
+            },
+        ),
     ])
 }
 
@@ -733,7 +758,7 @@ fn worker_loop(shared: &Arc<Shared>) {
 
 fn process(shared: &Shared, job: Job) {
     job.flags.started.store(true, Ordering::SeqCst);
-    if job.flags.cancelled.load(Ordering::SeqCst) {
+    if job.flags.cancel.is_cancelled() {
         shared.counters.cancelled.fetch_add(1, Ordering::SeqCst);
         job.conn.settle(job.id, &job.flags);
         job.conn.send(&err_response(
@@ -766,7 +791,8 @@ fn verify_response(shared: &Shared, job: &Job) -> String {
     let options = job.options;
     let mut builder = Session::builder()
         .max_states(options.max_states.unwrap_or(config.default_max_states))
-        .parallelism(config.per_request_jobs());
+        .parallelism(config.per_request_jobs())
+        .cancel_token(job.flags.cancel.clone());
     if let Some(depth) = options.max_depth {
         builder = builder.max_depth(depth);
     }
@@ -788,6 +814,20 @@ fn verify_response(shared: &Shared, job: &Job) -> String {
     // a deliberate trade against serialising every distinct request behind
     // the slowest one.
     let report = session.run_spec(&spec);
+    if matches!(
+        report.first_error(),
+        Some(effpi::Error::Verify(effpi::VerifyError::Cancelled))
+    ) {
+        // Aborted mid-exploration: the partial result is discarded (never
+        // cached — an aborted prefix is scheduling-dependent) and the verify
+        // gets its typed refusal.
+        shared.counters.cancelled.fetch_add(1, Ordering::SeqCst);
+        return err_response(
+            Some(job.id),
+            ErrorKind::Cancelled,
+            "request cancelled during exploration",
+        );
+    }
     let states = report.states();
     shared
         .counters

@@ -386,6 +386,111 @@ fn hostile_frames_are_refused_without_harming_the_server() {
     handle.shutdown();
 }
 
+/// A spec whose state space is far too large to finish between "the worker
+/// picked it up" and "the cancel frame arrives": `k` independent two-state
+/// loops composed in parallel (2^k product states), all channels visible.
+/// The `max_states` option bounds memory if cancellation were ever broken —
+/// the run would then end in a (non-cancelled) state-bound error, failing
+/// the test loudly instead of hanging it.
+fn huge_parallel_spec(k: usize) -> String {
+    use std::fmt::Write as _;
+    let mut spec = String::new();
+    for i in 0..k {
+        let _ = writeln!(spec, "env a{i} : cio[()]");
+    }
+    for i in 0..k {
+        let _ = writeln!(spec, "visible a{i}");
+    }
+    let component = |i: usize| format!("rec r{i} . i[a{i}, Pi(t: ()) o[a{i}, (), Pi() r{i}]]");
+    let mut ty = component(k - 1);
+    for i in (0..k - 1).rev() {
+        ty = format!("p[ {}, {ty} ]", component(i));
+    }
+    let _ = writeln!(spec, "type {ty}");
+    spec.push_str("check deadlock_free []\n");
+    spec
+}
+
+#[test]
+fn cancel_aborts_an_in_flight_exploration() {
+    // One worker, serial exploration: the big job owns the pool, and the
+    // in_flight counter tells us exactly when it is executing.
+    let handle = Server::start(
+        &Endpoints {
+            tcp: Some("127.0.0.1:0".to_string()),
+            unix: None,
+        },
+        ServerConfig {
+            workers: 1,
+            jobs: 1,
+            ..server_config()
+        },
+    )
+    .expect("start 1-worker server");
+    let addr = handle.tcp_addr().unwrap().to_string();
+
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let spec = huge_parallel_spec(16); // 2^16 product states
+    let options = VerifyOptions {
+        max_states: Some(40_000),
+        ..VerifyOptions::default()
+    };
+    let started = std::time::Instant::now();
+    let id = client.submit_verify(&spec, options).expect("submit");
+
+    // Wait until the worker has dequeued the job and is exploring.
+    let mut admin = Client::connect_tcp(&addr).expect("connect admin");
+    loop {
+        let stats = admin.stats().expect("stats");
+        let in_flight = stats
+            .get("requests")
+            .and_then(|r| r.get("in_flight"))
+            .and_then(Json::as_usize)
+            .expect("requests.in_flight");
+        if in_flight >= 1 {
+            break;
+        }
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(30),
+            "the verify never started"
+        );
+        thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    // Cancel it mid-exploration. The ack says the job could not be dropped
+    // *unrun* (it had started) — the abort arrives on the verify response.
+    let honoured = client.cancel(id).expect("cancel");
+    assert!(!honoured, "a started job cannot be dropped unrun");
+    let response = client.recv().expect("verify answered");
+    assert_eq!(response.id, Some(id));
+    match response.into_ok() {
+        Err(ClientError::Server { kind, message }) => {
+            assert_eq!(kind, "cancelled", "{message}");
+            assert!(
+                message.contains("during exploration"),
+                "expected the in-flight abort path, got: {message}"
+            );
+        }
+        other => panic!("expected an in-flight cancellation, got {other:?}"),
+    }
+
+    // The abort freed the only worker: the server answers real work again,
+    // and the aborted run polluted nothing (a fresh small spec verifies).
+    let reply = client
+        .verify(&shipped_specs()[0].1, VerifyOptions::default())
+        .expect("verify after cancel");
+    assert!(reply.report.states > 0);
+    let stats = admin.stats().expect("stats");
+    let cancelled = stats
+        .get("requests")
+        .and_then(|r| r.get("cancelled"))
+        .and_then(Json::as_usize)
+        .expect("requests.cancelled");
+    assert!(cancelled >= 1, "the abort must be accounted: {stats}");
+
+    handle.shutdown();
+}
+
 #[cfg(unix)]
 #[test]
 fn unix_socket_endpoint_serves_and_cleans_up() {

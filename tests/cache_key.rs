@@ -203,4 +203,40 @@ fn engine_configuration_separates_keys_except_parallelism() {
         .visible(["unrelated"])
         .build();
     assert_eq!(key, other_visible.cache_key(&spec));
+
+    // A cancellation token is a run-control knob, not request content: it
+    // cannot change a *completed* report and must not separate keys.
+    let with_token = Session::builder()
+        .max_states(50_000)
+        .cancel_token(effpi::CancelToken::new())
+        .build();
+    assert_eq!(key, with_token.cache_key(&spec));
+}
+
+// ---------------------------------------------------------------------------
+// Cross-release stability: pinned key values.
+// ---------------------------------------------------------------------------
+
+/// The keys below were recorded **before** type interning existed (plain
+/// `Type::normalize` fed the canonical rendering). The hash-consed pipeline
+/// must reproduce them bit-for-bit: a persisted verdict cache survives the
+/// interning PR, and any future change to the rendering (or to
+/// normalisation) that moves these values must bump
+/// `effpi::fingerprint::KEY_SCHEMA` instead of silently replaying stale
+/// verdicts.
+#[test]
+fn interning_preserves_recorded_cache_key_values() {
+    assert_eq!(key_of(BASE).to_string(), "a71b421df1637717b4da4eb8048a6b7d");
+
+    let specs_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/specs");
+    let pinned = [
+        ("payment.effpi", "5189152703e38c9fd20e197aabe643ae"),
+        ("send_once.effpi", "0879304f3c447510ddf8de074fea9ae8"),
+    ];
+    for (file, expected) in pinned {
+        let text = std::fs::read_to_string(format!("{specs_dir}/{file}"))
+            .unwrap_or_else(|e| panic!("{file}: {e}"));
+        let key = Session::new().cache_key(&parse_spec(&text).expect("spec parses"));
+        assert_eq!(key.to_string(), expected, "{file}: pinned key drifted");
+    }
 }

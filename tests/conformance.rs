@@ -141,7 +141,7 @@ fn supertypes_over_approximate_behaviour() {
     let builder = TypeLts::new(env);
     let lts1 = builder.build(&t1, 1_000);
     let lts2 = builder.build(&t2, 1_000);
-    let comms = |lts: &lts::Lts<Type, lts::TypeLabel>| {
+    let comms = |lts: &lts::Lts<lambdapi::TyRef, lts::TypeLabel>| {
         lts.labels()
             .filter(|l| matches!(l, lts::TypeLabel::Comm { .. }))
             .count()
