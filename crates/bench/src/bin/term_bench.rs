@@ -1,0 +1,92 @@
+//! The open-term (Fig. 5) exploration benchmark: `TermLts` throughput over
+//! the conformance corpus, warm vs cold (see `bench::term_bench`).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin term_bench -- [--jobs N] [--repeat R]
+//!     [--json PATH] [--baseline PATH] [--max-regression PCT]
+//! ```
+//!
+//! * `--json PATH` — write the per-case record (`BENCH_term.json`);
+//! * `--baseline PATH` — compare against a previous record and **exit
+//!   non-zero** on any regression: either throughput down by more than
+//!   `--max-regression` percent (default 25), or any state/transition drift;
+//! * `--repeat R` — best-of-R warm rebuilds per case (default 3).
+
+use std::process::ExitCode;
+
+use bench::flags::{parse_flag, string_flag};
+use bench::term_bench::{self, TermRecord};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let parsed: Result<_, String> = (|| {
+        Ok((
+            parse_flag(&args, "--jobs")?,
+            parse_flag(&args, "--repeat")?,
+            parse_flag(&args, "--max-regression")?,
+            string_flag(&args, "--json")?,
+            string_flag(&args, "--baseline")?,
+        ))
+    })();
+    let (jobs_flag, repeat_flag, max_regression_flag, json_path, baseline_path) = match parsed {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let jobs = jobs_flag.unwrap_or(1).max(1);
+    let repeat = repeat_flag.unwrap_or(3).max(1);
+    let max_regression = max_regression_flag.unwrap_or(25) as f64;
+
+    println!(
+        "open-term exploration benchmark — Fig. 5 semantics over the conformance corpus \
+         (jobs {jobs}, best of {repeat} warm rebuilds)"
+    );
+    let record = term_bench::run(jobs, repeat);
+    println!(
+        "{:<18} {:>8} {:>8} {:>14} {:>14}",
+        "scenario", "states", "trans", "cold st/s", "warm st/s"
+    );
+    for case in &record.cases {
+        println!(
+            "{:<18} {:>8} {:>8} {:>14.0} {:>14.0}",
+            case.name, case.states, case.transitions, case.cold_per_sec, case.warm_per_sec
+        );
+    }
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", record.to_json())) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote term bench record to {path}");
+    }
+
+    if let Some(path) = baseline_path {
+        let baseline = match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| TermRecord::from_json_text(&text))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot use baseline {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let failures = term_bench::regressions(&record, &baseline, max_regression);
+        if failures.is_empty() {
+            println!("term gate: OK — no case regressed more than {max_regression}% vs {path}");
+        } else {
+            eprintln!("term gate: FAILED vs {path}");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+
+    ExitCode::SUCCESS
+}

@@ -15,12 +15,13 @@
 //!
 //! ## Baseline provenance
 //!
-//! `crates/bench/baseline.json` is **intentionally still the
-//! container-recorded baseline** from the PR that introduced the gate (a
-//! 1-CPU dev container, `--jobs 4`), not a CI artifact: refreshing it
-//! requires downloading `BENCH_fig9.json` from a trusted *green* CI run, and
-//! no such artifact is reachable from the offline build environment these
-//! changes are authored in. Keeping it is sound, not just expedient:
+//! `crates/bench/baseline.json` is **still container-recorded** (a 1-CPU dev
+//! container, `--jobs 4`) — re-recorded post-term-interning so the floors
+//! track the current pipeline, but not yet a CI artifact: refreshing to
+//! runner speed requires downloading `BENCH_fig9.json` from a trusted
+//! *green* CI run, and no such artifact is reachable from the offline build
+//! environment these changes are authored in. Keeping it is sound, not just
+//! expedient:
 //!
 //! * the **determinism fields** (case names, verdicts, state counts) are
 //!   hardware-independent — the drift checks gate at full strength no matter
@@ -37,21 +38,24 @@
 //!
 //! ## Refreshing the baselines
 //!
-//! Two baselines live next to this file and follow the same lifecycle:
+//! Three baselines live next to this file and follow the same lifecycle:
 //!
-//! 1. download `BENCH_fig9.json` and `BENCH_intern.json` from a trusted
-//!    **green** run of the CI `bench` job (the `bench-records` artifact);
+//! 1. download `BENCH_fig9.json`, `BENCH_intern.json` and `BENCH_term.json`
+//!    from a trusted **green** run of the CI `bench` job (the
+//!    `bench-records` artifact);
 //! 2. overwrite `crates/bench/baseline.json` / `crates/bench/
-//!    intern_baseline.json` with them verbatim (both are written by the
-//!    binaries themselves, so the schema always matches);
+//!    intern_baseline.json` / `crates/bench/term_baseline.json` with them
+//!    verbatim (all are written by the binaries themselves, so the schema
+//!    always matches);
 //! 3. commit them together with whatever change motivated the refresh (a new
 //!    scenario, a deliberate perf trade, new runner hardware).
 //!
-//! The determinism fields (state counts, verdicts) must **never** change in
-//! a refresh that isn't an intentional semantics change — a drift there is a
-//! bug, not a baseline problem. The interning microbenchmark's gate
-//! (`crate::intern_bench::regressions`) applies the same policy to its
-//! canonicalisation/rebuild throughputs.
+//! The determinism fields (state counts, verdicts, transition counts) must
+//! **never** change in a refresh that isn't an intentional semantics change
+//! — a drift there is a bug, not a baseline problem. The interning
+//! microbenchmark's gate (`crate::intern_bench::regressions`) and the
+//! open-term gate (`crate::term_bench::regressions`) apply the same policy
+//! to their throughputs.
 
 use std::collections::BTreeMap;
 

@@ -16,6 +16,9 @@
 //!   canonicalisation and warm LTS-rebuild throughput over the Fig. 9
 //!   corpus (`BENCH_intern.json`), gated against
 //!   `crates/bench/intern_baseline.json`.
+//! * [`term_bench`] — the open-term (Fig. 5) exploration benchmark: `TermLts`
+//!   throughput over the conformance corpus, warm vs cold
+//!   (`BENCH_term.json`), gated against `crates/bench/term_baseline.json`.
 //! * [`serve_load`] — the concurrent-load scenario for the `effpi-serve`
 //!   verification service: N clients × M specs against an in-process server,
 //!   reporting requests/sec and the verdict-cache hit rate
@@ -33,6 +36,7 @@ pub mod gate;
 pub mod harness;
 pub mod intern_bench;
 pub mod serve_load;
+pub mod term_bench;
 
 pub use wire as json;
 pub use wire::flags;

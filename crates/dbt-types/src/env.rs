@@ -7,8 +7,9 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::OnceLock;
 
-use lambdapi::{Name, Type};
+use lambdapi::{Name, TyRef, Type};
 
 /// A typing environment Γ: a finite map from term variables to types.
 ///
@@ -24,17 +25,47 @@ use lambdapi::{Name, Type};
 /// assert_eq!(env.lookup(&"y".into()), Some(&Type::chan_io(Type::Str)));
 /// assert_eq!(env.len(), 2);
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct TypeEnv {
     entries: Vec<(Name, Type)>,
+    /// Lazily computed interned identity of the entry list (see
+    /// [`TypeEnv::intern_key`]); carries no semantic content, so equality
+    /// and hashing ignore it.
+    key: OnceLock<u32>,
 }
+
+/// Equality is over the entries alone; the cached intern key is derived.
+impl PartialEq for TypeEnv {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl Eq for TypeEnv {}
 
 impl TypeEnv {
     /// The empty environment ∅.
     pub fn new() -> Self {
         TypeEnv {
             entries: Vec::new(),
+            key: OnceLock::new(),
         }
+    }
+
+    /// A stable, *exact* identity for this environment's entry list: the
+    /// entries are encoded as a `Π`-chain and hash-consed, so two
+    /// environments share a key **iff** their entry lists are structurally
+    /// equal. Computed once per environment instance (the id-keyed
+    /// derivation caches of the [`crate::Checker`] key on it).
+    pub fn intern_key(&self) -> u32 {
+        *self.key.get_or_init(|| {
+            let encoded = self
+                .entries
+                .iter()
+                .rev()
+                .fold(Type::Nil, |acc, (x, t)| Type::pi(x.clone(), t.clone(), acc));
+            TyRef::new(encoded).id().index()
+        })
     }
 
     /// Builds an environment from an iterator of bindings; later bindings for
@@ -62,7 +93,10 @@ impl TypeEnv {
             .cloned()
             .collect();
         entries.push((x, ty));
-        TypeEnv { entries }
+        TypeEnv {
+            entries,
+            key: OnceLock::new(),
+        }
     }
 
     /// Looks up the type of a variable.

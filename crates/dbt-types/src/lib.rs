@@ -34,12 +34,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod env;
 mod error;
 mod subtype;
 mod typing;
 mod validity;
 
+pub use cache::{stats as checker_stats, CheckerStats};
 pub use env::TypeEnv;
 pub use error::{TypeError, TypeResult};
 pub use subtype::ChanCap;
@@ -47,20 +49,30 @@ pub use validity::TypeKind;
 
 /// The checker for all judgements of the λπ⩽ type system.
 ///
-/// A `Checker` is cheap to construct and stateless; the two knobs bound the
-/// work done on (possibly ill-formed or adversarial) inputs:
+/// A `Checker` is cheap to construct; the two knobs bound the work done on
+/// (possibly ill-formed or adversarial) inputs:
 ///
 /// * `max_depth` — maximum derivation depth explored before giving up
 ///   (conservatively answering "no" for subtyping, or reporting an error for
 ///   validity/typing);
 /// * `max_unfold` — how many consecutive `µ` unfoldings are performed when
 ///   normalising the head of a type.
+///
+/// Every checker owns an id-keyed **derivation cache** (see
+/// [`checker_stats`]): `is_subtype`, `might_interact` and `type_of` memoize
+/// their results per *(limits, environment, interned ids)* key, so the LTS
+/// hot paths — which repeat the same queries for every communication-rule
+/// match and candidate probe — pay for each derivation once. Clones share
+/// the cache; the limit knobs are part of every key, so mutating them never
+/// replays stale entries.
 #[derive(Clone, Debug)]
 pub struct Checker {
     /// Maximum derivation depth.
     pub max_depth: usize,
     /// Maximum consecutive head unfoldings of recursive types.
     pub max_unfold: usize,
+    /// The shared derivation cache (see the type-level docs).
+    cache: std::sync::Arc<cache::DerivationCache>,
 }
 
 impl Default for Checker {
@@ -68,6 +80,7 @@ impl Default for Checker {
         Checker {
             max_depth: 256,
             max_unfold: 16,
+            cache: cache::DerivationCache::new(),
         }
     }
 }
@@ -78,11 +91,12 @@ impl Checker {
         Self::default()
     }
 
-    /// Creates a checker with custom limits.
+    /// Creates a checker with custom limits (and a fresh derivation cache).
     pub fn with_limits(max_depth: usize, max_unfold: usize) -> Self {
         Checker {
             max_depth,
             max_unfold,
+            cache: cache::DerivationCache::new(),
         }
     }
 }

@@ -56,8 +56,10 @@ impl Checker {
     /// assert!(!checker.is_subtype(&env, &Type::chan_out(Type::Int), &Type::chan_io(Type::Int)));
     /// ```
     pub fn is_subtype(&self, env: &TypeEnv, t: &Type, u: &Type) -> bool {
-        let mut seen = HashSet::new();
-        self.sub(env, t, u, &mut seen, 0)
+        self.cached_subtype(env, t, u, || {
+            let mut seen = HashSet::new();
+            self.sub(env, t, u, &mut seen, 0)
+        })
     }
 
     /// Decides mutual subtyping (type equivalence up to ≡ and unfolding).
@@ -219,6 +221,10 @@ impl Checker {
     /// Distinct variables never interact (their only common subtype is ⊥),
     /// which is what makes type-level communication track channel identity.
     pub fn might_interact(&self, env: &TypeEnv, s: &Type, t: &Type) -> bool {
+        self.cached_interact(env, s, t, || self.might_interact_uncached(env, s, t))
+    }
+
+    fn might_interact_uncached(&self, env: &TypeEnv, s: &Type, t: &Type) -> bool {
         let s = s.normalize().unfold_head(self.max_unfold);
         let t = t.normalize().unfold_head(self.max_unfold);
         if matches!(s, Type::Bottom) || matches!(t, Type::Bottom) {

@@ -39,6 +39,16 @@ impl Checker {
     /// );
     /// ```
     pub fn type_of(&self, env: &TypeEnv, t: &Term) -> TypeResult<Type> {
+        // Memoized per (limits, environment, interned term): the recursion
+        // below re-enters through this entry point, so every distinct
+        // subterm derivation lands in the cache too — unchanged parallel
+        // components are re-typed for free across reduction steps.
+        self.cached_typing(env, &lambdapi::TermRef::intern(t), || {
+            self.type_of_uncached(env, t)
+        })
+    }
+
+    fn type_of_uncached(&self, env: &TypeEnv, t: &Term) -> TypeResult<Type> {
         match t {
             // [t-x]: the most precise type of a variable is the variable itself.
             Term::Var(x) => {

@@ -70,10 +70,12 @@ pub mod protocols;
 pub mod session;
 pub mod spec;
 
-pub use dbt_types::{Checker, TypeEnv, TypeError, TypeResult};
+pub use dbt_types::{checker_stats, Checker, CheckerStats, TypeEnv, TypeError, TypeResult};
 pub use lambdapi::intern::{stats as intern_stats, InternStats};
-pub use lambdapi::{BaseRule, EvalResult, Name, Reducer, Term, TyRef, Type, TypeId, Value};
-pub use lts::{CancelToken, TermLts, TypeLabel, TypeLts};
+pub use lambdapi::{
+    BaseRule, EvalResult, Name, Reducer, Term, TermId, TermRef, TyRef, Type, TypeId, Value,
+};
+pub use lts::{CancelToken, TermLabel, TermLts, TypeLabel, TypeLts};
 pub use mucalc::{Formula, LabelSet, Property, VerificationOutcome, Verifier, VerifyError};
 pub use runtime::{
     forever, new_actor, ActorRef, ChanRef, EffpiRuntime, Mailbox, Msg, Policy, Proc, RunStats,

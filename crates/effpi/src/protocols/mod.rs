@@ -14,9 +14,14 @@
 //! * [`ring::token_ring`] — a ring of *n* members circulating one or more
 //!   unit tokens;
 //! * [`mobile_code`] — the higher-order data-analysis server of Ex. 3.4.
+//!
+//! [`open_terms`] is the term-side sibling: the open-term (Fig. 5)
+//! conformance corpus shared by the determinism suite and the `term_bench`
+//! CI gate.
 
 pub mod dining;
 pub mod mobile_code;
+pub mod open_terms;
 pub mod payment;
 pub mod pingpong;
 pub mod ring;

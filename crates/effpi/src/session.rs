@@ -374,6 +374,40 @@ impl Session {
         self.verifier.build_lts(env, ty).map_err(Error::from)
     }
 
+    /// Builds the *open-term* LTS of Def. 4.1 (Fig. 5) for a term in an
+    /// environment, on the same exploration engine and with the session's
+    /// worker count, state bound and cancellation hook — the term-side
+    /// counterpart of [`Session::build_lts`], used by the conformance and
+    /// determinism suites.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Verify`] when the state space exceeds the configured
+    /// bound or the session's cancel token fires.
+    pub fn build_term_lts(
+        &self,
+        env: &TypeEnv,
+        term: &Term,
+    ) -> Result<Lts<lambdapi::TermRef, lts::TermLabel>, Error> {
+        let mut builder = lts::TermLts::with_checker(env.clone(), self.checker().clone())
+            .with_parallelism(self.config.parallelism);
+        if let Some(cancel) = &self.config.cancel {
+            builder = builder.with_cancel(cancel.clone());
+        }
+        let exploration = builder.build_exploration(term, self.config.max_states);
+        if exploration.status == lts::ExploreStatus::Aborted {
+            return Err(Error::Verify(VerifyError::Cancelled));
+        }
+        let lts = exploration.lts;
+        if lts.is_truncated() {
+            return Err(Error::Verify(VerifyError::StateSpaceTooLarge {
+                bound: self.config.max_states,
+                explored: lts.num_states().min(self.config.max_states),
+            }));
+        }
+        Ok(lts)
+    }
+
     // ----- whole scenarios and .effpi specs ---------------------------------
 
     /// A copy of the cached verifier scoped to an artifact's own `visible`

@@ -1,14 +1,19 @@
-//! Hash-consed interning of [`Type`]s: the allocation-free backbone of the
-//! verification hot path.
+//! Hash-consed interning of [`Type`]s and [`Term`]s: the allocation-free
+//! backbone of the verification hot path.
 //!
 //! The exploration engine (`lts::explore`) treats every state as a λπ⩽
-//! [`Type`]; before interning existed, every seen-set lookup re-hashed and
-//! re-compared whole trees, and every successor re-ran a full-tree
-//! [`Type::normalize`]. This module provides:
+//! [`Type`] (Fig. 6 pipeline) or an open [`Term`] (Fig. 5 pipeline); before
+//! interning existed, every seen-set lookup re-hashed and re-compared whole
+//! trees, and every successor re-ran full-tree traversals. This module
+//! provides:
 //!
 //! * [`TyRef`] — a handle to an interned type: structurally deduplicated on
 //!   construction, so two structurally equal types **always** share one
 //!   [`TypeId`], and `Eq`/`Hash` are O(1) integer operations;
+//! * [`TermRef`] / [`TermId`] — the same contract for terms, with memoized
+//!   [`TermRef::par_components`] (the ≡-flattening every `||` expansion
+//!   performs) and [`TermRef::free_vars`] (the [R-letgc] / candidate-probe
+//!   query) keyed by id;
 //! * a process-wide interner with **sharded** tables (one mutex per shard),
 //!   so concurrent exploration workers intern without a global lock;
 //! * memoized [`TyRef::normalized`] and [`TyRef::canonical`], keyed by id:
@@ -40,13 +45,15 @@
 //! Per-run arenas that can be dropped with their request are a known
 //! follow-up (see ROADMAP).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::hash::{BuildHasher, Hash, Hasher};
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
+use crate::name::Name;
+use crate::term::Term;
 use crate::ty::Type;
 
 /// Number of shards in each interner table: comfortably above any plausible
@@ -180,6 +187,141 @@ impl fmt::Debug for TyRef {
     }
 }
 
+/// The identity of an interned term: a dense 32-bit index, disjoint from the
+/// [`TypeId`] space.
+///
+/// Two `TermId`s are equal **iff** the terms they name are structurally equal
+/// (within one process). The numeric value is an allocation-order artifact —
+/// never persist it, never order by it where determinism matters.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// The raw index (for diagnostics and for sharding id-keyed side tables).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A handle to an interned [`Term`]: cheap to clone, O(1) `Eq`/`Hash` (by
+/// [`TermId`]), dereferences to the underlying term — the term-side mirror of
+/// [`TyRef`], used as the state representation of the open-term LTS
+/// (Def. 4.1, Fig. 5).
+///
+/// Like [`TyRef`], a `TermRef` deliberately does **not** implement `Ord` and
+/// its `Debug` is structural: nothing user-visible may depend on allocation
+/// order. Consumers that need an order must compare [`TermRef::as_term`].
+#[derive(Clone)]
+pub struct TermRef {
+    id: TermId,
+    term: Arc<Term>,
+}
+
+impl TermRef {
+    /// Interns a borrowed term, cloning it only if it was never seen before.
+    pub fn intern(t: &Term) -> TermRef {
+        interner().intern_term_or(t, None)
+    }
+
+    /// Interns an owned term (no clone on first intern).
+    pub fn new(t: Term) -> TermRef {
+        let arc = Arc::new(t);
+        interner().intern_term_or(&arc.clone(), Some(arc))
+    }
+
+    /// Interns a term already behind an [`Arc`], sharing the allocation.
+    pub fn from_arc(t: Arc<Term>) -> TermRef {
+        interner().intern_term_or(&t.clone(), Some(t))
+    }
+
+    /// The interned term's identity.
+    pub fn id(&self) -> TermId {
+        self.id
+    }
+
+    /// The underlying term.
+    pub fn as_term(&self) -> &Term {
+        &self.term
+    }
+
+    /// The underlying shared allocation (lets callers build parent nodes
+    /// without re-cloning the subtree).
+    pub fn as_arc(&self) -> &Arc<Term> {
+        &self.term
+    }
+
+    /// The ≡-flattened parallel components of the term (see
+    /// [`crate::par_components`]), memoized per [`TermId`]: a `||` state is
+    /// flattened once per process, after which every expansion is a hash
+    /// lookup. The component multiset is exactly what the plain function
+    /// returns (the property suite pins this).
+    pub fn par_components(&self) -> Arc<[TermRef]> {
+        interner().term_par_components(self)
+    }
+
+    /// The free term variables `fv(t)` (Def. 2.1), memoized per [`TermId`].
+    pub fn free_vars(&self) -> Arc<BTreeSet<Name>> {
+        interner().term_free_vars(self)
+    }
+
+    /// Rebuilds a parallel composition from components (inverse of
+    /// [`TermRef::par_components`], up to ≡ — `end` components are dropped).
+    pub fn rebuild_par(components: &[TermRef]) -> TermRef {
+        let non_end: Vec<&TermRef> = components
+            .iter()
+            .filter(|c| !matches!(c.as_term(), Term::End))
+            .collect();
+        match non_end.as_slice() {
+            [] => TermRef::new(Term::End),
+            [only] => (*only).clone(),
+            many => TermRef::new(Term::par_all(many.iter().map(|c| c.as_term().clone()))),
+        }
+    }
+}
+
+impl PartialEq for TermRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for TermRef {}
+
+/// Structural comparison against a plain [`Term`] (used heavily in tests).
+impl PartialEq<Term> for TermRef {
+    fn eq(&self, other: &Term) -> bool {
+        *self.term == *other
+    }
+}
+
+impl Hash for TermRef {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.id.0.hash(state);
+    }
+}
+
+impl Deref for TermRef {
+    type Target = Term;
+
+    fn deref(&self) -> &Term {
+        &self.term
+    }
+}
+
+impl fmt::Display for TermRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.term.fmt(f)
+    }
+}
+
+/// Structural, id-free `Debug`: interned states must print (and sort, when a
+/// caller sorts by debug text) exactly like the plain terms they stand for.
+impl fmt::Debug for TermRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.term.fmt(f)
+    }
+}
+
 /// A point-in-time snapshot of the interner (see [`stats`]).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct InternStats {
@@ -193,6 +335,16 @@ pub struct InternStats {
     pub canonical_hits: u64,
     /// Canonical forms actually computed (memo misses).
     pub canonical_misses: u64,
+    /// Distinct terms interned since process start.
+    pub terms: usize,
+    /// Memoized par-component lookups that hit.
+    pub par_hits: u64,
+    /// Par-component flattenings actually computed (memo misses).
+    pub par_misses: u64,
+    /// Memoized free-variable lookups that hit.
+    pub fv_hits: u64,
+    /// Free-variable sets actually computed (memo misses).
+    pub fv_misses: u64,
 }
 
 /// A snapshot of the process-wide interner counters — the cost-accounting
@@ -205,6 +357,11 @@ pub fn stats() -> InternStats {
         normalize_misses: i.normalize_misses.load(Ordering::Relaxed),
         canonical_hits: i.canonical_hits.load(Ordering::Relaxed),
         canonical_misses: i.canonical_misses.load(Ordering::Relaxed),
+        terms: i.term_count.load(Ordering::Relaxed) as usize,
+        par_hits: i.par_hits.load(Ordering::Relaxed),
+        par_misses: i.par_misses.load(Ordering::Relaxed),
+        fv_hits: i.fv_hits.load(Ordering::Relaxed),
+        fv_misses: i.fv_misses.load(Ordering::Relaxed),
     }
 }
 
@@ -221,11 +378,22 @@ struct Interner {
     normalized: Vec<Mutex<HashMap<u32, TyRef>>>,
     /// `(id, max_unfold) -> canonical form`, partitioned by id.
     canonical: Vec<Mutex<HashMap<(u32, u64), TyRef>>>,
+    /// Structural term table: `term -> id`, hash-partitioned (same hasher).
+    term_shards: Vec<Mutex<HashMap<Arc<Term>, TermRef>>>,
+    /// `term id -> ≡-flattened parallel components`, partitioned by id.
+    par_components: Vec<Mutex<HashMap<u32, Arc<[TermRef]>>>>,
+    /// `term id -> free variable set`, partitioned by id.
+    free_vars: Vec<Mutex<HashMap<u32, Arc<BTreeSet<Name>>>>>,
     count: AtomicU64,
+    term_count: AtomicU64,
     normalize_hits: AtomicU64,
     normalize_misses: AtomicU64,
     canonical_hits: AtomicU64,
     canonical_misses: AtomicU64,
+    par_hits: AtomicU64,
+    par_misses: AtomicU64,
+    fv_hits: AtomicU64,
+    fv_misses: AtomicU64,
 }
 
 fn interner() -> &'static Interner {
@@ -235,11 +403,19 @@ fn interner() -> &'static Interner {
         shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
         normalized: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
         canonical: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        term_shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        par_components: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        free_vars: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
         count: AtomicU64::new(0),
+        term_count: AtomicU64::new(0),
         normalize_hits: AtomicU64::new(0),
         normalize_misses: AtomicU64::new(0),
         canonical_hits: AtomicU64::new(0),
         canonical_misses: AtomicU64::new(0),
+        par_hits: AtomicU64::new(0),
+        par_misses: AtomicU64::new(0),
+        fv_hits: AtomicU64::new(0),
+        fv_misses: AtomicU64::new(0),
     })
 }
 
@@ -280,6 +456,75 @@ impl Interner {
         };
         shard.insert(arc, tyref.clone());
         tyref
+    }
+
+    /// Looks `term` up; on a miss, registers either the provided owned `Arc`
+    /// (no tree clone) or a fresh clone of `term`.
+    fn intern_term_or(&self, term: &Term, owned: Option<Arc<Term>>) -> TermRef {
+        let shard_of = (self.hasher.hash_one(term) as usize) & (SHARDS - 1);
+        let mut shard = lock(&self.term_shards[shard_of]);
+        if let Some(found) = shard.get(term) {
+            return found.clone();
+        }
+        let arc = owned.unwrap_or_else(|| Arc::new(term.clone()));
+        // Same overflow discipline as the type table: aliasing two distinct
+        // terms under one 32-bit id would corrupt every id-keyed seen-set
+        // and memo downstream, so exhaustion aborts loudly.
+        let raw = self.term_count.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            raw < u64::from(u32::MAX),
+            "term interner exhausted its 32-bit id space"
+        );
+        let id = TermId(raw as u32);
+        let termref = TermRef {
+            id,
+            term: Arc::clone(&arc),
+        };
+        shard.insert(arc, termref.clone());
+        termref
+    }
+
+    /// Memoized ≡-flattening of parallel components; reproduces
+    /// `crate::par_components` exactly, member-by-member, so every distinct
+    /// `||` subtree lands in the memo too.
+    fn term_par_components(&self, t: &TermRef) -> Arc<[TermRef]> {
+        let shard = &self.par_components[t.id.0 as usize & (SHARDS - 1)];
+        if let Some(hit) = lock(shard).get(&t.id.0) {
+            self.par_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.par_misses.fetch_add(1, Ordering::Relaxed);
+        let computed: Arc<[TermRef]> = match t.as_term() {
+            Term::Par(a, b) => {
+                let left = self.term_par_components(&TermRef::from_arc(Arc::clone(a)));
+                let right = self.term_par_components(&TermRef::from_arc(Arc::clone(b)));
+                let non_end: Vec<TermRef> = left
+                    .iter()
+                    .chain(right.iter())
+                    .filter(|c| !matches!(c.as_term(), Term::End))
+                    .cloned()
+                    .collect();
+                if non_end.is_empty() {
+                    [TermRef::new(Term::End)].into()
+                } else {
+                    non_end.into()
+                }
+            }
+            _ => [t.clone()].into(),
+        };
+        lock(shard).entry(t.id.0).or_insert(computed).clone()
+    }
+
+    /// Memoized free-variable sets (`fv(t)`, Def. 2.1).
+    fn term_free_vars(&self, t: &TermRef) -> Arc<BTreeSet<Name>> {
+        let shard = &self.free_vars[t.id.0 as usize & (SHARDS - 1)];
+        if let Some(hit) = lock(shard).get(&t.id.0) {
+            self.fv_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.fv_misses.fetch_add(1, Ordering::Relaxed);
+        let computed: Arc<BTreeSet<Name>> = Arc::new(t.as_term().free_vars());
+        lock(shard).entry(t.id.0).or_insert(computed).clone()
     }
 
     fn lookup_normalized(&self, id: TypeId) -> Option<TyRef> {
@@ -548,6 +793,85 @@ mod tests {
     }
 
     #[test]
+    fn structurally_equal_terms_share_one_id() {
+        use crate::term::Term;
+        let mk = || {
+            Term::par(
+                Term::send(Term::var("x"), Term::int(1), Term::thunk(Term::End)),
+                Term::recv(Term::var("x"), Term::lam("v", Type::Int, Term::End)),
+            )
+        };
+        let a = TermRef::intern(&mk());
+        let b = TermRef::new(mk());
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a, b);
+        let c = TermRef::intern(&Term::par(mk(), Term::End));
+        assert_ne!(a.id(), c.id());
+        assert_eq!(a, mk());
+    }
+
+    #[test]
+    fn term_par_components_match_the_plain_flattening() {
+        use crate::reduce::par_components;
+        use crate::term::Term;
+        let samples = [
+            Term::End,
+            Term::var("x"),
+            Term::par(Term::End, Term::End),
+            Term::par(
+                Term::End,
+                Term::par(
+                    Term::send(Term::var("x"), Term::int(1), Term::thunk(Term::End)),
+                    Term::End,
+                ),
+            ),
+            Term::par(
+                Term::par(Term::var("a"), Term::var("b")),
+                Term::par(Term::var("c"), Term::End),
+            ),
+        ];
+        for t in samples {
+            let interned: Vec<Term> = TermRef::intern(&t)
+                .par_components()
+                .iter()
+                .map(|c| c.as_term().clone())
+                .collect();
+            assert_eq!(interned, par_components(&t), "{t}");
+            // The memoized call is stable.
+            assert_eq!(
+                TermRef::intern(&t).par_components(),
+                TermRef::intern(&t).par_components()
+            );
+        }
+    }
+
+    #[test]
+    fn term_free_vars_match_the_plain_query() {
+        use crate::term::Term;
+        let t = Term::send(
+            Term::var("c"),
+            Term::var("x"),
+            Term::thunk(Term::app(Term::var("f"), Term::unit())),
+        );
+        let interned = TermRef::intern(&t);
+        assert_eq!(*interned.free_vars(), t.free_vars());
+        // Second call is a memo hit returning the same allocation.
+        assert!(Arc::ptr_eq(&interned.free_vars(), &interned.free_vars()));
+    }
+
+    #[test]
+    fn rebuild_par_refs_apply_the_congruence() {
+        use crate::term::Term;
+        let x = TermRef::intern(&Term::var("x"));
+        let end = TermRef::intern(&Term::End);
+        assert_eq!(TermRef::rebuild_par(&[]), Term::End);
+        assert_eq!(TermRef::rebuild_par(std::slice::from_ref(&end)), Term::End);
+        assert_eq!(TermRef::rebuild_par(&[x.clone(), end]), Term::var("x"));
+        let rebuilt = TermRef::rebuild_par(&[x.clone(), x.clone()]);
+        assert_eq!(rebuilt, Term::par(Term::var("x"), Term::var("x")));
+    }
+
+    #[test]
     fn stats_move_forward() {
         let before = stats();
         let unique = Type::out(Type::var("stats_probe"), Type::Int, Type::thunk(Type::Nil));
@@ -560,6 +884,17 @@ mod tests {
             after.normalize_hits + after.normalize_misses
                 > before.normalize_hits + before.normalize_misses
         );
+        let term = Term::par(
+            Term::var("stats_probe_term"),
+            Term::var("stats_probe_term2"),
+        );
+        let r = TermRef::intern(&term);
+        let _ = r.par_components();
+        let _ = r.free_vars();
+        let after = stats();
+        assert!(after.terms > 0);
+        assert!(after.par_hits + after.par_misses > 0);
+        assert!(after.fv_hits + after.fv_misses > 0);
         let _ = Name::new("keep-name-import");
     }
 }

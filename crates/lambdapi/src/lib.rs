@@ -56,7 +56,7 @@ pub mod intern;
 pub mod lexer;
 pub mod parser;
 
-pub use intern::{TyRef, TypeId};
+pub use intern::{TermId, TermRef, TyRef, TypeId};
 pub use name::{ChanId, Name, NameGen};
 pub use parser::{
     parse_term, parse_term_with, parse_type, parse_type_with, Definitions, ParseError,

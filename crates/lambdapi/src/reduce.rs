@@ -8,12 +8,19 @@
 //! `||` as associative when matching communication partners, mirroring the
 //! associativity that the *type* congruence (Def. 3.1) grants to `p[...]`.
 
-use crate::name::{ChanId, Name, NameGen};
+use std::sync::Arc;
+
+use crate::intern::TermRef;
+use crate::name::{ChanId, Name};
 use crate::term::{BinOp, Term, Value};
 
 /// The base reduction rule that justified a step — used to label the τ-moves
 /// of the over-approximating semantics (Fig. 5, label `τ[r]`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+///
+/// The `Ord` is structural (variant order, then the channel id) and exists so
+/// term-LTS successor lists can be sorted deterministically without rendering
+/// labels to text first.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum BaseRule {
     /// [R-¬tt] / [R-¬ff]: boolean negation.
     Neg,
@@ -62,7 +69,14 @@ impl EvalResult {
     }
 }
 
-/// The λπ⩽ reducer: owns the fresh-channel generator used by [R-chan()].
+/// The λπ⩽ reducer.
+///
+/// Reduction is a *pure function of the term*: [R-chan()] picks the
+/// structurally fresh instance `max_chan_id + 1` instead of drawing from a
+/// process-global counter, so stepping the same term always yields the same
+/// reduct. This is what lets the open-term LTS memoize successor lists per
+/// interned term and lets the parallel exploration engine reproduce the
+/// serial state space byte-for-byte regardless of expansion order.
 ///
 /// # Examples
 ///
@@ -78,29 +92,45 @@ impl EvalResult {
 /// assert_eq!(out.term, Term::bool(false));
 /// assert!(out.is_safe());
 /// ```
-#[derive(Debug, Default)]
-pub struct Reducer {
-    gen: NameGen,
-}
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Reducer;
 
 impl Reducer {
-    /// Creates a reducer with a fresh channel-instance generator.
+    /// Creates a reducer.
     pub fn new() -> Self {
-        Reducer {
-            gen: NameGen::new(),
-        }
+        Reducer
     }
 
     /// Performs a single reduction step, returning the reduct and the base rule
     /// used, or `None` if the term is a normal form (a value, a stuck open
     /// term, or a terminated/blocked process).
     pub fn step(&self, t: &Term) -> Option<(Term, BaseRule)> {
+        self.step_at(t, t)
+    }
+
+    /// [`Reducer::step`] over interned terms: steps the underlying tree and
+    /// interns the reduct. Because reduction is a pure function of the term
+    /// (structural channel freshness), the result is determined by the
+    /// [`TermRef`]'s identity — the contract the memoized open-term LTS
+    /// relies on, pinned by `tests/term_intern_props.rs`.
+    pub fn step_ref(&self, t: &TermRef) -> Option<(TermRef, BaseRule)> {
+        self.step(t.as_term())
+            .map(|(next, rule)| (TermRef::new(next), rule))
+    }
+
+    /// The redex search, with the *whole* reducing term threaded through so
+    /// a [R-chan()] redex can pick an instance fresh for the entire term —
+    /// sibling components must not collide. The freshness scan runs only
+    /// when a chan step actually fires (at most one base rule fires per
+    /// step), so channel-free reductions never pay for it.
+    fn step_at(&self, t: &Term, root: &Term) -> Option<(Term, BaseRule)> {
         match t {
             Term::Var(_) | Term::Val(_) | Term::End => None,
 
             Term::Chan(ty) => {
-                let id = self.gen.fresh_chan();
-                Some((Term::Val(Value::Chan(id, ty.clone())), BaseRule::Chan))
+                // Structurally fresh within the whole reducing term.
+                let fresh = ChanId(root.max_chan_id().map_or(0, |c| c.0 + 1));
+                Some((Term::Val(Value::Chan(fresh, ty.clone())), BaseRule::Chan))
             }
 
             Term::Not(inner) => {
@@ -110,7 +140,7 @@ impl Reducer {
                         _ => Some((Term::err(), BaseRule::Error)),
                     }
                 } else {
-                    self.step(inner).map(|(i2, r)| (Term::not(i2), r))
+                    self.step_at(inner, root).map(|(i2, r)| (Term::not(i2), r))
                 }
             }
 
@@ -122,49 +152,52 @@ impl Reducer {
                         _ => Some((Term::err(), BaseRule::Error)),
                     }
                 } else {
-                    self.step(c)
-                        .map(|(c2, r)| (Term::If(Box::new(c2), a.clone(), b.clone()), r))
+                    self.step_at(c, root)
+                        .map(|(c2, r)| (Term::If(Arc::new(c2), a.clone(), b.clone()), r))
                 }
             }
 
             Term::BinOp(op, a, b) => {
                 if !a.is_value() {
                     return self
-                        .step(a)
-                        .map(|(a2, r)| (Term::BinOp(*op, Box::new(a2), b.clone()), r));
+                        .step_at(a, root)
+                        .map(|(a2, r)| (Term::BinOp(*op, Arc::new(a2), b.clone()), r));
                 }
                 if !b.is_value() {
                     return self
-                        .step(b)
-                        .map(|(b2, r)| (Term::BinOp(*op, a.clone(), Box::new(b2)), r));
+                        .step_at(b, root)
+                        .map(|(b2, r)| (Term::BinOp(*op, a.clone(), Arc::new(b2)), r));
                 }
                 Some((apply_binop(*op, a, b), BaseRule::Prim))
             }
 
             Term::Let(x, ty, bound, body) => {
                 if !bound.is_value_or_var() {
-                    return self.step(bound).map(|(b2, r)| {
+                    return self.step_at(bound, root).map(|(b2, r)| {
                         (
-                            Term::Let(x.clone(), ty.clone(), Box::new(b2), body.clone()),
+                            Term::Let(x.clone(), ty.clone(), Arc::new(b2), body.clone()),
                             r,
                         )
                     });
                 }
-                // [R-letgc]
-                if !body.free_vars().contains(x) {
+                // [R-letgc] — the free-variable query goes through the
+                // interner's id-keyed memo: let-bodies recur across the
+                // states of an exploration, and each distinct body is
+                // scanned once per process instead of once per step.
+                if !TermRef::from_arc(Arc::clone(body)).free_vars().contains(x) {
                     return Some(((**body).clone(), BaseRule::LetGc));
                 }
                 // [R-let]: unfold one occurrence of x in evaluation position.
                 if let Some(body2) = replace_var_in_eval_position(body, x, bound) {
                     return Some((
-                        Term::Let(x.clone(), ty.clone(), bound.clone(), Box::new(body2)),
+                        Term::Let(x.clone(), ty.clone(), bound.clone(), Arc::new(body2)),
                         BaseRule::Let,
                     ));
                 }
                 // Otherwise reduce inside the body (context `let x = w in E`).
-                self.step(body).map(|(b2, r)| {
+                self.step_at(body, root).map(|(b2, r)| {
                     (
-                        Term::Let(x.clone(), ty.clone(), bound.clone(), Box::new(b2)),
+                        Term::Let(x.clone(), ty.clone(), bound.clone(), Arc::new(b2)),
                         r,
                     )
                 })
@@ -173,13 +206,13 @@ impl Reducer {
             Term::App(f, a) => {
                 if !f.is_value_or_var() {
                     return self
-                        .step(f)
-                        .map(|(f2, r)| (Term::App(Box::new(f2), a.clone()), r));
+                        .step_at(f, root)
+                        .map(|(f2, r)| (Term::App(Arc::new(f2), a.clone()), r));
                 }
                 if !a.is_value_or_var() {
                     return self
-                        .step(a)
-                        .map(|(a2, r)| (Term::App(f.clone(), Box::new(a2)), r));
+                        .step_at(a, root)
+                        .map(|(a2, r)| (Term::App(f.clone(), Arc::new(a2)), r));
                 }
                 match f.as_value() {
                     Some(Value::Lambda(x, _, body)) => Some((body.subst(x, a), BaseRule::Beta)),
@@ -193,18 +226,18 @@ impl Reducer {
             Term::Send(c, v, k) => {
                 if !c.is_value_or_var() {
                     return self
-                        .step(c)
-                        .map(|(c2, r)| (Term::Send(Box::new(c2), v.clone(), k.clone()), r));
+                        .step_at(c, root)
+                        .map(|(c2, r)| (Term::Send(Arc::new(c2), v.clone(), k.clone()), r));
                 }
                 if !v.is_value_or_var() {
                     return self
-                        .step(v)
-                        .map(|(v2, r)| (Term::Send(c.clone(), Box::new(v2), k.clone()), r));
+                        .step_at(v, root)
+                        .map(|(v2, r)| (Term::Send(c.clone(), Arc::new(v2), k.clone()), r));
                 }
                 if !k.is_value_or_var() {
                     return self
-                        .step(k)
-                        .map(|(k2, r)| (Term::Send(c.clone(), v.clone(), Box::new(k2)), r));
+                        .step_at(k, root)
+                        .map(|(k2, r)| (Term::Send(c.clone(), v.clone(), Arc::new(k2)), r));
                 }
                 // Error rule: sending on a non-channel value.
                 match c.as_value() {
@@ -216,13 +249,13 @@ impl Reducer {
             Term::Recv(c, k) => {
                 if !c.is_value_or_var() {
                     return self
-                        .step(c)
-                        .map(|(c2, r)| (Term::Recv(Box::new(c2), k.clone()), r));
+                        .step_at(c, root)
+                        .map(|(c2, r)| (Term::Recv(Arc::new(c2), k.clone()), r));
                 }
                 if !k.is_value_or_var() {
                     return self
-                        .step(k)
-                        .map(|(k2, r)| (Term::Recv(c.clone(), Box::new(k2)), r));
+                        .step_at(k, root)
+                        .map(|(k2, r)| (Term::Recv(c.clone(), Arc::new(k2)), r));
                 }
                 match c.as_value() {
                     Some(Value::Chan(..)) | None => None,
@@ -230,7 +263,7 @@ impl Reducer {
                 }
             }
 
-            Term::Par(..) => self.step_par(t),
+            Term::Par(..) => self.step_par(t, root),
         }
     }
 
@@ -238,7 +271,7 @@ impl Reducer {
     /// components (using commutativity/associativity of `||`), then the error
     /// rule for values in parallel position, then an internal step of any
     /// component.
-    fn step_par(&self, t: &Term) -> Option<(Term, BaseRule)> {
+    fn step_par(&self, t: &Term, root: &Term) -> Option<(Term, BaseRule)> {
         let components = par_components(t);
 
         // Error rule: a value may not appear in a parallel composition.
@@ -278,7 +311,7 @@ impl Reducer {
 
         // Otherwise, reduce inside some component (contexts E || t plus ≡).
         for (i, c) in components.iter().enumerate() {
-            if let Some((c2, rule)) = self.step(c) {
+            if let Some((c2, rule)) = self.step_at(c, root) {
                 let mut new_components = components.clone();
                 new_components[i] = c2;
                 return Some((rebuild_par(new_components), rule));
@@ -382,68 +415,68 @@ pub fn replace_var_in_eval_position(t: &Term, x: &Name, w: &Term) -> Option<Term
         Term::Var(_) | Term::Val(_) | Term::End | Term::Chan(_) => None,
         Term::Not(e) => replace_var_in_eval_position(e, x, w).map(Term::not),
         Term::If(c, a, b) => replace_var_in_eval_position(c, x, w)
-            .map(|c2| Term::If(Box::new(c2), a.clone(), b.clone())),
+            .map(|c2| Term::If(Arc::new(c2), a.clone(), b.clone())),
         Term::BinOp(op, a, b) => {
             if !a.is_value() {
                 replace_var_in_eval_position(a, x, w)
-                    .map(|a2| Term::BinOp(*op, Box::new(a2), b.clone()))
+                    .map(|a2| Term::BinOp(*op, Arc::new(a2), b.clone()))
             } else {
                 replace_var_in_eval_position(b, x, w)
-                    .map(|b2| Term::BinOp(*op, a.clone(), Box::new(b2)))
+                    .map(|b2| Term::BinOp(*op, a.clone(), Arc::new(b2)))
             }
         }
         Term::Let(y, ty, bound, body) => {
             if !bound.is_value_or_var() {
                 return replace_var_in_eval_position(bound, x, w)
-                    .map(|b2| Term::Let(y.clone(), ty.clone(), Box::new(b2), body.clone()));
+                    .map(|b2| Term::Let(y.clone(), ty.clone(), Arc::new(b2), body.clone()));
             }
             if y == x {
                 return None; // shadowed
             }
             replace_var_in_eval_position(body, x, w)
-                .map(|b2| Term::Let(y.clone(), ty.clone(), bound.clone(), Box::new(b2)))
+                .map(|b2| Term::Let(y.clone(), ty.clone(), bound.clone(), Arc::new(b2)))
         }
         Term::App(f, a) => {
             if !f.is_value() {
                 // The hole can be the function position itself (`E t`).
                 if let Some(f2) = replace_var_in_eval_position(f, x, w) {
-                    return Some(Term::App(Box::new(f2), a.clone()));
+                    return Some(Term::App(Arc::new(f2), a.clone()));
                 }
             }
             if f.is_value_or_var() {
                 // `w E` context.
                 return replace_var_in_eval_position(a, x, w)
-                    .map(|a2| Term::App(f.clone(), Box::new(a2)));
+                    .map(|a2| Term::App(f.clone(), Arc::new(a2)));
             }
             None
         }
         Term::Send(c, v, k) => {
             if !c.is_value_or_var() || matches!(&**c, Term::Var(y) if y == x) {
                 if let Some(c2) = replace_var_in_eval_position(c, x, w) {
-                    return Some(Term::Send(Box::new(c2), v.clone(), k.clone()));
+                    return Some(Term::Send(Arc::new(c2), v.clone(), k.clone()));
                 }
             }
             if !v.is_value_or_var() || matches!(&**v, Term::Var(y) if y == x) {
                 if let Some(v2) = replace_var_in_eval_position(v, x, w) {
-                    return Some(Term::Send(c.clone(), Box::new(v2), k.clone()));
+                    return Some(Term::Send(c.clone(), Arc::new(v2), k.clone()));
                 }
             }
             replace_var_in_eval_position(k, x, w)
-                .map(|k2| Term::Send(c.clone(), v.clone(), Box::new(k2)))
+                .map(|k2| Term::Send(c.clone(), v.clone(), Arc::new(k2)))
         }
         Term::Recv(c, k) => {
             if !c.is_value_or_var() || matches!(&**c, Term::Var(y) if y == x) {
                 if let Some(c2) = replace_var_in_eval_position(c, x, w) {
-                    return Some(Term::Recv(Box::new(c2), k.clone()));
+                    return Some(Term::Recv(Arc::new(c2), k.clone()));
                 }
             }
-            replace_var_in_eval_position(k, x, w).map(|k2| Term::Recv(c.clone(), Box::new(k2)))
+            replace_var_in_eval_position(k, x, w).map(|k2| Term::Recv(c.clone(), Arc::new(k2)))
         }
         Term::Par(a, b) => {
             if let Some(a2) = replace_var_in_eval_position(a, x, w) {
-                return Some(Term::Par(Box::new(a2), b.clone()));
+                return Some(Term::Par(Arc::new(a2), b.clone()));
             }
-            replace_var_in_eval_position(b, x, w).map(|b2| Term::Par(a.clone(), Box::new(b2)))
+            replace_var_in_eval_position(b, x, w).map(|b2| Term::Par(a.clone(), Arc::new(b2)))
         }
     }
 }
@@ -494,15 +527,51 @@ mod tests {
     }
 
     #[test]
-    fn chan_creates_distinct_instances() {
+    fn chan_creates_distinct_instances_within_a_run_deterministically() {
         let r = reducer();
-        let t = Term::chan(Type::Int);
-        let a = r.eval(&t, 5).term;
-        let b = r.eval(&t, 5).term;
-        match (a.as_value(), b.as_value()) {
-            (Some(Value::Chan(ia, _)), Some(Value::Chan(ib, _))) => assert_ne!(ia, ib),
-            _ => panic!("expected channel instances"),
+        // Two channel creations in one term must yield distinct instances.
+        let t = Term::let_(
+            "a",
+            Type::chan_io(Type::Int),
+            Term::chan(Type::Int),
+            Term::let_(
+                "b",
+                Type::chan_io(Type::Int),
+                Term::chan(Type::Int),
+                Term::par(
+                    Term::send(Term::var("a"), Term::int(1), Term::thunk(Term::End)),
+                    Term::recv(Term::var("b"), Term::lam("v", Type::Int, Term::End)),
+                ),
+            ),
+        );
+        let out = r.eval(&t, 100);
+        let mut ids: Vec<ChanId> = Vec::new();
+        fn collect(t: &Term, ids: &mut Vec<ChanId>) {
+            match t {
+                Term::Val(Value::Chan(id, _)) => ids.push(*id),
+                Term::Par(a, b) | Term::Recv(a, b) => {
+                    collect(a, ids);
+                    collect(b, ids);
+                }
+                Term::Send(a, b, c) => {
+                    collect(a, ids);
+                    collect(b, ids);
+                    collect(c, ids);
+                }
+                _ => {}
+            }
         }
+        collect(&out.term, &mut ids);
+        ids.sort_unstable();
+        ids.dedup();
+        assert!(
+            ids.len() >= 2,
+            "expected two distinct channels in {}",
+            out.term
+        );
+        // Freshness is structural, so re-running the same term reproduces the
+        // same instances — reduction is a pure function of the term.
+        assert_eq!(r.eval(&t, 100).term, out.term);
     }
 
     #[test]

@@ -3,8 +3,15 @@
 //! Substitution `t{v/x}` is used by the β-rule ([R-λ] in Fig. 3), by the
 //! communication rule ([R-Comm], which substitutes the transmitted value into
 //! the receiver's continuation), and by the open-term semantics of Fig. 5.
+//!
+//! Terms hold their children behind [`Arc`]s, and substitution exploits that:
+//! the recursion returns `None` for subtrees the substitution does not touch,
+//! so every rebuilt parent node *shares* its unchanged children with the
+//! input term instead of deep-cloning them. A substitution that hits one leaf
+//! of a large term allocates only the spine from the root to that leaf.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use crate::name::{Name, NameGen};
 use crate::term::{Term, Value};
@@ -12,101 +19,167 @@ use crate::term::{Term, Value};
 impl Term {
     /// Capture-avoiding substitution `t{v/x}`: replaces every free occurrence
     /// of the variable `x` in `self` by the term `v` (usually a value or a
-    /// variable), renaming bound variables as necessary.
+    /// variable), renaming bound variables as necessary. Subtrees without
+    /// free occurrences of `x` are shared with `self`, not copied.
     pub fn subst(&self, x: &Name, v: &Term) -> Term {
         let fv_v: BTreeSet<Name> = v.free_vars();
         let gen = NameGen::new();
         self.subst_inner(x, v, &fv_v, &gen)
+            .unwrap_or_else(|| self.clone())
     }
 
-    fn subst_inner(&self, x: &Name, v: &Term, fv_v: &BTreeSet<Name>, gen: &NameGen) -> Term {
+    /// The sharing recursion: `None` means "no free occurrence of `x` here —
+    /// reuse the input subtree as-is".
+    fn subst_inner(
+        &self,
+        x: &Name,
+        v: &Term,
+        fv_v: &BTreeSet<Name>,
+        gen: &NameGen,
+    ) -> Option<Term> {
+        // Rebuilds one child edge: a changed child is re-wrapped, an
+        // unchanged one shares the input's allocation.
+        let edge = |changed: Option<Term>, orig: &Arc<Term>| -> Arc<Term> {
+            match changed {
+                Some(t) => Arc::new(t),
+                None => Arc::clone(orig),
+            }
+        };
         match self {
             Term::Var(y) => {
                 if y == x {
-                    v.clone()
+                    Some(v.clone())
                 } else {
-                    self.clone()
+                    None
                 }
             }
             Term::Val(Value::Lambda(y, ty, body)) => {
                 if y == x {
                     // x is shadowed by the binder: no substitution in the body.
-                    self.clone()
+                    None
                 } else if fv_v.contains(y) {
                     // α-rename the binder to avoid capturing the free y of v.
                     let fresh = fresh_avoiding(gen, y, fv_v, &body.free_vars());
-                    let renamed =
-                        body.subst_inner(y, &Term::Var(fresh.clone()), &BTreeSet::new(), gen);
-                    Term::Val(Value::Lambda(
+                    let renamed = body
+                        .subst_inner(y, &Term::Var(fresh.clone()), &BTreeSet::new(), gen)
+                        .unwrap_or_else(|| (**body).clone());
+                    let substituted = renamed.subst_inner(x, v, fv_v, gen).unwrap_or(renamed);
+                    Some(Term::Val(Value::Lambda(
                         fresh,
                         ty.clone(),
-                        Box::new(renamed.subst_inner(x, v, fv_v, gen)),
-                    ))
+                        Arc::new(substituted),
+                    )))
                 } else {
-                    Term::Val(Value::Lambda(
-                        y.clone(),
-                        ty.clone(),
-                        Box::new(body.subst_inner(x, v, fv_v, gen)),
-                    ))
+                    body.subst_inner(x, v, fv_v, gen)
+                        .map(|b2| Term::Val(Value::Lambda(y.clone(), ty.clone(), Arc::new(b2))))
                 }
             }
-            Term::Val(_) | Term::End | Term::Chan(_) => self.clone(),
-            Term::Not(t) => Term::Not(Box::new(t.subst_inner(x, v, fv_v, gen))),
-            Term::If(c, a, b) => Term::If(
-                Box::new(c.subst_inner(x, v, fv_v, gen)),
-                Box::new(a.subst_inner(x, v, fv_v, gen)),
-                Box::new(b.subst_inner(x, v, fv_v, gen)),
-            ),
+            Term::Val(_) | Term::End | Term::Chan(_) => None,
+            Term::Not(t) => t
+                .subst_inner(x, v, fv_v, gen)
+                .map(|t2| Term::Not(Arc::new(t2))),
+            Term::If(c, a, b) => {
+                let (c2, a2, b2) = (
+                    c.subst_inner(x, v, fv_v, gen),
+                    a.subst_inner(x, v, fv_v, gen),
+                    b.subst_inner(x, v, fv_v, gen),
+                );
+                if c2.is_none() && a2.is_none() && b2.is_none() {
+                    return None;
+                }
+                Some(Term::If(edge(c2, c), edge(a2, a), edge(b2, b)))
+            }
             Term::Let(y, ty, bound, body) => {
                 if y == x {
                     // In `let`, the binder scopes over both the bound term and
                     // the body (recursion), so x is fully shadowed.
-                    self.clone()
+                    None
                 } else if fv_v.contains(y) {
                     let mut avoid = bound.free_vars();
                     avoid.extend(body.free_vars());
                     let fresh = fresh_avoiding(gen, y, fv_v, &avoid);
-                    let bound2 =
-                        bound.subst_inner(y, &Term::Var(fresh.clone()), &BTreeSet::new(), gen);
-                    let body2 =
-                        body.subst_inner(y, &Term::Var(fresh.clone()), &BTreeSet::new(), gen);
-                    Term::Let(
+                    let fresh_var = Term::Var(fresh.clone());
+                    let bound2 = bound
+                        .subst_inner(y, &fresh_var, &BTreeSet::new(), gen)
+                        .unwrap_or_else(|| (**bound).clone());
+                    let body2 = body
+                        .subst_inner(y, &fresh_var, &BTreeSet::new(), gen)
+                        .unwrap_or_else(|| (**body).clone());
+                    let bound3 = bound2.subst_inner(x, v, fv_v, gen).unwrap_or(bound2);
+                    let body3 = body2.subst_inner(x, v, fv_v, gen).unwrap_or(body2);
+                    Some(Term::Let(
                         fresh,
                         ty.clone(),
-                        Box::new(bound2.subst_inner(x, v, fv_v, gen)),
-                        Box::new(body2.subst_inner(x, v, fv_v, gen)),
-                    )
+                        Arc::new(bound3),
+                        Arc::new(body3),
+                    ))
                 } else {
-                    Term::Let(
+                    let (bound2, body2) = (
+                        bound.subst_inner(x, v, fv_v, gen),
+                        body.subst_inner(x, v, fv_v, gen),
+                    );
+                    if bound2.is_none() && body2.is_none() {
+                        return None;
+                    }
+                    Some(Term::Let(
                         y.clone(),
                         ty.clone(),
-                        Box::new(bound.subst_inner(x, v, fv_v, gen)),
-                        Box::new(body.subst_inner(x, v, fv_v, gen)),
-                    )
+                        edge(bound2, bound),
+                        edge(body2, body),
+                    ))
                 }
             }
-            Term::App(a, b) => Term::App(
-                Box::new(a.subst_inner(x, v, fv_v, gen)),
-                Box::new(b.subst_inner(x, v, fv_v, gen)),
-            ),
-            Term::BinOp(op, a, b) => Term::BinOp(
-                *op,
-                Box::new(a.subst_inner(x, v, fv_v, gen)),
-                Box::new(b.subst_inner(x, v, fv_v, gen)),
-            ),
-            Term::Send(a, b, c) => Term::Send(
-                Box::new(a.subst_inner(x, v, fv_v, gen)),
-                Box::new(b.subst_inner(x, v, fv_v, gen)),
-                Box::new(c.subst_inner(x, v, fv_v, gen)),
-            ),
-            Term::Recv(a, b) => Term::Recv(
-                Box::new(a.subst_inner(x, v, fv_v, gen)),
-                Box::new(b.subst_inner(x, v, fv_v, gen)),
-            ),
-            Term::Par(a, b) => Term::Par(
-                Box::new(a.subst_inner(x, v, fv_v, gen)),
-                Box::new(b.subst_inner(x, v, fv_v, gen)),
-            ),
+            Term::App(a, b) => {
+                let (a2, b2) = (
+                    a.subst_inner(x, v, fv_v, gen),
+                    b.subst_inner(x, v, fv_v, gen),
+                );
+                if a2.is_none() && b2.is_none() {
+                    return None;
+                }
+                Some(Term::App(edge(a2, a), edge(b2, b)))
+            }
+            Term::BinOp(op, a, b) => {
+                let (a2, b2) = (
+                    a.subst_inner(x, v, fv_v, gen),
+                    b.subst_inner(x, v, fv_v, gen),
+                );
+                if a2.is_none() && b2.is_none() {
+                    return None;
+                }
+                Some(Term::BinOp(*op, edge(a2, a), edge(b2, b)))
+            }
+            Term::Send(a, b, c) => {
+                let (a2, b2, c2) = (
+                    a.subst_inner(x, v, fv_v, gen),
+                    b.subst_inner(x, v, fv_v, gen),
+                    c.subst_inner(x, v, fv_v, gen),
+                );
+                if a2.is_none() && b2.is_none() && c2.is_none() {
+                    return None;
+                }
+                Some(Term::Send(edge(a2, a), edge(b2, b), edge(c2, c)))
+            }
+            Term::Recv(a, b) => {
+                let (a2, b2) = (
+                    a.subst_inner(x, v, fv_v, gen),
+                    b.subst_inner(x, v, fv_v, gen),
+                );
+                if a2.is_none() && b2.is_none() {
+                    return None;
+                }
+                Some(Term::Recv(edge(a2, a), edge(b2, b)))
+            }
+            Term::Par(a, b) => {
+                let (a2, b2) = (
+                    a.subst_inner(x, v, fv_v, gen),
+                    b.subst_inner(x, v, fv_v, gen),
+                );
+                if a2.is_none() && b2.is_none() {
+                    return None;
+                }
+                Some(Term::Par(edge(a2, a), edge(b2, b)))
+            }
         }
     }
 }
@@ -148,6 +221,21 @@ mod tests {
     }
 
     #[test]
+    fn unchanged_subtrees_are_shared_not_copied() {
+        // Substituting into the payload of a send must reuse the allocations
+        // of the untouched channel and continuation positions.
+        let t = Term::send(Term::var("c"), Term::var("x"), Term::thunk(Term::End));
+        let s = t.subst(&Name::new("x"), &Term::int(7));
+        match (&t, &s) {
+            (Term::Send(c0, _, k0), Term::Send(c1, _, k1)) => {
+                assert!(Arc::ptr_eq(c0, c1), "channel subtree must be shared");
+                assert!(Arc::ptr_eq(k0, k1), "continuation subtree must be shared");
+            }
+            other => panic!("unexpected shapes {other:?}"),
+        }
+    }
+
+    #[test]
     fn capture_is_avoided_in_lambda() {
         // (λy. x y){y/x}  must not become λy. y y
         let t = Term::lam("y", Type::Int, Term::app(Term::var("x"), Term::var("y")));
@@ -156,10 +244,10 @@ mod tests {
             Term::Val(Value::Lambda(binder, _, body)) => {
                 assert_ne!(binder, Name::new("y"));
                 // Body applies the free y to the renamed binder.
-                match *body {
+                match &*body {
                     Term::App(f, a) => {
-                        assert_eq!(*f, Term::var("y"));
-                        assert_eq!(*a, Term::Var(binder));
+                        assert_eq!(**f, Term::var("y"));
+                        assert_eq!(**a, Term::Var(binder));
                     }
                     other => panic!("unexpected body {other}"),
                 }
@@ -180,10 +268,10 @@ mod tests {
         match s {
             Term::Let(binder, _, _, body) => {
                 assert_ne!(binder, Name::new("y"));
-                match *body {
+                match &*body {
                     Term::App(f, a) => {
-                        assert_eq!(*f, Term::var("y"));
-                        assert_eq!(*a, Term::Var(binder));
+                        assert_eq!(**f, Term::var("y"));
+                        assert_eq!(**a, Term::Var(binder));
                     }
                     other => panic!("unexpected body {other}"),
                 }

@@ -8,6 +8,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::name::{ChanId, Name};
 use crate::ty::Type;
@@ -53,7 +54,7 @@ pub enum Value {
     /// (rule [t-C] types `a^T : cio[T]`).
     Chan(ChanId, Type),
     /// A λ-abstraction `λx:U.t`; the domain annotation drives rule [t-λ].
-    Lambda(Name, Type, Box<Term>),
+    Lambda(Name, Type, Arc<Term>),
     /// The error value `err`, produced by the "go wrong" rules of Fig. 3.
     Err,
 }
@@ -93,29 +94,29 @@ pub enum Term {
     /// A value.
     Val(Value),
     /// Boolean negation `¬t`.
-    Not(Box<Term>),
+    Not(Arc<Term>),
     /// Conditional `if t then t1 else t2`.
-    If(Box<Term>, Box<Term>, Box<Term>),
+    If(Arc<Term>, Arc<Term>, Arc<Term>),
     /// Let binding `let x:U = t in t'`; the annotation `U` drives rule [t-let]
     /// (it is the supertype used to type recursive references and to "forget"
     /// bound channels, cf. Ex. 3.5).
-    Let(Name, Type, Box<Term>, Box<Term>),
+    Let(Name, Type, Arc<Term>, Arc<Term>),
     /// Function application `t t'`.
-    App(Box<Term>, Box<Term>),
+    App(Arc<Term>, Arc<Term>),
     /// Channel creation `chan()^T` (rule [t-chan] gives it type `cio[T]`).
     Chan(Type),
     /// Binary primitive operation (routine extension).
-    BinOp(BinOp, Box<Term>, Box<Term>),
+    BinOp(BinOp, Arc<Term>, Arc<Term>),
     /// The terminated process `end`.
     End,
     /// The output process `send(t, t', t'')`: send `t'` on `t`, continue as the
     /// thunk `t''`.
-    Send(Box<Term>, Box<Term>, Box<Term>),
+    Send(Arc<Term>, Arc<Term>, Arc<Term>),
     /// The input process `recv(t, t')`: receive from `t`, continue as the
     /// abstraction `t'` applied to the received value.
-    Recv(Box<Term>, Box<Term>),
+    Recv(Arc<Term>, Arc<Term>),
     /// Parallel composition `t || t'`.
-    Par(Box<Term>, Box<Term>),
+    Par(Arc<Term>, Arc<Term>),
 }
 
 impl Term {
@@ -153,7 +154,7 @@ impl Term {
 
     /// A λ-abstraction `λx:ty.body`.
     pub fn lam(x: impl Into<Name>, ty: Type, body: Term) -> Term {
-        Term::Val(Value::Lambda(x.into(), ty, Box::new(body)))
+        Term::Val(Value::Lambda(x.into(), ty, Arc::new(body)))
     }
 
     /// A thunk `λ_:().body` — the shape expected as a `send` continuation.
@@ -163,7 +164,7 @@ impl Term {
 
     /// Function application.
     pub fn app(f: Term, a: Term) -> Term {
-        Term::App(Box::new(f), Box::new(a))
+        Term::App(Arc::new(f), Arc::new(a))
     }
 
     /// Curried application to several arguments, left to right.
@@ -174,17 +175,17 @@ impl Term {
     /// Boolean negation.
     #[allow(clippy::should_implement_trait)] // constructor convention, like `Formula::not`
     pub fn not(t: Term) -> Term {
-        Term::Not(Box::new(t))
+        Term::Not(Arc::new(t))
     }
 
     /// Conditional.
     pub fn ite(c: Term, t: Term, e: Term) -> Term {
-        Term::If(Box::new(c), Box::new(t), Box::new(e))
+        Term::If(Arc::new(c), Arc::new(t), Arc::new(e))
     }
 
     /// Let binding with a type annotation.
     pub fn let_(x: impl Into<Name>, ty: Type, bound: Term, body: Term) -> Term {
-        Term::Let(x.into(), ty, Box::new(bound), Box::new(body))
+        Term::Let(x.into(), ty, Arc::new(bound), Arc::new(body))
     }
 
     /// Channel creation `chan()^T`.
@@ -194,22 +195,22 @@ impl Term {
 
     /// Binary operation.
     pub fn binop(op: BinOp, a: Term, b: Term) -> Term {
-        Term::BinOp(op, Box::new(a), Box::new(b))
+        Term::BinOp(op, Arc::new(a), Arc::new(b))
     }
 
     /// Output process `send(chan, payload, cont)`.
     pub fn send(chan: Term, payload: Term, cont: Term) -> Term {
-        Term::Send(Box::new(chan), Box::new(payload), Box::new(cont))
+        Term::Send(Arc::new(chan), Arc::new(payload), Arc::new(cont))
     }
 
     /// Input process `recv(chan, cont)`.
     pub fn recv(chan: Term, cont: Term) -> Term {
-        Term::Recv(Box::new(chan), Box::new(cont))
+        Term::Recv(Arc::new(chan), Arc::new(cont))
     }
 
     /// Parallel composition.
     pub fn par(a: Term, b: Term) -> Term {
-        Term::Par(Box::new(a), Box::new(b))
+        Term::Par(Arc::new(a), Arc::new(b))
     }
 
     /// N-ary parallel composition (`end` when empty).
@@ -324,6 +325,30 @@ impl Term {
     /// Returns `true` when the term has no free variables.
     pub fn is_closed(&self) -> bool {
         self.free_vars().is_empty()
+    }
+
+    /// The largest run-time channel identifier occurring in the term, if any.
+    ///
+    /// Rule [R-chan()] uses this to pick a *structurally fresh* instance
+    /// (`max + 1`): freshness only has to hold within the reducing term, and
+    /// deriving it from the term itself makes reduction a pure function of
+    /// the term — the property the memoized open-term semantics and the
+    /// deterministic parallel exploration both rest on.
+    pub fn max_chan_id(&self) -> Option<ChanId> {
+        match self {
+            Term::Val(Value::Chan(id, _)) => Some(*id),
+            Term::Val(Value::Lambda(_, _, body)) => body.max_chan_id(),
+            Term::Var(_) | Term::Val(_) | Term::End | Term::Chan(_) => None,
+            Term::Not(t) => t.max_chan_id(),
+            Term::If(a, b, c) | Term::Send(a, b, c) => {
+                [a, b, c].into_iter().filter_map(|t| t.max_chan_id()).max()
+            }
+            Term::Let(_, _, a, b)
+            | Term::App(a, b)
+            | Term::Par(a, b)
+            | Term::Recv(a, b)
+            | Term::BinOp(_, a, b) => [a, b].into_iter().filter_map(|t| t.max_chan_id()).max(),
+        }
     }
 
     /// Syntactic size (number of constructors).

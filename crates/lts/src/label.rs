@@ -90,7 +90,11 @@ impl fmt::Display for TypeLabel {
 }
 
 /// A label of the over-approximating open-term transition system (Fig. 5).
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// Like [`TypeLabel`], the `Ord` is structural and exists so
+/// `TermLts::successors` can sort transition lists deterministically —
+/// interner ids must never decide anything observable.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum TermLabel {
     /// `τ[r]` — a concrete reduction justified by base rule `r` ([SR-→]).
     TauRule(BaseRule),

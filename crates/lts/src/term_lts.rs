@@ -20,29 +20,119 @@
 //! * Context propagation ([SR-E]) is implemented for `let`-bindings of
 //!   values/variables and for parallel compositions, which covers the shapes
 //!   produced by the paper's examples.
+//!
+//! ## Hot-path design (hash consing)
+//!
+//! States are hash-consed references ([`TermRef`]) to terms, mirroring the
+//! type side (`TypeLts` over `TyRef`):
+//!
+//! * seen-set `Eq`/`Hash` are 32-bit id operations — the exploration engine
+//!   never re-hashes a term tree;
+//! * per-builder caches keyed by [`lambdapi::TermId`] memoize the *open*
+//!   successor list of every sub-state (so a `||` product state reuses its
+//!   components' transitions), the full successor list of every state, and
+//!   the early-input candidate vector of every receive subject;
+//! * the ≡-flattening of `||` states and the free-variable queries hit the
+//!   process-wide memos of [`lambdapi::intern`]
+//!   ([`TermRef::par_components`] / [`TermRef::free_vars`]);
+//! * the reducer is a *pure function of the term* (structurally fresh
+//!   channels), which is what makes the successor memo sound and lets
+//!   [`mod@crate::explore`] reproduce the serial state space byte-for-byte
+//!   on any worker count.
+//!
+//! Successor lists are sorted by the **structural** order of
+//! `(label, target term)` — never by interner ids, whose allocation order is
+//! racy under parallel exploration and must not leak into state numbering.
+
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use dbt_types::{Checker, TypeEnv};
-use lambdapi::{par_components, rebuild_par, Reducer, Term, Type, Value};
+use lambdapi::{Reducer, Term, TermRef, Type, Value};
+use runtime::sync::Mutex;
 
+use crate::explore::{explore, CancelToken, Exploration, ExploreConfig};
 use crate::generic::Lts;
 use crate::label::TermLabel;
 
-/// Builder for the open-term LTS of Def. 4.1.
+/// Number of lock shards in each per-builder cache; a power of two.
+const CACHE_SHARDS: usize = 16;
+
+/// A memoized successor list, shared between the cache and its consumers.
+type SuccessorList = Arc<[(TermLabel, TermRef)]>;
+
+/// The per-builder memo tables, shared by every worker of a build (and by
+/// clones of the builder).
 #[derive(Debug)]
+struct Caches {
+    /// state [`lambdapi::TermId`] → full successor list ([SR-→] + open rules).
+    successors: Vec<Mutex<HashMap<u32, SuccessorList>>>,
+    /// state [`lambdapi::TermId`] → open-rule successors only (the list the
+    /// `||` interleaving and [SR-Comm] matching reuse per component).
+    open: Vec<Mutex<HashMap<u32, SuccessorList>>>,
+    /// receive-subject [`lambdapi::TermId`] → early-input payload candidates.
+    candidates: Vec<Mutex<HashMap<u32, Arc<[Term]>>>>,
+}
+
+impl Caches {
+    fn new() -> Arc<Caches> {
+        Arc::new(Caches {
+            successors: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            open: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            candidates: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        })
+    }
+}
+
+/// Builder for the open-term LTS of Def. 4.1.
+#[derive(Clone, Debug)]
 pub struct TermLts {
     env: TypeEnv,
     checker: Checker,
     reducer: Reducer,
+    parallelism: usize,
+    cancel: Option<CancelToken>,
+    caches: Arc<Caches>,
 }
 
 impl TermLts {
     /// Creates a builder for the given typing environment.
     pub fn new(env: TypeEnv) -> Self {
+        Self::with_checker(env, Checker::new())
+    }
+
+    /// Creates a builder with a custom checker configuration.
+    pub fn with_checker(env: TypeEnv, checker: Checker) -> Self {
         TermLts {
             env,
-            checker: Checker::new(),
+            checker,
             reducer: Reducer::new(),
+            parallelism: 1,
+            cancel: None,
+            caches: Caches::new(),
         }
+    }
+
+    /// Sets how many worker threads [`TermLts::build`] explores with (default
+    /// `1`, i.e. serial). As on the type side, a *complete* build produces an
+    /// LTS — states, numbering, transitions — identical for every worker
+    /// count, by the canonical renumbering of [`mod@crate::explore`].
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token: flipping it aborts any
+    /// in-flight [`TermLts::build`] at its next state expansion.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
     }
 
     /// The typing environment.
@@ -50,43 +140,102 @@ impl TermLts {
         &self.env
     }
 
-    /// Computes the successors `Γ ⊢ t --α--⇁ t'`.
-    pub fn successors(&self, t: &Term) -> Vec<(TermLabel, Term)> {
-        let mut out = Vec::new();
+    /// The subtyping checker.
+    pub fn checker(&self) -> &Checker {
+        &self.checker
+    }
 
-        // [SR-→]: concrete reductions, labelled with their base rule.
-        if let Some((next, rule)) = self.reducer.step(t) {
-            out.push((TermLabel::TauRule(rule), next));
+    /// Computes the successors `Γ ⊢ t --α--⇁ t'` of an interned term.
+    ///
+    /// The result is memoized per state: product states of a parallel
+    /// composition reuse their components' open-successor lists instead of
+    /// re-deriving them.
+    pub fn successors(&self, t: &TermRef) -> SuccessorList {
+        let shard = &self.caches.successors[t.id().index() as usize & (CACHE_SHARDS - 1)];
+        if let Some(hit) = shard.lock().get(&t.id().index()) {
+            return Arc::clone(hit);
+        }
+        let computed = self.compute_successors(t);
+        shard
+            .lock()
+            .entry(t.id().index())
+            .or_insert(computed)
+            .clone()
+    }
+
+    /// Convenience over a plain term (interning it on the way).
+    pub fn successors_of(&self, t: &Term) -> Vec<(TermLabel, TermRef)> {
+        self.successors(&TermRef::intern(t)).to_vec()
+    }
+
+    /// The uncached successor derivation.
+    fn compute_successors(&self, t: &TermRef) -> SuccessorList {
+        let mut out: Vec<(TermLabel, TermRef)> = Vec::new();
+
+        // [SR-→]: concrete reductions, labelled with their base rule. The
+        // reducer is a pure function of the term (structurally fresh
+        // channels), so memoizing its single step per state is sound.
+        if let Some((next, rule)) = self.reducer.step(t.as_term()) {
+            out.push((TermLabel::TauRule(rule), TermRef::new(next)));
         }
 
         // Open-term rules.
-        self.open_successors(t, &mut out);
+        out.extend(self.open_successors(t).iter().cloned());
 
-        out.sort_by(|a, b| format!("{:?}", a).cmp(&format!("{:?}", b)));
+        // Deterministic order by *structure* (labels first, then target
+        // terms) — interner ids are allocation-ordered and must not decide
+        // anything observable.
+        out.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.as_term().cmp(b.1.as_term())));
         out.dedup();
-        out
+        out.into()
     }
 
-    fn open_successors(&self, t: &Term, out: &mut Vec<(TermLabel, Term)>) {
-        match t {
+    /// The open-rule successors of a state, memoized per [`lambdapi::TermId`]
+    /// (this is the list the `||` case reuses per component, so it excludes
+    /// the whole-term [SR-→] step).
+    fn open_successors(&self, t: &TermRef) -> SuccessorList {
+        let shard = &self.caches.open[t.id().index() as usize & (CACHE_SHARDS - 1)];
+        if let Some(hit) = shard.lock().get(&t.id().index()) {
+            return Arc::clone(hit);
+        }
+        let computed = self.compute_open_successors(t);
+        shard
+            .lock()
+            .entry(t.id().index())
+            .or_insert(computed)
+            .clone()
+    }
+
+    fn compute_open_successors(&self, t: &TermRef) -> SuccessorList {
+        let mut out: Vec<(TermLabel, TermRef)> = Vec::new();
+        match t.as_term() {
             // [SR-¬x]
             Term::Not(inner) => {
                 if let Term::Var(x) = &**inner {
-                    out.push((TermLabel::TauNeg(x.clone()), Term::bool(true)));
-                    out.push((TermLabel::TauNeg(x.clone()), Term::bool(false)));
+                    out.push((TermLabel::TauNeg(x.clone()), TermRef::new(Term::bool(true))));
+                    out.push((
+                        TermLabel::TauNeg(x.clone()),
+                        TermRef::new(Term::bool(false)),
+                    ));
                 }
             }
             // [SR-if x]
             Term::If(cond, a, b) => {
                 if let Term::Var(x) = &**cond {
-                    out.push((TermLabel::TauIf(x.clone()), (**a).clone()));
-                    out.push((TermLabel::TauIf(x.clone()), (**b).clone()));
+                    out.push((
+                        TermLabel::TauIf(x.clone()),
+                        TermRef::from_arc(Arc::clone(a)),
+                    ));
+                    out.push((
+                        TermLabel::TauIf(x.clone()),
+                        TermRef::from_arc(Arc::clone(b)),
+                    ));
                 }
             }
             // [SR-λ()]
             Term::App(f, a) => {
                 if let (Term::Val(Value::Lambda(x, _, body)), Term::Var(_)) = (&**f, &**a) {
-                    out.push((TermLabel::TauLambdaApp, body.subst(x, a)));
+                    out.push((TermLabel::TauLambdaApp, TermRef::new(body.subst(x, a))));
                 }
             }
             // [SR-send]
@@ -100,37 +249,31 @@ impl TermLts {
                         subject: (**chan).clone(),
                         payload: (**payload).clone(),
                     },
-                    Term::app((**cont).clone(), Term::unit()),
+                    TermRef::new(Term::app((**cont).clone(), Term::unit())),
                 ));
             }
             // [SR-recv]
             Term::Recv(chan, cont) if chan.is_value_or_var() && cont.is_value_or_var() => {
-                for candidate in self.receive_candidates(chan) {
+                for candidate in self.receive_candidates(chan).iter() {
                     out.push((
                         TermLabel::In {
                             subject: (**chan).clone(),
                             payload: candidate.clone(),
                         },
-                        Term::app((**cont).clone(), candidate),
+                        TermRef::new(Term::app((**cont).clone(), candidate.clone())),
                     ));
                 }
             }
             // [SR-Comm] + interleaving of components ([SR-E] with E || t and ≡).
             Term::Par(..) => {
-                let components = par_components(t);
-                let succs: Vec<Vec<(TermLabel, Term)>> = components
-                    .iter()
-                    .map(|c| {
-                        let mut v = Vec::new();
-                        self.open_successors(c, &mut v);
-                        v
-                    })
-                    .collect();
+                let components = t.par_components();
+                let succs: Vec<SuccessorList> =
+                    components.iter().map(|c| self.open_successors(c)).collect();
                 for (i, cs) in succs.iter().enumerate() {
-                    for (label, next) in cs {
-                        let mut parts = components.clone();
+                    for (label, next) in cs.iter() {
+                        let mut parts = components.to_vec();
                         parts[i] = next.clone();
-                        out.push((label.clone(), rebuild_par(parts)));
+                        out.push((label.clone(), TermRef::rebuild_par(&parts)));
                     }
                 }
                 // [SR-Comm]: a ready send and a ready receive on the same
@@ -142,22 +285,23 @@ impl TermLts {
                         if i == j {
                             continue;
                         }
-                        for (li, ni) in &succs[i] {
+                        for (li, ni) in succs[i].iter() {
                             let (subj_o, pay_o) = match li {
                                 TermLabel::Out { subject, payload } => (subject, payload),
                                 _ => continue,
                             };
-                            if let Term::Recv(chan, cont) = &components[j] {
+                            if let Term::Recv(chan, cont) = components[j].as_term() {
                                 if chan.is_value_or_var()
                                     && cont.is_value_or_var()
                                     && **chan == *subj_o
                                 {
-                                    let mut parts = components.clone();
+                                    let mut parts = components.to_vec();
                                     parts[i] = ni.clone();
-                                    parts[j] = Term::app((**cont).clone(), pay_o.clone());
+                                    parts[j] =
+                                        TermRef::new(Term::app((**cont).clone(), pay_o.clone()));
                                     out.push((
                                         TermLabel::TauComm(subj_o.clone()),
-                                        rebuild_par(parts),
+                                        TermRef::rebuild_par(&parts),
                                     ));
                                 }
                             }
@@ -168,26 +312,38 @@ impl TermLts {
             // [SR-E] for `let x = w in E`, excluding labels that mention the
             // bound variable.
             Term::Let(x, ty, bound, body) if bound.is_value_or_var() => {
-                let mut inner = Vec::new();
-                self.open_successors(body, &mut inner);
-                for (label, next) in inner {
-                    if label_mentions(&label, x) {
+                let inner = self.open_successors(&TermRef::from_arc(Arc::clone(body)));
+                for (label, next) in inner.iter() {
+                    if label_mentions(label, x) {
                         continue;
                     }
                     out.push((
-                        label,
-                        Term::Let(x.clone(), ty.clone(), bound.clone(), Box::new(next)),
+                        label.clone(),
+                        TermRef::new(Term::Let(
+                            x.clone(),
+                            ty.clone(),
+                            Arc::clone(bound),
+                            Arc::clone(next.as_arc()),
+                        )),
                     ));
                 }
             }
             _ => {}
         }
+        out.into()
     }
 
     /// Candidate payloads for an early receive on `chan`: environment
     /// variables whose type fits the channel's payload type, plus a canonical
-    /// literal for base payload types.
-    fn receive_candidates(&self, chan: &Term) -> Vec<Term> {
+    /// literal for base payload types. Memoized per receive subject, so the
+    /// subtype probing of the environment runs once per distinct channel
+    /// position instead of once per expansion.
+    fn receive_candidates(&self, chan: &Term) -> Arc<[Term]> {
+        let key = TermRef::intern(chan).id().index();
+        let shard = &self.caches.candidates[key as usize & (CACHE_SHARDS - 1)];
+        if let Some(hit) = shard.lock().get(&key) {
+            return Arc::clone(hit);
+        }
         let payload_ty = match chan {
             Term::Var(x) => self
                 .env
@@ -197,31 +353,46 @@ impl TermLts {
             Term::Val(Value::Chan(_, p)) => Some(p.clone()),
             _ => None,
         };
-        let Some(payload_ty) = payload_ty else {
-            return Vec::new();
-        };
         let mut candidates = Vec::new();
-        for (x, _) in self.env.iter() {
-            if self
-                .checker
-                .is_subtype(&self.env, &Type::Var(x.clone()), &payload_ty)
-            {
-                candidates.push(Term::Var(x.clone()));
+        if let Some(payload_ty) = payload_ty {
+            for (x, _) in self.env.iter() {
+                if self
+                    .checker
+                    .is_subtype(&self.env, &Type::Var(x.clone()), &payload_ty)
+                {
+                    candidates.push(Term::Var(x.clone()));
+                }
+            }
+            match payload_ty.normalize() {
+                Type::Int => candidates.push(Term::int(0)),
+                Type::Bool => candidates.push(Term::bool(true)),
+                Type::Str => candidates.push(Term::str("")),
+                Type::Unit => candidates.push(Term::unit()),
+                _ => {}
             }
         }
-        match payload_ty.normalize() {
-            Type::Int => candidates.push(Term::int(0)),
-            Type::Bool => candidates.push(Term::bool(true)),
-            Type::Str => candidates.push(Term::str("")),
-            Type::Unit => candidates.push(Term::unit()),
-            _ => {}
-        }
-        candidates
+        let candidates: Arc<[Term]> = candidates.into();
+        shard.lock().entry(key).or_insert(candidates).clone()
     }
 
-    /// Builds the explicit LTS reachable from `t`, bounded by `max_states`.
-    pub fn build(&self, t: &Term, max_states: usize) -> Lts<Term, TermLabel> {
-        Lts::build(t.clone(), |s| self.successors(s), max_states)
+    /// Builds the explicit LTS reachable from `t`, bounded by `max_states`,
+    /// on the [`mod@crate::explore`] engine with the configured worker count.
+    pub fn build(&self, t: &Term, max_states: usize) -> Lts<TermRef, TermLabel> {
+        self.build_exploration(t, max_states).lts
+    }
+
+    /// Like [`TermLts::build`], also reporting how the exploration ended.
+    pub fn build_exploration(
+        &self,
+        t: &Term,
+        max_states: usize,
+    ) -> Exploration<TermRef, TermLabel> {
+        let initial = TermRef::intern(t);
+        let mut config = ExploreConfig::new(self.parallelism, max_states);
+        if let Some(cancel) = &self.cancel {
+            config = config.with_cancel(cancel.clone());
+        }
+        explore(initial, |s: &TermRef| self.successors(s).to_vec(), &config)
     }
 }
 
@@ -247,7 +418,7 @@ mod tests {
     fn open_negation_branches_nondeterministically() {
         let env = TypeEnv::new().bind("x", Type::Bool);
         let lts = TermLts::new(env);
-        let succ = lts.successors(&Term::not(Term::var("x")));
+        let succ = lts.successors_of(&Term::not(Term::var("x")));
         assert_eq!(succ.len(), 2);
         assert!(succ.iter().all(|(l, _)| matches!(l, TermLabel::TauNeg(_))));
     }
@@ -261,7 +432,7 @@ mod tests {
             Term::send(Term::var("x"), Term::int(42), Term::thunk(Term::End)),
             Term::recv(Term::var("x"), Term::lam("v", Type::Int, Term::End)),
         );
-        let succ = lts.successors(&t1);
+        let succ = lts.successors_of(&t1);
         assert!(
             succ.iter().any(|(l, _)| l.is_comm_on(&Name::new("x"))),
             "expected τ[x], got {succ:?}"
@@ -271,8 +442,8 @@ mod tests {
             .iter()
             .find(|(l, _)| l.is_comm_on(&Name::new("x")))
             .unwrap();
-        let built = lts.build(next, 100);
-        assert!(built.states().contains(&Term::End));
+        let built = lts.build(next.as_term(), 100);
+        assert!(built.states().iter().any(|s| *s == Term::End));
     }
 
     #[test]
@@ -285,7 +456,7 @@ mod tests {
             Term::send(Term::var("x"), Term::int(1), Term::thunk(Term::End)),
             Term::recv(Term::var("y"), Term::lam("v", Type::Int, Term::End)),
         );
-        let succ = lts.successors(&t);
+        let succ = lts.successors_of(&t);
         assert!(!succ.iter().any(|(l, _)| matches!(l, TermLabel::TauComm(_))));
         // Both visible actions are still offered.
         assert!(succ.iter().any(|(l, _)| l.is_output_on(&Name::new("x"))));
@@ -306,7 +477,7 @@ mod tests {
         assert!(built.labels().any(|l| l.is_comm_on(&Name::new("z"))));
         assert!(built.labels().any(|l| l.is_comm_on(&Name::new("y"))));
         // The terminated process is reachable.
-        assert!(built.states().contains(&Term::End));
+        assert!(built.states().iter().any(|s| *s == Term::End));
     }
 
     #[test]
@@ -317,7 +488,7 @@ mod tests {
             .bind("s", Type::Str);
         let lts = TermLts::new(env);
         let t = Term::recv(Term::var("c"), Term::lam("v", Type::Int, Term::End));
-        let succ = lts.successors(&t);
+        let succ = lts.successors_of(&t);
         // Candidates: the int-typed variable n and the canonical literal 0 —
         // but not the string variable s.
         assert!(succ.iter().any(
@@ -326,5 +497,62 @@ mod tests {
         assert!(!succ.iter().any(
             |(l, _)| matches!(l, TermLabel::In { payload, .. } if *payload == Term::var("s"))
         ));
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_serial() {
+        let env = TypeEnv::new()
+            .bind("y", Type::chan_io(Type::Str))
+            .bind("z", Type::chan_io(Type::chan_out(Type::Str)));
+        let (term, _) = examples::ping_pong_open();
+        let serial = TermLts::new(env.clone()).build(&term, 10_000);
+        for workers in [2, 4] {
+            let parallel = TermLts::new(env.clone())
+                .with_parallelism(workers)
+                .build(&term, 10_000);
+            assert_eq!(parallel.states(), serial.states(), "workers={workers}");
+            assert_eq!(
+                parallel.num_transitions(),
+                serial.num_transitions(),
+                "workers={workers}"
+            );
+            for i in 0..serial.num_states() {
+                assert_eq!(
+                    parallel.transitions_from(i),
+                    serial.transitions_from(i),
+                    "state {i}, workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_aborts_on_a_cancel_token() {
+        let env = TypeEnv::new()
+            .bind("y", Type::chan_io(Type::Str))
+            .bind("z", Type::chan_io(Type::chan_out(Type::Str)));
+        let token = CancelToken::new();
+        token.cancel();
+        let builder = TermLts::new(env).with_cancel(token);
+        let (term, _) = examples::ping_pong_open();
+        let ex = builder.build_exploration(&term, 10_000);
+        assert_eq!(ex.status, crate::explore::ExploreStatus::Aborted);
+    }
+
+    #[test]
+    fn memoized_successors_are_stable_across_builds() {
+        let env = TypeEnv::new().bind("x", Type::chan_io(Type::Int));
+        let lts = TermLts::new(env);
+        let t = Term::par(
+            Term::send(Term::var("x"), Term::int(42), Term::thunk(Term::End)),
+            Term::recv(Term::var("x"), Term::lam("v", Type::Int, Term::End)),
+        );
+        let first = lts.successors_of(&t);
+        let second = lts.successors_of(&t);
+        assert_eq!(first, second);
+        // And a fresh builder derives the same list (the memo holds pure
+        // functions of the term).
+        let fresh = TermLts::new(TypeEnv::new().bind("x", Type::chan_io(Type::Int)));
+        assert_eq!(fresh.successors_of(&t), first);
     }
 }

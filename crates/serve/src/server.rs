@@ -715,16 +715,39 @@ fn stats_json(shared: &Shared) -> Json {
             // The hash-consing interner is process-wide and append-only, so
             // a long-running daemon's memory cost and memo efficiency are
             // part of its operational accounting (alongside the verdict
-            // cache's entry/state budgets above).
+            // cache's entry/state budgets above). `types` and `terms` are
+            // the two retained-id counters (the type- and term-side arenas).
             "interner",
             {
                 let intern = effpi::intern_stats();
                 Json::obj([
                     ("types", Json::Num(intern.types as f64)),
+                    ("terms", Json::Num(intern.terms as f64)),
                     ("normalize_hits", num(intern.normalize_hits)),
                     ("normalize_misses", num(intern.normalize_misses)),
                     ("canonical_hits", num(intern.canonical_hits)),
                     ("canonical_misses", num(intern.canonical_misses)),
+                    ("par_hits", num(intern.par_hits)),
+                    ("par_misses", num(intern.par_misses)),
+                    ("fv_hits", num(intern.fv_hits)),
+                    ("fv_misses", num(intern.fv_misses)),
+                ])
+            },
+        ),
+        (
+            // The checker's id-keyed derivation caches (subtyping, ▷◁,
+            // typing): process-wide hit/miss counters, the compounding
+            // second layer on top of the interner.
+            "checker",
+            {
+                let checker = effpi::checker_stats();
+                Json::obj([
+                    ("subtype_hits", num(checker.subtype_hits)),
+                    ("subtype_misses", num(checker.subtype_misses)),
+                    ("interact_hits", num(checker.interact_hits)),
+                    ("interact_misses", num(checker.interact_misses)),
+                    ("typing_hits", num(checker.typing_hits)),
+                    ("typing_misses", num(checker.typing_misses)),
                 ])
             },
         ),

@@ -7,11 +7,15 @@
 //! protocol scenario in `effpi::protocols` and every `.effpi` specification
 //! shipped in `examples/specs/`, the stable summary line (every reported
 //! field except wall-clock timing) of a serial run and a `parallelism = 4`
-//! run must be byte-identical.
+//! run must be byte-identical — and likewise, for every open-term
+//! conformance scenario, the full rendered Fig. 5 LTS (states in canonical
+//! numbering plus every transition triple) built through
+//! `Session::build_term_lts`.
 
-use effpi::protocols::{fig9_scenarios, mobile_code};
+use effpi::protocols::{fig9_scenarios, mobile_code, open_terms};
 use effpi::spec::parse_spec;
-use effpi::Session;
+use effpi::{Session, TermLabel, TermRef};
+use lts::Lts;
 
 const MAX_STATES: usize = 60_000;
 const WORKERS: usize = 4;
@@ -87,6 +91,51 @@ fn truncated_runs_report_the_same_clamped_error_serial_and_parallel() {
         .stable_line();
     assert!(s.contains("error="), "expected a bound trip, got {s}");
     assert_eq!(s, p);
+}
+
+/// Renders every timing-free fact of a term LTS — state list (in canonical
+/// numbering), every transition triple — as one stable string, the term-side
+/// analogue of `ReportSummary::stable_line`.
+fn term_lts_stable_line(lts: &Lts<TermRef, TermLabel>) -> String {
+    use std::fmt::Write as _;
+    let mut line = format!(
+        "states={} transitions={} truncated={}",
+        lts.num_states(),
+        lts.num_transitions(),
+        lts.is_truncated()
+    );
+    for (i, state) in lts.states().iter().enumerate() {
+        let _ = write!(line, " s{i}={state}");
+    }
+    for (i, label, j) in lts.transitions() {
+        let _ = write!(line, " t{i}-[{label}]->{j}");
+    }
+    line
+}
+
+#[test]
+fn every_open_term_scenario_reports_identically_serial_and_parallel() {
+    let serial = session(1);
+    let parallel = session(WORKERS);
+    // The corpus is shared with the `term_bench` CI gate
+    // (`effpi::protocols::open_terms`): one source of truth, so the
+    // determinism suite and the gated benchmark can never desynchronise.
+    let scenarios = open_terms::corpus();
+    assert!(scenarios.len() >= 5);
+    for scenario in scenarios {
+        let s = serial
+            .build_term_lts(&scenario.env, &scenario.term)
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        let p = parallel
+            .build_term_lts(&scenario.env, &scenario.term)
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        assert_eq!(
+            term_lts_stable_line(&s),
+            term_lts_stable_line(&p),
+            "{}: serial and {WORKERS}-worker open-term runs disagree",
+            scenario.name
+        );
+    }
 }
 
 #[test]
