@@ -1,18 +1,27 @@
 //! Concurrent-load benchmark of the `effpi-serve` verification service:
-//! N clients × M specs against an in-process server, reporting requests/sec
-//! and the verdict-cache hit rate (the `BENCH_serve.json` CI artifact).
+//! N clients × M specs against an in-process server, reporting requests/sec,
+//! latency percentiles and the verdict-cache hit rate (the
+//! `BENCH_serve.json` CI artifact).
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p bench --bin serve_bench --
 //!     [--clients N] [--rounds R] [--workers W] [--jobs J]
-//!     [--max-states M] [--json PATH]
+//!     [--max-states M] [--json PATH] [--restart [DIR]]
 //! ```
 //!
-//! The run **fails** (non-zero exit) when any request errors or when a
-//! repeated-spec workload somehow produces no cache hits — either would mean
-//! the service layer, not the engine, regressed.
+//! With `--restart`, the run measures the persistent tier's warm-restart
+//! payoff: the load is driven **cold** against a server with a fresh
+//! `--store` directory, the server is shut down, a new one is started over
+//! the same directory, and the load replays **warm-from-disk**. The JSON
+//! artifact then carries both phases (schema `bench-serve/v2`). `DIR`
+//! defaults to a temp directory that is cleaned up afterwards.
+//!
+//! The run **fails** (non-zero exit) when any request errors, when a
+//! repeated-spec workload somehow produces no cache hits, or when a restart
+//! run's warm phase re-verifies instead of hitting the disk — any of these
+//! would mean the service layer, not the engine, regressed.
 
 use std::process::ExitCode;
 
@@ -29,15 +38,17 @@ fn main() -> ExitCode {
             parse_flag(&args, "--jobs")?,
             parse_flag(&args, "--max-states")?,
             string_flag(&args, "--json")?,
+            string_flag(&args, "--restart-dir")?,
         ))
     })();
-    let (clients, rounds, workers, jobs, max_states, json_path) = match parsed {
+    let (clients, rounds, workers, jobs, max_states, json_path, restart_dir) = match parsed {
         Ok(flags) => flags,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::from(2);
         }
     };
+    let restart = restart_dir.is_some() || args.iter().any(|a| a == "--restart");
     let defaults = LoadConfig::default();
     let config = LoadConfig {
         clients: clients.unwrap_or(defaults.clients).max(1),
@@ -48,29 +59,69 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "effpi-serve load benchmark — {} clients, {} rounds, {} workers, {} jobs",
-        config.clients, config.rounds, config.workers, config.jobs
+        "effpi-serve load benchmark — {} clients, {} rounds, {} workers, {} jobs{}",
+        config.clients,
+        config.rounds,
+        config.workers,
+        config.jobs,
+        if restart { ", cold/restart phases" } else { "" }
     );
-    let record = serve_load::run(config);
-    println!("{}", record.render());
+
+    let (document, summary, failures, no_hits, warm_missed_disk) = if restart {
+        // An explicit --restart-dir is the caller's directory (kept); the
+        // bare --restart flag gets a temp directory (cleaned up).
+        let (dir, ephemeral) = match &restart_dir {
+            Some(d) => (std::path::PathBuf::from(d), false),
+            None => (
+                std::env::temp_dir().join(format!("effpi-serve-bench-{}", std::process::id())),
+                true,
+            ),
+        };
+        if ephemeral {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let record = serve_load::run_restart(config, &dir);
+        if ephemeral {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let warm_missed_disk = record.warm.disk_hits == 0;
+        (
+            record.to_json(),
+            record.render(),
+            record.cold.failures + record.warm.failures,
+            record.cold.requests > record.cold.specs && record.cold.hit_rate <= 0.0,
+            warm_missed_disk,
+        )
+    } else {
+        let record = serve_load::run(config);
+        (
+            record.to_json(),
+            record.render(),
+            record.failures,
+            record.requests > record.specs && record.hit_rate <= 0.0,
+            false,
+        )
+    };
+    println!("{summary}");
 
     if let Some(path) = json_path {
-        if let Err(e) = std::fs::write(&path, format!("{}\n", record.to_json())) {
+        if let Err(e) = std::fs::write(&path, format!("{document}\n")) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::from(2);
         }
         println!("wrote load record to {path}");
     }
 
-    if record.failures > 0 {
-        eprintln!(
-            "serve bench: FAILED — {} request(s) errored",
-            record.failures
-        );
+    if failures > 0 {
+        eprintln!("serve bench: FAILED — {failures} request(s) errored");
         return ExitCode::FAILURE;
     }
-    if record.requests > record.specs && record.hit_rate <= 0.0 {
+    if no_hits {
         eprintln!("serve bench: FAILED — repeated workload produced no cache hits");
+        return ExitCode::FAILURE;
+    }
+    if warm_missed_disk {
+        eprintln!("serve bench: FAILED — warm restart phase never hit the persistent store");
         return ExitCode::FAILURE;
     }
     println!("serve bench: OK");

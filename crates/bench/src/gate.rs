@@ -15,13 +15,15 @@
 //!
 //! ## Baseline provenance
 //!
-//! `crates/bench/baseline.json` is **still container-recorded** (a 1-CPU dev
-//! container, `--jobs 4`) — re-recorded post-term-interning so the floors
-//! track the current pipeline, but not yet a CI artifact: refreshing to
-//! runner speed requires downloading `BENCH_fig9.json` from a trusted
-//! *green* CI run, and no such artifact is reachable from the offline build
-//! environment these changes are authored in. Keeping it is sound, not just
-//! expedient:
+//! All three baselines (`crates/bench/baseline.json`,
+//! `intern_baseline.json`, `term_baseline.json`) are **still
+//! container-recorded** (a 1-CPU dev container, the CI flags) — last
+//! re-recorded together in the persistent-store PR, so every floor tracks
+//! the same pipeline state instead of a mix of recording eras — but not yet
+//! CI artifacts: refreshing to runner speed requires downloading the
+//! `BENCH_*.json` artifacts from a trusted *green* CI run, and no such
+//! artifact is reachable from the offline build environment these changes
+//! are authored in. Keeping them is sound, not just expedient:
 //!
 //! * the **determinism fields** (case names, verdicts, state counts) are
 //!   hardware-independent — the drift checks gate at full strength no matter

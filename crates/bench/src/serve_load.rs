@@ -8,21 +8,35 @@
 //! within one client's rounds or across racing clients — should come back
 //! from the content-addressed cache. The record reports the two numbers a
 //! capacity plan needs: sustained **requests/sec** and the **cache hit
-//! rate**, plus cross-client verdict agreement (any drift is a bug, not
-//! noise — the same check the fig9 gate applies).
+//! rate**, plus per-request latency percentiles and cross-client verdict
+//! agreement (any drift is a bug, not noise — the same check the fig9 gate
+//! applies).
+//!
+//! [`run_restart`] extends the scenario with the persistent tier: the same
+//! load is driven **cold** against a server with a fresh `--store`
+//! directory, the server is shut down, a *new* server is started over the
+//! same directory, and the load is replayed **warm-from-disk**. The warm
+//! phase's first encounters should be disk hits, not re-verifications — the
+//! measured payoff of crash-safe persistence is the gap between the two
+//! phases' hit rates and p50 latencies.
 //!
 //! `serve_bench` (the binary) writes the record to `BENCH_serve.json`
-//! (schema `bench-serve/v1`), which CI uploads next to `BENCH_fig9.json`.
+//! (schema `bench-serve/v1` for the plain run, `bench-serve/v2` for the
+//! cold/restart pair), which CI uploads next to `BENCH_fig9.json`.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::thread;
 use std::time::Instant;
 
-use serve::{CacheConfig, Client, Endpoints, Server, ServerConfig, VerifyOptions};
+use serve::{CacheConfig, Client, Endpoints, Server, ServerConfig, StoreTier, VerifyOptions};
 use wire::Json;
 
-/// The schema tag of the `BENCH_serve.json` artifact.
+/// The schema tag of the plain single-phase `BENCH_serve.json` artifact.
 pub const SCHEMA: &str = "bench-serve/v1";
+
+/// The schema tag of the cold/restart two-phase artifact.
+pub const RESTART_SCHEMA: &str = "bench-serve/v2";
 
 /// The workload: every shipped `examples/specs/*.effpi`, plus inline
 /// variants that exercise distinct cache keys (different property lists and
@@ -85,7 +99,7 @@ impl Default for LoadConfig {
     }
 }
 
-/// The measured record of one load run.
+/// The measured record of one load run (or one phase of a restart pair).
 #[derive(Clone, PartialEq, Debug)]
 pub struct LoadRecord {
     /// The configuration the run used.
@@ -100,27 +114,26 @@ pub struct LoadRecord {
     pub wall_ms: f64,
     /// Sustained throughput.
     pub requests_per_sec: f64,
-    /// Server-side cache hits at the end of the run.
+    /// Server-side in-memory cache hits at the end of the run.
     pub cache_hits: u64,
     /// Server-side cache misses at the end of the run.
     pub cache_misses: u64,
-    /// `hits / (hits + misses)`.
+    /// Lookups answered from the persistent tier (0 without a store).
+    pub disk_hits: u64,
+    /// `(memory hits + disk hits) / (hits + misses)` — the fraction of
+    /// lookups that did **not** re-run the verification pipeline.
     pub hit_rate: f64,
+    /// Median per-request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-request latency, milliseconds.
+    pub p99_ms: f64,
 }
 
 impl LoadRecord {
-    /// Renders the record as the `BENCH_serve.json` document.
-    pub fn to_json(&self) -> Json {
+    /// Renders the record's measurements as a flat JSON object (shared
+    /// between the v1 document and each phase of the v2 document).
+    fn fields(&self) -> BTreeMap<String, Json> {
         let mut root = BTreeMap::new();
-        root.insert("schema".into(), Json::str(SCHEMA));
-        root.insert("clients".into(), Json::Num(self.config.clients as f64));
-        root.insert("rounds".into(), Json::Num(self.config.rounds as f64));
-        root.insert("workers".into(), Json::Num(self.config.workers as f64));
-        root.insert("jobs".into(), Json::Num(self.config.jobs as f64));
-        root.insert(
-            "max_states".into(),
-            Json::Num(self.config.max_states as f64),
-        );
         root.insert("specs".into(), Json::Num(self.specs as f64));
         root.insert("requests".into(), Json::Num(self.requests as f64));
         root.insert("failures".into(), Json::Num(self.failures as f64));
@@ -131,7 +144,32 @@ impl LoadRecord {
         );
         root.insert("cache_hits".into(), Json::Num(self.cache_hits as f64));
         root.insert("cache_misses".into(), Json::Num(self.cache_misses as f64));
+        root.insert("disk_hits".into(), Json::Num(self.disk_hits as f64));
         root.insert("hit_rate".into(), Json::num_round3(self.hit_rate));
+        root.insert("p50_ms".into(), Json::num_round3(self.p50_ms));
+        root.insert("p99_ms".into(), Json::num_round3(self.p99_ms));
+        root
+    }
+
+    /// Renders the shared scenario knobs.
+    fn config_fields(&self) -> BTreeMap<String, Json> {
+        let mut root = BTreeMap::new();
+        root.insert("clients".into(), Json::Num(self.config.clients as f64));
+        root.insert("rounds".into(), Json::Num(self.config.rounds as f64));
+        root.insert("workers".into(), Json::Num(self.config.workers as f64));
+        root.insert("jobs".into(), Json::Num(self.config.jobs as f64));
+        root.insert(
+            "max_states".into(),
+            Json::Num(self.config.max_states as f64),
+        );
+        root
+    }
+
+    /// Renders the record as the single-phase `BENCH_serve.json` document.
+    pub fn to_json(&self) -> Json {
+        let mut root = self.config_fields();
+        root.insert("schema".into(), Json::str(SCHEMA));
+        root.append(&mut self.fields());
         Json::Obj(root)
     }
 
@@ -139,7 +177,7 @@ impl LoadRecord {
     pub fn render(&self) -> String {
         format!(
             "{} clients x {} rounds x {} specs = {} requests in {:.1} ms \
-             ({:.0} req/s, cache hit rate {:.1}%, {} failures)",
+             ({:.0} req/s, hit rate {:.1}%, {} disk hits, p50 {:.2} ms, {} failures)",
             self.config.clients,
             self.config.rounds,
             self.specs,
@@ -147,62 +185,96 @@ impl LoadRecord {
             self.wall_ms,
             self.requests_per_sec,
             self.hit_rate * 100.0,
+            self.disk_hits,
+            self.p50_ms,
             self.failures
         )
     }
 }
 
-/// Runs the scenario against a fresh in-process server on an ephemeral TCP
-/// port, shutting it down gracefully afterwards.
-///
-/// # Panics
-///
-/// Panics when the server cannot start or a client cannot connect — the
-/// benchmark is meaningless without its server.
-pub fn run(config: LoadConfig) -> LoadRecord {
-    let handle = Server::start(
-        &Endpoints {
-            tcp: Some("127.0.0.1:0".to_string()),
-            unix: None,
-        },
-        ServerConfig {
-            workers: config.workers,
-            jobs: config.jobs,
-            cache: CacheConfig::default(),
-            default_max_states: config.max_states,
-        },
-    )
-    .expect("start in-process effpi-serve");
-    let addr = handle
-        .tcp_addr()
-        .expect("TCP endpoint requested")
-        .to_string();
-    let specs = workload();
+/// The cold/restart pair: the same load driven against a fresh persistent
+/// store, then replayed against a **new server process state** over the same
+/// store directory.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RestartRecord {
+    /// Phase 1: empty store, every first encounter verifies.
+    pub cold: LoadRecord,
+    /// Phase 2: restarted server, first encounters come from disk.
+    pub warm: LoadRecord,
+}
 
-    let start = Instant::now();
+impl RestartRecord {
+    /// Renders the pair as the `bench-serve/v2` document.
+    pub fn to_json(&self) -> Json {
+        let mut root = self.cold.config_fields();
+        root.insert("schema".into(), Json::str(RESTART_SCHEMA));
+        root.insert("cold".into(), Json::Obj(self.cold.fields()));
+        root.insert("warm_restart".into(), Json::Obj(self.warm.fields()));
+        Json::Obj(root)
+    }
+
+    /// Two human-readable summary lines.
+    pub fn render(&self) -> String {
+        format!(
+            "cold:         {}\nwarm restart: {}",
+            self.cold.render(),
+            self.warm.render()
+        )
+    }
+}
+
+/// What one phase of client-driving measured, before server-side stats are
+/// folded in.
+struct DriveOutcome {
+    requests: usize,
+    failures: usize,
+    wall_ms: f64,
+    /// Sorted per-request latencies, milliseconds.
+    latencies_ms: Vec<f64>,
+}
+
+/// Nearest-rank percentile over an already-sorted sample.
+fn percentile(sorted_ms: &[f64], pct: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+/// Drives the whole workload through `config.clients` concurrent
+/// connections against an already-running server, checking cross-client
+/// verdict agreement.
+fn drive(addr: &str, specs: &[(&str, &str)], config: LoadConfig) -> DriveOutcome {
     struct ClientOutcome {
         requests: usize,
         failures: usize,
+        latencies_ms: Vec<f64>,
         /// The distinct stable lines this client saw, per spec index —
         /// more than one entry anywhere is determinism drift.
         lines: Vec<std::collections::BTreeSet<String>>,
     }
+    let start = Instant::now();
     let outcomes: Vec<ClientOutcome> = thread::scope(|scope| {
         let mut joins = Vec::new();
         for _ in 0..config.clients.max(1) {
-            let addr = addr.clone();
-            let specs = &specs;
             joins.push(scope.spawn(move || {
-                let mut client = Client::connect_tcp(&addr).expect("connect load client");
+                let mut client = Client::connect_tcp(addr).expect("connect load client");
                 let mut outcome = ClientOutcome {
                     requests: 0,
                     failures: 0,
+                    latencies_ms: Vec::new(),
                     lines: vec![std::collections::BTreeSet::new(); specs.len()],
                 };
                 for _ in 0..config.rounds.max(1) {
                     for (spec_no, (name, text)) in specs.iter().enumerate() {
                         outcome.requests += 1;
-                        match client.verify(text, VerifyOptions::default()) {
+                        let sent = Instant::now();
+                        let reply = client.verify(text, VerifyOptions::default());
+                        outcome
+                            .latencies_ms
+                            .push(sent.elapsed().as_secs_f64() * 1e3);
+                        match reply {
                             // Spec-level verification failures (a failing
                             // check) are expected workload behaviour; only
                             // transport/protocol errors and report-level
@@ -227,14 +299,6 @@ pub fn run(config: LoadConfig) -> LoadRecord {
     });
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
 
-    let mut verifier = Client::connect_tcp(&addr).expect("connect stats client");
-    let stats = verifier.stats().expect("stats");
-    let cache = stats.get("cache").expect("stats.cache");
-    let cache_hits = cache.get("hits").and_then(Json::as_usize).unwrap_or(0) as u64;
-    let cache_misses = cache.get("misses").and_then(Json::as_usize).unwrap_or(0) as u64;
-    verifier.shutdown_server().expect("graceful shutdown");
-    handle.join();
-
     let requests: usize = outcomes.iter().map(|o| o.requests).sum();
     let mut failures: usize = outcomes.iter().map(|o| o.failures).sum();
     // Cross-client agreement, the same determinism check the fig9 gate
@@ -254,22 +318,96 @@ pub fn run(config: LoadConfig) -> LoadRecord {
             );
         }
     }
+    let mut latencies_ms: Vec<f64> = outcomes.into_iter().flat_map(|o| o.latencies_ms).collect();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    DriveOutcome {
+        requests,
+        failures,
+        wall_ms,
+        latencies_ms,
+    }
+}
+
+/// Starts a server, drives one load phase, reads the server stats, shuts
+/// the server down, and folds everything into a [`LoadRecord`].
+fn run_phase(config: LoadConfig, store: Option<StoreTier>) -> LoadRecord {
+    let handle = Server::start(
+        &Endpoints {
+            tcp: Some("127.0.0.1:0".to_string()),
+            unix: None,
+        },
+        ServerConfig {
+            workers: config.workers,
+            jobs: config.jobs,
+            cache: CacheConfig::default(),
+            default_max_states: config.max_states,
+            store,
+        },
+    )
+    .expect("start in-process effpi-serve");
+    let addr = handle
+        .tcp_addr()
+        .expect("TCP endpoint requested")
+        .to_string();
+    let specs = workload();
+    let outcome = drive(&addr, &specs, config);
+
+    let mut verifier = Client::connect_tcp(&addr).expect("connect stats client");
+    let stats = verifier.stats().expect("stats");
+    let cache = stats.get("cache").expect("stats.cache");
+    let as_u64 = |field: &str| cache.get(field).and_then(Json::as_usize).unwrap_or(0) as u64;
+    let cache_hits = as_u64("hits");
+    let cache_misses = as_u64("misses");
+    let disk_hits = as_u64("disk_hits");
+    verifier.shutdown_server().expect("graceful shutdown");
+    handle.join();
+
     let lookups = cache_hits + cache_misses;
     LoadRecord {
         config,
         specs: specs.len(),
-        requests,
-        failures,
-        wall_ms,
-        requests_per_sec: requests as f64 / (wall_ms / 1e3).max(1e-9),
+        requests: outcome.requests,
+        failures: outcome.failures,
+        wall_ms: outcome.wall_ms,
+        requests_per_sec: outcome.requests as f64 / (outcome.wall_ms / 1e3).max(1e-9),
         cache_hits,
         cache_misses,
+        disk_hits,
         hit_rate: if lookups == 0 {
             0.0
         } else {
-            cache_hits as f64 / lookups as f64
+            (cache_hits + disk_hits) as f64 / lookups as f64
         },
+        p50_ms: percentile(&outcome.latencies_ms, 50.0),
+        p99_ms: percentile(&outcome.latencies_ms, 99.0),
     }
+}
+
+/// Runs the scenario against a fresh in-process server on an ephemeral TCP
+/// port, shutting it down gracefully afterwards.
+///
+/// # Panics
+///
+/// Panics when the server cannot start or a client cannot connect — the
+/// benchmark is meaningless without its server.
+pub fn run(config: LoadConfig) -> LoadRecord {
+    run_phase(config, None)
+}
+
+/// Runs the cold → shutdown → restart → warm-from-disk scenario over
+/// `store_dir` (created if absent; **not** cleaned up — the caller owns the
+/// directory's lifetime).
+///
+/// # Panics
+///
+/// Panics when either server cannot start or a client cannot connect.
+pub fn run_restart(config: LoadConfig, store_dir: &Path) -> RestartRecord {
+    let tier = StoreTier::at(store_dir);
+    let cold = run_phase(config, Some(tier.clone()));
+    // The second server is a brand-new process state over the same log:
+    // nothing survives `handle.join()` but the bytes on disk.
+    let warm = run_phase(config, Some(tier));
+    RestartRecord { cold, warm }
 }
 
 #[cfg(test)]
@@ -290,10 +428,61 @@ mod tests {
         assert!(record.requests_per_sec > 0.0);
         // 2 clients x 2 rounds over the same specs: the cache must get warm.
         assert!(record.hit_rate > 0.0, "{}", record.render());
+        // Without a store there can be no disk hits.
+        assert_eq!(record.disk_hits, 0);
+        assert!(record.p50_ms > 0.0 && record.p50_ms <= record.p99_ms);
         // The artifact round-trips through the shared JSON.
         let text = record.to_json().to_string();
         let parsed = Json::parse(&text).unwrap();
         assert_eq!(parsed.get("schema").and_then(Json::as_str), Some(SCHEMA));
         assert!(parsed.get("hit_rate").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn the_restart_scenario_is_warm_from_disk() {
+        let dir = std::env::temp_dir().join(format!("effpi-bench-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let record = run_restart(
+            LoadConfig {
+                clients: 2,
+                rounds: 2,
+                workers: 2,
+                jobs: 2,
+                max_states: 60_000,
+            },
+            &dir,
+        );
+        assert_eq!(record.cold.failures, 0, "{}", record.render());
+        assert_eq!(record.warm.failures, 0, "{}", record.render());
+        // The warm phase never verified anything: every spec's first
+        // encounter was a disk hit, so *all* lookups were hits.
+        assert!(record.warm.disk_hits > 0, "{}", record.render());
+        assert!(
+            (record.warm.hit_rate - 1.0).abs() < 1e-9,
+            "warm phase re-verified: {}",
+            record.render()
+        );
+        let parsed = Json::parse(&record.to_json().to_string()).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some(RESTART_SCHEMA)
+        );
+        assert!(
+            parsed
+                .get("warm_restart")
+                .and_then(|w| w.get("disk_hits"))
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 50.0), 2.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 99.0), 4.0);
     }
 }

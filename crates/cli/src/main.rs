@@ -13,8 +13,12 @@
 //!
 //! effpi-cli serve  [--listen ADDR] [--uds PATH] [--workers W] [--jobs J]
 //!                  [--max-states N] [--cache-entries E] [--cache-states S]
+//!                  [--store DIR] [--store-entries E] [--store-states S]
 //! effpi-cli client <ADDR|unix:PATH> verify <spec.effpi> [--max-states N]
 //! effpi-cli client <ADDR|unix:PATH> stats|ping|shutdown
+//!
+//! effpi-cli store stats   <DIR>                                  # inspect a persistent verdict store
+//! effpi-cli store compact <DIR> [--store-entries E] [--store-states S]
 //! ```
 //!
 //! Sample specifications live in `examples/specs/`; the wire protocol is
@@ -24,7 +28,8 @@ use std::process::ExitCode;
 
 use effpi::spec::parse_spec;
 use effpi::Session;
-use serve::{CacheConfig, Client, Endpoints, Server, ServerConfig, VerifyOptions};
+use serve::{CacheConfig, Client, Endpoints, Server, ServerConfig, StoreTier, VerifyOptions};
+use store::{StoreConfig, VerdictStore};
 // Shared flag-parsing policy (one implementation for every binary in the
 // workspace): a present flag must have a well-formed value — malformed
 // input errors, it never silently defaults.
@@ -48,6 +53,7 @@ fn main() -> ExitCode {
     match command.as_str() {
         "serve" => cmd_serve(&args),
         "client" => cmd_client(&args),
+        "store" => cmd_store(&args),
         "verify" | "typecheck" | "lts" | "parse" => cmd_one_shot(command.clone(), &args),
         other => {
             eprintln!("unknown command {other:?}\n{USAGE}");
@@ -186,15 +192,24 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             flag_value(args, "--max-states")?,
             flag_value(args, "--cache-entries")?,
             flag_value(args, "--cache-states")?,
+            string_flag(args, "--store")?,
+            flag_value(args, "--store-entries")?,
+            flag_value(args, "--store-states")?,
         ))
     })();
-    let (listen, uds, workers, jobs, max_states, cache_entries, cache_states) = match parsed {
-        Ok(flags) => flags,
-        Err(e) => {
-            eprintln!("{e}\n{USAGE}");
-            return ExitCode::from(2);
-        }
-    };
+    #[allow(clippy::type_complexity)]
+    let (listen, uds, workers, jobs, max_states, cache_entries, cache_states, store, se, ss) =
+        match parsed {
+            Ok(flags) => flags,
+            Err(e) => {
+                eprintln!("{e}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        };
+    if store.is_none() && (se.is_some() || ss.is_some()) {
+        eprintln!("--store-entries/--store-states need --store DIR\n{USAGE}");
+        return ExitCode::from(2);
+    }
     let defaults = ServerConfig::default();
     let workers = workers.unwrap_or(defaults.workers).max(1);
     let config = ServerConfig {
@@ -211,6 +226,16 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             max_states: cache_states.unwrap_or(defaults.cache.max_states),
         },
         default_max_states: max_states.unwrap_or(defaults.default_max_states),
+        store: store.map(|dir| {
+            let store_defaults = StoreConfig::default();
+            StoreTier {
+                path: std::path::PathBuf::from(dir),
+                bounds: StoreConfig {
+                    max_entries: se.unwrap_or(store_defaults.max_entries),
+                    max_states: ss.unwrap_or(store_defaults.max_states),
+                },
+            }
+        }),
     };
     let endpoints = Endpoints {
         // A Unix socket alone is a valid deployment; TCP only defaults on
@@ -218,7 +243,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         tcp: listen.or_else(|| uds.is_none().then(|| "127.0.0.1:7717".to_string())),
         unix: uds.map(std::path::PathBuf::from),
     };
-    let handle = match Server::start(&endpoints, config) {
+    let handle = match Server::start(&endpoints, config.clone()) {
         Ok(handle) => handle,
         Err(e) => {
             eprintln!("cannot start the server: {e}");
@@ -239,6 +264,14 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         config.cache.max_entries,
         config.cache.max_states
     );
+    if let Some(tier) = &config.store {
+        say!(
+            "persistent verdict store at {} ({} entries / {} states)",
+            tier.path.display(),
+            tier.bounds.max_entries,
+            tier.bounds.max_states
+        );
+    }
     handle.join();
     say!("effpi-serve: drained and stopped");
     ExitCode::SUCCESS
@@ -331,6 +364,87 @@ fn cmd_client(args: &[String]) -> ExitCode {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Store maintenance (`effpi-cli store`)
+// ---------------------------------------------------------------------------
+
+/// Offline maintenance of a persistent verdict store: `stats` inspects a
+/// store directory, `compact` rewrites it down to its live records (and, with
+/// `--store-entries`/`--store-states`, down to tighter bounds).
+///
+/// Run these against a store no daemon currently has open — the store is a
+/// single-writer log.
+fn cmd_store(args: &[String]) -> ExitCode {
+    let (Some(action), Some(dir)) = (args.get(1), args.get(2)) else {
+        eprintln!(
+            "usage: effpi-cli store <stats|compact> <DIR> [--store-entries E] [--store-states S]"
+        );
+        return ExitCode::from(2);
+    };
+    let bounds = match (
+        flag_value(args, "--store-entries"),
+        flag_value(args, "--store-states"),
+    ) {
+        (Ok(entries), Ok(states)) => {
+            let defaults = StoreConfig::default();
+            StoreConfig {
+                max_entries: entries.unwrap_or(defaults.max_entries),
+                max_states: states.unwrap_or(defaults.max_states),
+            }
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut store = match VerdictStore::open(std::path::Path::new(dir), bounds) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("cannot open the store at {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match action.as_str() {
+        "stats" => {
+            let s = store.stats();
+            say!("entries: {}  states: {}", s.entries, s.states);
+            say!(
+                "file: {} bytes ({} live, {} dead)",
+                s.file_bytes,
+                s.live_bytes,
+                s.file_bytes.saturating_sub(s.live_bytes)
+            );
+            if s.recovered_bytes_dropped > 0 {
+                say!(
+                    "recovered: dropped {} torn/corrupt trailing bytes on open",
+                    s.recovered_bytes_dropped
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "compact" => match store.compact() {
+            Ok(outcome) => {
+                say!(
+                    "compacted: {} -> {} bytes, {} live entries, {} evicted",
+                    outcome.bytes_before,
+                    outcome.bytes_after,
+                    outcome.live_entries,
+                    outcome.evicted_entries
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("compaction failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        other => {
+            eprintln!("unknown store action {other:?}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn connect(addr: &str) -> Result<Client, std::io::Error> {
     if let Some(path) = addr.strip_prefix("unix:") {
         #[cfg(unix)]
@@ -353,4 +467,6 @@ const USAGE: &str = "\
 usage: effpi-cli <verify|typecheck|lts|parse> <spec.effpi> [--max-states N] [--jobs J]
        effpi-cli serve [--listen ADDR] [--uds PATH] [--workers W] [--jobs J]
                        [--max-states N] [--cache-entries E] [--cache-states S]
-       effpi-cli client <ADDR|unix:PATH> <verify <spec.effpi> [--max-states N]|stats|ping|shutdown>";
+                       [--store DIR] [--store-entries E] [--store-states S]
+       effpi-cli client <ADDR|unix:PATH> <verify <spec.effpi> [--max-states N]|stats|ping|shutdown>
+       effpi-cli store <stats|compact> <DIR> [--store-entries E] [--store-states S]";

@@ -76,6 +76,17 @@ impl CacheKey {
             .map(CacheKey)
             .map_err(|e| format!("malformed cache key {text:?}: {e}"))
     }
+
+    /// The 16-byte little-endian encoding — the fixed-width form persistent
+    /// stores (e.g. the `store` crate's record log) embed in binary records.
+    pub fn to_bytes(self) -> [u8; 16] {
+        self.0.to_le_bytes()
+    }
+
+    /// Decodes the [`CacheKey::to_bytes`] encoding.
+    pub fn from_bytes(bytes: [u8; 16]) -> CacheKey {
+        CacheKey(u128::from_le_bytes(bytes))
+    }
 }
 
 /// Computes the content address of running `spec` under `config` — the key
@@ -201,6 +212,12 @@ mod tests {
         // Exactly what Display renders — no sign prefixes smuggled past the
         // length check.
         assert!(CacheKey::parse("+000000000000000000000000000000f").is_err());
+        // The binary encoding round-trips too, and is byte-stable (LE).
+        assert_eq!(CacheKey::from_bytes(key.to_bytes()), key);
+        assert_eq!(
+            CacheKey(1).to_bytes(),
+            [1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]
+        );
     }
 
     #[test]

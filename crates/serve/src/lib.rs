@@ -9,6 +9,9 @@
 //! exploration engine, and memoises verdicts under the stable content
 //! address of the *normalised* request (`effpi::fingerprint`) — so
 //! semantically identical specs, however they are spelled, verify once.
+//! An optional persistent second tier (the `store` crate's crash-safe
+//! record log, enabled per-server via [`StoreTier`]) makes a restarted
+//! daemon warm from its first request.
 //!
 //! | module | role |
 //! |---|---|
@@ -58,4 +61,4 @@ pub mod server;
 pub use cache::{CacheConfig, CacheStats, VerdictCache};
 pub use client::{Client, ClientError, Response, VerifyReply};
 pub use protocol::{ErrorKind, Request, VerifyOptions, WireReport};
-pub use server::{Endpoints, Server, ServerConfig, ServerHandle};
+pub use server::{Endpoints, Server, ServerConfig, ServerHandle, StoreTier};

@@ -57,6 +57,7 @@ use std::time::Duration;
 use effpi::spec::parse_spec;
 use effpi::{CancelToken, Session};
 use runtime::sync::{Condvar, Mutex};
+use store::{StoreConfig, VerdictStore};
 use wire::Json;
 
 use crate::cache::{CacheConfig, VerdictCache};
@@ -72,8 +73,29 @@ const POLL_INTERVAL: Duration = Duration::from_millis(25);
 type BoxedRead = Box<dyn Read + Send>;
 type BoxedWrite = Box<dyn Write + Send>;
 
+/// The persistent second cache tier: where the on-disk verdict store lives
+/// and how large it may grow (bounds enforced at compaction — see the
+/// `store` crate).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StoreTier {
+    /// The store directory (created if missing; `store.log` lives inside).
+    pub path: PathBuf,
+    /// Capacity bounds of the on-disk tier.
+    pub bounds: StoreConfig,
+}
+
+impl StoreTier {
+    /// A tier at `path` with the default (disk-sized) bounds.
+    pub fn at(path: impl Into<PathBuf>) -> StoreTier {
+        StoreTier {
+            path: path.into(),
+            bounds: StoreConfig::default(),
+        }
+    }
+}
+
 /// Tuning of a [`Server`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ServerConfig {
     /// Concurrent verifications (worker threads).
     pub workers: usize,
@@ -82,10 +104,14 @@ pub struct ServerConfig {
     /// threads. `jobs = workers` (the default) means serial exploration per
     /// request with `workers`-way request concurrency.
     pub jobs: usize,
-    /// Bounds of the verdict cache.
+    /// Bounds of the in-memory verdict cache (the first tier).
     pub cache: CacheConfig,
     /// State bound for requests that do not override `max_states`.
     pub default_max_states: usize,
+    /// Optional crash-safe on-disk verdict store (the second tier): cold
+    /// misses populate it write-through, disk hits are promoted into the
+    /// LRU, and a restarted daemon is warm from request one.
+    pub store: Option<StoreTier>,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +121,7 @@ impl Default for ServerConfig {
             jobs: 4,
             cache: CacheConfig::default(),
             default_max_states: 500_000,
+            store: None,
         }
     }
 }
@@ -123,7 +150,10 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Returns the bind error, or `InvalidInput` when no endpoint is given.
+    /// Returns the bind error, `InvalidInput` when no endpoint is given, or
+    /// the store-open error when `config.store` names an unusable path (a
+    /// torn log recovers silently; only real I/O failures and foreign-format
+    /// files refuse the start).
     pub fn start(endpoints: &Endpoints, config: ServerConfig) -> io::Result<ServerHandle> {
         if endpoints.tcp.is_none() && endpoints.unix.is_none() {
             return Err(io::Error::new(
@@ -174,7 +204,17 @@ impl Server {
             }
         }
 
-        let shared = Arc::new(Shared::new(config));
+        // The store tier opens before any thread spawns, for the same
+        // leak-on-error reason as the binds: recovery of a torn log happens
+        // here (inside `VerdictStore::open`), so by the time a worker runs,
+        // the disk tier is a clean, serveable prefix.
+        let disk = match &config.store {
+            Some(tier) => Some(Mutex::new(VerdictStore::open(&tier.path, tier.bounds)?)),
+            None => None,
+        };
+
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared::new(config, disk));
         let mut threads = Vec::new();
         let mut tcp_addr = None;
         if let Some(listener) = tcp {
@@ -188,7 +228,7 @@ impl Server {
             threads.push(thread::spawn(move || accept_loop(&shared, &listener)));
         }
 
-        for worker in 0..config.workers.max(1) {
+        for worker in 0..workers {
             let shared = Arc::clone(&shared);
             threads.push(
                 thread::Builder::new()
@@ -326,6 +366,14 @@ struct Counters {
     cancelled: AtomicU64,
     failed: AtomicU64,
     states_explored: AtomicU64,
+    /// Disk-tier probes answered from `store.log` (each one also promoted
+    /// the verdict into the LRU).
+    disk_hits: AtomicU64,
+    /// Disk-tier reads/writes that failed with an I/O error. The store is a
+    /// cache: errors degrade to cold verification, never to a refused
+    /// request — but they are accounted here so an operator can see a dying
+    /// disk in `stats`.
+    store_errors: AtomicU64,
 }
 
 struct Shared {
@@ -333,6 +381,11 @@ struct Shared {
     queue: Mutex<VecDeque<Job>>,
     work_cv: Condvar,
     cache: Mutex<VerdictCache>,
+    /// The persistent second tier, when `config.store` is set. Its mutex is
+    /// **never held together with the LRU's**: the tiering protocol is
+    /// probe-LRU → probe-disk → (verify) → fill-LRU → fill-disk, each step
+    /// under its own lock, so slow disk I/O never serialises memory hits.
+    store: Option<Mutex<VerdictStore>>,
     shutdown: AtomicBool,
     down: Mutex<bool>,
     down_cv: Condvar,
@@ -341,12 +394,14 @@ struct Shared {
 }
 
 impl Shared {
-    fn new(config: ServerConfig) -> Shared {
+    fn new(config: ServerConfig, store: Option<Mutex<VerdictStore>>) -> Shared {
+        let cache = Mutex::new(VerdictCache::new(config.cache));
         Shared {
             config,
             queue: Mutex::new(VecDeque::new()),
             work_cv: Condvar::new(),
-            cache: Mutex::new(VerdictCache::new(config.cache)),
+            cache,
+            store,
             shutdown: AtomicBool::new(false),
             down: Mutex::new(false),
             down_cv: Condvar::new(),
@@ -653,14 +708,45 @@ fn handle_frame(shared: &Arc<Shared>, conn: &Arc<Conn>, frame: &str) {
 
 fn stats_json(shared: &Shared) -> Json {
     let cache = shared.cache.lock().stats();
-    let config = shared.config;
+    let config = &shared.config;
     let num = |v: u64| Json::Num(v as f64);
+    // The persistent tier's counters: `null` when no `--store` is
+    // configured, so a monitoring client can tell "no disk tier" from "a
+    // disk tier that has seen no traffic".
+    let store_json = match &shared.store {
+        None => Json::Null,
+        Some(disk) => {
+            let s = disk.lock().stats();
+            Json::obj([
+                ("entries", Json::Num(s.entries as f64)),
+                ("states", Json::Num(s.states as f64)),
+                ("file_bytes", num(s.file_bytes)),
+                ("live_bytes", num(s.live_bytes)),
+                ("hits", num(s.hits)),
+                ("misses", num(s.misses)),
+                ("insertions", num(s.insertions)),
+                ("evictions", num(s.evictions)),
+                ("corrupt_rejected", num(s.corrupt_rejected)),
+                ("recovered_bytes_dropped", num(s.recovered_bytes_dropped)),
+                ("compactions", num(s.compactions)),
+                ("last_compaction_unix_ms", num(s.last_compaction_unix_ms)),
+                (
+                    "errors",
+                    num(shared.counters.store_errors.load(Ordering::SeqCst)),
+                ),
+            ])
+        }
+    };
     Json::obj([
         (
             "cache",
             Json::obj([
                 ("hits", num(cache.hits)),
                 ("misses", num(cache.misses)),
+                (
+                    "disk_hits",
+                    num(shared.counters.disk_hits.load(Ordering::SeqCst)),
+                ),
                 ("insertions", num(cache.insertions)),
                 ("evictions", num(cache.evictions)),
                 ("uncacheable", num(cache.uncacheable)),
@@ -673,6 +759,7 @@ fn stats_json(shared: &Shared) -> Json {
                 ("capacity_states", Json::Num(config.cache.max_states as f64)),
             ]),
         ),
+        ("store", store_json),
         (
             "requests",
             Json::obj([
@@ -810,7 +897,7 @@ fn verify_response(shared: &Shared, job: &Job) -> String {
             return err_response(Some(job.id), ErrorKind::Spec, &e.to_string());
         }
     };
-    let config = shared.config;
+    let config = &shared.config;
     let options = job.options;
     let mut builder = Session::builder()
         .max_states(options.max_states.unwrap_or(config.default_max_states))
@@ -831,6 +918,28 @@ fn verify_response(shared: &Shared, job: &Job) -> String {
     if let Some(report) = shared.cache.lock().get(key) {
         shared.counters.completed.fetch_add(1, Ordering::SeqCst);
         return verify_response_line(job.id, true, &key.to_string(), &report);
+    }
+    // LRU miss: probe the persistent tier. A disk hit is still a cache hit
+    // on the wire (`cached: true` — the bytes replay a cold run verbatim),
+    // and is promoted into the LRU so the next encounter never touches disk.
+    if let Some(disk) = &shared.store {
+        let from_disk = match disk.lock().get(key) {
+            Ok(found) => found,
+            Err(_) => {
+                shared.counters.store_errors.fetch_add(1, Ordering::SeqCst);
+                None
+            }
+        };
+        if let Some((states, report)) = from_disk {
+            let rendered: Arc<str> = Arc::from(report.as_str());
+            shared
+                .cache
+                .lock()
+                .insert(key, states, Arc::clone(&rendered));
+            shared.counters.disk_hits.fetch_add(1, Ordering::SeqCst);
+            shared.counters.completed.fetch_add(1, Ordering::SeqCst);
+            return verify_response_line(job.id, true, &key.to_string(), &rendered);
+        }
     }
     // The cache lock is NOT held across the verification: concurrent misses
     // on one key may verify twice (the later insert refreshes in place) —
@@ -864,6 +973,13 @@ fn verify_response(shared: &Shared, job: &Job) -> String {
         .cache
         .lock()
         .insert(key, states, std::sync::Arc::clone(&rendered));
+    // Write-through to the persistent tier: a cold verdict survives the
+    // daemon. A failed append degrades to a warm-memory-only entry.
+    if let Some(disk) = &shared.store {
+        if disk.lock().put(key, states, &rendered).is_err() {
+            shared.counters.store_errors.fetch_add(1, Ordering::SeqCst);
+        }
+    }
     shared.counters.completed.fetch_add(1, Ordering::SeqCst);
     verify_response_line(job.id, false, &key.to_string(), &rendered)
 }

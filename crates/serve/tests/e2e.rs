@@ -25,6 +25,7 @@ fn server_config() -> ServerConfig {
         jobs: 4,
         cache: CacheConfig::default(),
         default_max_states: MAX_STATES,
+        store: None,
     }
 }
 

@@ -1,0 +1,158 @@
+//! Warm-restart end-to-end test: the acceptance contract of the persistent
+//! verdict tier (`--store`).
+//!
+//! A daemon verifies a spec with a store configured, shuts down cleanly, and
+//! a **new** daemon is started over the same store directory. The restarted
+//! daemon's very first encounter of the spec must be a cache hit served from
+//! disk: `cached: true` on the wire, the decoded report byte-identical to
+//! the cold run, and — the proof that nothing was re-verified — the fresh
+//! server's engine must report **zero states explored**.
+
+use std::path::Path;
+
+use serve::{
+    CacheConfig, Client, Endpoints, Server, ServerConfig, ServerHandle, StoreTier, VerifyOptions,
+};
+use wire::Json;
+
+const MAX_STATES: usize = 60_000;
+
+fn start_with_store(dir: &Path) -> (ServerHandle, String) {
+    let handle = Server::start(
+        &Endpoints {
+            tcp: Some("127.0.0.1:0".to_string()),
+            unix: None,
+        },
+        ServerConfig {
+            workers: 2,
+            jobs: 2,
+            cache: CacheConfig::default(),
+            default_max_states: MAX_STATES,
+            store: Some(StoreTier::at(dir)),
+        },
+    )
+    .expect("start server with store");
+    let addr = handle.tcp_addr().expect("tcp endpoint").to_string();
+    (handle, addr)
+}
+
+fn stat(stats: &Json, section: &str, field: &str) -> f64 {
+    stats
+        .get(section)
+        .and_then(|s| s.get(field))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("stats.{section}.{field} missing in {stats}"))
+}
+
+#[test]
+fn a_restarted_daemon_is_warm_from_its_first_request() {
+    let dir = std::env::temp_dir().join(format!("effpi-serve-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let spec = "env x : cio[int]\n\
+                type i[x, Pi(v: int) nil]\n\
+                check deadlock_free [x]\n";
+    let other = "env y : cio[str]\n\
+                 type i[y, Pi(s: str) nil]\n\
+                 check deadlock_free [y]\n";
+
+    // Generation 1: cold verification populates both tiers.
+    let (cold, cold_stats) = {
+        let (handle, addr) = start_with_store(&dir);
+        let mut client = Client::connect_tcp(&addr).expect("connect gen-1");
+        let cold = client
+            .verify(spec, VerifyOptions::default())
+            .expect("cold run");
+        assert!(!cold.cached, "an empty store cannot produce a hit");
+        let stats = client.stats().expect("gen-1 stats");
+        assert_eq!(stat(&stats, "store", "insertions"), 1.0, "{stats}");
+        client.shutdown_server().expect("graceful shutdown");
+        handle.join();
+        (cold, stats)
+    };
+    assert!(stat(&cold_stats, "engine", "states_explored") > 0.0);
+
+    // Generation 2: a brand-new server over the same directory. Its first
+    // request must be answered from disk — cached, byte-identical, and with
+    // the engine never having explored a single state.
+    let (handle, addr) = start_with_store(&dir);
+    let mut client = Client::connect_tcp(&addr).expect("connect gen-2");
+    let warm = client
+        .verify(spec, VerifyOptions::default())
+        .expect("warm run");
+    assert!(warm.cached, "restart must be warm from request one");
+    assert_eq!(warm.key, cold.key);
+    assert_eq!(warm.report, cold.report, "replay must be byte-identical");
+
+    let stats = client.stats().expect("gen-2 stats");
+    assert_eq!(
+        stat(&stats, "engine", "states_explored"),
+        0.0,
+        "a disk hit must not re-verify: {stats}"
+    );
+    assert!(stat(&stats, "cache", "disk_hits") >= 1.0, "{stats}");
+    assert!(stat(&stats, "store", "hits") >= 1.0, "{stats}");
+    assert_eq!(stat(&stats, "store", "entries"), 1.0, "{stats}");
+
+    // A disk hit is promoted into the LRU: the next encounter is a memory
+    // hit, not a second disk read.
+    let disk_hits_before = stat(&stats, "cache", "disk_hits");
+    let again = client
+        .verify(spec, VerifyOptions::default())
+        .expect("third run");
+    assert!(again.cached);
+    assert_eq!(again.report, cold.report);
+    let stats = client.stats().expect("gen-2 stats after promote");
+    assert_eq!(stat(&stats, "cache", "disk_hits"), disk_hits_before);
+    assert!(stat(&stats, "cache", "hits") >= 1.0);
+
+    // A spec the store has never seen still verifies cold — and lands in the
+    // store for the *next* generation.
+    let fresh = client
+        .verify(other, VerifyOptions::default())
+        .expect("fresh spec");
+    assert!(!fresh.cached);
+    let stats = client.stats().expect("gen-2 final stats");
+    assert_eq!(stat(&stats, "store", "entries"), 2.0, "{stats}");
+
+    client.shutdown_server().expect("graceful shutdown");
+    handle.join();
+
+    // Generation 3: both specs are now disk-warm.
+    let (handle, addr) = start_with_store(&dir);
+    let mut client = Client::connect_tcp(&addr).expect("connect gen-3");
+    for text in [spec, other] {
+        let reply = client
+            .verify(text, VerifyOptions::default())
+            .expect("gen-3 run");
+        assert!(reply.cached, "every stored verdict must replay");
+    }
+    let stats = client.stats().expect("gen-3 stats");
+    assert_eq!(stat(&stats, "engine", "states_explored"), 0.0, "{stats}");
+    client.shutdown_server().expect("graceful shutdown");
+    handle.join();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_server_without_a_store_reports_a_null_store_section() {
+    let handle = Server::start(
+        &Endpoints {
+            tcp: Some("127.0.0.1:0".to_string()),
+            unix: None,
+        },
+        ServerConfig::default(),
+    )
+    .expect("start storeless server");
+    let addr = handle.tcp_addr().expect("tcp endpoint").to_string();
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.get("store"),
+        Some(&Json::Null),
+        "no store configured must render as null, got {stats}"
+    );
+    client.shutdown_server().expect("graceful shutdown");
+    handle.join();
+}
