@@ -1,0 +1,89 @@
+//! The directed-search benchmark: a seeded safety violation deep in a
+//! BFS-hostile state space, hunted under every exploration strategy (see
+//! `bench::directed`).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin directed_bench -- [--needle D]
+//!     [--chains C] [--depth M] [--json PATH]
+//! ```
+//!
+//! * `--needle D` — depth of the violating chain (default 60);
+//! * `--chains C` / `--depth M` — shape of the parallel hay: C independent
+//!   chains of M outputs each, interleaving into `(M+1)^C` states
+//!   (default 4 × 10);
+//! * `--json PATH` — write the record (`BENCH_directed.json`).
+//!
+//! The gate is self-contained: the run **exits non-zero** unless every
+//! strategy finds the violation and the guided beam needs at most a tenth of
+//! the states BFS does. No checked-in baseline — the bound is structural,
+//! not a timing.
+
+use std::process::ExitCode;
+
+use bench::directed::{self, GATE_FACTOR};
+use bench::flags::{parse_flag, string_flag};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let parsed: Result<_, String> = (|| {
+        Ok((
+            parse_flag(&args, "--needle")?,
+            parse_flag(&args, "--chains")?,
+            parse_flag(&args, "--depth")?,
+            string_flag(&args, "--json")?,
+        ))
+    })();
+    let (needle_flag, chains_flag, depth_flag, json_path) = match parsed {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let needle = needle_flag.unwrap_or(60).max(1);
+    let chains = chains_flag.unwrap_or(4).max(1);
+    let depth = depth_flag.unwrap_or(10).max(1);
+
+    println!(
+        "directed-search benchmark — seeded violation at depth {needle} behind \
+         {chains} parallel chains of {depth} ({} hay states)",
+        (depth + 1).pow(chains as u32)
+    );
+    let record = directed::run(needle, chains, depth);
+    println!(
+        "{:<12} {:>10} {:>8} {:>12}",
+        "strategy", "states", "found", "wall ms"
+    );
+    for case in &record.cases {
+        println!(
+            "{:<12} {:>10} {:>8} {:>12.3}",
+            case.strategy, case.states, case.found, case.wall_ms
+        );
+    }
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", record.to_json())) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote directed-search record to {path}");
+    }
+
+    let failures = record.gate_failures();
+    if failures.is_empty() {
+        println!(
+            "directed gate: OK — beam found the violation in {} states vs BFS's {} (≤ 1/{GATE_FACTOR})",
+            record.beam().states,
+            record.bfs().states
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("directed gate: FAILED");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

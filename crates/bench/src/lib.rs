@@ -19,6 +19,10 @@
 //! * [`term_bench`] — the open-term (Fig. 5) exploration benchmark: `TermLts`
 //!   throughput over the conformance corpus, warm vs cold
 //!   (`BENCH_term.json`), gated against `crates/bench/term_baseline.json`.
+//! * [`directed`] — the directed-search benchmark: a seeded safety violation
+//!   deep in a BFS-hostile state space, hunted under every exploration
+//!   strategy (`BENCH_directed.json`); self-gated — the guided beam must find
+//!   it in at most a tenth of BFS's states.
 //! * [`serve_load`] — the concurrent-load scenario for the `effpi-serve`
 //!   verification service: N clients × M specs against an in-process server,
 //!   reporting requests/sec and the verdict-cache hit rate
@@ -30,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod directed;
 pub mod fig8;
 pub mod fig9;
 pub mod gate;

@@ -6,15 +6,17 @@
 //! service commands wrap the `serve` crate's daemon and client library:
 //!
 //! ```text
-//! effpi-cli verify    <spec.effpi> [--max-states N] [--jobs J]   # run every `check` in the spec
+//! effpi-cli verify    <spec.effpi> [--max-states N] [--jobs J] [--strategy S]
+//!                                                                # run every `check` in the spec
 //! effpi-cli typecheck <spec.effpi>                               # only check `term` against `type`
-//! effpi-cli lts       <spec.effpi> [--max-states N] [--jobs J]   # report the type LTS size
+//! effpi-cli lts       <spec.effpi> [--max-states N] [--jobs J] [--strategy S]
+//!                                                                # report the type LTS size
 //! effpi-cli parse     <spec.effpi>                               # echo the parsed type back
 //!
 //! effpi-cli serve  [--listen ADDR] [--uds PATH] [--workers W] [--jobs J]
 //!                  [--max-states N] [--cache-entries E] [--cache-states S]
 //!                  [--store DIR] [--store-entries E] [--store-states S]
-//! effpi-cli client <ADDR|unix:PATH> verify <spec.effpi> [--max-states N]
+//! effpi-cli client <ADDR|unix:PATH> verify <spec.effpi> [--max-states N] [--strategy S]
 //! effpi-cli client <ADDR|unix:PATH> stats|ping|shutdown
 //!
 //! effpi-cli store stats   <DIR>                                  # inspect a persistent verdict store
@@ -80,6 +82,13 @@ fn cmd_one_shot(command: String, args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let strategy = match parse_strategy_flag(args) {
+        Ok(strategy) => strategy,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
 
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -98,11 +107,14 @@ fn cmd_one_shot(command: String, args: &[String]) -> ExitCode {
     // One session for every command. The spec's visible list is set as the
     // session default so direct `build_lts` calls see it; `run_spec` applies
     // the same list itself.
-    let session = Session::builder()
+    let mut builder = Session::builder()
         .max_states(max_states)
         .visible(spec.visible.clone())
-        .parallelism(jobs)
-        .build();
+        .parallelism(jobs);
+    if let Some(strategy) = strategy {
+        builder = builder.strategy(strategy);
+    }
+    let session = builder.build();
 
     match command.as_str() {
         "verify" => {
@@ -306,6 +318,13 @@ fn cmd_client(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
+            let strategy = match parse_strategy_flag(args) {
+                Ok(strategy) => strategy,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
             let text = match std::fs::read_to_string(path) {
                 Ok(t) => t,
                 Err(e) => {
@@ -318,6 +337,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
                     &text,
                     VerifyOptions {
                         max_states,
+                        strategy,
                         ..VerifyOptions::default()
                     },
                 )
@@ -445,6 +465,15 @@ fn cmd_store(args: &[String]) -> ExitCode {
     }
 }
 
+/// Parses the shared `--strategy NAME` flag (e.g. `bfs`, `dfs`, `beam:32`,
+/// `random:7`); a present flag with an unknown spelling is a usage error.
+fn parse_strategy_flag(args: &[String]) -> Result<Option<effpi::Strategy>, String> {
+    match string_flag(args, "--strategy")? {
+        None => Ok(None),
+        Some(text) => effpi::Strategy::parse(&text).map(Some),
+    }
+}
+
 fn connect(addr: &str) -> Result<Client, std::io::Error> {
     if let Some(path) = addr.strip_prefix("unix:") {
         #[cfg(unix)]
@@ -465,8 +494,10 @@ fn connect(addr: &str) -> Result<Client, std::io::Error> {
 
 const USAGE: &str = "\
 usage: effpi-cli <verify|typecheck|lts|parse> <spec.effpi> [--max-states N] [--jobs J]
+                 [--strategy bfs|dfs|beam[:W]|random[:SEED]]
        effpi-cli serve [--listen ADDR] [--uds PATH] [--workers W] [--jobs J]
                        [--max-states N] [--cache-entries E] [--cache-states S]
                        [--store DIR] [--store-entries E] [--store-states S]
-       effpi-cli client <ADDR|unix:PATH> <verify <spec.effpi> [--max-states N]|stats|ping|shutdown>
+       effpi-cli client <ADDR|unix:PATH> <verify <spec.effpi> [--max-states N] [--strategy S]\
+|stats|ping|shutdown>
        effpi-cli store <stats|compact> <DIR> [--store-entries E] [--store-states S]";

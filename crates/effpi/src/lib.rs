@@ -75,8 +75,10 @@ pub use lambdapi::intern::{stats as intern_stats, InternStats};
 pub use lambdapi::{
     BaseRule, EvalResult, Name, Reducer, Term, TermId, TermRef, TyRef, Type, TypeId, Value,
 };
-pub use lts::{CancelToken, TermLabel, TermLts, TypeLabel, TypeLts};
-pub use mucalc::{Formula, LabelSet, Property, VerificationOutcome, Verifier, VerifyError};
+pub use lts::{CancelToken, Strategy, TermLabel, TermLts, TypeLabel, TypeLts};
+pub use mucalc::{
+    Formula, LabelSet, Property, Trace, TraceStep, VerificationOutcome, Verifier, VerifyError,
+};
 pub use runtime::{
     forever, new_actor, ActorRef, ChanRef, EffpiRuntime, Mailbox, Msg, Policy, Proc, RunStats,
     Scheduler, ThreadRuntime,

@@ -38,7 +38,7 @@ use std::time::Duration;
 
 use dbt_types::{Checker, TypeEnv, TypeError};
 use lambdapi::{Name, Term, TyRef, Type};
-use lts::{CancelToken, Lts, TypeLabel};
+use lts::{CancelToken, Lts, Strategy, TypeLabel};
 use mucalc::{Property, VerificationOutcome, Verifier, VerifyError};
 
 use crate::protocols::Scenario;
@@ -146,6 +146,13 @@ pub struct SessionConfig {
     /// (the run then reports [`mucalc::VerifyError::Cancelled`]). Excluded
     /// from [`Session::cache_key`] — it cannot change a *completed* report.
     pub cancel: Option<CancelToken>,
+    /// The exploration strategy (frontier discipline) used for state-space
+    /// exploration (Step 2). On complete runs every strategy produces the
+    /// canonical LTS, so reports are identical to the default
+    /// [`Strategy::Bfs`]; on runs that trip the state bound the strategy
+    /// decides *which* prefix was explored, so it is part of
+    /// [`Session::cache_key`] whenever it is not the default.
+    pub strategy: Strategy,
 }
 
 impl Default for SessionConfig {
@@ -159,6 +166,7 @@ impl Default for SessionConfig {
             visible: None,
             parallelism: 1,
             cancel: None,
+            strategy: Strategy::default(),
         }
     }
 }
@@ -229,6 +237,30 @@ impl SessionBuilder {
         self
     }
 
+    /// Selects the exploration strategy (frontier discipline) used for
+    /// state-space exploration (default [`Strategy::Bfs`]; the CLI's
+    /// `--strategy` flag).
+    ///
+    /// The strategy never changes a *complete* run: the engine canonically
+    /// renumbers every result, so verdicts, state counts and traces are
+    /// byte-identical to BFS. It matters when the state space is too large to
+    /// finish — a depth-first or guided beam search can reach a property
+    /// violation deep in the state space long before BFS would.
+    ///
+    /// ```
+    /// use effpi::{Session, Strategy};
+    ///
+    /// let session = Session::builder()
+    ///     .strategy("beam:32".parse::<Strategy>().unwrap())
+    ///     .max_states(10_000)
+    ///     .build();
+    /// assert_eq!(session.config().strategy, Strategy::Beam { width: 32 });
+    /// ```
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
     /// Builds the session, constructing and caching its checker and verifier.
     pub fn build(self) -> Session {
         let checker = Checker::with_limits(self.config.max_depth, self.config.max_unfold);
@@ -238,6 +270,7 @@ impl SessionBuilder {
         verifier.visible = self.config.visible.clone();
         verifier.parallelism = self.config.parallelism;
         verifier.cancel = self.config.cancel.clone();
+        verifier.strategy = self.config.strategy;
         Session {
             config: self.config,
             verifier,
@@ -451,6 +484,7 @@ impl Session {
     /// so table generators can render partial results.
     pub fn run_scenario(&self, scenario: &Scenario) -> Report {
         let mut report = Report::named(&scenario.name);
+        report.strategy = self.config.strategy;
         match self.run_properties(
             &scenario.env,
             &scenario.ty,
@@ -514,6 +548,7 @@ impl Session {
             typecheck,
             properties,
             error,
+            strategy: self.config.strategy,
         }
     }
 
@@ -574,6 +609,12 @@ pub struct Report {
     pub properties: Vec<PropertyReport>,
     /// A failure that aborted the run before per-property outcomes existed.
     pub error: Option<Error>,
+    /// The exploration strategy the run used. Only rendered (in
+    /// [`ReportSummary::stable_line`] and [`Report::to_wire_json`]) when it
+    /// is not the default *and* the run failed: a complete run is canonical
+    /// — byte-identical for every strategy — while a failed (e.g. bounded)
+    /// run explored a strategy-dependent prefix worth naming.
+    pub strategy: Strategy,
 }
 
 impl Report {
@@ -653,6 +694,7 @@ impl Report {
                 .map(|p| (p.property.name().to_string(), p.holds()))
                 .collect(),
             error: self.first_error().map(|e| e.to_string()),
+            strategy: self.strategy,
         }
     }
 
@@ -685,15 +727,39 @@ impl Report {
                     ("name".to_string(), Json::str(p.property.name())),
                 ];
                 match &p.result {
-                    Ok(o) => fields.extend([
-                        ("holds".to_string(), Json::Bool(o.holds)),
-                        ("states".to_string(), Json::Num(o.states as f64)),
-                        ("transitions".to_string(), Json::Num(o.transitions as f64)),
-                        (
-                            "duration_ms".to_string(),
-                            Json::num_round3(o.duration.as_secs_f64() * 1e3),
-                        ),
-                    ]),
+                    Ok(o) => {
+                        fields.extend([
+                            ("holds".to_string(), Json::Bool(o.holds)),
+                            ("states".to_string(), Json::Num(o.states as f64)),
+                            ("transitions".to_string(), Json::Num(o.transitions as f64)),
+                            (
+                                "duration_ms".to_string(),
+                                Json::num_round3(o.duration.as_secs_f64() * 1e3),
+                            ),
+                        ]);
+                        if let Some(trace) = &o.trace {
+                            fields.push((
+                                "violation".to_string(),
+                                Json::str(trace.violation.clone()),
+                            ));
+                            fields.push((
+                                "trace".to_string(),
+                                Json::Arr(
+                                    trace
+                                        .steps
+                                        .iter()
+                                        .map(|s| {
+                                            Json::obj([
+                                                ("from", Json::Num(s.from as f64)),
+                                                ("label", Json::str(s.label.to_string())),
+                                                ("to", Json::Num(s.to as f64)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ));
+                        }
+                    }
                     Err(e) => fields.push(("error".to_string(), Json::str(e.to_string()))),
                 }
                 Json::obj(fields)
@@ -722,6 +788,17 @@ impl Report {
                 match &summary.error {
                     Some(e) => Json::str(e.clone()),
                     None => Json::Null,
+                },
+            ),
+            (
+                // Named only on non-default failed runs: a complete run is
+                // canonical, so its JSON stays byte-identical across
+                // strategies (the determinism suite pins this).
+                "strategy",
+                if summary.strategy != Strategy::Bfs && summary.error.is_some() {
+                    Json::str(summary.strategy.to_string())
+                } else {
+                    Json::Null
                 },
             ),
             ("stable_line", Json::str(summary.stable_line())),
@@ -770,6 +847,9 @@ pub struct ReportSummary {
     pub verdicts: Vec<(String, bool)>,
     /// First error message, if anything failed to run.
     pub error: Option<String>,
+    /// The exploration strategy of the run (see [`Report::strategy`] for when
+    /// it is rendered).
+    pub strategy: Strategy,
 }
 
 impl ReportSummary {
@@ -794,6 +874,12 @@ impl ReportSummary {
         }
         if let Some(e) = &self.error {
             let _ = write!(line, " error={e:?}");
+            // A failed run explored a strategy-dependent prefix; name the
+            // strategy when it is not the default. Complete runs omit it so
+            // their stable lines stay byte-identical across strategies.
+            if self.strategy != Strategy::Bfs {
+                let _ = write!(line, " strategy={}", self.strategy);
+            }
         }
         line
     }
@@ -820,6 +906,9 @@ impl fmt::Display for ReportSummary {
         }
         if let Some(e) = &self.error {
             write!(f, " error={e:?}")?;
+            if self.strategy != Strategy::Bfs {
+                write!(f, " strategy={}", self.strategy)?;
+            }
         }
         Ok(())
     }

@@ -29,11 +29,25 @@
 //!   transition lists. A complete parallel run therefore yields an [`Lts`]
 //!   **identical** — states, indices, transitions — to the serial
 //!   [`Lts::build`] of the same successor function.
+//! * **Pluggable frontier disciplines** — the order in which pending states
+//!   are expanded is a [`Strategy`]: breadth-first (the default), depth-first,
+//!   heuristic-guided beam search ([`explore_guided`]) or a seeded random
+//!   walk. The same canonical renumbering makes every *complete* run
+//!   byte-identical to BFS regardless of the discipline, so a strategy can
+//!   only be observed on runs that end early — which is the point: a directed
+//!   order can hit a violating state after exploring a fraction of the space
+//!   (see [`explore_until`]'s monitor).
+//! * **Predecessor edges** — every exploration records, per state, the edge
+//!   that first discovered it ([`Exploration::parents`], in canonical
+//!   numbering), so a state of interest can be turned into a replayable
+//!   witness path from the initial state ([`Exploration::trace_to`]).
 //!
 //! [`TypeLts::build`]: crate::TypeLts::build
 
+use std::cmp::Reverse;
 use std::collections::hash_map::RandomState;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
 use std::hash::{BuildHasher, Hash};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -78,15 +92,285 @@ impl PartialEq for CancelToken {
 
 impl Eq for CancelToken {}
 
-/// How an exploration is run: worker count, state bound, and an optional
-/// external cancellation hook.
+// ---------------------------------------------------------------------------
+// Frontier disciplines
+// ---------------------------------------------------------------------------
+
+/// The frontier discipline an exploration expands pending states with.
+///
+/// Thanks to canonical renumbering, a **complete** run produces an [`Lts`]
+/// byte-identical to BFS under *every* strategy — the discipline can only be
+/// observed on runs that end early (a state bound, a monitor decision, a
+/// cancellation), where a directed order may surface a target state after
+/// exploring a fraction of what breadth-first needs.
+///
+/// Parses from and renders to the textual form used by `effpi-cli
+/// --strategy` and the serve protocol: `bfs`, `dfs`, `beam[:width]`,
+/// `random[:seed]`.
+///
+/// ```
+/// use lts::explore::Strategy;
+///
+/// assert_eq!("beam:32".parse(), Ok(Strategy::Beam { width: 32 }));
+/// assert_eq!("random:7".parse(), Ok(Strategy::RandomWalk { seed: 7 }));
+/// assert_eq!(Strategy::default(), Strategy::Bfs);
+/// assert_eq!(Strategy::Beam { width: 32 }.to_string(), "beam:32");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Strategy {
+    /// Breadth-first (the default): discovery order is the canonical
+    /// numbering, and the first violation found lies on a shortest path.
+    #[default]
+    Bfs,
+    /// Depth-first: dives along one branch before backtracking. Keeps the
+    /// frontier small on deep spaces and reaches deep states long before BFS.
+    Dfs,
+    /// Heuristic-guided beam search: always expands the pending state with
+    /// the *lowest* priority (see [`explore_guided`]); only the best `width`
+    /// states are kept hot, the rest are parked — never discarded — so
+    /// completeness is preserved.
+    Beam {
+        /// The beam width: how many best-priority states stay hot.
+        width: usize,
+    },
+    /// A seeded uniform random walk over the pending set: each expansion
+    /// picks a uniformly random frontier state. Deterministic per seed.
+    RandomWalk {
+        /// The PRNG seed; equal seeds reproduce equal runs exactly.
+        seed: u64,
+    },
+}
+
+impl Strategy {
+    /// The beam width used when `beam` is requested without one.
+    pub const DEFAULT_BEAM_WIDTH: usize = 64;
+
+    /// The seed used when `random` is requested without one.
+    pub const DEFAULT_RANDOM_SEED: u64 = 1;
+
+    /// Parses the textual form: `bfs`, `dfs`, `beam`, `beam:WIDTH`, `random`,
+    /// `random:SEED`.
+    pub fn parse(text: &str) -> Result<Strategy, String> {
+        let (head, arg) = match text.split_once(':') {
+            Some((head, arg)) => (head, Some(arg)),
+            None => (text, None),
+        };
+        match (head, arg) {
+            ("bfs", None) => Ok(Strategy::Bfs),
+            ("dfs", None) => Ok(Strategy::Dfs),
+            ("beam", None) => Ok(Strategy::Beam {
+                width: Self::DEFAULT_BEAM_WIDTH,
+            }),
+            ("beam", Some(w)) => match w.parse::<usize>() {
+                Ok(width) if width > 0 => Ok(Strategy::Beam { width }),
+                _ => Err(format!(
+                    "invalid beam width {w:?} (want beam:<positive integer>)"
+                )),
+            },
+            ("random", None) => Ok(Strategy::RandomWalk {
+                seed: Self::DEFAULT_RANDOM_SEED,
+            }),
+            ("random", Some(s)) => s
+                .parse::<u64>()
+                .map(|seed| Strategy::RandomWalk { seed })
+                .map_err(|_| format!("invalid random-walk seed {s:?} (want random:<integer>)")),
+            _ => Err(format!(
+                "unknown strategy {text:?} (want bfs, dfs, beam[:width] or random[:seed])"
+            )),
+        }
+    }
+
+    /// Builds a fresh frontier implementing this discipline.
+    pub fn frontier(self) -> Box<dyn FrontierDiscipline> {
+        match self {
+            Strategy::Bfs => Box::new(BfsFrontier::default()),
+            Strategy::Dfs => Box::new(DfsFrontier::default()),
+            Strategy::Beam { width } => Box::new(BeamFrontier::new(width)),
+            Strategy::RandomWalk { seed } => Box::new(RandomWalkFrontier::new(seed)),
+        }
+    }
+
+    /// Disciplines whose expansion *order* is the product (beam priorities,
+    /// the random walk's seeded schedule) run serially even when the config
+    /// asks for workers: a work-stealing pool would reorder them
+    /// nondeterministically. BFS and DFS keep the parallel engine — their
+    /// complete runs are canonically renumbered anyway, and their early exits
+    /// are explicitly scheduling-dependent.
+    pub(crate) fn forces_serial(self) -> bool {
+        matches!(self, Strategy::Beam { .. } | Strategy::RandomWalk { .. })
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::Bfs => write!(f, "bfs"),
+            Strategy::Dfs => write!(f, "dfs"),
+            Strategy::Beam { width } => write!(f, "beam:{width}"),
+            Strategy::RandomWalk { seed } => write!(f, "random:{seed}"),
+        }
+    }
+}
+
+impl std::str::FromStr for Strategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Strategy::parse(s)
+    }
+}
+
+/// A mutable exploration frontier: the queue of registered-but-unexpanded
+/// state ids. [`Strategy::frontier`] builds one; the serial engine pushes
+/// every freshly discovered state with its heuristic `priority` (lower =
+/// expanded sooner; only [`Strategy::Beam`] looks at it) and pops the next
+/// state to expand.
+///
+/// Implementations must be **lossless** — every pushed id is eventually
+/// popped — so that completeness never depends on the discipline; a
+/// discipline is free to reorder, never to drop.
+pub trait FrontierDiscipline {
+    /// Enqueues a discovered state id with its heuristic priority.
+    fn push(&mut self, id: usize, priority: u64);
+    /// Dequeues the next state to expand, or `None` when drained.
+    fn pop(&mut self) -> Option<usize>;
+    /// The number of pending states.
+    fn len(&self) -> usize;
+    /// `true` when nothing is pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// FIFO — plain breadth-first order.
+#[derive(Default)]
+struct BfsFrontier(VecDeque<usize>);
+
+impl FrontierDiscipline for BfsFrontier {
+    fn push(&mut self, id: usize, _priority: u64) {
+        self.0.push_back(id);
+    }
+    fn pop(&mut self) -> Option<usize> {
+        self.0.pop_front()
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// LIFO — depth-first order.
+#[derive(Default)]
+struct DfsFrontier(Vec<usize>);
+
+impl FrontierDiscipline for DfsFrontier {
+    fn push(&mut self, id: usize, _priority: u64) {
+        self.0.push(id);
+    }
+    fn pop(&mut self) -> Option<usize> {
+        self.0.pop()
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// Best-first with a hot beam and a cold backlog. Pops always take the
+/// lowest `(priority, id)` pending in the hot heap; when the heap outgrows
+/// `4 × width`, everything but the `width` best is parked on the backlog, and
+/// a drained heap refills from it — the beam narrows *attention*, it never
+/// discards reachability. Ties break on the id, so the order is a pure
+/// function of the push sequence.
+struct BeamFrontier {
+    width: usize,
+    hot: BinaryHeap<Reverse<(u64, usize)>>,
+    cold: VecDeque<(u64, usize)>,
+}
+
+impl BeamFrontier {
+    fn new(width: usize) -> Self {
+        BeamFrontier {
+            width: width.max(1),
+            hot: BinaryHeap::new(),
+            cold: VecDeque::new(),
+        }
+    }
+}
+
+impl FrontierDiscipline for BeamFrontier {
+    fn push(&mut self, id: usize, priority: u64) {
+        self.hot.push(Reverse((priority, id)));
+        if self.hot.len() > 4 * self.width {
+            let keep: Vec<_> = (0..self.width).filter_map(|_| self.hot.pop()).collect();
+            self.cold
+                .extend(self.hot.drain().map(|Reverse(entry)| entry));
+            self.hot.extend(keep);
+        }
+    }
+    fn pop(&mut self) -> Option<usize> {
+        if self.hot.is_empty() {
+            self.hot.extend(self.cold.drain(..).map(Reverse));
+        }
+        self.hot.pop().map(|Reverse((_, id))| id)
+    }
+    fn len(&self) -> usize {
+        self.hot.len() + self.cold.len()
+    }
+}
+
+/// Uniform random choice from the pending pool, driven by a SplitMix64
+/// stream — tiny, seedable and dependency-free. Equal seeds reproduce equal
+/// pop sequences exactly.
+struct RandomWalkFrontier {
+    pool: Vec<usize>,
+    rng: u64,
+}
+
+impl RandomWalkFrontier {
+    fn new(seed: u64) -> Self {
+        RandomWalkFrontier {
+            pool: Vec::new(),
+            rng: seed,
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl FrontierDiscipline for RandomWalkFrontier {
+    fn push(&mut self, id: usize, _priority: u64) {
+        self.pool.push(id);
+    }
+    fn pop(&mut self) -> Option<usize> {
+        if self.pool.is_empty() {
+            return None;
+        }
+        let k = (self.next_rand() % self.pool.len() as u64) as usize;
+        Some(self.pool.swap_remove(k))
+    }
+    fn len(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+/// How an exploration is run: worker count, state bound, frontier discipline,
+/// and an optional external cancellation hook.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ExploreConfig {
     /// Number of worker threads. `1` (the default) explores serially on the
-    /// calling thread — no pool, no locks.
+    /// calling thread — no pool, no locks. Strategies whose expansion order
+    /// *is* the product ([`Strategy::Beam`], [`Strategy::RandomWalk`]) always
+    /// run serially, whatever this says.
     pub parallelism: usize,
     /// Maximum number of states registered before the run is truncated.
     pub max_states: usize,
+    /// The frontier discipline (default [`Strategy::Bfs`]).
+    pub strategy: Strategy,
     /// When set, workers poll this flag between state expansions and abort
     /// the run ([`ExploreStatus::Aborted`]) as soon as it flips.
     pub cancel: Option<CancelToken>,
@@ -98,6 +382,7 @@ impl ExploreConfig {
         ExploreConfig {
             parallelism: 1,
             max_states,
+            strategy: Strategy::default(),
             cancel: None,
         }
     }
@@ -107,8 +392,15 @@ impl ExploreConfig {
         ExploreConfig {
             parallelism: parallelism.max(1),
             max_states,
+            strategy: Strategy::default(),
             cancel: None,
         }
+    }
+
+    /// Selects the frontier discipline (see [`Strategy`]).
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
     }
 
     /// Attaches an external cancellation token (see [`CancelToken`]).
@@ -132,8 +424,12 @@ pub enum ExploreStatus {
     Aborted,
 }
 
-/// The result of an exploration: the (canonically numbered) LTS plus how the
-/// run ended.
+/// A discovery tree: per state (in canonical numbering), the `(source,
+/// label)` edge that first reached it, or `None` for the root / orphans.
+pub type DiscoveryTree<L> = Vec<Option<(usize, L)>>;
+
+/// The result of an exploration: the (canonically numbered) LTS, the
+/// discovery tree, and how the run ended.
 #[derive(Clone, Debug)]
 pub struct Exploration<S, L> {
     /// The explored transition system. Its `is_truncated` flag is set
@@ -141,9 +437,45 @@ pub struct Exploration<S, L> {
     /// is [`ExploreStatus::Cancelled`] because a monitor decision arrived
     /// after the trip.
     pub lts: Lts<S, L>,
+    /// The discovery tree, in the final (canonical) numbering: `parents[i]`
+    /// is the `(source, label)` edge that first reached state `i` in the
+    /// canonical BFS over the recorded transitions — so following it back
+    /// from any state yields a *shortest* path within the explored subgraph.
+    /// `None` for the initial state, and for orphan states whose discoverer's
+    /// expansion record was lost to an early exit.
+    pub parents: DiscoveryTree<L>,
     /// How the run ended. Cancellation wins over truncation when both
     /// happened; check [`Lts::is_truncated`] for the bound.
     pub status: ExploreStatus,
+}
+
+impl<S, L> Exploration<S, L>
+where
+    S: Clone + Eq + Hash,
+    L: Clone,
+{
+    /// The witness path from the initial state to `target`, as
+    /// `(source, label, target)` steps in canonical numbering, reconstructed
+    /// from the recorded [`Exploration::parents`] edges. Every step is a real
+    /// transition of [`Exploration::lts`], so the path replays. Returns
+    /// `Some(vec![])` for the initial state itself, and `None` for an
+    /// out-of-range or orphaned target.
+    pub fn trace_to(&self, target: usize) -> Option<Vec<(usize, L, usize)>> {
+        if target >= self.parents.len() {
+            return None;
+        }
+        let mut steps = Vec::new();
+        let mut cur = target;
+        while let Some((from, label)) = &self.parents[cur] {
+            steps.push((*from, label.clone(), cur));
+            cur = *from;
+        }
+        if cur != self.lts.initial() {
+            return None;
+        }
+        steps.reverse();
+        Some(steps)
+    }
 }
 
 /// Explores the LTS reachable from `initial`, using `config.parallelism`
@@ -177,10 +509,12 @@ where
 /// complete runs carry the determinism guarantee.
 ///
 /// This is the hook for on-the-fly property checking (e.g. a reachability
-/// violation deciding non-usage the moment it is seen). The `mucalc`
-/// verifier does not use it yet — its µ-calculus properties are evaluated
-/// globally on the finished LTS, and several properties share one build — so
-/// today's only in-tree exercisers are the engine tests.
+/// violation deciding non-usage the moment it is seen): combined with a
+/// directed [`Strategy`] it is the engine's counterexample *search* mode —
+/// see [`explore_guided`] for the heuristic-driven variant. The `mucalc`
+/// verifier evaluates its µ-calculus properties globally on the finished LTS
+/// (several properties share one build), so its in-tree exercisers are the
+/// engine tests and the `bench` crate's directed-search case.
 pub fn explore_until<S, L, F, M>(
     initial: S,
     succ: F,
@@ -193,12 +527,61 @@ where
     F: Fn(&S) -> Vec<(L, S)> + Sync,
     M: Fn(&S, &[(L, usize)]) -> bool + Sync,
 {
+    explore_guided(initial, succ, config, monitor, |_: &S| 0)
+}
+
+/// Like [`explore_until`], with a *heuristic*: `heuristic(state)` assigns
+/// each discovered state a priority (lower = expanded sooner), which
+/// [`Strategy::Beam`] uses to steer the frontier toward likely-violating
+/// states. The other strategies ignore priorities; the heuristic must be a
+/// pure function of the state.
+///
+/// ```
+/// use lts::explore::{explore_guided, ExploreConfig, ExploreStatus, Strategy};
+///
+/// // Hunt state 900 on a long chain: the beam dives straight for it because
+/// // the heuristic ranks states by their distance to the goal.
+/// let succ = |s: &u64| if *s < 100_000 { vec![("inc", s + 1)] } else { vec![] };
+/// let config = ExploreConfig::serial(usize::MAX)
+///     .with_strategy(Strategy::Beam { width: 4 });
+/// let ex = explore_guided(
+///     0u64,
+///     succ,
+///     &config,
+///     |s: &u64, _: &[(&str, usize)]| *s == 900,
+///     |s: &u64| 900u64.saturating_sub(*s),
+/// );
+/// assert_eq!(ex.status, ExploreStatus::Cancelled);
+/// assert!(ex.lts.num_states() < 1_000);
+/// ```
+pub fn explore_guided<S, L, F, M, H>(
+    initial: S,
+    succ: F,
+    config: &ExploreConfig,
+    monitor: M,
+    heuristic: H,
+) -> Exploration<S, L>
+where
+    S: Clone + Eq + Hash + Send + Sync,
+    L: Clone + Send,
+    F: Fn(&S) -> Vec<(L, S)> + Sync,
+    M: Fn(&S, &[(L, usize)]) -> bool + Sync,
+    H: Fn(&S) -> u64 + Sync,
+{
     // The initial state is always admitted, whatever the bound (the serial
     // engine behaves the same way).
     let max_states = config.max_states.max(1);
     let cancel = config.cancel.as_ref();
-    if config.parallelism <= 1 {
-        return explore_serial(initial, &succ, max_states, &monitor, cancel);
+    if config.parallelism <= 1 || config.strategy.forces_serial() {
+        return explore_serial(
+            initial,
+            &succ,
+            config.strategy,
+            max_states,
+            &monitor,
+            &heuristic,
+            cancel,
+        );
     }
     explore_parallel(
         initial,
@@ -211,14 +594,16 @@ where
 }
 
 // ---------------------------------------------------------------------------
-// Serial path (parallelism == 1): plain BFS, ids are already canonical.
+// Serial path: one thread, frontier order decided by the strategy.
 // ---------------------------------------------------------------------------
 
-fn explore_serial<S, L, F, M>(
+fn explore_serial<S, L, F, M, H>(
     initial: S,
     succ: &F,
+    strategy: Strategy,
     max_states: usize,
     monitor: &M,
+    heuristic: &H,
     cancel: Option<&CancelToken>,
 ) -> Exploration<S, L>
 where
@@ -226,21 +611,24 @@ where
     L: Clone,
     F: Fn(&S) -> Vec<(L, S)>,
     M: Fn(&S, &[(L, usize)]) -> bool,
+    H: Fn(&S) -> u64,
 {
     let mut states: Vec<S> = Vec::new();
     let mut index: HashMap<S, usize> = HashMap::new();
     let mut transitions: Vec<Vec<(L, usize)>> = Vec::new();
-    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut parents: Vec<Option<(usize, L)>> = Vec::new();
+    let mut frontier = strategy.frontier();
     let mut truncated = false;
     let mut cancelled = false;
     let mut aborted = false;
 
+    frontier.push(0, heuristic(&initial));
     states.push(initial.clone());
     index.insert(initial, 0);
     transitions.push(Vec::new());
-    queue.push_back(0);
+    parents.push(None);
 
-    while let Some(i) = queue.pop_front() {
+    while let Some(i) = frontier.pop() {
         if cancel.is_some_and(CancelToken::is_cancelled) {
             aborted = true;
             break;
@@ -258,10 +646,11 @@ where
                         continue;
                     }
                     let j = states.len();
+                    frontier.push(j, heuristic(&next));
                     states.push(next.clone());
                     index.insert(next, j);
                     transitions.push(Vec::new());
-                    queue.push_back(j);
+                    parents.push(Some((i, label.clone())));
                     j
                 }
             };
@@ -286,8 +675,23 @@ where
     } else {
         ExploreStatus::Complete
     };
+    if strategy == Strategy::Bfs {
+        // FIFO pops make discovery ids canonical already (and `parents` is
+        // the BFS tree): skip the renumbering pass.
+        return Exploration {
+            lts: Lts::from_parts(states, transitions, truncated),
+            parents,
+            status,
+        };
+    }
+    // Any other discipline discovers in its own order: renumber into the
+    // canonical BFS numbering — a complete run thereby becomes byte-identical
+    // to BFS — and recompute shortest-path parents along the way.
+    let state_of = states.into_iter().map(Some).collect();
+    let (lts, parents) = renumber(state_of, transitions, 0, truncated);
     Exploration {
-        lts: Lts::from_parts(states, transitions, truncated),
+        lts,
+        parents,
         status,
     }
 }
@@ -512,15 +916,17 @@ where
         }
     }
 
+    // The truncated flag is reported faithfully even when a monitor
+    // cancellation won the status race.
+    let (lts, parents) = renumber(
+        state_of,
+        trans_of,
+        root,
+        shared.truncated.load(Ordering::Relaxed),
+    );
     Exploration {
-        // The truncated flag is reported faithfully even when a monitor
-        // cancellation won the status race.
-        lts: renumber(
-            state_of,
-            trans_of,
-            root,
-            shared.truncated.load(Ordering::Relaxed),
-        ),
+        lts,
+        parents,
         status,
     }
 }
@@ -612,28 +1018,32 @@ where
 /// the root over the recorded transition lists, then rebuilds the state and
 /// transition tables in canonical order. Since the successor function is
 /// deterministic, this reproduces exactly the numbering the serial BFS of
-/// [`Lts::build`](crate::Lts::build) would have assigned.
+/// [`Lts::build`](crate::Lts::build) would have assigned. The same BFS also
+/// yields the discovery tree returned alongside (each state's first-reaching
+/// edge — a shortest path within the explored subgraph).
 fn renumber<S, L>(
     state_of: Vec<Option<S>>,
     trans_of: Vec<Vec<(L, usize)>>,
     root: usize,
     truncated: bool,
-) -> Lts<S, L>
+) -> (Lts<S, L>, DiscoveryTree<L>)
 where
     S: Clone + Eq + Hash,
     L: Clone,
 {
     let n = state_of.len();
     let mut canon = vec![usize::MAX; n];
+    let mut parent: Vec<Option<(usize, L)>> = vec![None; n];
     let mut order = Vec::with_capacity(n);
     let mut queue = VecDeque::new();
     canon[root] = 0;
     order.push(root);
     queue.push_back(root);
     while let Some(pid) = queue.pop_front() {
-        for (_, target) in &trans_of[pid] {
+        for (label, target) in &trans_of[pid] {
             if canon[*target] == usize::MAX {
                 canon[*target] = order.len();
+                parent[*target] = Some((pid, label.clone()));
                 order.push(*target);
                 queue.push_back(*target);
             }
@@ -643,7 +1053,8 @@ where
     // Every registered state was discovered through a recorded edge, so the
     // BFS covers all of them — except when an early exit left a discoverer's
     // record unwritten. Append such orphans in provisional-id order; they only
-    // occur on truncated/cancelled runs, which carry no determinism guarantee.
+    // occur on truncated/cancelled runs, which carry no determinism guarantee
+    // (their parent edge stays `None`).
     for (pid, c) in canon.iter_mut().enumerate() {
         if *c == usize::MAX {
             *c = order.len();
@@ -653,6 +1064,7 @@ where
 
     let mut states = Vec::with_capacity(n);
     let mut transitions = Vec::with_capacity(n);
+    let mut parents = Vec::with_capacity(n);
     for &pid in &order {
         states.push(
             state_of[pid]
@@ -665,8 +1077,13 @@ where
                 .map(|(label, target)| (label.clone(), canon[*target]))
                 .collect(),
         );
+        parents.push(
+            parent[pid]
+                .as_ref()
+                .map(|(p, label)| (canon[*p], label.clone())),
+        );
     }
-    Lts::from_parts(states, transitions, truncated)
+    (Lts::from_parts(states, transitions, truncated), parents)
 }
 
 #[cfg(test)]
@@ -872,6 +1289,168 @@ mod tests {
         let ex = explore(0u64, chain, &ExploreConfig::new(4, 0));
         assert_eq!(ex.status, ExploreStatus::Truncated);
         assert_eq!(ex.lts.num_states(), 1);
+    }
+
+    #[test]
+    fn every_strategy_yields_the_canonical_lts_on_complete_runs() {
+        let serial = Lts::build((9u32, 9u32), grid, 1_000_000);
+        let strategies = [
+            Strategy::Bfs,
+            Strategy::Dfs,
+            Strategy::Beam { width: 3 },
+            Strategy::RandomWalk { seed: 42 },
+        ];
+        for strategy in strategies {
+            for workers in [1, 4] {
+                let config = ExploreConfig::new(workers, 1_000_000).with_strategy(strategy);
+                let ex = explore((9u32, 9u32), grid, &config);
+                assert_eq!(ex.status, ExploreStatus::Complete, "{strategy}");
+                assert_eq!(
+                    ex.lts.states(),
+                    serial.states(),
+                    "{strategy}, workers={workers}"
+                );
+                for i in 0..serial.num_states() {
+                    assert_eq!(
+                        ex.lts.transitions_from(i),
+                        serial.transitions_from(i),
+                        "state {i}, {strategy}, workers={workers}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parents_replay_as_shortest_paths() {
+        for workers in [1, 4] {
+            let ex = explore((6u32, 6u32), grid, &ExploreConfig::new(workers, 1_000_000));
+            assert_eq!(ex.status, ExploreStatus::Complete);
+            for target in 0..ex.lts.num_states() {
+                let trace = ex.trace_to(target).expect("complete runs orphan nothing");
+                // Every step is a real transition of the LTS...
+                let mut at = ex.lts.initial();
+                for (from, label, to) in &trace {
+                    assert_eq!(*from, at);
+                    assert!(ex.lts.transitions_from(*from).contains(&(*label, *to)));
+                    at = *to;
+                }
+                assert_eq!(at, target);
+                // ...and the path is shortest: a grid state (a, b) lies
+                // exactly (12 - a - b) steps below the (6, 6) root.
+                let (a, b) = *ex.lts.state(target);
+                assert_eq!(trace.len() as u32, 12 - a - b, "state ({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn guided_beam_finds_a_deep_needle_early() {
+        // A needle chain of depth 600 hidden among 64 equally deep hay
+        // chains: BFS must advance every chain in lock-step, the beam dives
+        // straight down the needle because the heuristic prefers it.
+        let succ = |s: &(u64, u64)| {
+            let (kind, n) = *s;
+            match kind {
+                // Root: the needle plus the heads of 64 hay chains.
+                0 if n == 0 => {
+                    let mut out = vec![("needle", (1u64, 1u64))];
+                    out.extend((0..64).map(|k| ("hay", (2, k))));
+                    out
+                }
+                // The needle: a single deep chain.
+                1 if n < 600 => vec![("needle", (1, n + 1))],
+                // Hay chain `n % 64`, also 600 states deep.
+                2 if n < 64 * 600 => vec![("hay", (2, n + 64))],
+                _ => vec![],
+            }
+        };
+        let goal = |s: &(u64, u64), _: &[(&str, usize)]| *s == (1, 600);
+        let bfs = explore_until((0u64, 0u64), succ, &ExploreConfig::serial(usize::MAX), goal);
+        assert_eq!(bfs.status, ExploreStatus::Cancelled);
+        let beam = explore_guided(
+            (0u64, 0u64),
+            succ,
+            &ExploreConfig::serial(usize::MAX).with_strategy(Strategy::Beam { width: 4 }),
+            goal,
+            // Prefer needle states, deepest first.
+            |s: &(u64, u64)| if s.0 == 1 { 1_000 - s.1 } else { 10_000 },
+        );
+        assert_eq!(beam.status, ExploreStatus::Cancelled);
+        assert!(
+            beam.lts.num_states() * 10 <= bfs.lts.num_states(),
+            "beam explored {} states, bfs {}",
+            beam.lts.num_states(),
+            bfs.lts.num_states()
+        );
+        // The witness trace replays from the root down the needle.
+        let violating = (0..beam.lts.num_states())
+            .find(|&i| *beam.lts.state(i) == (1, 600))
+            .expect("the goal state was registered");
+        let trace = beam.trace_to(violating).expect("goal has a recorded path");
+        assert_eq!(trace.len(), 600);
+        assert_eq!(trace[0].0, beam.lts.initial());
+        assert_eq!(trace.last().unwrap().2, violating);
+    }
+
+    #[test]
+    fn random_walk_is_deterministic_per_seed() {
+        let fan = |s: &u64| {
+            if *s < 4_000 {
+                (1..=3u64).map(|k| ("step", s * 3 + k)).collect()
+            } else {
+                Vec::new()
+            }
+        };
+        let run = |seed: u64| {
+            let config = ExploreConfig::new(4, 500).with_strategy(Strategy::RandomWalk { seed });
+            explore(0u64, fan, &config)
+        };
+        let (a, b) = (run(7), run(7));
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.lts.states(), b.lts.states(), "same seed, same prefix");
+        assert_eq!(a.lts.num_transitions(), b.lts.num_transitions());
+    }
+
+    #[test]
+    fn strategy_parsing_round_trips() {
+        for (text, strategy) in [
+            ("bfs", Strategy::Bfs),
+            ("dfs", Strategy::Dfs),
+            ("beam:16", Strategy::Beam { width: 16 }),
+            ("random:99", Strategy::RandomWalk { seed: 99 }),
+        ] {
+            assert_eq!(Strategy::parse(text), Ok(strategy));
+            assert_eq!(strategy.to_string(), text);
+        }
+        assert_eq!(
+            Strategy::parse("beam"),
+            Ok(Strategy::Beam {
+                width: Strategy::DEFAULT_BEAM_WIDTH
+            })
+        );
+        assert_eq!(
+            Strategy::parse("random"),
+            Ok(Strategy::RandomWalk {
+                seed: Strategy::DEFAULT_RANDOM_SEED
+            })
+        );
+        for bad in ["", "bf", "beam:0", "beam:x", "random:-1", "bfs:2"] {
+            assert!(Strategy::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn beam_frontier_is_lossless_under_overflow() {
+        let mut beam = Strategy::Beam { width: 2 }.frontier();
+        for id in 0..100 {
+            beam.push(id, 1_000 - id as u64);
+        }
+        assert_eq!(beam.len(), 100);
+        let mut popped: Vec<usize> = std::iter::from_fn(|| beam.pop()).collect();
+        assert!(beam.is_empty());
+        popped.sort_unstable();
+        assert_eq!(popped, (0..100).collect::<Vec<_>>());
     }
 
     #[test]

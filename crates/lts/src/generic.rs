@@ -193,6 +193,51 @@ where
         }
     }
 
+    /// A shortest path (by edge count, BFS) from the initial state to
+    /// `target`, as replayable `(source, label, target)` steps. Returns
+    /// `Some(vec![])` when `target` *is* the initial state, and `None` when
+    /// it is out of range or unreachable (possible after
+    /// [`Lts::filter_edges`]).
+    ///
+    /// This is what turns a violating state found by a property checker into
+    /// a minimal witness trace: the path is computed on the *same* (possibly
+    /// edge-restricted) LTS the violation was decided on, so every step is a
+    /// transition that restriction kept.
+    pub fn path_to(&self, target: usize) -> Option<Vec<(usize, L, usize)>> {
+        if target >= self.states.len() {
+            return None;
+        }
+        let mut parent: Vec<Option<(usize, usize)>> = vec![None; self.states.len()];
+        let mut seen = vec![false; self.states.len()];
+        let mut queue = VecDeque::new();
+        seen[self.initial] = true;
+        queue.push_back(self.initial);
+        while let Some(i) = queue.pop_front() {
+            if i == target {
+                break;
+            }
+            for (edge, (_, j)) in self.transitions[i].iter().enumerate() {
+                if !seen[*j] {
+                    seen[*j] = true;
+                    parent[*j] = Some((i, edge));
+                    queue.push_back(*j);
+                }
+            }
+        }
+        if !seen[target] {
+            return None;
+        }
+        let mut steps = Vec::new();
+        let mut cur = target;
+        while let Some((from, edge)) = parent[cur] {
+            let (label, to) = &self.transitions[from][edge];
+            steps.push((from, label.clone(), *to));
+            cur = from;
+        }
+        steps.reverse();
+        Some(steps)
+    }
+
     /// The set of states reachable from the initial state (always all of them
     /// right after [`Lts::build`], but possibly fewer after
     /// [`Lts::filter_edges`]).
@@ -268,6 +313,34 @@ mod tests {
         assert_eq!(filtered.num_states(), 4);
         assert_eq!(filtered.num_transitions(), 0);
         assert_eq!(filtered.reachable(), vec![filtered.initial()]);
+    }
+
+    #[test]
+    fn path_to_finds_shortest_replayable_paths() {
+        // Diamond with a slow lane: 0 -> 1 -> 3 and 0 -> 2 -> 2' -> 3 would
+        // differ, but on the plain diamond both lanes tie at two steps.
+        let succ = |s: &u8| -> Vec<(&'static str, u8)> {
+            match s {
+                0 => vec![("a", 1), ("b", 2)],
+                1 | 2 => vec![("c", 3)],
+                _ => vec![],
+            }
+        };
+        let lts = Lts::build(0u8, succ, 100);
+        assert_eq!(lts.path_to(lts.initial()), Some(vec![]));
+        let path = lts.path_to(3).unwrap();
+        assert_eq!(path.len(), 2);
+        let mut at = lts.initial();
+        for (from, label, to) in &path {
+            assert_eq!(*from, at);
+            assert!(lts.transitions_from(*from).contains(&(*label, *to)));
+            at = *to;
+        }
+        assert_eq!(at, 3);
+        assert_eq!(lts.path_to(99), None);
+        // Restricting edges away makes the target unreachable, not panicky.
+        let cut = lts.filter_edges(|_, _, _| false);
+        assert_eq!(cut.path_to(3), None);
     }
 
     #[test]

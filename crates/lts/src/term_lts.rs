@@ -51,7 +51,7 @@ use dbt_types::{Checker, TypeEnv};
 use lambdapi::{Reducer, Term, TermRef, Type, Value};
 use runtime::sync::Mutex;
 
-use crate::explore::{explore, CancelToken, Exploration, ExploreConfig};
+use crate::explore::{explore_guided, CancelToken, Exploration, ExploreConfig, Strategy};
 use crate::generic::Lts;
 use crate::label::TermLabel;
 
@@ -97,6 +97,7 @@ pub struct TermLts {
     checker: Checker,
     reducer: Reducer,
     parallelism: usize,
+    strategy: Strategy,
     cancel: Option<CancelToken>,
     caches: Arc<Caches>,
 }
@@ -114,6 +115,7 @@ impl TermLts {
             checker,
             reducer: Reducer::new(),
             parallelism: 1,
+            strategy: Strategy::default(),
             cancel: None,
             caches: Caches::new(),
         }
@@ -125,6 +127,15 @@ impl TermLts {
     /// count, by the canonical renumbering of [`mod@crate::explore`].
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Selects the exploration [`Strategy`] (default BFS). As on the type
+    /// side, complete builds are byte-identical to BFS under every strategy;
+    /// a beam run here ranks states by term size (smaller first), since the
+    /// term side has no property targets to steer toward.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
         self
     }
 
@@ -388,11 +399,25 @@ impl TermLts {
         max_states: usize,
     ) -> Exploration<TermRef, TermLabel> {
         let initial = TermRef::intern(t);
-        let mut config = ExploreConfig::new(self.parallelism, max_states);
+        let mut config =
+            ExploreConfig::new(self.parallelism, max_states).with_strategy(self.strategy);
         if let Some(cancel) = &self.cancel {
             config = config.with_cancel(cancel.clone());
         }
-        explore(initial, |s: &TermRef| self.successors(s).to_vec(), &config)
+        let guided = matches!(self.strategy, Strategy::Beam { .. });
+        explore_guided(
+            initial,
+            |s: &TermRef| self.successors(s).to_vec(),
+            &config,
+            |_: &TermRef, _: &[(TermLabel, usize)]| false,
+            move |s: &TermRef| {
+                if guided {
+                    s.as_term().size() as u64
+                } else {
+                    0
+                }
+            },
+        )
     }
 }
 

@@ -49,7 +49,7 @@ use dbt_types::{Checker, TypeEnv};
 use lambdapi::{Name, TyRef, Type};
 use runtime::sync::Mutex;
 
-use crate::explore::{explore, CancelToken, Exploration, ExploreConfig};
+use crate::explore::{explore_guided, CancelToken, Exploration, ExploreConfig, Strategy};
 use crate::generic::Lts;
 use crate::label::TypeLabel;
 
@@ -105,6 +105,8 @@ pub struct TypeLts {
     candidates: CandidatePolicy,
     visible: Option<Vec<Name>>,
     parallelism: usize,
+    strategy: Strategy,
+    priority_targets: Vec<Name>,
     cancel: Option<CancelToken>,
     caches: Arc<Caches>,
 }
@@ -126,6 +128,8 @@ impl TypeLts {
             candidates: CandidatePolicy::default(),
             visible: None,
             parallelism: 1,
+            strategy: Strategy::default(),
+            priority_targets: Vec::new(),
             cancel: None,
             caches: Caches::new(),
         }
@@ -140,6 +144,24 @@ impl TypeLts {
     /// the same clamped error either way).
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Selects the exploration [`Strategy`] (default BFS). The strategy can
+    /// only be observed on runs that end early — complete builds are
+    /// canonically renumbered and byte-identical to BFS under every strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Names the channels a [`Strategy::Beam`] exploration should steer
+    /// toward: states whose type syntactically contains an output on one of
+    /// these variables are expanded first, shallowest occurrence first (see
+    /// [`type_priority`]). Ignored by the other strategies; an empty list
+    /// (the default) leaves even a beam run unguided.
+    pub fn with_priority_targets(mut self, targets: Vec<Name>) -> Self {
+        self.priority_targets = targets;
         self
     }
 
@@ -367,12 +389,37 @@ impl TypeLts {
 
     /// Like [`TypeLts::build`], also reporting how the exploration ended.
     pub fn build_exploration(&self, ty: &Type, max_states: usize) -> Exploration<TyRef, TypeLabel> {
+        self.build_exploration_until(ty, max_states, |_: &TyRef, _: &[(TypeLabel, usize)]| false)
+    }
+
+    /// Like [`TypeLts::build_exploration`], with an on-the-fly *monitor*:
+    /// after each state is expanded, `monitor(state, transitions)` may return
+    /// `true` to end the run early (`ExploreStatus::Cancelled`). Combined
+    /// with [`TypeLts::with_strategy`] and [`TypeLts::with_priority_targets`]
+    /// this is directed counterexample search: a violating transition can be
+    /// surfaced after exploring a fraction of the space, and
+    /// [`Exploration::trace_to`] turns it into a replayable witness path.
+    pub fn build_exploration_until<M>(
+        &self,
+        ty: &Type,
+        max_states: usize,
+        monitor: M,
+    ) -> Exploration<TyRef, TypeLabel>
+    where
+        M: Fn(&TyRef, &[(TypeLabel, usize)]) -> bool + Sync,
+    {
         let initial = self.canonical_ref(&TyRef::intern(ty));
-        let mut config = ExploreConfig::new(self.parallelism, max_states);
+        let mut config =
+            ExploreConfig::new(self.parallelism, max_states).with_strategy(self.strategy);
         if let Some(cancel) = &self.cancel {
             config = config.with_cancel(cancel.clone());
         }
-        explore(
+        // Only a beam run reads priorities: skip the heuristic walk entirely
+        // everywhere else (the constant closure keeps BFS's hot path intact).
+        let guided =
+            matches!(self.strategy, Strategy::Beam { .. }) && !self.priority_targets.is_empty();
+        let targets = &self.priority_targets;
+        explore_guided(
             initial,
             |s: &TyRef| {
                 let succ = self.successors(s);
@@ -390,6 +437,14 @@ impl TypeLts {
                 }
             },
             &config,
+            monitor,
+            move |s: &TyRef| {
+                if guided {
+                    type_priority(s, targets)
+                } else {
+                    0
+                }
+            },
         )
     }
 
@@ -404,6 +459,51 @@ fn continuation_body(cont: &Type) -> Type {
         Type::Pi(_, _, body) => (**body).clone(),
         other => other.clone(),
     }
+}
+
+/// The property-aware beam heuristic (lower = expanded sooner): a state whose
+/// type *syntactically contains* an output on one of the `targets` ranks by
+/// the depth of the shallowest such occurrence — the closer a target output
+/// is to firing, the sooner the state is expanded — while states without one
+/// rank after every containing state, smaller types first (they normalise
+/// toward termination and are cheap to rule out).
+///
+/// Purely syntactic on purpose: the heuristic runs once per *discovered*
+/// state, before the state is ever expanded, so it must not pay for subtyping
+/// queries. It only steers the search order; soundness and completeness come
+/// from the engine (a beam parks states, it never discards them).
+pub fn type_priority(state: &TyRef, targets: &[Name]) -> u64 {
+    match shallowest_target_out(state.as_type(), targets, 0) {
+        Some(depth) => depth,
+        None => 1_000 + state.as_type().size().min(1_000_000) as u64,
+    }
+}
+
+fn shallowest_target_out(ty: &Type, targets: &[Name], depth: u64) -> Option<u64> {
+    let mut best: Option<u64> = None;
+    let mut consider = |candidate: Option<u64>| {
+        if let Some(d) = candidate {
+            best = Some(best.map_or(d, |b| b.min(d)));
+        }
+    };
+    match ty {
+        Type::Out(subject, _, cont) => {
+            if matches!(&**subject, Type::Var(x) if targets.contains(x)) {
+                consider(Some(depth));
+            }
+            consider(shallowest_target_out(cont, targets, depth + 1));
+        }
+        Type::In(_, cont) => consider(shallowest_target_out(cont, targets, depth + 1)),
+        Type::Par(a, b) | Type::Union(a, b) => {
+            consider(shallowest_target_out(a, targets, depth + 1));
+            consider(shallowest_target_out(b, targets, depth + 1));
+        }
+        Type::Rec(_, body) | Type::Pi(_, _, body) => {
+            consider(shallowest_target_out(body, targets, depth + 1))
+        }
+        _ => {}
+    }
+    best
 }
 
 // ---------------------------------------------------------------------------

@@ -13,6 +13,8 @@
 //!   knows how to decide itself on an explicit type LTS;
 //! * [`check`] — the underlying graph decision procedures (□, strong until,
 //!   …) shared by the templates;
+//! * [`Trace`] — a minimal replayable witness trace for a failed *safety*
+//!   template, playing the role of mCRL2's counterexample evidence;
 //! * [`Verifier`] — the façade mirroring the Effpi compiler plugin: checks
 //!   the decidability conditions (Lemma 4.7), adds payload probes
 //!   (Thm. 4.10's precondition), builds the LTS, decides the property and
@@ -58,7 +60,9 @@ pub mod check;
 mod formula;
 mod properties;
 mod verifier;
+mod witness;
 
 pub use formula::{Formula, LabelSet};
 pub use properties::Property;
 pub use verifier::{VerificationOutcome, Verifier, VerifyError};
+pub use witness::{Trace, TraceStep};

@@ -23,6 +23,7 @@ use lts::{is_imprecise_comm, is_input_use, is_output_use, Lts, TypeLabel};
 
 use crate::check;
 use crate::formula::{Formula, LabelSet};
+use crate::witness::{self, Trace};
 
 /// One of the six behavioural property templates of Fig. 7.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -300,6 +301,85 @@ impl Property {
             }
         }
     }
+
+    /// A minimal witness trace for a *failed safety* property, or `None`.
+    ///
+    /// `lts` must be the same unrestricted LTS that [`Property::holds`] was
+    /// decided on; the method re-applies the property's own `↑Γ Y`
+    /// restriction, finds the first violating transition or state in BFS
+    /// order, and returns the shortest path to it (computed on the restricted
+    /// LTS, so every step is replayable there).
+    ///
+    /// The liveness templates — eventual output, forwarding, responsiveness —
+    /// fail because some run *never* performs a required action; there is no
+    /// finite edge witness, and they always return `None`. For a property
+    /// that holds, this also returns `None`.
+    pub fn witness(
+        &self,
+        checker: &Checker,
+        env: &TypeEnv,
+        lts: &Lts<TyRef, TypeLabel>,
+    ) -> Option<Trace> {
+        match self {
+            Property::NonUsage { vars } => {
+                let edge = witness::first_edge(lts, |l| {
+                    vars.iter().any(|x| is_output_use(checker, env, l, x))
+                })?;
+                let used = vars
+                    .iter()
+                    .find(|x| is_output_use(checker, env, &edge.1, x))
+                    .expect("the matched edge is an output use of some probed var");
+                let violation = format!("output use of {used}: {}", edge.1);
+                witness::edge_trace(lts, edge, violation)
+            }
+
+            Property::DeadlockFree { vars } => {
+                let restricted = lts::restrict_to_interfaces(lts, vars);
+                if let Some(edge) = witness::first_edge(&restricted, |l| is_imprecise_comm(env, l))
+                {
+                    let violation = format!("imprecise synchronisation: {}", edge.1);
+                    return witness::edge_trace(&restricted, edge, violation);
+                }
+                let stuck = witness::first_state(&restricted, |s| {
+                    restricted.transitions_from(s).is_empty()
+                        && !check::is_terminated(restricted.state(s))
+                })?;
+                witness::state_trace(
+                    &restricted,
+                    stuck,
+                    "deadlock: a non-terminated state with no transitions".to_string(),
+                )
+            }
+
+            Property::Reactive { var } => {
+                let restricted = lts::restrict_to_interfaces(lts, std::slice::from_ref(var));
+                if let Some(edge) = witness::first_edge(&restricted, |l| is_imprecise_comm(env, l))
+                {
+                    let violation = format!("imprecise synchronisation: {}", edge.1);
+                    return witness::edge_trace(&restricted, edge, violation);
+                }
+                if let Some(stuck) =
+                    witness::first_state(&restricted, |s| restricted.transitions_from(s).is_empty())
+                {
+                    return witness::state_trace(
+                        &restricted,
+                        stuck,
+                        "run ends: a state with no transitions (reactiveness requires \
+                         an everlasting run)"
+                            .to_string(),
+                    );
+                }
+                let edge =
+                    witness::first_edge(&restricted, |l| !(l.is_tau() || l.is_input_on(var)))?;
+                let violation = format!("label other than τ or an input on {var}: {}", edge.1);
+                witness::edge_trace(&restricted, edge, violation)
+            }
+
+            Property::EventualOutput { .. }
+            | Property::Forwarding { .. }
+            | Property::Responsive { .. } => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Property {
@@ -509,6 +589,70 @@ mod tests {
         );
         let lts2 = TypeLts::new(env.clone()).build(&silent, 10_000);
         assert!(!Property::responsive("self").holds(&checker, &env, &lts2));
+    }
+
+    #[test]
+    fn safety_witnesses_replay_on_the_deciding_lts() {
+        let checker = Checker::new();
+        let lts = build(&forwarder());
+        // The forwarder outputs on y: non-usage of y fails with an edge trace.
+        let p = Property::non_usage(["y"]);
+        assert!(!p.holds(&checker, &env(), &lts));
+        let trace = p.witness(&checker, &env(), &lts).unwrap();
+        assert!(trace.violation.contains('y'), "{}", trace.violation);
+        let last = trace.steps.last().unwrap();
+        assert!(last.label.is_output_on(&"y".into()));
+        // Replay every step on the unrestricted LTS non-usage is decided on.
+        let mut at = lts.initial();
+        for step in &trace.steps {
+            assert_eq!(step.from, at);
+            assert!(lts
+                .transitions_from(step.from)
+                .iter()
+                .any(|(l, j)| *l == step.label && *j == step.to));
+            at = step.to;
+        }
+        // A property that holds has no witness.
+        assert!(Property::non_usage(["x"])
+            .witness(&checker, &env(), &lts)
+            .is_none());
+    }
+
+    #[test]
+    fn deadlock_witness_is_minimal_and_liveness_has_none() {
+        let checker = Checker::new();
+        let two = Type::out(
+            Type::var("x"),
+            Type::Int,
+            Type::thunk(Type::out(Type::var("y"), Type::Int, Type::thunk(Type::Nil))),
+        );
+        let lts = build(&two);
+        // Probing y alone hides the leading x-output: the *initial* state is
+        // already stuck, so the minimal witness trace has zero steps.
+        let p = Property::deadlock_free(["y"]);
+        assert!(!p.holds(&checker, &env(), &lts));
+        let trace = p.witness(&checker, &env(), &lts).unwrap();
+        assert!(trace.steps.is_empty(), "{trace}");
+        assert!(trace.violation.contains("deadlock"), "{}", trace.violation);
+        assert_eq!(trace.end_state(), None);
+        // Failed liveness properties have no finite edge witness.
+        let live = Property::eventual_output(["y"]);
+        assert!(!live.holds(&checker, &env(), &lts));
+        assert!(live.witness(&checker, &env(), &lts).is_none());
+    }
+
+    #[test]
+    fn reactive_witness_points_at_the_stuck_or_offending_step() {
+        let checker = Checker::new();
+        // The forwarder is not reactive on x alone: restricted to x it gets
+        // stuck waiting to perform the hidden y-output.
+        let lts = build(&forwarder());
+        let p = Property::reactive("x");
+        assert!(!p.holds(&checker, &env(), &lts));
+        let trace = p.witness(&checker, &env(), &lts).unwrap();
+        assert!(trace.violation.contains("run ends"), "{}", trace.violation);
+        assert_eq!(trace.steps.len(), 1, "{trace}");
+        assert!(trace.steps[0].label.is_input_on(&"x".into()));
     }
 
     #[test]

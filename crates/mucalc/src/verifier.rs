@@ -18,9 +18,10 @@ use std::time::{Duration, Instant};
 
 use dbt_types::{Checker, TypeEnv, TypeKind};
 use lambdapi::{Name, TyRef, Type};
-use lts::{CancelToken, ExploreStatus, Lts, TypeLabel, TypeLts};
+use lts::{CancelToken, ExploreStatus, Lts, Strategy, TypeLabel, TypeLts};
 
 use crate::properties::Property;
+use crate::witness::Trace;
 
 /// Why a type was rejected before model checking.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -92,6 +93,11 @@ pub struct VerificationOutcome {
     pub transitions: usize,
     /// Wall-clock time spent building the LTS and deciding the property.
     pub duration: Duration,
+    /// When a *safety* property fails, the shortest replayable path to the
+    /// violating transition or state (see [`Trace`]); `None` for satisfied
+    /// properties and for failed liveness properties, which have no finite
+    /// edge witness.
+    pub trace: Option<Trace>,
 }
 
 impl std::fmt::Display for VerificationOutcome {
@@ -131,6 +137,15 @@ pub struct Verifier {
     /// its next state expansion; the run then fails with
     /// [`VerifyError::Cancelled`].
     pub cancel: Option<CancelToken>,
+    /// The frontier discipline used by the LTS construction. On complete
+    /// (non-truncated) runs every strategy yields the canonical LTS, so
+    /// verdicts, state counts and transition counts are identical to the
+    /// default [`Strategy::Bfs`]; the choice only matters for *where the
+    /// bound trips first* on state spaces too large to finish — a guided
+    /// [`Strategy::Beam`] search steers towards outputs on the property's
+    /// interface variables and can reach a violation orders of magnitude
+    /// earlier than BFS.
+    pub strategy: Strategy,
 }
 
 impl Default for Verifier {
@@ -142,6 +157,7 @@ impl Default for Verifier {
             visible: None,
             parallelism: 1,
             cancel: None,
+            strategy: Strategy::default(),
         }
     }
 }
@@ -236,6 +252,20 @@ impl Verifier {
         env: &TypeEnv,
         ty: &Type,
     ) -> Result<(TypeEnv, Lts<TyRef, TypeLabel>), VerifyError> {
+        self.build_lts_for(env, ty, &[])
+    }
+
+    /// Like [`Verifier::build_lts`], but with a set of *priority target*
+    /// variables that a guided [`Strategy::Beam`] exploration steers towards
+    /// (states syntactically closer to an output on one of `targets` are
+    /// expanded first). All other strategies ignore the targets, and on
+    /// complete runs the resulting LTS is canonical regardless of them.
+    pub fn build_lts_for(
+        &self,
+        env: &TypeEnv,
+        ty: &Type,
+        targets: &[Name],
+    ) -> Result<(TypeEnv, Lts<TyRef, TypeLabel>), VerifyError> {
         let (env, probes) = if self.auto_probe {
             self.probe_env(env, ty)
         } else {
@@ -255,7 +285,9 @@ impl Verifier {
         let mut builder = TypeLts::with_checker(env.clone(), self.checker.clone())
             .with_candidate_policy(lts::CandidatePolicy::Only(probes))
             .with_visible_subjects(visible)
-            .with_parallelism(self.parallelism);
+            .with_parallelism(self.parallelism)
+            .with_strategy(self.strategy)
+            .with_priority_targets(targets.to_vec());
         if let Some(cancel) = &self.cancel {
             builder = builder.with_cancel(cancel.clone());
         }
@@ -290,14 +322,20 @@ impl Verifier {
     ) -> Result<VerificationOutcome, VerifyError> {
         self.check_applicable(env, ty)?;
         let start = Instant::now();
-        let (probed_env, lts) = self.build_lts(env, ty)?;
+        let (probed_env, lts) = self.build_lts_for(env, ty, &property.interfaces())?;
         let holds = property.holds(&self.checker, &probed_env, &lts);
+        let trace = if holds {
+            None
+        } else {
+            property.witness(&self.checker, &probed_env, &lts)
+        };
         Ok(VerificationOutcome {
             property: property.clone(),
             holds,
             states: lts.num_states(),
             transitions: lts.num_transitions(),
             duration: start.elapsed(),
+            trace,
         })
     }
 
@@ -312,18 +350,32 @@ impl Verifier {
     ) -> Result<Vec<VerificationOutcome>, VerifyError> {
         self.check_applicable(env, ty)?;
         let build_start = Instant::now();
-        let (probed_env, lts) = self.build_lts(env, ty)?;
+        let mut targets: Vec<Name> = Vec::new();
+        for p in properties {
+            for x in p.interfaces() {
+                if !targets.contains(&x) {
+                    targets.push(x);
+                }
+            }
+        }
+        let (probed_env, lts) = self.build_lts_for(env, ty, &targets)?;
         let build_time = build_start.elapsed();
         let mut out = Vec::with_capacity(properties.len());
         for p in properties {
             let start = Instant::now();
             let holds = p.holds(&self.checker, &probed_env, &lts);
+            let trace = if holds {
+                None
+            } else {
+                p.witness(&self.checker, &probed_env, &lts)
+            };
             out.push(VerificationOutcome {
                 property: p.clone(),
                 holds,
                 states: lts.num_states(),
                 transitions: lts.num_transitions(),
                 duration: start.elapsed() + build_time / (properties.len() as u32).max(1),
+                trace,
             });
         }
         Ok(out)
@@ -559,6 +611,75 @@ mod tests {
                     );
                 }
                 other => panic!("expected StateSpaceTooLarge, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn failed_safety_checks_carry_a_replayable_trace() {
+        let verifier = Verifier::new();
+        let env = payment_env();
+        let ty = payment_applied();
+        let p = Property::non_usage(["aud"]);
+        let outcome = verifier.verify(&env, &ty, &p).unwrap();
+        assert!(!outcome.holds);
+        let trace = outcome
+            .trace
+            .expect("failed safety property carries a trace");
+        assert!(trace.violation.contains("aud"), "{}", trace.violation);
+        // Replay on the LTS the property was decided on (non-usage is decided
+        // on the unrestricted LTS, so build_lts_for reproduces it exactly).
+        let (_, lts) = verifier.build_lts_for(&env, &ty, &p.interfaces()).unwrap();
+        let mut at = lts.initial();
+        for step in &trace.steps {
+            assert_eq!(step.from, at);
+            assert!(
+                lts.transitions_from(step.from)
+                    .iter()
+                    .any(|(l, j)| *l == step.label && *j == step.to),
+                "step {step:?} is not a transition of the LTS"
+            );
+            at = step.to;
+        }
+        // Satisfied properties and failed liveness properties carry none.
+        let ok = verifier
+            .verify(&env, &ty, &Property::non_usage(["self"]))
+            .unwrap();
+        assert!(ok.holds && ok.trace.is_none());
+        let live_env = TypeEnv::new()
+            .bind("x", Type::chan_io(Type::Int))
+            .bind("y", Type::chan_io(Type::Int));
+        let only_x = Type::out(Type::var("x"), Type::Int, Type::thunk(Type::Nil));
+        let live = verifier
+            .verify(&live_env, &only_x, &Property::eventual_output(["y"]))
+            .unwrap();
+        assert!(!live.holds && live.trace.is_none());
+    }
+
+    #[test]
+    fn every_strategy_agrees_on_complete_run_verdicts() {
+        let env = payment_env();
+        let ty = payment_applied();
+        let props = [
+            Property::non_usage(["aud"]),
+            Property::deadlock_free(["self", "aud", "client"]),
+            Property::reactive("self"),
+        ];
+        let baseline = Verifier::new();
+        for strategy in [
+            Strategy::Dfs,
+            Strategy::Beam { width: 8 },
+            Strategy::RandomWalk { seed: 42 },
+        ] {
+            let mut verifier = Verifier::new();
+            verifier.strategy = strategy;
+            for p in &props {
+                let b = baseline.verify(&env, &ty, p).unwrap();
+                let v = verifier.verify(&env, &ty, p).unwrap();
+                assert_eq!(b.holds, v.holds, "{strategy}: {p}");
+                assert_eq!(b.states, v.states, "{strategy}: {p}");
+                assert_eq!(b.transitions, v.transitions, "{strategy}: {p}");
+                assert_eq!(b.trace, v.trace, "{strategy}: {p}");
             }
         }
     }

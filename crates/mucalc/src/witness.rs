@@ -1,0 +1,120 @@
+//! Witness traces for failed safety properties.
+//!
+//! When one of the *safety* templates of Fig. 7 (non-usage, deadlock-freedom,
+//! reactiveness) fails, the failure is caused by a concrete reachable
+//! transition or state of the type LTS. A [`Trace`] packages the shortest
+//! path (by edge count) from the initial state to that witness, so the
+//! violation can be replayed step by step — the counterexample role played by
+//! mCRL2's evidence traces in the paper's toolchain.
+//!
+//! The path is computed with [`Lts::path_to`] on the *same* (possibly
+//! `↑Γ Y`-restricted) LTS the violation was decided on, so every step is a
+//! transition that the restriction kept; because the search is breadth-first,
+//! the trace is minimal for the witness it reaches.
+//!
+//! Liveness templates (eventual output, forwarding, responsiveness) fail
+//! because of the *absence* of a transition on some infinite or terminating
+//! run; they have no finite edge witness and yield no trace.
+
+use lambdapi::TyRef;
+use lts::{Lts, TypeLabel};
+
+/// One replayable step of a witness trace.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TraceStep {
+    /// Source state index (in the LTS the property was decided on).
+    pub from: usize,
+    /// The transition label.
+    pub label: TypeLabel,
+    /// Target state index.
+    pub to: usize,
+}
+
+/// A minimal witness for a failed safety property: the shortest path from the
+/// initial state to the violation, plus a human-readable description of what
+/// is wrong at the end of the path.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Trace {
+    /// The replayable steps, starting at the initial state. The final step's
+    /// target (or the initial state, when empty) is where `violation`
+    /// applies; for edge violations the offending transition is the last
+    /// step itself.
+    pub steps: Vec<TraceStep>,
+    /// What goes wrong at the end of the trace.
+    pub violation: String,
+}
+
+impl Trace {
+    /// The state index the trace ends at (the violating state, or the target
+    /// of the violating edge).
+    pub fn end_state(&self) -> Option<usize> {
+        self.steps.last().map(|s| s.to)
+    }
+}
+
+impl std::fmt::Display for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for step in &self.steps {
+            writeln!(f, "  {} --[{}]--> {}", step.from, step.label, step.to)?;
+        }
+        write!(f, "  violation: {}", self.violation)
+    }
+}
+
+/// The first reachable transition (in BFS state order, then edge order)
+/// satisfying `pred`, as a `(source, label, target)` triple.
+pub(crate) fn first_edge<F>(
+    lts: &Lts<TyRef, TypeLabel>,
+    mut pred: F,
+) -> Option<(usize, TypeLabel, usize)>
+where
+    F: FnMut(&TypeLabel) -> bool,
+{
+    for s in lts.reachable() {
+        for (label, next) in lts.transitions_from(s) {
+            if pred(label) {
+                return Some((s, label.clone(), *next));
+            }
+        }
+    }
+    None
+}
+
+/// The first reachable state (in BFS order) satisfying `pred`.
+pub(crate) fn first_state<F>(lts: &Lts<TyRef, TypeLabel>, mut pred: F) -> Option<usize>
+where
+    F: FnMut(usize) -> bool,
+{
+    lts.reachable().into_iter().find(|&s| pred(s))
+}
+
+/// A trace ending in the given violating edge: shortest path to the edge's
+/// source, then the edge itself.
+pub(crate) fn edge_trace(
+    lts: &Lts<TyRef, TypeLabel>,
+    edge: (usize, TypeLabel, usize),
+    violation: String,
+) -> Option<Trace> {
+    let (from, label, to) = edge;
+    let mut steps: Vec<TraceStep> = lts
+        .path_to(from)?
+        .into_iter()
+        .map(|(from, label, to)| TraceStep { from, label, to })
+        .collect();
+    steps.push(TraceStep { from, label, to });
+    Some(Trace { steps, violation })
+}
+
+/// A trace ending in the given violating state: the shortest path to it.
+pub(crate) fn state_trace(
+    lts: &Lts<TyRef, TypeLabel>,
+    state: usize,
+    violation: String,
+) -> Option<Trace> {
+    let steps = lts
+        .path_to(state)?
+        .into_iter()
+        .map(|(from, label, to)| TraceStep { from, label, to })
+        .collect();
+    Some(Trace { steps, violation })
+}

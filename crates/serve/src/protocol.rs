@@ -18,6 +18,7 @@
 
 use std::fmt;
 
+use effpi::Strategy;
 use wire::Json;
 
 /// The closed set of `error.kind` values a response can carry.
@@ -64,6 +65,11 @@ pub struct VerifyOptions {
     pub max_unfold: Option<usize>,
     /// Overrides automatic payload probing.
     pub auto_probe: Option<bool>,
+    /// Overrides the exploration strategy (wire spelling of
+    /// [`Strategy::parse`], e.g. `"dfs"` or `"beam:32"`). Part of the cache
+    /// key whenever it is not the default `"bfs"`, so bounded runs explored
+    /// under different disciplines never share a verdict.
+    pub strategy: Option<Strategy>,
 }
 
 /// A parsed request frame.
@@ -145,6 +151,15 @@ impl Request {
                             .ok_or_else(|| err("\"auto_probe\" must be a boolean".into()))?,
                     ),
                 };
+                let strategy = match root.get("strategy") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => {
+                        let text = v
+                            .as_str()
+                            .ok_or_else(|| err("\"strategy\" must be a string".into()))?;
+                        Some(Strategy::parse(text).map_err(|e| err(format!("\"strategy\": {e}")))?)
+                    }
+                };
                 Ok(Request::Verify {
                     id,
                     spec,
@@ -153,6 +168,7 @@ impl Request {
                         max_depth: field("max_depth")?,
                         max_unfold: field("max_unfold")?,
                         auto_probe,
+                        strategy,
                     },
                 })
             }
@@ -190,6 +206,9 @@ impl Request {
                 num("max_unfold", options.max_unfold);
                 if let Some(p) = options.auto_probe {
                     fields.push(("auto_probe".to_string(), Json::Bool(p)));
+                }
+                if let Some(s) = options.strategy {
+                    fields.push(("strategy".to_string(), Json::str(s.to_string())));
                 }
                 Json::obj(fields)
             }
@@ -357,6 +376,14 @@ mod tests {
                     ..VerifyOptions::default()
                 },
             },
+            Request::Verify {
+                id: 8,
+                spec: "env x : cio[int]\ntype i[x, Pi(v: int) nil]".into(),
+                options: VerifyOptions {
+                    strategy: Some(Strategy::Beam { width: 32 }),
+                    ..VerifyOptions::default()
+                },
+            },
             Request::Stats { id: 1 },
             Request::Cancel { id: 2, target: 7 },
             Request::Ping { id: 3 },
@@ -392,6 +419,16 @@ mod tests {
             Request::parse("{\"op\":\"verify\",\"id\":3,\"spec\":\"\",\"max_states\":\"a\"}")
                 .unwrap_err();
         assert!(msg.contains("max_states"), "{msg}");
+        // unknown strategy spelling.
+        let (id, msg) =
+            Request::parse("{\"op\":\"verify\",\"id\":4,\"spec\":\"\",\"strategy\":\"best\"}")
+                .unwrap_err();
+        assert_eq!(id, Some(4));
+        assert!(msg.contains("unknown strategy"), "{msg}");
+        // strategy must be a string, not a number.
+        let (_, msg) = Request::parse("{\"op\":\"verify\",\"id\":5,\"spec\":\"\",\"strategy\":3}")
+            .unwrap_err();
+        assert!(msg.contains("strategy"), "{msg}");
     }
 
     #[test]

@@ -912,6 +912,9 @@ fn verify_response(shared: &Shared, job: &Job) -> String {
     if let Some(probe) = options.auto_probe {
         builder = builder.auto_probe(probe);
     }
+    if let Some(strategy) = options.strategy {
+        builder = builder.strategy(strategy);
+    }
     let session = builder.build();
     let key = session.cache_key(&spec);
 

@@ -14,7 +14,7 @@
 
 use effpi::protocols::{fig9_scenarios, mobile_code, open_terms};
 use effpi::spec::parse_spec;
-use effpi::{Session, TermLabel, TermRef};
+use effpi::{Session, Strategy, TermLabel, TermRef};
 use lts::Lts;
 
 const MAX_STATES: usize = 60_000;
@@ -71,6 +71,50 @@ fn every_shipped_spec_reports_identically_serial_and_parallel() {
         checked += 1;
     }
     assert!(checked >= 2, "expected the shipped specs, found {checked}");
+}
+
+#[test]
+fn every_strategy_reports_identically_on_complete_runs() {
+    // The canonical-renumbering contract extends to the frontier discipline:
+    // a *complete* run visits the whole space whatever the visit order, and
+    // renumbering into BFS discovery order erases the order again — so every
+    // strategy, serial or parallel, must reproduce the serial BFS report
+    // byte for byte. (Only bounded runs may differ per strategy, and those
+    // say so in the report.)
+    let strategies = [
+        Strategy::Bfs,
+        Strategy::Dfs,
+        Strategy::Beam { width: 64 },
+        Strategy::RandomWalk { seed: 7 },
+    ];
+    let baseline = session(1);
+    let mut scenarios = fig9_scenarios(0);
+    scenarios.push(mobile_code::mobile_code_scenario());
+    for scenario in &scenarios {
+        let expect = baseline.run_scenario(scenario).summary().stable_line();
+        assert!(
+            !expect.contains("error="),
+            "{}: the strategy contract only covers complete runs",
+            scenario.name
+        );
+        for strategy in strategies {
+            for workers in [1, WORKERS] {
+                let line = Session::builder()
+                    .max_states(MAX_STATES)
+                    .parallelism(workers)
+                    .strategy(strategy)
+                    .build()
+                    .run_scenario(scenario)
+                    .summary()
+                    .stable_line();
+                assert_eq!(
+                    expect, line,
+                    "{}: {strategy} x{workers} workers differs from serial BFS",
+                    scenario.name
+                );
+            }
+        }
+    }
 }
 
 #[test]
