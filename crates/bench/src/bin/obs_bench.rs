@@ -1,0 +1,71 @@
+//! The telemetry microbenchmark: per-operation cost of the `obs`
+//! primitives (see `bench::obs_bench`).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin obs_bench -- [--iters N] [--repeat R] [--json PATH]
+//! ```
+//!
+//! * `--iters N` — operations per timed loop (default 1,000,000);
+//! * `--repeat R` — best-of-R timing per loop (default 3);
+//! * `--json PATH` — write the record (`BENCH_obs.json`).
+//!
+//! The binary **exits non-zero** if any operation blows through its absolute
+//! ceiling — a loose self-gate against structural regressions (the real
+//! overhead gate is fig9/intern/term staying green with spans compiled in).
+
+use std::process::ExitCode;
+
+use bench::flags::{parse_flag, string_flag};
+use bench::obs_bench;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let parsed: Result<_, String> = (|| {
+        Ok((
+            parse_flag(&args, "--iters")?,
+            parse_flag(&args, "--repeat")?,
+            string_flag(&args, "--json")?,
+        ))
+    })();
+    let (iters_flag, repeat_flag, json_path) = match parsed {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let iters = iters_flag.unwrap_or(1_000_000) as u64;
+    let repeat = repeat_flag.unwrap_or(3).max(1);
+
+    println!(
+        "obs microbenchmark — per-operation cost of the telemetry primitives \
+         ({iters} ops per loop, best of {repeat})"
+    );
+    let record = obs_bench::run(iters, repeat);
+    println!("{:<18} {:>12}", "operation", "ns/op");
+    for case in &record.cases {
+        println!("{:<18} {:>12.1}", case.name, case.ns_per_op);
+    }
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", record.to_json())) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote obs bench record to {path}");
+    }
+
+    let failures = obs_bench::violations(&record);
+    if failures.is_empty() {
+        println!("obs gate: OK — every primitive is under its ceiling");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("obs gate: FAILED");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

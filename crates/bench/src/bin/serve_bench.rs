@@ -8,8 +8,12 @@
 //! ```text
 //! cargo run --release -p bench --bin serve_bench --
 //!     [--clients N] [--rounds R] [--workers W] [--jobs J]
-//!     [--max-states M] [--json PATH] [--restart [DIR]]
+//!     [--max-states M] [--json PATH] [--restart [DIR]] [--metrics-scrape PATH]
 //! ```
+//!
+//! `--metrics-scrape PATH` writes the Prometheus-style text exposition
+//! scraped from the loaded server just before shutdown — the CI artifact
+//! that documents what a real scrape of a busy daemon looks like.
 //!
 //! With `--restart`, the run measures the persistent tier's warm-restart
 //! payoff: the load is driven **cold** against a server with a fresh
@@ -39,15 +43,18 @@ fn main() -> ExitCode {
             parse_flag(&args, "--max-states")?,
             string_flag(&args, "--json")?,
             string_flag(&args, "--restart-dir")?,
+            string_flag(&args, "--metrics-scrape")?,
         ))
     })();
-    let (clients, rounds, workers, jobs, max_states, json_path, restart_dir) = match parsed {
-        Ok(flags) => flags,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::from(2);
-        }
-    };
+    #[allow(clippy::type_complexity)]
+    let (clients, rounds, workers, jobs, max_states, json_path, restart_dir, scrape_path) =
+        match parsed {
+            Ok(flags) => flags,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
     let restart = restart_dir.is_some() || args.iter().any(|a| a == "--restart");
     let defaults = LoadConfig::default();
     let config = LoadConfig {
@@ -67,7 +74,8 @@ fn main() -> ExitCode {
         if restart { ", cold/restart phases" } else { "" }
     );
 
-    let (document, summary, failures, no_hits, warm_missed_disk) = if restart {
+    #[allow(clippy::type_complexity)]
+    let (document, summary, failures, no_hits, warm_missed_disk, scrape) = if restart {
         // An explicit --restart-dir is the caller's directory (kept); the
         // bare --restart flag gets a temp directory (cleaned up).
         let (dir, ephemeral) = match &restart_dir {
@@ -80,7 +88,7 @@ fn main() -> ExitCode {
         if ephemeral {
             let _ = std::fs::remove_dir_all(&dir);
         }
-        let record = serve_load::run_restart(config, &dir);
+        let (record, scrape) = serve_load::run_restart_with_scrape(config, &dir);
         if ephemeral {
             let _ = std::fs::remove_dir_all(&dir);
         }
@@ -91,15 +99,17 @@ fn main() -> ExitCode {
             record.cold.failures + record.warm.failures,
             record.cold.requests > record.cold.specs && record.cold.hit_rate <= 0.0,
             warm_missed_disk,
+            scrape,
         )
     } else {
-        let record = serve_load::run(config);
+        let (record, scrape) = serve_load::run_with_scrape(config);
         (
             record.to_json(),
             record.render(),
             record.failures,
             record.requests > record.specs && record.hit_rate <= 0.0,
             false,
+            scrape,
         )
     };
     println!("{summary}");
@@ -110,6 +120,14 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!("wrote load record to {path}");
+    }
+
+    if let Some(path) = scrape_path {
+        if let Err(e) = std::fs::write(&path, &scrape) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote metrics text scrape to {path}");
     }
 
     if failures > 0 {

@@ -19,6 +19,9 @@
 //! * [`term_bench`] — the open-term (Fig. 5) exploration benchmark: `TermLts`
 //!   throughput over the conformance corpus, warm vs cold
 //!   (`BENCH_term.json`), gated against `crates/bench/term_baseline.json`.
+//! * [`obs_bench`] — the telemetry microbenchmark: per-operation cost of the
+//!   `obs` primitives (counter/gauge/histogram/span), self-gated by absolute
+//!   ceilings (`BENCH_obs.json`).
 //! * [`directed`] — the directed-search benchmark: a seeded safety violation
 //!   deep in a BFS-hostile state space, hunted under every exploration
 //!   strategy (`BENCH_directed.json`); self-gated — the guided beam must find
@@ -40,6 +43,7 @@ pub mod fig9;
 pub mod gate;
 pub mod harness;
 pub mod intern_bench;
+pub mod obs_bench;
 pub mod serve_load;
 pub mod term_bench;
 

@@ -328,9 +328,49 @@ fn drive(addr: &str, specs: &[(&str, &str)], config: LoadConfig) -> DriveOutcome
     }
 }
 
-/// Starts a server, drives one load phase, reads the server stats, shuts
-/// the server down, and folds everything into a [`LoadRecord`].
-fn run_phase(config: LoadConfig, store: Option<StoreTier>) -> LoadRecord {
+/// Asserts that a `stats` reply has exactly the shape [`serve::STATS_SCHEMA`]
+/// declares — the registry schema is the single source of truth for the
+/// reply, so any drift between the wire and the schema fails the benchmark
+/// rather than silently feeding a dashboard stale names.
+fn assert_stats_shape(stats: &Json, has_store: bool) {
+    use std::collections::BTreeSet;
+    let Json::Obj(sections) = stats else {
+        panic!("stats reply is not an object: {stats}");
+    };
+    let schema_sections: BTreeSet<&str> = serve::STATS_SCHEMA.iter().map(|(s, _)| *s).collect();
+    let reply_sections: BTreeSet<&str> = sections.keys().map(String::as_str).collect();
+    assert_eq!(
+        reply_sections, schema_sections,
+        "stats sections drifted from serve::STATS_SCHEMA"
+    );
+    for (section, fields) in serve::STATS_SCHEMA {
+        let value = &sections[*section];
+        if *section == "store" && !has_store {
+            assert_eq!(
+                value,
+                &Json::Null,
+                "stats.store must be null without a persistent tier"
+            );
+            continue;
+        }
+        let Json::Obj(map) = value else {
+            panic!("stats.{section} is not an object: {value}");
+        };
+        let schema_fields: BTreeSet<&str> = fields.iter().copied().collect();
+        let reply_fields: BTreeSet<&str> = map.keys().map(String::as_str).collect();
+        assert_eq!(
+            reply_fields, schema_fields,
+            "stats.{section} fields drifted from serve::STATS_SCHEMA"
+        );
+    }
+}
+
+/// Starts a server, drives one load phase, reads the server stats (checking
+/// their shape against [`serve::STATS_SCHEMA`]), scrapes the Prometheus-style
+/// metrics text, shuts the server down, and folds everything into a
+/// [`LoadRecord`] plus the scrape.
+fn run_phase(config: LoadConfig, store: Option<StoreTier>) -> (LoadRecord, String) {
+    let has_store = store.is_some();
     let handle = Server::start(
         &Endpoints {
             tcp: Some("127.0.0.1:0".to_string()),
@@ -342,6 +382,7 @@ fn run_phase(config: LoadConfig, store: Option<StoreTier>) -> LoadRecord {
             cache: CacheConfig::default(),
             default_max_states: config.max_states,
             store,
+            log_requests: false,
         },
     )
     .expect("start in-process effpi-serve");
@@ -354,16 +395,18 @@ fn run_phase(config: LoadConfig, store: Option<StoreTier>) -> LoadRecord {
 
     let mut verifier = Client::connect_tcp(&addr).expect("connect stats client");
     let stats = verifier.stats().expect("stats");
+    assert_stats_shape(&stats, has_store);
     let cache = stats.get("cache").expect("stats.cache");
     let as_u64 = |field: &str| cache.get(field).and_then(Json::as_usize).unwrap_or(0) as u64;
     let cache_hits = as_u64("hits");
     let cache_misses = as_u64("misses");
     let disk_hits = as_u64("disk_hits");
+    let scrape = verifier.metrics_text().expect("metrics scrape");
     verifier.shutdown_server().expect("graceful shutdown");
     handle.join();
 
     let lookups = cache_hits + cache_misses;
-    LoadRecord {
+    let record = LoadRecord {
         config,
         specs: specs.len(),
         requests: outcome.requests,
@@ -380,7 +423,8 @@ fn run_phase(config: LoadConfig, store: Option<StoreTier>) -> LoadRecord {
         },
         p50_ms: percentile(&outcome.latencies_ms, 50.0),
         p99_ms: percentile(&outcome.latencies_ms, 99.0),
-    }
+    };
+    (record, scrape)
 }
 
 /// Runs the scenario against a fresh in-process server on an ephemeral TCP
@@ -391,6 +435,16 @@ fn run_phase(config: LoadConfig, store: Option<StoreTier>) -> LoadRecord {
 /// Panics when the server cannot start or a client cannot connect — the
 /// benchmark is meaningless without its server.
 pub fn run(config: LoadConfig) -> LoadRecord {
+    run_with_scrape(config).0
+}
+
+/// [`run`], also returning the Prometheus-style metrics text scraped from
+/// the loaded server just before shutdown (the `--metrics-scrape` artifact).
+///
+/// # Panics
+///
+/// Panics when the server cannot start or a client cannot connect.
+pub fn run_with_scrape(config: LoadConfig) -> (LoadRecord, String) {
     run_phase(config, None)
 }
 
@@ -402,12 +456,22 @@ pub fn run(config: LoadConfig) -> LoadRecord {
 ///
 /// Panics when either server cannot start or a client cannot connect.
 pub fn run_restart(config: LoadConfig, store_dir: &Path) -> RestartRecord {
+    run_restart_with_scrape(config, store_dir).0
+}
+
+/// [`run_restart`], also returning the metrics text scraped from the warm
+/// phase's server.
+///
+/// # Panics
+///
+/// Panics when either server cannot start or a client cannot connect.
+pub fn run_restart_with_scrape(config: LoadConfig, store_dir: &Path) -> (RestartRecord, String) {
     let tier = StoreTier::at(store_dir);
-    let cold = run_phase(config, Some(tier.clone()));
+    let (cold, _) = run_phase(config, Some(tier.clone()));
     // The second server is a brand-new process state over the same log:
     // nothing survives `handle.join()` but the bytes on disk.
-    let warm = run_phase(config, Some(tier));
-    RestartRecord { cold, warm }
+    let (warm, scrape) = run_phase(config, Some(tier));
+    (RestartRecord { cold, warm }, scrape)
 }
 
 #[cfg(test)]
@@ -416,13 +480,19 @@ mod tests {
 
     #[test]
     fn the_load_scenario_completes_with_a_warm_cache() {
-        let record = run(LoadConfig {
+        let (record, scrape) = run_with_scrape(LoadConfig {
             clients: 2,
             rounds: 2,
             workers: 2,
             jobs: 2,
             max_states: 60_000,
         });
+        // The scrape is the same snapshot the stats reply renders, in the
+        // text exposition; spot-check a gauge every run must have touched.
+        assert!(
+            scrape.contains("# TYPE effpi_cache_hits gauge"),
+            "scrape missing cache_hits:\n{scrape}"
+        );
         assert_eq!(record.requests, 2 * 2 * record.specs);
         assert_eq!(record.failures, 0, "{}", record.render());
         assert!(record.requests_per_sec > 0.0);

@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! effpi-cli verify    <spec.effpi> [--max-states N] [--jobs J] [--strategy S]
-//!                                                                # run every `check` in the spec
+//!                                  [--profile] [--trace FILE]    # run every `check` in the spec
 //! effpi-cli typecheck <spec.effpi>                               # only check `term` against `type`
 //! effpi-cli lts       <spec.effpi> [--max-states N] [--jobs J] [--strategy S]
 //!                                                                # report the type LTS size
@@ -16,12 +16,19 @@
 //! effpi-cli serve  [--listen ADDR] [--uds PATH] [--workers W] [--jobs J]
 //!                  [--max-states N] [--cache-entries E] [--cache-states S]
 //!                  [--store DIR] [--store-entries E] [--store-states S]
+//!                  [--log-requests]
 //! effpi-cli client <ADDR|unix:PATH> verify <spec.effpi> [--max-states N] [--strategy S]
+//! effpi-cli client <ADDR|unix:PATH> metrics [--text]
 //! effpi-cli client <ADDR|unix:PATH> stats|ping|shutdown
 //!
 //! effpi-cli store stats   <DIR>                                  # inspect a persistent verdict store
 //! effpi-cli store compact <DIR> [--store-entries E] [--store-states S]
 //! ```
+//!
+//! Observability: `--profile` prints a per-phase timing table after a
+//! one-shot command (the same phase names the serve protocol reports under
+//! `"phases"`); `--trace FILE` — accepted by every command — streams
+//! span/event records as JSON lines into FILE while the command runs.
 //!
 //! Sample specifications live in `examples/specs/`; the wire protocol is
 //! documented in `crates/serve/PROTOCOL.md`.
@@ -52,7 +59,23 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    match command.as_str() {
+    // `--trace FILE` is global: every command (one-shot, serve, client)
+    // streams its span/event records into FILE as JSON lines.
+    match string_flag(&args, "--trace") {
+        Ok(None) => {}
+        Ok(Some(path)) => match std::fs::File::create(&path) {
+            Ok(file) => obs::global().set_trace(Some(Box::new(std::io::BufWriter::new(file)))),
+            Err(e) => {
+                eprintln!("cannot create trace file {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    let code = match command.as_str() {
         "serve" => cmd_serve(&args),
         "client" => cmd_client(&args),
         "store" => cmd_store(&args),
@@ -61,7 +84,14 @@ fn main() -> ExitCode {
             eprintln!("unknown command {other:?}\n{USAGE}");
             ExitCode::from(2)
         }
-    }
+    };
+    obs::global().flush_trace();
+    code
+}
+
+/// A valueless presence flag (`--profile`, `--log-requests`, `--text`).
+fn bool_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
 }
 
 // ---------------------------------------------------------------------------
@@ -89,7 +119,30 @@ fn cmd_one_shot(command: String, args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let profile = bool_flag(args, "--profile");
 
+    // Everything from the file read onwards runs under the phase collector,
+    // so `--profile` sees the same phase names the serve daemon reports
+    // (parse, typecheck, explore, check, …) and the residue — I/O, session
+    // setup, printing — lands in the `other` row of the table.
+    let wall = std::time::Instant::now();
+    let (code, phases) =
+        obs::phases::collect(|| run_one_shot(&command, path, max_states, jobs, strategy));
+    if profile {
+        print_profile(&phases, wall.elapsed().as_micros() as u64);
+    }
+    code
+}
+
+/// The body of every one-shot command, separated out so [`cmd_one_shot`]
+/// can run it under `obs::phases::collect`.
+fn run_one_shot(
+    command: &str,
+    path: &str,
+    max_states: usize,
+    jobs: usize,
+    strategy: Option<effpi::Strategy>,
+) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -97,11 +150,14 @@ fn cmd_one_shot(command: String, args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let spec = match parse_spec(&text) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("{path}: {e}");
-            return ExitCode::from(2);
+    let spec = {
+        let _span = obs::span("parse");
+        match parse_spec(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(2);
+            }
         }
     };
     // One session for every command. The spec's visible list is set as the
@@ -116,7 +172,7 @@ fn cmd_one_shot(command: String, args: &[String]) -> ExitCode {
     }
     let session = builder.build();
 
-    match command.as_str() {
+    match command {
         "verify" => {
             let report = session.run_spec(&spec);
             {
@@ -190,6 +246,24 @@ fn cmd_one_shot(command: String, args: &[String]) -> ExitCode {
     }
 }
 
+/// Prints the `--profile` table: one row per recorded phase (in the order
+/// the phases first ran), an `other` row for the unattributed residue, and
+/// a `total` row equal to the measured wall time — so the rows always sum
+/// to the wall clock.
+fn print_profile(phases: &obs::phases::Phases, wall_us: u64) {
+    use obs::phases::format_us;
+    say!("--- profile ---");
+    for (name, us) in phases.entries() {
+        say!("{name:<12} {:>10}", format_us(*us));
+    }
+    say!(
+        "{:<12} {:>10}",
+        "other",
+        format_us(wall_us.saturating_sub(phases.total_us()))
+    );
+    say!("{:<12} {:>10}", "total", format_us(wall_us));
+}
+
 // ---------------------------------------------------------------------------
 // The daemon (`effpi-cli serve`)
 // ---------------------------------------------------------------------------
@@ -226,6 +300,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let workers = workers.unwrap_or(defaults.workers).max(1);
     let config = ServerConfig {
         workers,
+        log_requests: bool_flag(args, "--log-requests"),
         // `--jobs 0` means "one exploration thread per hardware thread",
         // split across the workers; absent means one per worker.
         jobs: match jobs {
@@ -284,6 +359,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             tier.bounds.max_states
         );
     }
+    if config.log_requests {
+        say!("request logging is on (one stderr line per verify)");
+    }
     handle.join();
     say!("effpi-serve: drained and stopped");
     ExitCode::SUCCESS
@@ -295,7 +373,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
 
 fn cmd_client(args: &[String]) -> ExitCode {
     let (Some(addr), Some(action)) = (args.get(1), args.get(2)) else {
-        eprintln!("usage: effpi-cli client <ADDR|unix:PATH> <verify|stats|ping|shutdown> ...");
+        eprintln!(
+            "usage: effpi-cli client <ADDR|unix:PATH> <verify|metrics|stats|ping|shutdown> ..."
+        );
         return ExitCode::from(2);
     };
     let mut client = match connect(addr) {
@@ -361,6 +441,23 @@ fn cmd_client(args: &[String]) -> ExitCode {
             say!("{stats}");
             true
         }),
+        // `metrics` prints the server's telemetry snapshot: the JSON object
+        // by default, the Prometheus-style text exposition with `--text`.
+        "metrics" => {
+            if bool_flag(args, "--text") {
+                client.metrics_text().map(|text| {
+                    use std::io::Write as _;
+                    // The exposition already ends in a newline.
+                    let _ = write!(std::io::stdout(), "{text}");
+                    true
+                })
+            } else {
+                client.metrics().map(|metrics| {
+                    say!("{metrics}");
+                    true
+                })
+            }
+        }
         "ping" => client.ping().map(|()| {
             say!("pong");
             true
@@ -494,10 +591,10 @@ fn connect(addr: &str) -> Result<Client, std::io::Error> {
 
 const USAGE: &str = "\
 usage: effpi-cli <verify|typecheck|lts|parse> <spec.effpi> [--max-states N] [--jobs J]
-                 [--strategy bfs|dfs|beam[:W]|random[:SEED]]
+                 [--strategy bfs|dfs|beam[:W]|random[:SEED]] [--profile] [--trace FILE]
        effpi-cli serve [--listen ADDR] [--uds PATH] [--workers W] [--jobs J]
                        [--max-states N] [--cache-entries E] [--cache-states S]
-                       [--store DIR] [--store-entries E] [--store-states S]
+                       [--store DIR] [--store-entries E] [--store-states S] [--log-requests]
        effpi-cli client <ADDR|unix:PATH> <verify <spec.effpi> [--max-states N] [--strategy S]\
-|stats|ping|shutdown>
+|metrics [--text]|stats|ping|shutdown>
        effpi-cli store <stats|compact> <DIR> [--store-entries E] [--store-states S]";

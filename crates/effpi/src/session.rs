@@ -340,6 +340,7 @@ impl Session {
     ///
     /// Returns [`Error::Type`] if the term does not implement the type.
     pub fn type_check(&self, env: &TypeEnv, term: &Term, ty: &Type) -> Result<(), Error> {
+        let _span = obs::span("typecheck");
         self.checker()
             .check_term(env, term, ty)
             .map_err(Error::from)
@@ -559,7 +560,11 @@ impl Session {
     /// Returns [`Error::Spec`] when the text is not a valid specification;
     /// verification failures are captured inside the returned [`Report`].
     pub fn run_spec_text(&self, text: &str) -> Result<Report, Error> {
-        Ok(self.run_spec(&parse_spec(text)?))
+        let spec = {
+            let _span = obs::span("parse");
+            parse_spec(text)?
+        };
+        Ok(self.run_spec(&spec))
     }
 
     /// The content address of running `spec` on this session — the key under
@@ -710,6 +715,7 @@ impl Report {
     /// replayed with the rest of the stored report.
     pub fn to_wire_json(&self) -> wire::Json {
         use wire::Json;
+        let _span = obs::span("render");
         let typecheck = match &self.typecheck {
             None => Json::Null,
             Some(Ok(())) => Json::obj([("ok", Json::Bool(true))]),

@@ -374,7 +374,21 @@ pub struct ExploreConfig {
     /// When set, workers poll this flag between state expansions and abort
     /// the run ([`ExploreStatus::Aborted`]) as soon as it flips.
     pub cancel: Option<CancelToken>,
+    /// How many expansions (per worker) between progress samples published
+    /// to the process `obs` registry — the `explore_states` /
+    /// `explore_frontier` / `explore_depth` / `explore_states_per_sec`
+    /// gauges and the `explore.progress` heartbeat trace event, so a
+    /// 10⁸-state run is observable while it happens. `0` disables sampling;
+    /// the default ([`DEFAULT_PROGRESS_EVERY`]) keeps the per-expansion cost
+    /// to one decrement-and-branch.
+    pub progress_every: usize,
 }
+
+/// The default [`ExploreConfig::progress_every`] sampling stride: rare
+/// enough that the gauge stores and clock reads vanish against the cost of
+/// expanding 8192 states, frequent enough that a stuck run is visible
+/// within seconds.
+pub const DEFAULT_PROGRESS_EVERY: usize = 8192;
 
 impl ExploreConfig {
     /// A serial exploration with the given state bound.
@@ -384,6 +398,7 @@ impl ExploreConfig {
             max_states,
             strategy: Strategy::default(),
             cancel: None,
+            progress_every: DEFAULT_PROGRESS_EVERY,
         }
     }
 
@@ -394,6 +409,7 @@ impl ExploreConfig {
             max_states,
             strategy: Strategy::default(),
             cancel: None,
+            progress_every: DEFAULT_PROGRESS_EVERY,
         }
     }
 
@@ -407,6 +423,89 @@ impl ExploreConfig {
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = Some(cancel);
         self
+    }
+
+    /// Sets the progress sampling stride (`0` disables sampling).
+    pub fn with_progress_every(mut self, every: usize) -> Self {
+        self.progress_every = every;
+        self
+    }
+}
+
+/// The sampled progress reporter: every `every` expansions it publishes the
+/// run's vital signs as process-wide gauges and (when a trace sink is
+/// installed) one `explore.progress` heartbeat event. Off the sampling
+/// points the whole mechanism costs one decrement-and-branch per expansion —
+/// nothing on the hot path allocates, locks or reads a clock.
+struct Progress {
+    every: usize,
+    countdown: usize,
+    last_us: u64,
+    last_states: usize,
+    states: obs::Gauge,
+    frontier: obs::Gauge,
+    depth: obs::Gauge,
+    rate: obs::Gauge,
+    expansions: obs::Counter,
+}
+
+impl Progress {
+    fn new(every: usize) -> Option<Progress> {
+        if every == 0 {
+            return None;
+        }
+        let registry = obs::global();
+        Some(Progress {
+            every,
+            countdown: every,
+            last_us: registry.now_us(),
+            last_states: 0,
+            states: registry.gauge("explore_states"),
+            frontier: registry.gauge("explore_frontier"),
+            depth: registry.gauge("explore_depth"),
+            rate: registry.gauge("explore_states_per_sec"),
+            expansions: registry.counter("explore_expansions_total"),
+        })
+    }
+
+    /// Counts one expansion; `true` when a sample is due.
+    #[inline]
+    fn due(&mut self) -> bool {
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = self.every;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Publishes one sample. The states/sec figure is measured over the
+    /// window since this reporter's previous sample (workers report the
+    /// global registered-state count, so the rate approximates the whole
+    /// run's, not one worker's share).
+    fn report(&mut self, states: usize, frontier: usize, depth: u32) {
+        let registry = obs::global();
+        let now = registry.now_us();
+        let window_us = now.saturating_sub(self.last_us).max(1);
+        let delta = states.saturating_sub(self.last_states) as u128;
+        let rate = (delta * 1_000_000 / u128::from(window_us)) as u64;
+        self.states.set(states as u64);
+        self.frontier.set(frontier as u64);
+        self.depth.set(u64::from(depth));
+        self.rate.set(rate);
+        self.expansions.add(self.every as u64);
+        registry.trace_event(
+            "explore.progress",
+            &[
+                ("depth", u64::from(depth)),
+                ("frontier", frontier as u64),
+                ("states", states as u64),
+                ("states_per_sec", rate),
+            ],
+        );
+        self.last_us = now;
+        self.last_states = states;
     }
 }
 
@@ -581,6 +680,7 @@ where
             &monitor,
             &heuristic,
             cancel,
+            config.progress_every,
         );
     }
     explore_parallel(
@@ -590,6 +690,7 @@ where
         max_states,
         &monitor,
         cancel,
+        config.progress_every,
     )
 }
 
@@ -597,6 +698,7 @@ where
 // Serial path: one thread, frontier order decided by the strategy.
 // ---------------------------------------------------------------------------
 
+#[allow(clippy::too_many_arguments)] // internal: mirrors ExploreConfig field-for-field
 fn explore_serial<S, L, F, M, H>(
     initial: S,
     succ: &F,
@@ -605,6 +707,7 @@ fn explore_serial<S, L, F, M, H>(
     monitor: &M,
     heuristic: &H,
     cancel: Option<&CancelToken>,
+    progress_every: usize,
 ) -> Exploration<S, L>
 where
     S: Clone + Eq + Hash,
@@ -617,7 +720,10 @@ where
     let mut index: HashMap<S, usize> = HashMap::new();
     let mut transitions: Vec<Vec<(L, usize)>> = Vec::new();
     let mut parents: Vec<Option<(usize, L)>> = Vec::new();
+    // Discovery depth per state (root = 0), kept for progress samples.
+    let mut depths: Vec<u32> = Vec::new();
     let mut frontier = strategy.frontier();
+    let mut progress = Progress::new(progress_every);
     let mut truncated = false;
     let mut cancelled = false;
     let mut aborted = false;
@@ -627,6 +733,7 @@ where
     index.insert(initial, 0);
     transitions.push(Vec::new());
     parents.push(None);
+    depths.push(0);
 
     while let Some(i) = frontier.pop() {
         if cancel.is_some_and(CancelToken::is_cancelled) {
@@ -651,6 +758,7 @@ where
                     index.insert(next, j);
                     transitions.push(Vec::new());
                     parents.push(Some((i, label.clone())));
+                    depths.push(depths[i] + 1);
                     j
                 }
             };
@@ -658,6 +766,11 @@ where
         }
         let decided = monitor(&state, &out);
         transitions[i] = out;
+        if let Some(progress) = progress.as_mut() {
+            if progress.due() {
+                progress.report(states.len(), frontier.len(), depths[i]);
+            }
+        }
         if decided {
             cancelled = true;
             break;
@@ -728,9 +841,9 @@ struct Shared<S> {
     cancelled: AtomicBool,
     /// Whether an external [`CancelToken`] aborted the run.
     aborted: AtomicBool,
-    /// One work deque per worker; owners push/pop the back, thieves the
-    /// front.
-    queues: Vec<Mutex<VecDeque<(usize, S)>>>,
+    /// One work deque per worker — `(provisional id, state, depth)`; owners
+    /// push/pop the back, thieves the front.
+    queues: Vec<Mutex<VecDeque<(usize, S, u32)>>>,
     /// Parking lot for workers that found no work after a short spin: the
     /// mutex only guards the right to wait, and every state change that can
     /// unblock a waiter (a push, the frontier draining, stop) notifies under
@@ -807,7 +920,7 @@ where
     /// from the front of every sibling — the standard work-stealing
     /// discipline (owners stay cache-warm, thieves take the work most likely
     /// to fan out).
-    fn find_work(&self, me: usize) -> Option<(usize, S)> {
+    fn find_work(&self, me: usize) -> Option<(usize, S, u32)> {
         if let Some(task) = self.queues[me].lock().pop_back() {
             return Some(task);
         }
@@ -837,7 +950,7 @@ where
     /// sleeper, and every producer either notifies under the same lock or
     /// published its change before reading `sleepers == 0`, so a wakeup
     /// cannot slip through between the check and the wait.
-    fn park(&self, me: usize) -> Option<(usize, S)> {
+    fn park(&self, me: usize) -> Option<(usize, S, u32)> {
         let mut guard = self.idle.lock();
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         let found = loop {
@@ -861,6 +974,7 @@ fn explore_parallel<S, L, F, M>(
     max_states: usize,
     monitor: &M,
     cancel: Option<&CancelToken>,
+    progress_every: usize,
 ) -> Exploration<S, L>
 where
     S: Clone + Eq + Hash + Send + Sync,
@@ -874,15 +988,24 @@ where
         .register(&initial, max_states)
         .expect("max_states >= 1 admits the initial state");
     shared.pending.store(1, Ordering::Relaxed);
-    shared.queues[0].lock().push_back((root, initial));
+    shared.queues[0].lock().push_back((root, initial, 0));
 
     let mut records: Vec<Record<S, L>> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for me in 0..workers {
             let shared = &shared;
-            handles
-                .push(scope.spawn(move || worker(me, shared, succ, monitor, max_states, cancel)));
+            handles.push(scope.spawn(move || {
+                worker(
+                    me,
+                    shared,
+                    succ,
+                    monitor,
+                    max_states,
+                    cancel,
+                    progress_every,
+                )
+            }));
         }
         for handle in handles {
             records.extend(handle.join().expect("exploration worker panicked"));
@@ -931,6 +1054,7 @@ where
     }
 }
 
+#[allow(clippy::too_many_arguments)] // internal: one slot per shared knob
 fn worker<S, L, F, M>(
     me: usize,
     shared: &Shared<S>,
@@ -938,6 +1062,7 @@ fn worker<S, L, F, M>(
     monitor: &M,
     max_states: usize,
     cancel: Option<&CancelToken>,
+    progress_every: usize,
 ) -> Vec<Record<S, L>>
 where
     S: Clone + Eq + Hash,
@@ -952,6 +1077,7 @@ where
 
     let mut records = Vec::new();
     let mut spins = 0usize;
+    let mut progress = Progress::new(progress_every);
     loop {
         if shared.stop.load(Ordering::Relaxed) {
             break;
@@ -962,7 +1088,7 @@ where
             shared.wake_sleepers();
             break;
         }
-        let Some((pid, state)) = shared.find_work(me).or_else(|| {
+        let Some((pid, state, depth)) = shared.find_work(me).or_else(|| {
             if shared.pending.load(Ordering::Relaxed) == 0 {
                 return None;
             }
@@ -990,7 +1116,7 @@ where
                 if let Some((target, fresh)) = shared.register(&next, max_states) {
                     out.push((label, target));
                     if fresh {
-                        queue.push((target, next));
+                        queue.push((target, next, depth + 1));
                     }
                 }
             }
@@ -1006,6 +1132,17 @@ where
             shared.wake_sleepers();
         }
         records.push((pid, state, out));
+        if let Some(progress) = progress.as_mut() {
+            if progress.due() {
+                // Sampled from the shared atomics: registered states and the
+                // global frontier, plus this worker's current task depth.
+                progress.report(
+                    shared.count.load(Ordering::Relaxed),
+                    shared.pending.load(Ordering::Relaxed),
+                    depth,
+                );
+            }
+        }
         if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
             // Frontier drained: wake everyone for the final exit check.
             shared.wake_sleepers();

@@ -291,7 +291,10 @@ impl Verifier {
         if let Some(cancel) = &self.cancel {
             builder = builder.with_cancel(cancel.clone());
         }
-        let exploration = builder.build_exploration(ty, self.max_states);
+        let exploration = {
+            let _span = obs::span("explore");
+            builder.build_exploration(ty, self.max_states)
+        };
         if exploration.status == ExploreStatus::Aborted {
             return Err(VerifyError::Cancelled);
         }
@@ -323,6 +326,7 @@ impl Verifier {
         self.check_applicable(env, ty)?;
         let start = Instant::now();
         let (probed_env, lts) = self.build_lts_for(env, ty, &property.interfaces())?;
+        let _span = obs::span("check");
         let holds = property.holds(&self.checker, &probed_env, &lts);
         let trace = if holds {
             None
@@ -360,6 +364,7 @@ impl Verifier {
         }
         let (probed_env, lts) = self.build_lts_for(env, ty, &targets)?;
         let build_time = build_start.elapsed();
+        let _span = obs::span("check");
         let mut out = Vec::with_capacity(properties.len());
         for p in properties {
             let start = Instant::now();

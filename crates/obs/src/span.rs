@@ -1,0 +1,326 @@
+//! RAII spans and the per-request phase collector.
+//!
+//! A [`Span`] times one named phase: opening reads the registry clock and
+//! pushes the span onto a thread-local nesting stack (so trace events carry
+//! parent ids); dropping records the elapsed microseconds into the
+//! `span_<name>_us` histogram, notes the phase in the thread's active
+//! [`phases`] collector (if any), and emits a JSONL trace event when the
+//! registry has a trace sink installed.
+
+use std::cell::RefCell;
+
+use crate::registry::{Histogram, Registry};
+
+thread_local! {
+    /// The stack of open span ids on this thread (for parent attribution).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open phase timer; closes (and records) on drop.
+pub struct Span {
+    registry: &'static Registry,
+    name: &'static str,
+    histogram: Histogram,
+    id: u64,
+    parent: Option<u64>,
+    start_us: u64,
+}
+
+impl Span {
+    pub(crate) fn open(registry: &'static Registry, name: &'static str) -> Span {
+        let id = registry.next_span_id();
+        let parent = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied();
+            stack.push(id);
+            parent
+        });
+        let mut hist_name = String::with_capacity(name.len() + 8);
+        hist_name.push_str("span_");
+        hist_name.push_str(name);
+        hist_name.push_str("_us");
+        Span {
+            registry,
+            name,
+            histogram: registry.histogram(&hist_name),
+            id,
+            parent,
+            start_us: registry.now_us(),
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Microseconds elapsed since the span opened.
+    pub fn elapsed_us(&self) -> u64 {
+        self.registry.now_us().saturating_sub(self.start_us)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur_us = self.elapsed_us();
+        self.histogram.record(dur_us);
+        phases::note(self.name, dur_us);
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Spans are values; drop order can interleave under early returns,
+            // so remove *this* id rather than assuming it is on top.
+            if let Some(at) = stack.iter().rposition(|&id| id == self.id) {
+                stack.remove(at);
+            }
+        });
+        self.registry
+            .trace_span(self.name, self.id, self.parent, self.start_us, dur_us);
+    }
+}
+
+/// The per-request phase breakdown: wrap a request in [`collect`](phases::collect)
+/// and every span closed on the thread inside it is aggregated here by name.
+pub mod phases {
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// A stack of active collectors (collections nest; spans feed the
+        /// innermost one).
+        static COLLECTORS: RefCell<Vec<Vec<(&'static str, u64)>>> =
+            const { RefCell::new(Vec::new()) };
+    }
+
+    /// An aggregated per-request phase breakdown, in first-seen order.
+    #[derive(Clone, PartialEq, Eq, Debug, Default)]
+    pub struct Phases {
+        entries: Vec<(&'static str, u64)>,
+    }
+
+    impl Phases {
+        /// `(phase name, total microseconds)` pairs, first-seen order.
+        pub fn entries(&self) -> &[(&'static str, u64)] {
+            &self.entries
+        }
+
+        /// Sum of all phase durations, microseconds.
+        pub fn total_us(&self) -> u64 {
+            self.entries.iter().map(|(_, us)| us).sum()
+        }
+
+        /// Whether nothing was recorded.
+        pub fn is_empty(&self) -> bool {
+            self.entries.is_empty()
+        }
+
+        /// A compact single-line rendering — `parse:120us explore:3ms …` —
+        /// for log lines.
+        pub fn to_log_fragment(&self) -> String {
+            let mut out = String::new();
+            for (i, (name, us)) in self.entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(name);
+                out.push(':');
+                out.push_str(&format_us(*us));
+            }
+            out
+        }
+
+        /// A deterministic JSON object — `{"explore_us":3120,"parse_us":120}`
+        /// (keys sorted) — for response frames and structured logs.
+        pub fn to_json_text(&self) -> String {
+            let mut sorted: Vec<(&'static str, u64)> = self.entries.clone();
+            sorted.sort_unstable_by_key(|(name, _)| *name);
+            let mut out = String::with_capacity(64);
+            out.push('{');
+            for (i, (name, us)) in sorted.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                crate::registry::push_json_str(&mut out, &format!("{name}_us"));
+                out.push(':');
+                out.push_str(&us.to_string());
+            }
+            out.push('}');
+            out
+        }
+    }
+
+    /// Renders microseconds human-readably (`87us`, `1.2ms`, `3.45s`).
+    pub fn format_us(us: u64) -> String {
+        if us < 1_000 {
+            format!("{us}us")
+        } else if us < 1_000_000 {
+            format!("{:.1}ms", us as f64 / 1_000.0)
+        } else {
+            format!("{:.2}s", us as f64 / 1_000_000.0)
+        }
+    }
+
+    /// Runs `f` with a fresh collector active on this thread and returns its
+    /// result alongside the aggregated breakdown of every span that closed
+    /// inside it. Collections nest: an inner `collect` captures its own spans
+    /// and the outer one does not see them.
+    pub fn collect<T>(f: impl FnOnce() -> T) -> (T, Phases) {
+        COLLECTORS.with(|c| c.borrow_mut().push(Vec::new()));
+        // A panic in `f` must not leave the collector stacked; use a guard.
+        struct Guard;
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                COLLECTORS.with(|c| {
+                    c.borrow_mut().pop();
+                });
+            }
+        }
+        let result = {
+            let _guard = Guard;
+            let result = f();
+            // Take the samples before the guard pops the collector.
+            let samples = COLLECTORS.with(|c| std::mem::take(c.borrow_mut().last_mut().unwrap()));
+            (result, samples)
+        };
+        let (result, samples) = result;
+        let mut phases = Phases::default();
+        for (name, us) in samples {
+            match phases.entries.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, total)) => *total += us,
+                None => phases.entries.push((name, us)),
+            }
+        }
+        (result, phases)
+    }
+
+    /// Adds a closed span's duration to the innermost active collector, if
+    /// any. No-op (one thread-local read) otherwise.
+    pub(crate) fn note(name: &'static str, us: u64) {
+        COLLECTORS.with(|c| {
+            if let Some(top) = c.borrow_mut().last_mut() {
+                top.push((name, us));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::phases;
+    use crate::registry::{Registry, TestClock};
+    use std::sync::Arc;
+
+    fn leaked(clock: Arc<TestClock>) -> &'static Registry {
+        Box::leak(Box::new(Registry::with_clock(clock)))
+    }
+
+    #[test]
+    fn spans_record_into_their_histogram() {
+        let clock = Arc::new(TestClock::new());
+        let registry = leaked(clock.clone());
+        {
+            let span = registry.span("parse");
+            clock.advance_us(250);
+            assert_eq!(span.elapsed_us(), 250);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.histograms["span_parse_us"].count, 1);
+        assert_eq!(snap.histograms["span_parse_us"].sum, 250);
+    }
+
+    #[test]
+    fn nested_spans_attribute_parents_in_the_trace() {
+        let clock = Arc::new(TestClock::new());
+        let registry = leaked(clock.clone());
+        let (buffer, sink) = shared_buffer();
+        registry.set_trace(Some(Box::new(sink)));
+        {
+            let _outer = registry.span("verify");
+            clock.advance_us(10);
+            {
+                let _inner = registry.span("explore");
+                clock.advance_us(5);
+            }
+            clock.advance_us(1);
+        }
+        registry.set_trace(None);
+        let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        // The inner span closes (and is written) first, pointing at the outer.
+        assert_eq!(
+            lines[0],
+            "{\"dur_us\":5,\"id\":2,\"kind\":\"span\",\"name\":\"explore\",\"parent\":1,\"ts_us\":10}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"dur_us\":16,\"id\":1,\"kind\":\"span\",\"name\":\"verify\",\"parent\":null,\"ts_us\":0}"
+        );
+    }
+
+    #[test]
+    fn trace_events_render_sorted_fields() {
+        let clock = Arc::new(TestClock::new());
+        let registry = leaked(clock.clone());
+        let (buffer, sink) = shared_buffer();
+        registry.set_trace(Some(Box::new(sink)));
+        clock.set_us(42);
+        registry.trace_event("explore.progress", &[("states", 100), ("frontier", 7)]);
+        registry.set_trace(None);
+        let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        assert_eq!(
+            text,
+            "{\"fields\":{\"frontier\":7,\"states\":100},\"kind\":\"event\",\
+             \"name\":\"explore.progress\",\"ts_us\":42}\n"
+        );
+    }
+
+    #[test]
+    fn collect_aggregates_by_name_and_nests() {
+        let clock = Arc::new(TestClock::new());
+        let registry = leaked(clock.clone());
+        let ((), outer) = phases::collect(|| {
+            {
+                let _s = registry.span("probe");
+                clock.advance_us(10);
+            }
+            {
+                let _s = registry.span("probe");
+                clock.advance_us(7);
+            }
+            let ((), inner) = phases::collect(|| {
+                let _s = registry.span("hidden");
+                clock.advance_us(3);
+            });
+            assert_eq!(inner.entries(), &[("hidden", 3)]);
+        });
+        assert_eq!(outer.entries(), &[("probe", 17)]);
+        assert_eq!(outer.total_us(), 17);
+        assert_eq!(outer.to_json_text(), "{\"probe_us\":17}");
+        assert_eq!(outer.to_log_fragment(), "probe:17us");
+    }
+
+    #[test]
+    fn format_us_picks_sensible_units() {
+        assert_eq!(phases::format_us(87), "87us");
+        assert_eq!(phases::format_us(1_200), "1.2ms");
+        assert_eq!(phases::format_us(3_450_000), "3.45s");
+    }
+
+    /// A `Write` handle over a shared byte buffer.
+    fn shared_buffer() -> (
+        Arc<std::sync::Mutex<Vec<u8>>>,
+        impl std::io::Write + Send + 'static,
+    ) {
+        struct SharedSink(Arc<std::sync::Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buffer = Arc::new(std::sync::Mutex::new(Vec::new()));
+        (buffer.clone(), SharedSink(buffer))
+    }
+}

@@ -1,0 +1,160 @@
+//! Golden tests pinning the two exposition renderings byte-for-byte.
+//!
+//! The clock is injected ([`obs::TestClock`]), every metric is recorded by
+//! hand, and the registry is fresh — so both the JSON text and the
+//! Prometheus text are fully deterministic and any formatting drift (key
+//! order, bucket cumulation, name sanitisation, prefixing) fails here
+//! instead of surfacing as a broken dashboard.
+
+use std::sync::Arc;
+
+use obs::{Registry, TestClock};
+
+fn scripted_registry() -> (&'static Registry, Arc<TestClock>) {
+    let clock = Arc::new(TestClock::new());
+    let registry: &'static Registry = Box::leak(Box::new(Registry::with_clock(clock.clone())));
+
+    registry.counter("requests_total").add(3);
+    registry.counter("cache_hits").add(2);
+    registry.gauge("explore_frontier").set(17);
+    registry.gauge("explore_states").set(4200);
+
+    let latency = registry.histogram_with("span_verify_us", &[100, 1_000, 10_000]);
+    latency.record(50); // le=100
+    latency.record(100); // le=100 (inclusive bound)
+    latency.record(900); // le=1000
+    latency.record(20_000); // +Inf
+
+    // A span driven by the test clock, nested to exercise parent tracking.
+    {
+        let _outer = registry.span("request");
+        clock.advance_us(40);
+        {
+            let _inner = registry.span("parse");
+            clock.advance_us(10);
+        }
+        clock.advance_us(2);
+    }
+    (registry, clock)
+}
+
+#[test]
+fn metrics_json_rendering_is_pinned() {
+    let (registry, _clock) = scripted_registry();
+    let json = registry.snapshot().to_json_text();
+    assert_eq!(
+        json,
+        concat!(
+            "{\"counters\":{\"cache_hits\":2,\"requests_total\":3},",
+            "\"gauges\":{\"explore_frontier\":17,\"explore_states\":4200},",
+            "\"histograms\":{",
+            "\"span_parse_us\":{\"buckets\":[",
+            "{\"count\":1,\"le\":50},{\"count\":0,\"le\":100},{\"count\":0,\"le\":250},",
+            "{\"count\":0,\"le\":500},{\"count\":0,\"le\":1000},{\"count\":0,\"le\":2500},",
+            "{\"count\":0,\"le\":5000},{\"count\":0,\"le\":10000},{\"count\":0,\"le\":25000},",
+            "{\"count\":0,\"le\":50000},{\"count\":0,\"le\":100000},{\"count\":0,\"le\":250000},",
+            "{\"count\":0,\"le\":500000},{\"count\":0,\"le\":1000000},{\"count\":0,\"le\":5000000},",
+            "{\"count\":0,\"le\":30000000},{\"count\":0,\"le\":null}],\"count\":1,\"sum\":10},",
+            "\"span_request_us\":{\"buckets\":[",
+            "{\"count\":0,\"le\":50},{\"count\":1,\"le\":100},{\"count\":0,\"le\":250},",
+            "{\"count\":0,\"le\":500},{\"count\":0,\"le\":1000},{\"count\":0,\"le\":2500},",
+            "{\"count\":0,\"le\":5000},{\"count\":0,\"le\":10000},{\"count\":0,\"le\":25000},",
+            "{\"count\":0,\"le\":50000},{\"count\":0,\"le\":100000},{\"count\":0,\"le\":250000},",
+            "{\"count\":0,\"le\":500000},{\"count\":0,\"le\":1000000},{\"count\":0,\"le\":5000000},",
+            "{\"count\":0,\"le\":30000000},{\"count\":0,\"le\":null}],\"count\":1,\"sum\":52},",
+            "\"span_verify_us\":{\"buckets\":[",
+            "{\"count\":2,\"le\":100},{\"count\":1,\"le\":1000},",
+            "{\"count\":0,\"le\":10000},{\"count\":1,\"le\":null}],",
+            "\"count\":4,\"sum\":21050}",
+            "}}"
+        )
+    );
+}
+
+#[test]
+fn prometheus_text_rendering_is_pinned() {
+    let (registry, _clock) = scripted_registry();
+    let text = registry.snapshot().to_prometheus_text();
+    let expected = concat!(
+        "# TYPE effpi_cache_hits counter\n",
+        "effpi_cache_hits 2\n",
+        "# TYPE effpi_requests_total counter\n",
+        "effpi_requests_total 3\n",
+        "# TYPE effpi_explore_frontier gauge\n",
+        "effpi_explore_frontier 17\n",
+        "# TYPE effpi_explore_states gauge\n",
+        "effpi_explore_states 4200\n",
+        "# TYPE effpi_span_parse_us histogram\n",
+        "effpi_span_parse_us_bucket{le=\"50\"} 1\n",
+        "effpi_span_parse_us_bucket{le=\"100\"} 1\n",
+        "effpi_span_parse_us_bucket{le=\"250\"} 1\n",
+        "effpi_span_parse_us_bucket{le=\"500\"} 1\n",
+        "effpi_span_parse_us_bucket{le=\"1000\"} 1\n",
+        "effpi_span_parse_us_bucket{le=\"2500\"} 1\n",
+        "effpi_span_parse_us_bucket{le=\"5000\"} 1\n",
+        "effpi_span_parse_us_bucket{le=\"10000\"} 1\n",
+        "effpi_span_parse_us_bucket{le=\"25000\"} 1\n",
+        "effpi_span_parse_us_bucket{le=\"50000\"} 1\n",
+        "effpi_span_parse_us_bucket{le=\"100000\"} 1\n",
+        "effpi_span_parse_us_bucket{le=\"250000\"} 1\n",
+        "effpi_span_parse_us_bucket{le=\"500000\"} 1\n",
+        "effpi_span_parse_us_bucket{le=\"1000000\"} 1\n",
+        "effpi_span_parse_us_bucket{le=\"5000000\"} 1\n",
+        "effpi_span_parse_us_bucket{le=\"30000000\"} 1\n",
+        "effpi_span_parse_us_bucket{le=\"+Inf\"} 1\n",
+        "effpi_span_parse_us_sum 10\n",
+        "effpi_span_parse_us_count 1\n",
+        "# TYPE effpi_span_request_us histogram\n",
+        "effpi_span_request_us_bucket{le=\"50\"} 0\n",
+        "effpi_span_request_us_bucket{le=\"100\"} 1\n",
+        "effpi_span_request_us_bucket{le=\"250\"} 1\n",
+        "effpi_span_request_us_bucket{le=\"500\"} 1\n",
+        "effpi_span_request_us_bucket{le=\"1000\"} 1\n",
+        "effpi_span_request_us_bucket{le=\"2500\"} 1\n",
+        "effpi_span_request_us_bucket{le=\"5000\"} 1\n",
+        "effpi_span_request_us_bucket{le=\"10000\"} 1\n",
+        "effpi_span_request_us_bucket{le=\"25000\"} 1\n",
+        "effpi_span_request_us_bucket{le=\"50000\"} 1\n",
+        "effpi_span_request_us_bucket{le=\"100000\"} 1\n",
+        "effpi_span_request_us_bucket{le=\"250000\"} 1\n",
+        "effpi_span_request_us_bucket{le=\"500000\"} 1\n",
+        "effpi_span_request_us_bucket{le=\"1000000\"} 1\n",
+        "effpi_span_request_us_bucket{le=\"5000000\"} 1\n",
+        "effpi_span_request_us_bucket{le=\"30000000\"} 1\n",
+        "effpi_span_request_us_bucket{le=\"+Inf\"} 1\n",
+        "effpi_span_request_us_sum 52\n",
+        "effpi_span_request_us_count 1\n",
+        "# TYPE effpi_span_verify_us histogram\n",
+        "effpi_span_verify_us_bucket{le=\"100\"} 2\n",
+        "effpi_span_verify_us_bucket{le=\"1000\"} 3\n",
+        "effpi_span_verify_us_bucket{le=\"10000\"} 3\n",
+        "effpi_span_verify_us_bucket{le=\"+Inf\"} 4\n",
+        "effpi_span_verify_us_sum 21050\n",
+        "effpi_span_verify_us_count 4\n",
+    );
+    assert_eq!(text, expected);
+}
+
+#[test]
+fn the_two_renderings_describe_the_same_snapshot() {
+    let (registry, _clock) = scripted_registry();
+    let snapshot = registry.snapshot();
+    let json = snapshot.to_json_text();
+    let prom = snapshot.to_prometheus_text();
+    // Every counter and gauge value appears in both renderings.
+    for (name, value) in snapshot.counters.iter().chain(snapshot.gauges.iter()) {
+        assert!(
+            json.contains(&format!("\"{name}\":{value}")),
+            "{name} in JSON"
+        );
+        assert!(
+            prom.contains(&format!("effpi_{name} {value}")),
+            "{name} in text"
+        );
+    }
+    // Histogram totals agree.
+    for (name, hist) in &snapshot.histograms {
+        assert!(json.contains(&format!("\"count\":{}", hist.count)));
+        assert!(prom.contains(&format!("effpi_{name}_count {}", hist.count)));
+    }
+}

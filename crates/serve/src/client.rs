@@ -15,7 +15,7 @@ use std::path::Path;
 
 use wire::Json;
 
-use crate::protocol::{Request, VerifyOptions, WireReport};
+use crate::protocol::{MetricsFormat, Request, VerifyOptions, WireReport};
 
 /// An error talking to the server.
 #[derive(Debug)]
@@ -253,6 +253,44 @@ impl Client {
         body.get("stats")
             .cloned()
             .ok_or_else(|| ClientError::Protocol("stats response without \"stats\"".into()))
+    }
+
+    /// Fetches the full telemetry snapshot as the raw `metrics` JSON object
+    /// (counters, gauges and latency histograms of the server process).
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol errors.
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::Metrics {
+            id,
+            format: MetricsFormat::Json,
+        })?;
+        let body = self.recv_for(id)?;
+        body.get("metrics")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("metrics response without \"metrics\"".into()))
+    }
+
+    /// Fetches the telemetry snapshot as Prometheus-style text exposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or protocol errors.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::Metrics {
+            id,
+            format: MetricsFormat::Text,
+        })?;
+        let body = self.recv_for(id)?;
+        body.get("metrics_text")
+            .and_then(Json::as_str)
+            .map(String::from)
+            .ok_or_else(|| {
+                ClientError::Protocol("metrics response without \"metrics_text\"".into())
+            })
     }
 
     /// Asks the server to drop a not-yet-started `verify` of this

@@ -60,5 +60,5 @@ pub mod server;
 
 pub use cache::{CacheConfig, CacheStats, VerdictCache};
 pub use client::{Client, ClientError, Response, VerifyReply};
-pub use protocol::{ErrorKind, Request, VerifyOptions, WireReport};
-pub use server::{Endpoints, Server, ServerConfig, ServerHandle, StoreTier};
+pub use protocol::{ErrorKind, MetricsFormat, Request, VerifyOptions, WireReport};
+pub use server::{Endpoints, Server, ServerConfig, ServerHandle, StoreTier, STATS_SCHEMA};

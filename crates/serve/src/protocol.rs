@@ -54,7 +54,8 @@ impl fmt::Display for ErrorKind {
 }
 
 /// Per-request engine overrides of a `verify` request; `None` fields use the
-/// server's defaults. All of these are part of the cache key.
+/// server's defaults. All of these except `profile` are part of the cache
+/// key.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct VerifyOptions {
     /// Overrides the state bound.
@@ -70,6 +71,33 @@ pub struct VerifyOptions {
     /// key whenever it is not the default `"bfs"`, so bounded runs explored
     /// under different disciplines never share a verdict.
     pub strategy: Option<Strategy>,
+    /// When `true`, the response frame carries a `"phases"` object with the
+    /// per-phase timing breakdown of *this* request (parse, fingerprint,
+    /// cache probes, exploration, checking, rendering — microseconds).
+    /// Observability only: it never touches the cache key, and the report
+    /// bytes are identical with or without it.
+    pub profile: bool,
+}
+
+/// How a `metrics` reply renders the snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MetricsFormat {
+    /// A structured `"metrics"` JSON object (the default).
+    #[default]
+    Json,
+    /// Prometheus-style text exposition, carried as a `"metrics_text"`
+    /// string.
+    Text,
+}
+
+impl MetricsFormat {
+    /// The wire spelling of the `format` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricsFormat::Json => "json",
+            MetricsFormat::Text => "text",
+        }
+    }
 }
 
 /// A parsed request frame.
@@ -88,6 +116,14 @@ pub enum Request {
     Stats {
         /// Client-chosen id echoed in the response.
         id: u64,
+    },
+    /// Export the full telemetry snapshot (every counter, gauge and latency
+    /// histogram of the process-wide metric registry).
+    Metrics {
+        /// Client-chosen id echoed in the response.
+        id: u64,
+        /// The exposition format of the reply.
+        format: MetricsFormat,
     },
     /// Cancel a not-yet-started `verify` previously sent **on the same
     /// connection**.
@@ -160,6 +196,12 @@ impl Request {
                         Some(Strategy::parse(text).map_err(|e| err(format!("\"strategy\": {e}")))?)
                     }
                 };
+                let profile = match root.get("profile") {
+                    None | Some(Json::Null) => false,
+                    Some(v) => v
+                        .as_bool()
+                        .ok_or_else(|| err("\"profile\" must be a boolean".into()))?,
+                };
                 Ok(Request::Verify {
                     id,
                     spec,
@@ -169,10 +211,22 @@ impl Request {
                         max_unfold: field("max_unfold")?,
                         auto_probe,
                         strategy,
+                        profile,
                     },
                 })
             }
             "stats" => Ok(Request::Stats { id }),
+            "metrics" => {
+                let format = match root.get("format") {
+                    None | Some(Json::Null) => MetricsFormat::Json,
+                    Some(v) => match v.as_str() {
+                        Some("json") => MetricsFormat::Json,
+                        Some("text") => MetricsFormat::Text,
+                        _ => return Err(err("\"format\" must be \"json\" or \"text\"".into())),
+                    },
+                };
+                Ok(Request::Metrics { id, format })
+            }
             "cancel" => {
                 let target = root
                     .get("target")
@@ -210,9 +264,17 @@ impl Request {
                 if let Some(s) = options.strategy {
                     fields.push(("strategy".to_string(), Json::str(s.to_string())));
                 }
+                if options.profile {
+                    fields.push(("profile".to_string(), Json::Bool(true)));
+                }
                 Json::obj(fields)
             }
             Request::Stats { id } => simple_op("stats", *id),
+            Request::Metrics { id, format } => Json::obj([
+                ("op", Json::str("metrics")),
+                ("id", Json::Num(*id as f64)),
+                ("format", Json::str(format.as_str())),
+            ]),
             Request::Cancel { id, target } => Json::obj([
                 ("op", Json::str("cancel")),
                 ("id", Json::Num(*id as f64)),
@@ -260,6 +322,32 @@ pub fn verify_response_line(id: u64, cached: bool, key: &str, report: &str) -> S
         "{{\"cached\":{cached},\"id\":{id},\"key\":{},\"ok\":true,\"report\":{report}}}",
         Json::str(key)
     )
+}
+
+/// [`verify_response_line`] with the request's phase breakdown spliced in —
+/// only sent when the `verify` asked for `"profile": true`. `phases_json` is
+/// an already-rendered JSON object (`obs::phases::Phases::to_json_text`);
+/// field order stays the sorted-key order of every other frame.
+pub fn verify_response_line_profiled(
+    id: u64,
+    cached: bool,
+    key: &str,
+    report: &str,
+    phases_json: &str,
+) -> String {
+    format!(
+        "{{\"cached\":{cached},\"id\":{id},\"key\":{},\"ok\":true,\
+         \"phases\":{phases_json},\"report\":{report}}}",
+        Json::str(key)
+    )
+}
+
+/// Builds a successful `metrics` response line around the registry
+/// snapshot's **already-rendered** JSON text (`obs::Snapshot::to_json_text`
+/// renders deterministically and is wire-parseable, so the bytes are spliced
+/// straight in, like a cached report).
+pub fn metrics_response_line(id: u64, snapshot_json: &str) -> String {
+    format!("{{\"id\":{id},\"metrics\":{snapshot_json},\"ok\":true}}")
 }
 
 /// Builds a failure response (`id` may be unknown for unparseable frames).
@@ -384,7 +472,23 @@ mod tests {
                     ..VerifyOptions::default()
                 },
             },
+            Request::Verify {
+                id: 9,
+                spec: "env x : cio[int]\ntype i[x, Pi(v: int) nil]".into(),
+                options: VerifyOptions {
+                    profile: true,
+                    ..VerifyOptions::default()
+                },
+            },
             Request::Stats { id: 1 },
+            Request::Metrics {
+                id: 5,
+                format: MetricsFormat::Json,
+            },
+            Request::Metrics {
+                id: 6,
+                format: MetricsFormat::Text,
+            },
             Request::Cancel { id: 2, target: 7 },
             Request::Ping { id: 3 },
             Request::Shutdown { id: 4 },

@@ -62,7 +62,8 @@ use wire::Json;
 
 use crate::cache::{CacheConfig, VerdictCache};
 use crate::protocol::{
-    err_response, ok_response, verify_response_line, ErrorKind, Request, VerifyOptions,
+    err_response, metrics_response_line, ok_response, verify_response_line,
+    verify_response_line_profiled, ErrorKind, MetricsFormat, Request, VerifyOptions,
 };
 
 /// How long a blocked read waits before re-checking the shutdown flag, and
@@ -112,6 +113,10 @@ pub struct ServerConfig {
     /// misses populate it write-through, disk hits are promoted into the
     /// LRU, and a restarted daemon is warm from request one.
     pub store: Option<StoreTier>,
+    /// When `true`, every answered `verify` writes one structured log line
+    /// to stderr: request id, fingerprint, the tier that answered (`lru` /
+    /// `disk` / `cold`), the outcome, and the per-phase timing breakdown.
+    pub log_requests: bool,
 }
 
 impl Default for ServerConfig {
@@ -122,6 +127,7 @@ impl Default for ServerConfig {
             cache: CacheConfig::default(),
             default_max_states: 500_000,
             store: None,
+            log_requests: false,
         }
     }
 }
@@ -683,6 +689,18 @@ fn handle_frame(shared: &Arc<Shared>, conn: &Arc<Conn>, frame: &str) {
             }
         }
         Request::Stats { id } => conn.send(&ok_response(id, [("stats", stats_json(shared))])),
+        Request::Metrics { id, format } => {
+            let snapshot = synced_snapshot(shared);
+            match format {
+                MetricsFormat::Json => {
+                    conn.send(&metrics_response_line(id, &snapshot.to_json_text()));
+                }
+                MetricsFormat::Text => conn.send(&ok_response(
+                    id,
+                    [("metrics_text", Json::str(snapshot.to_prometheus_text()))],
+                )),
+            }
+        }
         Request::Cancel { id, target } => {
             let flags = conn.pending.lock().get(&target).cloned();
             let honoured = match flags {
@@ -706,139 +724,245 @@ fn handle_frame(shared: &Arc<Shared>, conn: &Arc<Conn>, frame: &str) {
     }
 }
 
-fn stats_json(shared: &Shared) -> Json {
-    let cache = shared.cache.lock().stats();
-    let config = &shared.config;
-    let num = |v: u64| Json::Num(v as f64);
-    // The persistent tier's counters: `null` when no `--store` is
-    // configured, so a monitoring client can tell "no disk tier" from "a
-    // disk tier that has seen no traffic".
-    let store_json = match &shared.store {
-        None => Json::Null,
-        Some(disk) => {
-            let s = disk.lock().stats();
-            Json::obj([
-                ("entries", Json::Num(s.entries as f64)),
-                ("states", Json::Num(s.states as f64)),
-                ("file_bytes", num(s.file_bytes)),
-                ("live_bytes", num(s.live_bytes)),
-                ("hits", num(s.hits)),
-                ("misses", num(s.misses)),
-                ("insertions", num(s.insertions)),
-                ("evictions", num(s.evictions)),
-                ("corrupt_rejected", num(s.corrupt_rejected)),
-                ("recovered_bytes_dropped", num(s.recovered_bytes_dropped)),
-                ("compactions", num(s.compactions)),
-                ("last_compaction_unix_ms", num(s.last_compaction_unix_ms)),
-                (
-                    "errors",
-                    num(shared.counters.store_errors.load(Ordering::SeqCst)),
-                ),
-            ])
-        }
+/// The shape of the `stats` reply: every section and every field it carries.
+/// Each field is backed by a registry gauge named `{section}_{field}`,
+/// refreshed from the live subsystems by `sync_registry`; `stats_json`
+/// renders *exactly* this table from the registry snapshot, the `metrics`
+/// surfaces export the same gauges, and `serve_bench` asserts stats replies
+/// against this same table — one source of truth for the stats shape.
+pub const STATS_SCHEMA: &[(&str, &[&str])] = &[
+    (
+        "cache",
+        &[
+            "hits",
+            "misses",
+            "disk_hits",
+            "insertions",
+            "evictions",
+            "uncacheable",
+            "entries",
+            "states",
+            "capacity_entries",
+            "capacity_states",
+        ],
+    ),
+    (
+        // The persistent tier's counters: rendered `null` when no `--store`
+        // is configured, so a monitoring client can tell "no disk tier" from
+        // "a disk tier that has seen no traffic".
+        "store",
+        &[
+            "entries",
+            "states",
+            "file_bytes",
+            "live_bytes",
+            "hits",
+            "misses",
+            "insertions",
+            "evictions",
+            "corrupt_rejected",
+            "recovered_bytes_dropped",
+            "compactions",
+            "last_compaction_unix_ms",
+            "errors",
+        ],
+    ),
+    (
+        "requests",
+        &["queued", "in_flight", "completed", "cancelled", "failed"],
+    ),
+    (
+        "engine",
+        &[
+            "workers",
+            "jobs",
+            "per_request_jobs",
+            "states_explored",
+            "connections",
+        ],
+    ),
+    (
+        // The hash-consing interner is process-wide and append-only, so a
+        // long-running daemon's memory cost and memo efficiency are part of
+        // its operational accounting. `types` and `terms` are the two
+        // retained-id counters (the type- and term-side arenas).
+        "interner",
+        &[
+            "types",
+            "terms",
+            "normalize_hits",
+            "normalize_misses",
+            "canonical_hits",
+            "canonical_misses",
+            "par_hits",
+            "par_misses",
+            "fv_hits",
+            "fv_misses",
+        ],
+    ),
+    (
+        // The checker's id-keyed derivation caches (subtyping, ▷◁, typing):
+        // process-wide hit/miss counters, the compounding second layer on
+        // top of the interner.
+        "checker",
+        &[
+            "subtype_hits",
+            "subtype_misses",
+            "interact_hits",
+            "interact_misses",
+            "typing_hits",
+            "typing_misses",
+        ],
+    ),
+];
+
+/// Copies every live subsystem statistic into its `{section}_{field}` gauge
+/// of the process-wide metric registry, making the registry snapshot the one
+/// place both `stats` and `metrics` render from.
+fn sync_registry(shared: &Shared) {
+    let registry = obs::global();
+    let set = |section: &str, field: &str, value: u64| {
+        registry.gauge(&format!("{section}_{field}")).set(value);
     };
-    Json::obj([
-        (
-            "cache",
-            Json::obj([
-                ("hits", num(cache.hits)),
-                ("misses", num(cache.misses)),
-                (
-                    "disk_hits",
-                    num(shared.counters.disk_hits.load(Ordering::SeqCst)),
+    let config = &shared.config;
+    let counters = &shared.counters;
+
+    let cache = shared.cache.lock().stats();
+    set("cache", "hits", cache.hits);
+    set("cache", "misses", cache.misses);
+    set(
+        "cache",
+        "disk_hits",
+        counters.disk_hits.load(Ordering::SeqCst),
+    );
+    set("cache", "insertions", cache.insertions);
+    set("cache", "evictions", cache.evictions);
+    set("cache", "uncacheable", cache.uncacheable);
+    set("cache", "entries", cache.entries as u64);
+    set("cache", "states", cache.states as u64);
+    set("cache", "capacity_entries", config.cache.max_entries as u64);
+    set("cache", "capacity_states", config.cache.max_states as u64);
+
+    if let Some(disk) = &shared.store {
+        let s = disk.lock().stats();
+        set("store", "entries", s.entries as u64);
+        set("store", "states", s.states as u64);
+        set("store", "file_bytes", s.file_bytes);
+        set("store", "live_bytes", s.live_bytes);
+        set("store", "hits", s.hits);
+        set("store", "misses", s.misses);
+        set("store", "insertions", s.insertions);
+        set("store", "evictions", s.evictions);
+        set("store", "corrupt_rejected", s.corrupt_rejected);
+        set(
+            "store",
+            "recovered_bytes_dropped",
+            s.recovered_bytes_dropped,
+        );
+        set("store", "compactions", s.compactions);
+        set(
+            "store",
+            "last_compaction_unix_ms",
+            s.last_compaction_unix_ms,
+        );
+        set(
+            "store",
+            "errors",
+            counters.store_errors.load(Ordering::SeqCst),
+        );
+    }
+
+    set("requests", "queued", shared.queue.lock().len() as u64);
+    set(
+        "requests",
+        "in_flight",
+        counters.in_flight.load(Ordering::SeqCst) as u64,
+    );
+    set(
+        "requests",
+        "completed",
+        counters.completed.load(Ordering::SeqCst),
+    );
+    set(
+        "requests",
+        "cancelled",
+        counters.cancelled.load(Ordering::SeqCst),
+    );
+    set("requests", "failed", counters.failed.load(Ordering::SeqCst));
+
+    set("engine", "workers", config.workers as u64);
+    set("engine", "jobs", config.jobs as u64);
+    set(
+        "engine",
+        "per_request_jobs",
+        config.per_request_jobs() as u64,
+    );
+    set(
+        "engine",
+        "states_explored",
+        counters.states_explored.load(Ordering::SeqCst),
+    );
+    set(
+        "engine",
+        "connections",
+        counters.connections.load(Ordering::SeqCst),
+    );
+
+    let intern = effpi::intern_stats();
+    set("interner", "types", intern.types as u64);
+    set("interner", "terms", intern.terms as u64);
+    set("interner", "normalize_hits", intern.normalize_hits);
+    set("interner", "normalize_misses", intern.normalize_misses);
+    set("interner", "canonical_hits", intern.canonical_hits);
+    set("interner", "canonical_misses", intern.canonical_misses);
+    set("interner", "par_hits", intern.par_hits);
+    set("interner", "par_misses", intern.par_misses);
+    set("interner", "fv_hits", intern.fv_hits);
+    set("interner", "fv_misses", intern.fv_misses);
+
+    let checker = effpi::checker_stats();
+    set("checker", "subtype_hits", checker.subtype_hits);
+    set("checker", "subtype_misses", checker.subtype_misses);
+    set("checker", "interact_hits", checker.interact_hits);
+    set("checker", "interact_misses", checker.interact_misses);
+    set("checker", "typing_hits", checker.typing_hits);
+    set("checker", "typing_misses", checker.typing_misses);
+}
+
+/// Refreshes the registry from this server's live stats and snapshots it.
+/// The sync-then-snapshot pair runs under a process-wide lock: several
+/// servers in one process (the test suites do this) share the global
+/// registry, and an interleaved sync from another server must not bleed its
+/// values into this server's snapshot.
+fn synced_snapshot(shared: &Shared) -> obs::Snapshot {
+    static SYNC: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = SYNC
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    sync_registry(shared);
+    obs::global().snapshot()
+}
+
+fn stats_json(shared: &Shared) -> Json {
+    let snapshot = synced_snapshot(shared);
+    let field_json = |section: &str, field: &str| {
+        let name = format!("{section}_{field}");
+        Json::Num(snapshot.gauges.get(&name).copied().unwrap_or(0) as f64)
+    };
+    Json::obj(STATS_SCHEMA.iter().map(|(section, fields)| {
+        if *section == "store" && shared.store.is_none() {
+            (*section, Json::Null)
+        } else {
+            (
+                *section,
+                Json::obj(
+                    fields
+                        .iter()
+                        .map(|field| (*field, field_json(section, field))),
                 ),
-                ("insertions", num(cache.insertions)),
-                ("evictions", num(cache.evictions)),
-                ("uncacheable", num(cache.uncacheable)),
-                ("entries", Json::Num(cache.entries as f64)),
-                ("states", Json::Num(cache.states as f64)),
-                (
-                    "capacity_entries",
-                    Json::Num(config.cache.max_entries as f64),
-                ),
-                ("capacity_states", Json::Num(config.cache.max_states as f64)),
-            ]),
-        ),
-        ("store", store_json),
-        (
-            "requests",
-            Json::obj([
-                ("queued", Json::Num(shared.queue.lock().len() as f64)),
-                (
-                    "in_flight",
-                    Json::Num(shared.counters.in_flight.load(Ordering::SeqCst) as f64),
-                ),
-                (
-                    "completed",
-                    num(shared.counters.completed.load(Ordering::SeqCst)),
-                ),
-                (
-                    "cancelled",
-                    num(shared.counters.cancelled.load(Ordering::SeqCst)),
-                ),
-                ("failed", num(shared.counters.failed.load(Ordering::SeqCst))),
-            ]),
-        ),
-        (
-            "engine",
-            Json::obj([
-                ("workers", Json::Num(config.workers as f64)),
-                ("jobs", Json::Num(config.jobs as f64)),
-                (
-                    "per_request_jobs",
-                    Json::Num(config.per_request_jobs() as f64),
-                ),
-                (
-                    "states_explored",
-                    num(shared.counters.states_explored.load(Ordering::SeqCst)),
-                ),
-                (
-                    "connections",
-                    num(shared.counters.connections.load(Ordering::SeqCst)),
-                ),
-            ]),
-        ),
-        (
-            // The hash-consing interner is process-wide and append-only, so
-            // a long-running daemon's memory cost and memo efficiency are
-            // part of its operational accounting (alongside the verdict
-            // cache's entry/state budgets above). `types` and `terms` are
-            // the two retained-id counters (the type- and term-side arenas).
-            "interner",
-            {
-                let intern = effpi::intern_stats();
-                Json::obj([
-                    ("types", Json::Num(intern.types as f64)),
-                    ("terms", Json::Num(intern.terms as f64)),
-                    ("normalize_hits", num(intern.normalize_hits)),
-                    ("normalize_misses", num(intern.normalize_misses)),
-                    ("canonical_hits", num(intern.canonical_hits)),
-                    ("canonical_misses", num(intern.canonical_misses)),
-                    ("par_hits", num(intern.par_hits)),
-                    ("par_misses", num(intern.par_misses)),
-                    ("fv_hits", num(intern.fv_hits)),
-                    ("fv_misses", num(intern.fv_misses)),
-                ])
-            },
-        ),
-        (
-            // The checker's id-keyed derivation caches (subtyping, ▷◁,
-            // typing): process-wide hit/miss counters, the compounding
-            // second layer on top of the interner.
-            "checker",
-            {
-                let checker = effpi::checker_stats();
-                Json::obj([
-                    ("subtype_hits", num(checker.subtype_hits)),
-                    ("subtype_misses", num(checker.subtype_misses)),
-                    ("interact_hits", num(checker.interact_hits)),
-                    ("interact_misses", num(checker.interact_misses)),
-                    ("typing_hits", num(checker.typing_hits)),
-                    ("typing_misses", num(checker.typing_misses)),
-                ])
-            },
-        ),
-    ])
+            )
+        }
+    }))
 }
 
 // ---------------------------------------------------------------------------
@@ -866,11 +990,50 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// The cache tier that answered a `verify` (`cold` = a fresh verification).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Tier {
+    Lru,
+    Disk,
+    Cold,
+}
+
+impl Tier {
+    fn as_str(self) -> &'static str {
+        match self {
+            Tier::Lru => "lru",
+            Tier::Disk => "disk",
+            Tier::Cold => "cold",
+        }
+    }
+}
+
+/// How one `verify` job resolved, before the response frame is assembled
+/// (the split lets `process` splice per-request phases into successful
+/// frames and emit the `--log-requests` line from one place).
+enum Verdict {
+    Done {
+        tier: Tier,
+        key: String,
+        report: Arc<str>,
+    },
+    Refused {
+        kind: ErrorKind,
+        message: String,
+    },
+}
+
 fn process(shared: &Shared, job: Job) {
     job.flags.started.store(true, Ordering::SeqCst);
     if job.flags.cancel.is_cancelled() {
         shared.counters.cancelled.fetch_add(1, Ordering::SeqCst);
         job.conn.settle(job.id, &job.flags);
+        if shared.config.log_requests {
+            eprintln!(
+                "[effpi-serve] verify id={} key=- tier=- outcome=cancelled total=0us",
+                job.id
+            );
+        }
         job.conn.send(&err_response(
             Some(job.id),
             ErrorKind::Cancelled,
@@ -879,14 +1042,46 @@ fn process(shared: &Shared, job: Job) {
         return;
     }
     shared.counters.in_flight.fetch_add(1, Ordering::SeqCst);
-    let response = verify_response(shared, &job);
+    // Every span closed on this thread during the verification — parse,
+    // fingerprint, cache probes, typecheck, explore, check, render — lands
+    // in this request's breakdown.
+    let (verdict, phases) = obs::phases::collect(|| verify_response(shared, &job));
     shared.counters.in_flight.fetch_sub(1, Ordering::SeqCst);
     job.conn.settle(job.id, &job.flags);
+    if shared.config.log_requests {
+        let (key, tier, outcome) = match &verdict {
+            Verdict::Done { tier, key, .. } => (key.as_str(), tier.as_str(), "ok"),
+            Verdict::Refused { kind, .. } => ("-", "-", kind.as_str()),
+        };
+        let fragment = phases.to_log_fragment();
+        eprintln!(
+            "[effpi-serve] verify id={} key={key} tier={tier} outcome={outcome} total={}{}{}",
+            job.id,
+            obs::phases::format_us(phases.total_us()),
+            if fragment.is_empty() { "" } else { " " },
+            fragment,
+        );
+    }
+    let response = match verdict {
+        Verdict::Done { tier, key, report } => {
+            let cached = tier != Tier::Cold;
+            if job.options.profile {
+                verify_response_line_profiled(job.id, cached, &key, &report, &phases.to_json_text())
+            } else {
+                verify_response_line(job.id, cached, &key, &report)
+            }
+        }
+        Verdict::Refused { kind, message } => err_response(Some(job.id), kind, &message),
+    };
     job.conn.send(&response);
 }
 
-fn verify_response(shared: &Shared, job: &Job) -> String {
-    let spec = match parse_spec(&job.spec) {
+fn verify_response(shared: &Shared, job: &Job) -> Verdict {
+    let parsed = {
+        let _span = obs::span("parse");
+        parse_spec(&job.spec)
+    };
+    let spec = match parsed {
         Ok(spec) => spec,
         Err(e) => {
             // `failed` and `completed` are disjoint buckets: a refused spec
@@ -894,7 +1089,10 @@ fn verify_response(shared: &Shared, job: &Job) -> String {
             // below — so completed + failed + cancelled sums to the requests
             // answered.
             shared.counters.failed.fetch_add(1, Ordering::SeqCst);
-            return err_response(Some(job.id), ErrorKind::Spec, &e.to_string());
+            return Verdict::Refused {
+                kind: ErrorKind::Spec,
+                message: e.to_string(),
+            };
         }
     };
     let config = &shared.config;
@@ -916,21 +1114,35 @@ fn verify_response(shared: &Shared, job: &Job) -> String {
         builder = builder.strategy(strategy);
     }
     let session = builder.build();
-    let key = session.cache_key(&spec);
+    let key = {
+        let _span = obs::span("fingerprint");
+        session.cache_key(&spec)
+    };
 
-    if let Some(report) = shared.cache.lock().get(key) {
+    let lru_hit = {
+        let _span = obs::span("lru_probe");
+        shared.cache.lock().get(key)
+    };
+    if let Some(report) = lru_hit {
         shared.counters.completed.fetch_add(1, Ordering::SeqCst);
-        return verify_response_line(job.id, true, &key.to_string(), &report);
+        return Verdict::Done {
+            tier: Tier::Lru,
+            key: key.to_string(),
+            report,
+        };
     }
     // LRU miss: probe the persistent tier. A disk hit is still a cache hit
     // on the wire (`cached: true` — the bytes replay a cold run verbatim),
     // and is promoted into the LRU so the next encounter never touches disk.
     if let Some(disk) = &shared.store {
-        let from_disk = match disk.lock().get(key) {
-            Ok(found) => found,
-            Err(_) => {
-                shared.counters.store_errors.fetch_add(1, Ordering::SeqCst);
-                None
+        let from_disk = {
+            let _span = obs::span("disk_probe");
+            match disk.lock().get(key) {
+                Ok(found) => found,
+                Err(_) => {
+                    shared.counters.store_errors.fetch_add(1, Ordering::SeqCst);
+                    None
+                }
             }
         };
         if let Some((states, report)) = from_disk {
@@ -941,13 +1153,18 @@ fn verify_response(shared: &Shared, job: &Job) -> String {
                 .insert(key, states, Arc::clone(&rendered));
             shared.counters.disk_hits.fetch_add(1, Ordering::SeqCst);
             shared.counters.completed.fetch_add(1, Ordering::SeqCst);
-            return verify_response_line(job.id, true, &key.to_string(), &rendered);
+            return Verdict::Done {
+                tier: Tier::Disk,
+                key: key.to_string(),
+                report: rendered,
+            };
         }
     }
     // The cache lock is NOT held across the verification: concurrent misses
     // on one key may verify twice (the later insert refreshes in place) —
     // a deliberate trade against serialising every distinct request behind
-    // the slowest one.
+    // the slowest one. (The deep phases — typecheck, explore, check — are
+    // timed by the pipeline layers themselves.)
     let report = session.run_spec(&spec);
     if matches!(
         report.first_error(),
@@ -957,11 +1174,10 @@ fn verify_response(shared: &Shared, job: &Job) -> String {
         // cached — an aborted prefix is scheduling-dependent) and the verify
         // gets its typed refusal.
         shared.counters.cancelled.fetch_add(1, Ordering::SeqCst);
-        return err_response(
-            Some(job.id),
-            ErrorKind::Cancelled,
-            "request cancelled during exploration",
-        );
+        return Verdict::Refused {
+            kind: ErrorKind::Cancelled,
+            message: "request cancelled during exploration".into(),
+        };
     }
     let states = report.states();
     shared
@@ -970,12 +1186,11 @@ fn verify_response(shared: &Shared, job: &Job) -> String {
         .fetch_add(states as u64, Ordering::SeqCst);
     // Rendered once; the cache shares the text by refcount, and the miss
     // response splices the same bytes a future hit will replay.
-    let rendered: std::sync::Arc<str> =
-        std::sync::Arc::from(report.to_wire_json().to_string().as_str());
+    let rendered: Arc<str> = Arc::from(report.to_wire_json().to_string().as_str());
     shared
         .cache
         .lock()
-        .insert(key, states, std::sync::Arc::clone(&rendered));
+        .insert(key, states, Arc::clone(&rendered));
     // Write-through to the persistent tier: a cold verdict survives the
     // daemon. A failed append degrades to a warm-memory-only entry.
     if let Some(disk) = &shared.store {
@@ -984,5 +1199,9 @@ fn verify_response(shared: &Shared, job: &Job) -> String {
         }
     }
     shared.counters.completed.fetch_add(1, Ordering::SeqCst);
-    verify_response_line(job.id, false, &key.to_string(), &rendered)
+    Verdict::Done {
+        tier: Tier::Cold,
+        key: key.to_string(),
+        report: rendered,
+    }
 }

@@ -26,6 +26,7 @@ fn server_config() -> ServerConfig {
         cache: CacheConfig::default(),
         default_max_states: MAX_STATES,
         store: None,
+        log_requests: false,
     }
 }
 
@@ -519,4 +520,124 @@ fn unix_socket_endpoint_serves_and_cleans_up() {
 
     handle.shutdown();
     assert!(!path.exists(), "socket file removed on shutdown");
+}
+
+#[test]
+fn metrics_exports_the_stats_gauges_in_both_formats() {
+    let (handle, addr) = start_tcp();
+    let spec = &shipped_specs()[0].1;
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    client.verify(spec, VerifyOptions::default()).expect("cold");
+    client.verify(spec, VerifyOptions::default()).expect("warm");
+
+    // The JSON snapshot carries every section/field of the stats schema as a
+    // `{section}_{field}` gauge (store excepted: this server has no disk
+    // tier, so its gauges may simply be absent), plus the per-phase span
+    // histograms the verifications recorded.
+    let metrics = client.metrics().expect("metrics");
+    let gauges = metrics.get("gauges").expect("gauges object");
+    for (section, fields) in serve::STATS_SCHEMA {
+        if *section == "store" {
+            continue;
+        }
+        for field in *fields {
+            assert!(
+                gauges.get(&format!("{section}_{field}")).is_some(),
+                "gauge {section}_{field} missing from metrics"
+            );
+        }
+    }
+    let histograms = metrics.get("histograms").expect("histograms object");
+    for span in ["parse", "fingerprint", "lru_probe", "explore", "render"] {
+        let hist = histograms
+            .get(&format!("span_{span}_us"))
+            .unwrap_or_else(|| panic!("histogram span_{span}_us missing"));
+        assert!(
+            hist.get("count").and_then(Json::as_usize).unwrap_or(0) >= 1,
+            "span_{span}_us recorded nothing"
+        );
+    }
+
+    // The stats reply and the metrics gauges describe the same values.
+    let stats = client.stats().expect("stats");
+    let engine_workers = stats
+        .get("engine")
+        .and_then(|e| e.get("workers"))
+        .and_then(Json::as_usize);
+    assert_eq!(engine_workers, Some(4));
+
+    // The text exposition renders the same snapshot with the effpi_ prefix.
+    let text = client.metrics_text().expect("metrics text");
+    assert!(text.contains("# TYPE effpi_engine_workers gauge"), "{text}");
+    assert!(text.contains("effpi_engine_workers 4"), "{text}");
+    assert!(text.contains("effpi_span_explore_us_bucket"), "{text}");
+
+    client.shutdown_server().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn profiled_verifies_carry_phases_and_unprofiled_frames_are_unchanged() {
+    let (handle, addr) = start_tcp();
+    let spec = &shipped_specs()[0].1;
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+
+    // A profiled cold run: the frame carries a "phases" object whose keys
+    // cover the whole life of the request.
+    let id = client
+        .submit_verify(
+            spec,
+            VerifyOptions {
+                profile: true,
+                ..VerifyOptions::default()
+            },
+        )
+        .expect("submit");
+    let response = client.recv().expect("response");
+    assert_eq!(response.id, Some(id));
+    let body = response.into_ok().expect("ok");
+    let phases = body.get("phases").expect("profiled frame carries phases");
+    for key in ["parse_us", "fingerprint_us", "explore_us", "render_us"] {
+        assert!(
+            phases.get(key).and_then(Json::as_usize).is_some(),
+            "missing phase {key} in {phases}"
+        );
+    }
+
+    // A profiled warm hit replays the same report bytes and times the probe.
+    let id = client
+        .submit_verify(
+            spec,
+            VerifyOptions {
+                profile: true,
+                ..VerifyOptions::default()
+            },
+        )
+        .expect("submit warm");
+    let response = client.recv().expect("warm response");
+    assert_eq!(response.id, Some(id));
+    let body = response.into_ok().expect("ok");
+    assert_eq!(body.get("cached"), Some(&Json::Bool(true)));
+    let phases = body.get("phases").expect("warm profiled frame has phases");
+    assert!(phases.get("lru_probe_us").is_some(), "{phases}");
+    assert!(
+        phases.get("explore_us").is_none(),
+        "a cache hit never explores: {phases}"
+    );
+
+    // Without profile: true, the frame has no phases field at all (the wire
+    // bytes stay exactly as before the telemetry work).
+    let plain = client
+        .verify(spec, VerifyOptions::default())
+        .expect("plain verify");
+    assert!(plain.cached);
+    let id = client
+        .submit_verify(spec, VerifyOptions::default())
+        .unwrap();
+    let response = client.recv().expect("plain response");
+    assert_eq!(response.id, Some(id));
+    assert!(response.body.get("phases").is_none());
+
+    client.shutdown_server().expect("shutdown");
+    handle.join();
 }

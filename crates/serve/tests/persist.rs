@@ -29,6 +29,7 @@ fn start_with_store(dir: &Path) -> (ServerHandle, String) {
             cache: CacheConfig::default(),
             default_max_states: MAX_STATES,
             store: Some(StoreTier::at(dir)),
+            log_requests: false,
         },
     )
     .expect("start server with store");

@@ -71,6 +71,13 @@ pub const MAGIC: &[u8] = b"effpi-store/v1\n";
 /// The log file name inside the store directory.
 pub const LOG_NAME: &str = "store.log";
 
+/// The advisory lock file name inside the store directory. [`VerdictStore::open`]
+/// creates it (refusing a directory that already has one held by a live
+/// process) and removes it on drop, so two processes — say, a serving daemon
+/// and an offline `effpi-cli store compact` — can never interleave appends
+/// and compaction renames on one log.
+pub const LOCK_NAME: &str = "store.lock";
+
 /// The largest payload a record may claim. A corrupt length field must not
 /// make recovery allocate gigabytes before the checksum can reject it; real
 /// reports are bounded by the server's 4 MiB frame cap anyway.
@@ -174,12 +181,79 @@ pub struct VerdictStore {
     writer: File,
     /// Seek-and-read handle for lookups (independent cursor).
     reader: File,
+    /// The held advisory lock — kept only for its `Drop`, which removes the
+    /// lock file when the store closes.
+    _lock: DirLock,
     index: HashMap<u128, IndexEntry>,
     tick: u64,
     states_sum: usize,
     file_bytes: u64,
     live_bytes: u64,
     stats: StoreStats,
+}
+
+/// A held `store.lock`: a file created with `create_new` carrying this
+/// process's pid, deleted on drop. Advisory — it guards cooperating effpi
+/// tools, not arbitrary writers.
+struct DirLock {
+    path: PathBuf,
+}
+
+impl DirLock {
+    /// Claims `dir/store.lock`. A lock held by a live process is an
+    /// `AddrInUse` error naming the pid and the file; a *stale* lock (its
+    /// recorded pid is provably dead — checked via `/proc` where that
+    /// exists) is reclaimed, since a crashed daemon must not brick its
+    /// store directory.
+    fn acquire(dir: &Path) -> io::Result<DirLock> {
+        let path = dir.join(LOCK_NAME);
+        for attempt in 0..2 {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut file) => {
+                    let _ = write!(file, "{}", std::process::id());
+                    return Ok(DirLock { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|text| text.trim().parse::<u32>().ok());
+                    if attempt == 0 && holder.is_none_or(pid_is_dead) {
+                        // Stale (dead holder or unreadable): reclaim once.
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                    let pid = holder.map_or("unknown pid".to_string(), |p| format!("pid {p}"));
+                    return Err(io::Error::new(
+                        io::ErrorKind::AddrInUse,
+                        format!(
+                            "store directory is locked by another process ({pid}): {} — \
+                             is an effpi-serve daemon using this store?",
+                            path.display()
+                        ),
+                    ));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("second attempt either creates the lock or errors")
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Whether `pid` is provably dead. Only `/proc`-style systems can tell; where
+/// there is no `/proc`, every recorded pid is conservatively presumed alive
+/// (a stale lock then needs a manual `rm`, which the error message names).
+fn pid_is_dead(pid: u32) -> bool {
+    if Path::new("/proc").is_dir() {
+        !Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        false
+    }
 }
 
 impl VerdictStore {
@@ -190,11 +264,15 @@ impl VerdictStore {
     ///
     /// # Errors
     ///
-    /// Returns I/O errors, or `InvalidData` when the file starts with a
-    /// complete magic line that is not this version's — a foreign or
-    /// future-format log is refused, never silently wiped.
+    /// Returns I/O errors; `AddrInUse` when another live process holds the
+    /// directory's advisory `store.lock` (single-owner contract — a stale
+    /// lock left by a dead process is reclaimed silently); or `InvalidData`
+    /// when the file starts with a complete magic line that is not this
+    /// version's — a foreign or future-format log is refused, never silently
+    /// wiped.
     pub fn open(dir: &Path, config: StoreConfig) -> io::Result<VerdictStore> {
         std::fs::create_dir_all(dir)?;
+        let lock = DirLock::acquire(dir)?;
         let log = dir.join(LOG_NAME);
         let writer = OpenOptions::new()
             .read(true)
@@ -208,6 +286,7 @@ impl VerdictStore {
             config,
             writer,
             reader,
+            _lock: lock,
             index: HashMap::new(),
             tick: 0,
             states_sum: 0,
@@ -832,6 +911,64 @@ mod tests {
         std::fs::write(&log, &bytes).unwrap();
         assert_eq!(store.get(key(1)).unwrap(), None, "corrupt bytes not served");
         assert_eq!(store.stats().corrupt_rejected, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_second_open_of_a_locked_dir_fails_with_a_clear_error() {
+        let dir = tmp_dir("locked");
+        let first = VerdictStore::open(&dir, big_config()).unwrap();
+        let err = match VerdictStore::open(&dir, big_config()) {
+            Err(e) => e,
+            Ok(_) => panic!("a held lock must refuse a second owner"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse);
+        let message = err.to_string();
+        assert!(message.contains("locked by another process"), "{message}");
+        assert!(
+            message.contains(&format!("pid {}", std::process::id())),
+            "{message}"
+        );
+        assert!(message.contains(LOCK_NAME), "{message}");
+        drop(first);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropping_the_store_releases_the_lock() {
+        let dir = tmp_dir("lock-release");
+        {
+            let mut store = VerdictStore::open(&dir, big_config()).unwrap();
+            store.put(key(1), 1, "a").unwrap();
+            assert!(dir.join(LOCK_NAME).exists());
+        }
+        assert!(!dir.join(LOCK_NAME).exists(), "lock removed on drop");
+        let mut store = VerdictStore::open(&dir, big_config()).unwrap();
+        assert!(store.get(key(1)).unwrap().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_stale_lock_from_a_dead_process_is_reclaimed() {
+        if !Path::new("/proc").is_dir() {
+            return; // liveness is only decidable on /proc systems
+        }
+        let dir = tmp_dir("stale-lock");
+        std::fs::create_dir_all(&dir).unwrap();
+        // No live process has this pid (pid_max is far below it).
+        std::fs::write(dir.join(LOCK_NAME), "4294000001").unwrap();
+        let store = VerdictStore::open(&dir, big_config()).unwrap();
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_unreadable_lock_is_treated_as_stale_once() {
+        let dir = tmp_dir("garbage-lock");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(LOCK_NAME), "not a pid").unwrap();
+        let store = VerdictStore::open(&dir, big_config()).unwrap();
+        drop(store);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
