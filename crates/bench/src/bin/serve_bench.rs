@@ -8,7 +8,8 @@
 //! ```text
 //! cargo run --release -p bench --bin serve_bench --
 //!     [--clients N] [--rounds R] [--workers W] [--jobs J]
-//!     [--max-states M] [--json PATH] [--restart [DIR]] [--metrics-scrape PATH]
+//!     [--max-states M] [--json PATH] [--restart [DIR]] [--overload]
+//!     [--metrics-scrape PATH]
 //! ```
 //!
 //! `--metrics-scrape PATH` writes the Prometheus-style text exposition
@@ -22,10 +23,18 @@
 //! artifact then carries both phases (schema `bench-serve/v2`). `DIR`
 //! defaults to a temp directory that is cleaned up afterwards.
 //!
+//! `--overload` (on top of `--restart`) appends a third phase: the same
+//! workload burst against a deliberately starved server (one worker, an
+//! admission queue of depth 1), measuring the shedding contract — every
+//! refusal is a typed `overloaded` reply whose `retry_after_ms` the clients
+//! honour until their request lands. The artifact becomes `bench-serve/v3`.
+//!
 //! The run **fails** (non-zero exit) when any request errors, when a
-//! repeated-spec workload somehow produces no cache hits, or when a restart
-//! run's warm phase re-verifies instead of hitting the disk — any of these
-//! would mean the service layer, not the engine, regressed.
+//! repeated-spec workload somehow produces no cache hits, when a restart
+//! run's warm phase re-verifies instead of hitting the disk, or when the
+//! overload phase drops a request silently (a shed without a typed reply,
+//! or a burst that never sheds at all) — any of these would mean the
+//! service layer, not the engine, regressed.
 
 use std::process::ExitCode;
 
@@ -56,6 +65,11 @@ fn main() -> ExitCode {
             }
         };
     let restart = restart_dir.is_some() || args.iter().any(|a| a == "--restart");
+    let overload = args.iter().any(|a| a == "--overload");
+    if overload && !restart {
+        eprintln!("--overload extends the --restart run (schema bench-serve/v3)");
+        return ExitCode::from(2);
+    }
     let defaults = LoadConfig::default();
     let config = LoadConfig {
         clients: clients.unwrap_or(defaults.clients).max(1),
@@ -66,52 +80,100 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "effpi-serve load benchmark — {} clients, {} rounds, {} workers, {} jobs{}",
+        "effpi-serve load benchmark — {} clients, {} rounds, {} workers, {} jobs{}{}",
         config.clients,
         config.rounds,
         config.workers,
         config.jobs,
-        if restart { ", cold/restart phases" } else { "" }
+        if restart { ", cold/restart phases" } else { "" },
+        if overload { ", overload phase" } else { "" }
     );
 
     #[allow(clippy::type_complexity)]
-    let (document, summary, failures, no_hits, warm_missed_disk, scrape) = if restart {
-        // An explicit --restart-dir is the caller's directory (kept); the
-        // bare --restart flag gets a temp directory (cleaned up).
-        let (dir, ephemeral) = match &restart_dir {
-            Some(d) => (std::path::PathBuf::from(d), false),
-            None => (
-                std::env::temp_dir().join(format!("effpi-serve-bench-{}", std::process::id())),
-                true,
-            ),
+    let (document, summary, failures, no_hits, warm_missed_disk, overload_problem, scrape) =
+        if restart {
+            // An explicit --restart-dir is the caller's directory (kept); the
+            // bare --restart flag gets a temp directory (cleaned up).
+            let (dir, ephemeral) = match &restart_dir {
+                Some(d) => (std::path::PathBuf::from(d), false),
+                None => (
+                    std::env::temp_dir().join(format!("effpi-serve-bench-{}", std::process::id())),
+                    true,
+                ),
+            };
+            if ephemeral {
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            let (record, scrape) = serve_load::run_restart_with_scrape(config, &dir);
+            if ephemeral {
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            let warm_missed_disk = record.warm.disk_hits == 0;
+            let failures = record.cold.failures + record.warm.failures;
+            let no_hits = record.cold.requests > record.cold.specs && record.cold.hit_rate <= 0.0;
+            if overload {
+                // The burst outnumbers one worker behind a depth-1 queue,
+                // whatever --clients the load phases used.
+                let burst = serve_load::LoadConfig {
+                    clients: config.clients.max(6),
+                    rounds: config.rounds,
+                    workers: 1,
+                    jobs: 1,
+                    max_states: config.max_states,
+                };
+                let over = serve_load::run_overload(burst);
+                let problem = if over.failures > 0 {
+                    Some(format!(
+                        "{} request(s) were dropped without a verdict",
+                        over.failures
+                    ))
+                } else if over.shed == 0 {
+                    Some("the burst never overflowed the admission queue".into())
+                } else if over.shed != over.server_shed {
+                    Some(format!(
+                        "clients saw {} overloaded replies but the server counted {} sheds",
+                        over.shed, over.server_shed
+                    ))
+                } else {
+                    None
+                };
+                let full = serve_load::FullRecord {
+                    cold: record.cold,
+                    warm: record.warm,
+                    overload: over,
+                };
+                (
+                    full.to_json(),
+                    full.render(),
+                    failures,
+                    no_hits,
+                    warm_missed_disk,
+                    problem,
+                    scrape,
+                )
+            } else {
+                (
+                    record.to_json(),
+                    record.render(),
+                    failures,
+                    no_hits,
+                    warm_missed_disk,
+                    None,
+                    scrape,
+                )
+            }
+        } else {
+            let (record, scrape) = serve_load::run_with_scrape(config);
+            (
+                record.to_json(),
+                record.render(),
+                record.failures,
+                record.requests > record.specs && record.hit_rate <= 0.0,
+                false,
+                None,
+                scrape,
+            )
         };
-        if ephemeral {
-            let _ = std::fs::remove_dir_all(&dir);
-        }
-        let (record, scrape) = serve_load::run_restart_with_scrape(config, &dir);
-        if ephemeral {
-            let _ = std::fs::remove_dir_all(&dir);
-        }
-        let warm_missed_disk = record.warm.disk_hits == 0;
-        (
-            record.to_json(),
-            record.render(),
-            record.cold.failures + record.warm.failures,
-            record.cold.requests > record.cold.specs && record.cold.hit_rate <= 0.0,
-            warm_missed_disk,
-            scrape,
-        )
-    } else {
-        let (record, scrape) = serve_load::run_with_scrape(config);
-        (
-            record.to_json(),
-            record.render(),
-            record.failures,
-            record.requests > record.specs && record.hit_rate <= 0.0,
-            false,
-            scrape,
-        )
-    };
     println!("{summary}");
 
     if let Some(path) = json_path {
@@ -140,6 +202,10 @@ fn main() -> ExitCode {
     }
     if warm_missed_disk {
         eprintln!("serve bench: FAILED — warm restart phase never hit the persistent store");
+        return ExitCode::FAILURE;
+    }
+    if let Some(problem) = overload_problem {
+        eprintln!("serve bench: FAILED — overload phase: {problem}");
         return ExitCode::FAILURE;
     }
     println!("serve bench: OK");

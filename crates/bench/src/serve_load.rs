@@ -27,9 +27,12 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use serve::{CacheConfig, Client, Endpoints, Server, ServerConfig, StoreTier, VerifyOptions};
+use serve::{
+    CacheConfig, Client, ClientError, Endpoints, ErrorKind, Server, ServerConfig, StoreTier,
+    VerifyOptions,
+};
 use wire::Json;
 
 /// The schema tag of the plain single-phase `BENCH_serve.json` artifact.
@@ -37,6 +40,10 @@ pub const SCHEMA: &str = "bench-serve/v1";
 
 /// The schema tag of the cold/restart two-phase artifact.
 pub const RESTART_SCHEMA: &str = "bench-serve/v2";
+
+/// The schema tag of the three-phase artifact: cold, warm restart, and the
+/// overload scenario ([`run_overload`]).
+pub const FULL_SCHEMA: &str = "bench-serve/v3";
 
 /// The workload: every shipped `examples/specs/*.effpi`, plus inline
 /// variants that exercise distinct cache keys (different property lists and
@@ -223,6 +230,110 @@ impl RestartRecord {
     }
 }
 
+/// The measured record of the overload scenario: a deliberately starved
+/// server (one worker, admission queue of depth [`OVERLOAD_QUEUE_DEPTH`])
+/// under a client burst, with every shed answered by a typed `overloaded`
+/// reply that the clients honour (`retry_after_ms`) until their request
+/// lands. The gate the record feeds: **no silent drops** — every logical
+/// request is eventually answered, and every shed the server counted was a
+/// typed reply some client observed.
+#[derive(Clone, PartialEq, Debug)]
+pub struct OverloadRecord {
+    /// The configuration the run used (workers/jobs deliberately tiny).
+    pub config: LoadConfig,
+    /// The admission-queue bound the server ran with.
+    pub queue_depth: usize,
+    /// Logical requests (each retried until answered or given up).
+    pub requests: usize,
+    /// Wire requests sent, retries included.
+    pub attempts: usize,
+    /// `overloaded` replies the clients observed.
+    pub shed: u64,
+    /// `requests.shed` from the server's own stats — must equal [`shed`](Self::shed).
+    pub server_shed: u64,
+    /// Logical requests that never got a verdict (transport errors or an
+    /// exhausted retry budget). Anything non-zero fails the bench.
+    pub failures: usize,
+    /// Wall-clock time for the whole burst, milliseconds.
+    pub wall_ms: f64,
+    /// Median end-to-end latency (retries and backoff waits included).
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end latency — the number the overload gate
+    /// records: what a client actually waits when the server sheds.
+    pub p99_ms: f64,
+}
+
+impl OverloadRecord {
+    /// Renders the record as a flat JSON object (the `overload` phase of the
+    /// `bench-serve/v3` document).
+    pub fn to_json(&self) -> Json {
+        let mut root = BTreeMap::new();
+        root.insert("clients".into(), Json::Num(self.config.clients as f64));
+        root.insert("rounds".into(), Json::Num(self.config.rounds as f64));
+        root.insert("workers".into(), Json::Num(self.config.workers as f64));
+        root.insert("queue_depth".into(), Json::Num(self.queue_depth as f64));
+        root.insert("requests".into(), Json::Num(self.requests as f64));
+        root.insert("attempts".into(), Json::Num(self.attempts as f64));
+        root.insert("shed".into(), Json::Num(self.shed as f64));
+        root.insert("server_shed".into(), Json::Num(self.server_shed as f64));
+        root.insert("failures".into(), Json::Num(self.failures as f64));
+        root.insert("wall_ms".into(), Json::num_round3(self.wall_ms));
+        root.insert("p50_ms".into(), Json::num_round3(self.p50_ms));
+        root.insert("p99_ms".into(), Json::num_round3(self.p99_ms));
+        Json::Obj(root)
+    }
+
+    /// One human-readable summary line.
+    pub fn render(&self) -> String {
+        format!(
+            "{} clients vs {} worker(s), queue {}: {} requests over {} attempts \
+             ({} shed, server counted {}, p99 {:.2} ms, {} failures)",
+            self.config.clients,
+            self.config.workers,
+            self.queue_depth,
+            self.requests,
+            self.attempts,
+            self.shed,
+            self.server_shed,
+            self.p99_ms,
+            self.failures
+        )
+    }
+}
+
+/// The three-phase artifact: the restart pair plus the overload scenario.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FullRecord {
+    /// Phase 1: empty store, every first encounter verifies.
+    pub cold: LoadRecord,
+    /// Phase 2: restarted server, first encounters come from disk.
+    pub warm: LoadRecord,
+    /// Phase 3: the starved server under a client burst.
+    pub overload: OverloadRecord,
+}
+
+impl FullRecord {
+    /// Renders the three phases as the `bench-serve/v3` document.
+    pub fn to_json(&self) -> Json {
+        let mut root = self.cold.config_fields();
+        root.insert("schema".into(), Json::str(FULL_SCHEMA));
+        root.insert("cold".into(), Json::Obj(self.cold.fields()));
+        root.insert("warm_restart".into(), Json::Obj(self.warm.fields()));
+        root.insert("overload".into(), self.overload.to_json());
+        Json::Obj(root)
+    }
+
+    /// Three human-readable summary lines.
+    pub fn render(&self) -> String {
+        format!(
+            "cold:         {}\nwarm restart: {}\noverload:     {}",
+            self.cold.render(),
+            self.warm.render(),
+            self.overload.render()
+        )
+    }
+}
+
 /// What one phase of client-driving measured, before server-side stats are
 /// folded in.
 struct DriveOutcome {
@@ -383,6 +494,7 @@ fn run_phase(config: LoadConfig, store: Option<StoreTier>) -> (LoadRecord, Strin
             default_max_states: config.max_states,
             store,
             log_requests: false,
+            ..ServerConfig::default()
         },
     )
     .expect("start in-process effpi-serve");
@@ -474,6 +586,150 @@ pub fn run_restart_with_scrape(config: LoadConfig, store_dir: &Path) -> (Restart
     (RestartRecord { cold, warm }, scrape)
 }
 
+/// The admission-queue bound the overload scenario runs with: deep enough
+/// that the server makes progress, shallow enough that a burst of clients
+/// is guaranteed to overflow it.
+pub const OVERLOAD_QUEUE_DEPTH: usize = 1;
+
+/// How many times one logical request is retried after `overloaded` replies
+/// before it counts as a failure. Generous: with the server's ≤ 1 s
+/// `retry_after_ms` hints this bounds one request's wait to around a minute,
+/// while a correct server drains the burst in well under that.
+const OVERLOAD_RETRY_BUDGET: usize = 64;
+
+/// Drives the workload as a burst against a deliberately starved server
+/// (`config.workers` workers — callers pass 1 — behind an admission queue of
+/// [`OVERLOAD_QUEUE_DEPTH`]) and measures the shedding contract: every
+/// logical request is retried on `overloaded` replies, honouring the
+/// server's `retry_after_ms` hint, until it lands.
+///
+/// # Panics
+///
+/// Panics when the server cannot start or a client cannot connect.
+pub fn run_overload(config: LoadConfig) -> OverloadRecord {
+    let handle = Server::start(
+        &Endpoints {
+            tcp: Some("127.0.0.1:0".to_string()),
+            unix: None,
+        },
+        ServerConfig {
+            workers: config.workers,
+            jobs: config.jobs,
+            cache: CacheConfig::default(),
+            default_max_states: config.max_states,
+            max_queue_depth: OVERLOAD_QUEUE_DEPTH,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start starved effpi-serve");
+    let addr = handle
+        .tcp_addr()
+        .expect("TCP endpoint requested")
+        .to_string();
+    let specs = workload();
+
+    struct ClientOutcome {
+        requests: usize,
+        attempts: usize,
+        shed: u64,
+        failures: usize,
+        latencies_ms: Vec<f64>,
+    }
+    let start = Instant::now();
+    let addr_ref = &addr;
+    let specs_ref = &specs;
+    let outcomes: Vec<ClientOutcome> = thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for _ in 0..config.clients.max(1) {
+            joins.push(scope.spawn(move || {
+                let mut client = Client::connect_tcp(addr_ref).expect("connect burst client");
+                let mut outcome = ClientOutcome {
+                    requests: 0,
+                    attempts: 0,
+                    shed: 0,
+                    failures: 0,
+                    latencies_ms: Vec::new(),
+                };
+                for _ in 0..config.rounds.max(1) {
+                    for (name, text) in specs_ref {
+                        outcome.requests += 1;
+                        let sent = Instant::now();
+                        let mut answered = false;
+                        for _ in 0..OVERLOAD_RETRY_BUDGET {
+                            outcome.attempts += 1;
+                            match client.verify(text, VerifyOptions::default()) {
+                                Ok(_) => {
+                                    answered = true;
+                                    break;
+                                }
+                                Err(ClientError::Server {
+                                    ref kind,
+                                    retry_after_ms,
+                                    ..
+                                }) if kind == ErrorKind::Overloaded.as_str() => {
+                                    // The shedding contract: a typed reply
+                                    // with a usable hint, never a dropped
+                                    // connection. Honour the hint and retry.
+                                    outcome.shed += 1;
+                                    thread::sleep(Duration::from_millis(
+                                        retry_after_ms.unwrap_or(25),
+                                    ));
+                                }
+                                Err(e) => {
+                                    eprintln!("overload client: {name}: {e}");
+                                    break;
+                                }
+                            }
+                        }
+                        if answered {
+                            outcome
+                                .latencies_ms
+                                .push(sent.elapsed().as_secs_f64() * 1e3);
+                        } else {
+                            outcome.failures += 1;
+                        }
+                    }
+                }
+                outcome
+            }));
+        }
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("burst client thread"))
+            .collect()
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let mut stats_client = Client::connect_tcp(&addr).expect("connect stats client");
+    let stats = stats_client.stats().expect("stats");
+    assert_stats_shape(&stats, false);
+    let server_shed = stats
+        .get("requests")
+        .and_then(|r| r.get("shed"))
+        .and_then(Json::as_usize)
+        .unwrap_or(0) as u64;
+    stats_client.shutdown_server().expect("graceful shutdown");
+    handle.join();
+
+    let mut latencies_ms: Vec<f64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_ms.clone())
+        .collect();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    OverloadRecord {
+        config,
+        queue_depth: OVERLOAD_QUEUE_DEPTH,
+        requests: outcomes.iter().map(|o| o.requests).sum(),
+        attempts: outcomes.iter().map(|o| o.attempts).sum(),
+        shed: outcomes.iter().map(|o| o.shed).sum(),
+        server_shed,
+        failures: outcomes.iter().map(|o| o.failures).sum(),
+        wall_ms,
+        p50_ms: percentile(&latencies_ms, 50.0),
+        p99_ms: percentile(&latencies_ms, 99.0),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -546,6 +802,29 @@ mod tests {
                 > 0.0
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn the_overload_scenario_sheds_loudly_and_converges() {
+        let record = run_overload(LoadConfig {
+            clients: 6,
+            rounds: 2,
+            workers: 1,
+            jobs: 1,
+            max_states: 60_000,
+        });
+        // No silent drops: every logical request was eventually answered…
+        assert_eq!(record.failures, 0, "{}", record.render());
+        // …the starved server actually shed (6 bursting clients against a
+        // queue of depth 1 cannot all be admitted)…
+        assert!(record.shed > 0, "{}", record.render());
+        // …and every shed the server counted was a typed reply a client
+        // observed — the loud-shedding contract, end to end.
+        assert_eq!(record.shed, record.server_shed, "{}", record.render());
+        assert!(record.attempts >= record.requests);
+        assert!(record.p50_ms > 0.0 && record.p50_ms <= record.p99_ms);
+        let parsed = Json::parse(&record.to_json().to_string()).unwrap();
+        assert!(parsed.get("shed").and_then(Json::as_f64).unwrap() > 0.0);
     }
 
     #[test]

@@ -16,8 +16,9 @@
 //! effpi-cli serve  [--listen ADDR] [--uds PATH] [--workers W] [--jobs J]
 //!                  [--max-states N] [--cache-entries E] [--cache-states S]
 //!                  [--store DIR] [--store-entries E] [--store-states S]
-//!                  [--log-requests]
+//!                  [--queue-depth Q] [--memory-budget NODES] [--log-requests]
 //! effpi-cli client <ADDR|unix:PATH> verify <spec.effpi> [--max-states N] [--strategy S]
+//!                  [--deadline-ms MS] [--retries N] [--timeout-ms MS]
 //! effpi-cli client <ADDR|unix:PATH> metrics [--text]
 //! effpi-cli client <ADDR|unix:PATH> stats|ping|shutdown
 //!
@@ -75,7 +76,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    let code = match command.as_str() {
+    // Flush the trace sink however this function exits — clean return or a
+    // panic unwinding through `main` — so an aborted `--trace FILE` run still
+    // has every span it recorded on disk.
+    let _flush = obs::global().flush_guard();
+    match command.as_str() {
         "serve" => cmd_serve(&args),
         "client" => cmd_client(&args),
         "store" => cmd_store(&args),
@@ -84,9 +89,7 @@ fn main() -> ExitCode {
             eprintln!("unknown command {other:?}\n{USAGE}");
             ExitCode::from(2)
         }
-    };
-    obs::global().flush_trace();
-    code
+    }
 }
 
 /// A valueless presence flag (`--profile`, `--log-requests`, `--text`).
@@ -281,17 +284,31 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             string_flag(args, "--store")?,
             flag_value(args, "--store-entries")?,
             flag_value(args, "--store-states")?,
+            flag_value(args, "--queue-depth")?,
+            flag_value(args, "--memory-budget")?,
         ))
     })();
     #[allow(clippy::type_complexity)]
-    let (listen, uds, workers, jobs, max_states, cache_entries, cache_states, store, se, ss) =
-        match parsed {
-            Ok(flags) => flags,
-            Err(e) => {
-                eprintln!("{e}\n{USAGE}");
-                return ExitCode::from(2);
-            }
-        };
+    let (
+        listen,
+        uds,
+        workers,
+        jobs,
+        max_states,
+        cache_entries,
+        cache_states,
+        store,
+        se,
+        ss,
+        qd,
+        mb,
+    ) = match parsed {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
     if store.is_none() && (se.is_some() || ss.is_some()) {
         eprintln!("--store-entries/--store-states need --store DIR\n{USAGE}");
         return ExitCode::from(2);
@@ -313,6 +330,11 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             max_states: cache_states.unwrap_or(defaults.cache.max_states),
         },
         default_max_states: max_states.unwrap_or(defaults.default_max_states),
+        // `--queue-depth 0` is deliberate ("shed everything"): useful for
+        // drain drills, so it is not clamped.
+        max_queue_depth: qd.unwrap_or(defaults.max_queue_depth),
+        memory_budget: mb.map(|nodes| nodes as u64),
+        faults: serve::FaultPlan::default(),
         store: store.map(|dir| {
             let store_defaults = StoreConfig::default();
             StoreTier {
@@ -344,13 +366,18 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         say!("effpi-serve listening on unix:{}", path.display());
     }
     say!(
-        "workers {}, exploration jobs {}, cache {} entries / {} states; \
+        "workers {}, exploration jobs {}, cache {} entries / {} states, \
+         queue depth {}; \
          stop with a `shutdown` request (effpi-cli client <addr> shutdown)",
         config.workers,
         config.jobs,
         config.cache.max_entries,
-        config.cache.max_states
+        config.cache.max_states,
+        config.max_queue_depth
     );
+    if let Some(budget) = config.memory_budget {
+        say!("memory budget: {budget} interner nodes (degrades, never aborts)");
+    }
     if let Some(tier) = &config.store {
         say!(
             "persistent verdict store at {} ({} entries / {} states)",
@@ -391,15 +418,17 @@ fn cmd_client(args: &[String]) -> ExitCode {
                 eprintln!("missing specification file");
                 return ExitCode::from(2);
             };
-            let max_states = match flag_value(args, "--max-states") {
-                Ok(v) => v,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::from(2);
-                }
-            };
-            let strategy = match parse_strategy_flag(args) {
-                Ok(strategy) => strategy,
+            let flags: Result<_, String> = (|| {
+                Ok((
+                    flag_value(args, "--max-states")?,
+                    parse_strategy_flag(args)?,
+                    flag_value(args, "--deadline-ms")?,
+                    flag_value(args, "--retries")?,
+                    flag_value(args, "--timeout-ms")?,
+                ))
+            })();
+            let (max_states, strategy, deadline_ms, retries, timeout_ms) = match flags {
+                Ok(flags) => flags,
                 Err(e) => {
                     eprintln!("{e}");
                     return ExitCode::from(2);
@@ -412,30 +441,40 @@ fn cmd_client(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            client
-                .verify(
-                    &text,
-                    VerifyOptions {
-                        max_states,
-                        strategy,
-                        ..VerifyOptions::default()
-                    },
-                )
-                .map(|reply| {
-                    say!(
-                        "cached: {}  key: {}",
-                        if reply.cached { "hit" } else { "miss" },
-                        reply.key
-                    );
-                    for (name, holds) in &reply.report.verdicts {
-                        say!("{name}: {holds}");
-                    }
-                    if let Some(e) = &reply.report.error {
-                        say!("error: {e}");
-                    }
-                    say!("{}", reply.report.stable_line);
-                    reply.report.passed
-                })
+            let options = VerifyOptions {
+                max_states,
+                strategy,
+                deadline_ms: deadline_ms.map(|ms| ms as u64),
+                ..VerifyOptions::default()
+            };
+            // `--retries`/`--timeout-ms` switch to the resilient path: an
+            // `overloaded` or transport failure is retried with capped
+            // exponential backoff (verification is idempotent by cache key).
+            let reply = if retries.is_some() || timeout_ms.is_some() {
+                let policy = serve::RetryPolicy {
+                    attempts: retries.map_or(4, |n| n as u32),
+                    timeout: timeout_ms.map(|ms| std::time::Duration::from_millis(ms as u64)),
+                    ..serve::RetryPolicy::default()
+                };
+                client.verify_retrying(&text, options, &policy)
+            } else {
+                client.verify(&text, options)
+            };
+            reply.map(|reply| {
+                say!(
+                    "cached: {}  key: {}",
+                    if reply.cached { "hit" } else { "miss" },
+                    reply.key
+                );
+                for (name, holds) in &reply.report.verdicts {
+                    say!("{name}: {holds}");
+                }
+                if let Some(e) = &reply.report.error {
+                    say!("error: {e}");
+                }
+                say!("{}", reply.report.stable_line);
+                reply.report.passed
+            })
         }
         "stats" => client.stats().map(|stats| {
             say!("{stats}");
@@ -594,7 +633,9 @@ usage: effpi-cli <verify|typecheck|lts|parse> <spec.effpi> [--max-states N] [--j
                  [--strategy bfs|dfs|beam[:W]|random[:SEED]] [--profile] [--trace FILE]
        effpi-cli serve [--listen ADDR] [--uds PATH] [--workers W] [--jobs J]
                        [--max-states N] [--cache-entries E] [--cache-states S]
-                       [--store DIR] [--store-entries E] [--store-states S] [--log-requests]
-       effpi-cli client <ADDR|unix:PATH> <verify <spec.effpi> [--max-states N] [--strategy S]\
+                       [--store DIR] [--store-entries E] [--store-states S]
+                       [--queue-depth Q] [--memory-budget NODES] [--log-requests]
+       effpi-cli client <ADDR|unix:PATH> <verify <spec.effpi> [--max-states N] [--strategy S]
+                       [--deadline-ms MS] [--retries N] [--timeout-ms MS]\
 |metrics [--text]|stats|ping|shutdown>
        effpi-cli store <stats|compact> <DIR> [--store-entries E] [--store-states S]";

@@ -55,8 +55,8 @@ mod registry;
 mod span;
 
 pub use registry::{
-    Clock, Counter, Gauge, Histogram, HistogramSnapshot, MonotonicClock, Registry, Snapshot,
-    TestClock, DEFAULT_LATENCY_BUCKETS_US,
+    Clock, Counter, FlushGuard, Gauge, Histogram, HistogramSnapshot, MonotonicClock, Registry,
+    Snapshot, TestClock, DEFAULT_LATENCY_BUCKETS_US,
 };
 pub use span::{phases, Span};
 

@@ -338,6 +338,20 @@ impl Registry {
         }
     }
 
+    /// An RAII guard that flushes the trace sink when dropped — including
+    /// during the unwind of a panic, so a `--trace FILE` run that aborts
+    /// still leaves every span that was written on disk. Hold it for the
+    /// lifetime of the traced work:
+    ///
+    /// ```
+    /// let registry: &'static obs::Registry = obs::global();
+    /// let _flush = registry.flush_guard();
+    /// // … traced work; the sink is flushed however this scope exits.
+    /// ```
+    pub fn flush_guard(&'static self) -> FlushGuard {
+        FlushGuard { registry: self }
+    }
+
     /// Emits one structured heartbeat event (kind `"event"`) into the trace
     /// sink, if one is installed: `fields` become a nested object. Keys are
     /// rendered sorted, so a test-clock trace is byte-deterministic.
@@ -424,6 +438,19 @@ impl Registry {
             }
         }
         snapshot
+    }
+}
+
+/// Flushes the owning [`Registry`]'s trace sink on drop (normal return *or*
+/// panic unwind). Created by [`Registry::flush_guard`].
+#[must_use = "the guard flushes on drop; binding it to `_` drops it immediately"]
+pub struct FlushGuard {
+    registry: &'static Registry,
+}
+
+impl Drop for FlushGuard {
+    fn drop(&mut self) {
+        self.registry.flush_trace();
     }
 }
 

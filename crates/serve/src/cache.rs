@@ -158,9 +158,21 @@ impl VerdictCache {
         self.stats.entries += 1;
         self.stats.states += states;
         self.stats.insertions += 1;
-        while self.stats.entries > self.config.max_entries
-            || self.stats.states > self.config.max_states
-        {
+        self.evict_until(self.config.max_entries, self.config.max_states);
+    }
+
+    /// Evicts LRU entries down to *tighter-than-configured* bounds — the
+    /// memory watchdog's lever: under pressure the server sheds cached
+    /// verdicts (they are all re-derivable, by construction) before it sheds
+    /// requests. The configured bounds are untouched; the cache refills to
+    /// them as traffic returns.
+    pub fn evict_to(&mut self, max_entries: usize, max_states: usize) {
+        self.evict_until(max_entries, max_states);
+    }
+
+    /// Evicts least-recently-used entries until both bounds hold.
+    fn evict_until(&mut self, max_entries: usize, max_states: usize) {
+        while self.stats.entries > max_entries || self.stats.states > max_states {
             let (&oldest, &victim) = self
                 .recency
                 .iter()
@@ -259,6 +271,25 @@ mod tests {
             c.get(key(1)).unwrap().to_string(),
             report("second").to_string()
         );
+    }
+
+    #[test]
+    fn evict_to_sheds_lru_entries_without_changing_the_bounds() {
+        let mut c = cache(8, 1000);
+        for n in 1..=4 {
+            c.insert(key(n), 10, report("r"));
+        }
+        c.evict_to(2, 1000);
+        assert_eq!(c.stats().entries, 2);
+        assert_eq!(c.stats().evictions, 2);
+        assert!(c.get(key(1)).is_none(), "oldest went first");
+        assert!(c.get(key(4)).is_some(), "newest survives");
+        // The configured bounds are untouched: the cache refills past the
+        // temporary target.
+        for n in 5..=8 {
+            c.insert(key(n), 10, report("r"));
+        }
+        assert_eq!(c.stats().entries, 6);
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //! | [`protocol`] | frame grammar: requests, responses, [`WireReport`] |
 //! | [`cache`] | the bounded LRU [`VerdictCache`] |
 //! | [`server`] | accept loops, worker pool, cancellation, shutdown |
-//! | [`client`] | a blocking client library |
+//! | [`client`] | a blocking client library with deadline-aware retries |
+//! | [`faults`] | seeded, deterministic fault injection for chaos drills |
 //!
 //! The full wire contract lives in `crates/serve/PROTOCOL.md`; the
 //! `effpi-cli` binary (`crates/cli`) wraps both ends as the `serve` and
@@ -55,10 +56,12 @@
 
 pub mod cache;
 pub mod client;
+pub mod faults;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheConfig, CacheStats, VerdictCache};
-pub use client::{Client, ClientError, Response, VerifyReply};
+pub use client::{Client, ClientError, Response, RetryPolicy, VerifyReply};
+pub use faults::{FaultAction, FaultPlan, FaultPoint, FaultRule};
 pub use protocol::{ErrorKind, MetricsFormat, Request, VerifyOptions, WireReport};
 pub use server::{Endpoints, Server, ServerConfig, ServerHandle, StoreTier, STATS_SCHEMA};

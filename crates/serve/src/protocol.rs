@@ -33,6 +33,17 @@ pub enum ErrorKind {
     Cancelled,
     /// The server is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The request's `deadline_ms` elapsed before a verdict was reached.
+    DeadlineExceeded,
+    /// The server refused the request to protect itself (admission queue
+    /// full, or degraded under memory pressure). The error object carries a
+    /// `retry_after_ms` hint; retrying is always safe because verify is
+    /// idempotent under its cache key.
+    Overloaded,
+    /// The request made the server fail internally (e.g. a panic inside the
+    /// verification engine, caught at the worker boundary). The daemon and
+    /// its worker survive; other requests are unaffected.
+    Internal,
 }
 
 impl ErrorKind {
@@ -43,6 +54,9 @@ impl ErrorKind {
             ErrorKind::Spec => "spec",
             ErrorKind::Cancelled => "cancelled",
             ErrorKind::ShuttingDown => "shutting-down",
+            ErrorKind::DeadlineExceeded => "deadline-exceeded",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Internal => "internal-error",
         }
     }
 }
@@ -77,6 +91,12 @@ pub struct VerifyOptions {
     /// Observability only: it never touches the cache key, and the report
     /// bytes are identical with or without it.
     pub profile: bool,
+    /// A wall-clock budget for this request, milliseconds from admission.
+    /// When it elapses before a verdict, the run is cancelled and the reply
+    /// is a `deadline-exceeded` error. Operational like `profile` — never
+    /// part of the cache key: a verdict is a verdict no matter how long the
+    /// client was willing to wait for it.
+    pub deadline_ms: Option<u64>,
 }
 
 /// How a `metrics` reply renders the snapshot.
@@ -212,6 +232,7 @@ impl Request {
                         auto_probe,
                         strategy,
                         profile,
+                        deadline_ms: field("deadline_ms")?.map(|v| v as u64),
                     },
                 })
             }
@@ -266,6 +287,9 @@ impl Request {
                 }
                 if options.profile {
                     fields.push(("profile".to_string(), Json::Bool(true)));
+                }
+                if let Some(ms) = options.deadline_ms {
+                    fields.push(("deadline_ms".to_string(), Json::Num(ms as f64)));
                 }
                 Json::obj(fields)
             }
@@ -360,6 +384,25 @@ pub fn err_response(id: Option<u64>, kind: ErrorKind, message: &str) -> String {
             Json::obj([
                 ("kind", Json::str(kind.as_str())),
                 ("message", Json::str(message)),
+            ]),
+        ),
+    ])
+    .to_string()
+}
+
+/// Builds an [`ErrorKind::Overloaded`] failure response whose error object
+/// additionally carries `retry_after_ms` — the server's backoff hint, which
+/// [`crate::Client::verify_retrying`] honors before resubmitting.
+pub fn overloaded_response(id: u64, message: &str, retry_after_ms: u64) -> String {
+    Json::obj([
+        ("id", Json::Num(id as f64)),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj([
+                ("kind", Json::str(ErrorKind::Overloaded.as_str())),
+                ("message", Json::str(message)),
+                ("retry_after_ms", Json::Num(retry_after_ms as f64)),
             ]),
         ),
     ])
@@ -480,6 +523,14 @@ mod tests {
                     ..VerifyOptions::default()
                 },
             },
+            Request::Verify {
+                id: 10,
+                spec: "env x : cio[int]\ntype i[x, Pi(v: int) nil]".into(),
+                options: VerifyOptions {
+                    deadline_ms: Some(1_500),
+                    ..VerifyOptions::default()
+                },
+            },
             Request::Stats { id: 1 },
             Request::Metrics {
                 id: 5,
@@ -551,6 +602,22 @@ mod tests {
                 .and_then(|e| e.get("kind"))
                 .and_then(Json::as_str),
             Some("protocol")
+        );
+    }
+
+    #[test]
+    fn overloaded_responses_carry_retry_after() {
+        let line = overloaded_response(12, "queue full", 75);
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
+        let error = parsed.get("error").unwrap();
+        assert_eq!(
+            error.get("kind").and_then(Json::as_str),
+            Some(ErrorKind::Overloaded.as_str())
+        );
+        assert_eq!(
+            error.get("retry_after_ms").and_then(Json::as_usize),
+            Some(75)
         );
     }
 

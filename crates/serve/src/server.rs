@@ -44,15 +44,39 @@
 //! cache (an aborted prefix is scheduling-dependent and never cacheable).
 //! The `cancel` *response* still reports `cancelled: false` for started
 //! jobs — `true` remains the stronger "never ran at all" guarantee.
+//!
+//! ## Resilience
+//!
+//! Three independent mechanisms keep one bad request — or a burst of good
+//! ones — from taking the daemon down:
+//!
+//! * **Panic isolation.** Every verification runs under `catch_unwind` at
+//!   the worker boundary. A panic anywhere in the engine becomes a typed
+//!   `internal-error` response, the worker thread survives, and the event is
+//!   counted (`requests.panics_caught`). The shared locks tolerate this by
+//!   construction: `runtime::sync::Mutex` recovers poisoned guards, and
+//!   fault-injection decisions are made before any lock is taken.
+//! * **Deadlines.** A `verify` may carry `deadline_ms`; a housekeeper thread
+//!   flips the job's [`CancelToken`] when the budget elapses (queued or
+//!   executing alike), and the reply is a typed `deadline-exceeded` error.
+//! * **Overload protection.** Admission is bounded (`max_queue_depth`):
+//!   past it, requests are *shed* with a typed `overloaded` reply carrying a
+//!   `retry_after_ms` hint — never silently dropped. Under an optional
+//!   memory budget (an interner node-count proxy, since the hash-consing
+//!   arenas are append-only) the daemon degrades in a ladder: first it sheds
+//!   re-derivable cached verdicts (LRU halving + store compaction), then it
+//!   refuses only *larger-than-default* jobs with `overloaded` — small
+//!   requests keep being served.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use effpi::spec::parse_spec;
 use effpi::{CancelToken, Session};
@@ -61,8 +85,9 @@ use store::{StoreConfig, VerdictStore};
 use wire::Json;
 
 use crate::cache::{CacheConfig, VerdictCache};
+use crate::faults::{FaultAction, FaultPlan, FaultPoint};
 use crate::protocol::{
-    err_response, metrics_response_line, ok_response, verify_response_line,
+    err_response, metrics_response_line, ok_response, overloaded_response, verify_response_line,
     verify_response_line_profiled, ErrorKind, MetricsFormat, Request, VerifyOptions,
 };
 
@@ -117,6 +142,21 @@ pub struct ServerConfig {
     /// to stderr: request id, fingerprint, the tier that answered (`lru` /
     /// `disk` / `cold`), the outcome, and the per-phase timing breakdown.
     pub log_requests: bool,
+    /// Admission bound: `verify` requests beyond this many *queued* jobs are
+    /// shed with a typed `overloaded` reply (carrying `retry_after_ms`)
+    /// instead of growing the queue without limit. `0` sheds everything —
+    /// useful for drills; in-flight work is not counted against the bound.
+    pub max_queue_depth: usize,
+    /// Optional memory watchdog budget, in interner nodes (`types + terms`
+    /// of `effpi::intern_stats()` — the daemon's dominant append-only
+    /// allocation). At 90% the caches shed (LRU halving, store compaction);
+    /// at 100% the server turns `degraded` and refuses requests asking for
+    /// more than `default_max_states` with `overloaded`. `None` disables the
+    /// watchdog.
+    pub memory_budget: Option<u64>,
+    /// Deterministic fault injection (tests and chaos drills only; the
+    /// default empty plan injects nothing).
+    pub faults: FaultPlan,
 }
 
 impl Default for ServerConfig {
@@ -128,6 +168,9 @@ impl Default for ServerConfig {
             default_max_states: 500_000,
             store: None,
             log_requests: false,
+            max_queue_depth: 256,
+            memory_budget: None,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -244,6 +287,18 @@ impl Server {
             );
         }
 
+        // The housekeeper owns the time-driven duties no request thread
+        // should block on: expiring deadlines and watching memory pressure.
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                thread::Builder::new()
+                    .name("effpi-serve-housekeeper".to_string())
+                    .spawn(move || housekeeper_loop(&shared))
+                    .expect("spawn housekeeper thread"),
+            );
+        }
+
         Ok(ServerHandle {
             shared,
             threads,
@@ -314,6 +369,24 @@ struct JobFlags {
     /// runs the job: flipping it aborts an in-flight exploration.
     cancel: CancelToken,
     started: AtomicBool,
+    /// Set by the housekeeper when the job's `deadline_ms` elapsed: the
+    /// cancel token was flipped *because of the deadline*, so the refusal
+    /// must say `deadline-exceeded`, not `cancelled`.
+    deadline_exceeded: AtomicBool,
+    /// Set once the job's response is sent; lets the housekeeper drop its
+    /// deadline watch without racing the worker.
+    finished: AtomicBool,
+}
+
+impl JobFlags {
+    fn new() -> JobFlags {
+        JobFlags {
+            cancel: CancelToken::new(),
+            started: AtomicBool::new(false),
+            deadline_exceeded: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+        }
+    }
 }
 
 struct Job {
@@ -322,6 +395,46 @@ struct Job {
     flags: Arc<JobFlags>,
     spec: String,
     options: VerifyOptions,
+    /// The absolute expiry of the request's `deadline_ms`, fixed at
+    /// admission (queue wait counts against the budget).
+    deadline: Option<Instant>,
+}
+
+/// The live half of a [`FaultPlan`]: per-point pass counters, so the *n*-th
+/// pass through each point is a well-defined, test-predictable index.
+struct FaultHook {
+    plan: FaultPlan,
+    store_read: AtomicU64,
+    store_write: AtomicU64,
+    socket_write: AtomicU64,
+    worker: AtomicU64,
+}
+
+impl FaultHook {
+    fn new(plan: FaultPlan) -> Option<Arc<FaultHook>> {
+        if plan.is_empty() {
+            return None;
+        }
+        Some(Arc::new(FaultHook {
+            plan,
+            store_read: AtomicU64::new(0),
+            store_write: AtomicU64::new(0),
+            socket_write: AtomicU64::new(0),
+            worker: AtomicU64::new(0),
+        }))
+    }
+
+    /// Counts one pass through `point` and reports whether it fails.
+    fn inject(&self, point: FaultPoint) -> Option<FaultAction> {
+        let counter = match point {
+            FaultPoint::StoreRead => &self.store_read,
+            FaultPoint::StoreWrite => &self.store_write,
+            FaultPoint::SocketWrite => &self.socket_write,
+            FaultPoint::Worker => &self.worker,
+        };
+        let n = counter.fetch_add(1, Ordering::SeqCst);
+        self.plan.decide(point, n)
+    }
 }
 
 /// One client connection: the response writer and the cancellation registry
@@ -335,10 +448,27 @@ struct Conn {
     /// and the reader drops it, which closes the socket and lets the client
     /// observe a clean EOF instead of merged half-frames.
     dead: AtomicBool,
+    /// The server's fault hook (`None` outside chaos drills): `send` is the
+    /// socket-write injection point, and it runs on reader *and* worker
+    /// threads, so the hook travels with the connection.
+    faults: Option<Arc<FaultHook>>,
 }
 
 impl Conn {
     fn send(&self, line: &str) {
+        // Injection decides before the writer lock is taken, and `Panic` is
+        // downgraded to `Error`: reader threads carry no panic isolation, and
+        // a real failed write severs the connection exactly like this.
+        if let Some(hook) = &self.faults {
+            match hook.inject(FaultPoint::SocketWrite) {
+                None => {}
+                Some(FaultAction::Delay { ms }) => thread::sleep(Duration::from_millis(ms)),
+                Some(FaultAction::Error | FaultAction::Panic) => {
+                    self.dead.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+        }
         let mut writer = self.writer.lock();
         if self.dead.load(Ordering::SeqCst) {
             return;
@@ -380,6 +510,17 @@ struct Counters {
     /// request — but they are accounted here so an operator can see a dying
     /// disk in `stats`.
     store_errors: AtomicU64,
+    /// Requests refused with a typed `overloaded` reply (queue full, or
+    /// degraded-mode large-job refusals). Every shed is an *answered*
+    /// request — never a silent drop — so this equals the overloaded replies
+    /// clients observed.
+    shed: AtomicU64,
+    /// Requests refused with `deadline-exceeded` (their `deadline_ms`
+    /// elapsed while queued or executing).
+    deadline_exceeded: AtomicU64,
+    /// Verifications that panicked and were absorbed at the worker boundary
+    /// (each one answered `internal-error`; the worker survived).
+    panics_caught: AtomicU64,
 }
 
 struct Shared {
@@ -397,11 +538,21 @@ struct Shared {
     down_cv: Condvar,
     readers: Mutex<Vec<thread::JoinHandle<()>>>,
     counters: Counters,
+    /// The live fault-injection hook (`None` when `config.faults` is empty).
+    faults: Option<Arc<FaultHook>>,
+    /// Deadline watch list: `(expiry, flags)` of admitted jobs that carry a
+    /// `deadline_ms`, swept by the housekeeper every poll interval.
+    deadlines: Mutex<Vec<(Instant, Arc<JobFlags>)>>,
+    /// Sticky memory-pressure mode: once the interner crosses the budget,
+    /// larger-than-default jobs are refused (the arenas are append-only, so
+    /// there is no way back down short of a restart).
+    degraded: AtomicBool,
 }
 
 impl Shared {
     fn new(config: ServerConfig, store: Option<Mutex<VerdictStore>>) -> Shared {
         let cache = Mutex::new(VerdictCache::new(config.cache));
+        let faults = FaultHook::new(config.faults.clone());
         Shared {
             config,
             queue: Mutex::new(VecDeque::new()),
@@ -413,11 +564,23 @@ impl Shared {
             down_cv: Condvar::new(),
             readers: Mutex::new(Vec::new()),
             counters: Counters::default(),
+            faults,
+            deadlines: Mutex::new(Vec::new()),
+            degraded: AtomicBool::new(false),
         }
     }
 
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// How soon a shed client should come back: the queue's expected drain
+    /// time at one verification per `POLL_INTERVAL`-ish slot per worker,
+    /// clamped to a sane band. Deterministic (no clock, no randomness), so
+    /// chaos tests can pin it.
+    fn retry_after_hint(&self, queued: usize) -> u64 {
+        let workers = self.config.workers.max(1);
+        (((queued / workers) as u64 + 1) * 25).clamp(25, 1_000)
     }
 
     fn begin_shutdown(&self) {
@@ -521,6 +684,7 @@ fn accept_loop<L: Acceptor>(shared: &Arc<Shared>, listener: &L) {
                     writer: Mutex::new(writer),
                     pending: Mutex::new(HashMap::new()),
                     dead: AtomicBool::new(false),
+                    faults: shared.faults.clone(),
                 });
                 let shared_for_reader = Arc::clone(shared);
                 let handle = thread::spawn(move || reader_loop(&shared_for_reader, reader, &conn));
@@ -652,20 +816,48 @@ fn handle_frame(shared: &Arc<Shared>, conn: &Arc<Conn>, frame: &str) {
     };
     match request {
         Request::Verify { id, spec, options } => {
-            let flags = Arc::new(JobFlags {
-                cancel: CancelToken::new(),
-                started: AtomicBool::new(false),
-            });
+            let flags = Arc::new(JobFlags::new());
             conn.pending.lock().insert(id, Arc::clone(&flags));
-            let accepted = {
+            let deadline = options
+                .deadline_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms));
+            enum Admission {
+                Accepted,
+                ShuttingDown,
+                /// Typed `overloaded` refusal with its backoff hint.
+                Shed {
+                    retry_after_ms: u64,
+                    why: &'static str,
+                },
+            }
+            let admission = {
                 // Accept-or-refuse is decided under the queue lock, where
                 // `begin_shutdown` also flips the flag: a job can never be
                 // pushed after the workers were told to drain-and-exit (it
                 // would hang unanswered), and every job pushed before is
-                // covered by the drain guarantee.
+                // covered by the drain guarantee. Shedding decides here too,
+                // so `queued` vs `max_queue_depth` is race-free.
                 let mut queue = shared.queue.lock();
                 if shared.shutting_down() {
-                    false
+                    Admission::ShuttingDown
+                } else if queue.len() >= shared.config.max_queue_depth {
+                    Admission::Shed {
+                        retry_after_ms: shared.retry_after_hint(queue.len()),
+                        why: "admission queue is full",
+                    }
+                } else if shared.degraded.load(Ordering::SeqCst)
+                    && options
+                        .max_states
+                        .is_some_and(|limit| limit > shared.config.default_max_states)
+                {
+                    // The degradation ladder's last rung: under memory
+                    // pressure only larger-than-default jobs are refused;
+                    // ordinary traffic keeps flowing.
+                    Admission::Shed {
+                        retry_after_ms: 5_000,
+                        why: "server is degraded under memory pressure; \
+                              large max_states jobs are refused",
+                    }
                 } else {
                     queue.push_back(Job {
                         conn: Arc::clone(conn),
@@ -673,19 +865,34 @@ fn handle_frame(shared: &Arc<Shared>, conn: &Arc<Conn>, frame: &str) {
                         flags: Arc::clone(&flags),
                         spec,
                         options,
+                        deadline,
                     });
-                    true
+                    Admission::Accepted
                 }
             };
-            if accepted {
-                shared.work_cv.notify_one();
-            } else {
-                conn.settle(id, &flags);
-                conn.send(&err_response(
-                    Some(id),
-                    ErrorKind::ShuttingDown,
-                    "server is draining; no new work accepted",
-                ));
+            match admission {
+                Admission::Accepted => {
+                    if let Some(deadline) = deadline {
+                        shared.deadlines.lock().push((deadline, Arc::clone(&flags)));
+                    }
+                    shared.work_cv.notify_one();
+                }
+                Admission::ShuttingDown => {
+                    conn.settle(id, &flags);
+                    conn.send(&err_response(
+                        Some(id),
+                        ErrorKind::ShuttingDown,
+                        "server is draining; no new work accepted",
+                    ));
+                }
+                Admission::Shed {
+                    retry_after_ms,
+                    why,
+                } => {
+                    shared.counters.shed.fetch_add(1, Ordering::SeqCst);
+                    conn.settle(id, &flags);
+                    conn.send(&overloaded_response(id, why, retry_after_ms));
+                }
             }
         }
         Request::Stats { id } => conn.send(&ok_response(id, [("stats", stats_json(shared))])),
@@ -768,8 +975,21 @@ pub const STATS_SCHEMA: &[(&str, &[&str])] = &[
         ],
     ),
     (
+        // `completed + failed + cancelled + shed + deadline_exceeded` sums
+        // to the `verify` requests answered; `failed` includes the
+        // `internal-error` replies of caught panics, which are additionally
+        // broken out in `panics_caught`.
         "requests",
-        &["queued", "in_flight", "completed", "cancelled", "failed"],
+        &[
+            "queued",
+            "in_flight",
+            "completed",
+            "cancelled",
+            "failed",
+            "shed",
+            "deadline_exceeded",
+            "panics_caught",
+        ],
     ),
     (
         "engine",
@@ -779,6 +999,8 @@ pub const STATS_SCHEMA: &[(&str, &[&str])] = &[
             "per_request_jobs",
             "states_explored",
             "connections",
+            "queue_capacity",
+            "degraded",
         ],
     ),
     (
@@ -889,6 +1111,17 @@ fn sync_registry(shared: &Shared) {
         counters.cancelled.load(Ordering::SeqCst),
     );
     set("requests", "failed", counters.failed.load(Ordering::SeqCst));
+    set("requests", "shed", counters.shed.load(Ordering::SeqCst));
+    set(
+        "requests",
+        "deadline_exceeded",
+        counters.deadline_exceeded.load(Ordering::SeqCst),
+    );
+    set(
+        "requests",
+        "panics_caught",
+        counters.panics_caught.load(Ordering::SeqCst),
+    );
 
     set("engine", "workers", config.workers as u64);
     set("engine", "jobs", config.jobs as u64);
@@ -906,6 +1139,12 @@ fn sync_registry(shared: &Shared) {
         "engine",
         "connections",
         counters.connections.load(Ordering::SeqCst),
+    );
+    set("engine", "queue_capacity", config.max_queue_depth as u64);
+    set(
+        "engine",
+        "degraded",
+        u64::from(shared.degraded.load(Ordering::SeqCst)),
     );
 
     let intern = effpi::intern_stats();
@@ -990,6 +1229,61 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// Sweeps deadlines and watches memory pressure, once per [`POLL_INTERVAL`]
+/// until shutdown. Both duties are time-driven, not request-driven, so they
+/// live on their own thread: a full worker pool cannot delay a deadline
+/// firing, and the watchdog needs no traffic to notice pressure.
+fn housekeeper_loop(shared: &Arc<Shared>) {
+    // The 90% soft response fires once per crossing, not every tick: the
+    // interner only grows, so repeated evict/compact cycles would thrash the
+    // caches without reclaiming anything new.
+    let mut soft_shed = false;
+    while !shared.shutting_down() {
+        thread::sleep(POLL_INTERVAL);
+
+        {
+            let now = Instant::now();
+            let mut deadlines = shared.deadlines.lock();
+            deadlines.retain(|(deadline, flags)| {
+                if flags.finished.load(Ordering::SeqCst) {
+                    return false; // answered in time; stop watching
+                }
+                if now >= *deadline {
+                    // Order matters: the worker reads `deadline_exceeded`
+                    // only after observing the cancel, so flag first.
+                    flags.deadline_exceeded.store(true, Ordering::SeqCst);
+                    flags.cancel.cancel();
+                    return false;
+                }
+                true
+            });
+        }
+
+        if let Some(budget) = shared.config.memory_budget {
+            let intern = effpi::intern_stats();
+            let nodes = intern.types as u64 + intern.terms as u64;
+            // At 90%: shed what is re-derivable — halve the LRU, compact the
+            // disk tier — before refusing anything.
+            if !soft_shed && nodes.saturating_mul(10) >= budget.saturating_mul(9) {
+                soft_shed = true;
+                let bounds = shared.config.cache;
+                shared
+                    .cache
+                    .lock()
+                    .evict_to(bounds.max_entries / 2, bounds.max_states / 2);
+                if let Some(disk) = &shared.store {
+                    let _ = disk.lock().compact();
+                }
+            }
+            // At 100%: degrade (sticky — the arenas are append-only) and let
+            // admission refuse larger-than-default jobs.
+            if nodes >= budget {
+                shared.degraded.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
 /// The cache tier that answered a `verify` (`cold` = a fresh verification).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Tier {
@@ -1025,8 +1319,33 @@ enum Verdict {
 
 fn process(shared: &Shared, job: Job) {
     job.flags.started.store(true, Ordering::SeqCst);
+    // A deadline that elapsed while the job sat in the queue (whether or not
+    // the housekeeper already swept it) refuses before any work is spent.
+    let expired = job.deadline.is_some_and(|d| Instant::now() >= d)
+        || (job.flags.cancel.is_cancelled() && job.flags.deadline_exceeded.load(Ordering::SeqCst));
+    if expired {
+        shared
+            .counters
+            .deadline_exceeded
+            .fetch_add(1, Ordering::SeqCst);
+        job.flags.finished.store(true, Ordering::SeqCst);
+        job.conn.settle(job.id, &job.flags);
+        if shared.config.log_requests {
+            eprintln!(
+                "[effpi-serve] verify id={} key=- tier=- outcome=deadline-exceeded total=0us",
+                job.id
+            );
+        }
+        job.conn.send(&err_response(
+            Some(job.id),
+            ErrorKind::DeadlineExceeded,
+            "deadline_ms elapsed before the request started",
+        ));
+        return;
+    }
     if job.flags.cancel.is_cancelled() {
         shared.counters.cancelled.fetch_add(1, Ordering::SeqCst);
+        job.flags.finished.store(true, Ordering::SeqCst);
         job.conn.settle(job.id, &job.flags);
         if shared.config.log_requests {
             eprintln!(
@@ -1044,9 +1363,33 @@ fn process(shared: &Shared, job: Job) {
     shared.counters.in_flight.fetch_add(1, Ordering::SeqCst);
     // Every span closed on this thread during the verification — parse,
     // fingerprint, cache probes, typecheck, explore, check, render — lands
-    // in this request's breakdown.
-    let (verdict, phases) = obs::phases::collect(|| verify_response(shared, &job));
+    // in this request's breakdown. The whole collection runs under
+    // `catch_unwind`: a panic anywhere in the engine is this request's
+    // failure, not the daemon's — the worker survives, the client gets a
+    // typed `internal-error`, and the event is counted. (The phase collector
+    // unwinds cleanly — its thread-local stack pops via a drop guard — and
+    // `runtime::sync::Mutex` recovers poisoned guards, so an unwound lock
+    // can never wedge later requests.)
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        obs::phases::collect(|| verify_response(shared, &job))
+    }));
+    let (verdict, phases) = outcome.unwrap_or_else(|_| {
+        shared.counters.panics_caught.fetch_add(1, Ordering::SeqCst);
+        shared.counters.failed.fetch_add(1, Ordering::SeqCst);
+        // Chaos-run traces must be debuggable: flush the span sink now, the
+        // way a clean exit would.
+        obs::global().flush_trace();
+        (
+            Verdict::Refused {
+                kind: ErrorKind::Internal,
+                message: "verification panicked; the worker survived and the daemon is healthy"
+                    .into(),
+            },
+            obs::phases::Phases::default(),
+        )
+    });
     shared.counters.in_flight.fetch_sub(1, Ordering::SeqCst);
+    job.flags.finished.store(true, Ordering::SeqCst);
     job.conn.settle(job.id, &job.flags);
     if shared.config.log_requests {
         let (key, tier, outcome) = match &verdict {
@@ -1077,6 +1420,23 @@ fn process(shared: &Shared, job: Job) {
 }
 
 fn verify_response(shared: &Shared, job: &Job) -> Verdict {
+    // The worker-boundary fault point: `Panic` exercises the catch_unwind
+    // isolation in `process`, `Error` models an engine that failed without
+    // unwinding. Decided before any lock or allocation.
+    if let Some(hook) = &shared.faults {
+        match hook.inject(FaultPoint::Worker) {
+            None => {}
+            Some(FaultAction::Delay { ms }) => thread::sleep(Duration::from_millis(ms)),
+            Some(FaultAction::Panic) => panic!("injected worker fault"),
+            Some(FaultAction::Error) => {
+                shared.counters.failed.fetch_add(1, Ordering::SeqCst);
+                return Verdict::Refused {
+                    kind: ErrorKind::Internal,
+                    message: "injected worker error".into(),
+                };
+            }
+        }
+    }
     let parsed = {
         let _span = obs::span("parse");
         parse_spec(&job.spec)
@@ -1137,13 +1497,7 @@ fn verify_response(shared: &Shared, job: &Job) -> Verdict {
     if let Some(disk) = &shared.store {
         let from_disk = {
             let _span = obs::span("disk_probe");
-            match disk.lock().get(key) {
-                Ok(found) => found,
-                Err(_) => {
-                    shared.counters.store_errors.fetch_add(1, Ordering::SeqCst);
-                    None
-                }
-            }
+            probe_disk(shared, disk, key)
         };
         if let Some((states, report)) = from_disk {
             let rendered: Arc<str> = Arc::from(report.as_str());
@@ -1172,7 +1526,18 @@ fn verify_response(shared: &Shared, job: &Job) -> Verdict {
     ) {
         // Aborted mid-exploration: the partial result is discarded (never
         // cached — an aborted prefix is scheduling-dependent) and the verify
-        // gets its typed refusal.
+        // gets its typed refusal. The housekeeper flips the same token for
+        // an elapsed deadline, which reports under its own name and bucket.
+        if job.flags.deadline_exceeded.load(Ordering::SeqCst) {
+            shared
+                .counters
+                .deadline_exceeded
+                .fetch_add(1, Ordering::SeqCst);
+            return Verdict::Refused {
+                kind: ErrorKind::DeadlineExceeded,
+                message: "deadline_ms elapsed during exploration".into(),
+            };
+        }
         shared.counters.cancelled.fetch_add(1, Ordering::SeqCst);
         return Verdict::Refused {
             kind: ErrorKind::Cancelled,
@@ -1192,9 +1557,23 @@ fn verify_response(shared: &Shared, job: &Job) -> Verdict {
         .lock()
         .insert(key, states, Arc::clone(&rendered));
     // Write-through to the persistent tier: a cold verdict survives the
-    // daemon. A failed append degrades to a warm-memory-only entry.
+    // daemon. A failed append degrades to a warm-memory-only entry — which
+    // is exactly what an injected store-write `Error` models.
     if let Some(disk) = &shared.store {
-        if disk.lock().put(key, states, &rendered).is_err() {
+        let injected = match shared
+            .faults
+            .as_ref()
+            .and_then(|hook| hook.inject(FaultPoint::StoreWrite))
+        {
+            None => false,
+            Some(FaultAction::Delay { ms }) => {
+                thread::sleep(Duration::from_millis(ms));
+                false
+            }
+            Some(FaultAction::Panic) => panic!("injected store-write fault"),
+            Some(FaultAction::Error) => true,
+        };
+        if injected || disk.lock().put(key, states, &rendered).is_err() {
             shared.counters.store_errors.fetch_add(1, Ordering::SeqCst);
         }
     }
@@ -1203,5 +1582,55 @@ fn verify_response(shared: &Shared, job: &Job) -> Verdict {
         tier: Tier::Cold,
         key: key.to_string(),
         report: rendered,
+    }
+}
+
+/// The disk-tier probe, in two phases so the store mutex is **never held
+/// across the disk read**: resolve the key to a [`store::ReadPlan`] under
+/// the lock (pure index work), release it, read and validate the bytes on a
+/// private file handle, then settle the hit back under the lock. A plan that
+/// went stale — a compaction renamed the log between the phases — fails
+/// validation (checksums are per-record and carry the key) and falls back to
+/// the classic locked [`VerdictStore::get`], which owns index repair.
+///
+/// Also the store-read fault point: an injected `Error` degrades to cold
+/// verification exactly like a real I/O failure.
+fn probe_disk(
+    shared: &Shared,
+    disk: &Mutex<VerdictStore>,
+    key: effpi::CacheKey,
+) -> Option<(usize, String)> {
+    if let Some(hook) = &shared.faults {
+        match hook.inject(FaultPoint::StoreRead) {
+            None => {}
+            Some(FaultAction::Delay { ms }) => thread::sleep(Duration::from_millis(ms)),
+            Some(FaultAction::Panic) => panic!("injected store-read fault"),
+            Some(FaultAction::Error) => {
+                shared.counters.store_errors.fetch_add(1, Ordering::SeqCst);
+                return None;
+            }
+        }
+    }
+    let plan = disk.lock().plan_read(key)?;
+    match plan.read(key) {
+        Ok(Some(found)) => {
+            disk.lock().note_hit(key);
+            Some(found)
+        }
+        Ok(None) => {
+            // Stale plan or rotted bytes: the locked read re-resolves against
+            // the current log and repairs the index if the record is gone.
+            match disk.lock().get(key) {
+                Ok(found) => found,
+                Err(_) => {
+                    shared.counters.store_errors.fetch_add(1, Ordering::SeqCst);
+                    None
+                }
+            }
+        }
+        Err(_) => {
+            shared.counters.store_errors.fetch_add(1, Ordering::SeqCst);
+            None
+        }
     }
 }

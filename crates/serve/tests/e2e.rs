@@ -27,6 +27,7 @@ fn server_config() -> ServerConfig {
         default_max_states: MAX_STATES,
         store: None,
         log_requests: false,
+        ..ServerConfig::default()
     }
 }
 
@@ -298,7 +299,7 @@ fn cancellation_stats_and_protocol_errors() {
         .verify("bogus statement", VerifyOptions::default())
         .expect_err("malformed spec");
     match err {
-        ClientError::Server { kind, message } => {
+        ClientError::Server { kind, message, .. } => {
             assert_eq!(kind, "spec");
             assert!(message.contains("line 1"), "{message}");
         }
@@ -466,7 +467,7 @@ fn cancel_aborts_an_in_flight_exploration() {
     let response = client.recv().expect("verify answered");
     assert_eq!(response.id, Some(id));
     match response.into_ok() {
-        Err(ClientError::Server { kind, message }) => {
+        Err(ClientError::Server { kind, message, .. }) => {
             assert_eq!(kind, "cancelled", "{message}");
             assert!(
                 message.contains("during exploration"),

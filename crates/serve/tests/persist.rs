@@ -30,6 +30,7 @@ fn start_with_store(dir: &Path) -> (ServerHandle, String) {
             default_max_states: MAX_STATES,
             store: Some(StoreTier::at(dir)),
             log_requests: false,
+            ..ServerConfig::default()
         },
     )
     .expect("start server with store");
