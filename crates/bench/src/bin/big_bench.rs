@@ -1,0 +1,96 @@
+//! The out-of-core exploration benchmark: scaled Fig. 9 scenarios verified
+//! with and without an exploration memory budget (see `bench::big`).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin big_bench -- [--scale S] [--jobs J]
+//!     [--max-states N] [--budget BYTES] [--json PATH]
+//! ```
+//!
+//! * `--scale S` — scenario sizes (default 0, the CI edition);
+//! * `--jobs J` — exploration workers per verification (default 1);
+//! * `--max-states N` — state bound per verification (default 600000);
+//! * `--budget BYTES` — the budgeted leg's memory budget (default 65536);
+//! * `--json PATH` — write the record (`BENCH_big.json`).
+//!
+//! The gate is self-contained: the run **exits non-zero** unless every
+//! budgeted leg reproduces its unbudgeted leg's stable line byte-for-byte
+//! *and* the spill path demonstrably engaged (at least one frontier segment
+//! written to — and streamed back from — disk). No checked-in baseline:
+//! both clauses are structural, not timings.
+
+use std::process::ExitCode;
+
+use bench::big::{self, DEFAULT_BUDGET};
+use bench::flags::{parse_flag, string_flag};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let parsed: Result<_, String> = (|| {
+        Ok((
+            parse_flag(&args, "--scale")?,
+            parse_flag(&args, "--jobs")?,
+            parse_flag(&args, "--max-states")?,
+            parse_flag(&args, "--budget")?,
+            string_flag(&args, "--json")?,
+        ))
+    })();
+    let (scale_flag, jobs_flag, max_states_flag, budget_flag, json_path) = match parsed {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let scale = scale_flag.unwrap_or(0);
+    let jobs = jobs_flag.unwrap_or(1).max(1);
+    let max_states = max_states_flag.unwrap_or(600_000);
+    let budget = budget_flag.unwrap_or(DEFAULT_BUDGET).max(1);
+
+    println!(
+        "out-of-core benchmark — scale {scale}, {jobs} worker(s), bound {max_states}, \
+         budget {budget} bytes"
+    );
+    let record = big::run(scale, max_states, jobs, budget);
+    println!(
+        "{:<30} {:>9} {:>12} {:>12} {:>9} {:>12} {:>9}",
+        "scenario", "states", "wall ms", "budgeted ms", "segments", "spill bytes", "reloads"
+    );
+    for case in &record.cases {
+        println!(
+            "{:<30} {:>9} {:>12.3} {:>12.3} {:>9} {:>12} {:>9}",
+            case.name,
+            case.states,
+            case.wall_ms,
+            case.wall_ms_budgeted,
+            case.spill_segments,
+            case.spill_bytes,
+            case.spill_reloads
+        );
+    }
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", record.to_json())) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote out-of-core record to {path}");
+    }
+
+    let failures = record.gate_failures();
+    if failures.is_empty() {
+        let segments: u64 = record.cases.iter().map(|c| c.spill_segments).sum();
+        println!(
+            "big gate: OK — {segments} frontier segments spilled and reloaded, \
+             zero verdict/state drift"
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("big gate: FAILED");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

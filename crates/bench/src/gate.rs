@@ -18,8 +18,10 @@
 //! All three baselines (`crates/bench/baseline.json`,
 //! `intern_baseline.json`, `term_baseline.json`) are **still
 //! container-recorded** (a 1-CPU dev container, the CI flags) — last
-//! re-recorded together in the persistent-store PR, so every floor tracks
-//! the same pipeline state instead of a mix of recording eras — but not yet
+//! re-recorded together in the out-of-core exploration PR (the fig9 record
+//! is the slowest of three consecutive runs, since container timing is noisy
+//! and the gate only bounds regressions), so every floor tracks the same
+//! pipeline state instead of a mix of recording eras — but not yet
 //! CI artifacts: refreshing to runner speed requires downloading the
 //! `BENCH_*.json` artifacts from a trusted *green* CI run, and no such
 //! artifact is reachable from the offline build environment these changes

@@ -26,6 +26,11 @@
 //!   deep in a BFS-hostile state space, hunted under every exploration
 //!   strategy (`BENCH_directed.json`); self-gated — the guided beam must find
 //!   it in at most a tenth of BFS's states.
+//! * [`big`] — the out-of-core exploration benchmark: scaled ping-pong and
+//!   token-ring scenarios verified with and without an exploration memory
+//!   budget (`BENCH_big.json`); self-gated — the budgeted legs must spill
+//!   frontier segments to disk *and* stay byte-identical to the unbudgeted
+//!   runs.
 //! * [`serve_load`] — the concurrent-load scenario for the `effpi-serve`
 //!   verification service: N clients × M specs against an in-process server,
 //!   reporting requests/sec and the verdict-cache hit rate
@@ -37,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod big;
 pub mod directed;
 pub mod fig8;
 pub mod fig9;

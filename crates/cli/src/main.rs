@@ -7,17 +7,21 @@
 //!
 //! ```text
 //! effpi-cli verify    <spec.effpi> [--max-states N] [--jobs J] [--strategy S]
+//!                                  [--memory-budget-explore BYTES]
 //!                                  [--profile] [--trace FILE]    # run every `check` in the spec
 //! effpi-cli typecheck <spec.effpi>                               # only check `term` against `type`
 //! effpi-cli lts       <spec.effpi> [--max-states N] [--jobs J] [--strategy S]
+//!                                  [--memory-budget-explore BYTES]
 //!                                                                # report the type LTS size
 //! effpi-cli parse     <spec.effpi>                               # echo the parsed type back
 //!
 //! effpi-cli serve  [--listen ADDR] [--uds PATH] [--workers W] [--jobs J]
 //!                  [--max-states N] [--cache-entries E] [--cache-states S]
 //!                  [--store DIR] [--store-entries E] [--store-states S]
-//!                  [--queue-depth Q] [--memory-budget NODES] [--log-requests]
+//!                  [--queue-depth Q] [--memory-budget NODES]
+//!                  [--memory-budget-explore BYTES] [--log-requests]
 //! effpi-cli client <ADDR|unix:PATH> verify <spec.effpi> [--max-states N] [--strategy S]
+//!                  [--memory-budget-explore BYTES]
 //!                  [--deadline-ms MS] [--retries N] [--timeout-ms MS]
 //! effpi-cli client <ADDR|unix:PATH> metrics [--text]
 //! effpi-cli client <ADDR|unix:PATH> stats|ping|shutdown
@@ -108,9 +112,15 @@ fn cmd_one_shot(command: String, args: &[String]) -> ExitCode {
     };
     // A present flag with a bad value is a usage error, never a silent
     // fallback to the default.
-    let (max_states, jobs) = match (flag_value(args, "--max-states"), flag_value(args, "--jobs")) {
-        (Ok(max_states), Ok(jobs)) => (max_states.unwrap_or(500_000), resolve_jobs(jobs)),
-        (Err(e), _) | (_, Err(e)) => {
+    let (max_states, jobs, memory_budget) = match (
+        flag_value(args, "--max-states"),
+        flag_value(args, "--jobs"),
+        flag_value(args, "--memory-budget-explore"),
+    ) {
+        (Ok(max_states), Ok(jobs), Ok(budget)) => {
+            (max_states.unwrap_or(500_000), resolve_jobs(jobs), budget)
+        }
+        (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => {
             eprintln!("{e}\n{USAGE}");
             return ExitCode::from(2);
         }
@@ -129,8 +139,9 @@ fn cmd_one_shot(command: String, args: &[String]) -> ExitCode {
     // (parse, typecheck, explore, check, …) and the residue — I/O, session
     // setup, printing — lands in the `other` row of the table.
     let wall = std::time::Instant::now();
-    let (code, phases) =
-        obs::phases::collect(|| run_one_shot(&command, path, max_states, jobs, strategy));
+    let (code, phases) = obs::phases::collect(|| {
+        run_one_shot(&command, path, max_states, jobs, strategy, memory_budget)
+    });
     if profile {
         print_profile(&phases, wall.elapsed().as_micros() as u64);
     }
@@ -145,6 +156,7 @@ fn run_one_shot(
     max_states: usize,
     jobs: usize,
     strategy: Option<effpi::Strategy>,
+    memory_budget: Option<usize>,
 ) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -172,6 +184,11 @@ fn run_one_shot(
         .parallelism(jobs);
     if let Some(strategy) = strategy {
         builder = builder.strategy(strategy);
+    }
+    // Out-of-core exploration: past this resident-byte budget, cold frontier
+    // segments spill to disk (results are identical, only RAM use changes).
+    if let Some(budget) = memory_budget {
+        builder = builder.memory_budget(budget);
     }
     let session = builder.build();
 
@@ -286,6 +303,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             flag_value(args, "--store-states")?,
             flag_value(args, "--queue-depth")?,
             flag_value(args, "--memory-budget")?,
+            flag_value(args, "--memory-budget-explore")?,
         ))
     })();
     #[allow(clippy::type_complexity)]
@@ -302,6 +320,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         ss,
         qd,
         mb,
+        mbe,
     ) = match parsed {
         Ok(flags) => flags,
         Err(e) => {
@@ -334,6 +353,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         // drain drills, so it is not clamped.
         max_queue_depth: qd.unwrap_or(defaults.max_queue_depth),
         memory_budget: mb.map(|nodes| nodes as u64),
+        explore_memory_budget: mbe,
         faults: serve::FaultPlan::default(),
         store: store.map(|dir| {
             let store_defaults = StoreConfig::default();
@@ -377,6 +397,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     );
     if let Some(budget) = config.memory_budget {
         say!("memory budget: {budget} interner nodes (degrades, never aborts)");
+    }
+    if let Some(budget) = config.explore_memory_budget {
+        say!("exploration memory budget: {budget} bytes (frontier spills to disk past it)");
     }
     if let Some(tier) = &config.store {
         say!(
@@ -425,15 +448,17 @@ fn cmd_client(args: &[String]) -> ExitCode {
                     flag_value(args, "--deadline-ms")?,
                     flag_value(args, "--retries")?,
                     flag_value(args, "--timeout-ms")?,
+                    flag_value(args, "--memory-budget-explore")?,
                 ))
             })();
-            let (max_states, strategy, deadline_ms, retries, timeout_ms) = match flags {
-                Ok(flags) => flags,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::from(2);
-                }
-            };
+            let (max_states, strategy, deadline_ms, retries, timeout_ms, memory_budget) =
+                match flags {
+                    Ok(flags) => flags,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::from(2);
+                    }
+                };
             let text = match std::fs::read_to_string(path) {
                 Ok(t) => t,
                 Err(e) => {
@@ -445,6 +470,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
                 max_states,
                 strategy,
                 deadline_ms: deadline_ms.map(|ms| ms as u64),
+                memory_budget: memory_budget.map(|bytes| bytes as u64),
                 ..VerifyOptions::default()
             };
             // `--retries`/`--timeout-ms` switch to the resilient path: an
@@ -630,12 +656,15 @@ fn connect(addr: &str) -> Result<Client, std::io::Error> {
 
 const USAGE: &str = "\
 usage: effpi-cli <verify|typecheck|lts|parse> <spec.effpi> [--max-states N] [--jobs J]
-                 [--strategy bfs|dfs|beam[:W]|random[:SEED]] [--profile] [--trace FILE]
+                 [--strategy bfs|dfs|beam[:W]|random[:SEED]] [--memory-budget-explore BYTES]
+                 [--profile] [--trace FILE]
        effpi-cli serve [--listen ADDR] [--uds PATH] [--workers W] [--jobs J]
                        [--max-states N] [--cache-entries E] [--cache-states S]
                        [--store DIR] [--store-entries E] [--store-states S]
-                       [--queue-depth Q] [--memory-budget NODES] [--log-requests]
+                       [--queue-depth Q] [--memory-budget NODES]
+                       [--memory-budget-explore BYTES] [--log-requests]
        effpi-cli client <ADDR|unix:PATH> <verify <spec.effpi> [--max-states N] [--strategy S]
+                       [--memory-budget-explore BYTES]
                        [--deadline-ms MS] [--retries N] [--timeout-ms MS]\
 |metrics [--text]|stats|ping|shutdown>
        effpi-cli store <stats|compact> <DIR> [--store-entries E] [--store-states S]";

@@ -38,7 +38,7 @@ use std::time::Duration;
 
 use dbt_types::{Checker, TypeEnv, TypeError};
 use lambdapi::{Name, Term, TyRef, Type};
-use lts::{CancelToken, Lts, Strategy, TypeLabel};
+use lts::{CancelToken, Lts, SeenSet, Strategy, TypeLabel};
 use mucalc::{Property, VerificationOutcome, Verifier, VerifyError};
 
 use crate::protocols::Scenario;
@@ -153,6 +153,22 @@ pub struct SessionConfig {
     /// decides *which* prefix was explored, so it is part of
     /// [`Session::cache_key`] whenever it is not the default.
     pub strategy: Strategy,
+    /// Caps the exploration's resident working set (seen-set pages plus
+    /// in-RAM frontier, in bytes, Step 2): past the budget, cold frontier
+    /// segments spill to disk and stream back in discovery order. Excluded
+    /// from [`Session::cache_key`] — like `parallelism`, it can never change
+    /// a report (verdicts, state counts and witnesses are byte-identical to
+    /// an unbudgeted run; the budget only trades RAM for disk I/O).
+    pub memory_budget: Option<usize>,
+    /// Directory for frontier spill segments (default: the system temp
+    /// dir). Each run uses its own subdirectory and removes it when done.
+    /// Excluded from [`Session::cache_key`] for the same reason.
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// The seen-set structure used by the exploration (default the
+    /// id-indexed bitmap of `lts::memory`). Results are identical either
+    /// way — the knob exists so the determinism suite can compare the two
+    /// engines — so it, too, is excluded from [`Session::cache_key`].
+    pub seen_set: SeenSet,
 }
 
 impl Default for SessionConfig {
@@ -167,6 +183,9 @@ impl Default for SessionConfig {
             parallelism: 1,
             cancel: None,
             strategy: Strategy::default(),
+            memory_budget: None,
+            spill_dir: None,
+            seen_set: SeenSet::default(),
         }
     }
 }
@@ -261,6 +280,33 @@ impl SessionBuilder {
         self
     }
 
+    /// Caps the resident working set of state-space exploration, in bytes
+    /// (the CLI's `--memory-budget-explore` flag): past the budget, cold
+    /// frontier segments spill to disk and stream back in discovery order,
+    /// so state spaces larger than RAM stay explorable. Reports are
+    /// byte-identical with or without a budget — determinism and witness
+    /// minimality are preserved; only the RAM/disk trade-off changes.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.config.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Directory for frontier spill segments (default: the system temp
+    /// dir). Each run uses its own subdirectory and removes it when done.
+    pub fn spill_dir(mut self, dir: std::path::PathBuf) -> Self {
+        self.config.spill_dir = Some(dir);
+        self
+    }
+
+    /// Selects the seen-set structure for state-space exploration (default
+    /// [`SeenSet::Bitmap`], the id-indexed memory layer). Reports are
+    /// identical either way; [`SeenSet::Hash`] pins the generic hash engine
+    /// so the determinism suite can compare the two.
+    pub fn seen_set(mut self, seen_set: SeenSet) -> Self {
+        self.config.seen_set = seen_set;
+        self
+    }
+
     /// Builds the session, constructing and caching its checker and verifier.
     pub fn build(self) -> Session {
         let checker = Checker::with_limits(self.config.max_depth, self.config.max_unfold);
@@ -271,6 +317,9 @@ impl SessionBuilder {
         verifier.parallelism = self.config.parallelism;
         verifier.cancel = self.config.cancel.clone();
         verifier.strategy = self.config.strategy;
+        verifier.memory_budget = self.config.memory_budget;
+        verifier.spill_dir = self.config.spill_dir.clone();
+        verifier.seen_set = self.config.seen_set;
         Session {
             config: self.config,
             verifier,
@@ -424,7 +473,12 @@ impl Session {
         term: &Term,
     ) -> Result<Lts<lambdapi::TermRef, lts::TermLabel>, Error> {
         let mut builder = lts::TermLts::with_checker(env.clone(), self.checker().clone())
-            .with_parallelism(self.config.parallelism);
+            .with_parallelism(self.config.parallelism)
+            .with_memory_budget(self.config.memory_budget)
+            .with_seen_set(self.config.seen_set);
+        if let Some(dir) = &self.config.spill_dir {
+            builder = builder.with_spill_dir(dir.clone());
+        }
         if let Some(cancel) = &self.config.cancel {
             builder = builder.with_cancel(cancel.clone());
         }

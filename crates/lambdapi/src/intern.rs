@@ -42,8 +42,12 @@
 //! The interner is append-only and process-wide: it retains every distinct
 //! type ever interned (a long-running `effpi-serve` daemon can watch its
 //! growth through [`stats`], which the daemon's `stats` request exposes).
-//! Per-run arenas that can be dropped with their request are a known
-//! follow-up (see ROADMAP).
+//! Alongside the structural tables it keeps an id-indexed reverse table
+//! ([`TyRef::from_id`] / [`TermRef::from_id`]), which is what lets id-keyed
+//! consumers — the exploration engine's bitmap seen-sets and disk-spilled
+//! frontiers — store bare 32-bit indices instead of references and rehydrate
+//! them on demand. Per-run arenas that can be dropped with their request are
+//! a known follow-up (see ROADMAP).
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -61,6 +65,11 @@ use crate::ty::Type;
 /// on a lock. Must be a power of two.
 const SHARDS: usize = 64;
 
+/// log2 of [`SHARDS`] — the shift that turns an id into its slab slot in the
+/// id-indexed reverse tables (`shard = id & (SHARDS - 1)`,
+/// `slot = id >> SHARD_BITS`).
+const SHARD_BITS: u32 = SHARDS.trailing_zeros();
+
 /// The identity of an interned type: a dense 32-bit index.
 ///
 /// Two `TypeId`s are equal **iff** the types they name are structurally equal
@@ -73,6 +82,15 @@ impl TypeId {
     /// The raw index (for diagnostics and for sharding id-keyed side tables).
     pub fn index(self) -> u32 {
         self.0
+    }
+
+    /// Reassembles an id from its raw index (the inverse of
+    /// [`TypeId::index`], for id-keyed side tables that store raw `u32`s —
+    /// e.g. the exploration engine's spill files). The id is only meaningful
+    /// within the process that produced the index; resolving one that was
+    /// never allocated yields `None` from [`TyRef::from_id`].
+    pub fn from_index(index: u32) -> TypeId {
+        TypeId(index)
     }
 }
 
@@ -142,6 +160,17 @@ impl TyRef {
     pub fn canonical(&self, max_unfold: usize) -> TyRef {
         interner().canonical(self, max_unfold)
     }
+
+    /// Resolves an id back to its interned type — the inverse of
+    /// [`TyRef::id`], in O(1) (one shard lock plus an indexed load).
+    ///
+    /// This is what lets id-keyed structures shed the reference itself: the
+    /// exploration engine's disk-spilled frontiers persist bare `u32` indices
+    /// and rehydrate them through this table when the segment streams back
+    /// in. Returns `None` for an id this process never allocated.
+    pub fn from_id(id: TypeId) -> Option<TyRef> {
+        interner().resolve_type(id)
+    }
 }
 
 impl PartialEq for TyRef {
@@ -200,6 +229,12 @@ impl TermId {
     /// The raw index (for diagnostics and for sharding id-keyed side tables).
     pub fn index(self) -> u32 {
         self.0
+    }
+
+    /// Reassembles an id from its raw index (the inverse of
+    /// [`TermId::index`]; see [`TypeId::from_index`] for the contract).
+    pub fn from_index(index: u32) -> TermId {
+        TermId(index)
     }
 }
 
@@ -262,6 +297,14 @@ impl TermRef {
     /// The free term variables `fv(t)` (Def. 2.1), memoized per [`TermId`].
     pub fn free_vars(&self) -> Arc<BTreeSet<Name>> {
         interner().term_free_vars(self)
+    }
+
+    /// Resolves an id back to its interned term — the inverse of
+    /// [`TermRef::id`], in O(1) (one shard lock plus an indexed load); the
+    /// term-side mirror of [`TyRef::from_id`]. Returns `None` for an id this
+    /// process never allocated.
+    pub fn from_id(id: TermId) -> Option<TermRef> {
+        interner().resolve_term(id)
     }
 
     /// Rebuilds a parallel composition from components (inverse of
@@ -384,6 +427,13 @@ struct Interner {
     par_components: Vec<Mutex<HashMap<u32, Arc<[TermRef]>>>>,
     /// `term id -> free variable set`, partitioned by id.
     free_vars: Vec<Mutex<HashMap<u32, Arc<BTreeSet<Name>>>>>,
+    /// `type id -> interned type`, partitioned by id low bits with dense
+    /// per-shard slabs (`slot = id >> SHARD_BITS`): the O(1) reverse of the
+    /// structural table, appended under the structural shard lock on every
+    /// first intern.
+    by_id: Vec<Mutex<Vec<Option<TyRef>>>>,
+    /// `term id -> interned term`, same layout as `by_id`.
+    term_by_id: Vec<Mutex<Vec<Option<TermRef>>>>,
     count: AtomicU64,
     term_count: AtomicU64,
     normalize_hits: AtomicU64,
@@ -406,6 +456,8 @@ fn interner() -> &'static Interner {
         term_shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
         par_components: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
         free_vars: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        by_id: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+        term_by_id: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
         count: AtomicU64::new(0),
         term_count: AtomicU64::new(0),
         normalize_hits: AtomicU64::new(0),
@@ -427,9 +479,37 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// Appends `value` at `id`'s slot of an id-indexed slab table. Ids are
+/// allocated monotonically, so within one shard the slab only ever grows at
+/// the tail; the `None` padding covers ids of the shard that are still being
+/// registered by racing threads.
+fn record_by_id<R: Clone>(table: &[Mutex<Vec<Option<R>>>], id: u32, value: &R) {
+    let mut slab = lock(&table[id as usize & (SHARDS - 1)]);
+    let slot = id as usize >> SHARD_BITS;
+    if slab.len() <= slot {
+        slab.resize(slot + 1, None);
+    }
+    slab[slot] = Some(value.clone());
+}
+
+/// Looks an id up in an id-indexed slab table.
+fn lookup_by_id<R: Clone>(table: &[Mutex<Vec<Option<R>>>], id: u32) -> Option<R> {
+    lock(&table[id as usize & (SHARDS - 1)])
+        .get(id as usize >> SHARD_BITS)
+        .and_then(|slot| slot.clone())
+}
+
 impl Interner {
     fn shard_of(&self, ty: &Type) -> usize {
         (self.hasher.hash_one(ty) as usize) & (SHARDS - 1)
+    }
+
+    fn resolve_type(&self, id: TypeId) -> Option<TyRef> {
+        lookup_by_id(&self.by_id, id.0)
+    }
+
+    fn resolve_term(&self, id: TermId) -> Option<TermRef> {
+        lookup_by_id(&self.term_by_id, id.0)
     }
 
     /// Looks `ty` up; on a miss, registers either the provided owned `Arc`
@@ -455,6 +535,7 @@ impl Interner {
             ty: Arc::clone(&arc),
         };
         shard.insert(arc, tyref.clone());
+        record_by_id(&self.by_id, id.0, &tyref);
         tyref
     }
 
@@ -481,6 +562,7 @@ impl Interner {
             term: Arc::clone(&arc),
         };
         shard.insert(arc, termref.clone());
+        record_by_id(&self.term_by_id, id.0, &termref);
         termref
     }
 
@@ -869,6 +951,28 @@ mod tests {
         assert_eq!(TermRef::rebuild_par(&[x.clone(), end]), Term::var("x"));
         let rebuilt = TermRef::rebuild_par(&[x.clone(), x.clone()]);
         assert_eq!(rebuilt, Term::par(Term::var("x"), Term::var("x")));
+    }
+
+    #[test]
+    fn ids_resolve_back_to_their_interned_trees() {
+        let ty = TyRef::intern(&payment_like());
+        let resolved = TyRef::from_id(ty.id()).expect("allocated type id resolves");
+        assert_eq!(resolved.id(), ty.id());
+        assert_eq!(resolved.as_type(), ty.as_type());
+        assert_eq!(TypeId::from_index(ty.id().index()), ty.id());
+
+        let term = TermRef::intern(&Term::par(
+            Term::var("from_id_probe"),
+            Term::var("from_id_probe2"),
+        ));
+        let resolved = TermRef::from_id(term.id()).expect("allocated term id resolves");
+        assert_eq!(resolved.id(), term.id());
+        assert_eq!(resolved.as_term(), term.as_term());
+        assert_eq!(TermId::from_index(term.id().index()), term.id());
+
+        // An id this process never allocated resolves to nothing.
+        assert!(TyRef::from_id(TypeId::from_index(u32::MAX - 1)).is_none());
+        assert!(TermRef::from_id(TermId::from_index(u32::MAX - 1)).is_none());
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!   own deque (LIFO, for cache warmth) and steals the *oldest* state from
 //!   the front of a sibling's deque when its own runs dry. Only `std`
 //!   threads are used; the workspace stays dependency-free.
+//! * **Id-indexed memory layer** — states whose identity is a dense 32-bit
+//!   interner id (`TyRef`/`TermRef`) get a bitmap seen-set (~1 bit per state
+//!   instead of a hash-map entry) and, under an [`ExploreConfig::memory_budget`],
+//!   disk-spilled frontier segments — out-of-core exploration. See
+//!   [`crate::memory`]; the generic entry points below keep the hash engine.
 //! * **Cooperative early exit** — a shared stop flag ends the run as soon as
 //!   the state bound trips, as soon as an optional *monitor* decides the
 //!   question being asked on-the-fly (see [`explore_until`]), or as soon as
@@ -358,8 +363,27 @@ impl FrontierDiscipline for RandomWalkFrontier {
     }
 }
 
+/// Which seen-set structure an exploration registers discovered states in.
+///
+/// Only consulted by the *id-indexed* engine entry points (the `TypeLts` /
+/// `TermLts` builds, whose states carry dense interner ids — see
+/// [`crate::memory`]); the generic [`explore`] family always uses the hash
+/// engine, since arbitrary state types have no id to index by.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SeenSet {
+    /// The id-indexed two-level bitmap (see [`crate::memory::IdSeenSet`]):
+    /// membership is one shift+mask into a lazily allocated 8 KiB page,
+    /// ~1.03 bits per state on dense id ranges. The default.
+    #[default]
+    Bitmap,
+    /// The generic hash-sharded map — kept for arbitrary state types, for
+    /// the serial non-BFS disciplines, and as the reference implementation
+    /// the determinism suite compares the bitmap against.
+    Hash,
+}
+
 /// How an exploration is run: worker count, state bound, frontier discipline,
-/// and an optional external cancellation hook.
+/// memory budget, and an optional external cancellation hook.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ExploreConfig {
     /// Number of worker threads. `1` (the default) explores serially on the
@@ -376,12 +400,27 @@ pub struct ExploreConfig {
     pub cancel: Option<CancelToken>,
     /// How many expansions (per worker) between progress samples published
     /// to the process `obs` registry — the `explore_states` /
-    /// `explore_frontier` / `explore_depth` / `explore_states_per_sec`
-    /// gauges and the `explore.progress` heartbeat trace event, so a
-    /// 10⁸-state run is observable while it happens. `0` disables sampling;
-    /// the default ([`DEFAULT_PROGRESS_EVERY`]) keeps the per-expansion cost
-    /// to one decrement-and-branch.
+    /// `explore_frontier` / `explore_depth` / `explore_states_per_sec` /
+    /// `explore_resident_bytes` gauges and the `explore.progress` heartbeat
+    /// trace event, so a 10⁸-state run is observable while it happens. `0`
+    /// disables sampling; the default ([`DEFAULT_PROGRESS_EVERY`]) keeps the
+    /// per-expansion cost to one decrement-and-branch.
     pub progress_every: usize,
+    /// Resident-memory budget in bytes for the exploration's frontier +
+    /// seen-set working set. `None` (the default) keeps everything in RAM;
+    /// `Some(bytes)` makes the id-indexed BFS engine spill cold frontier
+    /// segments to disk once the working set trips the budget (see
+    /// [`crate::memory`]). Ignored by the generic hash engine and by the
+    /// serial non-BFS disciplines, whose frontiers stay resident.
+    pub memory_budget: Option<usize>,
+    /// Where spilled frontier segments live. `None` (the default) uses a
+    /// fresh per-run directory under [`std::env::temp_dir`]; either way the
+    /// segments are transient and removed as they stream back (and the run
+    /// directory is removed when the exploration finishes).
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// The seen-set structure (default [`SeenSet::Bitmap`]); only observable
+    /// through memory use — complete runs are byte-identical either way.
+    pub seen_set: SeenSet,
 }
 
 /// The default [`ExploreConfig::progress_every`] sampling stride: rare
@@ -393,13 +432,7 @@ pub const DEFAULT_PROGRESS_EVERY: usize = 8192;
 impl ExploreConfig {
     /// A serial exploration with the given state bound.
     pub fn serial(max_states: usize) -> Self {
-        ExploreConfig {
-            parallelism: 1,
-            max_states,
-            strategy: Strategy::default(),
-            cancel: None,
-            progress_every: DEFAULT_PROGRESS_EVERY,
-        }
+        Self::new(1, max_states)
     }
 
     /// An exploration on `parallelism` workers with the given state bound.
@@ -410,6 +443,9 @@ impl ExploreConfig {
             strategy: Strategy::default(),
             cancel: None,
             progress_every: DEFAULT_PROGRESS_EVERY,
+            memory_budget: None,
+            spill_dir: None,
+            seen_set: SeenSet::default(),
         }
     }
 
@@ -430,6 +466,26 @@ impl ExploreConfig {
         self.progress_every = every;
         self
     }
+
+    /// Sets the resident-memory budget in bytes (`None` keeps everything in
+    /// RAM; see [`ExploreConfig::memory_budget`]).
+    pub fn with_memory_budget(mut self, budget: Option<usize>) -> Self {
+        self.memory_budget = budget;
+        self
+    }
+
+    /// Sets where spilled frontier segments are written (default: a per-run
+    /// directory under [`std::env::temp_dir`]).
+    pub fn with_spill_dir(mut self, dir: std::path::PathBuf) -> Self {
+        self.spill_dir = Some(dir);
+        self
+    }
+
+    /// Selects the seen-set structure (see [`SeenSet`]).
+    pub fn with_seen_set(mut self, seen_set: SeenSet) -> Self {
+        self.seen_set = seen_set;
+        self
+    }
 }
 
 /// The sampled progress reporter: every `every` expansions it publishes the
@@ -437,7 +493,7 @@ impl ExploreConfig {
 /// installed) one `explore.progress` heartbeat event. Off the sampling
 /// points the whole mechanism costs one decrement-and-branch per expansion —
 /// nothing on the hot path allocates, locks or reads a clock.
-struct Progress {
+pub(crate) struct Progress {
     every: usize,
     countdown: usize,
     last_us: u64,
@@ -446,11 +502,12 @@ struct Progress {
     frontier: obs::Gauge,
     depth: obs::Gauge,
     rate: obs::Gauge,
+    resident: obs::Gauge,
     expansions: obs::Counter,
 }
 
 impl Progress {
-    fn new(every: usize) -> Option<Progress> {
+    pub(crate) fn new(every: usize) -> Option<Progress> {
         if every == 0 {
             return None;
         }
@@ -464,13 +521,21 @@ impl Progress {
             frontier: registry.gauge("explore_frontier"),
             depth: registry.gauge("explore_depth"),
             rate: registry.gauge("explore_states_per_sec"),
+            resident: registry.gauge("explore_resident_bytes"),
             expansions: registry.counter("explore_expansions_total"),
         })
     }
 
+    /// Publishes the run's current frontier + seen-set working-set size (the
+    /// `explore_resident_bytes` gauge; only the id-indexed engine measures
+    /// it, see [`crate::memory`]).
+    pub(crate) fn set_resident(&self, bytes: u64) {
+        self.resident.set(bytes);
+    }
+
     /// Counts one expansion; `true` when a sample is due.
     #[inline]
-    fn due(&mut self) -> bool {
+    pub(crate) fn due(&mut self) -> bool {
         self.countdown -= 1;
         if self.countdown == 0 {
             self.countdown = self.every;
@@ -484,7 +549,7 @@ impl Progress {
     /// window since this reporter's previous sample (workers report the
     /// global registered-state count, so the rate approximates the whole
     /// run's, not one worker's share).
-    fn report(&mut self, states: usize, frontier: usize, depth: u32) {
+    pub(crate) fn report(&mut self, states: usize, frontier: usize, depth: u32) {
         let registry = obs::global();
         let now = registry.now_us();
         let window_us = now.saturating_sub(self.last_us).max(1);
@@ -527,6 +592,24 @@ pub enum ExploreStatus {
 /// label)` edge that first reached it, or `None` for the root / orphans.
 pub type DiscoveryTree<L> = Vec<Option<(usize, L)>>;
 
+/// Memory-layer accounting for one exploration (see [`crate::memory`]).
+///
+/// Only the id-indexed engine measures these; the generic hash engine
+/// reports all zeros. The same figures are published process-wide as the
+/// `explore_resident_bytes` gauge and the `spill_segments` / `spill_bytes` /
+/// `spill_reloads` counters of the `obs` registry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ExploreStats {
+    /// Peak resident bytes of the frontier + seen-set working set.
+    pub resident_peak_bytes: u64,
+    /// Frontier segments spilled to disk.
+    pub spill_segments: u64,
+    /// Bytes of frontier records spilled to disk.
+    pub spill_bytes: u64,
+    /// Spilled segments streamed back into memory.
+    pub spill_reloads: u64,
+}
+
 /// The result of an exploration: the (canonically numbered) LTS, the
 /// discovery tree, and how the run ended.
 #[derive(Clone, Debug)]
@@ -546,6 +629,8 @@ pub struct Exploration<S, L> {
     /// How the run ended. Cancellation wins over truncation when both
     /// happened; check [`Lts::is_truncated`] for the bound.
     pub status: ExploreStatus,
+    /// Memory-layer accounting (zeros under the generic hash engine).
+    pub stats: ExploreStats,
 }
 
 impl<S, L> Exploration<S, L>
@@ -795,6 +880,7 @@ where
             lts: Lts::from_parts(states, transitions, truncated),
             parents,
             status,
+            stats: ExploreStats::default(),
         };
     }
     // Any other discipline discovers in its own order: renumber into the
@@ -806,6 +892,7 @@ where
         lts,
         parents,
         status,
+        stats: ExploreStats::default(),
     }
 }
 
@@ -1051,6 +1138,7 @@ where
         lts,
         parents,
         status,
+        stats: ExploreStats::default(),
     }
 }
 
@@ -1158,7 +1246,7 @@ where
 /// [`Lts::build`](crate::Lts::build) would have assigned. The same BFS also
 /// yields the discovery tree returned alongside (each state's first-reaching
 /// edge — a shortest path within the explored subgraph).
-fn renumber<S, L>(
+pub(crate) fn renumber<S, L>(
     state_of: Vec<Option<S>>,
     trans_of: Vec<Vec<(L, usize)>>,
     root: usize,

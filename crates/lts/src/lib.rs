@@ -38,15 +38,17 @@
 pub mod explore;
 mod generic;
 mod label;
+pub mod memory;
 mod term_lts;
 mod type_lts;
 
 pub use explore::{
-    explore, explore_guided, explore_until, CancelToken, Exploration, ExploreConfig, ExploreStatus,
-    FrontierDiscipline, Strategy,
+    explore, explore_guided, explore_until, CancelToken, Exploration, ExploreConfig, ExploreStats,
+    ExploreStatus, FrontierDiscipline, SeenSet, Strategy,
 };
 pub use generic::Lts;
 pub use label::{TermLabel, TypeLabel};
+pub use memory::{explore_indexed_guided, IdSeenSet, IndexedState};
 pub use term_lts::TermLts;
 pub use type_lts::{
     is_imprecise_comm, is_input_use, is_output_use, restrict_to_interfaces, type_priority,

@@ -1,0 +1,1437 @@
+//! The exploration engine's memory layer: id-indexed seen-sets and
+//! disk-spilling frontiers — out-of-core state-space exploration.
+//!
+//! The generic engine of [`mod@crate::explore`] stores every discovered
+//! state in a hash-sharded map and the whole frontier in RAM, so a model
+//! either fits or dies with `StateSpaceTooLarge`. But the states the
+//! verifier actually explores are hash-consed interner references
+//! (`TyRef`/`TermRef`) whose identity is a *dense 32-bit id* — density a
+//! hash table wastes. This module exploits it, SPIN-style:
+//!
+//! * **[`IdSeenSet`]** — a two-level bitmap: lazily allocated 8 KiB pages of
+//!   `u64` words, one bit per id, 64Ki ids per page. Membership is one
+//!   shift+mask instead of hash+probe, and memory drops from ~48 bytes per
+//!   state (hash-map entry + handle) to ~1.03 bits per state on dense id
+//!   ranges. The parallel engine shards the page directory by page index so
+//!   registrations of distant ids never contend on a lock.
+//! * **Spill frontier** — under an [`ExploreConfig::memory_budget`], cold
+//!   frontier segments are serialized to disk (fixed-width `u32 id` +
+//!   `u32 depth` little-endian records, FNV-1a-64-checksummed like
+//!   `effpi-store`'s log) and streamed back FIFO as workers drain. Because
+//!   segments spill and reload in discovery order, serial BFS order — and
+//!   with it determinism and witness minimality — is preserved exactly; a
+//!   truncated or corrupt segment fails the run loudly (a panic naming the
+//!   segment) rather than silently dropping frontier states.
+//! * **[`explore_indexed_guided`]** — the engine entry point the `TypeLts` /
+//!   `TermLts` builders use. It keeps every contract of the generic engine:
+//!   complete runs are canonically renumbered and byte-identical to the
+//!   serial hash-engine BFS, whatever the worker count, the seen-set
+//!   structure, or the spill activity. The generic hash engine remains in
+//!   place for arbitrary state types, for the serial non-BFS disciplines
+//!   (beam/random walk order their whole pending set; a spilled segment
+//!   cannot be reordered), and as the reference the determinism suite
+//!   compares against ([`SeenSet::Hash`]).
+//!
+//! Accounting is published two ways: per-run in [`Exploration::stats`], and
+//! process-wide through the `obs` registry (`explore_resident_bytes` gauge;
+//! `spill_segments` / `spill_bytes` / `spill_reloads` counters).
+//!
+//! [`ExploreConfig::memory_budget`]: crate::explore::ExploreConfig::memory_budget
+//! [`Exploration::stats`]: crate::explore::Exploration::stats
+//! [`SeenSet::Hash`]: crate::explore::SeenSet::Hash
+
+use std::collections::{HashMap, VecDeque};
+use std::fs;
+use std::hash::Hash;
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use lambdapi::{TermId, TermRef, TyRef, TypeId};
+use runtime::sync::{Condvar, Mutex};
+
+use crate::explore::{
+    explore_guided, renumber, CancelToken, DiscoveryTree, Exploration, ExploreConfig, ExploreStats,
+    ExploreStatus, Progress, SeenSet, Strategy,
+};
+use crate::generic::Lts;
+
+// ---------------------------------------------------------------------------
+// Indexed states
+// ---------------------------------------------------------------------------
+
+/// A state whose identity is a dense 32-bit id that can be resolved back to
+/// the state — the contract the id-indexed engine builds on.
+///
+/// Laws: `from_index_id(s.index_id()) == s` for every state that has been
+/// constructed in this process, and `a == b ⇔ a.index_id() == b.index_id()`
+/// (id equality *is* state equality, as for interner references). The id
+/// values themselves are allocation-order artifacts and never leak into
+/// anything observable — the engine renumbers canonically.
+pub trait IndexedState: Clone + Eq + Hash {
+    /// The state's dense id.
+    fn index_id(&self) -> u32;
+    /// Resolves an id back to its state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id was never allocated in this process — an engine
+    /// invariant violation (e.g. a foreign spill file), never expected in a
+    /// real run.
+    fn from_index_id(id: u32) -> Self;
+}
+
+impl IndexedState for TyRef {
+    fn index_id(&self) -> u32 {
+        self.id().index()
+    }
+    fn from_index_id(id: u32) -> Self {
+        TyRef::from_id(TypeId::from_index(id))
+            .expect("exploration frontier names a type id the interner never allocated")
+    }
+}
+
+impl IndexedState for TermRef {
+    fn index_id(&self) -> u32 {
+        self.id().index()
+    }
+    fn from_index_id(id: u32) -> Self {
+        TermRef::from_id(TermId::from_index(id))
+            .expect("exploration frontier names a term id the interner never allocated")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The bitmap seen-set
+// ---------------------------------------------------------------------------
+
+/// Ids per bitmap page (and per parallel seen-set shard stripe).
+const PAGE_IDS: usize = 1 << 16;
+/// `u64` words per page.
+const PAGE_WORDS: usize = PAGE_IDS / 64;
+/// Bytes per page.
+const PAGE_BYTES: usize = PAGE_WORDS * 8;
+
+/// One lazily allocated bitmap page covering 64Ki consecutive ids.
+type Page = Box<[u64; PAGE_WORDS]>;
+
+fn new_page() -> Page {
+    Box::new([0u64; PAGE_WORDS])
+}
+
+/// The id-indexed seen-set: a two-level bitmap over dense 32-bit ids.
+///
+/// Level one is a page directory indexed by `id >> 16`; level two is an
+/// 8 KiB page of `u64` words, allocated the first time any id of its 64Ki
+/// chunk is inserted. Membership is `pages[id >> 16][id >> 6 & 1023] >>
+/// (id & 63) & 1` — one shift+mask, no hashing, no probing; ~1.03 bits per
+/// state on the dense id ranges the interner produces.
+#[derive(Default)]
+pub struct IdSeenSet {
+    pages: Vec<Option<Page>>,
+    resident_bytes: usize,
+}
+
+impl IdSeenSet {
+    /// An empty seen-set (no pages allocated).
+    pub fn new() -> IdSeenSet {
+        IdSeenSet::default()
+    }
+
+    /// Inserts an id; `true` when it was not yet present.
+    pub fn insert(&mut self, id: u32) -> bool {
+        let page_index = (id as usize) >> 16;
+        if self.pages.len() <= page_index {
+            self.pages.resize_with(page_index + 1, || None);
+        }
+        let page = self.pages[page_index].get_or_insert_with(|| {
+            self.resident_bytes += PAGE_BYTES;
+            new_page()
+        });
+        let word = ((id as usize) >> 6) & (PAGE_WORDS - 1);
+        let bit = 1u64 << (id & 63);
+        let fresh = page[word] & bit == 0;
+        page[word] |= bit;
+        fresh
+    }
+
+    /// Whether an id is present.
+    pub fn contains(&self, id: u32) -> bool {
+        let page_index = (id as usize) >> 16;
+        match self.pages.get(page_index).and_then(Option::as_ref) {
+            Some(page) => page[((id as usize) >> 6) & (PAGE_WORDS - 1)] & (1u64 << (id & 63)) != 0,
+            None => false,
+        }
+    }
+
+    /// Bytes of allocated bitmap pages.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spill segments
+// ---------------------------------------------------------------------------
+
+/// Magic prefix of a spill segment file.
+const SPILL_MAGIC: &[u8; 8] = b"EFSPILL1";
+/// Bytes per frontier record in a segment (`u32 id` + `u32 depth`, LE).
+const SPILL_RECORD_BYTES: usize = 8;
+/// Bytes of resident frontier accounting per in-memory entry.
+const ENTRY_BYTES: usize = SPILL_RECORD_BYTES;
+/// Entries per spilled segment: large enough that segment count stays small
+/// (32 KiB of records each), small enough that a reloaded segment cannot
+/// blow a budget by itself.
+const SPILL_CHUNK: usize = 4096;
+
+/// 64-bit FNV-1a — the same dependency-free hash family `effpi-store`'s log
+/// and the serve cache key use.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Writes one segment: `magic | u32 LE count | u64 LE FNV-1a(payload) |
+/// payload` where payload is `count` fixed-width records. Returns the
+/// payload size in bytes.
+///
+/// # Panics
+///
+/// Panics on any I/O error: a frontier segment that failed to persist means
+/// pending states would be silently lost, which breaks the engine's
+/// completeness contract — the run must die loudly instead.
+fn write_segment(path: &Path, entries: &[(u32, u32)]) -> u64 {
+    let mut payload = Vec::with_capacity(entries.len() * SPILL_RECORD_BYTES);
+    for &(id, depth) in entries {
+        payload.extend_from_slice(&id.to_le_bytes());
+        payload.extend_from_slice(&depth.to_le_bytes());
+    }
+    let mut bytes = Vec::with_capacity(20 + payload.len());
+    bytes.extend_from_slice(SPILL_MAGIC);
+    bytes.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&fnv64(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    let mut file = fs::File::create(path)
+        .unwrap_or_else(|e| panic!("cannot create spill segment {}: {e}", path.display()));
+    file.write_all(&bytes)
+        .unwrap_or_else(|e| panic!("cannot write spill segment {}: {e}", path.display()));
+    payload.len() as u64
+}
+
+/// Reads a segment back and deletes the file.
+///
+/// # Panics
+///
+/// Panics — naming the segment — on any I/O error, bad magic, truncation or
+/// checksum mismatch: a segment that cannot be fully recovered means
+/// frontier states would be silently dropped, so the run fails loudly (a
+/// serving daemon turns the panic into a typed internal-error reply).
+fn read_segment(path: &Path) -> Vec<(u32, u32)> {
+    let mut bytes = Vec::new();
+    fs::File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .unwrap_or_else(|e| panic!("cannot read spill segment {}: {e}", path.display()));
+    let corrupt = |what: &str| -> ! {
+        panic!(
+            "corrupt spill segment {} ({what}): refusing to drop frontier states",
+            path.display()
+        )
+    };
+    if bytes.len() < 20 || &bytes[..8] != SPILL_MAGIC {
+        corrupt("bad magic or truncated header");
+    }
+    let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let checksum = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let payload = &bytes[20..];
+    if payload.len() != count * SPILL_RECORD_BYTES {
+        corrupt("truncated payload");
+    }
+    if fnv64(payload) != checksum {
+        corrupt("checksum mismatch");
+    }
+    let entries = payload
+        .chunks_exact(SPILL_RECORD_BYTES)
+        .map(|rec| {
+            (
+                u32::from_le_bytes(rec[..4].try_into().unwrap()),
+                u32::from_le_bytes(rec[4..].try_into().unwrap()),
+            )
+        })
+        .collect();
+    let _ = fs::remove_file(path);
+    entries
+}
+
+/// Distinguishes concurrent runs' spill directories within one process.
+static SPILL_RUN: AtomicU64 = AtomicU64::new(0);
+
+/// A per-run spill directory, created on first use and removed (with any
+/// leftover segments) when the run ends.
+struct SpillDir {
+    base: PathBuf,
+    dir: Option<PathBuf>,
+    seq: u64,
+}
+
+impl SpillDir {
+    fn new(base: Option<PathBuf>) -> SpillDir {
+        SpillDir {
+            base: base.unwrap_or_else(std::env::temp_dir),
+            dir: None,
+            seq: 0,
+        }
+    }
+
+    /// The path for the next segment (creating the run directory on first
+    /// call). Panics on I/O errors, like the segment codec.
+    fn next_segment(&mut self) -> PathBuf {
+        if self.dir.is_none() {
+            let dir = self.base.join(format!(
+                "effpi-spill-{}-{}",
+                std::process::id(),
+                SPILL_RUN.fetch_add(1, Ordering::Relaxed)
+            ));
+            fs::create_dir_all(&dir)
+                .unwrap_or_else(|e| panic!("cannot create spill dir {}: {e}", dir.display()));
+            self.dir = Some(dir);
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.dir
+            .as_ref()
+            .expect("spill dir was just created")
+            .join(format!("seg-{seq:08}.spill"))
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        if let Some(dir) = &self.dir {
+            let _ = fs::remove_dir_all(dir);
+        }
+    }
+}
+
+/// The process-wide spill counters (shared by both engines' spill paths).
+struct SpillCounters {
+    segments: obs::Counter,
+    bytes: obs::Counter,
+    reloads: obs::Counter,
+}
+
+impl SpillCounters {
+    fn new() -> SpillCounters {
+        let registry = obs::global();
+        SpillCounters {
+            segments: registry.counter("spill_segments"),
+            bytes: registry.counter("spill_bytes"),
+            reloads: registry.counter("spill_reloads"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The serial spill frontier (exact FIFO)
+// ---------------------------------------------------------------------------
+
+/// The serial BFS frontier with disk spilling, FIFO-exact: entries flow
+/// `tail → (segment | direct) → head` strictly in push order, so pops see
+/// precisely the order an all-in-RAM `VecDeque` would produce — which is
+/// what keeps budgeted runs byte-identical to unbudgeted ones.
+struct SpillFrontier {
+    /// Oldest resident entries (pops come from here).
+    head: VecDeque<(u32, u32)>,
+    /// Spilled segments, oldest first.
+    segments: VecDeque<PathBuf>,
+    /// Newest entries (pushes go here).
+    tail: VecDeque<(u32, u32)>,
+    dir: SpillDir,
+    budget: Option<usize>,
+    counters: SpillCounters,
+    stats: ExploreStats,
+}
+
+impl SpillFrontier {
+    fn new(budget: Option<usize>, spill_dir: Option<PathBuf>) -> SpillFrontier {
+        SpillFrontier {
+            head: VecDeque::new(),
+            segments: VecDeque::new(),
+            tail: VecDeque::new(),
+            dir: SpillDir::new(spill_dir),
+            budget,
+            counters: SpillCounters::new(),
+            stats: ExploreStats::default(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        // Resident only — the engine uses this for progress samples; spilled
+        // entries are accounted through the stats instead.
+        self.head.len() + self.tail.len()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        (self.head.len() + self.tail.len()) * ENTRY_BYTES
+    }
+
+    /// Pushes one entry, then spills the tail as a fresh segment when the
+    /// working set (`other_resident` covers the seen-set pages) has outgrown
+    /// the budget and the tail is worth a segment.
+    fn push(&mut self, id: u32, depth: u32, other_resident: usize) {
+        self.tail.push_back((id, depth));
+        let over = self
+            .budget
+            .is_some_and(|b| other_resident + self.resident_bytes() > b);
+        if over && self.tail.len() >= SPILL_CHUNK {
+            let entries: Vec<(u32, u32)> = self.tail.drain(..).collect();
+            let path = self.dir.next_segment();
+            let bytes = write_segment(&path, &entries);
+            self.segments.push_back(path);
+            self.counters.segments.inc();
+            self.counters.bytes.add(bytes);
+            self.stats.spill_segments += 1;
+            self.stats.spill_bytes += bytes;
+        }
+    }
+
+    /// Pops the oldest pending entry, streaming the oldest spilled segment
+    /// back in when the resident head runs dry.
+    fn pop(&mut self) -> Option<(u32, u32)> {
+        if self.head.is_empty() {
+            if let Some(path) = self.segments.pop_front() {
+                self.head.extend(read_segment(&path));
+                self.counters.reloads.inc();
+                self.stats.spill_reloads += 1;
+            } else {
+                std::mem::swap(&mut self.head, &mut self.tail);
+            }
+        }
+        self.head.pop_front()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The serial id-indexed BFS engine
+// ---------------------------------------------------------------------------
+
+fn explore_serial_indexed<S, L, F, M>(
+    initial: S,
+    succ: &F,
+    config: &ExploreConfig,
+    max_states: usize,
+    monitor: &M,
+) -> Exploration<S, L>
+where
+    S: IndexedState,
+    L: Clone,
+    F: Fn(&S) -> Vec<(L, S)>,
+    M: Fn(&S, &[(L, usize)]) -> bool,
+{
+    let cancel = config.cancel.as_ref();
+    let mut seen = IdSeenSet::new();
+    let mut frontier = SpillFrontier::new(config.memory_budget, config.spill_dir.clone());
+    // Discovery-ordered ids; BFS discovery order *is* the canonical
+    // numbering, exactly as in the hash engine's serial path.
+    let mut order: Vec<u32> = Vec::new();
+    // Expansion records in pop order (== discovery order under FIFO);
+    // transition targets are raw interner ids, remapped densely at the end.
+    let mut expansions: Vec<Vec<(L, usize)>> = Vec::new();
+    let mut parents: DiscoveryTree<L> = Vec::new();
+    let mut progress = Progress::new(config.progress_every);
+    let mut resident_peak = 0usize;
+    let mut truncated = false;
+    let mut cancelled = false;
+    let mut aborted = false;
+
+    let root_id = initial.index_id();
+    seen.insert(root_id);
+    order.push(root_id);
+    parents.push(None);
+    frontier.push(root_id, 0, seen.resident_bytes());
+    drop(initial);
+
+    while let Some((id, depth)) = frontier.pop() {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            aborted = true;
+            break;
+        }
+        let i = expansions.len();
+        let state = S::from_index_id(id);
+        let mut out: Vec<(L, usize)> = Vec::new();
+        for (label, next) in succ(&state) {
+            let nid = next.index_id();
+            if !seen.contains(nid) {
+                if order.len() >= max_states {
+                    // Edge to an unregistered state beyond the bound:
+                    // dropped, exactly as in the hash engine.
+                    truncated = true;
+                    continue;
+                }
+                seen.insert(nid);
+                order.push(nid);
+                parents.push(Some((i, label.clone())));
+                frontier.push(nid, depth + 1, seen.resident_bytes());
+            }
+            out.push((label, nid as usize));
+        }
+        let decided = monitor(&state, &out);
+        expansions.push(out);
+        let resident = seen.resident_bytes() + frontier.resident_bytes();
+        resident_peak = resident_peak.max(resident);
+        if let Some(progress) = progress.as_mut() {
+            if progress.due() {
+                progress.report(order.len(), frontier.len(), depth);
+                progress.set_resident(resident as u64);
+            }
+        }
+        if decided {
+            cancelled = true;
+            break;
+        }
+    }
+
+    let status = if aborted {
+        ExploreStatus::Aborted
+    } else if cancelled {
+        ExploreStatus::Cancelled
+    } else if truncated {
+        ExploreStatus::Truncated
+    } else {
+        ExploreStatus::Complete
+    };
+
+    // Remap interner-id targets to the dense discovery numbering (every
+    // recorded target was registered, so the lookup is total) and resolve
+    // the states back from their ids.
+    let dense: HashMap<usize, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(index, &id)| (id as usize, index))
+        .collect();
+    let states: Vec<S> = order.iter().map(|&id| S::from_index_id(id)).collect();
+    let mut transitions: Vec<Vec<(L, usize)>> = expansions
+        .into_iter()
+        .map(|out| {
+            out.into_iter()
+                .map(|(label, id)| {
+                    let target = dense[&id];
+                    (label, target)
+                })
+                .collect()
+        })
+        .collect();
+    // States still pending at an early exit keep an empty transition list.
+    transitions.resize_with(states.len(), Vec::new);
+
+    let mut stats = frontier.stats;
+    stats.resident_peak_bytes = resident_peak as u64;
+    Exploration {
+        lts: Lts::from_parts(states, transitions, truncated),
+        parents,
+        status,
+        stats,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The parallel id-indexed engine
+// ---------------------------------------------------------------------------
+
+/// The shared spill state of a parallel run: over-budget workers batch
+/// freshly discovered entries here; the buffer flushes to checksummed
+/// segments a chunk at a time, and dry workers stream segments back.
+struct SharedSpill {
+    state: Mutex<SpillState>,
+    segments_spilled: AtomicU64,
+    bytes_spilled: AtomicU64,
+    reloads: AtomicU64,
+}
+
+struct SpillState {
+    dir: SpillDir,
+    buffer: VecDeque<(u32, u32)>,
+    segments: VecDeque<PathBuf>,
+    counters: SpillCounters,
+}
+
+impl SharedSpill {
+    fn new(spill_dir: Option<PathBuf>) -> SharedSpill {
+        SharedSpill {
+            state: Mutex::new(SpillState {
+                dir: SpillDir::new(spill_dir),
+                buffer: VecDeque::new(),
+                segments: VecDeque::new(),
+                counters: SpillCounters::new(),
+            }),
+            segments_spilled: AtomicU64::new(0),
+            bytes_spilled: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+        }
+    }
+
+    /// Parks a batch of frontier entries on the spill buffer, flushing full
+    /// chunks to disk. Returns how many entries left RAM.
+    fn push_batch(&self, batch: Vec<(u32, u32)>) -> usize {
+        let mut state = self.state.lock();
+        state.buffer.extend(batch);
+        let mut flushed = 0;
+        while state.buffer.len() >= SPILL_CHUNK {
+            let entries: Vec<(u32, u32)> = state.buffer.drain(..SPILL_CHUNK).collect();
+            let path = state.dir.next_segment();
+            let bytes = write_segment(&path, &entries);
+            state.segments.push_back(path);
+            state.counters.segments.inc();
+            state.counters.bytes.add(bytes);
+            self.segments_spilled.fetch_add(1, Ordering::Relaxed);
+            self.bytes_spilled.fetch_add(bytes, Ordering::Relaxed);
+            flushed += SPILL_CHUNK;
+        }
+        flushed
+    }
+
+    /// Hands a dry worker pending entries: the oldest spilled segment, or
+    /// the buffered remainder. Returns entries plus how many of them came
+    /// back from disk (for resident accounting).
+    fn reload(&self) -> Option<(Vec<(u32, u32)>, usize)> {
+        let mut state = self.state.lock();
+        if let Some(path) = state.segments.pop_front() {
+            let entries = read_segment(&path);
+            state.counters.reloads.inc();
+            self.reloads.fetch_add(1, Ordering::Relaxed);
+            let n = entries.len();
+            return Some((entries, n));
+        }
+        if state.buffer.is_empty() {
+            return None;
+        }
+        Some((state.buffer.drain(..).collect(), 0))
+    }
+
+    /// Drains everything still spilled or buffered (run teardown).
+    fn drain_remaining(&self) -> Vec<(u32, u32)> {
+        let mut state = self.state.lock();
+        let mut entries = Vec::new();
+        while let Some(path) = state.segments.pop_front() {
+            entries.extend(read_segment(&path));
+        }
+        entries.extend(state.buffer.drain(..));
+        entries
+    }
+}
+
+/// One expanded state, as recorded by the worker that expanded it: its
+/// interner id and its transitions (targets as interner ids in `usize`
+/// dress, for the monitor).
+type IndexedRecord<L> = (u32, Vec<(L, usize)>);
+
+/// The sharded bitmap seen-set plus the run-wide coordination state — the
+/// id-indexed mirror of the hash engine's `Shared`.
+struct IndexedShared {
+    /// Bitmap page directories, sharded by page index (`shard = page &
+    /// mask`, `slot = page >> bits`): registrations of ids 64Ki apart never
+    /// share a lock.
+    seen: Vec<Mutex<Vec<Option<Page>>>>,
+    shard_bits: u32,
+    /// Number of registered states. Never exceeds `max_states`.
+    count: AtomicUsize,
+    /// States registered but not yet expanded (including spilled ones).
+    pending: AtomicUsize,
+    stop: AtomicBool,
+    truncated: AtomicBool,
+    cancelled: AtomicBool,
+    aborted: AtomicBool,
+    /// One work deque per worker — `(id, depth)`; owners push/pop the back,
+    /// thieves the front.
+    queues: Vec<Mutex<VecDeque<(u32, u32)>>>,
+    idle: Mutex<()>,
+    idle_cv: Condvar,
+    sleepers: AtomicUsize,
+    /// In-RAM frontier entries (worker queues + spill buffer).
+    frontier_entries: AtomicUsize,
+    /// Allocated bitmap bytes.
+    seen_bytes: AtomicUsize,
+    /// High-water mark of the resident working set.
+    resident_peak: AtomicUsize,
+    budget: Option<usize>,
+    spill: SharedSpill,
+}
+
+impl IndexedShared {
+    fn new(workers: usize, budget: Option<usize>, spill_dir: Option<PathBuf>) -> IndexedShared {
+        let shard_count = (workers * 8).next_power_of_two();
+        IndexedShared {
+            seen: (0..shard_count).map(|_| Mutex::new(Vec::new())).collect(),
+            shard_bits: shard_count.trailing_zeros(),
+            count: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            truncated: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
+            aborted: AtomicBool::new(false),
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            idle: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            frontier_entries: AtomicUsize::new(0),
+            seen_bytes: AtomicUsize::new(0),
+            resident_peak: AtomicUsize::new(0),
+            budget,
+            spill: SharedSpill::new(spill_dir),
+        }
+    }
+
+    /// Registers an id, returning whether this call discovered it. `None`
+    /// means the state bound is exhausted (the caller drops the edge,
+    /// mirroring the hash engine).
+    fn register(&self, id: u32, max_states: usize) -> Option<bool> {
+        let page_index = (id as usize) >> 16;
+        let shard = &self.seen[page_index & (self.seen.len() - 1)];
+        let slot = page_index >> self.shard_bits;
+        let mut pages = shard.lock();
+        if pages.len() <= slot {
+            pages.resize_with(slot + 1, || None);
+        }
+        let word = ((id as usize) >> 6) & (PAGE_WORDS - 1);
+        let bit = 1u64 << (id & 63);
+        if let Some(page) = &pages[slot] {
+            if page[word] & bit != 0 {
+                return Some(false);
+            }
+        }
+        // Fresh id: draw a slot under the bound. CAS so `count` never
+        // exceeds the bound even under races between shards.
+        loop {
+            let n = self.count.load(Ordering::Relaxed);
+            if n >= max_states {
+                self.truncated.store(true, Ordering::Relaxed);
+                // SeqCst pairs with the SeqCst re-checks in `park`, as in
+                // the hash engine.
+                self.stop.store(true, Ordering::SeqCst);
+                self.wake_sleepers();
+                return None;
+            }
+            if self
+                .count
+                .compare_exchange(n, n + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                let page = pages[slot].get_or_insert_with(|| {
+                    self.seen_bytes.fetch_add(PAGE_BYTES, Ordering::Relaxed);
+                    new_page()
+                });
+                page[word] |= bit;
+                return Some(true);
+            }
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.seen_bytes.load(Ordering::Relaxed)
+            + self.frontier_entries.load(Ordering::Relaxed) * ENTRY_BYTES
+    }
+
+    fn note_resident_peak(&self) -> usize {
+        let resident = self.resident_bytes();
+        self.resident_peak.fetch_max(resident, Ordering::Relaxed);
+        resident
+    }
+
+    /// Pops work: own deque (LIFO), then steal the oldest task from a
+    /// sibling, then stream a spilled segment back in.
+    fn find_work(&self, me: usize) -> Option<(u32, u32)> {
+        if let Some(task) = self.queues[me].lock().pop_back() {
+            self.frontier_entries.fetch_sub(1, Ordering::Relaxed);
+            return Some(task);
+        }
+        for offset in 1..self.queues.len() {
+            let victim = (me + offset) % self.queues.len();
+            if let Some(task) = self.queues[victim].lock().pop_front() {
+                self.frontier_entries.fetch_sub(1, Ordering::Relaxed);
+                return Some(task);
+            }
+        }
+        if let Some((entries, from_disk)) = self.spill.reload() {
+            // Buffered entries were already counted resident; reloaded ones
+            // re-enter RAM now. One stays out of the queue as our task.
+            let mut queue = self.queues[me].lock();
+            queue.extend(entries);
+            self.frontier_entries
+                .fetch_add(from_disk, Ordering::Relaxed);
+            if let Some(task) = queue.pop_back() {
+                self.frontier_entries.fetch_sub(1, Ordering::Relaxed);
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn wake_sleepers(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.idle.lock();
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Parks until work or run end — same lost-wakeup-free protocol as the
+    /// hash engine's `park`.
+    fn park(&self, me: usize) -> Option<(u32, u32)> {
+        let mut guard = self.idle.lock();
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let found = loop {
+            if self.stop.load(Ordering::SeqCst) || self.pending.load(Ordering::SeqCst) == 0 {
+                break None;
+            }
+            if let Some(task) = self.find_work(me) {
+                break Some(task);
+            }
+            guard = self.idle_cv.wait(guard);
+        };
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        found
+    }
+}
+
+fn explore_parallel_indexed<S, L, F, M>(
+    initial: S,
+    succ: &F,
+    config: &ExploreConfig,
+    max_states: usize,
+    monitor: &M,
+) -> Exploration<S, L>
+where
+    S: IndexedState + Send + Sync,
+    L: Clone + Send,
+    F: Fn(&S) -> Vec<(L, S)> + Sync,
+    M: Fn(&S, &[(L, usize)]) -> bool + Sync,
+{
+    let workers = config.parallelism;
+    let cancel = config.cancel.as_ref();
+    let shared = IndexedShared::new(workers, config.memory_budget, config.spill_dir.clone());
+
+    let root_id = initial.index_id();
+    shared
+        .register(root_id, max_states)
+        .expect("max_states >= 1 admits the initial state");
+    shared.pending.store(1, Ordering::Relaxed);
+    shared.frontier_entries.store(1, Ordering::Relaxed);
+    shared.queues[0].lock().push_back((root_id, 0));
+    drop(initial);
+
+    let mut records: Vec<IndexedRecord<L>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for me in 0..workers {
+            let shared = &shared;
+            handles.push(scope.spawn(move || {
+                indexed_worker::<S, L, F, M>(
+                    me,
+                    shared,
+                    succ,
+                    monitor,
+                    max_states,
+                    cancel,
+                    config.progress_every,
+                )
+            }));
+        }
+        for handle in handles {
+            records.extend(handle.join().expect("exploration worker panicked"));
+        }
+    });
+
+    let status = if shared.aborted.load(Ordering::Relaxed) {
+        ExploreStatus::Aborted
+    } else if shared.cancelled.load(Ordering::Relaxed) {
+        ExploreStatus::Cancelled
+    } else if shared.truncated.load(Ordering::Relaxed) {
+        ExploreStatus::Truncated
+    } else {
+        ExploreStatus::Complete
+    };
+    let truncated = shared.truncated.load(Ordering::Relaxed);
+
+    // Registered states still pending at the exit: whatever remains on the
+    // worker queues, in the spill buffer, or in on-disk segments. Every
+    // registered id is either expanded (in `records`) or here — register and
+    // enqueue are never separated by an exit point in the worker loop.
+    let mut leftover: Vec<u32> = Vec::new();
+    for queue in &shared.queues {
+        leftover.extend(queue.lock().drain(..).map(|(id, _)| id));
+    }
+    leftover.extend(shared.spill.drain_remaining().into_iter().map(|(id, _)| id));
+
+    // Assign dense provisional indices — records first, then leftovers —
+    // and remap interner-id targets onto them; canonical renumbering then
+    // erases the (scheduling-dependent) provisional order entirely.
+    let mut dense: HashMap<u32, usize> = HashMap::with_capacity(records.len() + leftover.len());
+    for (pid, _) in &records {
+        dense.insert(*pid, dense.len());
+    }
+    for id in &leftover {
+        let next = dense.len();
+        dense.entry(*id).or_insert(next);
+    }
+    let total = dense.len();
+    let mut state_of: Vec<Option<S>> = vec![None; total];
+    let mut trans_of: Vec<Vec<(L, usize)>> = (0..total).map(|_| Vec::new()).collect();
+    for (pid, out) in records {
+        let index = dense[&pid];
+        state_of[index] = Some(S::from_index_id(pid));
+        trans_of[index] = out
+            .into_iter()
+            .map(|(label, target)| (label, dense[&(target as u32)]))
+            .collect();
+    }
+    for id in leftover {
+        let index = dense[&id];
+        if state_of[index].is_none() {
+            state_of[index] = Some(S::from_index_id(id));
+        }
+    }
+
+    let (lts, parents) = renumber(state_of, trans_of, dense[&root_id], truncated);
+    let stats = ExploreStats {
+        resident_peak_bytes: shared.resident_peak.load(Ordering::Relaxed) as u64,
+        spill_segments: shared.spill.segments_spilled.load(Ordering::Relaxed),
+        spill_bytes: shared.spill.bytes_spilled.load(Ordering::Relaxed),
+        spill_reloads: shared.spill.reloads.load(Ordering::Relaxed),
+    };
+    Exploration {
+        lts,
+        parents,
+        status,
+        stats,
+    }
+}
+
+fn indexed_worker<S, L, F, M>(
+    me: usize,
+    shared: &IndexedShared,
+    succ: &F,
+    monitor: &M,
+    max_states: usize,
+    cancel: Option<&CancelToken>,
+    progress_every: usize,
+) -> Vec<IndexedRecord<L>>
+where
+    S: IndexedState,
+    L: Clone,
+    F: Fn(&S) -> Vec<(L, S)>,
+    M: Fn(&S, &[(L, usize)]) -> bool,
+{
+    // Same spin-then-park discipline as the hash engine.
+    const IDLE_SPINS: usize = 32;
+
+    let mut records = Vec::new();
+    let mut spins = 0usize;
+    let mut progress = Progress::new(progress_every);
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            shared.aborted.store(true, Ordering::Relaxed);
+            shared.stop.store(true, Ordering::SeqCst);
+            shared.wake_sleepers();
+            break;
+        }
+        let Some((id, depth)) = shared.find_work(me).or_else(|| {
+            if shared.pending.load(Ordering::Relaxed) == 0 {
+                return None;
+            }
+            spins += 1;
+            if spins < IDLE_SPINS {
+                std::thread::yield_now();
+                None
+            } else {
+                shared.park(me)
+            }
+        }) else {
+            if shared.pending.load(Ordering::Relaxed) == 0 {
+                break;
+            }
+            continue;
+        };
+        spins = 0;
+        let state = S::from_index_id(id);
+        let mut out: Vec<(L, usize)> = Vec::new();
+        {
+            let mut batch: Vec<(u32, u32)> = Vec::new();
+            for (label, next) in succ(&state) {
+                let nid = next.index_id();
+                // A `None` register means the bound is exhausted: the edge
+                // is dropped, like the hash engine's.
+                if let Some(fresh) = shared.register(nid, max_states) {
+                    out.push((label, nid as usize));
+                    if fresh {
+                        batch.push((nid, depth + 1));
+                    }
+                }
+            }
+            if !batch.is_empty() {
+                let n = batch.len();
+                shared.pending.fetch_add(n, Ordering::SeqCst);
+                let over = shared.budget.is_some_and(|b| {
+                    shared.seen_bytes.load(Ordering::Relaxed)
+                        + (shared.frontier_entries.load(Ordering::Relaxed) + n) * ENTRY_BYTES
+                        > b
+                });
+                if over {
+                    shared.frontier_entries.fetch_add(n, Ordering::Relaxed);
+                    let flushed = shared.spill.push_batch(batch);
+                    shared
+                        .frontier_entries
+                        .fetch_sub(flushed, Ordering::Relaxed);
+                } else {
+                    shared.frontier_entries.fetch_add(n, Ordering::Relaxed);
+                    shared.queues[me].lock().extend(batch);
+                }
+                shared.note_resident_peak();
+                shared.wake_sleepers();
+            }
+        }
+        if monitor(&state, &out) {
+            shared.cancelled.store(true, Ordering::Relaxed);
+            shared.stop.store(true, Ordering::SeqCst);
+            shared.wake_sleepers();
+        }
+        records.push((id, out));
+        if let Some(progress) = progress.as_mut() {
+            if progress.due() {
+                progress.report(
+                    shared.count.load(Ordering::Relaxed),
+                    shared.pending.load(Ordering::Relaxed),
+                    depth,
+                );
+                progress.set_resident(shared.resident_bytes() as u64);
+            }
+        }
+        if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            shared.wake_sleepers();
+        }
+    }
+    records
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+/// Explores with the id-indexed memory layer where it applies, falling back
+/// to the generic hash engine everywhere else — the engine entry point of
+/// the `TypeLts` / `TermLts` builders.
+///
+/// The id-indexed engine runs when the seen-set is [`SeenSet::Bitmap`] (the
+/// default) and the discipline is engine-ordered: serial BFS, or any
+/// parallel run of a non-serial-forced strategy (the parallel engine's
+/// work-stealing order is canonically renumbered regardless of the
+/// discipline, exactly like the hash engine's). Serial DFS and the
+/// serial-forced disciplines (beam, random walk) keep the hash engine: they
+/// order their whole pending set, which a spilled segment cannot do.
+///
+/// Every contract of [`explore_guided`] carries over — same monitor and
+/// heuristic semantics, same status precedence, and complete runs remain
+/// byte-identical across worker counts, seen-set structures, and memory
+/// budgets.
+pub fn explore_indexed_guided<S, L, F, M, H>(
+    initial: S,
+    succ: F,
+    config: &ExploreConfig,
+    monitor: M,
+    heuristic: H,
+) -> Exploration<S, L>
+where
+    S: IndexedState + Send + Sync,
+    L: Clone + Send,
+    F: Fn(&S) -> Vec<(L, S)> + Sync,
+    M: Fn(&S, &[(L, usize)]) -> bool + Sync,
+    H: Fn(&S) -> u64 + Sync,
+{
+    let hash_fallback = config.seen_set == SeenSet::Hash
+        || config.strategy.forces_serial()
+        || (config.parallelism <= 1 && config.strategy != Strategy::Bfs);
+    if hash_fallback {
+        return explore_guided(initial, succ, config, monitor, heuristic);
+    }
+    let max_states = config.max_states.max(1);
+    if config.parallelism <= 1 {
+        explore_serial_indexed(initial, &succ, config, max_states, &monitor)
+    } else {
+        explore_parallel_indexed(initial, &succ, config, max_states, &monitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `u32` chain/fan states are their own ids — the simplest lawful
+    /// [`IndexedState`].
+    impl IndexedState for u32 {
+        fn index_id(&self) -> u32 {
+            *self
+        }
+        fn from_index_id(id: u32) -> u32 {
+            id
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "effpi-memtest-{tag}-{}-{}",
+            std::process::id(),
+            SPILL_RUN.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// A diamond-heavy fan: state n steps to 2n+1 and 2n+2 below a cap, so
+    /// ids are dense-ish and states share many discovery paths.
+    fn fan(cap: u32) -> impl Fn(&u32) -> Vec<(&'static str, u32)> {
+        move |s: &u32| {
+            if *s < cap {
+                vec![("l", 2 * *s + 1), ("r", 2 * *s + 2)]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    #[test]
+    fn bitmap_seen_set_inserts_and_looks_up_across_pages() {
+        let mut seen = IdSeenSet::new();
+        assert_eq!(seen.resident_bytes(), 0);
+        for id in [0u32, 1, 63, 64, 65_535, 65_536, 1 << 20, u32::MAX] {
+            assert!(!seen.contains(id));
+            assert!(seen.insert(id), "{id} was fresh");
+            assert!(!seen.insert(id), "{id} was already present");
+            assert!(seen.contains(id));
+        }
+        // Pages allocate lazily: 8 distinct ids over 4 distinct 64Ki chunks
+        // (ids 0..=65_535 share page 0).
+        assert_eq!(seen.resident_bytes(), 4 * PAGE_BYTES);
+        assert!(!seen.contains(2));
+        assert!(!seen.contains(65_537));
+    }
+
+    #[test]
+    fn spill_segments_round_trip() {
+        let dir = tmp_dir("roundtrip");
+        let entries: Vec<(u32, u32)> = (0..1000u32).map(|i| (i * 7, i)).collect();
+        let path = dir.join("seg-00000000.spill");
+        let bytes = write_segment(&path, &entries);
+        assert_eq!(bytes as usize, entries.len() * SPILL_RECORD_BYTES);
+        assert_eq!(read_segment(&path), entries);
+        // The segment is consumed on read.
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_and_corrupt_spill_segments_fail_loudly() {
+        let dir = tmp_dir("corrupt");
+        let entries: Vec<(u32, u32)> = (0..500u32).map(|i| (i, i / 3)).collect();
+        let original = {
+            let path = dir.join("seg-orig.spill");
+            write_segment(&path, &entries);
+            let bytes = fs::read(&path).unwrap();
+            let _ = fs::remove_file(&path);
+            bytes
+        };
+        // Every prefix truncation must be rejected, never partially decoded.
+        for cut in [0, 7, 8, 19, 20, original.len() / 2, original.len() - 1] {
+            let path = dir.join(format!("seg-cut-{cut}.spill"));
+            fs::write(&path, &original[..cut]).unwrap();
+            let err = std::panic::catch_unwind(|| read_segment(&path))
+                .expect_err("truncation at {cut} must panic");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(
+                msg.contains("spill segment"),
+                "panic names the segment: {msg}"
+            );
+        }
+        // A flipped payload byte must fail the checksum.
+        let mut flipped = original.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        let path = dir.join("seg-flip.spill");
+        fs::write(&path, &flipped).unwrap();
+        let err =
+            std::panic::catch_unwind(|| read_segment(&path)).expect_err("bit flip must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("checksum"),
+            "bit flip fails the checksum: {msg}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_corrupted_in_flight_segment_aborts_the_run_instead_of_dropping_states() {
+        // Drive a real spilling frontier, then corrupt its oldest on-disk
+        // segment out from under it: the pop that streams the segment back
+        // must panic, not hand back a short frontier.
+        let dir = tmp_dir("inflight");
+        let mut frontier = SpillFrontier::new(Some(0), Some(dir.clone()));
+        for i in 0..(SPILL_CHUNK as u32 * 2) {
+            frontier.push(i, 0, 0);
+        }
+        assert!(frontier.stats.spill_segments >= 1, "spill engaged");
+        let segment = frontier
+            .segments
+            .front()
+            .cloned()
+            .expect("a segment is on disk");
+        let mut bytes = fs::read(&segment).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&segment, &bytes).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            while frontier.pop().is_some() {}
+        }))
+        .expect_err("a corrupt segment must abort the drain");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("corrupt spill segment"), "{msg}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serial_indexed_bfs_matches_the_hash_engine_exactly() {
+        let succ = fan(2_000);
+        let hash = explore_guided(
+            0u32,
+            &succ,
+            &ExploreConfig::serial(1_000_000).with_seen_set(SeenSet::Hash),
+            |_: &u32, _: &[(&str, usize)]| false,
+            |_: &u32| 0,
+        );
+        let indexed = explore_indexed_guided(
+            0u32,
+            &succ,
+            &ExploreConfig::serial(1_000_000),
+            |_: &u32, _: &[(&str, usize)]| false,
+            |_: &u32| 0,
+        );
+        assert_eq!(indexed.status, ExploreStatus::Complete);
+        assert_eq!(indexed.lts.states(), hash.lts.states());
+        assert_eq!(indexed.lts.num_transitions(), hash.lts.num_transitions());
+        for i in 0..hash.lts.num_states() {
+            assert_eq!(
+                indexed.lts.transitions_from(i),
+                hash.lts.transitions_from(i)
+            );
+        }
+        assert_eq!(indexed.parents, hash.parents);
+        assert_eq!(indexed.stats.spill_segments, 0, "no budget, no spill");
+    }
+
+    #[test]
+    fn budgeted_serial_runs_spill_and_stay_byte_identical() {
+        let succ = fan(60_000);
+        let free = explore_indexed_guided(
+            0u32,
+            &succ,
+            &ExploreConfig::serial(1_000_000),
+            |_: &u32, _: &[(&str, usize)]| false,
+            |_: &u32| 0,
+        );
+        let dir = tmp_dir("serial-budget");
+        let budgeted = explore_indexed_guided(
+            0u32,
+            &succ,
+            &ExploreConfig::serial(1_000_000)
+                .with_memory_budget(Some(1))
+                .with_spill_dir(dir.clone()),
+            |_: &u32, _: &[(&str, usize)]| false,
+            |_: &u32| 0,
+        );
+        assert_eq!(budgeted.status, ExploreStatus::Complete);
+        assert!(
+            budgeted.stats.spill_segments > 0,
+            "a 1-byte budget must spill"
+        );
+        assert_eq!(
+            budgeted.stats.spill_reloads, budgeted.stats.spill_segments,
+            "every spilled segment streams back"
+        );
+        assert!(budgeted.stats.spill_bytes > 0);
+        assert_eq!(budgeted.lts.states(), free.lts.states());
+        for i in 0..free.lts.num_states() {
+            assert_eq!(
+                budgeted.lts.transitions_from(i),
+                free.lts.transitions_from(i)
+            );
+        }
+        assert_eq!(budgeted.parents, free.parents);
+        // The run directory cleans up after itself (the configured base
+        // stays, the per-run subdirectory and its segments are gone).
+        let leftovers: Vec<_> = fs::read_dir(&dir).unwrap().collect();
+        assert!(leftovers.is_empty(), "spill dir drained: {leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parallel_indexed_runs_match_serial_with_and_without_budget() {
+        let succ = fan(30_000);
+        let serial = explore_indexed_guided(
+            0u32,
+            &succ,
+            &ExploreConfig::serial(1_000_000),
+            |_: &u32, _: &[(&str, usize)]| false,
+            |_: &u32| 0,
+        );
+        for budget in [None, Some(1)] {
+            for workers in [2, 4] {
+                let ex = explore_indexed_guided(
+                    0u32,
+                    &succ,
+                    &ExploreConfig::new(workers, 1_000_000).with_memory_budget(budget),
+                    |_: &u32, _: &[(&str, usize)]| false,
+                    |_: &u32| 0,
+                );
+                assert_eq!(ex.status, ExploreStatus::Complete);
+                assert_eq!(
+                    ex.lts.states(),
+                    serial.lts.states(),
+                    "workers={workers} budget={budget:?}"
+                );
+                for i in 0..serial.lts.num_states() {
+                    assert_eq!(
+                        ex.lts.transitions_from(i),
+                        serial.lts.transitions_from(i),
+                        "state {i}, workers={workers} budget={budget:?}"
+                    );
+                }
+                assert_eq!(ex.parents, serial.parents);
+                if budget.is_some() {
+                    assert!(
+                        ex.stats.spill_segments > 0,
+                        "workers={workers}: a 1-byte budget must spill"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_bound_trips_cooperatively_and_never_overshoots() {
+        let succ = fan(u32::MAX / 4);
+        for workers in [1, 4] {
+            let ex = explore_indexed_guided(
+                0u32,
+                &succ,
+                &ExploreConfig::new(workers, 500).with_memory_budget(Some(1)),
+                |_: &u32, _: &[(&str, usize)]| false,
+                |_: &u32| 0,
+            );
+            assert_eq!(ex.status, ExploreStatus::Truncated, "workers={workers}");
+            assert!(ex.lts.is_truncated());
+            assert!(
+                ex.lts.num_states() <= 500,
+                "bound overshot: {} states on {workers} workers",
+                ex.lts.num_states()
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_monitor_cancels_early() {
+        let chain = |s: &u32| {
+            if *s < 1_000_000 {
+                vec![("inc", *s + 1)]
+            } else {
+                vec![]
+            }
+        };
+        for workers in [1, 4] {
+            let ex = explore_indexed_guided(
+                0u32,
+                chain,
+                &ExploreConfig::new(workers, usize::MAX),
+                |s: &u32, _: &[(&str, usize)]| *s == 500,
+                |_: &u32| 0,
+            );
+            assert_eq!(ex.status, ExploreStatus::Cancelled, "workers={workers}");
+            assert!(ex.lts.num_states() < 1_000_000);
+        }
+    }
+
+    #[test]
+    fn indexed_runs_abort_on_a_cancel_token() {
+        let chain = |s: &u32| vec![("inc", s.wrapping_add(1))];
+        let token = CancelToken::new();
+        token.cancel();
+        for workers in [1, 4] {
+            let ex = explore_indexed_guided(
+                0u32,
+                chain,
+                &ExploreConfig::new(workers, usize::MAX).with_cancel(token.clone()),
+                |_: &u32, _: &[(&str, usize)]| false,
+                |_: &u32| 0,
+            );
+            assert_eq!(ex.status, ExploreStatus::Aborted, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn hash_fallback_paths_still_work_through_the_indexed_entry_point() {
+        // Serial DFS, beam and random walk route to the hash engine; on a
+        // complete run every one is byte-identical to BFS anyway.
+        let succ = fan(500);
+        let bfs = explore_indexed_guided(
+            0u32,
+            &succ,
+            &ExploreConfig::serial(1_000_000),
+            |_: &u32, _: &[(&str, usize)]| false,
+            |_: &u32| 0,
+        );
+        for strategy in [
+            Strategy::Dfs,
+            Strategy::Beam { width: 4 },
+            Strategy::RandomWalk { seed: 9 },
+        ] {
+            let ex = explore_indexed_guided(
+                0u32,
+                &succ,
+                &ExploreConfig::serial(1_000_000).with_strategy(strategy),
+                |_: &u32, _: &[(&str, usize)]| false,
+                |_: &u32| 0,
+            );
+            assert_eq!(ex.status, ExploreStatus::Complete, "{strategy}");
+            assert_eq!(ex.lts.states(), bfs.lts.states(), "{strategy}");
+        }
+    }
+
+    #[test]
+    fn trace_to_replays_through_spilled_frontiers() {
+        let succ = fan(10_000);
+        let dir = tmp_dir("witness");
+        let ex = explore_indexed_guided(
+            0u32,
+            &succ,
+            &ExploreConfig::serial(1_000_000)
+                .with_memory_budget(Some(1))
+                .with_spill_dir(dir.clone()),
+            |_: &u32, _: &[(&str, usize)]| false,
+            |_: &u32| 0,
+        );
+        assert!(ex.stats.spill_segments > 0);
+        for target in [0, 1, ex.lts.num_states() - 1] {
+            let trace = ex.trace_to(target).expect("complete runs orphan nothing");
+            let mut at = ex.lts.initial();
+            for (from, label, to) in &trace {
+                assert_eq!(*from, at);
+                assert!(ex.lts.transitions_from(*from).contains(&(*label, *to)));
+                at = *to;
+            }
+            assert_eq!(at, target);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

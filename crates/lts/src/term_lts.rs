@@ -51,9 +51,10 @@ use dbt_types::{Checker, TypeEnv};
 use lambdapi::{Reducer, Term, TermRef, Type, Value};
 use runtime::sync::Mutex;
 
-use crate::explore::{explore_guided, CancelToken, Exploration, ExploreConfig, Strategy};
+use crate::explore::{CancelToken, Exploration, ExploreConfig, SeenSet, Strategy};
 use crate::generic::Lts;
 use crate::label::TermLabel;
+use crate::memory::explore_indexed_guided;
 
 /// Number of lock shards in each per-builder cache; a power of two.
 const CACHE_SHARDS: usize = 16;
@@ -99,6 +100,9 @@ pub struct TermLts {
     parallelism: usize,
     strategy: Strategy,
     cancel: Option<CancelToken>,
+    memory_budget: Option<usize>,
+    spill_dir: Option<std::path::PathBuf>,
+    seen_set: SeenSet,
     caches: Arc<Caches>,
 }
 
@@ -117,6 +121,9 @@ impl TermLts {
             parallelism: 1,
             strategy: Strategy::default(),
             cancel: None,
+            memory_budget: None,
+            spill_dir: None,
+            seen_set: SeenSet::default(),
             caches: Caches::new(),
         }
     }
@@ -143,6 +150,30 @@ impl TermLts {
     /// in-flight [`TermLts::build`] at its next state expansion.
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = Some(cancel);
+        self
+    }
+
+    /// Caps the exploration's resident working set (seen-set pages plus
+    /// in-RAM frontier, in bytes); past the budget, cold frontier segments
+    /// spill to disk and stream back in discovery order, keeping results
+    /// byte-identical to an unbudgeted run. `None` (the default) keeps
+    /// everything in RAM.
+    pub fn with_memory_budget(mut self, budget: Option<usize>) -> Self {
+        self.memory_budget = budget;
+        self
+    }
+
+    /// Directory for frontier spill segments (default: the system temp dir).
+    /// Each build uses its own subdirectory and removes it when done.
+    pub fn with_spill_dir(mut self, dir: std::path::PathBuf) -> Self {
+        self.spill_dir = Some(dir);
+        self
+    }
+
+    /// Selects the seen-set structure (default [`SeenSet::Bitmap`]); see
+    /// [`mod@crate::memory`]. Results are identical either way.
+    pub fn with_seen_set(mut self, seen_set: SeenSet) -> Self {
+        self.seen_set = seen_set;
         self
     }
 
@@ -399,13 +430,18 @@ impl TermLts {
         max_states: usize,
     ) -> Exploration<TermRef, TermLabel> {
         let initial = TermRef::intern(t);
-        let mut config =
-            ExploreConfig::new(self.parallelism, max_states).with_strategy(self.strategy);
+        let mut config = ExploreConfig::new(self.parallelism, max_states)
+            .with_strategy(self.strategy)
+            .with_memory_budget(self.memory_budget)
+            .with_seen_set(self.seen_set);
+        if let Some(dir) = &self.spill_dir {
+            config = config.with_spill_dir(dir.clone());
+        }
         if let Some(cancel) = &self.cancel {
             config = config.with_cancel(cancel.clone());
         }
         let guided = matches!(self.strategy, Strategy::Beam { .. });
-        explore_guided(
+        explore_indexed_guided(
             initial,
             |s: &TermRef| self.successors(s).to_vec(),
             &config,

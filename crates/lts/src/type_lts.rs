@@ -49,9 +49,10 @@ use dbt_types::{Checker, TypeEnv};
 use lambdapi::{Name, TyRef, Type};
 use runtime::sync::Mutex;
 
-use crate::explore::{explore_guided, CancelToken, Exploration, ExploreConfig, Strategy};
+use crate::explore::{CancelToken, Exploration, ExploreConfig, SeenSet, Strategy};
 use crate::generic::Lts;
 use crate::label::TypeLabel;
+use crate::memory::explore_indexed_guided;
 
 /// Which environment variables the early input rule [T→i] may use as payload
 /// candidates (in addition to the domain type itself).
@@ -108,6 +109,9 @@ pub struct TypeLts {
     strategy: Strategy,
     priority_targets: Vec<Name>,
     cancel: Option<CancelToken>,
+    memory_budget: Option<usize>,
+    spill_dir: Option<std::path::PathBuf>,
+    seen_set: SeenSet,
     caches: Arc<Caches>,
 }
 
@@ -131,6 +135,9 @@ impl TypeLts {
             strategy: Strategy::default(),
             priority_targets: Vec::new(),
             cancel: None,
+            memory_budget: None,
+            spill_dir: None,
+            seen_set: SeenSet::default(),
             caches: Caches::new(),
         }
     }
@@ -169,6 +176,32 @@ impl TypeLts {
     /// in-flight [`TypeLts::build`] at its next state expansion.
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = Some(cancel);
+        self
+    }
+
+    /// Caps the exploration's resident working set (seen-set pages plus
+    /// in-RAM frontier, in bytes): past the budget, cold frontier segments
+    /// spill to disk and stream back in discovery order, so results — states,
+    /// numbering, verdicts, witnesses — are byte-identical to an unbudgeted
+    /// run. `None` (the default) keeps everything in RAM.
+    pub fn with_memory_budget(mut self, budget: Option<usize>) -> Self {
+        self.memory_budget = budget;
+        self
+    }
+
+    /// Directory for frontier spill segments (default: the system temp dir).
+    /// Each build uses its own subdirectory and removes it when done.
+    pub fn with_spill_dir(mut self, dir: std::path::PathBuf) -> Self {
+        self.spill_dir = Some(dir);
+        self
+    }
+
+    /// Selects the seen-set structure (default [`SeenSet::Bitmap`], the
+    /// id-indexed memory layer of [`mod@crate::memory`]). [`SeenSet::Hash`]
+    /// forces the generic hash engine — results are identical either way;
+    /// the knob exists so the determinism suite can compare them.
+    pub fn with_seen_set(mut self, seen_set: SeenSet) -> Self {
+        self.seen_set = seen_set;
         self
     }
 
@@ -409,8 +442,13 @@ impl TypeLts {
         M: Fn(&TyRef, &[(TypeLabel, usize)]) -> bool + Sync,
     {
         let initial = self.canonical_ref(&TyRef::intern(ty));
-        let mut config =
-            ExploreConfig::new(self.parallelism, max_states).with_strategy(self.strategy);
+        let mut config = ExploreConfig::new(self.parallelism, max_states)
+            .with_strategy(self.strategy)
+            .with_memory_budget(self.memory_budget)
+            .with_seen_set(self.seen_set);
+        if let Some(dir) = &self.spill_dir {
+            config = config.with_spill_dir(dir.clone());
+        }
         if let Some(cancel) = &self.cancel {
             config = config.with_cancel(cancel.clone());
         }
@@ -419,7 +457,7 @@ impl TypeLts {
         let guided =
             matches!(self.strategy, Strategy::Beam { .. }) && !self.priority_targets.is_empty();
         let targets = &self.priority_targets;
-        explore_guided(
+        explore_indexed_guided(
             initial,
             |s: &TyRef| {
                 let succ = self.successors(s);

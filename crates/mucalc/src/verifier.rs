@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 
 use dbt_types::{Checker, TypeEnv, TypeKind};
 use lambdapi::{Name, TyRef, Type};
-use lts::{CancelToken, ExploreStatus, Lts, Strategy, TypeLabel, TypeLts};
+use lts::{CancelToken, ExploreStatus, Lts, SeenSet, Strategy, TypeLabel, TypeLts};
 
 use crate::properties::Property;
 use crate::witness::Trace;
@@ -146,6 +146,20 @@ pub struct Verifier {
     /// interface variables and can reach a violation orders of magnitude
     /// earlier than BFS.
     pub strategy: Strategy,
+    /// Caps the exploration's resident working set (seen-set pages plus
+    /// in-RAM frontier, in bytes): past the budget, cold frontier segments
+    /// spill to disk and stream back in discovery order. Verdicts, state
+    /// counts and witnesses are byte-identical to an unbudgeted run — the
+    /// budget only trades RAM for disk I/O. `None` (the default) keeps
+    /// everything resident.
+    pub memory_budget: Option<usize>,
+    /// Directory for frontier spill segments (default: the system temp dir).
+    /// Each run uses its own subdirectory and removes it when done.
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// Seen-set structure for the exploration (default the id-indexed
+    /// bitmap; [`SeenSet::Hash`] forces the generic hash engine — results
+    /// are identical, the knob exists for the determinism suite).
+    pub seen_set: SeenSet,
 }
 
 impl Default for Verifier {
@@ -158,6 +172,9 @@ impl Default for Verifier {
             parallelism: 1,
             cancel: None,
             strategy: Strategy::default(),
+            memory_budget: None,
+            spill_dir: None,
+            seen_set: SeenSet::default(),
         }
     }
 }
@@ -287,7 +304,12 @@ impl Verifier {
             .with_visible_subjects(visible)
             .with_parallelism(self.parallelism)
             .with_strategy(self.strategy)
-            .with_priority_targets(targets.to_vec());
+            .with_priority_targets(targets.to_vec())
+            .with_memory_budget(self.memory_budget)
+            .with_seen_set(self.seen_set);
+        if let Some(dir) = &self.spill_dir {
+            builder = builder.with_spill_dir(dir.clone());
+        }
         if let Some(cancel) = &self.cancel {
             builder = builder.with_cancel(cancel.clone());
         }

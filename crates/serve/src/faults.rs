@@ -20,8 +20,8 @@
 //! What each action means is decided by the injection *site* (see
 //! `server.rs`): `Error` degrades the operation the way a real I/O failure
 //! would, `Delay` sleeps before it, `Panic` panics — exercising the
-//! worker's `catch_unwind` isolation. Injection decisions are made **before
-//! any lock is taken**, so an injected panic can never poison a mutex that
+//! worker's `catch_unwind` isolation. Injection decisions are made **while
+//! no lock is held**, so an injected panic can never poison a mutex that
 //! outlives it.
 
 use std::fmt;
@@ -35,7 +35,10 @@ pub enum FaultPoint {
     StoreWrite,
     /// Writing a response frame to a client socket.
     SocketWrite,
-    /// The worker boundary, just before a verification runs.
+    /// The worker boundary, just before a *cold* verification runs. The
+    /// point sits below both cache probes, so a request answered from the
+    /// LRU or the disk tier never passes through it (and never advances its
+    /// pass counter) — it models the engine failing, and hits run no engine.
     Worker,
 }
 

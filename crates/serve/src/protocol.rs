@@ -97,6 +97,13 @@ pub struct VerifyOptions {
     /// part of the cache key: a verdict is a verdict no matter how long the
     /// client was willing to wait for it.
     pub deadline_ms: Option<u64>,
+    /// Caps the exploration's resident working set for this request, in
+    /// bytes: past the budget, cold frontier segments spill to disk and
+    /// stream back in discovery order (see `lts::memory`). Operational like
+    /// `deadline_ms` — **never** part of the cache key: a budgeted run's
+    /// report is byte-identical to an unbudgeted one, so a verdict computed
+    /// either way is a valid hit for both.
+    pub memory_budget: Option<u64>,
 }
 
 /// How a `metrics` reply renders the snapshot.
@@ -233,6 +240,7 @@ impl Request {
                         strategy,
                         profile,
                         deadline_ms: field("deadline_ms")?.map(|v| v as u64),
+                        memory_budget: field("memory_budget")?.map(|v| v as u64),
                     },
                 })
             }
@@ -290,6 +298,9 @@ impl Request {
                 }
                 if let Some(ms) = options.deadline_ms {
                     fields.push(("deadline_ms".to_string(), Json::Num(ms as f64)));
+                }
+                if let Some(bytes) = options.memory_budget {
+                    fields.push(("memory_budget".to_string(), Json::Num(bytes as f64)));
                 }
                 Json::obj(fields)
             }
@@ -528,6 +539,14 @@ mod tests {
                 spec: "env x : cio[int]\ntype i[x, Pi(v: int) nil]".into(),
                 options: VerifyOptions {
                     deadline_ms: Some(1_500),
+                    ..VerifyOptions::default()
+                },
+            },
+            Request::Verify {
+                id: 11,
+                spec: "env x : cio[int]\ntype i[x, Pi(v: int) nil]".into(),
+                options: VerifyOptions {
+                    memory_budget: Some(1 << 20),
                     ..VerifyOptions::default()
                 },
             },

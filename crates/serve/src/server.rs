@@ -55,7 +55,7 @@
 //!   `internal-error` response, the worker thread survives, and the event is
 //!   counted (`requests.panics_caught`). The shared locks tolerate this by
 //!   construction: `runtime::sync::Mutex` recovers poisoned guards, and
-//!   fault-injection decisions are made before any lock is taken.
+//!   fault-injection decisions are made while no lock is held.
 //! * **Deadlines.** A `verify` may carry `deadline_ms`; a housekeeper thread
 //!   flips the job's [`CancelToken`] when the budget elapses (queued or
 //!   executing alike), and the reply is a typed `deadline-exceeded` error.
@@ -154,6 +154,16 @@ pub struct ServerConfig {
     /// more than `default_max_states` with `overloaded`. `None` disables the
     /// watchdog.
     pub memory_budget: Option<u64>,
+    /// Default per-request exploration memory budget, in bytes: past it, an
+    /// exploration's cold frontier segments spill to disk and stream back in
+    /// discovery order (see `lts::memory`). A request's own
+    /// `options.memory_budget` overrides this default. Orthogonal to
+    /// [`ServerConfig::memory_budget`]: the watchdog bounds the process-wide
+    /// append-only interner and *sheds*, this knob bounds one exploration's
+    /// transient working set and *spills* — reports stay byte-identical, so
+    /// it never affects cache keys or verdicts. `None` keeps every frontier
+    /// in memory.
+    pub explore_memory_budget: Option<usize>,
     /// Deterministic fault injection (tests and chaos drills only; the
     /// default empty plan injects nothing).
     pub faults: FaultPlan,
@@ -170,6 +180,7 @@ impl Default for ServerConfig {
             log_requests: false,
             max_queue_depth: 256,
             memory_budget: None,
+            explore_memory_budget: None,
             faults: FaultPlan::default(),
         }
     }
@@ -1004,6 +1015,20 @@ pub const STATS_SCHEMA: &[(&str, &[&str])] = &[
         ],
     ),
     (
+        // The exploration memory layer (`lts::memory`): the engine publishes
+        // these process-wide as it runs — `resident_bytes` is the last
+        // reported working set (seen-set pages + in-RAM frontier), the
+        // `spill_*` counters accumulate across every budgeted exploration
+        // that pushed cold frontier segments to disk.
+        "explore",
+        &[
+            "resident_bytes",
+            "spill_segments",
+            "spill_bytes",
+            "spill_reloads",
+        ],
+    ),
+    (
         // The hash-consing interner is process-wide and append-only, so a
         // long-running daemon's memory cost and memo efficiency are part of
         // its operational accounting. `types` and `terms` are the two
@@ -1145,6 +1170,31 @@ fn sync_registry(shared: &Shared) {
         "engine",
         "degraded",
         u64::from(shared.degraded.load(Ordering::SeqCst)),
+    );
+
+    // The memory layer publishes its gauge/counters directly under the
+    // engine's own names; re-reading them here folds the `explore` section
+    // into the same `{section}_{field}` schema `stats_json` renders from
+    // (the resident-bytes re-set is an identity write).
+    set(
+        "explore",
+        "resident_bytes",
+        registry.gauge("explore_resident_bytes").get(),
+    );
+    set(
+        "explore",
+        "spill_segments",
+        registry.counter("spill_segments").get(),
+    );
+    set(
+        "explore",
+        "spill_bytes",
+        registry.counter("spill_bytes").get(),
+    );
+    set(
+        "explore",
+        "spill_reloads",
+        registry.counter("spill_reloads").get(),
     );
 
     let intern = effpi::intern_stats();
@@ -1420,23 +1470,6 @@ fn process(shared: &Shared, job: Job) {
 }
 
 fn verify_response(shared: &Shared, job: &Job) -> Verdict {
-    // The worker-boundary fault point: `Panic` exercises the catch_unwind
-    // isolation in `process`, `Error` models an engine that failed without
-    // unwinding. Decided before any lock or allocation.
-    if let Some(hook) = &shared.faults {
-        match hook.inject(FaultPoint::Worker) {
-            None => {}
-            Some(FaultAction::Delay { ms }) => thread::sleep(Duration::from_millis(ms)),
-            Some(FaultAction::Panic) => panic!("injected worker fault"),
-            Some(FaultAction::Error) => {
-                shared.counters.failed.fetch_add(1, Ordering::SeqCst);
-                return Verdict::Refused {
-                    kind: ErrorKind::Internal,
-                    message: "injected worker error".into(),
-                };
-            }
-        }
-    }
     let parsed = {
         let _span = obs::span("parse");
         parse_spec(&job.spec)
@@ -1472,6 +1505,17 @@ fn verify_response(shared: &Shared, job: &Job) -> Verdict {
     }
     if let Some(strategy) = options.strategy {
         builder = builder.strategy(strategy);
+    }
+    // Per-request budget wins over the server default. Operational only:
+    // `Session::cache_key` excludes it (a budgeted run's report is
+    // byte-identical to an unbudgeted one), so hits below stay valid
+    // whatever budget the original verification ran under.
+    if let Some(bytes) = options
+        .memory_budget
+        .map(|bytes| bytes as usize)
+        .or(config.explore_memory_budget)
+    {
+        builder = builder.memory_budget(bytes);
     }
     let session = builder.build();
     let key = {
@@ -1512,6 +1556,25 @@ fn verify_response(shared: &Shared, job: &Job) -> Verdict {
                 key: key.to_string(),
                 report: rendered,
             };
+        }
+    }
+    // The worker-boundary fault point: `Panic` exercises the catch_unwind
+    // isolation in `process`, `Error` models an engine that failed without
+    // unwinding. It sits *below* both cache probes — a cache hit replays
+    // stored bytes and exercises no engine, so only cold verifications tick
+    // the pass counter — and is decided while no lock is held.
+    if let Some(hook) = &shared.faults {
+        match hook.inject(FaultPoint::Worker) {
+            None => {}
+            Some(FaultAction::Delay { ms }) => thread::sleep(Duration::from_millis(ms)),
+            Some(FaultAction::Panic) => panic!("injected worker fault"),
+            Some(FaultAction::Error) => {
+                shared.counters.failed.fetch_add(1, Ordering::SeqCst);
+                return Verdict::Refused {
+                    kind: ErrorKind::Internal,
+                    message: "injected worker error".into(),
+                };
+            }
         }
     }
     // The cache lock is NOT held across the verification: concurrent misses

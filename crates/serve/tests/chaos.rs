@@ -315,14 +315,39 @@ fn worker_panics_yield_typed_internal_errors_and_the_worker_survives() {
     let specs = specs();
     let baseline = fault_free_baseline(&specs);
     const REQUESTS: usize = 12;
-    let plan = FaultPlan::single(5, FaultPoint::Worker, FaultAction::Panic, 3);
-    let predicted: Vec<bool> = (0..REQUESTS as u64)
-        .map(|n| plan.decide(FaultPoint::Worker, n) == Some(FaultAction::Panic))
+    let plan = FaultPlan::single(18, FaultPoint::Worker, FaultAction::Panic, 3);
+    // The worker fault point sits *below* the cache probes, so only cold
+    // verifications tick its pass counter. That makes the prediction a
+    // little state machine rather than a straight indexing: a panicking
+    // request leaves its spec uncached (nothing ran, nothing was inserted),
+    // so the spec's next encounter is cold again and ticks; a clean cold
+    // run caches its spec, and every later encounter is an LRU hit that
+    // never reaches the fault point at all.
+    let mut cached = vec![false; specs.len()];
+    let mut ticks = 0u64;
+    let predicted: Vec<bool> = (0..REQUESTS)
+        .map(|i| {
+            let spec = i % specs.len();
+            if cached[spec] {
+                return false; // cache hit: no tick, no panic
+            }
+            let fires = plan.decide(FaultPoint::Worker, ticks) == Some(FaultAction::Panic);
+            ticks += 1;
+            if !fires {
+                cached[spec] = true;
+            }
+            fires
+        })
         .collect();
     let panics = predicted.iter().filter(|&&p| p).count() as u64;
     assert!(
         panics > 0 && (panics as usize) < REQUESTS,
         "seed must mix panicking and clean requests ({panics}/{REQUESTS} panic)"
+    );
+    assert!(
+        ticks > panics && (ticks as usize) < REQUESTS,
+        "seed must exercise a re-cold retry after a panic *and* at least one \
+         cache hit that skips the fault point ({ticks} ticks)"
     );
 
     // One worker ⇒ the worker-point pass counter advances in submission

@@ -11,10 +11,19 @@
 //! conformance scenario, the full rendered Fig. 5 LTS (states in canonical
 //! numbering plus every transition triple) built through
 //! `Session::build_term_lts`.
+//!
+//! The same contract covers the exploration memory layer (`lts::memory`):
+//! the id-indexed bitmap seen-set vs the hash fallback, and the
+//! disk-spilling frontier behind `memory_budget` vs the all-in-RAM one, are
+//! operational choices that must be invisible in every report — see the
+//! "memory layer" section at the bottom. (Corrupt or truncated spill
+//! segments failing *loudly* is pinned at the unit level in `lts::memory`,
+//! where a segment file can be torn byte by byte; `bench::big` is the
+//! out-of-core-scale CI edition of the zero-drift clause.)
 
 use effpi::protocols::{fig9_scenarios, mobile_code, open_terms};
 use effpi::spec::parse_spec;
-use effpi::{Session, Strategy, TermLabel, TermRef};
+use effpi::{SeenSet, Session, SessionBuilder, Strategy, TermLabel, TermRef};
 use lts::Lts;
 
 const MAX_STATES: usize = 60_000;
@@ -180,6 +189,107 @@ fn every_open_term_scenario_reports_identically_serial_and_parallel() {
             scenario.name
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// The memory layer: seen-set representation and the exploration memory
+// budget are operational knobs, never observable in a report.
+// ---------------------------------------------------------------------------
+
+/// One scenario per protocol family — enough shape diversity to exercise
+/// both memory-layer representations, small enough that the knob matrix
+/// below stays test-suite-fast in debug builds.
+fn memory_corpus() -> Vec<effpi::Scenario> {
+    use effpi::protocols::{dining, payment, pingpong, ring};
+    vec![
+        payment::payment_with_clients(3),
+        dining::dining_philosophers(3, false),
+        pingpong::ping_pong_pairs(3, true),
+        ring::token_ring(4, 2),
+    ]
+}
+
+/// Runs the memory corpus on a session built by `configure` and returns the
+/// stable summary lines.
+fn memory_corpus_lines(configure: impl Fn(SessionBuilder) -> SessionBuilder) -> Vec<String> {
+    let session = configure(Session::builder().max_states(MAX_STATES)).build();
+    memory_corpus()
+        .iter()
+        .map(|scenario| {
+            let summary = session.run_scenario(scenario).summary();
+            assert!(
+                summary.error.is_none(),
+                "{}: {:?}",
+                scenario.name,
+                summary.error
+            );
+            summary.stable_line()
+        })
+        .collect()
+}
+
+#[test]
+fn the_bitmap_seen_set_is_byte_identical_to_the_hash_engine() {
+    // `SeenSet::Bitmap` (the default: two-level lazily-paged bit array over
+    // canonical state ids) and `SeenSet::Hash` (the prior engine, kept as
+    // the fallback) must agree byte for byte, serially and with 4 workers.
+    for workers in [1, WORKERS] {
+        let bitmap = memory_corpus_lines(|b| b.seen_set(SeenSet::Bitmap).parallelism(workers));
+        let hash = memory_corpus_lines(|b| b.seen_set(SeenSet::Hash).parallelism(workers));
+        assert_eq!(
+            bitmap, hash,
+            "seen-set representation leaked into a {workers}-worker report"
+        );
+    }
+}
+
+#[test]
+fn a_memory_budget_is_byte_identical_to_an_unbudgeted_run() {
+    // A 1-byte budget trips on the first expansion, so every budgeted run
+    // takes the spilling-frontier code path from its first push; the report
+    // must not move an inch, serially or with 4 workers.
+    let unbudgeted = memory_corpus_lines(|b| b);
+    for workers in [1, WORKERS] {
+        let budgeted = memory_corpus_lines(|b| b.memory_budget(1).parallelism(workers));
+        assert_eq!(
+            unbudgeted, budgeted,
+            "the memory budget leaked into a {workers}-worker report"
+        );
+    }
+}
+
+#[test]
+fn hash_fallback_budget_and_parallelism_compose_without_drift() {
+    // The knob matrix pairwise-agrees above; pin one fully-combined corner.
+    let baseline = memory_corpus_lines(|b| b);
+    let everything = memory_corpus_lines(|b| {
+        b.seen_set(SeenSet::Hash)
+            .memory_budget(1)
+            .parallelism(WORKERS)
+    });
+    assert_eq!(baseline, everything);
+}
+
+#[test]
+fn spill_directories_are_cleaned_up_after_every_run() {
+    let dir = std::env::temp_dir().join(format!("effpi-determinism-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create spill base dir");
+
+    let with_spill_dir = memory_corpus_lines(|b| b.memory_budget(1).spill_dir(dir.clone()));
+    assert_eq!(with_spill_dir, memory_corpus_lines(|b| b));
+
+    // Whatever the runs spilled under `dir` was transient: the per-run
+    // subdirectories remove themselves when the exploration finishes.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .expect("spill base dir survives")
+        .map(|e| e.expect("read dir entry").file_name())
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "spill run directories leaked: {leftovers:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
